@@ -1,0 +1,74 @@
+// E6 — EphID construction/verification microbenchmark (§V-A1).
+//
+// The Fig 6 construction costs exactly two AES operations to issue (one
+// CTR block, one CBC-MAC block) and two to open. This google-benchmark
+// binary measures issue, open, and rejection of forged EphIDs, plus the
+// derived per-flow budget context (how many EphIDs/s one core can mint,
+// vs the 3,888/s peak demand of §V-A3).
+#include <benchmark/benchmark.h>
+
+#include "core/ephid.h"
+#include "crypto/rng.h"
+
+using namespace apna;
+
+namespace {
+
+core::EphIdCodec& codec() {
+  static core::EphIdCodec c = [] {
+    crypto::ChaChaRng rng(1);
+    return core::EphIdCodec(rng.bytes(16));
+  }();
+  return c;
+}
+
+void BM_EphIdIssue(benchmark::State& state) {
+  std::uint32_t iv = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec().issue_with_iv(7, 1'700'000'900, ++iv));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(codec().backend());
+}
+BENCHMARK(BM_EphIdIssue);
+
+void BM_EphIdOpen(benchmark::State& state) {
+  const core::EphId e = codec().issue_with_iv(7, 1'700'000'900, 42);
+  for (auto _ : state) {
+    auto r = codec().open(e);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EphIdOpen);
+
+void BM_EphIdOpenForgedRejected(benchmark::State& state) {
+  core::EphId forged{};
+  crypto::ChaChaRng rng(2);
+  rng.fill(MutByteSpan(forged.bytes.data(), 16));
+  for (auto _ : state) {
+    auto r = codec().open(forged);
+    if (r.ok()) std::abort();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EphIdOpenForgedRejected);
+
+void BM_EphIdIssueBatchPerFlowDemand(benchmark::State& state) {
+  // Mint EphIDs at the per-flow demand unit (one per new session): a batch
+  // of 3,888 — one peak-second of the paper's AS.
+  std::uint32_t iv = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 3'888; ++i)
+      benchmark::DoNotOptimize(codec().issue_with_iv(
+          static_cast<core::Hid>(i), 1'700'000'900, ++iv));
+  }
+  state.SetItemsProcessed(state.iterations() * 3'888);
+  state.SetLabel("one peak-second of EphID demand (3,888 IDs)");
+}
+BENCHMARK(BM_EphIdIssueBatchPerFlowDemand);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+// E7 — EphID granularity ablation (§VIII-A).
+//
+// The paper discusses four granularities qualitatively; this experiment
+// quantifies the trade-off on a common workload (flows drawn from the
+// synthetic trace): EphIDs consumed (issuance cost), sender-flow
+// linkability (fraction of flow pairs sharing a source EphID — what a §II-B
+// observer can link), and shutoff blast radius (flows killed when one
+// EphID is revoked).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ephid.h"
+#include "host/ephid_pool.h"
+
+using namespace apna;
+
+namespace {
+
+struct Workload {
+  struct Flow {
+    std::string app;
+    std::string id;
+    int packets;
+  };
+  std::vector<Flow> flows;
+};
+
+Workload make_workload(int n_flows) {
+  // 4 applications with skewed flow counts, a few packets per flow.
+  Workload w;
+  const char* apps[] = {"web", "mail", "video", "iot"};
+  crypto::ChaChaRng rng(5);
+  for (int i = 0; i < n_flows; ++i) {
+    const char* app = apps[rng.uniform(4)];
+    w.flows.push_back({app, "flow-" + std::to_string(i),
+                       static_cast<int>(1 + rng.uniform(20))});
+  }
+  return w;
+}
+
+struct Outcome {
+  std::size_t ephids_used = 0;
+  double linkable_pair_fraction = 0;  // flow pairs sharing a source EphID
+  std::size_t max_blast_radius = 0;   // flows killed by one revocation
+  double issuance_us = 0;             // total minting cost
+};
+
+Outcome evaluate(host::Granularity g, const Workload& w, double us_per_issue) {
+  crypto::ChaChaRng rng(6);
+  core::EphIdCodec codec(rng.bytes(16));
+  const core::ExpTime now = 1'700'000'000;
+
+  host::EphIdPool pool;
+  // Provision generously; per-packet rotation cycles over 32 EphIDs.
+  const std::size_t provision =
+      g == host::Granularity::per_host ? 1
+      : g == host::Granularity::per_application ? 4
+      : g == host::Granularity::per_flow ? w.flows.size()
+      : 32;
+  for (std::size_t i = 0; i < provision; ++i) {
+    core::EphIdKeyPair kp = core::EphIdKeyPair::from_seed(rng.bytes(32));
+    core::EphIdCertificate cert;
+    cert.ephid = codec.issue(7, now + 900, rng);
+    cert.exp_time = now + 900;
+    cert.pub = kp.pub;
+    pool.add(std::move(kp), std::move(cert));
+  }
+
+  // Assign flows → EphIDs via the pool policy; track which EphID each flow
+  // used (for per-packet, every EphID a flow's packets used).
+  std::map<std::string, std::vector<std::string>> flow_ephids;
+  std::uint64_t packet_seq = 0;
+  std::size_t picks_failed = 0;
+  for (const auto& f : w.flows) {
+    for (int p = 0; p < f.packets; ++p) {
+      auto* e = pool.pick(g, f.app, f.id, packet_seq++, now);
+      if (!e) {
+        ++picks_failed;
+        continue;
+      }
+      flow_ephids[f.id].push_back(e->cert.ephid.hex());
+    }
+  }
+  (void)picks_failed;
+
+  // EphIDs actually used.
+  std::map<std::string, std::vector<std::string>> ephid_flows;
+  for (const auto& [flow, ephids] : flow_ephids)
+    for (const auto& e : ephids) {
+      auto& v = ephid_flows[e];
+      if (v.empty() || v.back() != flow) v.push_back(flow);
+    }
+
+  Outcome out;
+  out.ephids_used = ephid_flows.size();
+  out.issuance_us = static_cast<double>(out.ephids_used) * us_per_issue;
+
+  // Linkability: fraction of flow PAIRS that share at least one source
+  // EphID (the observer links them to a common sender).
+  std::size_t linkable = 0;
+  const auto& flows = w.flows;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t j = i + 1; j < flows.size(); ++j) {
+      const auto& ei = flow_ephids[flows[i].id];
+      const auto& ej = flow_ephids[flows[j].id];
+      bool share = false;
+      for (const auto& a : ei) {
+        for (const auto& b : ej)
+          if (a == b) {
+            share = true;
+            break;
+          }
+        if (share) break;
+      }
+      if (share) ++linkable;
+    }
+  }
+  const double pairs = flows.size() * (flows.size() - 1) / 2.0;
+  out.linkable_pair_fraction = pairs > 0 ? linkable / pairs : 0;
+
+  // Blast radius: most flows disrupted by revoking a single EphID.
+  for (const auto& [e, fl] : ephid_flows)
+    out.max_blast_radius = std::max(out.max_blast_radius, fl.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E7 — EphID granularity ablation",
+                      "§VIII-A: per-host / per-application / per-flow / "
+                      "per-packet trade-offs");
+
+  // Per-issuance cost measured on the Fig 6 construction.
+  crypto::ChaChaRng rng(7);
+  core::EphIdCodec codec(rng.bytes(16));
+  const double issue_ns = bench::time_per_op_ns(50'000, [&](std::size_t i) {
+    codec.issue_with_iv(7, 1'700'000'900, static_cast<std::uint32_t>(i));
+  });
+  const double us_per_issue = issue_ns / 1000.0;
+
+  const Workload w = make_workload(200);
+  std::printf("workload: %zu flows across 4 applications; EphID mint cost "
+              "%.2f us (codec only)\n\n",
+              w.flows.size(), us_per_issue);
+  std::printf("%-16s %12s %18s %14s %16s\n", "granularity", "EphIDs",
+              "linkable pairs", "blast radius", "mint cost (us)");
+
+  for (auto g : {host::Granularity::per_host,
+                 host::Granularity::per_application,
+                 host::Granularity::per_flow,
+                 host::Granularity::per_packet}) {
+    const Outcome o = evaluate(g, w, us_per_issue);
+    std::printf("%-16s %12zu %17.1f%% %14zu %16.1f\n",
+                host::granularity_name(g), o.ephids_used,
+                o.linkable_pair_fraction * 100, o.max_blast_radius,
+                o.issuance_us);
+  }
+
+  std::printf(
+      "\nNotes: per-packet cycles over a 32-EphID pool (a truly unique\n"
+      "EphID per packet needs the demux machinery of [23], §VIII-A) — its\n"
+      "linkability is an upper bound. Per-flow gives 0%% linkable pairs and\n"
+      "blast radius 1 at a per-flow minting cost, the paper's recommended\n"
+      "operating point.\n");
+
+  bench::print_footer(
+      "monotone trade-off: privacy (linkability↓, blast radius↓) costs "
+      "EphID issuance; per-flow reaches 0% linkability at ~200 mints");
+  return 0;
+}

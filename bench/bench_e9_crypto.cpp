@@ -1,0 +1,175 @@
+// E9 — Crypto-primitive ablation (§IV-A / §V design choices).
+//
+// Compares the building blocks the paper commits to: AES (hardware
+// dispatch), the three CCA-secure payload suites (GCM [27] vs the
+// Encrypt-then-MAC composition [7] vs ChaCha20-Poly1305), Curve25519 key
+// exchange and ed25519 signatures (§V-A2), across payload sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/ephid.h"
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/modes.h"
+#include "crypto/rng.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+
+using namespace apna;
+using namespace apna::crypto;
+
+namespace {
+
+ChaChaRng& rng() {
+  static ChaChaRng r(2718);
+  return r;
+}
+
+void BM_AesBlock(benchmark::State& state) {
+  Aes128 aes(rng().bytes(16));
+  std::uint8_t block[16] = {};
+  for (auto _ : state) {
+    aes.encrypt_block(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+  state.SetLabel(aes.backend());
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_AesCtr(benchmark::State& state) {
+  Aes128 aes(rng().bytes(16));
+  Bytes iv = rng().bytes(16);
+  Bytes data = rng().bytes(state.range(0));
+  Bytes out(data.size());
+  for (auto _ : state) {
+    aes_ctr_xcrypt(aes, iv.data(), data, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(1460);
+
+void BM_Cmac(benchmark::State& state) {
+  AesCmac mac(rng().bytes(16));
+  Bytes data = rng().bytes(state.range(0));
+  for (auto _ : state) {
+    auto t = mac.mac(data);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Cmac)->Arg(48)->Arg(128)->Arg(1460);
+
+void BM_AeadSeal(benchmark::State& state) {
+  const auto suite = static_cast<AeadSuite>(state.range(0));
+  auto aead = Aead::create(suite, rng().bytes(32));
+  Bytes nonce = rng().bytes(12);
+  Bytes aad = rng().bytes(48);
+  Bytes pt = rng().bytes(state.range(1));
+  for (auto _ : state) {
+    auto ct = aead->seal(nonce, aad, pt);
+    benchmark::DoNotOptimize(ct.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(1));
+  state.SetLabel(aead_suite_name(suite));
+}
+BENCHMARK(BM_AeadSeal)
+    ->Args({1, 64})->Args({1, 1460})
+    ->Args({2, 64})->Args({2, 1460})
+    ->Args({3, 64})->Args({3, 1460});
+
+void BM_AeadOpen(benchmark::State& state) {
+  const auto suite = static_cast<AeadSuite>(state.range(0));
+  auto aead = Aead::create(suite, rng().bytes(32));
+  Bytes nonce = rng().bytes(12);
+  Bytes pt = rng().bytes(state.range(1));
+  const Bytes ct = aead->seal(nonce, {}, pt);
+  for (auto _ : state) {
+    auto out = aead->open(nonce, {}, ct);
+    if (!out) std::abort();
+    benchmark::DoNotOptimize(out->data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(1));
+  state.SetLabel(aead_suite_name(suite));
+}
+BENCHMARK(BM_AeadOpen)
+    ->Args({1, 1460})->Args({2, 1460})->Args({3, 1460});
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data = rng().bytes(state.range(0));
+  for (auto _ : state) {
+    auto d = Sha256::hash(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1460);
+
+void BM_HkdfDerive(benchmark::State& state) {
+  Bytes ikm = rng().bytes(32);
+  for (auto _ : state) {
+    auto k = derive_key32(ikm, "bench-label");
+    benchmark::DoNotOptimize(k);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HkdfDerive);
+
+void BM_X25519Shared(benchmark::State& state) {
+  auto a = X25519KeyPair::generate(rng());
+  auto b = X25519KeyPair::generate(rng());
+  for (auto _ : state) {
+    auto s = x25519_shared(a.priv, b.pub);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("one per connection establishment (§IV-D1)");
+}
+BENCHMARK(BM_X25519Shared);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  auto kp = Ed25519KeyPair::generate(rng());
+  Bytes msg = rng().bytes(137);  // ~certificate TBS size
+  for (auto _ : state) {
+    auto sig = kp.sign(msg);
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("one per issued certificate (Fig 3)");
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  auto kp = Ed25519KeyPair::generate(rng());
+  Bytes msg = rng().bytes(137);
+  const auto sig = kp.sign(msg);
+  for (auto _ : state) {
+    bool ok = ed25519_verify(kp.pub, msg, sig);
+    if (!ok) std::abort();
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("one per certificate validation");
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_EphIdRoundtrip(benchmark::State& state) {
+  ChaChaRng r(3);
+  core::EphIdCodec codec(r.bytes(16));
+  std::uint32_t iv = 0;
+  for (auto _ : state) {
+    const auto e = codec.issue_with_iv(7, 1'700'000'900, ++iv);
+    auto p = codec.open(e);
+    if (!p.ok()) std::abort();
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(codec.backend());
+}
+BENCHMARK(BM_EphIdRoundtrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

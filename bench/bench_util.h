@@ -1,0 +1,42 @@
+// Shared helpers for the experiment benchmarks (E1..E11).
+//
+// System-level experiments print paper-style tables via these helpers;
+// micro benchmarks additionally register google-benchmark timers.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace apna::bench {
+
+using Clock = std::chrono::steady_clock;
+
+/// Times `fn(i)` over `iters` calls; returns nanoseconds per call.
+inline double time_per_op_ns(std::size_t iters,
+                             const std::function<void(std::size_t)>& fn) {
+  // Warmup.
+  const std::size_t warm = iters / 10 + 1;
+  for (std::size_t i = 0; i < warm; ++i) fn(i);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(iters);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_footer(const std::string& takeaway) {
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("Shape check: %s\n\n", takeaway.c_str());
+}
+
+}  // namespace apna::bench

@@ -1,0 +1,100 @@
+// privacy_observatory — what a pervasive on-path observer actually sees
+// (§II-B adversary; §VI-B analysis).
+//
+// A surveillance tap records every inter-AS packet while one host runs two
+// application flows. The example then plays analyst: tries to read
+// payloads, link flows to a common sender, and identify the host — first
+// with per-flow EphIDs (the APNA default), then with per-host EphIDs to
+// show the §VIII-A granularity trade-off actually materialize on the wire.
+//
+//   $ ./examples/privacy_observatory
+#include <cstdio>
+#include <set>
+
+#include "apna/internet.h"
+
+using namespace apna;
+
+namespace {
+
+struct Observation {
+  std::size_t packets = 0;
+  std::set<std::string> source_ephids;
+  std::size_t plaintext_hits = 0;
+  std::size_t decodable_ephids = 0;
+};
+
+Observation run_scenario(host::Granularity granularity) {
+  Internet net{static_cast<std::uint64_t>(granularity) + 99};
+  AutonomousSystem& home = net.add_as(10, "home-isp");
+  AutonomousSystem& far = net.add_as(20, "far-isp");
+  net.link(10, 20, 5000);
+
+  host::Host& user = home.add_host("user", granularity);
+  host::Host& site1 = far.add_host("news-site");
+  host::Host& site2 = far.add_host("health-site");
+  (void)provision_ephids(user, net.loop(), 4);
+  (void)provision_ephids(site1, net.loop(), 1);
+  (void)provision_ephids(site2, net.loop(), 1);
+
+  Observation obs;
+  const std::string secret = "my-sensitive-query";
+  // The observer controls the inter-AS link (but not the home ISP).
+  net.network().add_tap([&](std::uint32_t from, std::uint32_t,
+                            const wire::Packet& p) {
+    if (from != 10) return;
+    ++obs.packets;
+    core::EphId e;
+    e.bytes = p.src_ephid;
+    obs.source_ephids.insert(e.hex());
+    // Try to read the payload.
+    const Bytes wire_bytes = p.serialize();
+    const std::string s(wire_bytes.begin(), wire_bytes.end());
+    if (s.find(secret) != std::string::npos) ++obs.plaintext_hits;
+    // Try to decode the EphID with the *other* AS's key (the observer may
+    // collude with the far ISP, but not with the user's own ISP).
+    if (far.state().codec.open(e).ok()) ++obs.decodable_ephids;
+  });
+
+  auto s1 = user.connect(site1.pool().entries().front()->cert, {},
+                         [](Result<std::uint64_t>) {});
+  host::Host::ConnectOptions o2;
+  o2.app = "health";
+  auto s2 = user.connect(site2.pool().entries().front()->cert, o2,
+                         [](Result<std::uint64_t>) {});
+  (void)user.send_data(*s1, to_bytes(secret + " about politics"));
+  (void)user.send_data(*s2, to_bytes(secret + " about my condition"));
+  net.run();
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("The observer records all inter-AS traffic of the user's "
+              "ISP.\nTwo flows (news + health) run under two EphID "
+              "policies:\n\n");
+  std::printf("%-14s %10s %16s %18s %16s\n", "granularity", "packets",
+              "source EphIDs", "plaintext leaks", "EphIDs decoded");
+
+  for (auto g : {host::Granularity::per_flow, host::Granularity::per_host}) {
+    const Observation obs = run_scenario(g);
+    std::printf("%-14s %10zu %16zu %18zu %16zu\n",
+                host::granularity_name(g), obs.packets,
+                obs.source_ephids.size(), obs.plaintext_hits,
+                obs.decodable_ephids);
+  }
+
+  std::printf(
+      "\nReading the table:\n"
+      " * plaintext leaks = 0     — pervasive network-layer encryption "
+      "(§IV-D2).\n"
+      " * EphIDs decoded = 0      — identifiers are opaque outside the "
+      "issuing AS (§III-B).\n"
+      " * per-flow: >=2 source EphIDs — the observer cannot tell the two\n"
+      "   flows share a sender (sender-flow unlinkability, §II-B).\n"
+      " * per-host: 1 source EphID  — all flows visibly share a sender;\n"
+      "   identity still hidden, but linkability is the price of the\n"
+      "   cheaper policy (§VIII-A).\n");
+  return 0;
+}

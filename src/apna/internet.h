@@ -1,0 +1,90 @@
+// Internet — the top-level simulation harness: one event loop, an AS-level
+// topology, the inter-AS fabric, the global AS directory (RPKI stand-in)
+// and a shared DNS zone. Examples, tests and benchmarks build their worlds
+// through this class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "apna/autonomous_system.h"
+
+namespace apna {
+
+class Internet {
+ public:
+  explicit Internet(std::uint64_t seed = 1)
+      : seed_(seed), network_(loop_, topo_) {}
+
+  /// Creates an AS with default configuration.
+  AutonomousSystem& add_as(core::Aid aid, const std::string& name) {
+    AutonomousSystem::Config cfg;
+    cfg.aid = aid;
+    cfg.name = name;
+    cfg.rng_seed = seed_ * 1'000'003 + aid;
+    return add_as(std::move(cfg));
+  }
+
+  AutonomousSystem& add_as(AutonomousSystem::Config cfg) {
+    auto as = std::make_unique<AutonomousSystem>(std::move(cfg), loop_, topo_,
+                                                 network_, directory_, zone_);
+    AutonomousSystem* ptr = as.get();
+    ases_[ptr->aid()] = std::move(as);
+    return *ptr;
+  }
+
+  /// Peers two ASes with the given one-way link latency.
+  void link(core::Aid a, core::Aid b, net::TimeUs one_way_us = 5000) {
+    topo_.add_link(a, b, one_way_us);
+  }
+
+  AutonomousSystem& as(core::Aid aid) { return *ases_.at(aid); }
+
+  /// Drains all pending events (bootstrap chatter, handshakes, data).
+  std::size_t run() { return loop_.run(); }
+
+  net::EventLoop& loop() { return loop_; }
+  net::Topology& topology() { return topo_; }
+  net::InterAsNetwork& network() { return network_; }
+  core::AsDirectory& directory() { return directory_; }
+  services::DnsZone& zone() { return zone_; }
+
+ private:
+  std::uint64_t seed_;
+  net::EventLoop loop_;
+  net::Topology topo_;
+  net::InterAsNetwork network_;
+  core::AsDirectory directory_;
+  services::DnsZone zone_;
+  std::unordered_map<core::Aid, std::unique_ptr<AutonomousSystem>> ases_;
+};
+
+// ---- Synchronous conveniences for tests/examples -----------------------------
+
+/// Requests one EphID and pumps the loop until the certificate arrives.
+inline Result<const host::OwnedEphId*> acquire_ephid(
+    host::Host& h, net::EventLoop& loop,
+    core::EphIdLifetime lifetime = core::EphIdLifetime::short_term,
+    std::uint8_t flags = 0) {
+  std::optional<Result<const host::OwnedEphId*>> out;
+  h.request_ephid(lifetime, flags,
+                  [&out](Result<const host::OwnedEphId*> r) { out = std::move(r); });
+  loop.run();
+  if (!out) return Result<const host::OwnedEphId*>(Errc::internal, "no reply");
+  return std::move(*out);
+}
+
+/// Pre-provisions `n` data-plane EphIDs into the host's pool.
+inline Result<void> provision_ephids(
+    host::Host& h, net::EventLoop& loop, std::size_t n,
+    core::EphIdLifetime lifetime = core::EphIdLifetime::short_term,
+    std::uint8_t flags = 0) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = acquire_ephid(h, loop, lifetime, flags);
+    if (!r) return Result<void>(r.error());
+  }
+  return Result<void>::success();
+}
+
+}  // namespace apna

@@ -1,0 +1,54 @@
+// AS public-key directory — the RPKI stand-in (§IV-A assumption:
+// "Participating parties can retrieve and verify the public keys of ASes.
+// For example, a scheme such as RPKI can be used").
+//
+// Models a pre-verified RPKI snapshot as an in-memory AID → keys map shared
+// (by reference) with every entity that validates certificates.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "core/ids.h"
+#include "crypto/ed25519.h"
+#include "crypto/x25519.h"
+
+namespace apna::core {
+
+struct AsPublicInfo {
+  Aid aid = 0;
+  crypto::Ed25519PublicKey sign_pub{};  // verifies certificates/bootstrap
+  crypto::X25519PublicKey dh_pub{};     // host bootstrap key exchange
+  /// Published accountability-agent endpoint, so victims of unsolicited
+  /// traffic (who never saw the sender's certificate) can still address a
+  /// shutoff request to the source AS (§IV-E).
+  EphId aa_ephid;
+};
+
+class AsDirectory {
+ public:
+  void register_as(const AsPublicInfo& info) {
+    std::unique_lock lock(mu_);
+    map_[info.aid] = info;
+  }
+
+  std::optional<AsPublicInfo> lookup(Aid aid) const {
+    std::shared_lock lock(mu_);
+    auto it = map_.find(aid);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Aid, AsPublicInfo> map_;
+};
+
+}  // namespace apna::core

@@ -1,0 +1,41 @@
+// The shared state of one AS's infrastructure.
+//
+// Every infrastructure entity of an AS (RS, MS, AA, border routers) holds kA
+// and the host/revocation databases (Fig 2: "the RS sends the host
+// information to infrastructure entities in the AS; the entities store the
+// information in their database"). In this in-process model they share one
+// AsState by reference, which faithfully models the synchronized state while
+// the message flows that synchronize it are still exercised and counted.
+#pragma once
+
+#include "core/ephid.h"
+#include "core/host_db.h"
+#include "core/ids.h"
+#include "core/keys.h"
+#include "core/revocation.h"
+#include "crypto/modes.h"
+
+namespace apna::core {
+
+struct AsState {
+  Aid aid;
+  AsSecrets secrets;
+  EphIdCodec codec;          // kA' / kA'' derived from kA (§V-A1)
+  crypto::AesCmac infra_mac; // kAS: authenticates AA→BR revocation (Fig 5)
+  HostDb host_db;            // host_info
+  RevocationList revoked;    // revoked_ids
+
+  /// `max_revocations_per_host` is the §VIII-G2 escalation threshold.
+  AsState(Aid aid_, AsSecrets secrets_,
+          std::uint32_t max_revocations_per_host = 16)
+      : aid(aid_),
+        secrets(std::move(secrets_)),
+        codec(ByteSpan(secrets.ka.data(), secrets.ka.size())),
+        infra_mac(ByteSpan(secrets.ka_infra.data(), secrets.ka_infra.size())),
+        revoked(max_revocations_per_host) {}
+
+  AsState(const AsState&) = delete;
+  AsState& operator=(const AsState&) = delete;
+};
+
+}  // namespace apna::core

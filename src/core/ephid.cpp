@@ -1,0 +1,75 @@
+#include "core/ephid.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace apna::core {
+
+EphIdCodec::EphIdCodec(ByteSpan ka16)
+    : enc_(crypto::derive_key16(ka16, "apna-ka-prime")),
+      mac_(crypto::derive_key16(ka16, "apna-ka-double-prime")) {}
+
+EphId EphIdCodec::issue_with_iv(Hid hid, ExpTime exp_time,
+                                std::uint32_t iv) const {
+  // Counter block: IV(4) ‖ 0^12 (Fig 6 top-left).
+  std::uint8_t counter[16] = {};
+  store_be32(counter, iv);
+
+  // Plaintext block: HID(4) ‖ ExpTime(4) ‖ 0^8, one AES operation.
+  std::uint8_t keystream[16];
+  enc_.encrypt_block(counter, keystream);
+  std::uint8_t ct[8];
+  std::uint8_t pt[8];
+  store_be32(pt, hid);
+  store_be32(pt + 4, exp_time);
+  for (int i = 0; i < 8; ++i)
+    ct[i] = static_cast<std::uint8_t>(pt[i] ^ keystream[i]);
+
+  // Tag input: CT(8) ‖ IV(4) ‖ 0^4 — one fixed-length block (footnote 3).
+  std::uint8_t mac_in[16] = {};
+  std::memcpy(mac_in, ct, 8);
+  store_be32(mac_in + 8, iv);
+  std::uint8_t tag[16];
+  mac_.encrypt_block(mac_in, tag);  // single-block CBC-MAC == raw AES
+
+  EphId out;
+  std::memcpy(out.bytes.data() + kCtOffset, ct, 8);
+  store_be32(out.bytes.data() + kIvOffset, iv);
+  std::memcpy(out.bytes.data() + kMacOffset, tag, 4);
+  return out;
+}
+
+EphId EphIdCodec::issue(Hid hid, ExpTime exp_time, crypto::Rng& rng) const {
+  return issue_with_iv(hid, exp_time, rng.next_u32());
+}
+
+Result<EphIdPlain> EphIdCodec::open(const EphId& ephid) const {
+  const std::uint8_t* ct = ephid.bytes.data() + kCtOffset;
+  const std::uint32_t iv = load_be32(ephid.bytes.data() + kIvOffset);
+
+  // Verify the tag before touching the plaintext (Encrypt-then-MAC).
+  std::uint8_t mac_in[16] = {};
+  std::memcpy(mac_in, ct, 8);
+  store_be32(mac_in + 8, iv);
+  std::uint8_t tag[16];
+  mac_.encrypt_block(mac_in, tag);
+  if (!ct_equal(ByteSpan(tag, 4), ByteSpan(ephid.bytes.data() + kMacOffset, 4)))
+    return Result<EphIdPlain>(Errc::decrypt_failed, "EphID tag mismatch");
+
+  std::uint8_t counter[16] = {};
+  store_be32(counter, iv);
+  std::uint8_t keystream[16];
+  enc_.encrypt_block(counter, keystream);
+
+  std::uint8_t pt[8];
+  for (int i = 0; i < 8; ++i)
+    pt[i] = static_cast<std::uint8_t>(ct[i] ^ keystream[i]);
+
+  EphIdPlain plain;
+  plain.hid = load_be32(pt);
+  plain.exp_time = load_be32(pt + 4);
+  return plain;
+}
+
+}  // namespace apna::core

@@ -1,0 +1,62 @@
+// The EphID construction of Fig 6 — the heart of APNA.
+//
+//   EphID = AES-CTR_{kA'}(HID ‖ ExpTime)[0..8) ‖ IV(4) ‖ CBC-MAC_{kA''}(CT ‖ IV)(4)
+//
+// Encrypt-then-MAC with a fresh 4-byte IV per EphID:
+//  * the issuing AS recovers (HID, ExpTime) statelessly by decryption
+//    (design choice 1, §IV — no mapping table);
+//  * the MAC makes the scheme CCA-secure: any forged or modified EphID is
+//    rejected before the HID is even looked at (§VI-A "Unauthorized EphID
+//    Generation"). CBC-MAC is safe here because its input length is fixed
+//    at exactly one block (footnote 3).
+//  * the random IV lets one HID hold many unlinkable EphIDs (§V-A1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/ids.h"
+#include "crypto/aes.h"
+#include "crypto/modes.h"
+#include "crypto/rng.h"
+#include "util/result.h"
+
+namespace apna::core {
+
+/// Decrypted EphID contents.
+struct EphIdPlain {
+  Hid hid = 0;
+  ExpTime exp_time = 0;
+};
+
+/// Issues and opens EphIDs for one AS. Immutable after construction; safe to
+/// share across the AS's infrastructure (MS, border routers, AA) — they all
+/// hold kA and derive kA'/kA'' identically (§V-A1).
+class EphIdCodec {
+ public:
+  /// Field offsets within the 16-byte EphID (Fig 6 right-hand side).
+  static constexpr std::size_t kCtOffset = 0;   // 8 B ciphertext
+  static constexpr std::size_t kIvOffset = 8;   // 4 B IV
+  static constexpr std::size_t kMacOffset = 12; // 4 B CBC-MAC tag
+
+  /// Derives kA' (encryption) and kA'' (authentication) from kA.
+  explicit EphIdCodec(ByteSpan ka16);
+
+  /// Issues a fresh EphID with a random IV.
+  EphId issue(Hid hid, ExpTime exp_time, crypto::Rng& rng) const;
+
+  /// Deterministic-IV variant (tests; also lets callers manage IV space).
+  EphId issue_with_iv(Hid hid, ExpTime exp_time, std::uint32_t iv) const;
+
+  /// Authenticates and decrypts. Errc::decrypt_failed when the tag is wrong
+  /// (forged/corrupted EphID, or an EphID of a different AS).
+  Result<EphIdPlain> open(const EphId& ephid) const;
+
+  /// The AES backend in use ("aesni"/"soft") — surfaced by benchmarks.
+  const char* backend() const { return enc_.backend(); }
+
+ private:
+  crypto::Aes128 enc_;  // kA'
+  crypto::Aes128 mac_;  // kA''
+};
+
+}  // namespace apna::core

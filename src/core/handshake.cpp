@@ -1,0 +1,117 @@
+#include "core/handshake.h"
+
+namespace apna::core {
+
+Result<void> validate_peer_cert(const EphIdCertificate& cert,
+                                const AsDirectory& dir, ExpTime now) {
+  const auto as_info = dir.lookup(cert.aid);
+  if (!as_info)
+    return Result<void>(Errc::bad_certificate, "unknown issuing AS");
+  return cert.verify(as_info->sign_pub, now);
+}
+
+Result<InitiatorStart> handshake_initiate(
+    const EphIdCertificate& peer_cert, const AsDirectory& dir, ExpTime now,
+    const EphIdKeyPair& my_kp, const EphIdCertificate& my_cert,
+    crypto::AeadSuite suite, ByteSpan early_data, std::uint64_t nonce) {
+  if (auto ok = validate_peer_cert(peer_cert, dir, now); !ok)
+    return Result<InitiatorStart>(ok.error());
+  if (my_cert.receive_only())
+    return Result<InitiatorStart>(
+        Errc::unauthorized, "receive-only EphID cannot initiate (§VII-A)");
+
+  auto early = Session::derive_checked(my_kp, my_cert.ephid,
+                                       peer_cert.pub.dh, peer_cert.ephid,
+                                       suite, /*initiator=*/true);
+  if (!early) return Result<InitiatorStart>(early.error());
+  InitiatorStart out{
+      .init = {},
+      .early_session = early.take(),
+  };
+  out.init.client_cert = my_cert;
+  out.init.client_nonce = nonce;
+  out.init.suite = suite;
+  if (!early_data.empty())
+    out.init.early_data = out.early_session.seal(early_data);
+  return out;
+}
+
+Result<ResponderResult> handshake_respond(
+    const HandshakeInit& init, const AsDirectory& dir, ExpTime now,
+    const EphIdKeyPair& contacted_kp, const EphIdCertificate& contacted_cert,
+    const EphIdKeyPair& serving_kp, const EphIdCertificate& serving_cert,
+    std::uint64_t server_nonce) {
+  if (auto ok = validate_peer_cert(init.client_cert, dir, now); !ok)
+    return Result<ResponderResult>(ok.error());
+  if (init.client_cert.receive_only())
+    return Result<ResponderResult>(
+        Errc::bad_certificate, "client cert is receive-only");
+  if (contacted_cert.receive_only() &&
+      serving_cert.ephid == contacted_cert.ephid)
+    return Result<ResponderResult>(
+        Errc::unauthorized,
+        "must serve from a distinct EphID when contacted on a receive-only "
+        "one (§VII-A)");
+  if (serving_cert.receive_only())
+    return Result<ResponderResult>(Errc::unauthorized,
+                                   "serving EphID must not be receive-only");
+
+  auto main_session = Session::derive_checked(
+      serving_kp, serving_cert.ephid, init.client_cert.pub.dh,
+      init.client_cert.ephid, init.suite, /*initiator=*/false);
+  if (!main_session) return Result<ResponderResult>(main_session.error());
+  ResponderResult out{
+      .response = {},
+      .session = main_session.take(),
+      .early_session = std::nullopt,
+      .early_data = {},
+      .client_cert = init.client_cert,
+  };
+  out.response.serving_cert = serving_cert;
+  out.response.server_nonce = server_nonce;
+  out.response.suite = init.suite;
+
+  const bool serving_differs = !(serving_cert.ephid == contacted_cert.ephid);
+  if (serving_differs) {
+    // Keys vs the contacted EphID: 0-RTT frames keep using them until the
+    // client learns the serving EphID.
+    out.early_session = Session::derive(contacted_kp, contacted_cert.ephid,
+                                        init.client_cert.pub.dh,
+                                        init.client_cert.ephid, init.suite,
+                                        /*initiator=*/false);
+  }
+  if (!init.early_data.empty()) {
+    // 0-RTT: decrypt with the session keyed to the CONTACTED EphID. When
+    // serving == contacted that IS the main session — use it directly so
+    // its replay window sees the early frame.
+    Session& early = serving_differs ? *out.early_session : out.session;
+    auto pt = early.open(init.early_data);
+    if (!pt) return Result<ResponderResult>(pt.error());
+    out.early_data = pt.take();
+  }
+  return out;
+}
+
+Result<Session> handshake_finish(const HandshakeResponse& resp,
+                                 const AsDirectory& dir, ExpTime now,
+                                 const EphIdKeyPair& my_kp,
+                                 const EphIdCertificate& my_cert,
+                                 const EphIdCertificate& contacted_cert) {
+  const EphIdCertificate& serving = resp.serving_cert;
+  // The serving certificate must come from the same AS as the certificate
+  // the client originally validated — otherwise a MitM could splice in a
+  // certificate from a colluding AS.
+  if (serving.aid != contacted_cert.aid)
+    return Result<Session>(Errc::bad_certificate,
+                           "serving cert issued by a different AS");
+  if (auto ok = validate_peer_cert(serving, dir, now); !ok)
+    return Result<Session>(ok.error());
+  if (serving.receive_only())
+    return Result<Session>(Errc::bad_certificate,
+                           "server tried to serve from a receive-only EphID");
+  return Session::derive_checked(my_kp, my_cert.ephid, serving.pub.dh,
+                                 serving.ephid, resp.suite,
+                                 /*initiator=*/true);
+}
+
+}  // namespace apna::core

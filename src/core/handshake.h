@@ -1,0 +1,70 @@
+// Connection establishment (§IV-D1) with the client-server extension for
+// receive-only EphIDs (§VII-A) and 0-RTT early data (§VII-C).
+//
+// Sequence:
+//   initiator                                 responder
+//   ---------                                 ---------
+//   handshake_initiate()  --HandshakeInit-->  handshake_respond()
+//     (may carry early data encrypted against   (picks a serving EphID when
+//      the contacted, possibly receive-only,     the contacted one is
+//      EphID)                                    receive-only)
+//   handshake_finish()   <--HandshakeResp--
+//
+// Both sides verify the peer's certificate against the issuing AS's public
+// key (the RPKI stand-in). A MitM swapping certificates fails exactly as
+// §VI-B argues: it cannot produce a certificate signed by the peer's AS.
+#pragma once
+
+#include "core/as_directory.h"
+#include "core/cert.h"
+#include "core/messages.h"
+#include "core/session.h"
+
+namespace apna::core {
+
+/// Validates a peer certificate against the directory (issuer signature +
+/// expiry). Used by both handshake sides.
+Result<void> validate_peer_cert(const EphIdCertificate& cert,
+                                const AsDirectory& dir, ExpTime now);
+
+struct InitiatorStart {
+  HandshakeInit init;    // message to send
+  Session early_session; // keys vs the CONTACTED EphID (0-RTT + fallback)
+};
+
+/// Builds the HandshakeInit and the 0-RTT session. `early_data`, when
+/// non-empty, is sealed into the init with the early session (§VII-C — at
+/// the cost that a later compromise of the contacted EphID's key reveals it).
+Result<InitiatorStart> handshake_initiate(
+    const EphIdCertificate& peer_cert, const AsDirectory& dir, ExpTime now,
+    const EphIdKeyPair& my_kp, const EphIdCertificate& my_cert,
+    crypto::AeadSuite suite, ByteSpan early_data, std::uint64_t nonce);
+
+struct ResponderResult {
+  HandshakeResponse response;  // message to send back
+  Session session;             // keys vs the SERVING EphID
+  /// Present when serving ≠ contacted: keys vs the CONTACTED EphID, kept to
+  /// decrypt 0-RTT frames the client sends before learning the serving one.
+  std::optional<Session> early_session;
+  Bytes early_data;            // decrypted 0-RTT payload (may be empty)
+  EphIdCertificate client_cert;
+};
+
+/// Responder side. `serving_*` may equal `contacted_*` (plain host-to-host);
+/// when the contacted EphID is receive-only they MUST differ (§VII-A — the
+/// server never sources traffic from a receive-only EphID).
+Result<ResponderResult> handshake_respond(
+    const HandshakeInit& init, const AsDirectory& dir, ExpTime now,
+    const EphIdKeyPair& contacted_kp, const EphIdCertificate& contacted_cert,
+    const EphIdKeyPair& serving_kp, const EphIdCertificate& serving_cert,
+    std::uint64_t server_nonce);
+
+/// Initiator completion: validates the serving certificate (same issuing AS
+/// as the contacted one, not receive-only) and derives the data session.
+Result<Session> handshake_finish(const HandshakeResponse& resp,
+                                 const AsDirectory& dir, ExpTime now,
+                                 const EphIdKeyPair& my_kp,
+                                 const EphIdCertificate& my_cert,
+                                 const EphIdCertificate& contacted_cert);
+
+}  // namespace apna::core

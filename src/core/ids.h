@@ -1,0 +1,61 @@
+// Identifier types shared across the APNA stack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/hex.h"
+#include "wire/apna_header.h"
+
+namespace apna::core {
+
+/// AS identifier — 4 B ("e.g., Autonomous System Number", §III-B).
+using Aid = wire::Aid;
+
+/// Host identifier — 4 B, unique within an AS (§III-B: "an HID could be ...
+/// a number that is assigned by the AS to the host (e.g., IPv4 address)").
+using Hid = std::uint32_t;
+
+/// Expiration time — 4 B Unix timestamp, one-second granularity (§V-A1).
+using ExpTime = std::uint32_t;
+
+/// A 16-byte ephemeral identifier (Fig 6). Value type with hashing so it can
+/// key revocation lists and session tables.
+struct EphId {
+  wire::EphIdBytes bytes{};
+
+  bool operator==(const EphId&) const = default;
+  bool is_zero() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+  std::string hex() const { return hex_encode(ByteSpan(bytes.data(), 16)); }
+};
+
+struct EphIdHash {
+  std::size_t operator()(const EphId& e) const {
+    // EphIDs are pseudorandom; fold the first 8 bytes.
+    return load_le64(e.bytes.data());
+  }
+};
+
+/// Full endpoint address: AID:EphID tuple (§III-B — "a host is fully
+/// addressed by an AID:EphID tuple").
+struct Endpoint {
+  Aid aid = 0;
+  EphId ephid;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const {
+    return EphIdHash{}(e.ephid) * 1000003 ^ e.aid;
+  }
+};
+
+}  // namespace apna::core

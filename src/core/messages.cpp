@@ -1,0 +1,409 @@
+#include "core/messages.h"
+
+namespace apna::core {
+
+using wire::Reader;
+using wire::Writer;
+
+// ---- BootstrapRequest -------------------------------------------------------
+
+Bytes BootstrapRequest::serialize() const {
+  Writer w(64);
+  w.u32(subscriber_id);
+  w.var(credential);
+  w.raw(host_pub);
+  return w.take();
+}
+
+Result<BootstrapRequest> BootstrapRequest::parse(ByteSpan data) {
+  Reader r(data);
+  BootstrapRequest m;
+  auto sid = r.u32();
+  if (!sid) return sid.error();
+  m.subscriber_id = *sid;
+  auto cred = r.var();
+  if (!cred) return cred.error();
+  m.credential.assign(cred->begin(), cred->end());
+  auto pub = r.arr<32>();
+  if (!pub) return pub.error();
+  m.host_pub = *pub;
+  return m;
+}
+
+// ---- BootstrapResponse ------------------------------------------------------
+
+Bytes BootstrapResponse::id_info_tbs() const {
+  Writer w(32);
+  w.raw(ctrl_ephid.bytes);
+  w.u32(ctrl_exp_time);
+  w.u32(hid);
+  return w.take();
+}
+
+Bytes BootstrapResponse::serialize() const {
+  Writer w(512);
+  w.u32(hid);
+  w.raw(ctrl_ephid.bytes);
+  w.u32(ctrl_exp_time);
+  w.raw(id_info_sig);
+  ms_cert.serialize_into(w);
+  dns_cert.serialize_into(w);
+  w.u32(aid);
+  w.raw(aa_ephid.bytes);
+  return w.take();
+}
+
+Result<BootstrapResponse> BootstrapResponse::parse(ByteSpan data) {
+  Reader r(data);
+  BootstrapResponse m;
+  auto hid = r.u32();
+  if (!hid) return hid.error();
+  m.hid = *hid;
+  auto ctrl = r.arr<16>();
+  if (!ctrl) return ctrl.error();
+  m.ctrl_ephid.bytes = *ctrl;
+  auto exp = r.u32();
+  if (!exp) return exp.error();
+  m.ctrl_exp_time = *exp;
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  m.id_info_sig = *sig;
+  auto ms = EphIdCertificate::parse(r);
+  if (!ms) return ms.error();
+  m.ms_cert = ms.take();
+  auto dns = EphIdCertificate::parse(r);
+  if (!dns) return dns.error();
+  m.dns_cert = dns.take();
+  auto aid = r.u32();
+  if (!aid) return aid.error();
+  m.aid = *aid;
+  auto aa = r.arr<16>();
+  if (!aa) return aa.error();
+  m.aa_ephid.bytes = *aa;
+  return m;
+}
+
+// ---- EphIdRequest / Response ------------------------------------------------
+
+Bytes EphIdRequest::serialize() const {
+  Writer w(72);
+  w.raw(ephid_pub.dh);
+  w.raw(ephid_pub.sig);
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(lifetime));
+  return w.take();
+}
+
+Result<EphIdRequest> EphIdRequest::parse(ByteSpan data) {
+  Reader r(data);
+  EphIdRequest m;
+  auto dh = r.arr<32>();
+  if (!dh) return dh.error();
+  m.ephid_pub.dh = *dh;
+  auto sig = r.arr<32>();
+  if (!sig) return sig.error();
+  m.ephid_pub.sig = *sig;
+  auto flags = r.u8();
+  if (!flags) return flags.error();
+  m.flags = *flags;
+  auto lt = r.u8();
+  if (!lt) return lt.error();
+  if (*lt > static_cast<std::uint8_t>(EphIdLifetime::long_term))
+    return Result<EphIdRequest>(Errc::malformed, "bad lifetime class");
+  m.lifetime = static_cast<EphIdLifetime>(*lt);
+  return m;
+}
+
+Bytes EphIdResponse::serialize() const { return cert.serialize(); }
+
+Result<EphIdResponse> EphIdResponse::parse(ByteSpan data) {
+  auto cert = EphIdCertificate::parse(data);
+  if (!cert) return cert.error();
+  EphIdResponse m;
+  m.cert = cert.take();
+  return m;
+}
+
+// ---- Control sealing --------------------------------------------------------
+
+Bytes seal_control(const HostAsKeys& keys, std::uint64_t nonce_counter,
+                   bool from_host, ByteSpan plaintext) {
+  const auto aead = crypto::Aead::create(crypto::AeadSuite::chacha20_poly1305,
+                                         keys.enc);
+  std::uint8_t nonce[12] = {};
+  nonce[0] = from_host ? 0x01 : 0x02;
+  store_be64(nonce + 4, nonce_counter);
+  Writer w(plaintext.size() + 32);
+  w.u64(nonce_counter);
+  w.raw(aead->seal(ByteSpan(nonce, 12), {}, plaintext));
+  return w.take();
+}
+
+Result<Bytes> open_control(const HostAsKeys& keys, bool from_host,
+                           ByteSpan sealed) {
+  Reader r(sealed);
+  auto counter = r.u64();
+  if (!counter) return counter.error();
+  const auto aead = crypto::Aead::create(crypto::AeadSuite::chacha20_poly1305,
+                                         keys.enc);
+  std::uint8_t nonce[12] = {};
+  nonce[0] = from_host ? 0x01 : 0x02;
+  store_be64(nonce + 4, *counter);
+  auto pt = aead->open(ByteSpan(nonce, 12), {}, r.rest());
+  if (!pt)
+    return Result<Bytes>(Errc::decrypt_failed, "control payload rejected");
+  return *pt;
+}
+
+// ---- Handshake --------------------------------------------------------------
+
+Bytes HandshakeInit::serialize() const {
+  Writer w(256);
+  client_cert.serialize_into(w);
+  w.u64(client_nonce);
+  w.u8(static_cast<std::uint8_t>(suite));
+  w.var(early_data);
+  return w.take();
+}
+
+Result<HandshakeInit> HandshakeInit::parse(ByteSpan data) {
+  Reader r(data);
+  HandshakeInit m;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.client_cert = cert.take();
+  auto nonce = r.u64();
+  if (!nonce) return nonce.error();
+  m.client_nonce = *nonce;
+  auto suite = r.u8();
+  if (!suite) return suite.error();
+  if (*suite < 1 || *suite > 3)
+    return Result<HandshakeInit>(Errc::malformed, "unknown AEAD suite");
+  m.suite = static_cast<crypto::AeadSuite>(*suite);
+  auto early = r.var();
+  if (!early) return early.error();
+  m.early_data.assign(early->begin(), early->end());
+  return m;
+}
+
+Bytes HandshakeResponse::serialize() const {
+  Writer w(256);
+  serving_cert.serialize_into(w);
+  w.u64(server_nonce);
+  w.u8(static_cast<std::uint8_t>(suite));
+  return w.take();
+}
+
+Result<HandshakeResponse> HandshakeResponse::parse(ByteSpan data) {
+  Reader r(data);
+  HandshakeResponse m;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.serving_cert = cert.take();
+  auto nonce = r.u64();
+  if (!nonce) return nonce.error();
+  m.server_nonce = *nonce;
+  auto suite = r.u8();
+  if (!suite) return suite.error();
+  if (*suite < 1 || *suite > 3)
+    return Result<HandshakeResponse>(Errc::malformed, "unknown AEAD suite");
+  m.suite = static_cast<crypto::AeadSuite>(*suite);
+  return m;
+}
+
+// ---- DNS ---------------------------------------------------------------------
+
+Bytes DnsQuery::serialize() const {
+  Writer w(name.size() + 2);
+  w.str(name);
+  return w.take();
+}
+
+Result<DnsQuery> DnsQuery::parse(ByteSpan data) {
+  Reader r(data);
+  auto name = r.str();
+  if (!name) return name.error();
+  DnsQuery q;
+  q.name = name.take();
+  return q;
+}
+
+Bytes DnsRecord::tbs() const {
+  Writer w(256);
+  w.str(name);
+  cert.serialize_into(w);
+  w.u32(ipv4);
+  return w.take();
+}
+
+Bytes DnsRecord::serialize() const {
+  Writer w(320);
+  w.str(name);
+  cert.serialize_into(w);
+  w.u32(ipv4);
+  w.raw(sig);
+  return w.take();
+}
+
+Result<DnsRecord> DnsRecord::parse(wire::Reader& r) {
+  DnsRecord rec;
+  auto name = r.str();
+  if (!name) return name.error();
+  rec.name = name.take();
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  rec.cert = cert.take();
+  auto ip = r.u32();
+  if (!ip) return ip.error();
+  rec.ipv4 = *ip;
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  rec.sig = *sig;
+  return rec;
+}
+
+Bytes DnsResponse::serialize() const {
+  Writer w(384);
+  w.u8(status);
+  w.u8(record.has_value() ? 1 : 0);
+  if (record) w.raw(record->serialize());
+  return w.take();
+}
+
+Result<DnsResponse> DnsResponse::parse(ByteSpan data) {
+  Reader r(data);
+  DnsResponse resp;
+  auto status = r.u8();
+  if (!status) return status.error();
+  resp.status = *status;
+  auto has = r.u8();
+  if (!has) return has.error();
+  if (*has) {
+    auto rec = DnsRecord::parse(r);
+    if (!rec) return rec.error();
+    resp.record = rec.take();
+  }
+  return resp;
+}
+
+Bytes DnsPublish::serialize() const {
+  Writer w(320);
+  w.str(name);
+  cert.serialize_into(w);
+  w.u32(ipv4);
+  return w.take();
+}
+
+Result<DnsPublish> DnsPublish::parse(ByteSpan data) {
+  Reader r(data);
+  DnsPublish p;
+  auto name = r.str();
+  if (!name) return name.error();
+  p.name = name.take();
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  p.cert = cert.take();
+  auto ip = r.u32();
+  if (!ip) return ip.error();
+  p.ipv4 = *ip;
+  return p;
+}
+
+// ---- Shutoff ------------------------------------------------------------------
+
+Bytes ShutoffRequest::serialize() const {
+  Writer w(512);
+  w.var(offending_packet);
+  w.raw(sig);
+  dst_cert.serialize_into(w);
+  return w.take();
+}
+
+Result<ShutoffRequest> ShutoffRequest::parse(ByteSpan data) {
+  Reader r(data);
+  ShutoffRequest m;
+  auto pkt = r.var();
+  if (!pkt) return pkt.error();
+  m.offending_packet.assign(pkt->begin(), pkt->end());
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  m.sig = *sig;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.dst_cert = cert.take();
+  return m;
+}
+
+Bytes EphIdRevokeRequest::revoke_tbs(const EphId& ephid) {
+  Writer w(32);
+  w.str("apna-voluntary-revoke");
+  w.raw(ephid.bytes);
+  return w.take();
+}
+
+Bytes EphIdRevokeRequest::serialize() const {
+  Writer w(256);
+  w.raw(ephid.bytes);
+  w.raw(sig);
+  cert.serialize_into(w);
+  return w.take();
+}
+
+Result<EphIdRevokeRequest> EphIdRevokeRequest::parse(ByteSpan data) {
+  Reader r(data);
+  EphIdRevokeRequest m;
+  auto eph = r.arr<16>();
+  if (!eph) return eph.error();
+  m.ephid.bytes = *eph;
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  m.sig = *sig;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.cert = cert.take();
+  return m;
+}
+
+Bytes ShutoffResponse::serialize() const {
+  Writer w(1);
+  w.u8(status);
+  return w.take();
+}
+
+Result<ShutoffResponse> ShutoffResponse::parse(ByteSpan data) {
+  Reader r(data);
+  auto status = r.u8();
+  if (!status) return status.error();
+  ShutoffResponse m;
+  m.status = *status;
+  return m;
+}
+
+// ---- ICMP ---------------------------------------------------------------------
+
+Bytes IcmpMessage::serialize() const {
+  Writer w(data.size() + 8);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(code);
+  w.var(data);
+  return w.take();
+}
+
+Result<IcmpMessage> IcmpMessage::parse(ByteSpan bytes) {
+  Reader r(bytes);
+  IcmpMessage m;
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (*type > static_cast<std::uint8_t>(IcmpType::packet_too_big))
+    return Result<IcmpMessage>(Errc::malformed, "unknown ICMP type");
+  m.type = static_cast<IcmpType>(*type);
+  auto code = r.u32();
+  if (!code) return code.error();
+  m.code = *code;
+  auto data = r.var();
+  if (!data) return data.error();
+  m.data.assign(data->begin(), data->end());
+  return m;
+}
+
+}  // namespace apna::core

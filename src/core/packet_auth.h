@@ -1,0 +1,43 @@
+// Per-packet source authentication (§IV-D2 / Fig 4).
+//
+// "the host computes a MAC for every packet that it sends, using the
+// symmetric key that is shared with its AS (kHA). This allows the host's AS
+// to link every packet to its source" — the proof-of-sending is embedded in
+// the packet (design choice 2), an 8-byte truncated AES-CMAC over the
+// entire packet except the MAC field itself.
+#pragma once
+
+#include <array>
+
+#include "crypto/modes.h"
+#include "wire/apna_header.h"
+
+namespace apna::core {
+
+/// Computes the 8-byte packet MAC under the host's kHA-mac key.
+/// Allocation-free: CMAC runs over a stack preamble plus the payload span.
+inline std::array<std::uint8_t, wire::kMacSize> compute_packet_mac(
+    const crypto::AesCmac& mac_key, const wire::Packet& pkt) {
+  std::uint8_t preamble[wire::Packet::kMacPreambleMax];
+  const std::size_t n = pkt.write_mac_preamble(preamble);
+  const auto full = mac_key.mac2(ByteSpan(preamble, n), pkt.payload);
+  std::array<std::uint8_t, wire::kMacSize> out;
+  std::copy_n(full.begin(), wire::kMacSize, out.begin());
+  return out;
+}
+
+/// Stamps the MAC into the packet (done by the sending host / AP / gateway).
+inline void stamp_packet_mac(const crypto::AesCmac& mac_key,
+                             wire::Packet& pkt) {
+  pkt.mac = compute_packet_mac(mac_key, pkt);
+}
+
+/// Fig 4 egress check: "if !verifyMAC(kHA, packet) drop packet".
+inline bool verify_packet_mac(const crypto::AesCmac& mac_key,
+                              const wire::Packet& pkt) {
+  const auto expect = compute_packet_mac(mac_key, pkt);
+  return ct_equal(ByteSpan(expect.data(), expect.size()),
+                  ByteSpan(pkt.mac.data(), pkt.mac.size()));
+}
+
+}  // namespace apna::core

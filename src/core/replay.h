@@ -1,0 +1,64 @@
+// Anti-replay window (§VIII-D).
+//
+// "a nonce field is added to the APNA header, and a source host puts a
+// unique number for each generated packet. Then, the destination host
+// performs replay detection based on the nonces in the packets and
+// discards all duplicate packets."
+//
+// Standard sliding-window filter (as in IPsec): accepts each nonce at most
+// once; nonces older than the window are rejected conservatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace apna::core {
+
+class ReplayWindow {
+ public:
+  explicit ReplayWindow(std::size_t window_size = 1024)
+      : bits_(window_size, false) {}
+
+  /// Returns ok if the nonce is fresh (and records it); Errc::replayed for
+  /// duplicates or nonces that fell behind the window.
+  Result<void> accept(std::uint64_t nonce) {
+    const std::size_t n = bits_.size();
+    if (!initialized_) {
+      initialized_ = true;
+      max_seen_ = nonce;
+      bits_.assign(n, false);
+      bits_[nonce % n] = true;
+      return Result<void>::success();
+    }
+    if (nonce > max_seen_) {
+      const std::uint64_t advance = nonce - max_seen_;
+      if (advance >= n) {
+        bits_.assign(n, false);
+      } else {
+        for (std::uint64_t i = 1; i <= advance; ++i)
+          bits_[(max_seen_ + i) % n] = false;
+      }
+      max_seen_ = nonce;
+      bits_[nonce % n] = true;
+      return Result<void>::success();
+    }
+    const std::uint64_t age = max_seen_ - nonce;
+    if (age >= n)
+      return Result<void>(Errc::replayed, "nonce older than window");
+    if (bits_[nonce % n])
+      return Result<void>(Errc::replayed, "duplicate nonce");
+    bits_[nonce % n] = true;
+    return Result<void>::success();
+  }
+
+  std::uint64_t max_seen() const { return max_seen_; }
+
+ private:
+  std::vector<bool> bits_;
+  std::uint64_t max_seen_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace apna::core

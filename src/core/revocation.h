@@ -1,0 +1,85 @@
+// revoked_ids — the border routers' revocation state (Fig 4/5, §VIII-G2).
+//
+// Stores revoked EphIDs with their expiry so entries can be purged once the
+// EphID would be rejected anyway ("since EphIDs will expire over time ...
+// the expired EphIDs can be removed from revoked_EphIDs"). Also tracks
+// per-host revocation counts so the AS can apply the §VIII-G2 escalation
+// policy (revoke the HID after too many shutoffs) and a revoked-HID set.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/ids.h"
+
+namespace apna::core {
+
+class RevocationList {
+ public:
+  /// Max preemptive revocations per host before HID escalation (§VIII-G2).
+  explicit RevocationList(std::uint32_t max_revocations_per_host = 16)
+      : max_per_host_(max_revocations_per_host) {}
+
+  /// Marks an EphID revoked. Returns the host's updated revocation count.
+  std::uint32_t revoke_ephid(const EphId& ephid, ExpTime exp_time, Hid hid) {
+    std::unique_lock lock(mu_);
+    ephids_[ephid] = exp_time;
+    return ++per_host_count_[hid];
+  }
+
+  bool is_revoked(const EphId& ephid) const {
+    std::shared_lock lock(mu_);
+    return ephids_.contains(ephid);
+  }
+
+  /// HID escalation (§VIII-G2): all of the host's EphIDs become invalid.
+  void revoke_hid(Hid hid) {
+    std::unique_lock lock(mu_);
+    hids_.insert(hid);
+  }
+
+  bool is_hid_revoked(Hid hid) const {
+    std::shared_lock lock(mu_);
+    return hids_.contains(hid);
+  }
+
+  /// True when the host has hit the escalation threshold.
+  bool over_limit(Hid hid) const {
+    std::shared_lock lock(mu_);
+    auto it = per_host_count_.find(hid);
+    return it != per_host_count_.end() && it->second >= max_per_host_;
+  }
+
+  /// §VIII-G2 measure 1: drop entries whose EphIDs have expired anyway.
+  /// Returns the number of purged entries.
+  std::size_t purge_expired(ExpTime now) {
+    std::unique_lock lock(mu_);
+    std::size_t purged = 0;
+    for (auto it = ephids_.begin(); it != ephids_.end();) {
+      if (it->second < now) {
+        it = ephids_.erase(it);
+        ++purged;
+      } else {
+        ++it;
+      }
+    }
+    return purged;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lock(mu_);
+    return ephids_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::uint32_t max_per_host_;
+  std::unordered_map<EphId, ExpTime, EphIdHash> ephids_;
+  std::unordered_set<Hid> hids_;
+  std::unordered_map<Hid, std::uint32_t> per_host_count_;
+};
+
+}  // namespace apna::core

@@ -1,0 +1,53 @@
+#include "crypto/aes.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace apna::crypto {
+
+Aes128::Aes128(ByteSpan key, Backend backend)
+    : use_ni_(backend == Backend::auto_detect && detail::aesni_supported()) {
+  assert(key.size() == kKeySize && "Aes128 requires a 16-byte key");
+  if (use_ni_) {
+    detail::aesni_expand_key128(key.data(), round_keys_.data());
+  } else {
+    detail::soft_expand_key128(key.data(), round_keys_.data());
+  }
+}
+
+void Aes128::encrypt_block(const std::uint8_t in[kBlockSize],
+                           std::uint8_t out[kBlockSize]) const {
+  if (use_ni_) {
+    detail::aesni_encrypt_blocks(round_keys_.data(), in, out, 1);
+  } else {
+    detail::soft_encrypt_block(round_keys_.data(), in, out);
+  }
+}
+
+void Aes128::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                            std::size_t n) const {
+  if (use_ni_) {
+    detail::aesni_encrypt_blocks(round_keys_.data(), in, out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    detail::soft_encrypt_block(round_keys_.data(), in + 16 * i, out + 16 * i);
+  }
+}
+
+void Aes128::cbc_mac_absorb(std::uint8_t x[kBlockSize],
+                            const std::uint8_t* data,
+                            std::size_t nblocks) const {
+  if (use_ni_) {
+    detail::aesni_cbcmac_absorb(round_keys_.data(), x, data, nblocks);
+    return;
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= data[16 * b + i];
+    detail::soft_encrypt_block(round_keys_.data(), x, x);
+  }
+}
+
+bool Aes128::has_aesni() { return detail::aesni_supported(); }
+
+}  // namespace apna::crypto

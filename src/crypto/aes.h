@@ -1,0 +1,77 @@
+// AES-128 block cipher with runtime AES-NI dispatch.
+//
+// APNA's data plane is built exclusively on AES (§V-A1: "AES ... is the only
+// cipher with widespread hardware support"). Only the forward (encrypt)
+// direction is ever needed: CTR, CBC-MAC, CMAC and GCM all use the encrypt
+// permutation, and EphID "decryption" is CTR keystream reuse.
+//
+// Two backends:
+//  * AES-NI (compiled in aes_ni.cpp with -maes), selected at runtime when the
+//    CPU advertises support — this models the paper's use of Intel AES-NI.
+//  * A portable byte-oriented software implementation (FIPS-197), always
+//    available so the library runs on any host.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// AES-128, encrypt direction only. Immutable after construction; safe to
+/// share across threads for concurrent encrypt_block calls.
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kRounds = 10;
+
+  /// Backend selection: auto picks AES-NI when the CPU supports it; soft
+  /// forces the portable implementation (tests exercise both paths on any
+  /// machine).
+  enum class Backend { auto_detect, soft };
+
+  /// Expands the 16-byte key. Aborts if key.size() != 16 (programmer error).
+  explicit Aes128(ByteSpan key, Backend backend = Backend::auto_detect);
+
+  /// Encrypts one 16-byte block. `in` and `out` may alias.
+  void encrypt_block(const std::uint8_t in[kBlockSize],
+                     std::uint8_t out[kBlockSize]) const;
+
+  /// Encrypts `n` contiguous blocks (AES-NI backend pipelines these).
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t n) const;
+
+  /// CBC-MAC absorption: x = AES(x ^ block_i) chained over `n` blocks.
+  /// The AES-NI backend keeps round keys in registers across the chain —
+  /// this is the per-packet MAC verification inner loop (Fig 4).
+  void cbc_mac_absorb(std::uint8_t x[kBlockSize], const std::uint8_t* data,
+                      std::size_t nblocks) const;
+
+  /// True when the running CPU supports the AES-NI instruction set.
+  static bool has_aesni();
+
+  /// "aesni" or "soft" — reported by benchmarks (E9) for reproducibility.
+  const char* backend() const { return use_ni_ ? "aesni" : "soft"; }
+
+ private:
+  alignas(16) std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_;
+  bool use_ni_;
+};
+
+namespace detail {
+// Software backend (aes_soft.cpp).
+void soft_expand_key128(const std::uint8_t key[16], std::uint8_t rk[176]);
+void soft_encrypt_block(const std::uint8_t rk[176], const std::uint8_t in[16],
+                        std::uint8_t out[16]);
+// AES-NI backend (aes_ni.cpp, compiled with -maes).
+bool aesni_supported();
+void aesni_expand_key128(const std::uint8_t key[16], std::uint8_t rk[176]);
+void aesni_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t nblocks);
+void aesni_cbcmac_absorb(const std::uint8_t rk[176], std::uint8_t x[16],
+                         const std::uint8_t* data, std::size_t nblocks);
+}  // namespace detail
+
+}  // namespace apna::crypto

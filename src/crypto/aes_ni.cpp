@@ -1,0 +1,132 @@
+// AES-NI backend. This translation unit is compiled with -maes; callers must
+// check aesni_supported() before using the other entry points, mirroring the
+// paper's use of the Intel AES-NI instruction set (§V-A2, §V-B2).
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <wmmintrin.h>
+#define APNA_HAVE_AESNI_BUILD 1
+#endif
+
+namespace apna::crypto::detail {
+
+bool aesni_supported() {
+#if defined(APNA_HAVE_AESNI_BUILD)
+  return __builtin_cpu_supports("aes") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(APNA_HAVE_AESNI_BUILD)
+
+namespace {
+template <int Rcon>
+inline __m128i expand_step(__m128i key) {
+  __m128i tmp = _mm_aeskeygenassist_si128(key, Rcon);
+  tmp = _mm_shuffle_epi32(tmp, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, tmp);
+}
+}  // namespace
+
+void aesni_expand_key128(const std::uint8_t key[16], std::uint8_t rk[176]) {
+  __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  __m128i* out = reinterpret_cast<__m128i*>(rk);
+  _mm_storeu_si128(out + 0, k);
+  k = expand_step<0x01>(k); _mm_storeu_si128(out + 1, k);
+  k = expand_step<0x02>(k); _mm_storeu_si128(out + 2, k);
+  k = expand_step<0x04>(k); _mm_storeu_si128(out + 3, k);
+  k = expand_step<0x08>(k); _mm_storeu_si128(out + 4, k);
+  k = expand_step<0x10>(k); _mm_storeu_si128(out + 5, k);
+  k = expand_step<0x20>(k); _mm_storeu_si128(out + 6, k);
+  k = expand_step<0x40>(k); _mm_storeu_si128(out + 7, k);
+  k = expand_step<0x80>(k); _mm_storeu_si128(out + 8, k);
+  k = expand_step<0x1b>(k); _mm_storeu_si128(out + 9, k);
+  k = expand_step<0x36>(k); _mm_storeu_si128(out + 10, k);
+}
+
+void aesni_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t nblocks) {
+  const __m128i* keys = reinterpret_cast<const __m128i*>(rk);
+  __m128i k[11];
+  for (int i = 0; i <= 10; ++i) k[i] = _mm_loadu_si128(keys + i);
+
+  // Process 4 blocks at a time to hide aesenc latency.
+  std::size_t i = 0;
+  for (; i + 4 <= nblocks; i += 4) {
+    __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 0);
+    __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 1);
+    __m128i b2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 2);
+    __m128i b3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 3);
+    b0 = _mm_xor_si128(b0, k[0]);
+    b1 = _mm_xor_si128(b1, k[0]);
+    b2 = _mm_xor_si128(b2, k[0]);
+    b3 = _mm_xor_si128(b3, k[0]);
+    for (int r = 1; r < 10; ++r) {
+      b0 = _mm_aesenc_si128(b0, k[r]);
+      b1 = _mm_aesenc_si128(b1, k[r]);
+      b2 = _mm_aesenc_si128(b2, k[r]);
+      b3 = _mm_aesenc_si128(b3, k[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, k[10]);
+    b1 = _mm_aesenclast_si128(b1, k[10]);
+    b2 = _mm_aesenclast_si128(b2, k[10]);
+    b3 = _mm_aesenclast_si128(b3, k[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 0, b0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 1, b1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 2, b2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 3, b3);
+  }
+  for (; i < nblocks; ++i) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i);
+    b = _mm_xor_si128(b, k[0]);
+    for (int r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, k[r]);
+    b = _mm_aesenclast_si128(b, k[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i, b);
+  }
+}
+
+void aesni_cbcmac_absorb(const std::uint8_t rk[176], std::uint8_t x[16],
+                         const std::uint8_t* data, std::size_t nblocks) {
+  const __m128i* keys = reinterpret_cast<const __m128i*>(rk);
+  __m128i k[11];
+  for (int i = 0; i <= 10; ++i) k[i] = _mm_loadu_si128(keys + i);
+  __m128i state = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x));
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const __m128i blk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data) + b);
+    state = _mm_xor_si128(state, blk);
+    state = _mm_xor_si128(state, k[0]);
+    for (int r = 1; r < 10; ++r) state = _mm_aesenc_si128(state, k[r]);
+    state = _mm_aesenclast_si128(state, k[10]);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(x), state);
+}
+
+#else  // !APNA_HAVE_AESNI_BUILD
+
+void aesni_expand_key128(const std::uint8_t key[16], std::uint8_t rk[176]) {
+  soft_expand_key128(key, rk);
+}
+void aesni_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t nblocks) {
+  for (std::size_t i = 0; i < nblocks; ++i)
+    soft_encrypt_block(rk, in + 16 * i, out + 16 * i);
+}
+
+void aesni_cbcmac_absorb(const std::uint8_t rk[176], std::uint8_t x[16],
+                         const std::uint8_t* data, std::size_t nblocks) {
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= data[16 * b + i];
+    soft_encrypt_block(rk, x, x);
+  }
+}
+
+#endif
+
+}  // namespace apna::crypto::detail

@@ -1,0 +1,212 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace apna::crypto {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+}  // namespace
+
+void chacha20_block(const std::uint8_t key[32], std::uint32_t counter,
+                    const std::uint8_t nonce[12], std::uint8_t out[64]) {
+  std::uint32_t s[16];
+  s[0] = 0x61707865; s[1] = 0x3320646e; s[2] = 0x79622d32; s[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) s[4 + i] = load_le32(key + 4 * i);
+  s[12] = counter;
+  for (int i = 0; i < 3; ++i) s[13 + i] = load_le32(nonce + 4 * i);
+
+  std::uint32_t w[16];
+  std::memcpy(w, s, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, w[i] + s[i]);
+}
+
+void chacha20_xcrypt(const std::uint8_t key[32], std::uint32_t counter,
+                     const std::uint8_t nonce[12], ByteSpan in,
+                     MutByteSpan out) {
+  std::uint8_t ks[64];
+  std::size_t off = 0;
+  while (off < in.size()) {
+    chacha20_block(key, counter++, nonce, ks);
+    const std::size_t n = std::min<std::size_t>(64, in.size() - off);
+    for (std::size_t i = 0; i < n; ++i)
+      out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ ks[i]);
+    off += n;
+  }
+}
+
+std::array<std::uint8_t, 16> poly1305(const std::uint8_t key[32],
+                                      ByteSpan msg) {
+  // r with RFC 8439 clamping; arithmetic in 5 x 26-bit limbs mod 2^130-5.
+  std::uint32_t r0 = load_le32(key + 0) & 0x3ffffff;
+  std::uint32_t r1 = (load_le32(key + 3) >> 2) & 0x3ffff03;
+  std::uint32_t r2 = (load_le32(key + 6) >> 4) & 0x3ffc0ff;
+  std::uint32_t r3 = (load_le32(key + 9) >> 6) & 0x3f03fff;
+  std::uint32_t r4 = (load_le32(key + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
+    std::uint8_t block[17] = {};
+    std::memcpy(block, msg.data() + off, n);
+    block[n] = 1;  // the 2^(8*n) bit
+
+    h0 += load_le32(block + 0) & 0x3ffffff;
+    h1 += (load_le32(block + 3) >> 2) & 0x3ffffff;
+    h2 += (load_le32(block + 6) >> 4) & 0x3ffffff;
+    h3 += (load_le32(block + 9) >> 6) & 0x3ffffff;
+    h4 += (load_le32(block + 12) >> 8) | (std::uint32_t{block[16]} << 24);
+
+    const std::uint64_t d0 =
+        (std::uint64_t)h0 * r0 + (std::uint64_t)h1 * s4 +
+        (std::uint64_t)h2 * s3 + (std::uint64_t)h3 * s2 +
+        (std::uint64_t)h4 * s1;
+    const std::uint64_t d1 =
+        (std::uint64_t)h0 * r1 + (std::uint64_t)h1 * r0 +
+        (std::uint64_t)h2 * s4 + (std::uint64_t)h3 * s3 +
+        (std::uint64_t)h4 * s2;
+    const std::uint64_t d2 =
+        (std::uint64_t)h0 * r2 + (std::uint64_t)h1 * r1 +
+        (std::uint64_t)h2 * r0 + (std::uint64_t)h3 * s4 +
+        (std::uint64_t)h4 * s3;
+    const std::uint64_t d3 =
+        (std::uint64_t)h0 * r3 + (std::uint64_t)h1 * r2 +
+        (std::uint64_t)h2 * r1 + (std::uint64_t)h3 * r0 +
+        (std::uint64_t)h4 * s4;
+    const std::uint64_t d4 =
+        (std::uint64_t)h0 * r4 + (std::uint64_t)h1 * r3 +
+        (std::uint64_t)h2 * r2 + (std::uint64_t)h3 * r1 +
+        (std::uint64_t)h4 * r0;
+
+    std::uint64_t c;
+    c = d0 >> 26; h0 = d0 & 0x3ffffff;
+    const std::uint64_t e1 = d1 + c; c = e1 >> 26; h1 = e1 & 0x3ffffff;
+    const std::uint64_t e2 = d2 + c; c = e2 >> 26; h2 = e2 & 0x3ffffff;
+    const std::uint64_t e3 = d3 + c; c = e3 >> 26; h3 = e3 & 0x3ffffff;
+    const std::uint64_t e4 = d4 + c; c = e4 >> 26; h4 = static_cast<std::uint32_t>(e4 & 0x3ffffff);
+    h0 += static_cast<std::uint32_t>(c * 5);
+    h1 += h0 >> 26; h0 &= 0x3ffffff;
+
+    off += n;
+  }
+
+  // Full carry and reduction mod 2^130-5.
+  std::uint32_t c;
+  c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+  c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+  c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+  c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+  c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+
+  // Compute h + -p and select.
+  std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // h = h % 2^128, then add s = key[16..32].
+  std::uint64_t f0 = (std::uint64_t)(h0 | (h1 << 26)) + load_le32(key + 16);
+  std::uint64_t f1 = (std::uint64_t)((h1 >> 6) | (h2 << 20)) + load_le32(key + 20);
+  std::uint64_t f2 = (std::uint64_t)((h2 >> 12) | (h3 << 14)) + load_le32(key + 24);
+  std::uint64_t f3 = (std::uint64_t)((h3 >> 18) | (h4 << 8)) + load_le32(key + 28);
+  f1 += f0 >> 32;
+  f2 += f1 >> 32;
+  f3 += f2 >> 32;
+
+  std::array<std::uint8_t, 16> tag;
+  store_le32(tag.data() + 0, static_cast<std::uint32_t>(f0));
+  store_le32(tag.data() + 4, static_cast<std::uint32_t>(f1));
+  store_le32(tag.data() + 8, static_cast<std::uint32_t>(f2));
+  store_le32(tag.data() + 12, static_cast<std::uint32_t>(f3));
+  return tag;
+}
+
+ChaCha20Poly1305::ChaCha20Poly1305(ByteSpan key32) {
+  std::memcpy(key_.data(), key32.data(), 32);
+}
+
+namespace {
+// Poly1305 input for the AEAD: aad ‖ pad ‖ ct ‖ pad ‖ len(aad) ‖ len(ct).
+Bytes aead_mac_data(ByteSpan aad, ByteSpan ct) {
+  Bytes m;
+  m.reserve(aad.size() + ct.size() + 32);
+  append(m, aad);
+  m.resize((m.size() + 15) / 16 * 16, 0);
+  append(m, ct);
+  m.resize((m.size() + 15) / 16 * 16, 0);
+  std::uint8_t lens[16];
+  store_le64(lens, aad.size());
+  store_le64(lens + 8, ct.size());
+  append(m, ByteSpan(lens, 16));
+  return m;
+}
+}  // namespace
+
+Bytes ChaCha20Poly1305::seal(ByteSpan nonce, ByteSpan aad,
+                             ByteSpan plaintext) const {
+  std::uint8_t otk[64];
+  chacha20_block(key_.data(), 0, nonce.data(), otk);
+
+  Bytes out(plaintext.size() + kTagSize);
+  chacha20_xcrypt(key_.data(), 1, nonce.data(), plaintext,
+                  MutByteSpan(out.data(), plaintext.size()));
+  const Bytes mac_data =
+      aead_mac_data(aad, ByteSpan(out.data(), plaintext.size()));
+  const auto tag = poly1305(otk, mac_data);
+  std::memcpy(out.data() + plaintext.size(), tag.data(), kTagSize);
+  return out;
+}
+
+std::optional<Bytes> ChaCha20Poly1305::open(ByteSpan nonce, ByteSpan aad,
+                                            ByteSpan ciphertext_and_tag) const {
+  if (nonce.size() != kNonceSize) return std::nullopt;
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  ByteSpan ct = ciphertext_and_tag.subspan(0, ct_len);
+  ByteSpan tag = ciphertext_and_tag.subspan(ct_len);
+
+  std::uint8_t otk[64];
+  chacha20_block(key_.data(), 0, nonce.data(), otk);
+  const auto expect = poly1305(otk, aead_mac_data(aad, ct));
+  if (!ct_equal(expect, tag)) return std::nullopt;
+
+  Bytes pt(ct_len);
+  chacha20_xcrypt(key_.data(), 1, nonce.data(), ct, pt);
+  return pt;
+}
+
+}  // namespace apna::crypto

@@ -1,0 +1,52 @@
+// ChaCha20 stream cipher and Poly1305 one-time MAC (RFC 8439), combined as
+// the ChaCha20-Poly1305 AEAD.
+//
+// The paper requires "any conventional CCA-secure scheme" for payload
+// encryption (§IV-A). ChaCha20-Poly1305 is this repo's default software
+// suite: it is fast without hardware support, unlike GCM whose portable
+// GHASH is slow. ChaCha20 also drives the deterministic RNG (drbg.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// Raw ChaCha20 block function: fills `out` with the 64-byte keystream block
+/// for (key, counter, nonce).
+void chacha20_block(const std::uint8_t key[32], std::uint32_t counter,
+                    const std::uint8_t nonce[12], std::uint8_t out[64]);
+
+/// XORs `in` with the ChaCha20 keystream starting at block `counter`.
+void chacha20_xcrypt(const std::uint8_t key[32], std::uint32_t counter,
+                     const std::uint8_t nonce[12], ByteSpan in,
+                     MutByteSpan out);
+
+/// Poly1305 one-time authenticator over `msg` with the 32-byte one-time key.
+std::array<std::uint8_t, 16> poly1305(const std::uint8_t key[32], ByteSpan msg);
+
+/// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8): 32-byte key, 12-byte nonce,
+/// 16-byte tag.
+class ChaCha20Poly1305 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  explicit ChaCha20Poly1305(ByteSpan key32);
+
+  /// Returns ciphertext ‖ tag.
+  Bytes seal(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const;
+
+  /// Verifies and decrypts; nullopt on failure.
+  std::optional<Bytes> open(ByteSpan nonce, ByteSpan aad,
+                            ByteSpan ciphertext_and_tag) const;
+
+ private:
+  std::array<std::uint8_t, 32> key_;
+};
+
+}  // namespace apna::crypto

@@ -1,0 +1,390 @@
+// Ed25519 over twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2.
+//
+// Point arithmetic uses extended coordinates (X:Y:Z:T with T = XY/Z);
+// formulas add-2008-hwcd-3 / dbl-2008-hwcd specialized to a = -1. Curve
+// constants (d, 2d, base point) are derived at startup from first
+// principles (d = -121665/121666, By = 4/5) instead of being transcribed,
+// and validated by the RFC 8032 known-answer tests.
+#include "crypto/ed25519.h"
+
+#include <cstring>
+
+#include "crypto/fe25519.h"
+#include "crypto/sha2.h"
+
+namespace apna::crypto {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// ---- Curve constants (computed once) ---------------------------------------
+
+struct CurveConstants {
+  Fe d;    // -121665 / 121666
+  Fe d2;   // 2d
+};
+
+const CurveConstants& constants() {
+  static const CurveConstants c = [] {
+    CurveConstants out;
+    Fe num = fe_neg(fe_mul_small(fe_one(), 121665));
+    Fe den = fe_mul_small(fe_one(), 121666);
+    out.d = fe_mul(num, fe_invert(den));
+    out.d2 = fe_add(out.d, out.d);
+    return out;
+  }();
+  return c;
+}
+
+// ---- Group elements ---------------------------------------------------------
+
+struct Ge {
+  Fe x, y, z, t;
+};
+
+Ge ge_identity() { return Ge{fe_zero(), fe_one(), fe_one(), fe_zero()}; }
+
+Ge ge_add(const Ge& p, const Ge& q) {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const Fe c = fe_mul(fe_mul(p.t, constants().d2), q.t);
+  const Fe d = fe_add(fe_mul(p.z, q.z), fe_mul(p.z, q.z));
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_double(const Ge& p) {
+  const Fe a = fe_sq(p.x);
+  const Fe b = fe_sq(p.y);
+  const Fe zz = fe_sq(p.z);
+  const Fe c = fe_add(zz, zz);
+  const Fe e = fe_sub(fe_sub(fe_sq(fe_add(p.x, p.y)), a), b);
+  const Fe g = fe_sub(b, a);          // a=-1: G = D + B with D = -A
+  const Fe f = fe_sub(g, c);
+  const Fe h = fe_neg(fe_add(a, b));  // H = D - B
+  return Ge{fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Ge ge_neg(const Ge& p) { return Ge{fe_neg(p.x), p.y, p.z, fe_neg(p.t)}; }
+
+void ge_tobytes(std::uint8_t out[32], const Ge& p) {
+  const Fe zinv = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zinv);
+  const Fe y = fe_mul(p.y, zinv);
+  fe_tobytes(out, y);
+  if (fe_isnegative(x)) out[31] ^= 0x80;
+}
+
+/// Decompresses a point; returns false for non-curve encodings.
+bool ge_frombytes(Ge& out, const std::uint8_t in[32]) {
+  const bool sign = (in[31] & 0x80) != 0;
+  const Fe y = fe_frombytes(in);
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());                       // y^2 - 1
+  const Fe v = fe_add(fe_mul(y2, constants().d), fe_one());  // d y^2 + 1
+
+  // x = u v^3 (u v^7)^((p-5)/8)
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow2523(fe_mul(u, v7)));
+
+  const Fe vx2 = fe_mul(v, fe_sq(x));
+  if (!fe_equal(vx2, u)) {
+    if (!fe_equal(vx2, fe_neg(u))) return false;
+    x = fe_mul(x, fe_sqrtm1());
+  }
+  if (fe_iszero(x) && sign) return false;  // -0 is not a valid encoding
+  if (fe_isnegative(x) != sign) x = fe_neg(x);
+
+  out.x = x;
+  out.y = y;
+  out.z = fe_one();
+  out.t = fe_mul(x, y);
+  return true;
+}
+
+/// Variable-base scalar multiplication, 4-bit fixed window.
+Ge ge_scalarmult(const Ge& p, const std::uint8_t scalar_le[32]) {
+  // Precompute 1..15 multiples of p.
+  Ge table[16];
+  table[0] = ge_identity();
+  table[1] = p;
+  for (int i = 2; i < 16; ++i) table[i] = ge_add(table[i - 1], p);
+
+  Ge r = ge_identity();
+  bool started = false;
+  for (int i = 63; i >= 0; --i) {
+    const std::uint8_t byte = scalar_le[i / 2];
+    const std::uint8_t nib = (i % 2 == 1) ? (byte >> 4) : (byte & 0xf);
+    if (started) {
+      r = ge_double(ge_double(ge_double(ge_double(r))));
+    }
+    if (nib != 0) {
+      r = started ? ge_add(r, table[nib]) : table[nib];
+      started = true;
+    } else if (!started) {
+      continue;
+    }
+  }
+  return started ? r : ge_identity();
+}
+
+// ---- Base point and fixed-base table ---------------------------------------
+
+const Ge& base_point() {
+  static const Ge b = [] {
+    // B.y = 4/5, x even (sign bit 0): the standard encoding is LE(4/5).
+    const Fe four = fe_mul_small(fe_one(), 4);
+    const Fe five = fe_mul_small(fe_one(), 5);
+    const Fe y = fe_mul(four, fe_invert(five));
+    std::uint8_t enc[32];
+    fe_tobytes(enc, y);  // sign bit 0
+    Ge b_pt;
+    const bool ok = ge_frombytes(b_pt, enc);
+    (void)ok;
+    return b_pt;
+  }();
+  return b;
+}
+
+// Fixed-base table: table[i][j-1] = j * 16^i * B, i in [0,64), j in [1,15].
+// Makes signing a sequence of ≤64 point additions (experiment E1 depends on
+// fast certificate issuance).
+struct BaseTable {
+  Ge entry[64][15];
+};
+
+const BaseTable& base_table() {
+  static const BaseTable t = [] {
+    BaseTable bt;
+    Ge power = base_point();  // 16^i * B
+    for (int i = 0; i < 64; ++i) {
+      bt.entry[i][0] = power;
+      for (int j = 1; j < 15; ++j)
+        bt.entry[i][j] = ge_add(bt.entry[i][j - 1], power);
+      power = ge_double(ge_double(ge_double(ge_double(power))));
+    }
+    return bt;
+  }();
+  return t;
+}
+
+Ge ge_scalarmult_base(const std::uint8_t scalar_le[32]) {
+  const BaseTable& bt = base_table();
+  Ge r = ge_identity();
+  bool started = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint8_t byte = scalar_le[i / 2];
+    const std::uint8_t nib = (i % 2 == 0) ? (byte & 0xf) : (byte >> 4);
+    if (nib == 0) continue;
+    const Ge& e = bt.entry[i][nib - 1];
+    r = started ? ge_add(r, e) : e;
+    started = true;
+  }
+  return started ? r : ge_identity();
+}
+
+// ---- Scalar arithmetic mod L ------------------------------------------------
+// L = 2^252 + 27742317777372353535851937790883648493
+//   = 0x1000...014DEF9DEA2F79CD65812631A5CF5D3ED
+
+constexpr u64 kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
+                       0x0000000000000000ULL, 0x1000000000000000ULL};
+
+// 512-bit big integer as 8 little-endian 64-bit words.
+struct U512 {
+  u64 w[8] = {};
+};
+
+int u512_cmp_shifted(const U512& x, const u64 l[4], int shift_words,
+                     int shift_bits) {
+  // Compares x with L << (64*shift_words + shift_bits). L is 253 bits so the
+  // shifted value spans at most 5 words starting at shift_words.
+  u64 shifted[9] = {};
+  for (int i = 0; i < 4; ++i) {
+    shifted[shift_words + i] |= shift_bits ? (l[i] << shift_bits) : l[i];
+    if (shift_bits && shift_words + i + 1 < 9)
+      shifted[shift_words + i + 1] |= l[i] >> (64 - shift_bits);
+  }
+  for (int i = 8; i >= 0; --i) {
+    const u64 xi = (i < 8) ? x.w[i] : 0;
+    if (xi != shifted[i]) return xi < shifted[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void u512_sub_shifted(U512& x, const u64 l[4], int shift_words,
+                      int shift_bits) {
+  u64 shifted[8] = {};
+  for (int i = 0; i < 4; ++i) {
+    if (shift_words + i < 8)
+      shifted[shift_words + i] |= shift_bits ? (l[i] << shift_bits) : l[i];
+    if (shift_bits && shift_words + i + 1 < 8)
+      shifted[shift_words + i + 1] |= l[i] >> (64 - shift_bits);
+  }
+  u64 borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u64 xi = x.w[i];
+    const u64 t = xi - shifted[i];
+    const u64 b1 = xi < shifted[i] ? 1 : 0;
+    const u64 t2 = t - borrow;
+    const u64 b2 = t < borrow ? 1 : 0;
+    x.w[i] = t2;
+    borrow = b1 | b2;
+  }
+}
+
+/// x mod L by binary long division (x up to 512 bits).
+void u512_mod_l(U512& x) {
+  // L has bit length 253; highest useful shift is 512 - 253 = 259 bits.
+  for (int shift = 259; shift >= 0; --shift) {
+    const int sw = shift / 64, sb = shift % 64;
+    if (u512_cmp_shifted(x, kL, sw, sb) >= 0) u512_sub_shifted(x, kL, sw, sb);
+  }
+}
+
+void load_u512(U512& x, ByteSpan le_bytes) {
+  std::uint8_t buf[64] = {};
+  std::memcpy(buf, le_bytes.data(), std::min<std::size_t>(le_bytes.size(), 64));
+  for (int i = 0; i < 8; ++i) x.w[i] = load_le64(buf + 8 * i);
+}
+
+void store_scalar(std::uint8_t out[32], const U512& x) {
+  for (int i = 0; i < 4; ++i) store_le64(out + 8 * i, x.w[i]);
+}
+
+/// Reduces a 64-byte value (e.g. SHA-512 output) mod L.
+void sc_reduce(std::uint8_t out[32], ByteSpan wide) {
+  U512 x;
+  load_u512(x, wide);
+  u512_mod_l(x);
+  store_scalar(out, x);
+}
+
+/// out = (a * b + c) mod L, all 32-byte little-endian scalars.
+void sc_muladd(std::uint8_t out[32], const std::uint8_t a[32],
+               const std::uint8_t b[32], const std::uint8_t c[32]) {
+  u64 aw[4], bw[4];
+  for (int i = 0; i < 4; ++i) {
+    aw[i] = load_le64(a + 8 * i);
+    bw[i] = load_le64(b + 8 * i);
+  }
+  U512 x;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = (u128)aw[i] * bw[j] + x.w[i + j] + carry;
+      x.w[i + j] = (u64)cur;
+      carry = cur >> 64;
+    }
+    x.w[i + 4] += (u64)carry;
+  }
+  // Add c.
+  u128 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u128 cur = (u128)x.w[i] + (i < 4 ? load_le64(c + 8 * i) : 0) + carry;
+    x.w[i] = (u64)cur;
+    carry = cur >> 64;
+  }
+  u512_mod_l(x);
+  store_scalar(out, x);
+}
+
+/// True iff s (32-byte LE) is < L — canonical per RFC 8032 verification.
+bool sc_is_canonical(const std::uint8_t s[32]) {
+  for (int i = 3; i >= 0; --i) {
+    const u64 w = load_le64(s + 8 * i);
+    if (w != kL[i]) return w < kL[i];
+  }
+  return false;  // s == L
+}
+
+void clamp(std::uint8_t s[32]) {
+  s[0] &= 248;
+  s[31] &= 127;
+  s[31] |= 64;
+}
+
+}  // namespace
+
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed) {
+  auto h = Sha512::hash(ByteSpan(seed.data(), seed.size()));
+  std::uint8_t s[32];
+  std::memcpy(s, h.data(), 32);
+  clamp(s);
+  const Ge a = ge_scalarmult_base(s);
+  Ed25519PublicKey pub;
+  ge_tobytes(pub.data(), a);
+  return pub;
+}
+
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
+                              const Ed25519PublicKey& pub, ByteSpan msg) {
+  auto h = Sha512::hash(ByteSpan(seed.data(), seed.size()));
+  std::uint8_t s[32];
+  std::memcpy(s, h.data(), 32);
+  clamp(s);
+
+  // r = SHA512(prefix ‖ msg) mod L
+  Sha512 hr;
+  hr.update(ByteSpan(h.data() + 32, 32));
+  hr.update(msg);
+  const auto r_wide = hr.finish();
+  std::uint8_t r[32];
+  sc_reduce(r, ByteSpan(r_wide.data(), r_wide.size()));
+
+  const Ge r_point = ge_scalarmult_base(r);
+  Ed25519Signature sig{};
+  ge_tobytes(sig.data(), r_point);
+
+  // k = SHA512(R ‖ pub ‖ msg) mod L
+  Sha512 hk;
+  hk.update(ByteSpan(sig.data(), 32));
+  hk.update(ByteSpan(pub.data(), 32));
+  hk.update(msg);
+  const auto k_wide = hk.finish();
+  std::uint8_t k[32];
+  sc_reduce(k, ByteSpan(k_wide.data(), k_wide.size()));
+
+  // S = (r + k*s) mod L
+  sc_muladd(sig.data() + 32, k, s, r);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& pub, ByteSpan msg,
+                    const Ed25519Signature& sig) {
+  if (!sc_is_canonical(sig.data() + 32)) return false;
+
+  Ge a;
+  if (!ge_frombytes(a, pub.data())) return false;
+
+  Sha512 hk;
+  hk.update(ByteSpan(sig.data(), 32));
+  hk.update(ByteSpan(pub.data(), 32));
+  hk.update(msg);
+  const auto k_wide = hk.finish();
+  std::uint8_t k[32];
+  sc_reduce(k, ByteSpan(k_wide.data(), k_wide.size()));
+
+  // Check encode(S·B − k·A) == R.
+  const Ge sb = ge_scalarmult_base(sig.data() + 32);
+  const Ge ka = ge_scalarmult(ge_neg(a), k);
+  const Ge r_check = ge_add(sb, ka);
+  std::uint8_t r_enc[32];
+  ge_tobytes(r_enc, r_check);
+  return ct_equal(ByteSpan(r_enc, 32), ByteSpan(sig.data(), 32));
+}
+
+Ed25519KeyPair Ed25519KeyPair::generate(Rng& rng) {
+  Ed25519KeyPair kp;
+  rng.fill(MutByteSpan(kp.seed.data(), kp.seed.size()));
+  kp.pub = ed25519_public_key(kp.seed);
+  return kp;
+}
+
+}  // namespace apna::crypto

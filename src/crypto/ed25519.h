@@ -1,0 +1,41 @@
+// Ed25519 signatures (RFC 8032).
+//
+// ASes sign EphID certificates and bootstrap messages with ed25519 (§V-A2:
+// "To create digital signatures for certificates, we use the ed25519
+// signature scheme"). Signing uses a precomputed fixed-base table so the MS
+// can certify EphIDs at high rate (experiment E1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/rng.h"
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+using Ed25519Seed = std::array<std::uint8_t, 32>;        // private seed
+using Ed25519PublicKey = std::array<std::uint8_t, 32>;   // compressed point
+using Ed25519Signature = std::array<std::uint8_t, 64>;   // R ‖ S
+
+/// Derives the public key for a 32-byte seed.
+Ed25519PublicKey ed25519_public_key(const Ed25519Seed& seed);
+
+/// Signs `msg` (deterministic per RFC 8032).
+Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
+                              const Ed25519PublicKey& pub, ByteSpan msg);
+
+/// Verifies a signature. Rejects malformed points and non-canonical S.
+bool ed25519_verify(const Ed25519PublicKey& pub, ByteSpan msg,
+                    const Ed25519Signature& sig);
+
+/// AS / host long-term signing identity.
+struct Ed25519KeyPair {
+  Ed25519Seed seed;
+  Ed25519PublicKey pub;
+
+  static Ed25519KeyPair generate(Rng& rng);
+  Ed25519Signature sign(ByteSpan msg) const { return ed25519_sign(seed, pub, msg); }
+};
+
+}  // namespace apna::crypto

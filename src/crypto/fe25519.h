@@ -1,0 +1,54 @@
+// Field arithmetic mod p = 2^255 - 19, shared by X25519 and Ed25519.
+//
+// Representation: 5 unsigned 51-bit limbs (radix 2^51), products via
+// unsigned __int128. Mirrors the curve25519-donna-c64 layout. Functions are
+// branch-light but NOT fully constant-time; this is a research prototype and
+// the known-answer tests (RFC 7748 / RFC 8032) anchor correctness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// One field element; limbs may carry up to ~2^54 between reductions.
+struct Fe {
+  std::array<std::uint64_t, 5> v{};
+};
+
+Fe fe_zero();
+Fe fe_one();
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_neg(const Fe& a);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sq(const Fe& a);
+/// Multiplication by a small constant (≤ 2^20), e.g. 121666.
+Fe fe_mul_small(const Fe& a, std::uint64_t s);
+
+/// Deserializes 32 little-endian bytes; the top bit is ignored (RFC 7748).
+Fe fe_frombytes(const std::uint8_t in[32]);
+/// Serializes to the unique canonical representative in [0, p).
+void fe_tobytes(std::uint8_t out[32], const Fe& a);
+
+/// x^e for a 256-bit little-endian exponent (square-and-multiply).
+Fe fe_pow(const Fe& x, const std::uint8_t exponent_le[32]);
+/// x^(p-2) — multiplicative inverse (0 maps to 0).
+Fe fe_invert(const Fe& x);
+/// x^((p-5)/8) — used in square-root extraction for point decompression.
+Fe fe_pow2523(const Fe& x);
+
+bool fe_iszero(const Fe& a);
+/// Parity bit (canonical form & 1); the "sign" in point compression.
+bool fe_isnegative(const Fe& a);
+bool fe_equal(const Fe& a, const Fe& b);
+
+/// Constant-time conditional swap (swap iff bit == 1). Used by the ladder.
+void fe_cswap(Fe& a, Fe& b, std::uint64_t bit);
+
+/// sqrt(-1) mod p, computed once at startup as 2^((p-1)/4).
+const Fe& fe_sqrtm1();
+
+}  // namespace apna::crypto

@@ -1,0 +1,114 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+
+#include "crypto/modes.h"
+
+namespace apna::crypto {
+
+namespace {
+
+// GF(2^128) multiplication in GCM's reflected-bit convention
+// (SP 800-38D algorithm 1). z = x * y.
+void gf128_mul(const std::uint8_t x[16], const std::uint8_t y[16],
+               std::uint8_t z[16]) {
+  std::uint64_t v_hi = load_be64(y);
+  std::uint64_t v_lo = load_be64(y + 8);
+  std::uint64_t z_hi = 0, z_lo = 0;
+
+  for (int i = 0; i < 128; ++i) {
+    const int byte = i >> 3;
+    const int bit = 7 - (i & 7);
+    if ((x[byte] >> bit) & 1) {
+      z_hi ^= v_hi;
+      z_lo ^= v_lo;
+    }
+    const bool lsb = (v_lo & 1) != 0;
+    v_lo = (v_lo >> 1) | (v_hi << 63);
+    v_hi >>= 1;
+    if (lsb) v_hi ^= 0xe100000000000000ULL;  // R = 11100001 ‖ 0^120
+  }
+  store_be64(z, z_hi);
+  store_be64(z + 8, z_lo);
+}
+
+void ghash_update(const std::uint8_t h[16], std::uint8_t y[16],
+                  ByteSpan data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const std::size_t n = std::min<std::size_t>(16, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) y[i] ^= data[off + i];
+    std::uint8_t tmp[16];
+    gf128_mul(y, h, tmp);
+    std::memcpy(y, tmp, 16);
+    off += n;
+  }
+}
+
+}  // namespace
+
+AesGcm::AesGcm(ByteSpan key16) : aes_(key16) {
+  std::array<std::uint8_t, 16> zero{};
+  aes_.encrypt_block(zero.data(), h_.data());
+}
+
+std::array<std::uint8_t, 16> AesGcm::ghash(ByteSpan aad, ByteSpan ct) const {
+  std::array<std::uint8_t, 16> y{};
+  ghash_update(h_.data(), y.data(), aad);
+  ghash_update(h_.data(), y.data(), ct);
+  std::uint8_t lengths[16];
+  store_be64(lengths, static_cast<std::uint64_t>(aad.size()) * 8);
+  store_be64(lengths + 8, static_cast<std::uint64_t>(ct.size()) * 8);
+  ghash_update(h_.data(), y.data(), ByteSpan(lengths, 16));
+  return y;
+}
+
+Bytes AesGcm::seal(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const {
+  std::uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kNonceSize);
+  store_be32(j0 + 12, 1);
+
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, j0, 16);
+  store_be32(ctr + 12, 2);
+
+  Bytes out(plaintext.size() + kTagSize);
+  aes_ctr_xcrypt(aes_, ctr, plaintext, MutByteSpan(out.data(), plaintext.size()));
+
+  auto s = ghash(aad, ByteSpan(out.data(), plaintext.size()));
+  std::uint8_t ek_j0[16];
+  aes_.encrypt_block(j0, ek_j0);
+  for (int i = 0; i < 16; ++i)
+    out[plaintext.size() + i] = static_cast<std::uint8_t>(s[i] ^ ek_j0[i]);
+  return out;
+}
+
+std::optional<Bytes> AesGcm::open(ByteSpan nonce, ByteSpan aad,
+                                  ByteSpan ciphertext_and_tag) const {
+  if (nonce.size() != kNonceSize) return std::nullopt;
+  if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  ByteSpan ct = ciphertext_and_tag.subspan(0, ct_len);
+  ByteSpan tag = ciphertext_and_tag.subspan(ct_len);
+
+  std::uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), kNonceSize);
+  store_be32(j0 + 12, 1);
+
+  auto s = ghash(aad, ct);
+  std::uint8_t ek_j0[16];
+  aes_.encrypt_block(j0, ek_j0);
+  std::uint8_t expect[16];
+  for (int i = 0; i < 16; ++i)
+    expect[i] = static_cast<std::uint8_t>(s[i] ^ ek_j0[i]);
+  if (!ct_equal(ByteSpan(expect, 16), tag)) return std::nullopt;
+
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, j0, 16);
+  store_be32(ctr + 12, 2);
+  Bytes pt(ct_len);
+  aes_ctr_xcrypt(aes_, ctr, ct, pt);
+  return pt;
+}
+
+}  // namespace apna::crypto

@@ -1,0 +1,41 @@
+// AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//
+// One of the conventional CCA-secure schemes the paper proposes for payload
+// encryption (§IV-A cites GCM [27]). GHASH here is a portable bit-serial
+// implementation — correct and dependency-free; the repo's default payload
+// suite is ChaCha20-Poly1305 which is faster in software (see aead.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// AES-128-GCM with 12-byte nonces and 16-byte tags.
+class AesGcm {
+ public:
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kTagSize = 16;
+
+  explicit AesGcm(ByteSpan key16);
+
+  /// Returns ciphertext ‖ tag.
+  Bytes seal(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext) const;
+
+  /// Verifies and decrypts ciphertext ‖ tag. nullopt on any failure.
+  std::optional<Bytes> open(ByteSpan nonce, ByteSpan aad,
+                            ByteSpan ciphertext_and_tag) const;
+
+ private:
+  std::array<std::uint8_t, 16> ghash(ByteSpan aad, ByteSpan ct) const;
+
+  Aes128 aes_;
+  std::array<std::uint8_t, 16> h_{};  // hash subkey H = AES_k(0^128)
+};
+
+}  // namespace apna::crypto

@@ -1,0 +1,80 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "crypto/sha2.h"
+
+namespace apna::crypto {
+
+std::array<std::uint8_t, 32> hmac_sha256(ByteSpan key, ByteSpan data) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const auto digest = Sha256::hash(key);
+    std::memcpy(k.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+std::array<std::uint8_t, 32> hkdf_extract(ByteSpan salt, ByteSpan ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  std::array<std::uint8_t, 32> t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes block;
+    block.reserve(t_len + info.size() + 1);
+    block.insert(block.end(), t.begin(), t.begin() + t_len);
+    append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    t_len = t.size();
+    const std::size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t out_len) {
+  const auto prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, out_len);
+}
+
+std::array<std::uint8_t, 16> derive_key16(ByteSpan ikm, std::string_view label) {
+  const Bytes info = to_bytes(label);
+  const Bytes okm = hkdf(ByteSpan{}, ikm, info, 16);
+  std::array<std::uint8_t, 16> out;
+  std::memcpy(out.data(), okm.data(), 16);
+  return out;
+}
+
+std::array<std::uint8_t, 32> derive_key32(ByteSpan ikm, std::string_view label) {
+  const Bytes info = to_bytes(label);
+  const Bytes okm = hkdf(ByteSpan{}, ikm, info, 32);
+  std::array<std::uint8_t, 32> out;
+  std::memcpy(out.data(), okm.data(), 32);
+  return out;
+}
+
+}  // namespace apna::crypto

@@ -1,0 +1,35 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+//
+// APNA derives all symmetric keys by KDF: the two host↔AS keys from the DH
+// result (§IV-B "deriving the two keys from the result of the DH exchange"),
+// the AS-internal EphID keys kA' and kA'' from kA (§V-A1), and session keys
+// from the X25519 shared secret (§IV-D1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length).
+std::array<std::uint8_t, 32> hmac_sha256(ByteSpan key, ByteSpan data);
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+std::array<std::uint8_t, 32> hkdf_extract(ByteSpan salt, ByteSpan ikm);
+
+/// HKDF-Expand: `out_len` bytes (≤ 255*32) of keying material bound to
+/// `info`, from a PRK produced by hkdf_extract.
+Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t out_len);
+
+/// One-shot extract+expand.
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t out_len);
+
+/// Convenience: derives a fixed 16-byte (AES) subkey labelled by `label`.
+std::array<std::uint8_t, 16> derive_key16(ByteSpan ikm, std::string_view label);
+
+/// Convenience: derives a fixed 32-byte subkey labelled by `label`.
+std::array<std::uint8_t, 32> derive_key32(ByteSpan ikm, std::string_view label);
+
+}  // namespace apna::crypto

@@ -1,0 +1,169 @@
+#include "crypto/modes.h"
+
+#include <cstring>
+
+namespace apna::crypto {
+
+namespace {
+
+inline void increment_be32_tail(std::uint8_t block[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++block[i] != 0) break;
+  }
+}
+
+// Doubles a value in GF(2^128) with the CMAC polynomial (x^128 + x^7 + x^2 +
+// x + 1); used for RFC 4493 subkey generation.
+void gf128_double(std::array<std::uint8_t, 16>& v) {
+  const std::uint8_t carry = static_cast<std::uint8_t>(v[0] >> 7);
+  for (int i = 0; i < 15; ++i)
+    v[i] = static_cast<std::uint8_t>((v[i] << 1) | (v[i + 1] >> 7));
+  v[15] = static_cast<std::uint8_t>(v[15] << 1);
+  if (carry) v[15] ^= 0x87;
+}
+
+}  // namespace
+
+void aes_ctr_xcrypt(const Aes128& aes, const std::uint8_t counter_block[16],
+                    ByteSpan in, MutByteSpan out) {
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, counter_block, 16);
+
+  // Generate keystream in batches so the AES-NI backend can pipeline.
+  constexpr std::size_t kBatchBlocks = 32;
+  std::uint8_t ctr_batch[kBatchBlocks * 16];
+  std::uint8_t ks[kBatchBlocks * 16];
+
+  std::size_t off = 0;
+  while (off < in.size()) {
+    const std::size_t remaining = in.size() - off;
+    const std::size_t blocks =
+        std::min(kBatchBlocks, (remaining + 15) / 16);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      std::memcpy(ctr_batch + 16 * b, ctr, 16);
+      increment_be32_tail(ctr);
+    }
+    aes.encrypt_blocks(ctr_batch, ks, blocks);
+    const std::size_t nbytes = std::min(remaining, blocks * 16);
+    for (std::size_t i = 0; i < nbytes; ++i)
+      out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ ks[i]);
+    off += nbytes;
+  }
+}
+
+Bytes aes_ctr(const Aes128& aes, const std::uint8_t counter_block[16],
+              ByteSpan in) {
+  Bytes out(in.size());
+  aes_ctr_xcrypt(aes, counter_block, in, out);
+  return out;
+}
+
+std::array<std::uint8_t, 16> aes_cbc_mac(const Aes128& aes, ByteSpan data) {
+  std::array<std::uint8_t, 16> x{};
+  const std::size_t blocks = data.size() / 16;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (int i = 0; i < 16; ++i) x[i] ^= data[16 * b + i];
+    aes.encrypt_block(x.data(), x.data());
+  }
+  return x;
+}
+
+AesCmac::AesCmac(ByteSpan key16) : aes_(key16) {
+  std::array<std::uint8_t, 16> l{};
+  aes_.encrypt_block(l.data(), l.data());
+  k1_ = l;
+  gf128_double(k1_);
+  k2_ = k1_;
+  gf128_double(k2_);
+}
+
+std::array<std::uint8_t, 16> AesCmac::mac(ByteSpan data) const {
+  return mac2(data, {});
+}
+
+namespace {
+// Streaming CMAC state: holds back up to one block so the final block can
+// receive the RFC 4493 subkey treatment. Blocks are processed straight from
+// the input spans (no concatenation buffer).
+struct CmacStream {
+  const Aes128& aes;
+  std::array<std::uint8_t, 16> x{};
+  std::uint8_t buf[16];
+  std::size_t buf_len = 0;
+  bool any = false;
+
+  explicit CmacStream(const Aes128& a) : aes(a) {}
+
+  void absorb_block(const std::uint8_t* p) {
+    for (int i = 0; i < 16; ++i) x[i] ^= p[i];
+    aes.encrypt_block(x.data(), x.data());
+  }
+
+  void update(ByteSpan data) {
+    if (data.empty()) return;
+    any = true;
+    std::size_t off = 0;
+    // Flush a previously held-back full block only once new data proves it
+    // is not the final one.
+    if (buf_len == 16) {
+      absorb_block(buf);
+      buf_len = 0;
+    }
+    if (buf_len > 0) {
+      const std::size_t take = std::min(data.size(), 16 - buf_len);
+      std::memcpy(buf + buf_len, data.data(), take);
+      buf_len += take;
+      off = take;
+      if (buf_len == 16 && off < data.size()) {
+        absorb_block(buf);
+        buf_len = 0;
+      }
+    }
+    // Bulk full blocks, keeping at least one byte for the buffer. The
+    // fused kernel holds AES round keys in registers across the chain.
+    if (off + 16 < data.size()) {
+      const std::size_t bulk = (data.size() - off - 1) / 16;
+      aes.cbc_mac_absorb(x.data(), data.data() + off, bulk);
+      off += 16 * bulk;
+    }
+    if (off < data.size()) {
+      std::memcpy(buf, data.data() + off, data.size() - off);
+      buf_len = data.size() - off;
+    }
+  }
+
+  std::array<std::uint8_t, 16> finish(
+      const std::array<std::uint8_t, 16>& k1,
+      const std::array<std::uint8_t, 16>& k2) {
+    std::uint8_t block[16] = {};
+    const std::array<std::uint8_t, 16>* subkey;
+    if (any && buf_len == 16) {
+      std::memcpy(block, buf, 16);
+      subkey = &k1;
+    } else {
+      std::memcpy(block, buf, buf_len);
+      block[buf_len] = 0x80;
+      subkey = &k2;
+    }
+    for (int i = 0; i < 16; ++i)
+      x[i] = static_cast<std::uint8_t>(x[i] ^ block[i] ^ (*subkey)[i]);
+    aes.encrypt_block(x.data(), x.data());
+    return x;
+  }
+};
+}  // namespace
+
+std::array<std::uint8_t, 16> AesCmac::mac2(ByteSpan a, ByteSpan b) const {
+  CmacStream s(aes_);
+  s.update(a);
+  s.update(b);
+  return s.finish(k1_, k2_);
+}
+
+bool AesCmac::verify(ByteSpan data, ByteSpan tag) const {
+  if (tag.empty() || tag.size() > 16) return false;
+  const auto full = mac(data);
+  return ct_equal(ByteSpan(full.data(), tag.size()), tag);
+}
+
+}  // namespace apna::crypto

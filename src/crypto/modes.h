@@ -1,0 +1,58 @@
+// AES block-cipher modes used by APNA:
+//  * CTR       — EphID payload encryption (Fig 6) and the CTR half of the
+//                Encrypt-then-MAC AEAD suite.
+//  * CBC-MAC   — fixed-one-block authentication tag inside the EphID
+//                construction (secure because the input length is fixed to
+//                16 B, exactly the argument of §VI-A / footnote 3).
+//  * CMAC      — RFC 4493 variable-length MAC; used for the per-packet
+//                source-authentication MAC under k_HA (§IV-D2) and for
+//                infrastructure-internal message authentication.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// Encrypts/decrypts `in` into `out` with AES-CTR. `counter_block` is the
+/// initial 16-byte counter; the low 32 bits (big-endian) increment per block.
+/// CTR is an involution: the same call decrypts. `in` and `out` may alias.
+void aes_ctr_xcrypt(const Aes128& aes,
+                    const std::uint8_t counter_block[16],
+                    ByteSpan in, MutByteSpan out);
+
+/// Convenience allocating variant.
+Bytes aes_ctr(const Aes128& aes, const std::uint8_t counter_block[16],
+              ByteSpan in);
+
+/// Raw CBC-MAC over data whose length MUST be a multiple of 16 bytes and
+/// MUST be fixed per key (CBC-MAC is insecure for variable lengths — the
+/// paper cites [6]; EphID construction always MACs exactly one block).
+std::array<std::uint8_t, 16> aes_cbc_mac(const Aes128& aes, ByteSpan data);
+
+/// AES-CMAC (RFC 4493): secure for variable-length messages.
+/// Immutable after construction; safe for concurrent mac() calls.
+class AesCmac {
+ public:
+  explicit AesCmac(ByteSpan key16);
+
+  /// Full 16-byte tag over `data`.
+  std::array<std::uint8_t, 16> mac(ByteSpan data) const;
+
+  /// Tag over the concatenation a ‖ b (used for header ‖ payload MACs
+  /// without copying the packet).
+  std::array<std::uint8_t, 16> mac2(ByteSpan a, ByteSpan b) const;
+
+  /// Truncated-tag verification in constant time.
+  bool verify(ByteSpan data, ByteSpan tag) const;
+
+ private:
+  Aes128 aes_;
+  std::array<std::uint8_t, 16> k1_{};  // subkey for complete final block
+  std::array<std::uint8_t, 16> k2_{};  // subkey for padded final block
+};
+
+}  // namespace apna::crypto

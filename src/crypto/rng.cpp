@@ -1,0 +1,67 @@
+#include "crypto/rng.h"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha2.h"
+
+namespace apna::crypto {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+ChaChaRng::ChaChaRng(ByteSpan seed) {
+  const auto digest = Sha256::hash(seed);
+  std::memcpy(key_.data(), digest.data(), 32);
+}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed) {
+  std::uint8_t s[8];
+  store_le64(s, seed);
+  const auto digest = Sha256::hash(ByteSpan(s, 8));
+  std::memcpy(key_.data(), digest.data(), 32);
+}
+
+ChaChaRng ChaChaRng::from_os_entropy() {
+  std::random_device rd;
+  std::uint8_t seed[32];
+  for (int i = 0; i < 32; i += 4) store_le32(seed + i, rd());
+  return ChaChaRng(ByteSpan(seed, 32));
+}
+
+void ChaChaRng::refill() {
+  static constexpr std::uint8_t kNonce[12] = {'a', 'p', 'n', 'a', '-', 'd',
+                                              'r', 'b', 'g', 0,   0,   0};
+  chacha20_block(key_.data(), counter_++, kNonce, block_.data());
+  pos_ = 0;
+}
+
+void ChaChaRng::fill(MutByteSpan out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (pos_ == 64) refill();
+    const std::size_t n = std::min(out.size() - off, std::size_t{64} - pos_);
+    std::memcpy(out.data() + off, block_.data() + pos_, n);
+    pos_ += n;
+    off += n;
+  }
+}
+
+Rng& system_rng() {
+  thread_local ChaChaRng rng = ChaChaRng::from_os_entropy();
+  return rng;
+}
+
+}  // namespace apna::crypto

@@ -1,0 +1,77 @@
+// Random number generation.
+//
+// All randomness in the library flows through the Rng interface so that
+// tests and simulations can inject a deterministic generator (reproducible
+// runs) while production code uses an OS-seeded ChaCha20-based DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// Abstract randomness source. Implementations need not be thread-safe;
+/// share one Rng per thread or guard externally.
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void fill(MutByteSpan out) = 0;
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  std::uint32_t next_u32() {
+    std::uint8_t b[4];
+    fill(MutByteSpan(b, 4));
+    return load_le32(b);
+  }
+
+  std::uint64_t next_u64() {
+    std::uint8_t b[8];
+    fill(MutByteSpan(b, 8));
+    return load_le64(b);
+  }
+
+  /// Uniform value in [0, bound) via rejection sampling. bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+};
+
+/// ChaCha20-based deterministic random bit generator. Given the same seed it
+/// produces the same stream — the backbone of reproducible simulations.
+class ChaChaRng final : public Rng {
+ public:
+  /// Deterministic: seeds from an arbitrary byte string (hashed to 32 B).
+  explicit ChaChaRng(ByteSpan seed);
+
+  /// Deterministic: convenience 64-bit seed.
+  explicit ChaChaRng(std::uint64_t seed);
+
+  /// OS-seeded (std::random_device entropy).
+  static ChaChaRng from_os_entropy();
+
+  void fill(MutByteSpan out) override;
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_;
+  std::uint32_t counter_ = 0;
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t pos_ = 64;  // exhausted
+};
+
+/// Process-wide OS-seeded RNG for call sites without an injected Rng.
+/// One instance per thread.
+Rng& system_rng();
+
+}  // namespace apna::crypto

@@ -1,0 +1,54 @@
+// SHA-256 and SHA-512 (FIPS 180-4).
+//
+// SHA-256 backs HMAC/HKDF key derivation (host↔AS keys, session keys);
+// SHA-512 is required internally by Ed25519 (RFC 8032).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+/// Incremental SHA-256.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+  void update(ByteSpan data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static std::array<std::uint8_t, kDigestSize> hash(ByteSpan data);
+
+ private:
+  void compress(const std::uint8_t block[64]);
+  std::array<std::uint32_t, 8> h_;
+  std::uint64_t total_len_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+/// Incremental SHA-512.
+class Sha512 {
+ public:
+  static constexpr std::size_t kDigestSize = 64;
+  static constexpr std::size_t kBlockSize = 128;
+
+  Sha512();
+  void update(ByteSpan data);
+  std::array<std::uint8_t, kDigestSize> finish();
+
+  static std::array<std::uint8_t, kDigestSize> hash(ByteSpan data);
+
+ private:
+  void compress(const std::uint8_t block[128]);
+  std::array<std::uint64_t, 8> h_;
+  std::uint64_t total_len_ = 0;  // bytes (< 2^61 is plenty here)
+  std::array<std::uint8_t, 128> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace apna::crypto

@@ -1,0 +1,70 @@
+#include "crypto/x25519.h"
+
+#include <cstring>
+
+#include "crypto/fe25519.h"
+
+namespace apna::crypto {
+
+X25519PublicKey x25519(const X25519PrivateKey& scalar,
+                       const X25519PublicKey& u_point) {
+  std::uint8_t k[32];
+  std::memcpy(k, scalar.data(), 32);
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+
+  const Fe x1 = fe_frombytes(u_point.data());
+  Fe x2 = fe_one(), z2 = fe_zero();
+  Fe x3 = x1, z3 = fe_one();
+  std::uint64_t swap = 0;
+
+  for (int t = 254; t >= 0; --t) {
+    const std::uint64_t k_t = (k[t / 8] >> (t % 8)) & 1;
+    swap ^= k_t;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = k_t;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e, fe_add(aa, fe_mul_small(e, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe out = fe_mul(x2, fe_invert(z2));
+  X25519PublicKey result;
+  fe_tobytes(result.data(), out);
+  return result;
+}
+
+X25519PublicKey x25519_base(const X25519PrivateKey& scalar) {
+  X25519PublicKey base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+X25519KeyPair X25519KeyPair::generate(Rng& rng) {
+  X25519KeyPair kp;
+  rng.fill(MutByteSpan(kp.priv.data(), kp.priv.size()));
+  kp.pub = x25519_base(kp.priv);
+  return kp;
+}
+
+SharedSecret x25519_shared(const X25519PrivateKey& priv,
+                           const X25519PublicKey& peer_pub) {
+  return x25519(priv, peer_pub);
+}
+
+}  // namespace apna::crypto

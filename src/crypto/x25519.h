@@ -1,0 +1,40 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// APNA's key exchanges all run over Curve25519 (§V-A2: "cryptographic
+// primitives based on Curve25519 ... Key exchange is done using the
+// elliptic-curve variant of Diffie-Hellman"): host↔AS bootstrap keys
+// (Fig 2) and per-connection session keys between EphID key pairs (§IV-D1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/rng.h"
+#include "util/bytes.h"
+
+namespace apna::crypto {
+
+using X25519PrivateKey = std::array<std::uint8_t, 32>;
+using X25519PublicKey = std::array<std::uint8_t, 32>;
+using SharedSecret = std::array<std::uint8_t, 32>;
+
+/// scalar · point (general X25519 function). `scalar` is clamped internally.
+X25519PublicKey x25519(const X25519PrivateKey& scalar,
+                       const X25519PublicKey& u_point);
+
+/// scalar · basepoint(9): derives the public key.
+X25519PublicKey x25519_base(const X25519PrivateKey& scalar);
+
+/// Ephemeral key pair bound to an EphID (K+_EphID, K-_EphID in the paper).
+struct X25519KeyPair {
+  X25519PrivateKey priv;
+  X25519PublicKey pub;
+
+  static X25519KeyPair generate(Rng& rng);
+};
+
+/// Raw DH shared secret; callers must run it through a KDF before use.
+SharedSecret x25519_shared(const X25519PrivateKey& priv,
+                           const X25519PublicKey& peer_pub);
+
+}  // namespace apna::crypto

@@ -1,0 +1,61 @@
+// APNA-as-a-Service (§VIII-E).
+//
+// "An ISP can offer APNA's accountability and privacy protection not only
+// to hosts in its network, but also to its downstream (e.g., customer)
+// ASes. In this deployment, a downstream AS can be viewed as a
+// connection-sharing device that provides APNA connections to its hosts."
+//
+// DownstreamAs wraps the NAT-mode machinery at AS granularity: the
+// downstream operator runs the RS/MS-proxy/router/AA roles for its
+// customers while the upstream ISP issues the actual EphIDs and acts as
+// the accountability agent of record. The §VIII-E privacy benefit falls
+// out automatically: the downstream's customers mix into the upstream
+// ISP's (larger) anonymity set, since their packets carry the upstream
+// AID and upstream-issued EphIDs.
+#pragma once
+
+#include "gateway/nat_ap.h"
+
+namespace apna::gw {
+
+class DownstreamAs {
+ public:
+  struct Config {
+    std::string name = "downstream-as";
+    /// Private identifier of the downstream domain.
+    core::Aid downstream_aid = 0xFE000001;
+    std::uint64_t rng_seed = 0;
+  };
+
+  /// `upstream` is the APNA-providing ISP; all of the downstream's egress
+  /// must transit it (the §VIII-E deployment requirement — the ISP "needs
+  /// to be able to verify all packets ... originating from the downstream
+  /// ASes").
+  DownstreamAs(Config cfg, AutonomousSystem& upstream,
+               core::AsDirectory& directory)
+      : ap_(NatAccessPoint::Config{cfg.name, cfg.downstream_aid,
+                                   cfg.rng_seed, /*inner hop*/ 100},
+            upstream, directory) {}
+
+  /// A customer host of the downstream AS, served with upstream-issued
+  /// EphIDs.
+  host::Host& add_customer(const std::string& name,
+                           host::Granularity granularity =
+                               host::Granularity::per_flow) {
+    return ap_.add_inner_host(name, granularity);
+  }
+
+  /// The downstream operator's accountability view.
+  Result<core::Hid> identify(const core::EphId& ephid) const {
+    return ap_.identify(ephid);
+  }
+
+  core::Aid upstream_aid() const { return ap_.parent_aid(); }
+  const NatAccessPoint::Stats& stats() const { return ap_.stats(); }
+  NatAccessPoint& access_point() { return ap_; }
+
+ private:
+  NatAccessPoint ap_;
+};
+
+}  // namespace apna::gw

@@ -1,0 +1,74 @@
+// Bridge-mode Access Point (§VII-B).
+//
+// "the AP serves as a transparent bridge that interconnects users behind
+// the AP to the AS. The AS requires all users to be directly authenticated
+// to itself." Hosts behind the bridge are first-class customers: they hold
+// their own HIDs, kHA keys and EphIDs; the bridge only relays frames (and
+// counts them).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apna/autonomous_system.h"
+#include "host/host.h"
+
+namespace apna::gw {
+
+class BridgeAccessPoint {
+ public:
+  struct Stats {
+    std::uint64_t relayed_up = 0;
+    std::uint64_t relayed_down = 0;
+  };
+
+  BridgeAccessPoint(std::string name, AutonomousSystem& parent,
+                    net::TimeUs bridge_latency_us = 10)
+      : name_(std::move(name)),
+        parent_(parent),
+        latency_(bridge_latency_us) {}
+
+  /// Adds a host behind the bridge: it authenticates DIRECTLY to the AS
+  /// (the defining property of bridge mode), with the bridge in the path.
+  host::Host& add_host(const std::string& host_name,
+                       host::Granularity granularity =
+                           host::Granularity::per_flow) {
+    const auto account = parent_.enroll_subscriber();
+    host::Host::Config hc;
+    hc.name = name_ + "/" + host_name;
+    hc.subscriber_id = account.subscriber_id;
+    hc.credential = account.credential;
+    hc.granularity = granularity;
+    auto h = std::make_unique<host::Host>(std::move(hc), parent_.directory_ref(),
+                                          parent_.loop());
+    host::Host* ptr = h.get();
+
+    auto attachment = parent_.make_attachment();
+    // Uplink via the bridge: one extra latency hop, one counter.
+    ptr->set_uplink([this, up = attachment.uplink](const wire::Packet& pkt) {
+      ++stats_.relayed_up;
+      parent_.loop().schedule_in(latency_, [up, pkt] { up(pkt); });
+    });
+    (void)ptr->bootstrap(attachment.bootstrap);
+    if (ptr->bootstrapped()) {
+      parent_.attach_port(ptr->hid(), [this, ptr](const wire::Packet& pkt) {
+        ++stats_.relayed_down;
+        parent_.loop().schedule_in(latency_, [ptr, pkt] { ptr->on_packet(pkt); });
+      });
+    }
+    hosts_.push_back(std::move(h));
+    return *ptr;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  AutonomousSystem& parent_;
+  net::TimeUs latency_;
+  std::vector<std::unique_ptr<host::Host>> hosts_;
+  Stats stats_;
+};
+
+}  // namespace apna::gw

@@ -1,0 +1,130 @@
+#include "gateway/ipv4_gateway.h"
+
+namespace apna::gw {
+
+Ipv4Gateway::Ipv4Gateway(Config cfg, AutonomousSystem& parent)
+    : cfg_(std::move(cfg)),
+      parent_(parent),
+      host_(parent.add_host(cfg_.name)),
+      next_fake_ip_(cfg_.fake_ip_base + 1),
+      next_virtual_ip_(cfg_.virtual_ip_base + 1) {
+  host_.set_data_handler([this](std::uint64_t sid, ByteSpan data) {
+    on_session_data(sid, data);
+  });
+}
+
+void Ipv4Gateway::legacy_resolve(
+    const std::string& name, std::function<void(Result<std::uint32_t>)> cb) {
+  if (auto it = name_to_ip_.find(name); it != name_to_ip_.end()) {
+    cb(it->second);
+    return;
+  }
+  host_.resolve(name, [this, name, cb = std::move(cb)](
+                          Result<core::DnsRecord> rec) {
+    if (!rec.ok()) {
+      cb(Result<std::uint32_t>(rec.error()));
+      return;
+    }
+    // Synthesize an IPv4 for the record (even when it carries none — the
+    // paper's privacy-preserving variant removes the real address).
+    const std::uint32_t ip = next_fake_ip_++;
+    name_to_ip_[name] = ip;
+    ip_to_record_[ip] = rec.take();
+    cb(ip);
+  });
+}
+
+void Ipv4Gateway::on_legacy_packet(const wire::Ipv4Packet& pkt) {
+  // Replies from a registered legacy server to a virtual endpoint.
+  if (auto v = virtual_ip_to_session_.find(pkt.hdr.dst);
+      v != virtual_ip_to_session_.end()) {
+    if (host_.send_data(v->second, pkt.payload).ok())
+      ++stats_.out_translated;
+    return;
+  }
+
+  wire::FlowKey5 key{pkt.hdr.src, pkt.hdr.dst, pkt.src_port, pkt.dst_port,
+                     static_cast<std::uint8_t>(pkt.hdr.proto)};
+
+  if (auto it = flow_to_session_.find(key); it != flow_to_session_.end()) {
+    // Existing flow: translate and forward the payload over its session.
+    if (host_.send_data(it->second, pkt.payload).ok())
+      ++stats_.out_translated;
+    return;
+  }
+
+  // New flow: we must know the destination's AID:EphID — only flows toward
+  // resolved (or registered) destinations can be translated ("the gateway
+  // cannot determine the destination AID:EphID solely based on the 5-tuple").
+  auto rec = ip_to_record_.find(pkt.hdr.dst);
+  if (rec == ip_to_record_.end()) {
+    ++stats_.no_mapping_drops;
+    return;
+  }
+
+  host::Host::ConnectOptions opts;
+  opts.app = "gw";
+  opts.flow = std::to_string(wire::FlowKey5Hash{}(key));
+  auto sid = host_.connect(rec->second.cert, std::move(opts),
+                           [](Result<std::uint64_t>) {});
+  if (!sid.ok()) {
+    ++stats_.no_mapping_drops;
+    return;
+  }
+  flow_to_session_[key] = *sid;
+  session_to_flow_[*sid] = FlowState{key, /*inbound=*/false};
+  ++stats_.flows_created;
+  if (host_.send_data(*sid, pkt.payload).ok()) ++stats_.out_translated;
+}
+
+void Ipv4Gateway::register_server(std::uint32_t legacy_server_ip) {
+  server_ip_ = legacy_server_ip;
+}
+
+void Ipv4Gateway::on_session_data(std::uint64_t sid, ByteSpan data) {
+  auto flow = session_to_flow_.find(sid);
+  if (flow == session_to_flow_.end()) {
+    // First data on an inbound session: translate toward the registered
+    // legacy server via a fresh virtual endpoint (§VII-D "the gateway
+    // assigns unique virtual end-point for each APNA flow").
+    if (server_ip_ == 0) {
+      ++stats_.no_mapping_drops;
+      return;
+    }
+    const std::uint32_t vip = next_virtual_ip_++;
+    wire::FlowKey5 key{server_ip_, vip, 80, 40000,
+                       static_cast<std::uint8_t>(wire::IpProto::tcp)};
+    session_to_flow_[sid] = FlowState{key, /*inbound=*/true};
+    virtual_ip_to_session_[vip] = sid;
+    ++stats_.flows_created;
+    flow = session_to_flow_.find(sid);
+  }
+
+  const FlowState& st = flow->second;
+  wire::Ipv4Packet out;
+  if (st.inbound) {
+    // Toward the legacy server: source = the peer's virtual endpoint.
+    out.hdr.src = st.key.dst_ip;   // the virtual endpoint IP
+    out.hdr.dst = st.key.src_ip;   // the legacy server
+    out.src_port = st.key.dst_port;
+    out.dst_port = st.key.src_port;
+  } else {
+    // Back toward the legacy client: source = the synthetic resolved IP.
+    out.hdr.src = st.key.dst_ip;
+    out.hdr.dst = st.key.src_ip;
+    out.src_port = st.key.dst_port;
+    out.dst_port = st.key.src_port;
+  }
+  out.hdr.proto = static_cast<wire::IpProto>(st.key.proto);
+  out.payload.assign(data.begin(), data.end());
+
+  auto port = legacy_ports_.find(out.hdr.dst);
+  if (port == legacy_ports_.end()) {
+    ++stats_.no_mapping_drops;
+    return;
+  }
+  ++stats_.in_translated;
+  port->second(out);
+}
+
+}  // namespace apna::gw

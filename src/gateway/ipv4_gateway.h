@@ -1,0 +1,104 @@
+// APNA gateway for unmodified IPv4 hosts (§VII-D).
+//
+// "An APNA gateway has two roles: 1) as an APNA host, it runs the protocols
+// described in Section IV; and 2) as a packet translator, it converts
+// between native IPv4 and APNA packets."
+//
+// Client side: the gateway intercepts the legacy host's DNS resolution
+// ("the gateway ... learns the IPv4 address and the AID:EphID of the server
+// by inspecting the DNS reply"), assigns a synthetic IPv4 address per name
+// (the paper's trick for servers whose records carry no IPv4), and maps
+// each legacy 5-tuple flow to its own APNA session with a fresh source
+// EphID ("the gateway uses a different EphID for each new IPv4 flow").
+//
+// Server side: an administrator registers (receive-only EphID, legacy IP)
+// so inbound APNA sessions are translated to IPv4 toward the legacy
+// server, each APNA peer appearing as a unique *virtual endpoint* IP.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "apna/autonomous_system.h"
+#include "host/host.h"
+#include "wire/ipv4.h"
+
+namespace apna::gw {
+
+class Ipv4Gateway {
+ public:
+  struct Config {
+    std::string name = "gw";
+    /// Synthetic address pool for resolved names (paper: "generates and
+    /// appends a random IPv4 address into the DNS reply").
+    std::uint32_t fake_ip_base = 0x0A630000;     // 10.99.0.0/16
+    /// Virtual-endpoint pool for inbound APNA peers (§VII-D: "an IPv4
+    /// address (e.g., randomly drawn from a private address space)").
+    std::uint32_t virtual_ip_base = 0x0A640000;  // 10.100.0.0/16
+  };
+
+  struct Stats {
+    std::uint64_t flows_created = 0;
+    std::uint64_t out_translated = 0;   // IPv4 → APNA
+    std::uint64_t in_translated = 0;    // APNA → IPv4
+    std::uint64_t no_mapping_drops = 0;
+  };
+
+  /// Delivery callback toward a legacy host (identified by its IPv4 addr).
+  using LegacyDeliver = std::function<void(const wire::Ipv4Packet&)>;
+
+  Ipv4Gateway(Config cfg, AutonomousSystem& parent);
+
+  /// Attaches a legacy host's delivery hook.
+  void attach_legacy_host(std::uint32_t ip, LegacyDeliver deliver) {
+    legacy_ports_[ip] = std::move(deliver);
+  }
+
+  /// DNS interception: resolves `name` over APNA and hands back a synthetic
+  /// IPv4 the legacy host can use as a destination address.
+  void legacy_resolve(const std::string& name,
+                      std::function<void(Result<std::uint32_t>)> cb);
+
+  /// The legacy host's packets enter here (its default route).
+  void on_legacy_packet(const wire::Ipv4Packet& pkt);
+
+  /// Server side: binds an inbound APNA service EphID to a legacy server.
+  /// The gateway must own `receive_only_cert`'s EphID (issued via gw_host).
+  void register_server(std::uint32_t legacy_server_ip);
+
+  host::Host& gw_host() { return host_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_session_data(std::uint64_t session_id, ByteSpan data);
+
+  Config cfg_;
+  AutonomousSystem& parent_;
+  host::Host& host_;  // the gateway's APNA host side (owned by parent AS)
+
+  // name → synthetic IP, synthetic IP → DNS record.
+  std::unordered_map<std::string, std::uint32_t> name_to_ip_;
+  std::unordered_map<std::uint32_t, core::DnsRecord> ip_to_record_;
+  std::uint32_t next_fake_ip_;
+  std::uint32_t next_virtual_ip_;
+
+  // Outbound flow table: legacy 5-tuple ↔ APNA session.
+  std::unordered_map<wire::FlowKey5, std::uint64_t, wire::FlowKey5Hash>
+      flow_to_session_;
+  struct FlowState {
+    wire::FlowKey5 key;       // legacy 5-tuple (as seen from the host)
+    bool inbound = false;     // true when created by a remote APNA peer
+  };
+  std::unordered_map<std::uint64_t, FlowState> session_to_flow_;
+
+  // Inbound: APNA peer → virtual endpoint IP, and back.
+  std::unordered_map<std::uint32_t, std::uint64_t> virtual_ip_to_session_;
+  std::uint32_t server_ip_ = 0;  // registered legacy server (0 = none)
+
+  std::unordered_map<std::uint32_t, LegacyDeliver> legacy_ports_;
+  Stats stats_;
+};
+
+}  // namespace apna::gw

@@ -1,0 +1,181 @@
+// EphID pool with the four usage granularities of §VIII-A.
+//
+//   per_host        — one EphID for everything (cheap, fully linkable,
+//                     shutoff kills every flow).
+//   per_application — one EphID per application label (the AS/host can
+//                     pinpoint a misbehaving application).
+//   per_flow        — one EphID per flow (the paper's "typical use case").
+//   per_packet      — rotate across the pool per packet (strongest privacy;
+//                     demultiplexing needs extra machinery [23], which is
+//                     why the pool cycles over a finite set here).
+//
+// The pool also records flow→EphID assignments so experiment E7 can compute
+// linkable-flow fractions and shutoff blast radius per policy.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cert.h"
+#include "core/keys.h"
+
+namespace apna::host {
+
+enum class Granularity : std::uint8_t {
+  per_host = 0,
+  per_application = 1,
+  per_flow = 2,
+  per_packet = 3,
+};
+
+inline const char* granularity_name(Granularity g) {
+  switch (g) {
+    case Granularity::per_host: return "per-host";
+    case Granularity::per_application: return "per-application";
+    case Granularity::per_flow: return "per-flow";
+    case Granularity::per_packet: return "per-packet";
+  }
+  return "?";
+}
+
+/// An EphID this host owns: the certificate plus the private key halves.
+struct OwnedEphId {
+  core::EphIdKeyPair kp;
+  core::EphIdCertificate cert;
+  std::uint64_t flows_assigned = 0;
+  bool revoked_locally = false;  // preemptive revocation (§VIII-G2)
+
+  bool receive_only() const { return cert.receive_only(); }
+};
+
+class EphIdPool {
+ public:
+  /// Adds a freshly issued EphID. Returns a stable pointer.
+  const OwnedEphId* add(core::EphIdKeyPair kp, core::EphIdCertificate cert) {
+    entries_.push_back(std::make_unique<OwnedEphId>());
+    entries_.back()->kp = std::move(kp);
+    entries_.back()->cert = std::move(cert);
+    return entries_.back().get();
+  }
+
+  /// Selects the source EphID for (app, flow) under `policy`. `packet_seq`
+  /// drives per-packet rotation. Returns nullptr when no usable EphID
+  /// exists (callers then request issuance — "a host needs to acquire and
+  /// manage EphIDs for every new flow").
+  OwnedEphId* pick(Granularity policy, std::string_view app,
+                   std::string_view flow, std::uint64_t packet_seq,
+                   core::ExpTime now) {
+    switch (policy) {
+      case Granularity::per_host:
+        return first_usable(now);
+      case Granularity::per_application:
+        return sticky(std::string("app:").append(app), now);
+      case Granularity::per_flow:
+        return sticky(std::string("flow:").append(app).append("/").append(flow),
+                      now);
+      case Granularity::per_packet: {
+        // Rotate over all usable EphIDs.
+        std::vector<OwnedEphId*> usable = all_usable(now);
+        if (usable.empty()) return nullptr;
+        return usable[packet_seq % usable.size()];
+      }
+    }
+    return nullptr;
+  }
+
+  OwnedEphId* find(const core::EphId& ephid) {
+    for (auto& e : entries_)
+      if (e->cert.ephid == ephid) return e.get();
+    return nullptr;
+  }
+  const OwnedEphId* find(const core::EphId& ephid) const {
+    for (const auto& e : entries_)
+      if (e->cert.ephid == ephid) return e.get();
+    return nullptr;
+  }
+
+  /// A serving EphID for client-server mode: usable, not receive-only,
+  /// different from `contacted` (§VII-A).
+  OwnedEphId* pick_serving(const core::EphId& contacted, core::ExpTime now) {
+    for (auto& e : entries_) {
+      if (usable(*e, now) && !(e->cert.ephid == contacted)) return e.get();
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  std::size_t usable_count(core::ExpTime now) const {
+    std::size_t n = 0;
+    for (const auto& e : entries_)
+      if (usable(*e, now)) ++n;
+    return n;
+  }
+
+  /// Distinct EphIDs actually assigned to flows (experiment E7).
+  std::size_t assigned_ephids() const {
+    std::unordered_map<const OwnedEphId*, bool> seen;
+    for (const auto& [k, v] : sticky_) seen[v] = true;
+    return seen.size();
+  }
+
+  /// Largest number of flows sharing one EphID — the shutoff blast radius.
+  std::uint64_t max_flows_per_ephid() const {
+    std::uint64_t m = 0;
+    for (const auto& e : entries_) m = std::max(m, e->flows_assigned);
+    return m;
+  }
+
+  const std::deque<std::unique_ptr<OwnedEphId>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  static bool usable(const OwnedEphId& e, core::ExpTime now) {
+    return !e.revoked_locally && !e.receive_only() && e.cert.exp_time >= now;
+  }
+
+  OwnedEphId* first_usable(core::ExpTime now) {
+    for (auto& e : entries_)
+      if (usable(*e, now)) return e.get();
+    return nullptr;
+  }
+
+  std::vector<OwnedEphId*> all_usable(core::ExpTime now) {
+    std::vector<OwnedEphId*> out;
+    for (auto& e : entries_)
+      if (usable(*e, now)) out.push_back(e.get());
+    return out;
+  }
+
+  OwnedEphId* sticky(const std::string& key, core::ExpTime now) {
+    if (auto it = sticky_.find(key); it != sticky_.end()) {
+      if (usable(*it->second, now)) return it->second;
+      sticky_.erase(it);
+    }
+    // Prefer an EphID with no flows yet; otherwise reuse the least loaded.
+    OwnedEphId* best = nullptr;
+    for (auto& e : entries_) {
+      if (!usable(*e, now)) continue;
+      if (e->flows_assigned == 0) {
+        best = e.get();
+        break;
+      }
+      if (!best || e->flows_assigned < best->flows_assigned) best = e.get();
+    }
+    if (!best) return nullptr;
+    best->flows_assigned++;
+    sticky_[key] = best;
+    return best;
+  }
+
+  std::deque<std::unique_ptr<OwnedEphId>> entries_;
+  std::unordered_map<std::string, OwnedEphId*> sticky_;
+};
+
+}  // namespace apna::host

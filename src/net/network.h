@@ -1,0 +1,133 @@
+// Packet transport over the simulated topology.
+//
+// InterAsNetwork delivers packets between border routers along topology
+// links; IntraSwitch delivers within one AS by HID. Both support taps
+// (the §II adversary who "can eavesdrop on all control and data messages")
+// and fault injection (drop/tamper) for failure testing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim.h"
+#include "net/topology.h"
+#include "util/result.h"
+#include "wire/apna_header.h"
+
+namespace apna::net {
+
+using PacketHandler = std::function<void(const wire::Packet&)>;
+
+/// Observes packets in flight: from-AID, to-AID (0 for intra-AS hops), and
+/// the full packet. Used by privacy analyses and tests.
+using PacketTap =
+    std::function<void(std::uint32_t from, std::uint32_t to,
+                       const wire::Packet& pkt)>;
+
+/// Per-link fault model for failure-injection tests.
+struct FaultModel {
+  double drop_rate = 0.0;                       // [0,1]
+  std::function<bool()> coin;                   // returns true → drop
+  std::function<void(wire::Packet&)> tamper;    // mutate in flight
+};
+
+/// Delivers packets between ASes along topology links.
+class InterAsNetwork {
+ public:
+  InterAsNetwork(EventLoop& loop, const Topology& topo)
+      : loop_(loop), topo_(topo) {}
+
+  /// Registers the ingress handler of `aid`'s border router.
+  void register_border_router(std::uint32_t aid, PacketHandler ingress) {
+    brs_[aid] = std::move(ingress);
+  }
+
+  /// Transmits over the (from → to) link; to must be a neighbor of from.
+  Result<void> send(std::uint32_t from_aid, std::uint32_t to_aid,
+                    const wire::Packet& pkt) {
+    auto lat = topo_.link_latency(from_aid, to_aid);
+    if (!lat) return Result<void>(Errc::no_route, "ASes not adjacent");
+    auto it = brs_.find(to_aid);
+    if (it == brs_.end())
+      return Result<void>(Errc::no_route, "no BR registered for AID");
+
+    for (const auto& tap : taps_) tap(from_aid, to_aid, pkt);
+
+    if (faults_.coin && faults_.coin()) {
+      ++stats_.dropped;
+      return Result<void>::success();  // dropped silently, like a real wire
+    }
+    wire::Packet delivered = pkt;
+    if (faults_.tamper) faults_.tamper(delivered);
+
+    ++stats_.transmitted;
+    stats_.bytes += pkt.wire_size();
+    PacketHandler& handler = it->second;
+    loop_.schedule_in(*lat, [&handler, delivered = std::move(delivered)] {
+      handler(delivered);
+    });
+    return Result<void>::success();
+  }
+
+  void add_tap(PacketTap tap) { taps_.push_back(std::move(tap)); }
+  void set_faults(FaultModel f) { faults_ = std::move(f); }
+
+  struct Stats {
+    std::uint64_t transmitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  EventLoop& loop_;
+  const Topology& topo_;
+  std::unordered_map<std::uint32_t, PacketHandler> brs_;
+  std::vector<PacketTap> taps_;
+  FaultModel faults_;
+  Stats stats_;
+};
+
+/// Intra-AS delivery fabric keyed by HID. The AS fabric decides the HID
+/// (by opening the destination EphID); the switch only moves packets.
+class IntraSwitch {
+ public:
+  IntraSwitch(EventLoop& loop, TimeUs hop_latency)
+      : loop_(loop), hop_latency_(hop_latency) {}
+
+  void attach(std::uint32_t hid, PacketHandler h) {
+    ports_[hid] = std::move(h);
+  }
+  void detach(std::uint32_t hid) { ports_.erase(hid); }
+  bool attached(std::uint32_t hid) const { return ports_.contains(hid); }
+
+  Result<void> deliver(std::uint32_t hid, const wire::Packet& pkt) {
+    auto it = ports_.find(hid);
+    if (it == ports_.end())
+      return Result<void>(Errc::unknown_host, "no port for HID");
+    for (const auto& tap : taps_) tap(0, 0, pkt);
+    ++stats_.delivered;
+    PacketHandler& handler = it->second;
+    loop_.schedule_in(hop_latency_, [&handler, pkt] { handler(pkt); });
+    return Result<void>::success();
+  }
+
+  void add_tap(PacketTap tap) { taps_.push_back(std::move(tap)); }
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  TimeUs hop_latency() const { return hop_latency_; }
+
+ private:
+  EventLoop& loop_;
+  TimeUs hop_latency_;
+  std::unordered_map<std::uint32_t, PacketHandler> ports_;
+  std::vector<PacketTap> taps_;
+  Stats stats_;
+};
+
+}  // namespace apna::net

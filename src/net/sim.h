@@ -1,0 +1,93 @@
+// Discrete-event simulator — the substrate standing in for the paper's
+// hardware testbed (§V-B3). Deterministic: identical seeds and schedules
+// reproduce identical runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace apna::net {
+
+/// Simulated time in microseconds.
+using TimeUs = std::uint64_t;
+
+constexpr TimeUs kUsPerSecond = 1'000'000;
+
+/// The simulation's Unix-time origin; EphID ExpTime values are derived from
+/// it so certificate lifetimes behave like real timestamps (§V-A1).
+constexpr core::ExpTime kEpochSeconds = 1'700'000'000;
+
+class EventLoop {
+ public:
+  TimeUs now() const { return now_; }
+
+  /// Wall-clock seconds for ExpTime fields (1 s granularity, §V-A1).
+  core::ExpTime now_seconds() const {
+    return kEpochSeconds + static_cast<core::ExpTime>(now_ / kUsPerSecond);
+  }
+
+  void schedule_at(TimeUs t, std::function<void()> fn) {
+    queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+  }
+
+  void schedule_in(TimeUs delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Advances simulated time without events (e.g. to expire EphIDs).
+  void advance(TimeUs delta) { now_ += delta; }
+
+  /// Runs until the queue drains. Returns events processed.
+  std::size_t run() {
+    std::size_t n = 0;
+    while (!queue_.empty()) {
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Runs events scheduled strictly before `t`, then sets now() = t.
+  std::size_t run_until(TimeUs t) {
+    std::size_t n = 0;
+    while (!queue_.empty() && queue_.top().t < t) {
+      step();
+      ++n;
+    }
+    if (now_ < t) now_ = t;
+    return n;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeUs t;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    std::function<void()> fn;
+
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void step() {
+    // Moving out of the queue requires a const_cast because priority_queue
+    // only exposes const top(); the element is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ev.fn();
+  }
+
+  TimeUs now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace apna::net

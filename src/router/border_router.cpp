@@ -1,0 +1,186 @@
+#include "router/border_router.h"
+
+namespace apna::router {
+
+Result<void> BorderRouter::check_outgoing(const wire::Packet& pkt,
+                                          core::ExpTime now) const {
+  if (cfg_.mode == Mode::baseline) return check_baseline(pkt);
+
+  core::EphId src;
+  src.bytes = pkt.src_ephid;
+
+  // (HID_S, expTime) = E^-1_kA(EphID_s)
+  auto plain = as_.codec.open(src);
+  if (!plain) return Result<void>(Errc::decrypt_failed, "source EphID invalid");
+  // if expTime < currTime drop
+  if (plain->exp_time < now) return Result<void>(Errc::expired, "src EphID");
+  // if EphID_s ∈ revoked_EphIDs drop
+  if (as_.revoked.is_revoked(src))
+    return Result<void>(Errc::revoked, "src EphID revoked");
+  if (as_.revoked.is_hid_revoked(plain->hid))
+    return Result<void>(Errc::revoked, "src HID revoked");
+  // if HID_S ∉ host_info drop
+  const auto host = as_.host_db.find(plain->hid);
+  if (!host) return Result<void>(Errc::unknown_host, "src HID unknown");
+  // if !verifyMAC(k_HSAS, packet) drop
+  if (!core::verify_packet_mac(*host->cmac, pkt))
+    return Result<void>(Errc::bad_mac, "packet MAC invalid");
+  return Result<void>::success();
+}
+
+Result<core::Hid> BorderRouter::check_incoming(const wire::Packet& pkt,
+                                               core::ExpTime now) const {
+  if (cfg_.mode == Mode::baseline) {
+    // Baseline delivers by the low 32 bits of the destination identifier.
+    return core::Hid{load_be32(pkt.dst_ephid.data())};
+  }
+
+  core::EphId dst;
+  dst.bytes = pkt.dst_ephid;
+
+  auto plain = as_.codec.open(dst);
+  if (!plain)
+    return Result<core::Hid>(Errc::decrypt_failed, "dst EphID invalid");
+  if (plain->exp_time < now)
+    return Result<core::Hid>(Errc::expired, "dst EphID");
+  if (as_.revoked.is_revoked(dst))
+    return Result<core::Hid>(Errc::revoked, "dst EphID revoked");
+  if (as_.revoked.is_hid_revoked(plain->hid))
+    return Result<core::Hid>(Errc::revoked, "dst HID revoked");
+  if (!as_.host_db.contains(plain->hid))
+    return Result<core::Hid>(Errc::unknown_host, "dst HID unknown");
+  return plain->hid;
+}
+
+Result<void> BorderRouter::check_baseline(const wire::Packet& pkt) const {
+  // A plain router validates nothing cryptographic; reject only nonsense.
+  if (pkt.dst_aid == 0)
+    return Result<void>(Errc::malformed, "zero destination AID");
+  return Result<void>::success();
+}
+
+void BorderRouter::count_drop(Errc code) {
+  switch (code) {
+    case Errc::expired: ++stats_.drop_expired; break;
+    case Errc::revoked: ++stats_.drop_revoked; break;
+    case Errc::unknown_host: ++stats_.drop_unknown_host; break;
+    case Errc::bad_mac: ++stats_.drop_bad_mac; break;
+    case Errc::decrypt_failed: ++stats_.drop_bad_ephid; break;
+    case Errc::no_route: ++stats_.drop_no_route; break;
+    default: ++stats_.drop_bad_ephid; break;
+  }
+}
+
+void BorderRouter::maybe_icmp_error(const wire::Packet& offending,
+                                    core::IcmpType type, std::uint32_t code) {
+  if (!cfg_.send_icmp_errors || ident_.ephid.is_zero()) return;
+  if (offending.proto == wire::NextProto::icmp) return;  // no ICMP storms
+
+  // §VIII-B: feedback goes to the source EphID in the offending packet,
+  // from one of the router's own EphIDs, MAC'd like any host packet.
+  core::IcmpMessage msg;
+  msg.type = type;
+  msg.code = code;
+  // Quote the offending header (48 B) like classic ICMP quotes headers.
+  const Bytes hdr = offending.serialize();
+  msg.data.assign(hdr.begin(),
+                  hdr.begin() + std::min<std::size_t>(hdr.size(),
+                                                      wire::kApnaHeaderSize));
+
+  wire::Packet icmp;
+  icmp.src_aid = ident_.aid;
+  icmp.src_ephid = ident_.ephid.bytes;
+  icmp.dst_aid = offending.src_aid;
+  icmp.dst_ephid = offending.src_ephid;
+  icmp.proto = wire::NextProto::icmp;
+  icmp.payload = msg.serialize();
+  core::stamp_packet_mac(crypto::AesCmac(ByteSpan(ident_.mac_key.data(), 16)),
+                         icmp);
+  ++stats_.icmp_sent;
+
+  if (icmp.dst_aid == as_.aid) {
+    // The offender is local: deliver the feedback internally.
+    on_ingress(icmp);
+  } else {
+    (void)cb_.send_external(icmp);
+  }
+}
+
+void BorderRouter::on_outgoing(const wire::Packet& pkt) {
+  const core::ExpTime now = cb_.now();
+  if (pkt.wire_size() > cfg_.mtu) {
+    ++stats_.drop_too_big;
+    maybe_icmp_error(pkt, core::IcmpType::packet_too_big,
+                     static_cast<std::uint32_t>(cfg_.mtu));
+    return;
+  }
+  if (auto ok = check_outgoing(pkt, now); !ok) {
+    count_drop(ok.error().code);
+    return;
+  }
+  // §VIII-D (future-work extension): filter replays at the source AS, where
+  // packets are already attributed to a sender.
+  if (cfg_.replay_filter && pkt.has_nonce()) {
+    core::EphId src;
+    src.bytes = pkt.src_ephid;
+    auto [it, inserted] = replay_windows_.try_emplace(src, 1024);
+    if (auto fresh = it->second.accept(pkt.nonce); !fresh) {
+      ++stats_.drop_replayed;
+      return;
+    }
+  }
+  if (cfg_.stamp_path) {
+    wire::Packet stamped = pkt;
+    stamped.stamp_path(as_.aid);
+    if (auto sent = cb_.send_external(stamped); !sent) {
+      count_drop(sent.error().code);
+      maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 0);
+      return;
+    }
+    ++stats_.forwarded_out;
+    return;
+  }
+  if (auto sent = cb_.send_external(pkt); !sent) {
+    count_drop(sent.error().code);
+    maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 0);
+    return;
+  }
+  ++stats_.forwarded_out;
+}
+
+void BorderRouter::on_ingress(const wire::Packet& pkt) {
+  const core::ExpTime now = cb_.now();
+  if (pkt.dst_aid != as_.aid) {
+    // Transit: "simply forward packets to the next AS on the path".
+    if (cfg_.stamp_path) {
+      wire::Packet stamped = pkt;
+      stamped.stamp_path(as_.aid);
+      if (auto sent = cb_.send_external(stamped); !sent) {
+        count_drop(sent.error().code);
+        return;
+      }
+      ++stats_.transited;
+      return;
+    }
+    if (auto sent = cb_.send_external(pkt); !sent) {
+      count_drop(sent.error().code);
+      return;
+    }
+    ++stats_.transited;
+    return;
+  }
+  auto hid = check_incoming(pkt, now);
+  if (!hid) {
+    count_drop(hid.error().code);
+    maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 1);
+    return;
+  }
+  if (auto ok = cb_.deliver_internal(*hid, pkt); !ok) {
+    count_drop(ok.error().code);
+    maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 2);
+    return;
+  }
+  ++stats_.delivered_in;
+}
+
+}  // namespace apna::router

@@ -1,0 +1,138 @@
+// Border router — the data-plane forwarding pipelines of Fig 4 (§IV-D3,
+// §V-B).
+//
+// Outgoing (leaving the source AS):
+//   (HID_S, exp) = E^-1_kA(EphID_s)   — 1 symmetric decryption
+//   exp ≥ now, EphID_s ∉ revoked_ids  — lookup 1
+//   HID_S ∈ host_info                 — lookup 2
+//   verifyMAC(k_HA, packet)           — 1 MAC verification
+// Incoming (at the destination AS):
+//   same checks on EphID_d, then intra-domain forwarding by HID.
+// Transit: forward by AID only, no crypto (design choice 3 — "forwarding
+// devices perform only symmetric cryptographic operations").
+//
+// check_outgoing()/check_incoming() are side-effect-free so bench E2 can
+// measure exactly the per-packet pipeline cost; on_outgoing()/on_ingress()
+// add the forwarding actions for the simulator. Mode::baseline implements
+// a plain IPv4-style router (AID longest-match stand-in) for E11.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "core/as_state.h"
+#include "core/messages.h"
+#include "core/packet_auth.h"
+#include "core/replay.h"
+#include "util/result.h"
+#include "wire/apna_header.h"
+
+namespace apna::router {
+
+/// The BR's own sending identity, used for ICMP feedback (§VIII-B: "An
+/// entity (e.g., router or host) ... uses one of its EphIDs as the source").
+struct RouterIdentity {
+  core::EphId ephid;
+  core::Aid aid = 0;
+  std::array<std::uint8_t, 16> mac_key{};  // kHA-mac of the router
+};
+
+class BorderRouter {
+ public:
+  enum class Mode { apna, baseline };
+
+  struct Callbacks {
+    /// Transmit towards dst_aid over the inter-AS fabric (next hop is
+    /// resolved by the AS fabric / topology).
+    std::function<Result<void>(const wire::Packet&)> send_external;
+    /// Deliver to a local host by HID (intra-domain forwarding).
+    std::function<Result<void>(core::Hid, const wire::Packet&)>
+        deliver_internal;
+    /// Current wall-clock seconds (the simulation clock).
+    std::function<core::ExpTime()> now;
+  };
+
+  struct Stats {
+    std::uint64_t forwarded_out = 0;    // egress, passed all checks
+    std::uint64_t delivered_in = 0;     // ingress, delivered to a local host
+    std::uint64_t transited = 0;        // not ours: forwarded to next AS
+    std::uint64_t icmp_sent = 0;
+    // Drop reasons (Fig 4's four abort arms + parse/MTU).
+    std::uint64_t drop_expired = 0;
+    std::uint64_t drop_revoked = 0;
+    std::uint64_t drop_unknown_host = 0;
+    std::uint64_t drop_bad_mac = 0;
+    std::uint64_t drop_bad_ephid = 0;   // EphID fails authenticated decryption
+    std::uint64_t drop_no_route = 0;
+    std::uint64_t drop_too_big = 0;
+    std::uint64_t drop_replayed = 0;  // §VIII-D in-network filter
+
+    std::uint64_t total_drops() const {
+      return drop_expired + drop_revoked + drop_unknown_host + drop_bad_mac +
+             drop_bad_ephid + drop_no_route + drop_too_big + drop_replayed;
+    }
+  };
+
+  struct Config {
+    Mode mode = Mode::apna;
+    std::size_t mtu = 1518;          // link MTU for PMTUD (§II-C)
+    bool send_icmp_errors = true;    // unreachable / packet-too-big feedback
+    /// §VIII-C extension: append this AS's AID to forwarded packets so
+    /// on-path ASes can be authorized for shutoff requests.
+    bool stamp_path = false;
+    /// §VIII-D future-work extension: in-network replay detection at the
+    /// source AS's egress ("ideally replayed packets should be filtered
+    /// near [the] replay location").
+    bool replay_filter = false;
+  };
+
+  BorderRouter(core::AsState& as, Callbacks cb, Config cfg)
+      : as_(as), cb_(std::move(cb)), cfg_(cfg) {}
+  BorderRouter(core::AsState& as, Callbacks cb)
+      : BorderRouter(as, std::move(cb), Config()) {}
+
+  void set_identity(RouterIdentity ident) { ident_ = ident; }
+
+  // ---- Pure pipelines (benchmarked) ----------------------------------------
+
+  /// Fig 4 bottom. Returns ok when the packet may leave the AS.
+  Result<void> check_outgoing(const wire::Packet& pkt,
+                              core::ExpTime now) const;
+
+  /// Fig 4 top, local-destination branch. Returns the destination HID.
+  Result<core::Hid> check_incoming(const wire::Packet& pkt,
+                                   core::ExpTime now) const;
+
+  /// Baseline (plain-IP-style) pipeline: header sanity only.
+  Result<void> check_baseline(const wire::Packet& pkt) const;
+
+  // ---- Forwarding entry points ----------------------------------------------
+
+  /// Packet from a local host headed out of the AS.
+  void on_outgoing(const wire::Packet& pkt);
+
+  /// Packet arriving from a neighbor AS (or looped back for local
+  /// delivery): destination AS check, then deliver or transit.
+  void on_ingress(const wire::Packet& pkt);
+
+  const Stats& stats() const { return stats_; }
+  core::Aid aid() const { return as_.aid; }
+
+ private:
+  void count_drop(Errc code);
+  void maybe_icmp_error(const wire::Packet& offending, core::IcmpType type,
+                        std::uint32_t code);
+
+  core::AsState& as_;
+  Callbacks cb_;
+  Config cfg_;
+  RouterIdentity ident_;
+  Stats stats_;
+  /// Per-source-EphID replay windows (only populated with replay_filter).
+  std::unordered_map<core::EphId, core::ReplayWindow, core::EphIdHash>
+      replay_windows_;
+};
+
+}  // namespace apna::router

@@ -1,0 +1,84 @@
+// Accountability Agent — the shutoff protocol (Fig 5, §IV-E).
+//
+// Validation order follows the figure exactly, cheapest-reject-first where
+// the figure allows it:
+//   1. verifyCert(C_EphID_d)            — requester's certificate, against
+//                                          the requester AS's key (RPKI).
+//   2. verifySig(K+_EphID_d, {pkt})     — requester owns EphID_d.
+//   3. (HID_S, T) = E^-1_kA(EphID_s)    — the offending packet really names
+//      T ≥ now, HID_S ∈ host_info          one of OUR customers.
+//   4. requester was the packet's recipient (dst EphID/AID match) —
+//      authorization (§VI-C "only the destination host ... authorized").
+//   5. verifyMAC(k_HSAS, pkt)           — our customer really sent it; a
+//                                          rogue packet fails here.
+//   6. MAC_kAS(revoke EphID_s) to the border routers, which verify and
+//      insert into revoked_ids.
+#pragma once
+
+#include <cstdint>
+
+#include "core/as_directory.h"
+#include "core/as_state.h"
+#include "core/messages.h"
+#include "net/sim.h"
+#include "services/service_identity.h"
+#include "wire/apna_header.h"
+
+namespace apna::services {
+
+class AccountabilityAgent {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_bad_cert = 0;
+    std::uint64_t rejected_bad_sig = 0;
+    std::uint64_t rejected_unauthorized = 0;
+    std::uint64_t rejected_not_our_host = 0;
+    std::uint64_t rejected_bad_mac = 0;
+    std::uint64_t rejected_malformed = 0;
+    std::uint64_t hid_escalations = 0;        // §VIII-G2 limit exceeded
+    std::uint64_t revocation_instructions = 0;  // MAC_kAS messages to BRs
+    std::uint64_t onpath_accepted = 0;        // §VIII-C extension
+    std::uint64_t voluntary_revocations = 0;  // §VIII-G2 host-initiated
+  };
+
+  AccountabilityAgent(core::AsState& as, const core::AsDirectory& directory,
+                      net::EventLoop& loop, ServiceIdentity ident)
+      : as_(as), directory_(directory), loop_(loop), ident_(std::move(ident)) {}
+
+  /// Full packet path: parse request, process, build the signed response.
+  Result<wire::Packet> handle_packet(const wire::Packet& pkt);
+
+  /// The Fig 5 validation pipeline.
+  Result<void> process(const core::ShutoffRequest& req, core::ExpTime now);
+
+  /// §VIII-G2 voluntary revocation: a host retires its own EphID.
+  Result<void> process_revoke(const core::EphIdRevokeRequest& req,
+                              core::ExpTime now);
+
+  /// §VIII-C: builds a shutoff request this AS (as an ON-PATH AS) can send
+  /// to another AS's agent about a packet its routers observed. The request
+  /// is authorized at the remote agent only when the packet carries this
+  /// AS's AID in its path stamp.
+  core::ShutoffRequest make_onpath_request(
+      const wire::Packet& observed) const;
+
+  const core::EphIdCertificate& cert() const { return ident_.cert; }
+  const ServiceIdentity& identity() const { return ident_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Models "MAC_kAS(revoke EphID_s)" + BR-side verification (Fig 5 tail):
+  /// builds the authenticated instruction, verifies it as a border router
+  /// would, then applies it to revoked_ids.
+  Result<void> instruct_revocation(const core::EphId& ephid,
+                                   core::ExpTime exp_time, core::Hid hid);
+
+  core::AsState& as_;
+  const core::AsDirectory& directory_;
+  net::EventLoop& loop_;
+  ServiceIdentity ident_;
+  Stats stats_;
+};
+
+}  // namespace apna::services

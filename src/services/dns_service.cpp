@@ -1,0 +1,158 @@
+#include "services/dns_service.h"
+
+#include "core/packet_auth.h"
+#include "wire/codec.h"
+
+namespace apna::services {
+
+core::DnsRecord DnsService::sign_record(const std::string& name,
+                                        const core::EphIdCertificate& cert,
+                                        std::uint32_t ipv4) const {
+  core::DnsRecord rec;
+  rec.name = name;
+  rec.cert = cert;
+  rec.ipv4 = ipv4;
+  rec.sig = ident_.kp.sign(rec.tbs());
+  return rec;
+}
+
+Result<core::DnsResponse> DnsService::resolve(const core::DnsQuery& q) {
+  ++stats_.queries;
+  core::DnsResponse resp;
+  if (auto rec = zone_.get(q.name)) {
+    resp.status = 0;
+    resp.record = *rec;
+    // Validating-resolver model: the zone entry was signed by the DNS
+    // service that accepted the publication; the serving resolver re-signs
+    // so clients verify against the key of the server they actually speak
+    // to (the DNSSEC chain stand-in ends at the resolver).
+    resp.record->sig = ident_.kp.sign(resp.record->tbs());
+  } else {
+    ++stats_.nxdomain;
+    resp.status = 1;
+  }
+  return resp;
+}
+
+Result<void> DnsService::publish(const core::DnsPublish& p) {
+  // The published certificate must be valid and issued by a known AS; the
+  // DNS then re-signs the record (the DNSSEC chain).
+  if (auto ok = core::validate_peer_cert(p.cert, directory_,
+                                         loop_.now_seconds());
+      !ok) {
+    ++stats_.rejected;
+    return ok;
+  }
+  zone_.put(sign_record(p.name, p.cert, p.ipv4));
+  ++stats_.publications;
+  return Result<void>::success();
+}
+
+Result<Bytes> DnsService::handle_op(ByteSpan plaintext) {
+  wire::Reader r(plaintext);
+  auto op = r.u8();
+  if (!op) return op.error();
+  switch (static_cast<DnsOp>(*op)) {
+    case DnsOp::query: {
+      auto q = core::DnsQuery::parse(r.rest());
+      if (!q) return q.error();
+      auto resp = resolve(*q);
+      if (!resp) return resp.error();
+      wire::Writer w(400);
+      w.u8(static_cast<std::uint8_t>(DnsOp::response));
+      w.raw(resp->serialize());
+      return w.take();
+    }
+    case DnsOp::publish: {
+      auto p = core::DnsPublish::parse(r.rest());
+      if (!p) return p.error();
+      const auto result = publish(*p);
+      wire::Writer w(2);
+      w.u8(static_cast<std::uint8_t>(DnsOp::response));
+      w.u8(static_cast<std::uint8_t>(result.code()));
+      return w.take();
+    }
+    case DnsOp::response:
+      break;
+  }
+  return Result<Bytes>(Errc::malformed, "unexpected DNS op");
+}
+
+wire::Packet DnsService::make_reply(const wire::Packet& req,
+                                    wire::NextProto proto,
+                                    Bytes payload) const {
+  wire::Packet resp;
+  resp.src_aid = as_.aid;
+  resp.src_ephid = ident_.cert.ephid.bytes;
+  resp.dst_aid = req.src_aid;
+  resp.dst_ephid = req.src_ephid;
+  resp.proto = proto;
+  resp.payload = std::move(payload);
+  core::stamp_packet_mac(*ident_.cmac,
+                         resp);
+  return resp;
+}
+
+Result<wire::Packet> DnsService::handle_packet(const wire::Packet& pkt) {
+  const core::ExpTime now = loop_.now_seconds();
+
+  if (pkt.proto == wire::NextProto::handshake) {
+    // Handshake payloads carry a one-byte kind prefix (0 = init, 1 = resp).
+    wire::Reader hr(pkt.payload);
+    auto kind = hr.u8();
+    if (!kind || *kind != 0) {
+      ++stats_.rejected;
+      return Result<wire::Packet>(Errc::malformed, "expected handshake init");
+    }
+    auto init = core::HandshakeInit::parse(hr.rest());
+    if (!init) {
+      ++stats_.rejected;
+      return init.error();
+    }
+    // The DNS service serves directly from its service EphID.
+    auto hs = core::handshake_respond(*init, directory_, now, ident_.kp,
+                                      ident_.cert, ident_.kp, ident_.cert,
+                                      rng_.next_u64());
+    if (!hs) {
+      ++stats_.rejected;
+      return hs.error();
+    }
+    core::EphId client;
+    client.bytes = pkt.src_ephid;
+    sessions_.erase(client);
+    sessions_.emplace(client, std::move(hs->session));
+    ++stats_.sessions;
+
+    wire::Writer w(300);
+    w.u8(1);  // handshake response kind
+    w.raw(hs->response.serialize());
+    return make_reply(pkt, wire::NextProto::handshake, w.take());
+  }
+
+  if (pkt.proto == wire::NextProto::data) {
+    core::EphId client;
+    client.bytes = pkt.src_ephid;
+    auto it = sessions_.find(client);
+    if (it == sessions_.end()) {
+      ++stats_.rejected;
+      return Result<wire::Packet>(Errc::not_found, "no session for client");
+    }
+    auto pt = it->second.open(pkt.payload);
+    if (!pt) {
+      ++stats_.rejected;
+      return pt.error();
+    }
+    auto reply = handle_op(*pt);
+    if (!reply) {
+      ++stats_.rejected;
+      return reply.error();
+    }
+    return make_reply(pkt, wire::NextProto::data,
+                      it->second.seal(*reply));
+  }
+
+  ++stats_.rejected;
+  return Result<wire::Packet>(Errc::malformed, "DNS expects handshake/data");
+}
+
+}  // namespace apna::services

@@ -1,0 +1,118 @@
+// DNS service (§VII-A).
+//
+// Stores signed records binding names to (receive-only) EphID certificates.
+// Queries and publications run over ordinary APNA encrypted sessions — "DNS
+// queries are encrypted just like any other data communication" — so only
+// the DNS server and the querying host see names. Record signatures by the
+// DNS service's EphID key stand in for DNSSEC.
+//
+// The zone store is shared: several ASes' DNS services can serve one global
+// zone, modelling public DNS. A host may therefore query a *trusted* DNS in
+// a different AS to keep its queries away from its own AS (§VII-A
+// "Protecting DNS Queries").
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/as_state.h"
+#include "core/handshake.h"
+#include "core/messages.h"
+#include "crypto/rng.h"
+#include "net/sim.h"
+#include "services/service_identity.h"
+#include "wire/apna_header.h"
+
+namespace apna::services {
+
+/// Shared name → record store (the global zone data).
+class DnsZone {
+ public:
+  void put(const core::DnsRecord& rec) {
+    std::lock_guard lock(mu_);
+    records_[rec.name] = rec;
+  }
+  std::optional<core::DnsRecord> get(const std::string& name) const {
+    std::lock_guard lock(mu_);
+    auto it = records_.find(name);
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool erase(const std::string& name) {
+    std::lock_guard lock(mu_);
+    return records_.erase(name) > 0;
+  }
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return records_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, core::DnsRecord> records_;
+};
+
+/// Session-layer operation codes carried in DNS data frames.
+enum class DnsOp : std::uint8_t { query = 0, publish = 1, response = 2 };
+
+class DnsService {
+ public:
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t nxdomain = 0;
+    std::uint64_t publications = 0;
+    std::uint64_t sessions = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  DnsService(core::AsState& as, const core::AsDirectory& directory,
+             net::EventLoop& loop, crypto::Rng& rng, ServiceIdentity ident,
+             DnsZone& zone)
+      : as_(as),
+        directory_(directory),
+        loop_(loop),
+        rng_(rng),
+        ident_(std::move(ident)),
+        zone_(zone) {}
+
+  /// Handshake or data packet addressed to the DNS EphID. Returns the reply
+  /// packet (handshake response, or a sealed DnsResponse/status frame).
+  Result<wire::Packet> handle_packet(const wire::Packet& pkt);
+
+  /// Signs a record under the DNS service key (DNSSEC stand-in).
+  core::DnsRecord sign_record(const std::string& name,
+                              const core::EphIdCertificate& cert,
+                              std::uint32_t ipv4) const;
+
+  /// Local-resolver conveniences (in-AS callers and tests).
+  Result<core::DnsResponse> resolve(const core::DnsQuery& q);
+  Result<void> publish(const core::DnsPublish& p);
+
+  const core::EphIdCertificate& cert() const { return ident_.cert; }
+  const ServiceIdentity& identity() const { return ident_; }
+  const crypto::Ed25519PublicKey& record_key() const {
+    return ident_.kp.pub.sig;
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  wire::Packet make_reply(const wire::Packet& req, wire::NextProto proto,
+                          Bytes payload) const;
+  Result<Bytes> handle_op(ByteSpan plaintext);
+
+  core::AsState& as_;
+  const core::AsDirectory& directory_;
+  net::EventLoop& loop_;
+  crypto::Rng& rng_;
+  ServiceIdentity ident_;
+  DnsZone& zone_;
+  Stats stats_;
+  std::uint64_t nonce_ = 1;
+  // Live sessions keyed by client EphID.
+  std::unordered_map<core::EphId, core::Session, core::EphIdHash> sessions_;
+};
+
+}  // namespace apna::services

@@ -1,0 +1,91 @@
+#include "services/management_service.h"
+
+#include "core/packet_auth.h"
+
+namespace apna::services {
+
+Result<Bytes> ManagementService::issue_sealed(const core::EphId& ctrl_ephid,
+                                              ByteSpan sealed_request,
+                                              core::ExpTime now,
+                                              crypto::Rng& rng) {
+  // (HID, T1) = E^-1_kA(EphID_ctrl); abort if T1 < currTime (Fig 3).
+  auto plain = as_.codec.open(ctrl_ephid);
+  if (!plain) {
+    ++stats_.rejected_bad_payload;
+    return Result<Bytes>(plain.error());
+  }
+  if (plain->exp_time < now) {
+    ++stats_.rejected_expired;
+    return Result<Bytes>(Errc::expired, "control EphID expired");
+  }
+  // abort if HID ∉ host_info (also covers revoked HIDs — they are erased).
+  if (as_.revoked.is_hid_revoked(plain->hid)) {
+    ++stats_.rejected_revoked;
+    return Result<Bytes>(Errc::revoked, "HID revoked");
+  }
+  const auto host = as_.host_db.find(plain->hid);
+  if (!host) {
+    ++stats_.rejected_unknown_host;
+    return Result<Bytes>(Errc::unknown_host, "HID not registered");
+  }
+
+  // K+_EphID = E^-1_kHA(request) — authenticated decryption.
+  auto payload = core::open_control(host->keys, /*from_host=*/true,
+                                    sealed_request);
+  if (!payload) {
+    ++stats_.rejected_bad_payload;
+    return Result<Bytes>(payload.error());
+  }
+  auto request = core::EphIdRequest::parse(*payload);
+  if (!request) {
+    ++stats_.rejected_bad_payload;
+    return Result<Bytes>(request.error());
+  }
+
+  // EphID = E_kA(HID, ExpTime); C_EphID = {...} signed K-_AS.
+  const core::ExpTime exp = now + policy_.seconds_for(request->lifetime);
+  core::EphIdCertificate cert;
+  cert.ephid = as_.codec.issue(plain->hid, exp, rng);
+  cert.exp_time = exp;
+  cert.pub = request->ephid_pub;
+  cert.aid = as_.aid;
+  cert.aa_ephid = ident_.cert.aa_ephid;
+  cert.flags = (request->flags & core::kRequestReceiveOnly)
+                   ? core::kCertReceiveOnly
+                   : 0;
+  cert.sign_with(as_.secrets.sign);
+
+  // E_kHA(C_EphID): the reply is encrypted so observers cannot relate the
+  // fresh EphID to the control EphID (§IV-C last paragraph).
+  core::EphIdResponse resp;
+  resp.cert = std::move(cert);
+  const std::uint64_t nonce =
+      reply_nonce_.fetch_add(1, std::memory_order_relaxed);
+  Bytes sealed = core::seal_control(host->keys, nonce, /*from_host=*/false,
+                                    resp.serialize());
+  ++stats_.issued;
+  return sealed;
+}
+
+Result<wire::Packet> ManagementService::handle_packet(const wire::Packet& req) {
+  if (req.proto != wire::NextProto::control)
+    return Result<wire::Packet>(Errc::malformed, "MS expects control packets");
+
+  core::EphId ctrl;
+  ctrl.bytes = req.src_ephid;
+  auto sealed = issue_sealed(ctrl, req.payload, loop_.now_seconds(), rng_);
+  if (!sealed) return sealed.error();
+
+  wire::Packet resp;
+  resp.src_aid = as_.aid;
+  resp.src_ephid = ident_.cert.ephid.bytes;
+  resp.dst_aid = req.src_aid;
+  resp.dst_ephid = req.src_ephid;
+  resp.proto = wire::NextProto::control;
+  resp.payload = sealed.take();
+  core::stamp_packet_mac(*ident_.cmac,
+                         resp);
+  return resp;
+}
+
+}  // namespace apna::services

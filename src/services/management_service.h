@@ -1,0 +1,86 @@
+// Management Service — EphID issuance (Fig 3, §V-A).
+//
+// Receives AEAD-encrypted EphID requests addressed to EphID_ms, validates
+// the requester's control EphID (expiry, HID validity, message
+// authenticity), then issues an EphID and the short-lived certificate
+// C_EphID, returned encrypted under kHA so observers cannot link new EphIDs
+// to the requesting control EphID (§IV-C).
+//
+// issue_sealed() is exactly the per-request server work measured in the
+// paper's MS experiment (§V-A3); bench E1 drives it directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/as_state.h"
+#include "core/messages.h"
+#include "crypto/rng.h"
+#include "net/sim.h"
+#include "services/service_identity.h"
+#include "wire/apna_header.h"
+
+namespace apna::services {
+
+class ManagementService {
+ public:
+  /// §VIII-G1: three lifetime categories accommodating flow durations.
+  struct LifetimePolicy {
+    core::ExpTime short_s = 15 * 60;  // 98% of flows last < 15 min [11]
+    core::ExpTime medium_s = 2 * 3600;
+    core::ExpTime long_s = 24 * 3600;
+
+    core::ExpTime seconds_for(core::EphIdLifetime lt) const {
+      switch (lt) {
+        case core::EphIdLifetime::short_term: return short_s;
+        case core::EphIdLifetime::medium_term: return medium_s;
+        case core::EphIdLifetime::long_term: return long_s;
+      }
+      return short_s;
+    }
+  };
+
+  struct Stats {
+    std::atomic<std::uint64_t> issued{0};
+    std::atomic<std::uint64_t> rejected_expired{0};
+    std::atomic<std::uint64_t> rejected_unknown_host{0};
+    std::atomic<std::uint64_t> rejected_bad_payload{0};
+    std::atomic<std::uint64_t> rejected_revoked{0};
+  };
+
+  ManagementService(core::AsState& as, net::EventLoop& loop, crypto::Rng& rng,
+                    ServiceIdentity ident, LifetimePolicy policy)
+      : as_(as),
+        loop_(loop),
+        rng_(rng),
+        ident_(std::move(ident)),
+        policy_(policy) {}
+  ManagementService(core::AsState& as, net::EventLoop& loop, crypto::Rng& rng,
+                    ServiceIdentity ident)
+      : ManagementService(as, loop, rng, std::move(ident), LifetimePolicy()) {}
+
+  /// Full packet path: parse, validate, issue, build the response packet
+  /// (src = EphID_ms, dst = the requesting control EphID, MAC stamped).
+  Result<wire::Packet> handle_packet(const wire::Packet& req);
+
+  /// The server side of Fig 3 for one request: everything except transport.
+  /// Thread-safe; used concurrently by the E1 multi-worker benchmark.
+  Result<Bytes> issue_sealed(const core::EphId& ctrl_ephid,
+                             ByteSpan sealed_request, core::ExpTime now,
+                             crypto::Rng& rng);
+
+  const core::EphIdCertificate& cert() const { return ident_.cert; }
+  const ServiceIdentity& identity() const { return ident_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  core::AsState& as_;
+  net::EventLoop& loop_;
+  crypto::Rng& rng_;
+  ServiceIdentity ident_;
+  LifetimePolicy policy_;
+  Stats stats_;
+  std::atomic<std::uint64_t> reply_nonce_{1};
+};
+
+}  // namespace apna::services

@@ -1,0 +1,60 @@
+// Infrastructure identities.
+//
+// Every AS service (MS, DNS, AA) and border router is itself an addressable
+// entity: it holds a HID, host↔AS keys (so its packets carry valid source
+// MACs like any host's, §VIII-B), an EphID key pair and an AS-signed
+// certificate. Bootstrap hands hosts the MS/DNS certificates (Fig 2).
+#pragma once
+
+#include "core/as_state.h"
+#include "core/cert.h"
+#include "core/ids.h"
+#include "core/keys.h"
+#include "crypto/rng.h"
+
+namespace apna::services {
+
+struct ServiceIdentity {
+  core::Hid hid = 0;
+  core::HostAsKeys keys;        // kHA of this infrastructure entity
+  core::EphIdKeyPair kp;        // K±_EphID
+  core::EphIdCertificate cert;  // AS-signed, kCertService
+  std::shared_ptr<const crypto::AesCmac> cmac;  // pre-scheduled keys.mac
+};
+
+/// Creates a service identity inside `as`: registers its host record,
+/// issues its EphID, and signs its certificate. `aa_ephid` is the AS's
+/// accountability agent endpoint embedded in every certificate (§IV-C);
+/// pass the service's own EphID when creating the AA itself.
+inline ServiceIdentity make_service_identity(
+    core::AsState& as, core::Hid hid, core::ExpTime exp_time,
+    std::uint8_t extra_flags, const core::EphId* aa_ephid, crypto::Rng& rng) {
+  ServiceIdentity s;
+  s.hid = hid;
+  s.kp = core::EphIdKeyPair::generate(rng);
+
+  // Infrastructure kHA need not come from a DH exchange (the entity lives
+  // inside the AS); derive from fresh randomness.
+  crypto::SharedSecret seed{};
+  rng.fill(MutByteSpan(seed.data(), seed.size()));
+  s.keys = core::HostAsKeys::derive(seed);
+  s.cmac = std::make_shared<const crypto::AesCmac>(
+      ByteSpan(s.keys.mac.data(), s.keys.mac.size()));
+
+  core::HostRecord rec;
+  rec.hid = hid;
+  rec.keys = s.keys;
+  rec.subscriber_id = 0;  // infrastructure, not a customer
+  as.host_db.upsert(rec);
+
+  s.cert.ephid = as.codec.issue(hid, exp_time, rng);
+  s.cert.exp_time = exp_time;
+  s.cert.pub = s.kp.pub;
+  s.cert.aid = as.aid;
+  s.cert.aa_ephid = aa_ephid ? *aa_ephid : s.cert.ephid;
+  s.cert.flags = static_cast<std::uint8_t>(core::kCertService | extra_flags);
+  s.cert.sign_with(as.secrets.sign);
+  return s;
+}
+
+}  // namespace apna::services

@@ -1,0 +1,73 @@
+// Subscriber database — the AS's existing customer records (§IV-B: "ASes
+// already authenticate their customers"; "an AS can require a user to
+// authenticate using login credentials that are created when the user
+// subscribes").
+//
+// Also the enforcement point against identity minting (§VI-A): one live HID
+// per subscriber; allocating a new HID revokes the previous one.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "core/ids.h"
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace apna::services {
+
+class SubscriberRegistry {
+ public:
+  /// Enrolls a customer with an authentication credential.
+  void add_subscriber(std::uint32_t subscriber_id, ByteSpan credential) {
+    std::lock_guard lock(mu_);
+    Entry e;
+    e.credential_digest = crypto::Sha256::hash(credential);
+    subs_[subscriber_id] = e;
+  }
+
+  /// Validates a login attempt.
+  bool authenticate(std::uint32_t subscriber_id, ByteSpan credential) const {
+    std::lock_guard lock(mu_);
+    auto it = subs_.find(subscriber_id);
+    if (it == subs_.end()) return false;
+    const auto digest = crypto::Sha256::hash(credential);
+    return ct_equal(ByteSpan(digest.data(), digest.size()),
+                    ByteSpan(it->second.credential_digest.data(), 32));
+  }
+
+  /// The subscriber's currently active HID (0 = none).
+  core::Hid active_hid(std::uint32_t subscriber_id) const {
+    std::lock_guard lock(mu_);
+    auto it = subs_.find(subscriber_id);
+    return it == subs_.end() ? 0 : it->second.active_hid;
+  }
+
+  /// Binds a new HID; returns the previous one (0 if none) so the caller
+  /// can revoke it — "at any moment every host on the network is identified
+  /// by a single HID" (§VI-A).
+  core::Hid bind_hid(std::uint32_t subscriber_id, core::Hid hid) {
+    std::lock_guard lock(mu_);
+    auto& entry = subs_[subscriber_id];
+    const core::Hid previous = entry.active_hid;
+    entry.active_hid = hid;
+    return previous;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return subs_.size();
+  }
+
+ private:
+  struct Entry {
+    std::array<std::uint8_t, 32> credential_digest{};
+    core::Hid active_hid = 0;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint32_t, Entry> subs_;
+};
+
+}  // namespace apna::services

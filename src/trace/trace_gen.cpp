@@ -1,0 +1,120 @@
+#include "trace/trace_gen.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace apna::trace {
+
+namespace {
+
+/// splitmix64 — cheap per-arrival randomness inside the hot loop, seeded
+/// from the trace seed so runs stay deterministic.
+struct SplitMix {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  /// Box-Muller standard normal.
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+  /// Poisson via normal approximation (valid for the λ ≥ ~50 used here).
+  std::uint32_t poisson(double lambda) {
+    if (lambda <= 0) return 0;
+    const double v = lambda + std::sqrt(lambda) * normal();
+    return v <= 0 ? 0 : static_cast<std::uint32_t>(v + 0.5);
+  }
+};
+
+}  // namespace
+
+double TraceGenerator::rate_at(std::uint32_t t) const {
+  const double floor = cfg_.night_floor_per_s / cfg_.scale;
+  const double peak = cfg_.day_peak_per_s / cfg_.scale;
+  // Sinusoid with its minimum at t = 0 (night) and maximum mid-day.
+  const double phase =
+      2.0 * std::numbers::pi * static_cast<double>(t) / cfg_.duration_s;
+  const double s = 0.5 * (1.0 - std::cos(phase));  // 0 at night, 1 mid-day
+  return floor + (peak - floor) * s;
+}
+
+std::vector<std::uint32_t> TraceGenerator::arrivals_per_second() const {
+  SplitMix rng{cfg_.seed * 0x9e3779b97f4a7c15ULL + 1};
+  std::vector<std::uint32_t> out(cfg_.duration_s);
+  for (std::uint32_t t = 0; t < cfg_.duration_s; ++t)
+    out[t] = rng.poisson(rate_at(t));
+  return out;
+}
+
+TraceStats TraceGenerator::run() const {
+  // Two independent streams: the arrival process (identical to
+  // arrivals_per_second()) and per-flow details, so the aggregate counts
+  // are consistent across the two entry points.
+  SplitMix rng{cfg_.seed * 0x9e3779b97f4a7c15ULL + 1};
+  SplitMix flow_rng{cfg_.seed * 0x9e3779b97f4a7c15ULL + 2};
+  const std::uint32_t hosts =
+      std::max<std::uint32_t>(1, cfg_.num_hosts / cfg_.scale);
+
+  std::vector<bool> seen(hosts, false);
+  std::uint64_t unique = 0;
+
+  // Difference array for concurrency (one slot past the end for run-off).
+  std::vector<std::int64_t> concurrency_delta(cfg_.duration_s + 1, 0);
+
+  TraceStats stats;
+  long double duration_sum = 0;
+  std::uint64_t under_15min = 0;
+
+  for (std::uint32_t t = 0; t < cfg_.duration_s; ++t) {
+    const std::uint32_t arrivals = rng.poisson(rate_at(t));
+    if (arrivals > stats.peak_arrivals_per_s) {
+      stats.peak_arrivals_per_s = arrivals;
+      stats.peak_arrival_second = t;
+    }
+    stats.total_entries += arrivals;
+
+    for (std::uint32_t i = 0; i < arrivals; ++i) {
+      const std::uint32_t host =
+          static_cast<std::uint32_t>(flow_rng.next() % hosts);
+      if (!seen[host]) {
+        seen[host] = true;
+        ++unique;
+      }
+      const double dur =
+          std::exp(cfg_.duration_mu + cfg_.duration_sigma * flow_rng.normal());
+      duration_sum += dur;
+      if (dur < 900.0) ++under_15min;
+      const std::uint32_t end =
+          t + static_cast<std::uint32_t>(
+                  std::min(dur, static_cast<double>(cfg_.duration_s)));
+      concurrency_delta[t] += 1;
+      concurrency_delta[std::min(end + 1, cfg_.duration_s)] -= 1;
+    }
+  }
+
+  std::int64_t active = 0;
+  for (std::uint32_t t = 0; t < cfg_.duration_s; ++t) {
+    active += concurrency_delta[t];
+    if (active > static_cast<std::int64_t>(stats.peak_concurrent))
+      stats.peak_concurrent = static_cast<std::uint64_t>(active);
+  }
+
+  stats.unique_hosts = unique;
+  if (stats.total_entries > 0) {
+    stats.fraction_under_15min =
+        static_cast<double>(under_15min) / stats.total_entries;
+    stats.mean_duration_s =
+        static_cast<double>(duration_sum / stats.total_entries);
+  }
+  return stats;
+}
+
+}  // namespace apna::trace

@@ -1,0 +1,21 @@
+// Hex encoding/decoding for fixtures, logging and test vectors.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace apna {
+
+/// Lower-case hex encoding of a byte span.
+std::string hex_encode(ByteSpan data);
+
+/// Decodes a hex string (case-insensitive, even length). Returns nullopt on
+/// malformed input.
+std::optional<Bytes> hex_decode(std::string_view hex);
+
+/// Convenience for test code: decodes or aborts. Only call with literals.
+Bytes must_hex(std::string_view hex);
+
+}  // namespace apna

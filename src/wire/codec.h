@@ -1,0 +1,126 @@
+// Bounds-checked wire serialization primitives.
+//
+// Every protocol object in APNA (headers, certificates, control messages)
+// serializes through Writer/Reader so parsing failures surface as
+// Errc::malformed instead of undefined behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace apna::wire {
+
+/// Appends big-endian fields to a growing buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    std::uint8_t b[2];
+    store_be16(b, v);
+    append(buf_, ByteSpan(b, 2));
+  }
+  void u32(std::uint32_t v) {
+    std::uint8_t b[4];
+    store_be32(b, v);
+    append(buf_, ByteSpan(b, 4));
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t b[8];
+    store_be64(b, v);
+    append(buf_, ByteSpan(b, 8));
+  }
+  /// Raw bytes, no length prefix (fixed-size fields).
+  void raw(ByteSpan data) { append(buf_, data); }
+  template <std::size_t N>
+  void raw(const std::array<std::uint8_t, N>& data) {
+    append(buf_, ByteSpan(data.data(), N));
+  }
+  /// Length-prefixed (u16) variable field.
+  void var(ByteSpan data) {
+    u16(static_cast<std::uint16_t>(data.size()));
+    raw(data);
+  }
+  void str(std::string_view s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    raw(ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads big-endian fields; every accessor reports malformed input.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  Result<std::uint8_t> u8() {
+    if (pos_ + 1 > data_.size()) return Errc::malformed;
+    return data_[pos_++];
+  }
+  Result<std::uint16_t> u16() {
+    if (pos_ + 2 > data_.size()) return Errc::malformed;
+    const auto v = load_be16(data_.data() + pos_);
+    pos_ += 2;
+    return v;
+  }
+  Result<std::uint32_t> u32() {
+    if (pos_ + 4 > data_.size()) return Errc::malformed;
+    const auto v = load_be32(data_.data() + pos_);
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> u64() {
+    if (pos_ + 8 > data_.size()) return Errc::malformed;
+    const auto v = load_be64(data_.data() + pos_);
+    pos_ += 8;
+    return v;
+  }
+  /// Fixed-size field.
+  Result<ByteSpan> raw(std::size_t n) {
+    if (pos_ + n > data_.size()) return Errc::malformed;
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  template <std::size_t N>
+  Result<std::array<std::uint8_t, N>> arr() {
+    auto span = raw(N);
+    if (!span) return span.error();
+    std::array<std::uint8_t, N> out;
+    std::copy(span->begin(), span->end(), out.begin());
+    return out;
+  }
+  /// u16 length-prefixed field.
+  Result<ByteSpan> var() {
+    auto len = u16();
+    if (!len) return len.error();
+    return raw(*len);
+  }
+  Result<std::string> str() {
+    auto span = var();
+    if (!span) return span.error();
+    return std::string(span->begin(), span->end());
+  }
+
+  /// All bytes not yet consumed.
+  ByteSpan rest() const { return data_.subspan(pos_); }
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace apna::wire

@@ -1,0 +1,135 @@
+#include "wire/ipv4.h"
+
+namespace apna::wire {
+
+std::uint16_t ipv4_checksum(ByteSpan header20) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header20.size(); i += 2)
+    sum += load_be16(header20.data() + i);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes Ipv4Header::serialize(std::size_t payload_len) const {
+  Writer w(kIpv4HeaderSize);
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0);     // DSCP/ECN
+  w.u16(static_cast<std::uint16_t>(kIpv4HeaderSize + payload_len));
+  w.u16(0);    // identification
+  w.u16(0);    // flags/fragment offset
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.u16(0);    // checksum placeholder
+  w.u32(src);
+  w.u32(dst);
+  Bytes out = w.take();
+  const std::uint16_t csum = ipv4_checksum(out);
+  store_be16(out.data() + 10, csum);
+  return out;
+}
+
+Result<Ipv4Header> Ipv4Header::parse(Reader& r) {
+  const ByteSpan all = r.rest();
+  if (all.size() < kIpv4HeaderSize)
+    return Result<Ipv4Header>(Errc::malformed, "short ipv4 header");
+  if (ipv4_checksum(all.subspan(0, kIpv4HeaderSize)) != 0)
+    return Result<Ipv4Header>(Errc::malformed, "bad ipv4 checksum");
+
+  Ipv4Header h;
+  auto ver_ihl = r.u8();
+  if (!ver_ihl || *ver_ihl != 0x45)
+    return Result<Ipv4Header>(Errc::malformed, "unsupported version/ihl");
+  (void)r.u8();  // DSCP
+  auto total = r.u16();
+  if (!total) return total.error();
+  h.total_length = *total;
+  (void)r.u16();  // identification
+  (void)r.u16();  // flags/frag
+  auto ttl = r.u8();
+  if (!ttl) return ttl.error();
+  h.ttl = *ttl;
+  auto proto = r.u8();
+  if (!proto) return proto.error();
+  h.proto = static_cast<IpProto>(*proto);
+  (void)r.u16();  // checksum (verified above)
+  auto src = r.u32();
+  if (!src) return src.error();
+  h.src = *src;
+  auto dst = r.u32();
+  if (!dst) return dst.error();
+  h.dst = *dst;
+  return h;
+}
+
+Bytes Ipv4Packet::serialize() const {
+  Writer body(payload.size() + 4);
+  const bool has_ports =
+      hdr.proto == IpProto::tcp || hdr.proto == IpProto::udp;
+  if (has_ports) {
+    body.u16(src_port);
+    body.u16(dst_port);
+  }
+  body.raw(payload);
+  const Bytes body_bytes = body.take();
+  Bytes out = hdr.serialize(body_bytes.size());
+  append(out, body_bytes);
+  return out;
+}
+
+Result<Ipv4Packet> Ipv4Packet::parse(ByteSpan data) {
+  Reader r(data);
+  auto hdr = Ipv4Header::parse(r);
+  if (!hdr) return hdr.error();
+  Ipv4Packet p;
+  p.hdr = *hdr;
+  const bool has_ports =
+      p.hdr.proto == IpProto::tcp || p.hdr.proto == IpProto::udp;
+  if (has_ports) {
+    auto sp = r.u16();
+    if (!sp) return sp.error();
+    p.src_port = *sp;
+    auto dp = r.u16();
+    if (!dp) return dp.error();
+    p.dst_port = *dp;
+  }
+  const ByteSpan rest = r.rest();
+  p.payload.assign(rest.begin(), rest.end());
+  return p;
+}
+
+Bytes GreApnaPacket::serialize() const {
+  const Bytes inner = apna.serialize();
+  Writer w(kIpv4HeaderSize + kGreHeaderSize + inner.size());
+  Ipv4Header ip = outer;
+  ip.proto = IpProto::gre;
+  w.raw(ip.serialize(kGreHeaderSize + inner.size()));
+  // GRE header (RFC 2784): flags/version = 0, protocol type = APNA.
+  w.u16(0x0000);
+  w.u16(kGreProtoApna);
+  w.raw(inner);
+  return w.take();
+}
+
+Result<GreApnaPacket> GreApnaPacket::parse(ByteSpan data) {
+  Reader r(data);
+  auto ip = Ipv4Header::parse(r);
+  if (!ip) return ip.error();
+  if (ip->proto != IpProto::gre)
+    return Result<GreApnaPacket>(Errc::malformed, "not a GRE packet");
+  auto flags = r.u16();
+  if (!flags) return flags.error();
+  if (*flags != 0)
+    return Result<GreApnaPacket>(Errc::malformed, "unsupported GRE flags");
+  auto ptype = r.u16();
+  if (!ptype) return ptype.error();
+  if (*ptype != kGreProtoApna)
+    return Result<GreApnaPacket>(Errc::malformed, "GRE payload is not APNA");
+  auto apna = Packet::parse(r.rest());
+  if (!apna) return apna.error();
+  GreApnaPacket g;
+  g.outer = *ip;
+  g.apna = apna.take();
+  return g;
+}
+
+}  // namespace apna::wire

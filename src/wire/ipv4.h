@@ -1,0 +1,89 @@
+// Minimal IPv4 + GRE codecs for the incremental-deployment path (§VII-D).
+//
+// APNA-over-IPv4 encapsulates the APNA header and payload in a GRE tunnel
+// (Fig 9): IPv4 ‖ GRE(Protocol Type = APNA) ‖ APNA header ‖ payload. IPv4
+// addresses of APNA routers serve as AIDs; host IPv4 addresses serve as
+// HIDs. The gateway module also uses the plain IPv4 header + 5-tuple for
+// translating legacy traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "wire/apna_header.h"
+
+namespace apna::wire {
+
+constexpr std::size_t kIpv4HeaderSize = 20;  // no options
+constexpr std::size_t kGreHeaderSize = 4;    // basic RFC 2784 header
+
+/// IP protocol numbers used by the deployment path.
+enum class IpProto : std::uint8_t {
+  icmp = 1,
+  tcp = 6,
+  udp = 17,
+  gre = 47,
+};
+
+/// The EtherType-style protocol number we "request from IANA" for APNA
+/// inside GRE (§VII-D). Private-use value.
+constexpr std::uint16_t kGreProtoApna = 0x88B7;
+
+struct Ipv4Header {
+  std::uint8_t ttl = 64;
+  IpProto proto = IpProto::gre;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint16_t total_length = 0;  // filled by serialize
+
+  Bytes serialize(std::size_t payload_len) const;
+  static Result<Ipv4Header> parse(Reader& r);
+};
+
+/// Computes the RFC 791 header checksum (for the fixed 20-byte header).
+std::uint16_t ipv4_checksum(ByteSpan header20);
+
+/// An IPv4 packet with opaque payload (what legacy hosts hand the gateway).
+struct Ipv4Packet {
+  Ipv4Header hdr;
+  std::uint16_t src_port = 0;  // transport ports, 0 if proto has none
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+
+  Bytes serialize() const;
+  static Result<Ipv4Packet> parse(ByteSpan wire);
+};
+
+/// Legacy 5-tuple flow key (§VII-D "identified by the standard 5-tuple").
+struct FlowKey5 {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  bool operator==(const FlowKey5&) const = default;
+};
+
+struct FlowKey5Hash {
+  std::size_t operator()(const FlowKey5& k) const {
+    std::size_t h = k.src_ip;
+    h = h * 1000003 ^ k.dst_ip;
+    h = h * 1000003 ^ (std::size_t{k.src_port} << 16 | k.dst_port);
+    h = h * 1000003 ^ k.proto;
+    return h;
+  }
+};
+
+/// GRE-encapsulated APNA packet (Fig 9).
+struct GreApnaPacket {
+  Ipv4Header outer;     // src/dst are APNA entities (routers/hosts)
+  Packet apna;          // the APNA header + payload
+
+  Bytes serialize() const;
+  static Result<GreApnaPacket> parse(ByteSpan wire);
+};
+
+}  // namespace apna::wire

@@ -1,0 +1,375 @@
+// Parameterized property sweeps for the crypto substrate — broad-range
+// checks complementing the KATs in crypto_test.cpp.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/ed25519.h"
+#include "crypto/fe25519.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/modes.h"
+#include "crypto/rng.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+#include "util/hex.h"
+
+namespace apna::crypto {
+namespace {
+
+// ---- CMAC length sweep: streaming/two-span implementation vs a simple
+// reference built directly from RFC 4493 pseudo-code. -------------------------
+
+std::array<std::uint8_t, 16> reference_cmac(const Aes128& aes,
+                                            const std::array<std::uint8_t, 16>& k1,
+                                            const std::array<std::uint8_t, 16>& k2,
+                                            ByteSpan m) {
+  const std::size_t n = (m.size() + 15) / 16;
+  std::array<std::uint8_t, 16> x{};
+  auto xor_block = [&](const std::uint8_t* p) {
+    for (int i = 0; i < 16; ++i) x[i] ^= p[i];
+  };
+  if (n == 0) {
+    std::uint8_t last[16] = {0x80};
+    xor_block(last);
+    for (int i = 0; i < 16; ++i) x[i] ^= k2[i];
+    aes.encrypt_block(x.data(), x.data());
+    return x;
+  }
+  for (std::size_t b = 0; b + 1 < n; ++b) {
+    xor_block(m.data() + 16 * b);
+    aes.encrypt_block(x.data(), x.data());
+  }
+  const std::size_t rem = m.size() - 16 * (n - 1);
+  std::uint8_t last[16] = {};
+  std::memcpy(last, m.data() + 16 * (n - 1), rem);
+  const std::array<std::uint8_t, 16>* subkey = &k1;
+  if (rem < 16) {
+    last[rem] = 0x80;
+    subkey = &k2;
+  }
+  xor_block(last);
+  for (int i = 0; i < 16; ++i) x[i] ^= (*subkey)[i];
+  aes.encrypt_block(x.data(), x.data());
+  return x;
+}
+
+class CmacLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmacLengthSweep, MatchesReferenceAndSplitInvariance) {
+  ChaChaRng rng(1000 + GetParam());
+  const Bytes key = rng.bytes(16);
+  const AesCmac cmac(key);
+  const Bytes msg = rng.bytes(GetParam());
+
+  // Recompute the RFC 4493 subkeys independently.
+  Aes128 aes(key);
+  std::array<std::uint8_t, 16> l{};
+  aes.encrypt_block(l.data(), l.data());
+  auto dbl = [](std::array<std::uint8_t, 16> v) {
+    const std::uint8_t carry = v[0] >> 7;
+    for (int i = 0; i < 15; ++i)
+      v[i] = static_cast<std::uint8_t>((v[i] << 1) | (v[i + 1] >> 7));
+    v[15] = static_cast<std::uint8_t>(v[15] << 1);
+    if (carry) v[15] ^= 0x87;
+    return v;
+  };
+  const auto k1 = dbl(l);
+  const auto k2 = dbl(k1);
+
+  const auto expect = reference_cmac(aes, k1, k2, msg);
+  EXPECT_EQ(hex_encode(cmac.mac(msg)), hex_encode(expect));
+
+  // Split invariance at several cut points.
+  for (std::size_t cut : {std::size_t{0}, msg.size() / 3, msg.size() / 2,
+                          msg.size()}) {
+    EXPECT_EQ(hex_encode(cmac.mac2(ByteSpan(msg.data(), cut),
+                                   ByteSpan(msg.data() + cut,
+                                            msg.size() - cut))),
+              hex_encode(expect))
+        << "len=" << msg.size() << " cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, CmacLengthSweep,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 47,
+                                           48, 63, 64, 65, 127, 128, 129,
+                                           255, 256, 1000, 1460, 4096));
+
+// ---- Software backend parity ------------------------------------------------------
+// On AES-NI hosts the soft backend otherwise only runs in one direct test;
+// force it through the public API so portability is continuously verified.
+
+TEST(SoftBackend, Fips197KnownAnswer) {
+  Aes128 soft(must_hex("000102030405060708090a0b0c0d0e0f"),
+              Aes128::Backend::soft);
+  EXPECT_STREQ(soft.backend(), "soft");
+  const Bytes pt = must_hex("00112233445566778899aabbccddeeff");
+  std::uint8_t ct[16];
+  soft.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(ByteSpan(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(SoftBackend, AgreesWithAutoBackendEverywhere) {
+  ChaChaRng rng(14);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Bytes key = rng.bytes(16);
+    Aes128 auto_aes(key);
+    Aes128 soft_aes(key, Aes128::Backend::soft);
+
+    // Block + batch.
+    const Bytes blocks = rng.bytes(16 * 7);
+    Bytes out_auto(blocks.size()), out_soft(blocks.size());
+    auto_aes.encrypt_blocks(blocks.data(), out_auto.data(), 7);
+    soft_aes.encrypt_blocks(blocks.data(), out_soft.data(), 7);
+    EXPECT_EQ(hex_encode(out_auto), hex_encode(out_soft));
+
+    // CTR.
+    const Bytes iv = rng.bytes(16);
+    const Bytes msg = rng.bytes(123);
+    EXPECT_EQ(hex_encode(aes_ctr(auto_aes, iv.data(), msg)),
+              hex_encode(aes_ctr(soft_aes, iv.data(), msg)));
+
+    // CBC-MAC chain (the fused kernel vs the scalar loop).
+    std::uint8_t x_auto[16] = {}, x_soft[16] = {};
+    const Bytes chain = rng.bytes(16 * 5);
+    auto_aes.cbc_mac_absorb(x_auto, chain.data(), 5);
+    soft_aes.cbc_mac_absorb(x_soft, chain.data(), 5);
+    EXPECT_EQ(hex_encode(ByteSpan(x_auto, 16)),
+              hex_encode(ByteSpan(x_soft, 16)));
+  }
+}
+
+// ---- AES CTR vs ECB cross-check ------------------------------------------------
+
+TEST(AesProperty, CtrKeystreamMatchesManualEcb) {
+  ChaChaRng rng(2);
+  const Bytes key = rng.bytes(16);
+  Aes128 aes(key);
+  std::uint8_t ctr[16];
+  Bytes iv = rng.bytes(16);
+  std::memcpy(ctr, iv.data(), 16);
+
+  const Bytes zeros(48, 0);
+  const Bytes ks = aes_ctr(aes, iv.data(), zeros);
+  for (int blk = 0; blk < 3; ++blk) {
+    std::uint8_t expect[16];
+    aes.encrypt_block(ctr, expect);
+    EXPECT_EQ(hex_encode(ByteSpan(ks.data() + 16 * blk, 16)),
+              hex_encode(ByteSpan(expect, 16)));
+    for (int i = 15; i >= 12; --i)
+      if (++ctr[i] != 0) break;
+  }
+}
+
+// ---- AEAD cross-suite independence ------------------------------------------------
+
+TEST(AeadProperty, SuitesAreMutuallyIncompatible) {
+  ChaChaRng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes pt = rng.bytes(64);
+  auto chacha = Aead::create(AeadSuite::chacha20_poly1305, key);
+  auto gcm = Aead::create(AeadSuite::aes128_gcm, key);
+  auto etm = Aead::create(AeadSuite::aes128_ctr_cmac, key);
+  const Bytes sealed = chacha->seal(nonce, {}, pt);
+  EXPECT_FALSE(gcm->open(nonce, {}, sealed).has_value());
+  EXPECT_FALSE(etm->open(nonce, {}, sealed).has_value());
+  const Bytes sealed_gcm = gcm->seal(nonce, {}, pt);
+  EXPECT_FALSE(etm->open(nonce, {}, sealed_gcm).has_value());
+}
+
+TEST(AeadProperty, AadOnlyMessages) {
+  ChaChaRng rng(4);
+  for (auto suite : {AeadSuite::chacha20_poly1305, AeadSuite::aes128_gcm,
+                     AeadSuite::aes128_ctr_cmac}) {
+    auto aead = Aead::create(suite, rng.bytes(32));
+    const Bytes nonce = rng.bytes(12);
+    const Bytes aad = rng.bytes(100);
+    const Bytes sealed = aead->seal(nonce, aad, {});
+    EXPECT_EQ(sealed.size(), Aead::kTagSize);
+    auto opened = aead->open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_TRUE(opened->empty());
+    Bytes wrong_aad = aad;
+    wrong_aad[50] ^= 1;
+    EXPECT_FALSE(aead->open(nonce, wrong_aad, sealed).has_value());
+  }
+}
+
+// ---- Field arithmetic: ring axioms over random elements ----------------------------
+
+class FeAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeAxioms, AssociativityDistributivity) {
+  ChaChaRng rng(5000 + GetParam());
+  auto random_fe = [&] {
+    Bytes b = rng.bytes(32);
+    b[31] &= 0x3f;
+    return fe_frombytes(b.data());
+  };
+  const Fe a = random_fe(), b = random_fe(), c = random_fe();
+  // (a*b)*c == a*(b*c)
+  EXPECT_TRUE(fe_equal(fe_mul(fe_mul(a, b), c), fe_mul(a, fe_mul(b, c))));
+  // a*(b+c) == a*b + a*c
+  EXPECT_TRUE(fe_equal(fe_mul(a, fe_add(b, c)),
+                       fe_add(fe_mul(a, b), fe_mul(a, c))));
+  // (a-b)+b == a
+  EXPECT_TRUE(fe_equal(fe_add(fe_sub(a, b), b), a));
+  // neg(neg(a)) == a
+  EXPECT_TRUE(fe_equal(fe_neg(fe_neg(a)), a));
+  // a^2 == a*a via fe_sq
+  EXPECT_TRUE(fe_equal(fe_sq(a), fe_mul(a, a)));
+  // small-scalar mul agrees with repeated addition
+  EXPECT_TRUE(fe_equal(fe_mul_small(a, 3), fe_add(fe_add(a, a), a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FeAxioms, ::testing::Range(0, 12));
+
+// ---- X25519: contributory-ish sanity + basepoint consistency -----------------------
+
+TEST(X25519Property, LadderMatchesIteratedBase) {
+  // x25519(a, x25519(b, G)) == x25519(b, x25519(a, G)) — the DH property,
+  // swept across several pairs.
+  ChaChaRng rng(6);
+  for (int i = 0; i < 4; ++i) {
+    auto a = X25519KeyPair::generate(rng);
+    auto b = X25519KeyPair::generate(rng);
+    EXPECT_EQ(hex_encode(x25519(a.priv, b.pub)),
+              hex_encode(x25519(b.priv, a.pub)));
+  }
+}
+
+TEST(X25519Property, ClampingMakesLowBitsIrrelevant) {
+  ChaChaRng rng(7);
+  X25519PrivateKey k{};
+  rng.fill(MutByteSpan(k.data(), 32));
+  X25519PrivateKey k2 = k;
+  k2[0] ^= 0x07;  // clamped away
+  EXPECT_EQ(hex_encode(x25519_base(k)), hex_encode(x25519_base(k2)));
+  X25519PrivateKey k3 = k;
+  k3[15] ^= 0x10;  // a real scalar bit
+  EXPECT_NE(hex_encode(x25519_base(k)), hex_encode(x25519_base(k3)));
+}
+
+// ---- Ed25519: message-length sweep -----------------------------------------------
+
+class Ed25519Lengths : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ed25519Lengths, SignVerifyRoundtrip) {
+  ChaChaRng rng(9000 + GetParam());
+  auto kp = Ed25519KeyPair::generate(rng);
+  const Bytes msg = rng.bytes(GetParam());
+  const auto sig = kp.sign(msg);
+  EXPECT_TRUE(ed25519_verify(kp.pub, msg, sig));
+  if (!msg.empty()) {
+    Bytes bad = msg;
+    bad[msg.size() / 2] ^= 1;
+    EXPECT_FALSE(ed25519_verify(kp.pub, bad, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Ed25519Lengths,
+                         ::testing::Values(0, 1, 32, 64, 100, 1000));
+
+TEST(Ed25519Property, DistinctSeedsDistinctKeys) {
+  ChaChaRng rng(8);
+  std::set<std::string> pubs;
+  for (int i = 0; i < 16; ++i)
+    pubs.insert(hex_encode(Ed25519KeyPair::generate(rng).pub));
+  EXPECT_EQ(pubs.size(), 16u);
+}
+
+TEST(Ed25519Property, SignatureNotValidForOtherKey) {
+  ChaChaRng rng(9);
+  auto kp1 = Ed25519KeyPair::generate(rng);
+  auto kp2 = Ed25519KeyPair::generate(rng);
+  const Bytes msg = to_bytes("cross-key");
+  EXPECT_FALSE(ed25519_verify(kp2.pub, msg, kp1.sign(msg)));
+}
+
+// ---- Hash/HKDF edge cases ----------------------------------------------------------
+
+TEST(ShaProperty, BlockBoundaryLengths) {
+  // Lengths straddling the padding boundaries must hash consistently
+  // between incremental and one-shot paths.
+  ChaChaRng rng(10);
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 127u,
+                          128u, 129u}) {
+    const Bytes data = rng.bytes(len);
+    Sha256 inc;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      inc.update(ByteSpan(data.data() + i, 1));
+    EXPECT_EQ(hex_encode(inc.finish()), hex_encode(Sha256::hash(data)))
+        << len;
+
+    Sha512 inc512;
+    for (std::size_t i = 0; i < data.size(); ++i)
+      inc512.update(ByteSpan(data.data() + i, 1));
+    EXPECT_EQ(hex_encode(inc512.finish()), hex_encode(Sha512::hash(data)))
+        << len;
+  }
+}
+
+TEST(HkdfProperty, OutputLengthsAndPrefixProperty) {
+  ChaChaRng rng(11);
+  const Bytes ikm = rng.bytes(32);
+  const Bytes salt = rng.bytes(13);
+  const Bytes info = to_bytes("ctx");
+  const Bytes long_out = hkdf(salt, ikm, info, 96);
+  EXPECT_EQ(long_out.size(), 96u);
+  // HKDF output is prefix-consistent for the same inputs.
+  const Bytes short_out = hkdf(salt, ikm, info, 32);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+  // Different salt/info breaks it.
+  EXPECT_NE(hex_encode(hkdf(salt, ikm, to_bytes("ctx2"), 32)),
+            hex_encode(short_out));
+}
+
+// ---- ChaCha20 counter independence ---------------------------------------------------
+
+TEST(ChaChaProperty, BlocksAreIndependentByCounter) {
+  ChaChaRng rng(12);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  std::uint8_t b0[64], b1[64], b0_again[64];
+  chacha20_block(key.data(), 0, nonce.data(), b0);
+  chacha20_block(key.data(), 1, nonce.data(), b1);
+  chacha20_block(key.data(), 0, nonce.data(), b0_again);
+  EXPECT_NE(hex_encode(ByteSpan(b0, 64)), hex_encode(ByteSpan(b1, 64)));
+  EXPECT_EQ(hex_encode(ByteSpan(b0, 64)), hex_encode(ByteSpan(b0_again, 64)));
+
+  // Streaming at an offset equals block-by-block XOR.
+  const Bytes pt = rng.bytes(130);
+  Bytes ct(pt.size());
+  chacha20_xcrypt(key.data(), 0, nonce.data(), pt, ct);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(ct[i], pt[i] ^ b0[i]);
+  for (std::size_t i = 64; i < 128; ++i)
+    EXPECT_EQ(ct[i], pt[i] ^ b1[i - 64]);
+}
+
+// ---- GCM vs CTR consistency ----------------------------------------------------------
+
+TEST(GcmProperty, CiphertextPrefixMatchesCtrAtCounter2) {
+  // GCM encrypts with CTR starting at counter 2 under J0 = nonce ‖ 1.
+  ChaChaRng rng(13);
+  const Bytes key = rng.bytes(16);
+  const Bytes nonce = rng.bytes(12);
+  const Bytes pt = rng.bytes(40);
+  AesGcm gcm(key);
+  const Bytes sealed = gcm.seal(nonce, {}, pt);
+
+  Aes128 aes(key);
+  std::uint8_t ctr[16];
+  std::memcpy(ctr, nonce.data(), 12);
+  store_be32(ctr + 12, 2);
+  const Bytes expect_ct = aes_ctr(aes, ctr, pt);
+  EXPECT_EQ(hex_encode(ByteSpan(sealed.data(), pt.size())),
+            hex_encode(expect_ct));
+}
+
+}  // namespace
+}  // namespace apna::crypto

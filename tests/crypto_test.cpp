@@ -1,0 +1,771 @@
+// Known-answer and property tests for the crypto substrate.
+//
+// Every primitive is anchored by published vectors (FIPS-197, SP 800-38A/D,
+// RFC 4493, RFC 4231, RFC 5869, RFC 7748, RFC 8032, RFC 8439) and then
+// exercised with parameterized roundtrip/tamper properties.
+#include <gtest/gtest.h>
+
+#include "crypto/aead.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/ed25519.h"
+#include "crypto/fe25519.h"
+#include "crypto/gcm.h"
+#include "crypto/hmac.h"
+#include "crypto/modes.h"
+#include "crypto/rng.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+#include "util/hex.h"
+
+namespace apna::crypto {
+namespace {
+
+// ---- AES -------------------------------------------------------------------
+
+TEST(Aes, Fips197KnownAnswer) {
+  const Bytes key = must_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = must_hex("00112233445566778899aabbccddeeff");
+  Aes128 aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(ByteSpan(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Sp800_38aEcbVector) {
+  const Bytes key = must_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes pt = must_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key);
+  std::uint8_t ct[16];
+  aes.encrypt_block(pt.data(), ct);
+  EXPECT_EQ(hex_encode(ByteSpan(ct, 16)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes, SoftAndNiBackendsAgree) {
+  // Directly compares the two backends on random blocks (meaningful only
+  // when AES-NI is present; otherwise both paths are the software one).
+  ChaChaRng rng(42);
+  for (int i = 0; i < 64; ++i) {
+    Bytes key = rng.bytes(16);
+    Bytes block = rng.bytes(16);
+    std::uint8_t rk_soft[176], rk_ni[176];
+    detail::soft_expand_key128(key.data(), rk_soft);
+    std::uint8_t out_soft[16];
+    detail::soft_encrypt_block(rk_soft, block.data(), out_soft);
+    if (Aes128::has_aesni()) {
+      detail::aesni_expand_key128(key.data(), rk_ni);
+      EXPECT_EQ(hex_encode(ByteSpan(rk_soft, 176)),
+                hex_encode(ByteSpan(rk_ni, 176)));
+      std::uint8_t out_ni[16];
+      detail::aesni_encrypt_blocks(rk_ni, block.data(), out_ni, 1);
+      EXPECT_EQ(hex_encode(ByteSpan(out_soft, 16)),
+                hex_encode(ByteSpan(out_ni, 16)));
+    }
+  }
+}
+
+TEST(Aes, MultiBlockPipelineMatchesSingle) {
+  ChaChaRng rng(7);
+  Bytes key = rng.bytes(16);
+  Aes128 aes(key);
+  Bytes in = rng.bytes(16 * 9);
+  Bytes batched(in.size()), single(in.size());
+  aes.encrypt_blocks(in.data(), batched.data(), 9);
+  for (int i = 0; i < 9; ++i)
+    aes.encrypt_block(in.data() + 16 * i, single.data() + 16 * i);
+  EXPECT_EQ(hex_encode(batched), hex_encode(single));
+}
+
+// ---- CTR -------------------------------------------------------------------
+
+TEST(Ctr, Sp800_38aVector) {
+  const Bytes key = must_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes ctr = must_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const Bytes pt = must_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  Aes128 aes(key);
+  const Bytes ct = aes_ctr(aes, ctr.data(), pt);
+  EXPECT_EQ(hex_encode(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(Ctr, IsInvolution) {
+  ChaChaRng rng(1);
+  Bytes key = rng.bytes(16);
+  Aes128 aes(key);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+    Bytes iv = rng.bytes(16);
+    Bytes pt = rng.bytes(len);
+    Bytes ct = aes_ctr(aes, iv.data(), pt);
+    Bytes back = aes_ctr(aes, iv.data(), ct);
+    EXPECT_EQ(hex_encode(back), hex_encode(pt)) << "len=" << len;
+  }
+}
+
+TEST(Ctr, CounterWrapsAcrossBlockBoundary) {
+  // Counter blocks near the 32-bit boundary must not collide.
+  Bytes key = must_hex("000102030405060708090a0b0c0d0e0f");
+  Aes128 aes(key);
+  Bytes iv = must_hex("000102030405060708090a0bfffffffe");
+  Bytes pt(64, 0);
+  Bytes ct = aes_ctr(aes, iv.data(), pt);
+  // Keystream blocks must all differ.
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j)
+      EXPECT_NE(hex_encode(ByteSpan(ct.data() + 16 * i, 16)),
+                hex_encode(ByteSpan(ct.data() + 16 * j, 16)));
+}
+
+// ---- CBC-MAC / CMAC --------------------------------------------------------
+
+TEST(CbcMac, SingleBlockIsRawAes) {
+  Bytes key = must_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Bytes block = must_hex("6bc1bee22e409f96e93d7e117393172a");
+  Aes128 aes(key);
+  const auto mac = aes_cbc_mac(aes, block);
+  std::uint8_t direct[16];
+  aes.encrypt_block(block.data(), direct);
+  EXPECT_EQ(hex_encode(mac), hex_encode(ByteSpan(direct, 16)));
+}
+
+TEST(CbcMac, TwoBlockChaining) {
+  ChaChaRng rng(3);
+  Bytes key = rng.bytes(16);
+  Aes128 aes(key);
+  Bytes data = rng.bytes(32);
+  const auto mac = aes_cbc_mac(aes, data);
+  // Manual chain.
+  std::uint8_t x[16];
+  aes.encrypt_block(data.data(), x);
+  for (int i = 0; i < 16; ++i) x[i] ^= data[16 + i];
+  aes.encrypt_block(x, x);
+  EXPECT_EQ(hex_encode(mac), hex_encode(ByteSpan(x, 16)));
+}
+
+TEST(Cmac, Rfc4493Vectors) {
+  Bytes key = must_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  AesCmac cmac(key);
+  EXPECT_EQ(hex_encode(cmac.mac({})), "bb1d6929e95937287fa37d129b756746");
+  EXPECT_EQ(hex_encode(cmac.mac(must_hex("6bc1bee22e409f96e93d7e117393172a"))),
+            "070a16b46b4d4144f79bdd9dd04a287c");
+  EXPECT_EQ(hex_encode(cmac.mac(must_hex(
+                "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af"
+                "8e5130c81c46a35ce411"))),
+            "dfa66747de9ae63030ca32611497c827");
+  EXPECT_EQ(hex_encode(cmac.mac(must_hex(
+                "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af"
+                "8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417b"
+                "e66c3710"))),
+            "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, SplitMacMatchesConcatenated) {
+  ChaChaRng rng(4);
+  Bytes key = rng.bytes(16);
+  AesCmac cmac(key);
+  for (std::size_t a_len : {0u, 1u, 15u, 16u, 17u, 48u}) {
+    for (std::size_t b_len : {0u, 1u, 16u, 33u}) {
+      Bytes a = rng.bytes(a_len);
+      Bytes b = rng.bytes(b_len);
+      Bytes joined = a;
+      append(joined, b);
+      EXPECT_EQ(hex_encode(cmac.mac2(a, b)), hex_encode(cmac.mac(joined)))
+          << a_len << "+" << b_len;
+    }
+  }
+}
+
+TEST(Cmac, VerifyTruncatedTag) {
+  ChaChaRng rng(5);
+  Bytes key = rng.bytes(16);
+  AesCmac cmac(key);
+  Bytes msg = rng.bytes(100);
+  auto tag = cmac.mac(msg);
+  EXPECT_TRUE(cmac.verify(msg, ByteSpan(tag.data(), 8)));
+  tag[3] ^= 1;
+  EXPECT_FALSE(cmac.verify(msg, ByteSpan(tag.data(), 8)));
+  EXPECT_FALSE(cmac.verify(msg, ByteSpan(tag.data(), 0)));
+}
+
+// ---- GCM -------------------------------------------------------------------
+
+TEST(Gcm, NistTestCase1EmptyEverything) {
+  AesGcm gcm(must_hex("00000000000000000000000000000000"));
+  const Bytes nonce = must_hex("000000000000000000000000");
+  const Bytes out = gcm.seal(nonce, {}, {});
+  EXPECT_EQ(hex_encode(out), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Gcm, NistTestCase2SingleZeroBlock) {
+  AesGcm gcm(must_hex("00000000000000000000000000000000"));
+  const Bytes nonce = must_hex("000000000000000000000000");
+  const Bytes pt = must_hex("00000000000000000000000000000000");
+  const Bytes out = gcm.seal(nonce, {}, pt);
+  EXPECT_EQ(hex_encode(out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Gcm, NistTestCase3FourBlocks) {
+  AesGcm gcm(must_hex("feffe9928665731c6d6a8f9467308308"));
+  const Bytes nonce = must_hex("cafebabefacedbaddecaf888");
+  const Bytes pt = must_hex(
+      "d9313225f88406e5a55909c5aff5269a"
+      "86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525"
+      "b16aedf5aa0de657ba637b391aafd255");
+  const Bytes out = gcm.seal(nonce, {}, pt);
+  EXPECT_EQ(hex_encode(out),
+            "42831ec2217774244b7221b784d0d49c"
+            "e3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa05"
+            "1ba30b396a0aac973d58e091473f5985"
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(Gcm, RoundtripWithAadAndTamperRejection) {
+  ChaChaRng rng(6);
+  AesGcm gcm(rng.bytes(16));
+  Bytes nonce = rng.bytes(12);
+  Bytes aad = rng.bytes(23);
+  Bytes pt = rng.bytes(77);
+  Bytes sealed = gcm.seal(nonce, aad, pt);
+  auto opened = gcm.open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(hex_encode(*opened), hex_encode(pt));
+  // Any single-byte tamper must be rejected.
+  for (std::size_t i = 0; i < sealed.size(); i += 7) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(gcm.open(nonce, aad, bad).has_value()) << "i=" << i;
+  }
+  // Wrong AAD rejected.
+  Bytes bad_aad = aad;
+  bad_aad[0] ^= 1;
+  EXPECT_FALSE(gcm.open(nonce, bad_aad, sealed).has_value());
+}
+
+// ---- SHA-2 -----------------------------------------------------------------
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(hex_encode(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_encode(Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_encode(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_encode(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  ChaChaRng rng(8);
+  Bytes data = rng.bytes(300);
+  for (std::size_t split = 0; split <= data.size(); split += 37) {
+    Sha256 h;
+    h.update(ByteSpan(data.data(), split));
+    h.update(ByteSpan(data.data() + split, data.size() - split));
+    EXPECT_EQ(hex_encode(h.finish()), hex_encode(Sha256::hash(data)));
+  }
+}
+
+TEST(Sha512, NistVectors) {
+  EXPECT_EQ(hex_encode(Sha512::hash(to_bytes("abc"))),
+            "ddaf35a193617abacc417349ae204131"
+            "12e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd"
+            "454d4423643ce80e2a9ac94fa54ca49f");
+  EXPECT_EQ(hex_encode(Sha512::hash({})),
+            "cf83e1357eefb8bdf1542850d66d8007"
+            "d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f"
+            "63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_encode(Sha512::hash(to_bytes(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+          "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+      "8e959b75dae313da8cf4f72814fc143f"
+      "8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433a"
+      "c7d329eeb6dd26545e96e55b874be909");
+}
+
+// ---- HMAC / HKDF -----------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_encode(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex_encode(hmac_sha256(to_bytes("Jefe"),
+                                   to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(hex_encode(hmac_sha256(
+                key, to_bytes("Test Using Larger Than Block-Size Key - "
+                              "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = must_hex("000102030405060708090a0b0c");
+  const Bytes info = must_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(hex_encode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, DistinctLabelsGiveIndependentKeys) {
+  ChaChaRng rng(9);
+  Bytes ikm = rng.bytes(32);
+  auto k1 = derive_key16(ikm, "label-one");
+  auto k2 = derive_key16(ikm, "label-two");
+  EXPECT_NE(hex_encode(k1), hex_encode(k2));
+  auto k1_again = derive_key16(ikm, "label-one");
+  EXPECT_EQ(hex_encode(k1), hex_encode(k1_again));
+}
+
+// ---- ChaCha20 / Poly1305 ---------------------------------------------------
+
+TEST(ChaCha20, Rfc8439BlockFunction) {
+  const Bytes key = must_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = must_hex("000000090000004a00000000");
+  std::uint8_t block[64];
+  chacha20_block(key.data(), 1, nonce.data(), block);
+  EXPECT_EQ(hex_encode(ByteSpan(block, 64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439Encryption) {
+  const Bytes key = must_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = must_hex("000000000000004a00000000");
+  const Bytes pt = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.");
+  Bytes ct(pt.size());
+  chacha20_xcrypt(key.data(), 1, nonce.data(), pt, ct);
+  EXPECT_EQ(hex_encode(ct),
+            "6e2e359a2568f98041ba0728dd0d6981"
+            "e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b357"
+            "1639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e"
+            "52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42"
+            "874d");
+}
+
+TEST(Poly1305, Rfc8439Vector) {
+  const Bytes key = must_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto tag =
+      poly1305(key.data(), to_bytes("Cryptographic Forum Research Group"));
+  EXPECT_EQ(hex_encode(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(ChaChaPoly, Rfc8439AeadVector) {
+  const Bytes key = must_hex(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  const Bytes nonce = must_hex("070000004041424344454647");
+  const Bytes aad = must_hex("50515253c0c1c2c3c4c5c6c7");
+  const Bytes pt = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.");
+  ChaCha20Poly1305 aead(key);
+  const Bytes sealed = aead.seal(nonce, aad, pt);
+  EXPECT_EQ(hex_encode(ByteSpan(sealed.data() + pt.size(), 16)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  auto opened = aead.open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(to_string(*opened), to_string(pt));
+}
+
+// ---- AEAD interface (parameterized over suites) ------------------------------
+
+class AeadSuiteTest : public ::testing::TestWithParam<AeadSuite> {};
+
+TEST_P(AeadSuiteTest, RoundtripAcrossSizes) {
+  ChaChaRng rng(10);
+  Bytes key = rng.bytes(32);
+  auto aead = Aead::create(GetParam(), key);
+  ASSERT_NE(aead, nullptr);
+  for (std::size_t len : {0u, 1u, 16u, 63u, 64u, 65u, 128u, 1000u, 1500u}) {
+    Bytes nonce = rng.bytes(12);
+    Bytes aad = rng.bytes(48);
+    Bytes pt = rng.bytes(len);
+    Bytes sealed = aead->seal(nonce, aad, pt);
+    EXPECT_EQ(sealed.size(), len + Aead::kTagSize);
+    auto opened = aead->open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value()) << "len=" << len;
+    EXPECT_EQ(hex_encode(*opened), hex_encode(pt));
+  }
+}
+
+TEST_P(AeadSuiteTest, TamperAnywhereRejects) {
+  ChaChaRng rng(11);
+  Bytes key = rng.bytes(32);
+  auto aead = Aead::create(GetParam(), key);
+  Bytes nonce = rng.bytes(12);
+  Bytes aad = rng.bytes(16);
+  Bytes pt = rng.bytes(64);
+  Bytes sealed = aead->seal(nonce, aad, pt);
+  for (std::size_t i = 0; i < sealed.size(); ++i) {
+    Bytes bad = sealed;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(aead->open(nonce, aad, bad).has_value()) << "byte " << i;
+  }
+}
+
+TEST_P(AeadSuiteTest, WrongNonceOrKeyRejects) {
+  ChaChaRng rng(12);
+  Bytes key = rng.bytes(32);
+  auto aead = Aead::create(GetParam(), key);
+  Bytes nonce = rng.bytes(12);
+  Bytes pt = rng.bytes(32);
+  Bytes sealed = aead->seal(nonce, {}, pt);
+
+  Bytes other_nonce = nonce;
+  other_nonce[11] ^= 1;
+  EXPECT_FALSE(aead->open(other_nonce, {}, sealed).has_value());
+
+  Bytes other_key = key;
+  other_key[0] ^= 1;
+  auto aead2 = Aead::create(GetParam(), other_key);
+  EXPECT_FALSE(aead2->open(nonce, {}, sealed).has_value());
+}
+
+TEST_P(AeadSuiteTest, TruncatedCiphertextRejects) {
+  ChaChaRng rng(13);
+  auto aead = Aead::create(GetParam(), rng.bytes(32));
+  Bytes nonce = rng.bytes(12);
+  Bytes sealed = aead->seal(nonce, {}, rng.bytes(40));
+  EXPECT_FALSE(aead->open(nonce, {}, ByteSpan(sealed.data(), 10)).has_value());
+  EXPECT_FALSE(aead->open(nonce, {}, ByteSpan(sealed.data(), 0)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuites, AeadSuiteTest,
+                         ::testing::Values(AeadSuite::chacha20_poly1305,
+                                           AeadSuite::aes128_gcm,
+                                           AeadSuite::aes128_ctr_cmac),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case AeadSuite::chacha20_poly1305:
+                               return "ChaCha20Poly1305";
+                             case AeadSuite::aes128_gcm: return "AesGcm";
+                             case AeadSuite::aes128_ctr_cmac:
+                               return "AesCtrCmac";
+                           }
+                           return "Unknown";
+                         });
+
+// ---- Field arithmetic ------------------------------------------------------
+
+TEST(Fe25519, RoundtripBytes) {
+  ChaChaRng rng(14);
+  for (int i = 0; i < 50; ++i) {
+    Bytes b = rng.bytes(32);
+    b[31] &= 0x7f;  // below 2^255
+    // Values >= p won't roundtrip identically; mask to < p by clearing a bit.
+    b[31] &= 0x3f;
+    Fe f = fe_frombytes(b.data());
+    std::uint8_t out[32];
+    fe_tobytes(out, f);
+    EXPECT_EQ(hex_encode(ByteSpan(out, 32)), hex_encode(b));
+  }
+}
+
+TEST(Fe25519, NonCanonicalReduces) {
+  // p encodes as zero.
+  Bytes p_bytes = must_hex(
+      "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f");
+  Fe f = fe_frombytes(p_bytes.data());
+  EXPECT_TRUE(fe_iszero(f));
+  // p + 1 encodes as one.
+  Bytes p1 = p_bytes;
+  p1[0] = 0xee;
+  Fe g = fe_frombytes(p1.data());
+  std::uint8_t out[32];
+  fe_tobytes(out, g);
+  EXPECT_EQ(out[0], 1);
+  for (int i = 1; i < 32; ++i) EXPECT_EQ(out[i], 0);
+}
+
+TEST(Fe25519, AlgebraicIdentities) {
+  ChaChaRng rng(15);
+  for (int i = 0; i < 20; ++i) {
+    Bytes ab = rng.bytes(32);
+    ab[31] &= 0x3f;
+    Bytes bb = rng.bytes(32);
+    bb[31] &= 0x3f;
+    Fe a = fe_frombytes(ab.data());
+    Fe b = fe_frombytes(bb.data());
+    // a*b == b*a
+    EXPECT_TRUE(fe_equal(fe_mul(a, b), fe_mul(b, a)));
+    // (a+b)^2 == a^2 + 2ab + b^2
+    Fe lhs = fe_sq(fe_add(a, b));
+    Fe rhs = fe_add(fe_add(fe_sq(a), fe_sq(b)),
+                    fe_add(fe_mul(a, b), fe_mul(a, b)));
+    EXPECT_TRUE(fe_equal(lhs, rhs));
+    // a * a^-1 == 1 (a != 0 w.h.p.)
+    if (!fe_iszero(a)) {
+      EXPECT_TRUE(fe_equal(fe_mul(a, fe_invert(a)), fe_one()));
+    }
+    // a - a == 0
+    EXPECT_TRUE(fe_iszero(fe_sub(a, a)));
+  }
+}
+
+TEST(Fe25519, SqrtM1SquaresToMinusOne) {
+  const Fe i = fe_sqrtm1();
+  EXPECT_TRUE(fe_equal(fe_sq(i), fe_neg(fe_one())));
+}
+
+// ---- X25519 ----------------------------------------------------------------
+
+TEST(X25519, Rfc7748Vector1) {
+  X25519PrivateKey scalar{};
+  X25519PublicKey point{};
+  auto s = must_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  auto u = must_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  std::copy(s.begin(), s.end(), scalar.begin());
+  std::copy(u.begin(), u.end(), point.begin());
+  EXPECT_EQ(hex_encode(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  X25519PrivateKey scalar{};
+  X25519PublicKey point{};
+  auto s = must_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  auto u = must_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  std::copy(s.begin(), s.end(), scalar.begin());
+  std::copy(u.begin(), u.end(), point.begin());
+  EXPECT_EQ(hex_encode(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, Rfc7748DiffieHellman) {
+  X25519PrivateKey alice_priv{}, bob_priv{};
+  auto a = must_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  auto b = must_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  std::copy(a.begin(), a.end(), alice_priv.begin());
+  std::copy(b.begin(), b.end(), bob_priv.begin());
+
+  const auto alice_pub = x25519_base(alice_priv);
+  const auto bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(hex_encode(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(hex_encode(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto k1 = x25519_shared(alice_priv, bob_pub);
+  const auto k2 = x25519_shared(bob_priv, alice_pub);
+  EXPECT_EQ(hex_encode(k1), hex_encode(k2));
+  EXPECT_EQ(hex_encode(k1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, RandomPairsAgree) {
+  ChaChaRng rng(16);
+  for (int i = 0; i < 8; ++i) {
+    auto kp1 = X25519KeyPair::generate(rng);
+    auto kp2 = X25519KeyPair::generate(rng);
+    EXPECT_EQ(hex_encode(x25519_shared(kp1.priv, kp2.pub)),
+              hex_encode(x25519_shared(kp2.priv, kp1.pub)));
+  }
+}
+
+// ---- Ed25519 ---------------------------------------------------------------
+
+TEST(Ed25519, Rfc8032Test1EmptyMessage) {
+  Ed25519Seed seed{};
+  auto s = must_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  std::copy(s.begin(), s.end(), seed.begin());
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(hex_encode(pub),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+  const auto sig = ed25519_sign(seed, pub, {});
+  EXPECT_EQ(hex_encode(sig),
+            "e5564300c360ac729086e2cc806e828a"
+            "84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46b"
+            "d25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(ed25519_verify(pub, {}, sig));
+}
+
+TEST(Ed25519, Rfc8032Test2OneByte) {
+  Ed25519Seed seed{};
+  auto s = must_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  std::copy(s.begin(), s.end(), seed.begin());
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(hex_encode(pub),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+  const Bytes msg = must_hex("72");
+  const auto sig = ed25519_sign(seed, pub, msg);
+  EXPECT_EQ(hex_encode(sig),
+            "92a009a9f0d4cab8720e820b5f642540"
+            "a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c"
+            "387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+TEST(Ed25519, Rfc8032Test3TwoBytes) {
+  Ed25519Seed seed{};
+  auto s = must_hex(
+      "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+  std::copy(s.begin(), s.end(), seed.begin());
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(hex_encode(pub),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025");
+  const Bytes msg = must_hex("af82");
+  const auto sig = ed25519_sign(seed, pub, msg);
+  EXPECT_EQ(hex_encode(sig),
+            "6291d657deec24024827e69c3abe01a3"
+            "0ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc659"
+            "4a7c15e9716ed28dc027beceea1ec40a");
+  EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+TEST(Ed25519, TamperedSignatureRejected) {
+  ChaChaRng rng(17);
+  auto kp = Ed25519KeyPair::generate(rng);
+  const Bytes msg = to_bytes("attack at dawn");
+  auto sig = kp.sign(msg);
+  EXPECT_TRUE(ed25519_verify(kp.pub, msg, sig));
+  for (std::size_t i = 0; i < sig.size(); i += 5) {
+    auto bad = sig;
+    bad[i] ^= 0x20;
+    EXPECT_FALSE(ed25519_verify(kp.pub, msg, bad)) << "byte " << i;
+  }
+  EXPECT_FALSE(ed25519_verify(kp.pub, to_bytes("attack at dusk"), sig));
+  auto kp2 = Ed25519KeyPair::generate(rng);
+  EXPECT_FALSE(ed25519_verify(kp2.pub, msg, sig));
+}
+
+TEST(Ed25519, NonCanonicalScalarRejected) {
+  ChaChaRng rng(18);
+  auto kp = Ed25519KeyPair::generate(rng);
+  const Bytes msg = to_bytes("msg");
+  auto sig = kp.sign(msg);
+  // Force S >= L by setting S to L itself (bytes of the group order).
+  auto l_bytes = must_hex(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  std::copy(l_bytes.begin(), l_bytes.end(), sig.begin() + 32);
+  EXPECT_FALSE(ed25519_verify(kp.pub, msg, sig));
+}
+
+TEST(Ed25519, SignIsDeterministic) {
+  ChaChaRng rng(19);
+  auto kp = Ed25519KeyPair::generate(rng);
+  const Bytes msg = to_bytes("deterministic");
+  EXPECT_EQ(hex_encode(kp.sign(msg)), hex_encode(kp.sign(msg)));
+}
+
+// ---- RNG -------------------------------------------------------------------
+
+TEST(Rng, DeterministicWithSeed) {
+  ChaChaRng a(1234), b(1234), c(1235);
+  EXPECT_EQ(hex_encode(a.bytes(64)), hex_encode(b.bytes(64)));
+  ChaChaRng a2(1234);
+  EXPECT_NE(hex_encode(a2.bytes(64)), hex_encode(c.bytes(64)));
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  ChaChaRng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(7), 7u);
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  // uniform(1) is always 0.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, OsSeededInstancesDiffer) {
+  auto a = ChaChaRng::from_os_entropy();
+  auto b = ChaChaRng::from_os_entropy();
+  EXPECT_NE(hex_encode(a.bytes(32)), hex_encode(b.bytes(32)));
+}
+
+// ---- util ------------------------------------------------------------------
+
+TEST(Hex, EncodeDecodeRoundtrip) {
+  ChaChaRng rng(21);
+  Bytes data = rng.bytes(57);
+  auto decoded = hex_decode(hex_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(hex_decode("abc").has_value());    // odd length
+  EXPECT_FALSE(hex_decode("zz").has_value());     // bad digit
+  EXPECT_TRUE(hex_decode("").has_value());        // empty ok
+  EXPECT_TRUE(hex_decode("AbCd").has_value());    // mixed case ok
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, ByteSpan(a.data(), 2)));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, EndianHelpers) {
+  std::uint8_t buf[8];
+  store_be32(buf, 0x01020304);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+  store_le32(buf, 0x01020304);
+  EXPECT_EQ(load_le32(buf), 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  store_be64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(load_be64(buf), 0x0102030405060708ULL);
+  store_le64(buf, 0x0102030405060708ULL);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ULL);
+}
+
+}  // namespace
+}  // namespace apna::crypto

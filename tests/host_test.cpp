@@ -1,0 +1,501 @@
+// Host-stack tests: EphID pool policies (§VIII-A), host error paths, ICMP
+// including path-MTU discovery (§VIII-B, §II-C), DNS through foreign
+// resolvers (§VII-A), and session demultiplexing.
+#include <gtest/gtest.h>
+
+#include "apna/internet.h"
+#include "host/ephid_pool.h"
+
+namespace apna::host {
+namespace {
+
+// ---- EphIdPool unit tests ------------------------------------------------------
+
+struct PoolFixture {
+  crypto::ChaChaRng rng{71};
+  core::EphIdCodec codec{Bytes(16, 9)};
+  EphIdPool pool;
+  core::ExpTime now = 1'700'000'000;
+
+  const OwnedEphId* add(core::ExpTime exp, std::uint8_t flags = 0) {
+    core::EphIdKeyPair kp = core::EphIdKeyPair::generate(rng);
+    core::EphIdCertificate cert;
+    cert.ephid = codec.issue(1, exp, rng);
+    cert.exp_time = exp;
+    cert.pub = kp.pub;
+    cert.flags = flags;
+    return pool.add(std::move(kp), std::move(cert));
+  }
+};
+
+TEST(EphIdPool, PerHostAlwaysSameEphId) {
+  PoolFixture f;
+  f.add(f.now + 100);
+  f.add(f.now + 100);
+  auto* a = f.pool.pick(Granularity::per_host, "web", "f1", 0, f.now);
+  auto* b = f.pool.pick(Granularity::per_host, "mail", "f2", 1, f.now);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EphIdPool, PerFlowStickyAndDistinct) {
+  PoolFixture f;
+  for (int i = 0; i < 3; ++i) f.add(f.now + 100);
+  auto* f1 = f.pool.pick(Granularity::per_flow, "web", "f1", 0, f.now);
+  auto* f2 = f.pool.pick(Granularity::per_flow, "web", "f2", 1, f.now);
+  auto* f1_again = f.pool.pick(Granularity::per_flow, "web", "f1", 2, f.now);
+  ASSERT_NE(f1, nullptr);
+  ASSERT_NE(f2, nullptr);
+  EXPECT_NE(f1, f2);         // fresh EphID per flow
+  EXPECT_EQ(f1, f1_again);   // sticky for the flow's lifetime
+}
+
+TEST(EphIdPool, PerFlowReusesLeastLoadedWhenExhausted) {
+  PoolFixture f;
+  f.add(f.now + 100);
+  f.add(f.now + 100);
+  auto* f1 = f.pool.pick(Granularity::per_flow, "a", "f1", 0, f.now);
+  auto* f2 = f.pool.pick(Granularity::per_flow, "a", "f2", 0, f.now);
+  auto* f3 = f.pool.pick(Granularity::per_flow, "a", "f3", 0, f.now);
+  EXPECT_NE(f1, f2);
+  // Third flow must reuse one of the two (pool exhausted) instead of nullptr.
+  ASSERT_NE(f3, nullptr);
+  EXPECT_EQ(f.pool.max_flows_per_ephid(), 2u);
+}
+
+TEST(EphIdPool, PerApplicationGroupsByApp) {
+  PoolFixture f;
+  for (int i = 0; i < 4; ++i) f.add(f.now + 100);
+  auto* web1 = f.pool.pick(Granularity::per_application, "web", "f1", 0, f.now);
+  auto* web2 = f.pool.pick(Granularity::per_application, "web", "f2", 1, f.now);
+  auto* mail = f.pool.pick(Granularity::per_application, "mail", "f3", 2, f.now);
+  EXPECT_EQ(web1, web2);
+  EXPECT_NE(web1, mail);
+}
+
+TEST(EphIdPool, PerPacketRotates) {
+  PoolFixture f;
+  for (int i = 0; i < 3; ++i) f.add(f.now + 100);
+  std::set<const OwnedEphId*> seen;
+  for (std::uint64_t seq = 0; seq < 9; ++seq)
+    seen.insert(f.pool.pick(Granularity::per_packet, "a", "f", seq, f.now));
+  EXPECT_EQ(seen.size(), 3u);  // cycles over the whole pool
+}
+
+TEST(EphIdPool, SkipsExpiredRevokedAndReceiveOnly) {
+  PoolFixture f;
+  f.add(f.now - 1);                        // expired
+  f.add(f.now + 100, core::kCertReceiveOnly);  // receive-only
+  auto* revoked = const_cast<OwnedEphId*>(f.add(f.now + 100));
+  revoked->revoked_locally = true;
+  EXPECT_EQ(f.pool.pick(Granularity::per_host, "a", "f", 0, f.now), nullptr);
+  EXPECT_EQ(f.pool.usable_count(f.now), 0u);
+  auto* good = f.add(f.now + 100);
+  EXPECT_EQ(f.pool.pick(Granularity::per_host, "a", "f", 0, f.now), good);
+}
+
+TEST(EphIdPool, ServingPickExcludesContactedAndReceiveOnly) {
+  PoolFixture f;
+  const auto* ro = f.add(f.now + 100, core::kCertReceiveOnly);
+  EXPECT_EQ(f.pool.pick_serving(ro->cert.ephid, f.now), nullptr);
+  const auto* srv = f.add(f.now + 100);
+  EXPECT_EQ(f.pool.pick_serving(ro->cert.ephid, f.now), srv);
+  EXPECT_EQ(f.pool.pick_serving(srv->cert.ephid, f.now), nullptr);
+}
+
+TEST(EphIdPool, FindByEphId) {
+  PoolFixture f;
+  const auto* e = f.add(f.now + 100);
+  EXPECT_EQ(f.pool.find(e->cert.ephid), e);
+  core::EphId missing;
+  EXPECT_EQ(f.pool.find(missing), nullptr);
+}
+
+// ---- Host behaviour over the simulated Internet ----------------------------------
+
+struct HostWorld {
+  Internet net{31};
+  AutonomousSystem* as_a;
+  AutonomousSystem* as_b;
+  HostWorld() {
+    as_a = &net.add_as(100, "A");
+    as_b = &net.add_as(300, "B");
+    net.link(100, 300, 2000);
+  }
+};
+
+TEST(HostStack, ConnectWithoutEphIdsFailsCleanly) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  host::Host& b = w.as_b->add_host("b");
+  ASSERT_TRUE(provision_ephids(b, w.net.loop(), 1).ok());
+  auto sid = a.connect(b.pool().entries().front()->cert, {},
+                       [](Result<std::uint64_t>) {});
+  EXPECT_EQ(sid.code(), Errc::exhausted);
+}
+
+TEST(HostStack, SendOnUnknownSessionFails) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  EXPECT_EQ(a.send_data(424242, to_bytes("x")).code(), Errc::not_found);
+}
+
+TEST(HostStack, DataQueuedUntilHandshakeCompletes) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  host::Host& b = w.as_b->add_host("b");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(b, w.net.loop(), 1).ok());
+  std::vector<std::string> got;
+  b.set_data_handler([&](std::uint64_t, ByteSpan d) {
+    got.push_back(to_string(d));
+  });
+  auto sid = a.connect(b.pool().entries().front()->cert, {},
+                       [](Result<std::uint64_t>) {});
+  // Queue three messages before the handshake possibly completed.
+  (void)a.send_data(*sid, to_bytes("one"));
+  (void)a.send_data(*sid, to_bytes("two"));
+  (void)a.send_data(*sid, to_bytes("three"));
+  w.net.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "one");
+  EXPECT_EQ(got[1], "two");
+  EXPECT_EQ(got[2], "three");
+}
+
+TEST(HostStack, MultipleConcurrentSessionsDemux) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  host::Host& b = w.as_b->add_host("b");
+  host::Host& c = w.as_b->add_host("c");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 2).ok());
+  ASSERT_TRUE(provision_ephids(b, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(c, w.net.loop(), 1).ok());
+
+  std::string b_got, c_got;
+  b.set_data_handler([&](std::uint64_t, ByteSpan d) { b_got = to_string(d); });
+  c.set_data_handler([&](std::uint64_t, ByteSpan d) { c_got = to_string(d); });
+
+  auto s1 = a.connect(b.pool().entries().front()->cert, {},
+                      [](Result<std::uint64_t>) {});
+  host::Host::ConnectOptions o2;
+  o2.flow = "other";
+  auto s2 = a.connect(c.pool().entries().front()->cert, o2,
+                      [](Result<std::uint64_t>) {});
+  (void)a.send_data(*s1, to_bytes("for b"));
+  (void)a.send_data(*s2, to_bytes("for c"));
+  w.net.run();
+  EXPECT_EQ(b_got, "for b");
+  EXPECT_EQ(c_got, "for c");
+}
+
+TEST(HostStack, ServerHandlesManyClients) {
+  HostWorld w;
+  host::Host& server = w.as_b->add_host("server");
+  ASSERT_TRUE(provision_ephids(server, w.net.loop(), 1).ok());
+  int requests = 0;
+  server.set_data_handler([&](std::uint64_t sid, ByteSpan) {
+    ++requests;
+    (void)server.send_data(sid, to_bytes("ok"));
+  });
+
+  std::vector<host::Host*> clients;
+  for (int i = 0; i < 8; ++i) {
+    host::Host& cl = w.as_a->add_host("client-" + std::to_string(i));
+    ASSERT_TRUE(provision_ephids(cl, w.net.loop(), 1).ok());
+    clients.push_back(&cl);
+  }
+  int replies = 0;
+  for (auto* cl : clients) {
+    cl->set_data_handler([&](std::uint64_t, ByteSpan) { ++replies; });
+    auto sid = cl->connect(server.pool().entries().front()->cert, {},
+                           [](Result<std::uint64_t>) {});
+    ASSERT_TRUE(sid.ok());
+    (void)cl->send_data(*sid, to_bytes("req"));
+  }
+  w.net.run();
+  EXPECT_EQ(requests, 8);
+  EXPECT_EQ(replies, 8);
+  EXPECT_EQ(server.stats().handshakes_accepted, 8u);
+}
+
+TEST(HostStack, PathMtuDiscovery) {
+  // §II-C: ICMP supports "performance optimizations (e.g., MTU discovery)".
+  // The egress BR enforces a small MTU; the host learns the limit from the
+  // packet_too_big message and retransmits in chunks.
+  Internet net{32};
+  AutonomousSystem::Config cfg_a;
+  cfg_a.aid = 100;
+  cfg_a.name = "A";
+  cfg_a.br.mtu = 300;
+  auto& as_a = net.add_as(std::move(cfg_a));
+  auto& as_b = net.add_as(300, "B");
+  net.link(100, 300, 2000);
+
+  host::Host& a = as_a.add_host("a");
+  host::Host& b = as_b.add_host("b");
+  ASSERT_TRUE(provision_ephids(a, net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(b, net.loop(), 1).ok());
+
+  std::optional<std::uint32_t> learned_mtu;
+  a.set_icmp_handler([&](const core::Endpoint&, const core::IcmpMessage& m) {
+    if (m.type == core::IcmpType::packet_too_big) learned_mtu = m.code;
+  });
+  std::string got;
+  b.set_data_handler([&](std::uint64_t, ByteSpan d) { got += to_string(d); });
+
+  auto sid = a.connect(b.pool().entries().front()->cert, {},
+                       [](Result<std::uint64_t>) {});
+  net.run();
+  // A 1000-byte write exceeds the 300-byte MTU and triggers feedback.
+  (void)a.send_data(*sid, Bytes(1000, 'X'));
+  net.run();
+  ASSERT_TRUE(learned_mtu.has_value());
+  EXPECT_EQ(*learned_mtu, 300u);
+  EXPECT_TRUE(got.empty());
+
+  // Retransmit within the discovered MTU (header+ext+nonce+frame overhead).
+  const std::size_t chunk = *learned_mtu - 100;
+  for (std::size_t off = 0; off < 1000; off += chunk)
+    (void)a.send_data(*sid, Bytes(std::min(chunk, 1000 - off), 'X'));
+  net.run();
+  EXPECT_EQ(got.size(), 1000u);
+}
+
+TEST(HostStack, PingUnknownEphIdGetsNoReply) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  core::Endpoint target;
+  target.aid = 300;
+  // A random (undecodable) EphID: the destination BR drops it.
+  crypto::ChaChaRng rng(9);
+  rng.fill(MutByteSpan(target.ephid.bytes.data(), 16));
+  bool replied = false;
+  ASSERT_TRUE(a.ping(target, [&](net::TimeUs) { replied = true; }).ok());
+  w.net.run();
+  EXPECT_FALSE(replied);
+  EXPECT_GT(w.as_b->br().stats().drop_bad_ephid, 0u);
+}
+
+TEST(HostStack, ResolveViaForeignDns) {
+  // §VII-A "Protecting DNS Queries": the host queries a trusted DNS in a
+  // DIFFERENT AS so its own AS never sees the query content.
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  host::Host& publisher = w.as_b->add_host("pub");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(publisher, w.net.loop(), 1).ok());
+
+  bool ok = false;
+  publisher.publish_name("far.example",
+                         publisher.pool().entries().front()->cert, 0,
+                         [&](Result<void> r) { ok = r.ok(); });
+  w.net.run();
+  ASSERT_TRUE(ok);
+
+  // a resolves via AS B's DNS service (the publisher's bootstrap cert).
+  std::optional<core::DnsRecord> rec;
+  a.resolve_via(publisher.dns_cert(), "far.example",
+                [&](Result<core::DnsRecord> r) {
+                  if (r.ok()) rec = *r;
+                });
+  w.net.run();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->name, "far.example");
+  EXPECT_EQ(w.as_b->dns().stats().queries, 1u);
+  EXPECT_EQ(w.as_a->dns().stats().queries, 0u);  // home AS saw nothing
+}
+
+TEST(HostStack, DnsNxdomainSurfacesNotFound) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  std::optional<Errc> code;
+  a.resolve("does-not-exist.example",
+            [&](Result<core::DnsRecord> r) { code = r.code(); });
+  w.net.run();
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, Errc::not_found);
+}
+
+TEST(HostStack, GranularityPoliciesVisibleOnWire) {
+  // Per-host vs per-flow as observed from source EphIDs on egress traffic.
+  for (auto g : {Granularity::per_host, Granularity::per_flow}) {
+    Internet net{static_cast<std::uint64_t>(g) + 77};
+    auto& as_a = net.add_as(100, "A");
+    auto& as_b = net.add_as(300, "B");
+    net.link(100, 300, 2000);
+    host::Host& a = as_a.add_host("a", g);
+    host::Host& b1 = as_b.add_host("b1");
+    host::Host& b2 = as_b.add_host("b2");
+    ASSERT_TRUE(provision_ephids(a, net.loop(), 2).ok());
+    ASSERT_TRUE(provision_ephids(b1, net.loop(), 1).ok());
+    ASSERT_TRUE(provision_ephids(b2, net.loop(), 1).ok());
+
+    std::set<std::string> srcs;
+    net.network().add_tap([&](std::uint32_t from, std::uint32_t,
+                              const wire::Packet& p) {
+      if (from != 100) return;
+      core::EphId e;
+      e.bytes = p.src_ephid;
+      srcs.insert(e.hex());
+    });
+    auto s1 = a.connect(b1.pool().entries().front()->cert, {},
+                        [](Result<std::uint64_t>) {});
+    host::Host::ConnectOptions o2;
+    o2.flow = "f2";
+    auto s2 = a.connect(b2.pool().entries().front()->cert, o2,
+                        [](Result<std::uint64_t>) {});
+    (void)a.send_data(*s1, to_bytes("x"));
+    (void)a.send_data(*s2, to_bytes("y"));
+    net.run();
+    if (g == Granularity::per_host) {
+      EXPECT_EQ(srcs.size(), 1u) << granularity_name(g);
+    } else {
+      EXPECT_GE(srcs.size(), 2u) << granularity_name(g);
+    }
+  }
+}
+
+TEST(HostStack, ShutoffRequiresOwnedDestinationEphId) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  wire::Packet not_for_us;
+  crypto::ChaChaRng rng(5);
+  rng.fill(MutByteSpan(not_for_us.dst_ephid.data(), 16));
+  not_for_us.src_aid = 300;
+  auto r = a.request_shutoff(not_for_us, [](Result<void>) {});
+  EXPECT_EQ(r.code(), Errc::unauthorized);
+}
+
+TEST(HostStack, EphIdRequestAfterCtrlExpiryFails) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  // Default control lifetime is 24 h; jump past it.
+  w.net.loop().advance(std::uint64_t{25} * 3600 * net::kUsPerSecond);
+  std::optional<Errc> code;
+  a.request_ephid(core::EphIdLifetime::short_term, 0,
+                  [&](Result<const OwnedEphId*> r) { code = r.code(); });
+  w.net.run();
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, Errc::expired);
+}
+
+TEST(HostStack, NoZeroRttWithoutOptIn) {
+  // Regression: data written before the handshake completes must QUEUE —
+  // never ride the early session keyed to the (possibly receive-only)
+  // contacted EphID — unless the caller opted into 0-RTT via early_data.
+  // Otherwise pre-establishment traffic silently inherits the §VII-C
+  // early-data caveat and, worse, floods name a receive-only EphID as its
+  // destination.
+  HostWorld w;
+  host::Host& client = w.as_a->add_host("client");
+  host::Host& server = w.as_b->add_host("server");
+  ASSERT_TRUE(provision_ephids(client, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(server, w.net.loop(), 1,
+                               core::EphIdLifetime::long_term,
+                               core::kRequestReceiveOnly).ok());
+  ASSERT_TRUE(provision_ephids(server, w.net.loop(), 1).ok());
+
+  const core::EphIdCertificate* ro = nullptr;
+  for (const auto& e : server.pool().entries())
+    if (e->receive_only()) ro = &e->cert;
+  ASSERT_NE(ro, nullptr);
+
+  // Observe destination EphIDs of client data packets on the wire.
+  std::vector<core::EphId> data_dsts;
+  w.net.network().add_tap(
+      [&](std::uint32_t from, std::uint32_t, const wire::Packet& p) {
+        if (from == 100 && p.proto == wire::NextProto::data) {
+          core::EphId d;
+          d.bytes = p.dst_ephid;
+          data_dsts.push_back(d);
+        }
+      });
+
+  auto sid = client.connect(*ro, {}, [](Result<std::uint64_t>) {});
+  ASSERT_TRUE(sid.ok());
+  // Written immediately — before the serving certificate can have arrived.
+  ASSERT_TRUE(client.send_data(*sid, to_bytes("early write")).ok());
+  w.net.run();
+
+  ASSERT_FALSE(data_dsts.empty());
+  for (const auto& d : data_dsts)
+    EXPECT_FALSE(d == ro->ephid)
+        << "data packet addressed the receive-only EphID";
+  EXPECT_GT(server.stats().data_frames_received, 0u);
+}
+
+TEST(HostStack, ShutoffWorksForReceiveOnlyVictimEphId) {
+  // Regression: a 0-RTT flood names a receive-only EphID as destination;
+  // the victim must still be able to file a shutoff (the request is signed
+  // with the receive-only key but SOURCED from a sendable EphID, §VII-A).
+  HostWorld w;
+  host::Host& bot = w.as_a->add_host("bot");
+  host::Host& victim = w.as_b->add_host("victim");
+  ASSERT_TRUE(provision_ephids(bot, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(victim, w.net.loop(), 1,
+                               core::EphIdLifetime::long_term,
+                               core::kRequestReceiveOnly).ok());
+  ASSERT_TRUE(provision_ephids(victim, w.net.loop(), 1).ok());
+
+  const core::EphIdCertificate* ro = nullptr;
+  for (const auto& e : victim.pool().entries())
+    if (e->receive_only()) ro = &e->cert;
+
+  std::optional<wire::Packet> evidence;
+  w.net.network().add_tap(
+      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
+        core::EphId d;
+        d.bytes = p.dst_ephid;
+        if (to == 300 && p.proto == wire::NextProto::data && d == ro->ephid)
+          evidence = p;
+      });
+
+  // 0-RTT flood straight at the receive-only EphID.
+  host::Host::ConnectOptions opts;
+  opts.early_data = to_bytes("flood");
+  auto sid = bot.connect(*ro, opts, [](Result<std::uint64_t>) {});
+  ASSERT_TRUE(sid.ok());
+  (void)bot.send_data(*sid, to_bytes("more flood"));
+  w.net.run();
+  ASSERT_TRUE(evidence.has_value());
+
+  std::optional<Result<void>> result;
+  ASSERT_TRUE(victim.request_shutoff(*evidence, [&](Result<void> r) {
+    result = std::move(r);
+  }).ok());
+  w.net.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->ok());
+  core::EphId bot_src;
+  bot_src.bytes = evidence->src_ephid;
+  EXPECT_TRUE(w.as_a->state().revoked.is_revoked(bot_src));
+}
+
+TEST(HostStack, UnsolicitedDataRecordedForShutoff) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  host::Host& b = w.as_b->add_host("b");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(b, w.net.loop(), 1).ok());
+
+  // Craft a raw data packet to b's EphID with no session: it must be
+  // counted unsolicited and retained as potential shutoff evidence.
+  wire::Packet junk;
+  junk.src_aid = 100;
+  junk.src_ephid = a.pool().entries().front()->cert.ephid.bytes;
+  junk.dst_aid = 300;
+  junk.dst_ephid = b.pool().entries().front()->cert.ephid.bytes;
+  junk.proto = wire::NextProto::data;
+  junk.payload = to_bytes("garbage");
+  b.on_packet(junk);
+  EXPECT_EQ(b.stats().unsolicited, 1u);
+  ASSERT_TRUE(b.last_unsolicited().has_value());
+  EXPECT_EQ(to_string(b.last_unsolicited()->payload), "garbage");
+}
+
+}  // namespace
+}  // namespace apna::host

@@ -1,0 +1,209 @@
+// Network-substrate tests: event loop determinism, topology routing,
+// inter-AS delivery, fault injection, intra-AS switch.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/sim.h"
+#include "net/topology.h"
+
+namespace apna::net {
+namespace {
+
+TEST(EventLoop, OrdersByTimeThenFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(100, [&] { order.push_back(2); });
+  loop.schedule_in(50, [&] { order.push_back(1); });
+  loop.schedule_in(100, [&] { order.push_back(3); });  // same time: FIFO
+  loop.schedule_in(200, [&] { order.push_back(4); });
+  EXPECT_EQ(loop.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(loop.now(), 200u);
+}
+
+TEST(EventLoop, NestedSchedulingAdvancesTime) {
+  EventLoop loop;
+  TimeUs seen = 0;
+  loop.schedule_in(10, [&] {
+    loop.schedule_in(5, [&] { seen = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventLoop, RunUntilStopsEarly) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_in(10, [&] { ++fired; });
+  loop.schedule_in(100, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 50u);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, NowSecondsTracksEpoch) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now_seconds(), kEpochSeconds);
+  loop.advance(3 * kUsPerSecond);
+  EXPECT_EQ(loop.now_seconds(), kEpochSeconds + 3);
+}
+
+TEST(Topology, NextHopOnChain) {
+  Topology t;
+  t.add_link(1, 2, 10);
+  t.add_link(2, 3, 10);
+  t.add_link(3, 4, 10);
+  EXPECT_EQ(t.next_hop(1, 4).value(), 2u);
+  EXPECT_EQ(t.next_hop(2, 4).value(), 3u);
+  EXPECT_EQ(t.next_hop(4, 1).value(), 3u);
+  EXPECT_EQ(t.next_hop(2, 2).value(), 2u);
+}
+
+TEST(Topology, PathAndNoRoute) {
+  Topology t;
+  t.add_link(1, 2, 10);
+  t.add_link(2, 3, 10);
+  t.add_as(99);  // isolated
+  EXPECT_EQ(t.path(1, 3), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(t.next_hop(1, 99).code(), Errc::no_route);
+  EXPECT_TRUE(t.path(1, 99).empty());
+  EXPECT_EQ(t.next_hop(1, 12345).code(), Errc::no_route);
+}
+
+TEST(Topology, PrefersShortestHopCount) {
+  Topology t;
+  // 1-2-3-4 chain plus a 1-4 direct link.
+  t.add_link(1, 2, 1);
+  t.add_link(2, 3, 1);
+  t.add_link(3, 4, 1);
+  t.add_link(1, 4, 100);
+  EXPECT_EQ(t.next_hop(1, 4).value(), 4u);  // one hop beats three
+}
+
+TEST(Topology, CacheInvalidatedByNewLinks) {
+  Topology t;
+  t.add_link(1, 2, 1);
+  t.add_link(2, 3, 1);
+  EXPECT_EQ(t.next_hop(1, 3).value(), 2u);
+  t.add_link(1, 3, 1);  // direct link appears
+  EXPECT_EQ(t.next_hop(1, 3).value(), 3u);
+}
+
+wire::Packet packet_to(std::uint32_t dst_aid) {
+  wire::Packet p;
+  p.src_aid = 1;
+  p.dst_aid = dst_aid;
+  p.payload = to_bytes("x");
+  return p;
+}
+
+TEST(InterAsNetwork, DeliversWithLinkLatency) {
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 1234);
+  InterAsNetwork net(loop, topo);
+
+  std::uint32_t got = 0;
+  TimeUs at = 0;
+  net.register_border_router(2, [&](const wire::Packet& p) {
+    got = p.dst_aid;
+    at = loop.now();
+  });
+  EXPECT_TRUE(net.send(1, 2, packet_to(2)).ok());
+  loop.run();
+  EXPECT_EQ(got, 2u);
+  EXPECT_EQ(at, 1234u);
+  EXPECT_EQ(net.stats().transmitted, 1u);
+}
+
+TEST(InterAsNetwork, RejectsNonAdjacentSend) {
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 10);
+  topo.add_link(2, 3, 10);
+  InterAsNetwork net(loop, topo);
+  net.register_border_router(3, [](const wire::Packet&) {});
+  EXPECT_EQ(net.send(1, 3, packet_to(3)).code(), Errc::no_route);
+}
+
+TEST(InterAsNetwork, TapsObserveAllTraffic) {
+  // The §II adversary: sees every packet on links it controls.
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 10);
+  InterAsNetwork net(loop, topo);
+  net.register_border_router(2, [](const wire::Packet&) {});
+  std::size_t observed = 0;
+  net.add_tap([&](std::uint32_t, std::uint32_t, const wire::Packet&) {
+    ++observed;
+  });
+  for (int i = 0; i < 5; ++i) (void)net.send(1, 2, packet_to(2));
+  loop.run();
+  EXPECT_EQ(observed, 5u);
+}
+
+TEST(InterAsNetwork, DropInjection) {
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 10);
+  InterAsNetwork net(loop, topo);
+  std::size_t delivered = 0;
+  net.register_border_router(2, [&](const wire::Packet&) { ++delivered; });
+  int countdown = 0;
+  FaultModel f;
+  f.coin = [&] { return (++countdown % 2) == 0; };  // drop every 2nd
+  net.set_faults(std::move(f));
+  for (int i = 0; i < 10; ++i) (void)net.send(1, 2, packet_to(2));
+  loop.run();
+  EXPECT_EQ(delivered, 5u);
+  EXPECT_EQ(net.stats().dropped, 5u);
+}
+
+TEST(InterAsNetwork, TamperInjection) {
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 10);
+  InterAsNetwork net(loop, topo);
+  Bytes seen;
+  net.register_border_router(2, [&](const wire::Packet& p) {
+    seen = p.payload;
+  });
+  FaultModel f;
+  f.tamper = [](wire::Packet& p) { p.payload[0] ^= 0xff; };
+  net.set_faults(std::move(f));
+  (void)net.send(1, 2, packet_to(2));
+  loop.run();
+  EXPECT_EQ(seen[0], 'x' ^ 0xff);
+}
+
+TEST(IntraSwitch, DeliversByHidWithHopLatency) {
+  EventLoop loop;
+  IntraSwitch sw(loop, 77);
+  std::uint32_t got = 0;
+  TimeUs at = 0;
+  sw.attach(42, [&](const wire::Packet&) {
+    got = 42;
+    at = loop.now();
+  });
+  EXPECT_TRUE(sw.deliver(42, packet_to(1)).ok());
+  EXPECT_EQ(sw.deliver(43, packet_to(1)).code(), Errc::unknown_host);
+  loop.run();
+  EXPECT_EQ(got, 42u);
+  EXPECT_EQ(at, 77u);
+  EXPECT_EQ(sw.stats().delivered, 1u);
+}
+
+TEST(IntraSwitch, DetachStopsDelivery) {
+  EventLoop loop;
+  IntraSwitch sw(loop, 1);
+  sw.attach(7, [](const wire::Packet&) {});
+  EXPECT_TRUE(sw.attached(7));
+  sw.detach(7);
+  EXPECT_FALSE(sw.attached(7));
+  EXPECT_FALSE(sw.deliver(7, packet_to(1)).ok());
+}
+
+}  // namespace
+}  // namespace apna::net
