@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification in two configurations.
+#
+#   1. Release with warnings-as-errors for all APNA targets
+#   2. ASan + UBSan (Debug)
+#
+# Both must build every library, test, bench and example target and pass the
+# full ctest suite. Run from the repo root: ./ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+run_config() {
+  local name=$1
+  shift
+  local build_dir="build-${name}"
+  echo "=== [${name}] configure"
+  cmake -B "${build_dir}" -S . "$@"
+  echo "=== [${name}] build"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== [${name}] test"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_config ci       -DCMAKE_BUILD_TYPE=Release -DAPNA_WERROR=ON
+run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
+
+echo "=== CI green: Release(-Werror) and ASan/UBSan both passed"

@@ -1,0 +1,56 @@
+# Shared compile settings for every APNA target, exposed as the interface
+# target `apna::options`. Layer libraries link it PUBLIC so tests, benches and
+# examples inherit the include root and language level.
+
+add_library(apna_options INTERFACE)
+add_library(apna::options ALIAS apna_options)
+
+target_compile_features(apna_options INTERFACE cxx_std_20)
+# CMAKE_CURRENT_SOURCE_DIR here is the directory of the including listfile
+# (the repo root), so this stays correct if apna is embedded via
+# add_subdirectory from a super-project.
+target_include_directories(apna_options INTERFACE "${CMAKE_CURRENT_SOURCE_DIR}/src")
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(apna_options INTERFACE -Wall -Wextra)
+  if(APNA_WERROR)
+    target_compile_options(apna_options INTERFACE -Werror)
+  endif()
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU" AND CMAKE_CXX_COMPILER_VERSION VERSION_LESS 13)
+    # GCC 12's -O2 inliner emits spurious -Wstringop-overflow / -Warray-bounds
+    # reports from libstdc++ vector growth paths (GCC PR 105329 and friends).
+    # Keep them as warnings so -Werror builds stay usable on this toolchain.
+    # -Wrestrict: PR 105651 (std::string operator+ chains).
+    target_compile_options(apna_options INTERFACE
+      -Wno-error=stringop-overflow -Wno-error=array-bounds -Wno-error=restrict)
+  endif()
+endif()
+
+if(APNA_SANITIZE)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(apna_options INTERFACE
+      -fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all)
+    target_link_options(apna_options INTERFACE -fsanitize=address,undefined)
+  else()
+    message(WARNING "APNA_SANITIZE requested but compiler ${CMAKE_CXX_COMPILER_ID} is not supported; ignoring")
+  endif()
+endif()
+
+# apna_add_library(<layer> SOURCES <srcs...> [DEPS <libs...>])
+#
+# Declares the per-layer static library `apna_<layer>` (alias `apna::<layer>`)
+# with explicit link edges. Layering violations (an #include of a layer that is
+# not in DEPS) fail at link time instead of silently working.
+function(apna_add_library layer)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target apna_${layer})
+  if(ARG_SOURCES)
+    add_library(${target} STATIC ${ARG_SOURCES})
+    target_link_libraries(${target} PUBLIC apna::options ${ARG_DEPS})
+  else()
+    # Header-only layer: interface target so dependents still get the edge.
+    add_library(${target} INTERFACE)
+    target_link_libraries(${target} INTERFACE apna::options ${ARG_DEPS})
+  endif()
+  add_library(apna::${layer} ALIAS ${target})
+endfunction()

@@ -11,7 +11,7 @@ std::array<std::uint8_t, 32> hmac_sha256(ByteSpan key, ByteSpan data) {
   if (key.size() > 64) {
     const auto digest = Sha256::hash(key);
     std::memcpy(k.data(), digest.data(), digest.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(k.data(), key.data(), key.size());
   }
 

@@ -90,6 +90,7 @@ void Sha256::compress(const std::uint8_t block[64]) {
 }
 
 void Sha256::update(ByteSpan data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_len_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {
@@ -167,6 +168,7 @@ void Sha512::compress(const std::uint8_t block[128]) {
 }
 
 void Sha512::update(ByteSpan data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_len_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {
