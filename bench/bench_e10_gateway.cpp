@@ -1,4 +1,6 @@
 // E10 — incremental-deployment overhead (§VII-B, §VII-D, Fig 9).
+// Metric: encapsulation bytes on the wire (Fig 9) and ns per translated /
+// relayed packet for each deployment vehicle.
 //
 // Measures what the deployment vehicles cost relative to a native APNA
 // host: (a) GRE/IPv4 encapsulation bytes on the wire (Fig 9), (b) the

@@ -1,4 +1,7 @@
 // E4 — Workload trace statistics (§V-A3).
+// Metric: total daily entries, unique-host population, diurnal peak
+// sessions/s and the flow-duration mix of the synthetic trace vs the
+// paper's NREN trace.
 //
 // Paper: a 24-hour HTTP(S) trace from a European NREN with >104 M HTTP and
 // >74 M HTTPS entries, 1,266,598 unique hosts, and a peak rate of 3,888

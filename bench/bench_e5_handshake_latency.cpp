@@ -1,4 +1,6 @@
 // E5 — Connection-establishment latency (§VII-C).
+// Metric: handshake-complete and first-data-delivered times in RTT units
+// per connection mode (host-to-host, client-server, 0.5/0-RTT variants).
 //
 // Paper claims, in units of RTT:
 //   host-to-host:   1 RTT before communication; 0 with data on the first

@@ -1,4 +1,6 @@
 // E6 — EphID construction/verification microbenchmark (§V-A1).
+// Metric: ns per issue / open / forged-reject (google-benchmark timers)
+// and derived EphIDs-per-second-per-core minting capacity.
 //
 // The Fig 6 construction costs exactly two AES operations to issue (one
 // CTR block, one CBC-MAC block) and two to open. This google-benchmark

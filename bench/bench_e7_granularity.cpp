@@ -1,4 +1,6 @@
 // E7 — EphID granularity ablation (§VIII-A).
+// Metric: EphIDs consumed, linkable flow-pair fraction and shutoff blast
+// radius per granularity on a common synthetic-trace workload.
 //
 // The paper discusses four granularities qualitatively; this experiment
 // quantifies the trade-off on a common workload (flows drawn from the

@@ -1,4 +1,6 @@
 // E8 — Shutoff-protocol cost at the accountability agent (Fig 5 / §VI-C).
+// Metric: ns per AA validation for valid requests vs each forged-request
+// class (the anti-amplification property: rejects must cost ≤ accepts).
 //
 // Measures the AA's validation pipeline for (a) valid requests and (b) the
 // forged-request classes an attacker would use for shutoff-DoS: bad

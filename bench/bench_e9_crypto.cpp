@@ -1,4 +1,6 @@
 // E9 — Crypto-primitive ablation (§IV-A / §V design choices).
+// Metric: throughput (bytes/cycle, google-benchmark) of AES backends, the
+// three AEAD suites, X25519 and Ed25519 across payload sizes.
 //
 // Compares the building blocks the paper commits to: AES (hardware
 // dispatch), the three CCA-secure payload suites (GCM [27] vs the

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verification in two configurations.
+# CI entry point: tier-1 verification in three configurations.
 #
 #   1. Release with warnings-as-errors for all APNA targets
 #   2. ASan + UBSan (Debug)
+#   3. ThreadSanitizer over the router/core concurrency tests only (the
+#      sharded data plane's stress suite; bounded runtime — TSan over the
+#      full integration matrix would dominate CI time for no extra signal)
 #
-# Both must build every library, test, bench and example target and pass the
-# full ctest suite. Run from the repo root: ./ci.sh
+# 1 and 2 must build every library, test, bench and example target and pass
+# the full ctest suite. Run from the repo root: ./ci.sh
 set -euo pipefail
 
 cd "$(dirname "$0")"
@@ -27,4 +30,14 @@ run_config() {
 run_config ci       -DCMAKE_BUILD_TYPE=Release -DAPNA_WERROR=ON
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 
-echo "=== CI green: Release(-Werror) and ASan/UBSan both passed"
+echo "=== [tsan] configure"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \
+  -DAPNA_WERROR=ON -DAPNA_BUILD_BENCH=OFF -DAPNA_BUILD_EXAMPLES=OFF
+echo "=== [tsan] build (concurrency-labelled tests only)"
+cmake --build build-tsan -j "${jobs}" \
+  --target router_concurrency_test router_test core_test
+echo "=== [tsan] test"
+ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
+  -R '^(router_concurrency_test|router_test|core_test)$'
+
+echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

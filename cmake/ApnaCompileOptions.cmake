@@ -26,6 +26,10 @@ if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   endif()
 endif()
 
+if(APNA_SANITIZE AND APNA_TSAN)
+  message(FATAL_ERROR "APNA_SANITIZE (ASan/UBSan) and APNA_TSAN (ThreadSanitizer) cannot be combined in one build")
+endif()
+
 if(APNA_SANITIZE)
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     target_compile_options(apna_options INTERFACE
@@ -33,6 +37,19 @@ if(APNA_SANITIZE)
     target_link_options(apna_options INTERFACE -fsanitize=address,undefined)
   else()
     message(WARNING "APNA_SANITIZE requested but compiler ${CMAKE_CXX_COMPILER_ID} is not supported; ignoring")
+  endif()
+endif()
+
+if(APNA_TSAN)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    # ThreadSanitizer for the sharded data plane (router/core concurrency
+    # tests). RelWithDebInfo is the intended build type: TSan at -O0 is too
+    # slow for the stress tests' iteration counts.
+    target_compile_options(apna_options INTERFACE
+      -fsanitize=thread -fno-omit-frame-pointer -fno-sanitize-recover=all)
+    target_link_options(apna_options INTERFACE -fsanitize=thread)
+  else()
+    message(WARNING "APNA_TSAN requested but compiler ${CMAKE_CXX_COMPILER_ID} is not supported; ignoring")
   endif()
 endif()
 

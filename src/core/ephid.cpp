@@ -1,5 +1,6 @@
 #include "core/ephid.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "crypto/hmac.h"
@@ -70,6 +71,59 @@ Result<EphIdPlain> EphIdCodec::open(const EphId& ephid) const {
   plain.hid = load_be32(pt);
   plain.exp_time = load_be32(pt + 4);
   return plain;
+}
+
+void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
+                            EphIdPlain* plain, std::uint8_t* ok) const {
+  // Gather/scatter in fixed chunks so the working buffers stay on the stack
+  // and encrypt_blocks sees enough independent blocks to pipeline.
+  constexpr std::size_t kChunk = 32;
+  std::uint8_t in[kChunk * 16];
+  std::uint8_t out[kChunk * 16];
+
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+
+    // Pass 1 — tag check (Encrypt-then-MAC: verify before decrypting).
+    // Single-block CBC-MAC == one AES call, so the whole chunk's tags are
+    // one gathered encrypt_blocks invocation.
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint8_t* bytes = ephids[base + i].bytes.data();
+      std::uint8_t* mac_in = in + 16 * i;
+      std::memset(mac_in, 0, 16);
+      std::memcpy(mac_in, bytes + kCtOffset, 8);
+      std::memcpy(mac_in + 8, bytes + kIvOffset, 4);  // IV, already BE
+    }
+    mac_.encrypt_blocks(in, out, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint8_t* bytes = ephids[base + i].bytes.data();
+      ok[base + i] = ct_equal(ByteSpan(out + 16 * i, 4),
+                              ByteSpan(bytes + kMacOffset, 4))
+                         ? 1
+                         : 0;
+    }
+
+    // Pass 2 — CTR keystream for the whole chunk (computed branchlessly for
+    // failed tags too; their plaintext is simply never exposed).
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint8_t* bytes = ephids[base + i].bytes.data();
+      std::uint8_t* counter = in + 16 * i;
+      std::memset(counter, 0, 16);
+      std::memcpy(counter, bytes + kIvOffset, 4);
+    }
+    enc_.encrypt_blocks(in, out, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      plain[base + i] = EphIdPlain{};
+      if (!ok[base + i]) continue;
+      const std::uint8_t* ct = ephids[base + i].bytes.data() + kCtOffset;
+      const std::uint8_t* ks = out + 16 * i;
+      std::uint8_t pt[8];
+      for (int b = 0; b < 8; ++b)
+        pt[b] = static_cast<std::uint8_t>(ct[b] ^ ks[b]);
+      plain[base + i].hid = load_be32(pt);
+      plain[base + i].exp_time = load_be32(pt + 4);
+    }
+  }
 }
 
 }  // namespace apna::core

@@ -51,6 +51,15 @@ class EphIdCodec {
   /// (forged/corrupted EphID, or an EphID of a different AS).
   Result<EphIdPlain> open(const EphId& ephid) const;
 
+  /// Batched open for the forwarding fast path: authenticates and decrypts
+  /// `n` EphIDs with two gathered AES passes (one for the CBC-MAC tags, one
+  /// for the CTR keystream) instead of 2n single-block calls, letting the
+  /// AES-NI backend pipeline 4 blocks in flight. `ok[i]` is nonzero iff
+  /// `ephids[i]` is authentic, in which case `plain[i]` holds its contents.
+  /// Verdicts agree exactly with per-element open().
+  void open_batch(const EphId* ephids, std::size_t n, EphIdPlain* plain,
+                  std::uint8_t* ok) const;
+
   /// The AES backend in use ("aesni"/"soft") — surfaced by benchmarks.
   const char* backend() const { return enc_.backend(); }
 

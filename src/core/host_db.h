@@ -4,18 +4,19 @@
 // infrastructure entity: the MS (request authentication), border routers
 // (per-packet MAC verification) and the accountability agent (shutoff
 // validation). Implemented as the paper implements it: "a hashtable using
-// HID as the key" (§V-A2). Thread-safe for the multi-worker MS experiment.
+// HID as the key" (§V-A2) — here lock-striped into kDefaultShardCount
+// stripes (core/sharded.h) so M router workers doing the Fig 4 "HID ∈
+// host_info" lookup never serialize on a global lock while the RS keeps
+// enrolling hosts.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
-#include <unordered_map>
 
 #include "core/ids.h"
 #include "core/keys.h"
+#include "core/sharded.h"
 #include "crypto/modes.h"
 
 namespace apna::core {
@@ -26,50 +27,39 @@ struct HostRecord {
   crypto::X25519PublicKey host_pub{}; // K+_H learned at authentication
   std::uint32_t subscriber_id = 0;    // the authenticated customer identity
   /// Pre-scheduled CMAC under keys.mac — the border routers verify one MAC
-  /// per packet (Fig 4), so the key schedule is amortized here.
+  /// per packet (Fig 4), so the key schedule is amortized here. Immutable
+  /// and shared_ptr-held: a router worker's copy of the record keeps the
+  /// schedule alive even if the RS replaces the entry mid-verification.
   std::shared_ptr<const crypto::AesCmac> cmac;
 };
 
 class HostDb {
  public:
+  explicit HostDb(std::size_t shard_count = kDefaultShardCount)
+      : map_(shard_count) {}
+
   /// Inserts or replaces the record for record.hid, pre-scheduling its
   /// packet-MAC key.
   void upsert(HostRecord record) {
     if (!record.cmac)
       record.cmac = std::make_shared<const crypto::AesCmac>(
           ByteSpan(record.keys.mac.data(), record.keys.mac.size()));
-    std::unique_lock lock(mu_);
-    map_[record.hid] = std::move(record);
+    map_.insert_or_assign(record.hid, std::move(record));
   }
 
-  /// Fig 4: "if HID ∉ host_info drop packet".
-  std::optional<HostRecord> find(Hid hid) const {
-    std::shared_lock lock(mu_);
-    auto it = map_.find(hid);
-    if (it == map_.end()) return std::nullopt;
-    return it->second;
-  }
+  /// Fig 4: "if HID ∉ host_info drop packet". Copy-out under the shard lock.
+  std::optional<HostRecord> find(Hid hid) const { return map_.find(hid); }
 
-  bool contains(Hid hid) const {
-    std::shared_lock lock(mu_);
-    return map_.contains(hid);
-  }
+  bool contains(Hid hid) const { return map_.contains(hid); }
 
   /// Removes a host entirely (HID revocation, §VIII-G2 / §VI-A identity
   /// minting: "if a host requests a new HID, the previous HID ... revoked").
-  void erase(Hid hid) {
-    std::unique_lock lock(mu_);
-    map_.erase(hid);
-  }
+  void erase(Hid hid) { map_.erase(hid); }
 
-  std::size_t size() const {
-    std::shared_lock lock(mu_);
-    return map_.size();
-  }
+  std::size_t size() const { return map_.size(); }
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Hid, HostRecord> map_;
+  ShardedMap<Hid, HostRecord> map_;
 };
 
 }  // namespace apna::core

@@ -5,9 +5,20 @@
 // to link every packet to its source" — the proof-of-sending is embedded in
 // the packet (design choice 2), an 8-byte truncated AES-CMAC over the
 // entire packet except the MAC field itself.
+//
+// Two call shapes:
+//  * scalar stamp/verify — one packet, one pre-scheduled key;
+//  * batched verify/stamp — a burst of packets. The batch forms take
+//    PRE-SCHEDULED AesCmac keys (the HostDb pre-schedules kHA-mac exactly
+//    for this), so the AES key schedule is paid once per host instead of
+//    once per packet, and the per-call dispatch/setup overhead is amortized
+//    across the burst. Batched verdicts agree bit-for-bit with the scalar
+//    functions — tested (router_concurrency_test) and required, since the
+//    fast path and the single-threaded path must drop the same packets.
 #pragma once
 
 #include <array>
+#include <span>
 
 #include "crypto/modes.h"
 #include "wire/apna_header.h"
@@ -38,6 +49,38 @@ inline bool verify_packet_mac(const crypto::AesCmac& mac_key,
   const auto expect = compute_packet_mac(mac_key, pkt);
   return ct_equal(ByteSpan(expect.data(), expect.size()),
                   ByteSpan(pkt.mac.data(), pkt.mac.size()));
+}
+
+// ---- Batched forms (the concurrent data plane's burst unit) ---------------
+
+/// One element of a verification burst. Packets in a burst may belong to
+/// different hosts, so each carries its own pre-scheduled key (borrowed —
+/// the caller keeps the HostRecord alive for the duration of the call).
+struct PacketMacJob {
+  const wire::Packet* pkt = nullptr;
+  const crypto::AesCmac* key = nullptr;  // null ⇒ verdict 0 (no key, drop)
+};
+
+/// Batched Fig 4 MAC check: verdicts[i] = verify_packet_mac(*jobs[i].key,
+/// *jobs[i].pkt). Requires verdicts.size() >= jobs.size().
+inline void verify_packet_macs(std::span<const PacketMacJob> jobs,
+                               std::span<std::uint8_t> verdicts) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const PacketMacJob& job = jobs[i];
+    verdicts[i] =
+        (job.key != nullptr && job.pkt != nullptr &&
+         verify_packet_mac(*job.key, *job.pkt))
+            ? 1
+            : 0;
+  }
+}
+
+/// Batched stamping under ONE key — the gateway egress shape: a NAT-mode AP
+/// re-MACs a burst of inner packets under its own kHA before forwarding
+/// ("the AP replaces the MAC using its shared key with the AS", §VII-B).
+inline void stamp_packet_macs(const crypto::AesCmac& mac_key,
+                              std::span<wire::Packet> pkts) {
+  for (wire::Packet& pkt : pkts) stamp_packet_mac(mac_key, pkt);
 }
 
 }  // namespace apna::core

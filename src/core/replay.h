@@ -6,30 +6,57 @@
 // discards all duplicate packets."
 //
 // Standard sliding-window filter (as in IPsec): accepts each nonce at most
-// once; nonces older than the window are rejected conservatively.
+// once. Nonces that fall behind the window are handled per StartPolicy:
+//
+//  * StartPolicy::anchor (conservative, the historical behavior): the first
+//    observed nonce anchors the window; anything more than window_size
+//    below the highest-seen nonce is rejected as a replay. Safe, but the
+//    FIRST nonce to arrive defines the floor — if the first packet observed
+//    carries a large nonce (a late packet racing ahead, or a burst start
+//    mid-stream), every earlier legitimate-but-reordered nonce is branded a
+//    replay forever. Deliberate and tested (core_test
+//    Replay.TooOldRejectedConservatively).
+//
+//  * StartPolicy::grace: fixes that first-nonce bias for in-network
+//    filtering (§VIII-D at the border router). Nonces BELOW the first-seen
+//    nonce but within one window of it are tracked in a second bitmap, so
+//    legitimate earlier packets reordered around the stream head are each
+//    accepted exactly once. Memory cost: one extra bitmap per window.
+//
+// The at-most-once property holds under both policies.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/ids.h"
+#include "core/sharded.h"
 #include "util/result.h"
 
 namespace apna::core {
 
 class ReplayWindow {
  public:
-  explicit ReplayWindow(std::size_t window_size = 1024)
-      : bits_(window_size, false) {}
+  enum class StartPolicy {
+    anchor,  // first nonce anchors the floor (conservative)
+    grace,   // pre-first-nonce window accepted once each (startup grace)
+  };
+
+  explicit ReplayWindow(std::size_t window_size = 1024,
+                        StartPolicy policy = StartPolicy::anchor)
+      : bits_(window_size, false), policy_(policy) {}
 
   /// Returns ok if the nonce is fresh (and records it); Errc::replayed for
-  /// duplicates or nonces that fell behind the window.
+  /// duplicates or nonces that fell behind the window (see StartPolicy).
   Result<void> accept(std::uint64_t nonce) {
     const std::size_t n = bits_.size();
     if (!initialized_) {
       initialized_ = true;
+      first_seen_ = nonce;
       max_seen_ = nonce;
       bits_.assign(n, false);
       bits_[nonce % n] = true;
+      if (policy_ == StartPolicy::grace) pre_bits_.assign(n, false);
       return Result<void>::success();
     }
     if (nonce > max_seen_) {
@@ -45,20 +72,81 @@ class ReplayWindow {
       return Result<void>::success();
     }
     const std::uint64_t age = max_seen_ - nonce;
-    if (age >= n)
+    if (age >= n) {
+      // Behind the live window. Startup grace: nonces sent before the
+      // stream head we first observed get one acceptance each.
+      if (in_grace_range(nonce)) {
+        if (pre_bits_[nonce % n])
+          return Result<void>(Errc::replayed, "duplicate pre-window nonce");
+        pre_bits_[nonce % n] = true;
+        return Result<void>::success();
+      }
       return Result<void>(Errc::replayed, "nonce older than window");
+    }
     if (bits_[nonce % n])
       return Result<void>(Errc::replayed, "duplicate nonce");
     bits_[nonce % n] = true;
+    // A pre-first-seen nonce accepted while still inside the live window
+    // must also burn its grace slot, or it would be accepted a second time
+    // after the window slides past it.
+    if (in_grace_range(nonce)) pre_bits_[nonce % n] = true;
     return Result<void>::success();
   }
 
   std::uint64_t max_seen() const { return max_seen_; }
+  StartPolicy policy() const { return policy_; }
 
  private:
+  /// True when `nonce` lies in [first_seen_ - window, first_seen_) under the
+  /// grace policy. Slots are unique within that range (length == window).
+  bool in_grace_range(std::uint64_t nonce) const {
+    return policy_ == StartPolicy::grace && nonce < first_seen_ &&
+           first_seen_ - nonce <= bits_.size();
+  }
+
   std::vector<bool> bits_;
+  std::vector<bool> pre_bits_;  // grace bitmap, allocated on first accept
+  StartPolicy policy_;
   std::uint64_t max_seen_ = 0;
+  std::uint64_t first_seen_ = 0;
   bool initialized_ = false;
+};
+
+/// Lock-striped source-EphID → ReplayWindow table: the §VIII-D in-network
+/// filter as the border router runs it ("ideally replayed packets should be
+/// filtered near [the] replay location"). The shard key is the source-EphID
+/// hash — the same key that spreads packets across router workers — so M
+/// workers filtering disjoint sources update disjoint stripes. accept() is
+/// a read-modify-write under the shard's exclusive lock.
+class ShardedReplayFilter {
+ public:
+  struct Config {
+    std::size_t shard_count = kDefaultShardCount;
+    std::size_t window_size = 1024;
+    /// The BR filters at the source AS where streams are routinely observed
+    /// mid-flight, so startup grace is the default here (see ReplayWindow).
+    ReplayWindow::StartPolicy policy = ReplayWindow::StartPolicy::grace;
+  };
+
+  ShardedReplayFilter() : cfg_(), windows_(cfg_.shard_count) {}
+  explicit ShardedReplayFilter(Config cfg)
+      : cfg_(cfg), windows_(cfg.shard_count) {}
+
+  /// Accepts or rejects one (source, nonce) observation; creates the
+  /// source's window on first sight.
+  Result<void> accept(const EphId& src, std::uint64_t nonce) {
+    return windows_.update(
+        src,
+        [this] { return ReplayWindow(cfg_.window_size, cfg_.policy); },
+        [nonce](ReplayWindow& w) { return w.accept(nonce); });
+  }
+
+  /// Number of tracked sources.
+  std::size_t size() const { return windows_.size(); }
+
+ private:
+  Config cfg_;
+  ShardedMap<EphId, ReplayWindow, EphIdHash> windows_;
 };
 
 }  // namespace apna::core

@@ -5,81 +5,77 @@
 // the expired EphIDs can be removed from revoked_EphIDs"). Also tracks
 // per-host revocation counts so the AS can apply the §VIII-G2 escalation
 // policy (revoke the HID after too many shutoffs) and a revoked-HID set.
+//
+// Both tables are lock-striped (core/sharded.h): the Fig 4 "EphID ∈
+// revoked_EphIDs" check runs on every forwarded packet from every router
+// worker, while the AA applies revocations concurrently (Fig 5). A
+// revocation becomes visible to a worker the moment its shard lock is
+// released — there is no global pause.
 #pragma once
 
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "core/ids.h"
+#include "core/sharded.h"
 
 namespace apna::core {
 
 class RevocationList {
  public:
   /// Max preemptive revocations per host before HID escalation (§VIII-G2).
-  explicit RevocationList(std::uint32_t max_revocations_per_host = 16)
-      : max_per_host_(max_revocations_per_host) {}
+  explicit RevocationList(std::uint32_t max_revocations_per_host = 16,
+                          std::size_t shard_count = kDefaultShardCount)
+      : max_per_host_(max_revocations_per_host),
+        ephids_(shard_count),
+        hosts_(shard_count) {}
 
   /// Marks an EphID revoked. Returns the host's updated revocation count.
   std::uint32_t revoke_ephid(const EphId& ephid, ExpTime exp_time, Hid hid) {
-    std::unique_lock lock(mu_);
-    ephids_[ephid] = exp_time;
-    return ++per_host_count_[hid];
+    ephids_.insert_or_assign(ephid, exp_time);
+    return hosts_.update(
+        hid, [] { return HostRevState{}; },
+        [](HostRevState& h) { return ++h.revocations; });
   }
 
-  bool is_revoked(const EphId& ephid) const {
-    std::shared_lock lock(mu_);
-    return ephids_.contains(ephid);
-  }
+  bool is_revoked(const EphId& ephid) const { return ephids_.contains(ephid); }
 
   /// HID escalation (§VIII-G2): all of the host's EphIDs become invalid.
   void revoke_hid(Hid hid) {
-    std::unique_lock lock(mu_);
-    hids_.insert(hid);
+    hosts_.update(
+        hid, [] { return HostRevState{}; },
+        [](HostRevState& h) { h.hid_revoked = true; });
   }
 
   bool is_hid_revoked(Hid hid) const {
-    std::shared_lock lock(mu_);
-    return hids_.contains(hid);
+    const auto h = hosts_.find(hid);
+    return h && h->hid_revoked;
   }
 
   /// True when the host has hit the escalation threshold.
   bool over_limit(Hid hid) const {
-    std::shared_lock lock(mu_);
-    auto it = per_host_count_.find(hid);
-    return it != per_host_count_.end() && it->second >= max_per_host_;
+    const auto h = hosts_.find(hid);
+    return h && h->revocations >= max_per_host_;
   }
 
   /// §VIII-G2 measure 1: drop entries whose EphIDs have expired anyway.
+  /// Proceeds shard by shard so routers keep forwarding during the purge.
   /// Returns the number of purged entries.
   std::size_t purge_expired(ExpTime now) {
-    std::unique_lock lock(mu_);
-    std::size_t purged = 0;
-    for (auto it = ephids_.begin(); it != ephids_.end();) {
-      if (it->second < now) {
-        it = ephids_.erase(it);
-        ++purged;
-      } else {
-        ++it;
-      }
-    }
-    return purged;
+    return ephids_.erase_if(
+        [now](const EphId&, ExpTime exp) { return exp < now; });
   }
 
-  std::size_t size() const {
-    std::shared_lock lock(mu_);
-    return ephids_.size();
-  }
+  std::size_t size() const { return ephids_.size(); }
 
  private:
-  mutable std::shared_mutex mu_;
+  struct HostRevState {
+    std::uint32_t revocations = 0;  // §VIII-G2 escalation counter
+    bool hid_revoked = false;
+  };
+
   std::uint32_t max_per_host_;
-  std::unordered_map<EphId, ExpTime, EphIdHash> ephids_;
-  std::unordered_set<Hid> hids_;
-  std::unordered_map<Hid, std::uint32_t> per_host_count_;
+  ShardedMap<EphId, ExpTime, EphIdHash> ephids_;
+  ShardedMap<Hid, HostRevState> hosts_;
 };
 
 }  // namespace apna::core

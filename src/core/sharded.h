@@ -1,0 +1,139 @@
+// Lock-striped (sharded) hash maps — the concurrency backbone of the
+// data-plane fast path.
+//
+// The paper's design choice 3 keeps forwarding devices on symmetric crypto
+// so the data plane can run at line rate (§IV, §V-B); the matching software
+// requirement is that per-packet state lookups never serialize on one lock.
+// ShardedMap splits a hash map into N power-of-two shards, each guarded by
+// its own shared_mutex, keyed by the entry hash. M worker threads touching
+// pseudorandom keys (EphIDs, HIDs) contend only when they land on the same
+// stripe, so throughput scales with cores instead of flatlining on a global
+// mutex.
+//
+// Concurrency contract (see ARCHITECTURE.md "Concurrency model"):
+//  * every member function is safe to call from any thread;
+//  * find() returns a COPY of the value taken under the shard lock — holding
+//    references into the map across calls is not supported;
+//  * update() runs the caller's functor under the shard's exclusive lock, so
+//    functors must be short and must not call back into the same map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace apna::core {
+
+/// Default stripe count for per-AS forwarding state. 16 stripes keep
+/// worst-case contention below ~1/16 of lookups for up to ~16 workers while
+/// costing only 16 mutexes per table.
+constexpr std::size_t kDefaultShardCount = 16;
+
+/// Smallest power of two >= n (shard indexing uses `hash & mask`).
+constexpr std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <class Key, class Value, class Hash = std::hash<Key>>
+class ShardedMap {
+ public:
+  explicit ShardedMap(std::size_t shard_count = kDefaultShardCount)
+      : count_(round_up_pow2(shard_count == 0 ? 1 : shard_count)),
+        mask_(count_ - 1),
+        shards_(std::make_unique<Shard[]>(count_)) {}
+
+  /// Copy-out lookup under the shard's shared lock.
+  std::optional<Value> find(const Key& key) const {
+    const Shard& s = shard(key);
+    std::shared_lock lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const Key& key) const {
+    const Shard& s = shard(key);
+    std::shared_lock lock(s.mu);
+    return s.map.contains(key);
+  }
+
+  void insert_or_assign(const Key& key, Value value) {
+    Shard& s = shard(key);
+    std::unique_lock lock(s.mu);
+    s.map.insert_or_assign(key, std::move(value));
+  }
+
+  bool erase(const Key& key) {
+    Shard& s = shard(key);
+    std::unique_lock lock(s.mu);
+    return s.map.erase(key) != 0;
+  }
+
+  /// Runs `fn(value&)` under the shard's exclusive lock, default-inserting
+  /// the entry via `make()` when absent. Returns fn's result. This is the
+  /// read-modify-write primitive (replay-window accept, revocation counts).
+  template <class MakeFn, class Fn>
+  auto update(const Key& key, MakeFn make, Fn fn) {
+    Shard& s = shard(key);
+    std::unique_lock lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) it = s.map.emplace(key, make()).first;
+    return fn(it->second);
+  }
+
+  /// Erases every entry for which `pred(key, value)` is true, one shard at a
+  /// time (writers on other shards proceed meanwhile). Returns erase count.
+  template <class Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t erased = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      Shard& s = shards_[i];
+      std::unique_lock lock(s.mu);
+      for (auto it = s.map.begin(); it != s.map.end();) {
+        if (pred(it->first, it->second)) {
+          it = s.map.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
+  /// Total entry count (sums shard sizes; a racing writer may make the
+  /// result stale by the time it returns, like any concurrent counter).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::shared_lock lock(shards_[i].mu);
+      n += shards_[i].map.size();
+    }
+    return n;
+  }
+
+  std::size_t shard_count() const { return count_; }
+
+ private:
+  /// Cache-line aligned so two stripes never false-share.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  Shard& shard(const Key& key) { return shards_[Hash{}(key)&mask_]; }
+  const Shard& shard(const Key& key) const {
+    return shards_[Hash{}(key)&mask_];
+  }
+
+  std::size_t count_;
+  std::size_t mask_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace apna::core

@@ -1,5 +1,7 @@
 #include "gateway/nat_ap.h"
 
+#include "core/packet_auth.h"
+
 namespace apna::gw {
 
 NatAccessPoint::NatAccessPoint(Config cfg, AutonomousSystem& parent,
@@ -96,52 +98,97 @@ void NatAccessPoint::deliver_to_inner(core::Hid inner_hid,
                     [h, pkt] { h->on_packet(pkt); });
 }
 
-void NatAccessPoint::on_inner_uplink(const wire::Packet& pkt) {
+std::optional<core::Hid> NatAccessPoint::route_inner(const wire::Packet& pkt) {
   // Internal destination? (inner control EphIDs decode under the AP's kA.)
   core::EphId dst;
   dst.bytes = pkt.dst_ephid;
   if (auto plain = inner_as_->codec.open(dst); plain.ok()) {
     if (plain->hid == inner_ms_.hid) {
       handle_inner_ms_request(pkt);
-      return;
+      return std::nullopt;
     }
     // Inner-to-inner traffic stays behind the AP.
     if (inner_ports_.contains(plain->hid)) {
       ++stats_.intra_ap;
       deliver_to_inner(plain->hid, pkt);
-      return;
+      return std::nullopt;
     }
   }
   // EphID_info lookup also covers inner→inner via real-AS EphIDs.
   if (auto it = ephid_info_.find(dst); it != ephid_info_.end()) {
     ++stats_.intra_ap;
     deliver_to_inner(it->second, pkt);
-    return;
+    return std::nullopt;
   }
 
-  // Egress: the source EphID must have been issued via this AP...
+  // Egress: the source EphID must have been issued via this AP.
   core::EphId src;
   src.bytes = pkt.src_ephid;
   auto owner = ephid_info_.find(src);
   if (owner == ephid_info_.end()) {
     ++stats_.drop_unknown_ephid;
-    return;
+    return std::nullopt;
   }
-  // ... and the packet must carry a valid MAC under the INNER host's key
-  // ("in addition to verifying the MAC in the packets using the shared
-  // keys with its hosts").
-  const auto inner_rec = inner_as_->host_db.find(owner->second);
-  if (!inner_rec || !core::verify_packet_mac(*inner_rec->cmac, pkt)) {
-    ++stats_.drop_bad_inner_mac;
-    return;
-  }
+  return owner->second;
+}
 
+void NatAccessPoint::forward_inner_egress(const wire::Packet& pkt) {
   // NAT step: present the packet as the AP's own traffic — real AID and the
   // AP's kHA MAC.
   wire::Packet out = pkt;
   out.src_aid = parent_.aid();
   ++stats_.inner_out;
   ap_host_->forward_as_own(std::move(out));
+}
+
+void NatAccessPoint::on_inner_uplink(const wire::Packet& pkt) {
+  const auto inner_hid = route_inner(pkt);
+  if (!inner_hid) return;
+  // The packet must carry a valid MAC under the INNER host's key ("in
+  // addition to verifying the MAC in the packets using the shared keys
+  // with its hosts").
+  const auto inner_rec = inner_as_->host_db.find(*inner_hid);
+  if (!inner_rec || !core::verify_packet_mac(*inner_rec->cmac, pkt)) {
+    ++stats_.drop_bad_inner_mac;
+    return;
+  }
+  forward_inner_egress(pkt);
+}
+
+void NatAccessPoint::inject_inner_burst(std::span<const wire::Packet> burst) {
+  // Route first: inner-destined traffic is consumed here; what remains is
+  // the egress set whose inner MACs can be verified as one batch.
+  std::vector<const wire::Packet*> egress;
+  std::vector<std::optional<core::HostRecord>> recs;  // keepalive for cmac
+  egress.reserve(burst.size());
+  recs.reserve(burst.size());
+  for (const wire::Packet& pkt : burst) {
+    const auto inner_hid = route_inner(pkt);
+    if (!inner_hid) continue;
+    egress.push_back(&pkt);
+    recs.push_back(inner_as_->host_db.find(*inner_hid));
+  }
+
+  std::vector<core::PacketMacJob> jobs(egress.size());
+  for (std::size_t i = 0; i < egress.size(); ++i)
+    jobs[i] = core::PacketMacJob{egress[i],
+                                 recs[i] ? recs[i]->cmac.get() : nullptr};
+  std::vector<std::uint8_t> mac_ok(egress.size());
+  core::verify_packet_macs(jobs, mac_ok);
+
+  // NAT the survivors and re-MAC them under the AP's kHA as one burst.
+  std::vector<wire::Packet> out;
+  out.reserve(egress.size());
+  for (std::size_t i = 0; i < egress.size(); ++i) {
+    if (!mac_ok[i]) {
+      ++stats_.drop_bad_inner_mac;
+      continue;
+    }
+    out.push_back(*egress[i]);
+    out.back().src_aid = parent_.aid();
+  }
+  stats_.inner_out += out.size();
+  ap_host_->forward_as_own_burst(out);
 }
 
 void NatAccessPoint::on_downlink(const wire::Packet& pkt) {

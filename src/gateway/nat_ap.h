@@ -25,6 +25,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -75,6 +77,14 @@ class NatAccessPoint {
   /// packets that fail the inner MAC check).
   void inject_inner(const wire::Packet& pkt) { on_inner_uplink(pkt); }
 
+  /// Burst ingestion on the inner wire: egress candidates have their inner
+  /// MACs verified through the batched verifier
+  /// (core::verify_packet_macs) and the survivors are re-MAC'd under the
+  /// AP's kHA through the batched stamping path
+  /// (host::Host::forward_as_own_burst). Per-packet verdicts and counters
+  /// are identical to calling inject_inner once per packet.
+  void inject_inner_burst(std::span<const wire::Packet> burst);
+
   /// The AP's own host-side identity at the parent AS.
   host::Host& ap_host() { return *ap_host_; }
   core::Aid parent_aid() const { return parent_.aid(); }
@@ -87,6 +97,12 @@ class NatAccessPoint {
   void on_downlink(const wire::Packet& pkt);              // router (ingress)
   void handle_inner_ms_request(const wire::Packet& pkt);  // MS proxy
   void deliver_to_inner(core::Hid inner_hid, const wire::Packet& pkt);
+  /// Routing half of the uplink: consumes inner-destined traffic (MS
+  /// requests, intra-AP) and returns the owning inner HID when the packet
+  /// is an egress candidate whose inner MAC still needs verification.
+  std::optional<core::Hid> route_inner(const wire::Packet& pkt);
+  /// NAT tail after a verified inner MAC: rewrite AID, re-MAC, send.
+  void forward_inner_egress(const wire::Packet& pkt);
 
   Config cfg_;
   AutonomousSystem& parent_;

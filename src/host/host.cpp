@@ -164,6 +164,13 @@ void Host::forward_as_own(wire::Packet pkt) {
   if (send_) send_(pkt);
 }
 
+void Host::forward_as_own_burst(std::span<wire::Packet> pkts) {
+  core::stamp_packet_macs(*kha_cmac_, pkts);
+  stats_.packets_sent += pkts.size();
+  if (!send_) return;
+  for (const wire::Packet& pkt : pkts) send_(pkt);
+}
+
 void Host::on_control(const wire::Packet& pkt) {
   if (pending_ephids_.empty()) return;
   PendingEphId pending = std::move(pending_ephids_.front());

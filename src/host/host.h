@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 
@@ -118,6 +119,11 @@ class Host {
   /// and transmits (§VII-B NAT-mode: "the AP replaces the MAC using its
   /// shared key with the AS before forwarding the packets").
   void forward_as_own(wire::Packet pkt);
+
+  /// Burst variant: re-MACs the whole burst through the batched stamping
+  /// path (core::stamp_packet_macs — one pre-scheduled key, no per-call
+  /// overhead) and transmits in order. The NAT-mode AP's uplink uses this.
+  void forward_as_own_burst(std::span<wire::Packet> pkts);
 
   EphIdPool& pool() { return pool_; }
   const EphIdPool& pool() const { return pool_; }

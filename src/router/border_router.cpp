@@ -1,5 +1,8 @@
 #include "router/border_router.h"
 
+#include <algorithm>
+#include <optional>
+
 namespace apna::router {
 
 Result<void> BorderRouter::check_outgoing(const wire::Packet& pkt,
@@ -59,15 +62,212 @@ Result<void> BorderRouter::check_baseline(const wire::Packet& pkt) const {
   return Result<void>::success();
 }
 
-void BorderRouter::count_drop(Errc code) {
+// ---- Concurrent fast path ---------------------------------------------------
+
+Errc BorderRouter::outgoing_checks(const wire::Packet& pkt,
+                                   core::ExpTime now) const {
+  if (pkt.wire_size() > cfg_.mtu) return Errc::too_big;
+  return check_outgoing(pkt, now).code();
+}
+
+void BorderRouter::finish_outgoing_classify(
+    std::span<const wire::Packet> burst, std::span<Verdict> verdicts,
+    Stats& stats) const {
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    Verdict& v = verdicts[i];
+    if (v.err == Errc::ok && cfg_.replay_filter && burst[i].has_nonce()) {
+      core::EphId src;
+      src.bytes = burst[i].src_ephid;
+      if (!replay_filter_.accept(src, burst[i].nonce)) v.err = Errc::replayed;
+    }
+    if (v.err != Errc::ok) count_drop(stats, v.err);
+  }
+}
+
+void BorderRouter::classify_outgoing_burst(std::span<const wire::Packet> burst,
+                                           core::ExpTime now,
+                                           std::span<Verdict> verdicts,
+                                           Stats& stats, bool batched) const {
+  if (cfg_.mode == Mode::baseline || !batched) {
+    for (std::size_t i = 0; i < burst.size(); ++i)
+      verdicts[i] = Verdict{outgoing_checks(burst[i], now), false, 0};
+    finish_outgoing_classify(burst, verdicts, stats);
+    return;
+  }
+
+  // Batched pipeline: chunk the burst so the gather buffers stay on the
+  // stack, run the two AES-heavy stages (EphID open, MAC verify) through
+  // the batched kernels, and keep the check ORDER identical to
+  // check_outgoing so both paths produce the same error codes.
+  constexpr std::size_t kChunk = 32;
+  core::EphId ids[kChunk];
+  core::EphIdPlain plain[kChunk];
+  std::uint8_t id_ok[kChunk];
+  // HostRecord copies keep the pre-scheduled cmac shared_ptr alive while
+  // the verify jobs borrow raw pointers to it.
+  std::optional<core::HostRecord> recs[kChunk];
+  core::PacketMacJob jobs[kChunk];
+  std::size_t job_at[kChunk];
+  std::uint8_t mac_ok[kChunk];
+
+  for (std::size_t base = 0; base < burst.size(); base += kChunk) {
+    const std::size_t m = std::min(kChunk, burst.size() - base);
+    for (std::size_t i = 0; i < m; ++i)
+      ids[i].bytes = burst[base + i].src_ephid;
+    as_.codec.open_batch(ids, m, plain, id_ok);
+
+    std::size_t njobs = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const wire::Packet& pkt = burst[base + i];
+      Verdict& v = verdicts[base + i];
+      v = Verdict{};
+      if (pkt.wire_size() > cfg_.mtu) {
+        v.err = Errc::too_big;
+      } else if (!id_ok[i]) {
+        v.err = Errc::decrypt_failed;
+      } else if (plain[i].exp_time < now) {
+        v.err = Errc::expired;
+      } else if (as_.revoked.is_revoked(ids[i]) ||
+                 as_.revoked.is_hid_revoked(plain[i].hid)) {
+        v.err = Errc::revoked;
+      } else if (!(recs[i] = as_.host_db.find(plain[i].hid))) {
+        v.err = Errc::unknown_host;
+      } else {
+        jobs[njobs] = core::PacketMacJob{&pkt, recs[i]->cmac.get()};
+        job_at[njobs++] = base + i;
+      }
+    }
+    core::verify_packet_macs(std::span<const core::PacketMacJob>(jobs, njobs),
+                             std::span<std::uint8_t>(mac_ok, njobs));
+    for (std::size_t j = 0; j < njobs; ++j)
+      if (!mac_ok[j]) verdicts[job_at[j]].err = Errc::bad_mac;
+  }
+  finish_outgoing_classify(burst, verdicts, stats);
+}
+
+void BorderRouter::classify_ingress_burst(std::span<const wire::Packet> burst,
+                                          core::ExpTime now,
+                                          std::span<Verdict> verdicts,
+                                          Stats& stats, bool batched) const {
+  if (cfg_.mode == Mode::baseline || !batched) {
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      const wire::Packet& pkt = burst[i];
+      Verdict& v = verdicts[i];
+      v = Verdict{};
+      if (pkt.dst_aid != as_.aid) continue;  // transit, no crypto
+      v.local = true;
+      auto hid = check_incoming(pkt, now);
+      if (hid) {
+        v.hid = *hid;
+      } else {
+        v.err = hid.error().code;
+        count_drop(stats, v.err);
+      }
+    }
+    return;
+  }
+
+  constexpr std::size_t kChunk = 32;
+  core::EphId ids[kChunk];
+  core::EphIdPlain plain[kChunk];
+  std::uint8_t id_ok[kChunk];
+  std::size_t local_at[kChunk];
+
+  for (std::size_t base = 0; base < burst.size(); base += kChunk) {
+    const std::size_t m = std::min(kChunk, burst.size() - base);
+    // Transit packets skip crypto entirely (design choice 3); gather only
+    // the locally-destined EphIDs for the batched open.
+    std::size_t nlocal = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      verdicts[base + i] = Verdict{};
+      if (burst[base + i].dst_aid != as_.aid) continue;
+      verdicts[base + i].local = true;
+      ids[nlocal].bytes = burst[base + i].dst_ephid;
+      local_at[nlocal++] = base + i;
+    }
+    as_.codec.open_batch(ids, nlocal, plain, id_ok);
+    for (std::size_t j = 0; j < nlocal; ++j) {
+      Verdict& v = verdicts[local_at[j]];
+      if (!id_ok[j]) {
+        v.err = Errc::decrypt_failed;
+      } else if (plain[j].exp_time < now) {
+        v.err = Errc::expired;
+      } else if (as_.revoked.is_revoked(ids[j]) ||
+                 as_.revoked.is_hid_revoked(plain[j].hid)) {
+        v.err = Errc::revoked;
+      } else if (!as_.host_db.contains(plain[j].hid)) {
+        v.err = Errc::unknown_host;
+      } else {
+        v.hid = plain[j].hid;
+      }
+      if (v.err != Errc::ok) count_drop(stats, v.err);
+    }
+  }
+}
+
+bool BorderRouter::send_external_stamped(const wire::Packet& pkt,
+                                         Stats& stats) {
+  if (!cb_.send_external) return true;  // checks-only driver
+  Result<void> sent = Result<void>::success();
+  if (cfg_.stamp_path) {
+    wire::Packet stamped = pkt;
+    stamped.stamp_path(as_.aid);
+    sent = cb_.send_external(stamped);
+  } else {
+    sent = cb_.send_external(pkt);
+  }
+  if (!sent) {
+    count_drop(stats, sent.error().code);
+    return false;
+  }
+  return true;
+}
+
+void BorderRouter::apply_outgoing_verdicts(std::span<const wire::Packet> burst,
+                                           std::span<const Verdict> verdicts,
+                                           Stats& stats) {
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (verdicts[i].err != Errc::ok) continue;  // already counted
+    if (send_external_stamped(burst[i], stats)) ++stats.forwarded_out;
+  }
+}
+
+void BorderRouter::apply_ingress_verdicts(std::span<const wire::Packet> burst,
+                                          std::span<const Verdict> verdicts,
+                                          Stats& stats) {
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    const Verdict& v = verdicts[i];
+    if (v.err != Errc::ok) continue;
+    if (!v.local) {
+      // Transit: "simply forward packets to the next AS on the path".
+      if (send_external_stamped(burst[i], stats)) ++stats.transited;
+      continue;
+    }
+    if (!cb_.deliver_internal) {
+      ++stats.delivered_in;
+      continue;
+    }
+    if (auto ok = cb_.deliver_internal(v.hid, burst[i]); ok) {
+      ++stats.delivered_in;
+    } else {
+      count_drop(stats, ok.error().code);
+    }
+  }
+}
+
+// ---- Accounting and feedback ------------------------------------------------
+
+void BorderRouter::count_drop(Stats& stats, Errc code) {
   switch (code) {
-    case Errc::expired: ++stats_.drop_expired; break;
-    case Errc::revoked: ++stats_.drop_revoked; break;
-    case Errc::unknown_host: ++stats_.drop_unknown_host; break;
-    case Errc::bad_mac: ++stats_.drop_bad_mac; break;
-    case Errc::decrypt_failed: ++stats_.drop_bad_ephid; break;
-    case Errc::no_route: ++stats_.drop_no_route; break;
-    default: ++stats_.drop_bad_ephid; break;
+    case Errc::expired: ++stats.drop_expired; break;
+    case Errc::revoked: ++stats.drop_revoked; break;
+    case Errc::unknown_host: ++stats.drop_unknown_host; break;
+    case Errc::bad_mac: ++stats.drop_bad_mac; break;
+    case Errc::decrypt_failed: ++stats.drop_bad_ephid; break;
+    case Errc::no_route: ++stats.drop_no_route; break;
+    case Errc::too_big: ++stats.drop_too_big; break;
+    case Errc::replayed: ++stats.drop_replayed; break;
+    default: ++stats.drop_bad_ephid; break;
   }
 }
 
@@ -106,6 +306,8 @@ void BorderRouter::maybe_icmp_error(const wire::Packet& offending,
   }
 }
 
+// ---- Single-threaded simulator path -----------------------------------------
+
 void BorderRouter::on_outgoing(const wire::Packet& pkt) {
   const core::ExpTime now = cb_.now();
   if (pkt.wire_size() > cfg_.mtu) {
@@ -123,25 +325,12 @@ void BorderRouter::on_outgoing(const wire::Packet& pkt) {
   if (cfg_.replay_filter && pkt.has_nonce()) {
     core::EphId src;
     src.bytes = pkt.src_ephid;
-    auto [it, inserted] = replay_windows_.try_emplace(src, 1024);
-    if (auto fresh = it->second.accept(pkt.nonce); !fresh) {
+    if (auto fresh = replay_filter_.accept(src, pkt.nonce); !fresh) {
       ++stats_.drop_replayed;
       return;
     }
   }
-  if (cfg_.stamp_path) {
-    wire::Packet stamped = pkt;
-    stamped.stamp_path(as_.aid);
-    if (auto sent = cb_.send_external(stamped); !sent) {
-      count_drop(sent.error().code);
-      maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 0);
-      return;
-    }
-    ++stats_.forwarded_out;
-    return;
-  }
-  if (auto sent = cb_.send_external(pkt); !sent) {
-    count_drop(sent.error().code);
+  if (!send_external_stamped(pkt, stats_)) {
     maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 0);
     return;
   }
@@ -152,21 +341,7 @@ void BorderRouter::on_ingress(const wire::Packet& pkt) {
   const core::ExpTime now = cb_.now();
   if (pkt.dst_aid != as_.aid) {
     // Transit: "simply forward packets to the next AS on the path".
-    if (cfg_.stamp_path) {
-      wire::Packet stamped = pkt;
-      stamped.stamp_path(as_.aid);
-      if (auto sent = cb_.send_external(stamped); !sent) {
-        count_drop(sent.error().code);
-        return;
-      }
-      ++stats_.transited;
-      return;
-    }
-    if (auto sent = cb_.send_external(pkt); !sent) {
-      count_drop(sent.error().code);
-      return;
-    }
-    ++stats_.transited;
+    if (send_external_stamped(pkt, stats_)) ++stats_.transited;
     return;
   }
   auto hid = check_incoming(pkt, now);

@@ -11,16 +11,35 @@
 // Transit: forward by AID only, no crypto (design choice 3 — "forwarding
 // devices perform only symmetric cryptographic operations").
 //
-// check_outgoing()/check_incoming() are side-effect-free so bench E2 can
-// measure exactly the per-packet pipeline cost; on_outgoing()/on_ingress()
-// add the forwarding actions for the simulator. Mode::baseline implements
-// a plain IPv4-style router (AID longest-match stand-in) for E11.
+// Two data paths share the same checks:
+//
+//  * The single-threaded simulator path: on_outgoing()/on_ingress() run the
+//    checks, the forwarding actions AND the control-plane niceties (ICMP
+//    feedback, path stamping) for one packet at a time on the event-loop
+//    thread. check_outgoing()/check_incoming() are its side-effect-free
+//    cores, benchmarked by E2.
+//
+//  * The concurrent fast path: classify_*_burst() runs the same checks over
+//    a burst from ANY number of worker threads — all AS state it touches is
+//    lock-striped (core/sharded.h) or immutable, and outcome counters go to
+//    a caller-owned Stats (one per worker, merged on read). Verdicts are
+//    then turned into forwarding actions by apply_*_verdicts() on a single
+//    thread (the callbacks — simulator event loop — are not thread-safe).
+//    With `batched` set, EphID authentication and MAC verification run
+//    through the batched kernels (EphIdCodec::open_batch,
+//    verify_packet_macs); verdicts are identical to the scalar path either
+//    way. The concurrent path does not emit ICMP feedback (a real line-rate
+//    device punts error signalling off the fast path the same way).
+//
+// router/forwarding_pool.h packages the classify/apply split into an
+// M-worker pool; Mode::baseline implements a plain IPv4-style router (AID
+// longest-match stand-in) for E11.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <span>
 
 #include "core/as_state.h"
 #include "core/messages.h"
@@ -73,6 +92,23 @@ class BorderRouter {
       return drop_expired + drop_revoked + drop_unknown_host + drop_bad_mac +
              drop_bad_ephid + drop_no_route + drop_too_big + drop_replayed;
     }
+
+    /// Accumulates another counter set (per-worker stats merged on read).
+    Stats& operator+=(const Stats& o) {
+      forwarded_out += o.forwarded_out;
+      delivered_in += o.delivered_in;
+      transited += o.transited;
+      icmp_sent += o.icmp_sent;
+      drop_expired += o.drop_expired;
+      drop_revoked += o.drop_revoked;
+      drop_unknown_host += o.drop_unknown_host;
+      drop_bad_mac += o.drop_bad_mac;
+      drop_bad_ephid += o.drop_bad_ephid;
+      drop_no_route += o.drop_no_route;
+      drop_too_big += o.drop_too_big;
+      drop_replayed += o.drop_replayed;
+      return *this;
+    }
   };
 
   struct Config {
@@ -86,10 +122,17 @@ class BorderRouter {
     /// source AS's egress ("ideally replayed packets should be filtered
     /// near [the] replay location").
     bool replay_filter = false;
+    /// Stripe count for the per-source replay-window table.
+    std::size_t replay_shards = core::kDefaultShardCount;
   };
 
   BorderRouter(core::AsState& as, Callbacks cb, Config cfg)
-      : as_(as), cb_(std::move(cb)), cfg_(cfg) {}
+      : as_(as),
+        cb_(std::move(cb)),
+        cfg_(cfg),
+        replay_filter_(core::ShardedReplayFilter::Config{
+            cfg.replay_shards, 1024,
+            core::ReplayWindow::StartPolicy::grace}) {}
   BorderRouter(core::AsState& as, Callbacks cb)
       : BorderRouter(as, std::move(cb), Config()) {}
 
@@ -98,17 +141,56 @@ class BorderRouter {
   // ---- Pure pipelines (benchmarked) ----------------------------------------
 
   /// Fig 4 bottom. Returns ok when the packet may leave the AS.
+  /// Thread-safe: touches only immutable keys and lock-striped tables.
   Result<void> check_outgoing(const wire::Packet& pkt,
                               core::ExpTime now) const;
 
   /// Fig 4 top, local-destination branch. Returns the destination HID.
+  /// Thread-safe, like check_outgoing.
   Result<core::Hid> check_incoming(const wire::Packet& pkt,
                                    core::ExpTime now) const;
 
   /// Baseline (plain-IP-style) pipeline: header sanity only.
   Result<void> check_baseline(const wire::Packet& pkt) const;
 
-  // ---- Forwarding entry points ----------------------------------------------
+  // ---- Concurrent fast path (classify on M threads, apply on one) ----------
+
+  /// One packet's outcome on the concurrent fast path.
+  struct Verdict {
+    Errc err = Errc::ok;  // ok ⇒ forward / deliver / transit
+    bool local = false;   // ingress only: deliver to `hid` vs transit
+    core::Hid hid = 0;    // ingress only: destination host when local
+  };
+
+  /// Runs the egress pipeline (MTU + Fig 4 checks + §VIII-D replay filter
+  /// when configured) over a burst. Drop reasons are counted into the
+  /// caller-owned `stats` (passes are counted by apply_outgoing_verdicts or
+  /// by the caller). Safe to call from many threads concurrently; `batched`
+  /// selects the batched AES kernels (identical verdicts either way).
+  void classify_outgoing_burst(std::span<const wire::Packet> burst,
+                               core::ExpTime now, std::span<Verdict> verdicts,
+                               Stats& stats, bool batched = true) const;
+
+  /// Ingress twin: transit detection + Fig 4 top checks for local packets.
+  void classify_ingress_burst(std::span<const wire::Packet> burst,
+                              core::ExpTime now, std::span<Verdict> verdicts,
+                              Stats& stats, bool batched = true) const;
+
+  /// Executes the forwarding actions for a classified egress burst on the
+  /// CALLING thread (the callbacks are single-threaded): send_external for
+  /// every passing packet (path-stamped when configured). Successes count
+  /// into `stats.forwarded_out`, send failures into `stats.drop_no_route`.
+  void apply_outgoing_verdicts(std::span<const wire::Packet> burst,
+                               std::span<const Verdict> verdicts,
+                               Stats& stats);
+
+  /// Ingress twin: deliver_internal for local verdicts, send_external for
+  /// transits.
+  void apply_ingress_verdicts(std::span<const wire::Packet> burst,
+                              std::span<const Verdict> verdicts,
+                              Stats& stats);
+
+  // ---- Forwarding entry points (single-threaded simulator path) ------------
 
   /// Packet from a local host headed out of the AS.
   void on_outgoing(const wire::Packet& pkt);
@@ -119,20 +201,36 @@ class BorderRouter {
 
   const Stats& stats() const { return stats_; }
   core::Aid aid() const { return as_.aid; }
+  const Config& config() const { return cfg_; }
 
  private:
-  void count_drop(Errc code);
+  static void count_drop(Stats& stats, Errc code);
+  void count_drop(Errc code) { count_drop(stats_, code); }
+  /// The one egress action both data paths share: optional §VIII-C path
+  /// stamp, send_external, and drop accounting on failure. Returns true
+  /// when the packet went out (the caller counts the success); a missing
+  /// callback counts as sent (checks-only drivers). Keeping this single
+  /// keeps the simulator and concurrent paths' counters in lockstep.
+  bool send_external_stamped(const wire::Packet& pkt, Stats& stats);
   void maybe_icmp_error(const wire::Packet& offending, core::IcmpType type,
                         std::uint32_t code);
+  /// Shared tail of both classify paths: replay filter + drop accounting.
+  void finish_outgoing_classify(std::span<const wire::Packet> burst,
+                                std::span<Verdict> verdicts,
+                                Stats& stats) const;
+  /// MTU + Fig 4 checks for one egress packet (the scalar classify kernel;
+  /// replay filtering and accounting happen in finish_outgoing_classify).
+  Errc outgoing_checks(const wire::Packet& pkt, core::ExpTime now) const;
 
   core::AsState& as_;
   Callbacks cb_;
   Config cfg_;
   RouterIdentity ident_;
   Stats stats_;
-  /// Per-source-EphID replay windows (only populated with replay_filter).
-  std::unordered_map<core::EphId, core::ReplayWindow, core::EphIdHash>
-      replay_windows_;
+  /// Per-source-EphID replay windows (only consulted with replay_filter).
+  /// Lock-striped and internally synchronized, hence usable — and mutated —
+  /// from the const classify path on many threads.
+  mutable core::ShardedReplayFilter replay_filter_;
 };
 
 }  // namespace apna::router

@@ -1,0 +1,142 @@
+#include "router/forwarding_pool.h"
+
+#include <algorithm>
+
+namespace apna::router {
+
+ForwardingPool::ForwardingPool(BorderRouter& br, Config cfg)
+    : br_(br), cfg_(cfg) {
+  if (cfg_.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    cfg_.threads = hw == 0 ? 1 : hw;
+  }
+  if (cfg_.chunk_packets == 0) cfg_.chunk_packets = 64;
+  slots_ = std::make_unique<Slot[]>(cfg_.threads);
+  workers_.reserve(cfg_.threads - 1);
+  for (std::size_t i = 1; i < cfg_.threads; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+ForwardingPool::~ForwardingPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ForwardingPool::drain_chunks(std::size_t slot) {
+  for (;;) {
+    const wire::Packet* burst;
+    BorderRouter::Verdict* verdicts;
+    core::ExpTime now;
+    bool ingress;
+    std::size_t begin, end;
+    {
+      std::lock_guard lock(mu_);
+      if (next_chunk_ >= chunks_total_) return;
+      begin = next_chunk_++ * cfg_.chunk_packets;
+      end = std::min(begin + cfg_.chunk_packets, burst_n_);
+      burst = burst_;
+      verdicts = verdicts_;
+      now = now_;
+      ingress = ingress_;
+    }
+    {
+      std::lock_guard slot_lock(slots_[slot].mu);
+      const std::span<const wire::Packet> chunk(burst + begin, end - begin);
+      const std::span<BorderRouter::Verdict> out(verdicts + begin,
+                                                 end - begin);
+      if (ingress) {
+        br_.classify_ingress_burst(chunk, now, out, slots_[slot].stats,
+                                   cfg_.batched);
+      } else {
+        br_.classify_outgoing_burst(chunk, now, out, slots_[slot].stats,
+                                    cfg_.batched);
+      }
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (++chunks_done_ == chunks_total_) cv_done_.notify_all();
+    }
+  }
+}
+
+void ForwardingPool::worker_main(std::size_t slot) {
+  for (;;) {
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock,
+                    [this] { return stop_ || next_chunk_ < chunks_total_; });
+      if (stop_) return;
+    }
+    drain_chunks(slot);
+  }
+}
+
+void ForwardingPool::process_burst(std::span<const wire::Packet> burst,
+                                   core::ExpTime now, bool ingress) {
+  if (burst.empty()) return;
+  verdict_buf_.resize(burst.size());
+  {
+    std::lock_guard lock(mu_);
+    burst_ = burst.data();
+    burst_n_ = burst.size();
+    verdicts_ = verdict_buf_.data();
+    now_ = now;
+    ingress_ = ingress;
+    next_chunk_ = 0;
+    chunks_done_ = 0;
+    chunks_total_ =
+        (burst.size() + cfg_.chunk_packets - 1) / cfg_.chunk_packets;
+  }
+  cv_work_.notify_all();
+
+  // The calling thread is processing context 0: claim chunks like any
+  // worker instead of blocking, so threads == 1 needs no handoff at all.
+  drain_chunks(0);
+  {
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [this] { return chunks_done_ == chunks_total_; });
+  }
+  // Action phase on the calling thread, burst order, OUTSIDE mu_: the
+  // callbacks may be arbitrarily slow or call back into stats() without
+  // blocking (or self-deadlocking on) the pool's lock. Counters go to a
+  // local first and merge under mu_ so stats() never tears action_stats_.
+  BorderRouter::Stats action;
+  if (ingress) {
+    br_.apply_ingress_verdicts(burst, verdict_buf_, action);
+  } else {
+    br_.apply_outgoing_verdicts(burst, verdict_buf_, action);
+  }
+  {
+    std::lock_guard lock(mu_);
+    action_stats_ += action;
+  }
+}
+
+void ForwardingPool::process_outgoing(std::span<const wire::Packet> burst,
+                                      core::ExpTime now) {
+  process_burst(burst, now, /*ingress=*/false);
+}
+
+void ForwardingPool::process_ingress(std::span<const wire::Packet> burst,
+                                     core::ExpTime now) {
+  process_burst(burst, now, /*ingress=*/true);
+}
+
+BorderRouter::Stats ForwardingPool::stats() const {
+  BorderRouter::Stats merged;
+  {
+    std::lock_guard lock(mu_);
+    merged += action_stats_;
+  }
+  for (std::size_t i = 0; i < cfg_.threads; ++i) {
+    std::lock_guard slot_lock(slots_[i].mu);
+    merged += slots_[i].stats;
+  }
+  return merged;
+}
+
+}  // namespace apna::router

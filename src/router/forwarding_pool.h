@@ -1,0 +1,116 @@
+// ForwardingPool — the border router's M-worker data plane.
+//
+// The paper sizes the forwarding experiment on a 16-core commodity server
+// (§V-B3) and reaches line rate because every per-packet operation is
+// symmetric crypto plus two table lookups (design choice 3). This pool is
+// the software analogue of that device's RSS/receive-side scaling: a burst
+// of packets is split into chunks, worker threads claim chunks and run the
+// (thread-safe, lock-striped) Fig 4 checks concurrently, and the forwarding
+// actions are then executed in burst order on the CALLING thread — so the
+// single-threaded simulator event loop can drive the pool without its
+// callbacks ever running concurrently.
+//
+// Threading model (see ARCHITECTURE.md "Concurrency model"):
+//  * Config::threads is the TOTAL processing parallelism: threads-1
+//    background workers plus the calling thread, which claims chunks like
+//    any worker while it waits. threads == 1 means no background workers at
+//    all — the pool degenerates to a plain loop with no synchronization
+//    beyond one uncontended mutex.
+//  * Each processing context owns a Stats slot; stats() merges the slots
+//    (plus the action-phase counters) on read, taking each slot's lock, so
+//    it is safe to call concurrently with processing.
+//  * process_*() may not be called concurrently from two threads (one
+//    in-flight burst at a time; the simulator/benchmark driver is one
+//    thread by construction).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "router/border_router.h"
+
+namespace apna::router {
+
+class ForwardingPool {
+ public:
+  struct Config {
+    /// Total processing threads (calling thread included). 0 → one per
+    /// hardware thread.
+    std::size_t threads = 0;
+    /// Packets per work unit; the claim granularity. Small enough to load-
+    /// balance a 512-packet burst over many workers, big enough that the
+    /// batched AES kernels see full gather buffers.
+    std::size_t chunk_packets = 64;
+    /// Run the batched AES kernels (EphID open, MAC verify) inside
+    /// classification; false = scalar per-packet checks (same verdicts).
+    bool batched = true;
+  };
+
+  explicit ForwardingPool(BorderRouter& br) : ForwardingPool(br, Config()) {}
+  ForwardingPool(BorderRouter& br, Config cfg);
+  ~ForwardingPool();
+
+  ForwardingPool(const ForwardingPool&) = delete;
+  ForwardingPool& operator=(const ForwardingPool&) = delete;
+
+  /// Classifies the egress burst across all processing threads, then runs
+  /// the forwarding actions (send_external) on the calling thread in burst
+  /// order. Blocks until the burst is fully processed.
+  void process_outgoing(std::span<const wire::Packet> burst,
+                        core::ExpTime now);
+
+  /// Ingress twin: transit + local delivery.
+  void process_ingress(std::span<const wire::Packet> burst, core::ExpTime now);
+
+  /// Per-thread stats merged on read (classification drops from every
+  /// worker slot + action-phase forward/deliver/transit counters).
+  BorderRouter::Stats stats() const;
+
+  /// Total processing threads (callers + workers).
+  std::size_t threads() const { return cfg_.threads; }
+
+ private:
+  void process_burst(std::span<const wire::Packet> burst, core::ExpTime now,
+                     bool ingress);
+  void worker_main(std::size_t slot);
+  /// Claims and classifies chunks until the current burst is exhausted.
+  /// Returns once no work is left (the burst may still be in flight on
+  /// other workers).
+  void drain_chunks(std::size_t slot);
+
+  struct alignas(64) Slot {
+    mutable std::mutex mu;
+    BorderRouter::Stats stats;
+  };
+
+  BorderRouter& br_;
+  Config cfg_;
+
+  // Burst state, guarded by mu_. Workers read the burst descriptor after
+  // observing next_chunk_ < chunks_total_ under mu_, which orders the
+  // descriptor writes before any chunk processing.
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const wire::Packet* burst_ = nullptr;
+  std::size_t burst_n_ = 0;
+  BorderRouter::Verdict* verdicts_ = nullptr;
+  core::ExpTime now_ = 0;
+  bool ingress_ = false;
+  std::size_t next_chunk_ = 0;
+  std::size_t chunks_done_ = 0;
+  std::size_t chunks_total_ = 0;
+  bool stop_ = false;
+
+  BorderRouter::Stats action_stats_;  // caller-thread action phase, under mu_
+  std::unique_ptr<Slot[]> slots_;     // [0, threads): callers use slot 0
+  std::vector<std::thread> workers_;  // threads - 1 background workers
+  std::vector<BorderRouter::Verdict> verdict_buf_;
+};
+
+}  // namespace apna::router

@@ -28,6 +28,7 @@ enum class Errc {
   malformed,          // wire format violation
   unauthorized,       // shutoff requester not the packet recipient, etc.
   no_route,           // no path to destination AID / HID
+  too_big,            // packet exceeds the link MTU (§II-C PMTUD)
   replayed,           // anti-replay window rejected the packet
   exhausted,          // resource limit (EphID pool, table size) hit
   not_found,          // DNS name or mapping absent
@@ -48,6 +49,7 @@ inline const char* errc_name(Errc e) {
     case Errc::malformed: return "malformed";
     case Errc::unauthorized: return "unauthorized";
     case Errc::no_route: return "no_route";
+    case Errc::too_big: return "too_big";
     case Errc::replayed: return "replayed";
     case Errc::exhausted: return "exhausted";
     case Errc::not_found: return "not_found";

@@ -271,6 +271,56 @@ TEST(Replay, LargeJumpClearsWindow) {
   EXPECT_EQ(w.accept(5).code(), Errc::replayed);  // far behind
 }
 
+TEST(Replay, AnchorPolicyFirstNonceDefinesFloorDocumented) {
+  // The conservative default: the FIRST observed nonce anchors the window,
+  // so a huge first nonce permanently brands all earlier nonces as replays.
+  // This is the documented trade-off that StartPolicy::grace exists for.
+  ReplayWindow w(64);  // StartPolicy::anchor
+  EXPECT_TRUE(w.accept(1'000'000).ok());
+  EXPECT_EQ(w.accept(10).code(), Errc::replayed);       // legitimate, early
+  EXPECT_EQ(w.accept(999'900).code(), Errc::replayed);  // even near the head
+  EXPECT_TRUE(w.accept(1'000'000 - 63).ok());           // inside the window
+}
+
+TEST(Replay, GracePolicyAcceptsPreFirstNoncesOnceEach) {
+  ReplayWindow w(64, ReplayWindow::StartPolicy::grace);
+  EXPECT_TRUE(w.accept(1000).ok());
+  // One window below the first-seen nonce: accepted exactly once each.
+  EXPECT_TRUE(w.accept(950).ok());
+  EXPECT_EQ(w.accept(950).code(), Errc::replayed);
+  EXPECT_TRUE(w.accept(936).ok());  // 1000 - 64, the grace floor
+  EXPECT_EQ(w.accept(936).code(), Errc::replayed);
+  // Below the grace range: still conservatively rejected.
+  EXPECT_EQ(w.accept(935).code(), Errc::replayed);
+  EXPECT_EQ(w.accept(10).code(), Errc::replayed);
+  // The live window is unaffected.
+  EXPECT_TRUE(w.accept(1001).ok());
+  EXPECT_EQ(w.accept(1001).code(), Errc::replayed);
+}
+
+TEST(Replay, GraceSlotBurnedEvenWhenAcceptedInsideLiveWindow) {
+  // A pre-first-seen nonce accepted while still inside the live window must
+  // not be accepted AGAIN via the grace bitmap after the window slides on.
+  ReplayWindow w(64, ReplayWindow::StartPolicy::grace);
+  EXPECT_TRUE(w.accept(50).ok());
+  EXPECT_TRUE(w.accept(40).ok());  // pre-first, but inside the live window
+  EXPECT_TRUE(w.accept(500).ok());  // window slides far past 40
+  EXPECT_EQ(w.accept(40).code(), Errc::replayed);
+}
+
+TEST(Replay, GraceSweepPropertyAtMostOnce) {
+  // The at-most-once property holds under grace too.
+  ReplayWindow w(128, ReplayWindow::StartPolicy::grace);
+  crypto::ChaChaRng rng(61);
+  std::unordered_map<std::uint64_t, int> accepted;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t n = 200 + rng.uniform(512);
+    if (w.accept(n).ok()) accepted[n]++;
+  }
+  for (const auto& [n, count] : accepted)
+    EXPECT_EQ(count, 1) << "nonce " << n << " accepted twice";
+}
+
 TEST(Replay, WindowSweepProperty) {
   // Every nonce accepted at most once over a random sequence.
   ReplayWindow w(128);
