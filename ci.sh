@@ -28,7 +28,16 @@ run_config() {
 }
 
 run_config ci       -DCMAKE_BUILD_TYPE=Release -DAPNA_WERROR=ON
+# Zero-copy contract, explicitly in the Release leg: the operator-new-hook
+# test must see 0 heap allocations per forwarded packet in steady state
+# (optimized builds are where a copy/allocation regression actually shows).
+ctest --test-dir build-ci --output-on-failure -L alloc
+
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
+# Wire-image property suites, explicitly under ASan/UBSan: PacketView::bind
+# and Packet::parse over truncations/mutations are exactly the code where
+# an out-of-bounds read would hide.
+ctest --test-dir build-sanitize --output-on-failure -L wire
 
 echo "=== [tsan] configure"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \

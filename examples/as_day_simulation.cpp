@@ -108,13 +108,13 @@ int main() {
 
   // --- Two incidents -----------------------------------------------------------------
   // 1) user-0 floods shop.example; the victim server shuts it off.
-  std::optional<wire::Packet> evidence1;
+  std::optional<wire::PacketBuf> evidence1;
   net.network().add_tap([&](std::uint32_t, std::uint32_t to,
-                            const wire::Packet& p) {
+                            const wire::PacketView& p) {
     // Flood frames are the only large payloads headed to cloud-a.
-    if (to == 301 && p.proto == wire::NextProto::data && !evidence1 &&
-        p.src_aid == 101 && p.payload.size() > 250)
-      evidence1 = p;
+    if (to == 301 && p.proto() == wire::NextProto::data && !evidence1 &&
+        p.src_aid() == 101 && p.payload().size() > 250)
+      evidence1 = wire::PacketBuf::copy_of(p);
   });
   net.loop().schedule_at(30 * net::kUsPerSecond, [&] {
     host::Host* bot = clients[0];
@@ -128,7 +128,8 @@ int main() {
   });
   net.loop().schedule_at(40 * net::kUsPerSecond, [&] {
     if (!evidence1) return;
-    auto rr = servers[2]->request_shutoff(*evidence1, [](Result<void> r) {
+    auto rr = servers[2]->request_shutoff(evidence1->view(),
+                                          [](Result<void> r) {
       std::printf("[incident-1] victim-initiated shutoff: %s\n",
                   r.ok() ? "accepted" : "rejected");
     });
@@ -139,12 +140,12 @@ int main() {
 
   // 2) user-1 floods api.example; the BACKBONE's agent uses the §VIII-C
   //    path stamp to shut it off at the source AS.
-  std::optional<wire::Packet> evidence2;
+  std::optional<wire::PacketBuf> evidence2;
   net.network().add_tap([&](std::uint32_t from, std::uint32_t,
-                            const wire::Packet& p) {
-    if (from == 200 && p.proto == wire::NextProto::data && !evidence2 &&
-        p.src_aid == 102 && p.payload.size() > 80)
-      evidence2 = p;
+                            const wire::PacketView& p) {
+    if (from == 200 && p.proto() == wire::NextProto::data && !evidence2 &&
+        p.src_aid() == 102 && p.payload().size() > 80)
+      evidence2 = wire::PacketBuf::copy_of(p);
   });
   net.loop().schedule_at(60 * net::kUsPerSecond, [&] {
     host::Host* bot = clients[1];
@@ -158,7 +159,7 @@ int main() {
   });
   net.loop().schedule_at(70 * net::kUsPerSecond, [&] {
     if (!evidence2) return;
-    const auto req = transit.aa().make_onpath_request(*evidence2);
+    const auto req = transit.aa().make_onpath_request(evidence2->view());
     const auto r =
         access2.aa().process(req, net.loop().now_seconds());
     std::printf("[incident-2] transit-AS (on-path) shutoff: %s\n",

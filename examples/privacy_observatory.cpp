@@ -41,15 +41,14 @@ Observation run_scenario(host::Granularity granularity) {
   const std::string secret = "my-sensitive-query";
   // The observer controls the inter-AS link (but not the home ISP).
   net.network().add_tap([&](std::uint32_t from, std::uint32_t,
-                            const wire::Packet& p) {
+                            const wire::PacketView& p) {
     if (from != 10) return;
     ++obs.packets;
     core::EphId e;
-    e.bytes = p.src_ephid;
+    e.bytes = p.src_ephid();
     obs.source_ephids.insert(e.hex());
-    // Try to read the payload.
-    const Bytes wire_bytes = p.serialize();
-    const std::string s(wire_bytes.begin(), wire_bytes.end());
+    // Try to read the payload (the wire image IS the packet).
+    const std::string s(p.bytes().begin(), p.bytes().end());
     if (s.find(secret) != std::string::npos) ++obs.plaintext_hits;
     // Try to decode the EphID with the *other* AS's key (the observer may
     // collude with the far ISP, but not with the user's own ISP).

@@ -33,10 +33,11 @@ int main() {
 
   // Capture one flood packet as it enters the victim's AS (the victim's
   // own copy of a delivered packet).
-  std::optional<wire::Packet> evidence;
+  std::optional<wire::PacketBuf> evidence;
   net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 702 && p.proto == wire::NextProto::data) evidence = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 702 && p.proto() == wire::NextProto::data)
+          evidence = wire::PacketBuf::copy_of(p);
       });
 
   // --- t=0: the flood starts ------------------------------------------------
@@ -49,7 +50,7 @@ int main() {
               net.loop().now() / 1000.0, (unsigned long long)flood_frames);
 
   // --- the victim files a shutoff against the flood source -------------------
-  (void)victim.request_shutoff(*evidence, [&](Result<void> r) {
+  (void)victim.request_shutoff(evidence->view(), [&](Result<void> r) {
     std::printf("t=%6.1f ms  shutoff %s by AS %u\n",
                 net.loop().now() / 1000.0,
                 r.ok() ? "ACCEPTED" : "rejected", bot_isp.aid());
@@ -70,9 +71,10 @@ int main() {
 
   // --- abuse attempt: shut off an innocent host with a forged packet ----------
   // The attacker fabricates a packet claiming the innocent host sent it.
-  wire::Packet forged = *evidence;
+  wire::Packet forged = evidence->view().to_owned();
   forged.src_ephid = innocent.pool().entries().front()->cert.ephid.bytes;
-  (void)victim.request_shutoff(forged, [&](Result<void> r) {
+  const wire::PacketBuf forged_buf = forged.seal();
+  (void)victim.request_shutoff(forged_buf.view(), [&](Result<void> r) {
     std::printf("t=%6.1f ms  forged shutoff against innocent host: %s "
                 "(packet was never MAC'd by that host)\n",
                 net.loop().now() / 1000.0,

@@ -45,14 +45,14 @@ AutonomousSystem::AutonomousSystem(Config cfg, net::EventLoop& loop,
       *state_, directory_, loop_, rng_, std::move(dns_ident), zone);
 
   router::BorderRouter::Callbacks br_cb;
-  br_cb.send_external = [this](const wire::Packet& pkt) -> Result<void> {
-    auto nh = topo_.next_hop(cfg_.aid, pkt.dst_aid);
+  br_cb.send_external = [this](wire::PacketBuf pkt) -> Result<void> {
+    auto nh = topo_.next_hop(cfg_.aid, pkt.view().dst_aid());
     if (!nh) return Result<void>(nh.error());
-    return network_.send(cfg_.aid, *nh, pkt);
+    return network_.send(cfg_.aid, *nh, std::move(pkt));
   };
   br_cb.deliver_internal = [this](core::Hid hid,
-                                  const wire::Packet& pkt) -> Result<void> {
-    return switch_->deliver(hid, pkt);
+                                  wire::PacketBuf pkt) -> Result<void> {
+    return switch_->deliver(hid, std::move(pkt));
   };
   br_cb.now = [this] { return loop_.now_seconds(); };
   br_ = std::make_unique<router::BorderRouter>(*state_, std::move(br_cb),
@@ -63,18 +63,17 @@ AutonomousSystem::AutonomousSystem(Config cfg, net::EventLoop& loop,
   rid.mac_key = br_ident.keys.mac;
   br_->set_identity(rid);
 
-  network_.register_border_router(cfg_.aid,
-                                  [this](const wire::Packet& pkt) {
-                                    br_->on_ingress(pkt);
-                                  });
+  network_.register_border_router(cfg_.aid, [this](wire::PacketBuf pkt) {
+    br_->on_ingress(std::move(pkt));
+  });
   topo_.add_as(cfg_.aid);
 
   // Attach services to the switch. Each service's reply is routed back
   // through the fabric like any host's packet.
   auto attach_service = [this](core::Hid hid, auto* service) {
-    switch_->attach(hid, [this, service](const wire::Packet& pkt) {
-      auto resp = service->handle_packet(pkt);
-      if (resp) route_from_inside(*resp);
+    switch_->attach(hid, [this, service](wire::PacketBuf pkt) {
+      auto resp = service->handle_packet(pkt.view());
+      if (resp) route_from_inside(resp.take());
     });
   };
   attach_service(ms_->identity().hid, ms_.get());
@@ -90,13 +89,13 @@ AutonomousSystem::AutonomousSystem(Config cfg, net::EventLoop& loop,
   directory_.register_as(info);
 }
 
-void AutonomousSystem::route_from_inside(const wire::Packet& pkt) {
-  if (pkt.dst_aid == cfg_.aid) {
+void AutonomousSystem::route_from_inside(wire::PacketBuf pkt) {
+  if (pkt.view().dst_aid() == cfg_.aid) {
     // Intra-domain: destination checks + delivery by HID (the BR ingress
     // branch implements exactly the Fig 4 top pipeline).
-    br_->on_ingress(pkt);
+    br_->on_ingress(std::move(pkt));
   } else {
-    br_->on_outgoing(pkt);
+    br_->on_outgoing(std::move(pkt));
   }
 }
 
@@ -117,10 +116,13 @@ host::Host& AutonomousSystem::add_host(const std::string& name,
   auto h = std::make_unique<host::Host>(std::move(cfg), directory_, loop_);
   host::Host* ptr = h.get();
 
-  // Uplink: first intra-AS hop, then the fabric routing decision.
-  ptr->set_uplink([this](const wire::Packet& pkt) {
+  // Uplink: first intra-AS hop, then the fabric routing decision. The
+  // sealed buffer moves through the scheduled event — no copy per hop.
+  ptr->set_uplink([this](wire::PacketBuf pkt) {
     loop_.schedule_in(cfg_.intra_hop_latency_us,
-                      [this, pkt] { route_from_inside(pkt); });
+                      [this, pkt = std::move(pkt)]() mutable {
+                        route_from_inside(std::move(pkt));
+                      });
   });
 
   const auto boot = ptr->bootstrap(
@@ -128,8 +130,9 @@ host::Host& AutonomousSystem::add_host(const std::string& name,
   (void)boot;  // surfaced via host.bootstrapped()
 
   if (ptr->bootstrapped()) {
-    switch_->attach(ptr->hid(),
-                    [ptr](const wire::Packet& pkt) { ptr->on_packet(pkt); });
+    switch_->attach(ptr->hid(), [ptr](wire::PacketBuf pkt) {
+      ptr->on_packet(std::move(pkt));
+    });
   }
   hosts_.push_back(std::move(h));
   return *ptr;
@@ -140,9 +143,11 @@ AutonomousSystem::Attachment AutonomousSystem::make_attachment() {
   a.bootstrap = [this](const core::BootstrapRequest& req) {
     return rs_->bootstrap(req);
   };
-  a.uplink = [this](const wire::Packet& pkt) {
+  a.uplink = [this](wire::PacketBuf pkt) {
     loop_.schedule_in(cfg_.intra_hop_latency_us,
-                      [this, pkt] { route_from_inside(pkt); });
+                      [this, pkt = std::move(pkt)]() mutable {
+                        route_from_inside(std::move(pkt));
+                      });
   };
   return a;
 }

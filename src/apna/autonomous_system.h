@@ -77,7 +77,8 @@ class AutonomousSystem {
   void attach_port(core::Hid hid, net::PacketHandler handler);
 
   /// Routes a packet originating inside this AS (host or service uplink).
-  void route_from_inside(const wire::Packet& pkt);
+  /// Consumes the buffer — it moves through the BR unchanged.
+  void route_from_inside(wire::PacketBuf pkt);
 
   core::Aid aid() const { return cfg_.aid; }
   core::AsState& state() { return *state_; }

@@ -6,15 +6,20 @@
 // the packet (design choice 2), an 8-byte truncated AES-CMAC over the
 // entire packet except the MAC field itself.
 //
-// Two call shapes:
-//  * scalar stamp/verify — one packet, one pre-scheduled key;
-//  * batched verify/stamp — a burst of packets. The batch forms take
-//    PRE-SCHEDULED AesCmac keys (the HostDb pre-schedules kHA-mac exactly
-//    for this), so the AES key schedule is paid once per host instead of
-//    once per packet, and the per-call dispatch/setup overhead is amortized
-//    across the burst. Batched verdicts agree bit-for-bit with the scalar
-//    functions — tested (router_concurrency_test) and required, since the
-//    fast path and the single-threaded path must drop the same packets.
+// All forms are allocation-free: CMAC runs over a stack preamble plus the
+// payload span of the wire image. Call shapes:
+//  * view forms — verify against / stamp into the contiguous wire image
+//    (wire::PacketView / wire::PacketBuf). The data plane uses ONLY these:
+//    verification reads the image in place, stamping writes the 8 MAC bytes
+//    at their fixed offset. No copy, no re-serialization.
+//  * builder forms — same math on the owned wire::Packet struct, for
+//    construction-side code that stamps before seal()ing.
+//  * batched forms — a burst of views. They take PRE-SCHEDULED AesCmac keys
+//    (the HostDb pre-schedules kHA-mac exactly for this), so the AES key
+//    schedule is paid once per host instead of once per packet. Batched
+//    verdicts agree bit-for-bit with the scalar functions — tested
+//    (router_concurrency_test) and required, since the fast path and the
+//    single-threaded path must drop the same packets.
 #pragma once
 
 #include <array>
@@ -22,11 +27,39 @@
 
 #include "crypto/modes.h"
 #include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::core {
 
-/// Computes the 8-byte packet MAC under the host's kHA-mac key.
-/// Allocation-free: CMAC runs over a stack preamble plus the payload span.
+// ---- View forms (the data plane's shapes) -----------------------------------
+
+/// Computes the 8-byte packet MAC over a bound wire image.
+inline std::array<std::uint8_t, wire::kMacSize> compute_packet_mac(
+    const crypto::AesCmac& mac_key, const wire::PacketView& pkt) {
+  std::uint8_t preamble[wire::Packet::kMacPreambleMax];
+  const std::size_t n = pkt.write_mac_preamble(preamble);
+  const auto full = mac_key.mac2(ByteSpan(preamble, n), pkt.payload());
+  std::array<std::uint8_t, wire::kMacSize> out;
+  std::copy_n(full.begin(), wire::kMacSize, out.begin());
+  return out;
+}
+
+/// Fig 4 egress check, in place: "if !verifyMAC(kHA, packet) drop packet".
+inline bool verify_packet_mac(const crypto::AesCmac& mac_key,
+                              const wire::PacketView& pkt) {
+  const auto expect = compute_packet_mac(mac_key, pkt);
+  return ct_equal(ByteSpan(expect.data(), expect.size()), pkt.mac_span());
+}
+
+/// Stamps the MAC into the wire image at its fixed offset (in place).
+inline void stamp_packet_mac(const crypto::AesCmac& mac_key,
+                             wire::PacketBuf& pkt) {
+  const auto mac = compute_packet_mac(mac_key, pkt.view());
+  pkt.set_mac(ByteSpan(mac.data(), mac.size()));
+}
+
+// ---- Builder forms (construction-side, pre-seal) ----------------------------
+
 inline std::array<std::uint8_t, wire::kMacSize> compute_packet_mac(
     const crypto::AesCmac& mac_key, const wire::Packet& pkt) {
   std::uint8_t preamble[wire::Packet::kMacPreambleMax];
@@ -37,13 +70,11 @@ inline std::array<std::uint8_t, wire::kMacSize> compute_packet_mac(
   return out;
 }
 
-/// Stamps the MAC into the packet (done by the sending host / AP / gateway).
 inline void stamp_packet_mac(const crypto::AesCmac& mac_key,
                              wire::Packet& pkt) {
   pkt.mac = compute_packet_mac(mac_key, pkt);
 }
 
-/// Fig 4 egress check: "if !verifyMAC(kHA, packet) drop packet".
 inline bool verify_packet_mac(const crypto::AesCmac& mac_key,
                               const wire::Packet& pkt) {
   const auto expect = compute_packet_mac(mac_key, pkt);
@@ -51,13 +82,14 @@ inline bool verify_packet_mac(const crypto::AesCmac& mac_key,
                   ByteSpan(pkt.mac.data(), pkt.mac.size()));
 }
 
-// ---- Batched forms (the concurrent data plane's burst unit) ---------------
+// ---- Batched forms (the concurrent data plane's burst unit) -----------------
 
 /// One element of a verification burst. Packets in a burst may belong to
 /// different hosts, so each carries its own pre-scheduled key (borrowed —
 /// the caller keeps the HostRecord alive for the duration of the call).
+/// The view pointer aliases the caller's burst; nothing is copied.
 struct PacketMacJob {
-  const wire::Packet* pkt = nullptr;
+  const wire::PacketView* pkt = nullptr;
   const crypto::AesCmac* key = nullptr;  // null ⇒ verdict 0 (no key, drop)
 };
 
@@ -75,12 +107,13 @@ inline void verify_packet_macs(std::span<const PacketMacJob> jobs,
   }
 }
 
-/// Batched stamping under ONE key — the gateway egress shape: a NAT-mode AP
-/// re-MACs a burst of inner packets under its own kHA before forwarding
-/// ("the AP replaces the MAC using its shared key with the AS", §VII-B).
+/// Batched in-place stamping under ONE key — the gateway egress shape: a
+/// NAT-mode AP re-MACs a burst of inner packets under its own kHA before
+/// forwarding ("the AP replaces the MAC using its shared key with the AS",
+/// §VII-B). Each buffer's MAC field is rewritten; nothing else moves.
 inline void stamp_packet_macs(const crypto::AesCmac& mac_key,
-                              std::span<wire::Packet> pkts) {
-  for (wire::Packet& pkt : pkts) stamp_packet_mac(mac_key, pkt);
+                              std::span<wire::PacketBuf> pkts) {
+  for (wire::PacketBuf& pkt : pkts) stamp_packet_mac(mac_key, pkt);
 }
 
 }  // namespace apna::core

@@ -46,15 +46,21 @@ class BridgeAccessPoint {
 
     auto attachment = parent_.make_attachment();
     // Uplink via the bridge: one extra latency hop, one counter.
-    ptr->set_uplink([this, up = attachment.uplink](const wire::Packet& pkt) {
+    ptr->set_uplink([this, up = attachment.uplink](wire::PacketBuf pkt) {
       ++stats_.relayed_up;
-      parent_.loop().schedule_in(latency_, [up, pkt] { up(pkt); });
+      parent_.loop().schedule_in(latency_,
+                                 [up, pkt = std::move(pkt)]() mutable {
+                                   up(std::move(pkt));
+                                 });
     });
     (void)ptr->bootstrap(attachment.bootstrap);
     if (ptr->bootstrapped()) {
-      parent_.attach_port(ptr->hid(), [this, ptr](const wire::Packet& pkt) {
+      parent_.attach_port(ptr->hid(), [this, ptr](wire::PacketBuf pkt) {
         ++stats_.relayed_down;
-        parent_.loop().schedule_in(latency_, [ptr, pkt] { ptr->on_packet(pkt); });
+        parent_.loop().schedule_in(latency_,
+                                   [ptr, pkt = std::move(pkt)]() mutable {
+                                     ptr->on_packet(std::move(pkt));
+                                   });
       });
     }
     hosts_.push_back(std::move(h));

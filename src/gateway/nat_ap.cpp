@@ -25,8 +25,9 @@ NatAccessPoint::NatAccessPoint(Config cfg, AutonomousSystem& parent,
   (void)boot;
   // Intercept everything delivered to the AP's HID: inner traffic is
   // dispatched by EphID_info, the rest goes to the AP's own stack.
-  parent_.attach_port(ap_host_->hid(),
-                      [this](const wire::Packet& pkt) { on_downlink(pkt); });
+  parent_.attach_port(ap_host_->hid(), [this](wire::PacketBuf pkt) {
+    on_downlink(std::move(pkt));
+  });
 
   // --- Inner realm. -----------------------------------------------------------
   inner_as_ = std::make_unique<core::AsState>(
@@ -69,9 +70,11 @@ host::Host& NatAccessPoint::add_inner_host(const std::string& name,
   auto h = std::make_unique<host::Host>(std::move(hc), directory_, loop_);
   host::Host* ptr = h.get();
 
-  ptr->set_uplink([this](const wire::Packet& pkt) {
+  ptr->set_uplink([this](wire::PacketBuf pkt) {
     loop_.schedule_in(cfg_.inner_hop_latency_us,
-                      [this, pkt] { on_inner_uplink(pkt); });
+                      [this, pkt = std::move(pkt)]() mutable {
+                        on_inner_uplink(std::move(pkt));
+                      });
   });
   const auto boot = ptr->bootstrap([this](const core::BootstrapRequest& req) {
     return inner_rs_->bootstrap(req);
@@ -90,83 +93,106 @@ Result<core::Hid> NatAccessPoint::identify(const core::EphId& ephid) const {
 }
 
 void NatAccessPoint::deliver_to_inner(core::Hid inner_hid,
-                                      const wire::Packet& pkt) {
+                                      wire::PacketBuf pkt) {
   auto it = inner_ports_.find(inner_hid);
   if (it == inner_ports_.end()) return;
   host::Host* h = it->second;
   loop_.schedule_in(cfg_.inner_hop_latency_us,
-                    [h, pkt] { h->on_packet(pkt); });
+                    [h, pkt = std::move(pkt)]() mutable {
+                      h->on_packet(std::move(pkt));
+                    });
 }
 
-std::optional<core::Hid> NatAccessPoint::route_inner(const wire::Packet& pkt) {
+NatAccessPoint::InnerRoute NatAccessPoint::route_inner(
+    const wire::PacketView& pkt) {
   // Internal destination? (inner control EphIDs decode under the AP's kA.)
   core::EphId dst;
-  dst.bytes = pkt.dst_ephid;
+  dst.bytes = pkt.dst_ephid();
   if (auto plain = inner_as_->codec.open(dst); plain.ok()) {
-    if (plain->hid == inner_ms_.hid) {
-      handle_inner_ms_request(pkt);
-      return std::nullopt;
-    }
+    if (plain->hid == inner_ms_.hid)
+      return InnerRoute{InnerRoute::Kind::ms_request, 0};
     // Inner-to-inner traffic stays behind the AP.
-    if (inner_ports_.contains(plain->hid)) {
-      ++stats_.intra_ap;
-      deliver_to_inner(plain->hid, pkt);
-      return std::nullopt;
-    }
+    if (inner_ports_.contains(plain->hid))
+      return InnerRoute{InnerRoute::Kind::deliver, plain->hid};
   }
   // EphID_info lookup also covers inner→inner via real-AS EphIDs.
-  if (auto it = ephid_info_.find(dst); it != ephid_info_.end()) {
-    ++stats_.intra_ap;
-    deliver_to_inner(it->second, pkt);
-    return std::nullopt;
-  }
+  if (auto it = ephid_info_.find(dst); it != ephid_info_.end())
+    return InnerRoute{InnerRoute::Kind::deliver, it->second};
 
   // Egress: the source EphID must have been issued via this AP.
   core::EphId src;
-  src.bytes = pkt.src_ephid;
+  src.bytes = pkt.src_ephid();
   auto owner = ephid_info_.find(src);
-  if (owner == ephid_info_.end()) {
-    ++stats_.drop_unknown_ephid;
-    return std::nullopt;
-  }
-  return owner->second;
+  if (owner == ephid_info_.end())
+    return InnerRoute{InnerRoute::Kind::drop, 0};
+  return InnerRoute{InnerRoute::Kind::egress, owner->second};
 }
 
-void NatAccessPoint::forward_inner_egress(const wire::Packet& pkt) {
-  // NAT step: present the packet as the AP's own traffic — real AID and the
-  // AP's kHA MAC.
-  wire::Packet out = pkt;
-  out.src_aid = parent_.aid();
+void NatAccessPoint::forward_inner_egress(wire::PacketBuf pkt) {
+  // NAT step: present the packet as the AP's own traffic — real AID
+  // (rewritten in place at its fixed offset) and the AP's kHA MAC
+  // (re-stamped in place by forward_as_own). Same buffer end to end.
+  pkt.set_src_aid(parent_.aid());
   ++stats_.inner_out;
-  ap_host_->forward_as_own(std::move(out));
+  ap_host_->forward_as_own(std::move(pkt));
 }
 
-void NatAccessPoint::on_inner_uplink(const wire::Packet& pkt) {
-  const auto inner_hid = route_inner(pkt);
-  if (!inner_hid) return;
+void NatAccessPoint::on_inner_uplink(wire::PacketBuf pkt) {
+  const InnerRoute route = route_inner(pkt.view());
+  switch (route.kind) {
+    case InnerRoute::Kind::ms_request:
+      handle_inner_ms_request(pkt.view());
+      return;
+    case InnerRoute::Kind::deliver:
+      ++stats_.intra_ap;
+      deliver_to_inner(route.hid, std::move(pkt));
+      return;
+    case InnerRoute::Kind::drop:
+      ++stats_.drop_unknown_ephid;
+      return;
+    case InnerRoute::Kind::egress:
+      break;
+  }
   // The packet must carry a valid MAC under the INNER host's key ("in
   // addition to verifying the MAC in the packets using the shared keys
   // with its hosts").
-  const auto inner_rec = inner_as_->host_db.find(*inner_hid);
-  if (!inner_rec || !core::verify_packet_mac(*inner_rec->cmac, pkt)) {
+  const auto inner_rec = inner_as_->host_db.find(route.hid);
+  if (!inner_rec || !core::verify_packet_mac(*inner_rec->cmac, pkt.view())) {
     ++stats_.drop_bad_inner_mac;
     return;
   }
-  forward_inner_egress(pkt);
+  forward_inner_egress(std::move(pkt));
 }
 
-void NatAccessPoint::inject_inner_burst(std::span<const wire::Packet> burst) {
+void NatAccessPoint::inject_inner_burst(
+    std::span<const wire::PacketView> burst) {
   // Route first: inner-destined traffic is consumed here; what remains is
-  // the egress set whose inner MACs can be verified as one batch.
-  std::vector<const wire::Packet*> egress;
+  // the egress set whose inner MACs can be verified as one batch, in place
+  // over the callers' wire images.
+  std::vector<const wire::PacketView*> egress;
   std::vector<std::optional<core::HostRecord>> recs;  // keepalive for cmac
   egress.reserve(burst.size());
   recs.reserve(burst.size());
-  for (const wire::Packet& pkt : burst) {
-    const auto inner_hid = route_inner(pkt);
-    if (!inner_hid) continue;
-    egress.push_back(&pkt);
-    recs.push_back(inner_as_->host_db.find(*inner_hid));
+  for (const wire::PacketView& pkt : burst) {
+    const InnerRoute route = route_inner(pkt);
+    switch (route.kind) {
+      case InnerRoute::Kind::ms_request:
+        handle_inner_ms_request(pkt);
+        continue;
+      case InnerRoute::Kind::deliver:
+        ++stats_.intra_ap;
+        // The burst stays caller-owned: inner delivery extends the
+        // packet's lifetime, so it is one explicit pooled copy.
+        deliver_to_inner(route.hid, wire::PacketBuf::copy_of(pkt));
+        continue;
+      case InnerRoute::Kind::drop:
+        ++stats_.drop_unknown_ephid;
+        continue;
+      case InnerRoute::Kind::egress:
+        egress.push_back(&pkt);
+        recs.push_back(inner_as_->host_db.find(route.hid));
+        continue;
+    }
   }
 
   std::vector<core::PacketMacJob> jobs(egress.size());
@@ -176,55 +202,58 @@ void NatAccessPoint::inject_inner_burst(std::span<const wire::Packet> burst) {
   std::vector<std::uint8_t> mac_ok(egress.size());
   core::verify_packet_macs(jobs, mac_ok);
 
-  // NAT the survivors and re-MAC them under the AP's kHA as one burst.
-  std::vector<wire::Packet> out;
+  // NAT the survivors (one pooled copy each — the caller keeps the burst)
+  // and re-MAC them under the AP's kHA as one in-place batch.
+  std::vector<wire::PacketBuf> out;
   out.reserve(egress.size());
   for (std::size_t i = 0; i < egress.size(); ++i) {
     if (!mac_ok[i]) {
       ++stats_.drop_bad_inner_mac;
       continue;
     }
-    out.push_back(*egress[i]);
-    out.back().src_aid = parent_.aid();
+    out.push_back(wire::PacketBuf::copy_of(*egress[i]));
+    out.back().set_src_aid(parent_.aid());
   }
   stats_.inner_out += out.size();
   ap_host_->forward_as_own_burst(out);
 }
 
-void NatAccessPoint::on_downlink(const wire::Packet& pkt) {
+void NatAccessPoint::on_downlink(wire::PacketBuf pkt) {
   core::EphId dst;
-  dst.bytes = pkt.dst_ephid;
+  dst.bytes = pkt.view().dst_ephid();
   if (auto it = ephid_info_.find(dst); it != ephid_info_.end()) {
     ++stats_.inner_in;
-    deliver_to_inner(it->second, pkt);
+    deliver_to_inner(it->second, std::move(pkt));
     return;
   }
   // Not an inner EphID: the AP's own traffic (EphID replies, DNS, ...).
-  ap_host_->on_packet(pkt);
+  ap_host_->on_packet(std::move(pkt));
 }
 
-void NatAccessPoint::handle_inner_ms_request(const wire::Packet& pkt) {
+void NatAccessPoint::handle_inner_ms_request(const wire::PacketView& pkt) {
   // Validate exactly like a real MS (Fig 3), against the INNER realm.
   core::EphId ctrl;
-  ctrl.bytes = pkt.src_ephid;
+  ctrl.bytes = pkt.src_ephid();
   auto plain = inner_as_->codec.open(ctrl);
   if (!plain || plain->exp_time < loop_.now_seconds()) return;
   const auto inner_rec = inner_as_->host_db.find(plain->hid);
   if (!inner_rec) return;
 
   auto payload = core::open_control(inner_rec->keys, /*from_host=*/true,
-                                    pkt.payload);
+                                    pkt.payload());
   if (!payload) return;
   auto request = core::EphIdRequest::parse(*payload);
   if (!request) return;
 
   // Proxy upstream with the INNER host's public key (§VII-B difference 1),
-  // then record the binding and answer the inner host.
+  // then record the binding and answer the inner host. Only the reply
+  // address survives the async hop — no packet copy is captured.
   const core::Hid inner_hid = plain->hid;
-  const wire::Packet req_pkt = pkt;
+  const core::Aid reply_aid = pkt.src_aid();
+  const wire::EphIdBytes reply_ephid = pkt.src_ephid();
   ap_host_->request_ephid_for(
       request->ephid_pub, request->lifetime, request->flags,
-      [this, inner_hid, req_pkt,
+      [this, inner_hid, reply_aid, reply_ephid,
        inner_keys = inner_rec->keys](Result<core::EphIdCertificate> cert) {
         if (!cert.ok()) return;
         // Difference 2: the AP tracks EphID → inner host as a list, since
@@ -237,14 +266,15 @@ void NatAccessPoint::handle_inner_ms_request(const wire::Packet& pkt) {
         wire::Packet reply;
         reply.src_aid = cfg_.private_aid;
         reply.src_ephid = inner_ms_.cert.ephid.bytes;
-        reply.dst_aid = req_pkt.src_aid;
-        reply.dst_ephid = req_pkt.src_ephid;
+        reply.dst_aid = reply_aid;
+        reply.dst_ephid = reply_ephid;
         reply.proto = wire::NextProto::control;
         reply.payload = core::seal_control(inner_keys, inner_ms_nonce_++,
                                            /*from_host=*/false,
                                            resp.serialize());
-        core::stamp_packet_mac(*inner_ms_.cmac, reply);
-        deliver_to_inner(inner_hid, reply);
+        wire::PacketBuf out = reply.seal();
+        core::stamp_packet_mac(*inner_ms_.cmac, out);
+        deliver_to_inner(inner_hid, std::move(out));
       });
 }
 

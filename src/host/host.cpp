@@ -87,9 +87,12 @@ wire::Packet Host::make_packet(core::Aid dst_aid, const core::EphId& dst_ephid,
 void Host::transmit(wire::Packet pkt, const OwnedEphId* src_owned) {
   // §VII-A invariant: receive-only EphIDs are never used as a source.
   if (src_owned != nullptr && src_owned->receive_only()) return;
-  core::stamp_packet_mac(*kha_cmac_, pkt);
+  // The host's one serialization: seal into a pooled wire image, then
+  // stamp the kHA MAC in place at its fixed offset.
+  wire::PacketBuf buf = pkt.seal();
+  core::stamp_packet_mac(*kha_cmac_, buf);
   ++stats_.packets_sent;
-  if (send_) send_(pkt);
+  if (send_) send_(std::move(buf));
 }
 
 void Host::transmit_ctrl(wire::Packet pkt) { transmit(std::move(pkt), nullptr); }
@@ -158,20 +161,20 @@ void Host::request_ephid_for(const core::EphIdPublicKeys& pub,
   transmit_ctrl(std::move(pkt));
 }
 
-void Host::forward_as_own(wire::Packet pkt) {
-  core::stamp_packet_mac(*kha_cmac_, pkt);
+void Host::forward_as_own(wire::PacketBuf pkt) {
+  core::stamp_packet_mac(*kha_cmac_, pkt);  // in place on the wire image
   ++stats_.packets_sent;
-  if (send_) send_(pkt);
+  if (send_) send_(std::move(pkt));
 }
 
-void Host::forward_as_own_burst(std::span<wire::Packet> pkts) {
-  core::stamp_packet_macs(*kha_cmac_, pkts);
+void Host::forward_as_own_burst(std::span<wire::PacketBuf> pkts) {
+  core::stamp_packet_macs(*kha_cmac_, pkts);  // batched in-place re-MAC
   stats_.packets_sent += pkts.size();
   if (!send_) return;
-  for (const wire::Packet& pkt : pkts) send_(pkt);
+  for (wire::PacketBuf& pkt : pkts) send_(std::move(pkt));
 }
 
-void Host::on_control(const wire::Packet& pkt) {
+void Host::on_control(const wire::PacketView& pkt) {
   if (pending_ephids_.empty()) return;
   PendingEphId pending = std::move(pending_ephids_.front());
   pending_ephids_.pop_front();
@@ -181,7 +184,7 @@ void Host::on_control(const wire::Packet& pkt) {
     if (pending.cert_cb) pending.cert_cb(Result<core::EphIdCertificate>(e));
   };
 
-  auto payload = core::open_control(kha_, /*from_host=*/false, pkt.payload);
+  auto payload = core::open_control(kha_, /*from_host=*/false, pkt.payload());
   if (!payload) {
     fail(payload.error());
     return;
@@ -338,8 +341,8 @@ std::optional<std::pair<core::EphId, core::EphId>> Host::session_ephids(
   return std::make_pair(it->second.my_ephid, it->second.peer_ephid);
 }
 
-void Host::on_handshake(const wire::Packet& pkt) {
-  wire::Reader r(pkt.payload);
+void Host::on_handshake(const wire::PacketView& pkt) {
+  wire::Reader r(pkt.payload());
   auto kind = r.u8();
   if (!kind) return;
 
@@ -350,7 +353,7 @@ void Host::on_handshake(const wire::Packet& pkt) {
       return;
     }
     core::EphId contacted;
-    contacted.bytes = pkt.dst_ephid;
+    contacted.bytes = pkt.dst_ephid();
     OwnedEphId* contacted_owned = pool_.find(contacted);
     if (!contacted_owned) {
       ++stats_.handshakes_rejected;
@@ -377,7 +380,7 @@ void Host::on_handshake(const wire::Packet& pkt) {
     st.id = id;
     st.session = std::move(hs->session);
     st.early_session = std::move(hs->early_session);
-    st.peer_aid = pkt.src_aid;
+    st.peer_aid = pkt.src_aid();
     st.peer_ephid = hs->client_cert.ephid;
     st.my_ephid = serving->cert.ephid;
     st.my_owned = serving;
@@ -396,7 +399,7 @@ void Host::on_handshake(const wire::Packet& pkt) {
     wire::Writer w(300);
     w.u8(static_cast<std::uint8_t>(HandshakeKind::response));
     w.raw(hs->response.serialize());
-    wire::Packet resp = make_packet(pkt.src_aid, st.peer_ephid, st.my_ephid,
+    wire::Packet resp = make_packet(pkt.src_aid(), st.peer_ephid, st.my_ephid,
                                     wire::NextProto::handshake, w.take());
 
     const Bytes early = std::move(hs->early_data);
@@ -414,9 +417,9 @@ void Host::on_handshake(const wire::Packet& pkt) {
     auto resp = core::HandshakeResponse::parse(r.rest());
     if (!resp) return;
     core::EphId mine;
-    mine.bytes = pkt.dst_ephid;
+    mine.bytes = pkt.dst_ephid();
     core::EphId from;
-    from.bytes = pkt.src_ephid;
+    from.bytes = pkt.src_ephid();
 
     // Host-to-host: serving == contacted, the index already matches.
     SessionState* st = find_session(mine, from);
@@ -425,7 +428,7 @@ void Host::on_handshake(const wire::Packet& pkt) {
       // seen; match a pending initiated session on (mine, src_aid).
       for (auto& [id, cand] : sessions_) {
         if (cand.initiator && !cand.established && cand.my_ephid == mine &&
-            cand.peer_aid == pkt.src_aid &&
+            cand.peer_aid == pkt.src_aid() &&
             resp->serving_cert.ephid == from) {
           st = &cand;
           break;
@@ -470,25 +473,25 @@ void Host::on_handshake(const wire::Packet& pkt) {
   }
 }
 
-void Host::on_data(const wire::Packet& pkt) {
+void Host::on_data(const wire::PacketView& pkt, wire::PacketBuf& owner) {
   // §VIII-D: header-nonce replay filter per source EphID.
   if (cfg_.add_replay_nonce && pkt.has_nonce()) {
     core::EphId src;
-    src.bytes = pkt.src_ephid;
+    src.bytes = pkt.src_ephid();
     auto [it, inserted] = replay_windows_.try_emplace(src, 1024);
-    if (auto fresh = it->second.accept(pkt.nonce); !fresh) {
+    if (auto fresh = it->second.accept(pkt.nonce()); !fresh) {
       ++stats_.replay_drops;
       return;
     }
   }
 
   core::EphId mine, peer;
-  mine.bytes = pkt.dst_ephid;
-  peer.bytes = pkt.src_ephid;
+  mine.bytes = pkt.dst_ephid();
+  peer.bytes = pkt.src_ephid();
   SessionState* st = find_session(mine, peer);
   if (!st) {
     ++stats_.unsolicited;
-    last_unsolicited_ = pkt;
+    last_unsolicited_ = std::move(owner);  // keep the buffer, no copy
     return;
   }
 
@@ -505,7 +508,7 @@ void Host::on_data(const wire::Packet& pkt) {
     ++stats_.unsolicited;
     return;
   }
-  auto pt = sess->open(pkt.payload);
+  auto pt = sess->open(pkt.payload());
   if (!pt) {
     if (pt.error().code == Errc::replayed)
       ++stats_.replay_drops;
@@ -544,14 +547,14 @@ Result<void> Host::ping(const core::Endpoint& target, EchoCallback cb) {
   return Result<void>::success();
 }
 
-void Host::on_icmp_packet(const wire::Packet& pkt) {
-  auto msg = core::IcmpMessage::parse(pkt.payload);
+void Host::on_icmp_packet(const wire::PacketView& pkt) {
+  auto msg = core::IcmpMessage::parse(pkt.payload());
   if (!msg) return;
   ++stats_.icmp_received;
 
   core::Endpoint from;
-  from.aid = pkt.src_aid;
-  from.ephid.bytes = pkt.src_ephid;
+  from.aid = pkt.src_aid();
+  from.ephid.bytes = pkt.src_ephid();
 
   switch (msg->type) {
     case core::IcmpType::echo_request: {
@@ -559,7 +562,7 @@ void Host::on_icmp_packet(const wire::Packet& pkt) {
       // (§VIII-B: "using the source EphID in a packet, one can send an ICMP
       // message to the source host").
       core::EphId pinged;
-      pinged.bytes = pkt.dst_ephid;
+      pinged.bytes = pkt.dst_ephid();
       OwnedEphId* owned = pool_.find(pinged);
       const core::EphId src =
           owned ? owned->cert.ephid
@@ -569,7 +572,7 @@ void Host::on_icmp_packet(const wire::Packet& pkt) {
       reply.type = core::IcmpType::echo_reply;
       reply.code = 0;
       reply.data = msg->data;
-      wire::Packet out = make_packet(pkt.src_aid, from.ephid, src,
+      wire::Packet out = make_packet(pkt.src_aid(), from.ephid, src,
                                      wire::NextProto::icmp, reply.serialize());
       transmit(std::move(out), owned);
       return;
@@ -596,27 +599,28 @@ void Host::on_icmp_packet(const wire::Packet& pkt) {
 
 // ---- Shutoff ------------------------------------------------------------------------
 
-Result<void> Host::request_shutoff(const wire::Packet& offending,
+Result<void> Host::request_shutoff(const wire::PacketView& offending,
                                    ShutoffCallback cb) {
   core::EphId victim_ephid;
-  victim_ephid.bytes = offending.dst_ephid;
+  victim_ephid.bytes = offending.dst_ephid();
   OwnedEphId* owned = pool_.find(victim_ephid);
   if (!owned)
     return Result<void>(Errc::unauthorized,
                         "we do not own the packet's destination EphID");
 
-  const Bytes pkt_bytes = offending.serialize();
+  // The offending packet IS its wire image — embed it verbatim.
+  const ByteSpan pkt_bytes = offending.bytes();
   core::ShutoffRequest req;
-  req.offending_packet = pkt_bytes;
+  req.offending_packet.assign(pkt_bytes.begin(), pkt_bytes.end());
   req.sig = owned->kp.sign(pkt_bytes);
   req.dst_cert = owned->cert;
 
   // Locate the source's accountability agent: from the peer's certificate
   // when we have a session with it, else from the published directory info.
   core::Endpoint aa;
-  aa.aid = offending.src_aid;
+  aa.aid = offending.src_aid();
   core::EphId src;
-  src.bytes = offending.src_ephid;
+  src.bytes = offending.src_ephid();
   bool found = false;
   for (const auto& [id, st] : sessions_) {
     if (st.peer_ephid == src) {
@@ -626,7 +630,7 @@ Result<void> Host::request_shutoff(const wire::Packet& offending,
     }
   }
   if (!found) {
-    const auto as_info = directory_.lookup(offending.src_aid);
+    const auto as_info = directory_.lookup(offending.src_aid());
     if (!as_info)
       return Result<void>(Errc::not_found, "source AS unknown; no AA address");
     aa.ephid = as_info->aa_ephid;
@@ -681,9 +685,9 @@ Result<void> Host::revoke_own_ephid(const core::EphId& ephid,
   return Result<void>::success();
 }
 
-void Host::on_shutoff_response(const wire::Packet& pkt) {
+void Host::on_shutoff_response(const wire::PacketView& pkt) {
   if (pending_shutoffs_.empty()) return;
-  wire::Reader r(pkt.payload);
+  wire::Reader r(pkt.payload());
   auto kind = r.u8();
   if (!kind || *kind != static_cast<std::uint8_t>(core::ShutoffKind::response))
     return;
@@ -834,14 +838,15 @@ void Host::handle_dns_frame(SessionState& st, ByteSpan frame) {
 
 // ---- Receive dispatch --------------------------------------------------------------
 
-void Host::on_packet(const wire::Packet& pkt) {
+void Host::on_packet(wire::PacketBuf pkt) {
   ++stats_.packets_received;
-  switch (pkt.proto) {
-    case wire::NextProto::control: on_control(pkt); return;
-    case wire::NextProto::handshake: on_handshake(pkt); return;
-    case wire::NextProto::data: on_data(pkt); return;
-    case wire::NextProto::icmp: on_icmp_packet(pkt); return;
-    case wire::NextProto::shutoff: on_shutoff_response(pkt); return;
+  const wire::PacketView& v = pkt.view();
+  switch (v.proto()) {
+    case wire::NextProto::control: on_control(v); return;
+    case wire::NextProto::handshake: on_handshake(v); return;
+    case wire::NextProto::data: on_data(v, pkt); return;
+    case wire::NextProto::icmp: on_icmp_packet(v); return;
+    case wire::NextProto::shutoff: on_shutoff_response(v); return;
   }
 }
 

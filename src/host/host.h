@@ -30,6 +30,7 @@
 #include "net/sim.h"
 #include "util/result.h"
 #include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::host {
 
@@ -48,7 +49,9 @@ class Host {
     std::uint64_t rng_seed = 0;    // 0 = derive from name
   };
 
-  using SendFn = std::function<void(const wire::Packet&)>;
+  /// Uplink transmit hook. Consumes the sealed wire image (zero-copy
+  /// handoff into the AS fabric).
+  using SendFn = std::function<void(wire::PacketBuf)>;
   using BootstrapFn =
       std::function<Result<core::BootstrapResponse>(const core::BootstrapRequest&)>;
   using EphIdCallback = std::function<void(Result<const OwnedEphId*>)>;
@@ -97,8 +100,9 @@ class Host {
   const std::string& name() const { return cfg_.name; }
   const core::EphIdCertificate& dns_cert() const { return dns_cert_; }
 
-  /// Entry point for packets the AS fabric delivers to this host.
-  void on_packet(const wire::Packet& pkt);
+  /// Entry point for packets the AS fabric delivers to this host. Takes
+  /// ownership of the buffer; receive handlers parse it in place.
+  void on_packet(wire::PacketBuf pkt);
 
   // ---- EphID management (Fig 3 client side) -----------------------------------
 
@@ -115,15 +119,17 @@ class Host {
                          core::EphIdLifetime lifetime, std::uint8_t flags,
                          CertCallback cb);
 
-  /// Re-originates a packet as this host's own traffic: stamps the kHA MAC
-  /// and transmits (§VII-B NAT-mode: "the AP replaces the MAC using its
-  /// shared key with the AS before forwarding the packets").
-  void forward_as_own(wire::Packet pkt);
+  /// Re-originates a packet as this host's own traffic: re-stamps the kHA
+  /// MAC IN PLACE on the wire image and transmits the same buffer (§VII-B
+  /// NAT-mode: "the AP replaces the MAC using its shared key with the AS
+  /// before forwarding the packets").
+  void forward_as_own(wire::PacketBuf pkt);
 
-  /// Burst variant: re-MACs the whole burst through the batched stamping
-  /// path (core::stamp_packet_macs — one pre-scheduled key, no per-call
-  /// overhead) and transmits in order. The NAT-mode AP's uplink uses this.
-  void forward_as_own_burst(std::span<wire::Packet> pkts);
+  /// Burst variant: re-MACs the whole burst in place through the batched
+  /// stamping path (core::stamp_packet_macs — one pre-scheduled key, no
+  /// per-call overhead) and transmits in order, consuming every buffer.
+  /// The NAT-mode AP's uplink uses this.
+  void forward_as_own_burst(std::span<wire::PacketBuf> pkts);
 
   EphIdPool& pool() { return pool_; }
   const EphIdPool& pool() const { return pool_; }
@@ -163,8 +169,9 @@ class Host {
   // ---- Shutoff (Fig 5 client side) ----------------------------------------------
 
   /// Asks the sender's AS to revoke the source EphID of `offending`.
-  /// This host must own the packet's destination EphID.
-  Result<void> request_shutoff(const wire::Packet& offending,
+  /// This host must own the packet's destination EphID. The request embeds
+  /// the offending wire image verbatim (no re-serialization).
+  Result<void> request_shutoff(const wire::PacketView& offending,
                                ShutoffCallback cb);
 
   /// §VIII-G2: voluntarily retires one of this host's own EphIDs at its AS
@@ -173,8 +180,9 @@ class Host {
   Result<void> revoke_own_ephid(const core::EphId& ephid, ShutoffCallback cb);
 
   /// The last data/handshake packet received with no matching session —
-  /// what a DDoS victim hands to request_shutoff().
-  const std::optional<wire::Packet>& last_unsolicited() const {
+  /// what a DDoS victim hands to request_shutoff(). The buffer is kept as
+  /// received (moved, not copied).
+  const std::optional<wire::PacketBuf>& last_unsolicited() const {
     return last_unsolicited_;
   }
 
@@ -214,19 +222,20 @@ class Host {
     ConnectCallback on_connected;
   };
 
-  // Packet plumbing.
+  // Packet plumbing. Packets are built with the wire::Packet builder, then
+  // sealed + MAC-stamped in transmit() — the host's one serialization.
   wire::Packet make_packet(core::Aid dst_aid, const core::EphId& dst_ephid,
                            const core::EphId& src_ephid,
                            wire::NextProto proto, Bytes payload);
   void transmit(wire::Packet pkt, const OwnedEphId* src_owned);
   void transmit_ctrl(wire::Packet pkt);
 
-  // Receive paths.
-  void on_control(const wire::Packet& pkt);
-  void on_handshake(const wire::Packet& pkt);
-  void on_data(const wire::Packet& pkt);
-  void on_icmp_packet(const wire::Packet& pkt);
-  void on_shutoff_response(const wire::Packet& pkt);
+  // Receive paths (views into the buffer owned by on_packet).
+  void on_control(const wire::PacketView& pkt);
+  void on_handshake(const wire::PacketView& pkt);
+  void on_data(const wire::PacketView& pkt, wire::PacketBuf& owner);
+  void on_icmp_packet(const wire::PacketView& pkt);
+  void on_shutoff_response(const wire::PacketView& pkt);
   void handle_dns_frame(SessionState& st, ByteSpan frame);
 
   SessionState* find_session(const core::EphId& mine, const core::EphId& peer);
@@ -290,7 +299,7 @@ class Host {
 
   DataHandler on_data_;
   IcmpHandler on_icmp_;
-  std::optional<wire::Packet> last_unsolicited_;
+  std::optional<wire::PacketBuf> last_unsolicited_;
   Stats stats_;
 };
 

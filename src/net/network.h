@@ -4,6 +4,14 @@
 // links; IntraSwitch delivers within one AS by HID. Both support taps
 // (the §II adversary who "can eavesdrop on all control and data messages")
 // and fault injection (drop/tamper) for failure testing.
+//
+// Zero-copy contract: a packet is one wire::PacketBuf. send()/deliver()
+// take it by value and MOVE it into the scheduled delivery event — the same
+// buffer the sender sealed is the buffer the receiving handler gets; the
+// fabric never copies or re-serializes a packet. Handlers are looked up at
+// DELIVERY time, not at schedule time, so re-registering (or detaching) an
+// endpoint between schedule and delivery is safe — a stale registration
+// never leaves a dangling handler reference captured in the event queue.
 #pragma once
 
 #include <cstdint>
@@ -14,23 +22,25 @@
 #include "net/sim.h"
 #include "net/topology.h"
 #include "util/result.h"
-#include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::net {
 
-using PacketHandler = std::function<void(const wire::Packet&)>;
+/// Receives ownership of a delivered packet.
+using PacketHandler = std::function<void(wire::PacketBuf)>;
 
 /// Observes packets in flight: from-AID, to-AID (0 for intra-AS hops), and
-/// the full packet. Used by privacy analyses and tests.
-using PacketTap =
-    std::function<void(std::uint32_t from, std::uint32_t to,
-                       const wire::Packet& pkt)>;
+/// a view of the wire image. Used by privacy analyses and tests; the view
+/// is valid only for the duration of the call.
+using PacketTap = std::function<void(std::uint32_t from, std::uint32_t to,
+                                     const wire::PacketView& pkt)>;
 
-/// Per-link fault model for failure-injection tests.
+/// Per-link fault model for failure-injection tests. tamper mutates the
+/// wire image in place (bit flips on the wire).
 struct FaultModel {
-  double drop_rate = 0.0;                       // [0,1]
-  std::function<bool()> coin;                   // returns true → drop
-  std::function<void(wire::Packet&)> tamper;    // mutate in flight
+  double drop_rate = 0.0;                          // [0,1]
+  std::function<bool()> coin;                      // returns true → drop
+  std::function<void(wire::PacketBuf&)> tamper;    // mutate in flight
 };
 
 /// Delivers packets between ASes along topology links.
@@ -39,34 +49,47 @@ class InterAsNetwork {
   InterAsNetwork(EventLoop& loop, const Topology& topo)
       : loop_(loop), topo_(topo) {}
 
-  /// Registers the ingress handler of `aid`'s border router.
+  /// Registers the ingress handler of `aid`'s border router. Replacing a
+  /// registration takes effect for every subsequent delivery, including
+  /// packets already in flight (delivery-time lookup).
   void register_border_router(std::uint32_t aid, PacketHandler ingress) {
     brs_[aid] = std::move(ingress);
   }
 
   /// Transmits over the (from → to) link; to must be a neighbor of from.
+  /// Consumes the packet (moved into the in-flight event).
   Result<void> send(std::uint32_t from_aid, std::uint32_t to_aid,
-                    const wire::Packet& pkt) {
+                    wire::PacketBuf pkt) {
     auto lat = topo_.link_latency(from_aid, to_aid);
     if (!lat) return Result<void>(Errc::no_route, "ASes not adjacent");
-    auto it = brs_.find(to_aid);
-    if (it == brs_.end())
+    if (!brs_.contains(to_aid))
       return Result<void>(Errc::no_route, "no BR registered for AID");
 
-    for (const auto& tap : taps_) tap(from_aid, to_aid, pkt);
+    for (const auto& tap : taps_) tap(from_aid, to_aid, pkt.view());
 
     if (faults_.coin && faults_.coin()) {
       ++stats_.dropped;
       return Result<void>::success();  // dropped silently, like a real wire
     }
-    wire::Packet delivered = pkt;
-    if (faults_.tamper) faults_.tamper(delivered);
+    if (faults_.tamper) {
+      faults_.tamper(pkt);
+      // A structural mutation (flag/length bytes) changes the wire layout:
+      // re-validate so the receiver's view can never read past the image.
+      // A frame that no longer parses dies on the wire, like any corrupt
+      // frame a real NIC would discard.
+      if (!pkt.rebind()) {
+        ++stats_.dropped;
+        return Result<void>::success();
+      }
+    }
 
     ++stats_.transmitted;
     stats_.bytes += pkt.wire_size();
-    PacketHandler& handler = it->second;
-    loop_.schedule_in(*lat, [&handler, delivered = std::move(delivered)] {
-      handler(delivered);
+    loop_.schedule_in(*lat, [this, to_aid, pkt = std::move(pkt)]() mutable {
+      // Delivery-time lookup: a register_border_router() call (rehash or
+      // overwrite) while the packet was in flight must not dangle.
+      auto it = brs_.find(to_aid);
+      if (it != brs_.end()) it->second(std::move(pkt));
     });
     return Result<void>::success();
   }
@@ -103,14 +126,18 @@ class IntraSwitch {
   void detach(std::uint32_t hid) { ports_.erase(hid); }
   bool attached(std::uint32_t hid) const { return ports_.contains(hid); }
 
-  Result<void> deliver(std::uint32_t hid, const wire::Packet& pkt) {
-    auto it = ports_.find(hid);
-    if (it == ports_.end())
+  /// Consumes the packet (moved into the in-flight event). Ports are
+  /// resolved at delivery time — an attach/detach during the hop latency
+  /// behaves like a real switch updating its table mid-flight.
+  Result<void> deliver(std::uint32_t hid, wire::PacketBuf pkt) {
+    if (!ports_.contains(hid))
       return Result<void>(Errc::unknown_host, "no port for HID");
-    for (const auto& tap : taps_) tap(0, 0, pkt);
+    for (const auto& tap : taps_) tap(0, 0, pkt.view());
     ++stats_.delivered;
-    PacketHandler& handler = it->second;
-    loop_.schedule_in(hop_latency_, [&handler, pkt] { handler(pkt); });
+    loop_.schedule_in(hop_latency_, [this, hid, pkt = std::move(pkt)]() mutable {
+      auto it = ports_.find(hid);
+      if (it != ports_.end()) it->second(std::move(pkt));
+    });
     return Result<void>::success();
   }
 

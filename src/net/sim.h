@@ -4,13 +4,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "core/ids.h"
+#include "util/function.h"
 
 namespace apna::net {
+
+/// Scheduled work. Move-only so events can own a wire::PacketBuf without
+/// copying it (the zero-copy transport moves buffers into the loop).
+using EventFn = util::UniqueFunction<void()>;
 
 /// Simulated time in microseconds.
 using TimeUs = std::uint64_t;
@@ -30,11 +34,11 @@ class EventLoop {
     return kEpochSeconds + static_cast<core::ExpTime>(now_ / kUsPerSecond);
   }
 
-  void schedule_at(TimeUs t, std::function<void()> fn) {
+  void schedule_at(TimeUs t, EventFn fn) {
     queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
   }
 
-  void schedule_in(TimeUs delay, std::function<void()> fn) {
+  void schedule_in(TimeUs delay, EventFn fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
 
@@ -69,7 +73,7 @@ class EventLoop {
   struct Event {
     TimeUs t;
     std::uint64_t seq;  // FIFO tie-break for same-time events
-    std::function<void()> fn;
+    EventFn fn;
 
     bool operator>(const Event& o) const {
       return t != o.t ? t > o.t : seq > o.seq;

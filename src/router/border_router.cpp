@@ -5,12 +5,12 @@
 
 namespace apna::router {
 
-Result<void> BorderRouter::check_outgoing(const wire::Packet& pkt,
+Result<void> BorderRouter::check_outgoing(const wire::PacketView& pkt,
                                           core::ExpTime now) const {
   if (cfg_.mode == Mode::baseline) return check_baseline(pkt);
 
   core::EphId src;
-  src.bytes = pkt.src_ephid;
+  src.bytes = pkt.src_ephid();
 
   // (HID_S, expTime) = E^-1_kA(EphID_s)
   auto plain = as_.codec.open(src);
@@ -25,21 +25,21 @@ Result<void> BorderRouter::check_outgoing(const wire::Packet& pkt,
   // if HID_S ∉ host_info drop
   const auto host = as_.host_db.find(plain->hid);
   if (!host) return Result<void>(Errc::unknown_host, "src HID unknown");
-  // if !verifyMAC(k_HSAS, packet) drop
+  // if !verifyMAC(k_HSAS, packet) drop — in place over the wire image.
   if (!core::verify_packet_mac(*host->cmac, pkt))
     return Result<void>(Errc::bad_mac, "packet MAC invalid");
   return Result<void>::success();
 }
 
-Result<core::Hid> BorderRouter::check_incoming(const wire::Packet& pkt,
+Result<core::Hid> BorderRouter::check_incoming(const wire::PacketView& pkt,
                                                core::ExpTime now) const {
   if (cfg_.mode == Mode::baseline) {
     // Baseline delivers by the low 32 bits of the destination identifier.
-    return core::Hid{load_be32(pkt.dst_ephid.data())};
+    return core::Hid{load_be32(pkt.dst_ephid_span().data())};
   }
 
   core::EphId dst;
-  dst.bytes = pkt.dst_ephid;
+  dst.bytes = pkt.dst_ephid();
 
   auto plain = as_.codec.open(dst);
   if (!plain)
@@ -55,39 +55,38 @@ Result<core::Hid> BorderRouter::check_incoming(const wire::Packet& pkt,
   return plain->hid;
 }
 
-Result<void> BorderRouter::check_baseline(const wire::Packet& pkt) const {
+Result<void> BorderRouter::check_baseline(const wire::PacketView& pkt) const {
   // A plain router validates nothing cryptographic; reject only nonsense.
-  if (pkt.dst_aid == 0)
+  if (pkt.dst_aid() == 0)
     return Result<void>(Errc::malformed, "zero destination AID");
   return Result<void>::success();
 }
 
 // ---- Concurrent fast path ---------------------------------------------------
 
-Errc BorderRouter::outgoing_checks(const wire::Packet& pkt,
+Errc BorderRouter::outgoing_checks(const wire::PacketView& pkt,
                                    core::ExpTime now) const {
   if (pkt.wire_size() > cfg_.mtu) return Errc::too_big;
   return check_outgoing(pkt, now).code();
 }
 
 void BorderRouter::finish_outgoing_classify(
-    std::span<const wire::Packet> burst, std::span<Verdict> verdicts,
+    std::span<const wire::PacketView> burst, std::span<Verdict> verdicts,
     Stats& stats) const {
   for (std::size_t i = 0; i < burst.size(); ++i) {
     Verdict& v = verdicts[i];
     if (v.err == Errc::ok && cfg_.replay_filter && burst[i].has_nonce()) {
       core::EphId src;
-      src.bytes = burst[i].src_ephid;
-      if (!replay_filter_.accept(src, burst[i].nonce)) v.err = Errc::replayed;
+      src.bytes = burst[i].src_ephid();
+      if (!replay_filter_.accept(src, burst[i].nonce())) v.err = Errc::replayed;
     }
     if (v.err != Errc::ok) count_drop(stats, v.err);
   }
 }
 
-void BorderRouter::classify_outgoing_burst(std::span<const wire::Packet> burst,
-                                           core::ExpTime now,
-                                           std::span<Verdict> verdicts,
-                                           Stats& stats, bool batched) const {
+void BorderRouter::classify_outgoing_burst(
+    std::span<const wire::PacketView> burst, core::ExpTime now,
+    std::span<Verdict> verdicts, Stats& stats, bool batched) const {
   if (cfg_.mode == Mode::baseline || !batched) {
     for (std::size_t i = 0; i < burst.size(); ++i)
       verdicts[i] = Verdict{outgoing_checks(burst[i], now), false, 0};
@@ -113,12 +112,12 @@ void BorderRouter::classify_outgoing_burst(std::span<const wire::Packet> burst,
   for (std::size_t base = 0; base < burst.size(); base += kChunk) {
     const std::size_t m = std::min(kChunk, burst.size() - base);
     for (std::size_t i = 0; i < m; ++i)
-      ids[i].bytes = burst[base + i].src_ephid;
+      ids[i].bytes = burst[base + i].src_ephid();
     as_.codec.open_batch(ids, m, plain, id_ok);
 
     std::size_t njobs = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      const wire::Packet& pkt = burst[base + i];
+      const wire::PacketView& pkt = burst[base + i];
       Verdict& v = verdicts[base + i];
       v = Verdict{};
       if (pkt.wire_size() > cfg_.mtu) {
@@ -145,16 +144,15 @@ void BorderRouter::classify_outgoing_burst(std::span<const wire::Packet> burst,
   finish_outgoing_classify(burst, verdicts, stats);
 }
 
-void BorderRouter::classify_ingress_burst(std::span<const wire::Packet> burst,
-                                          core::ExpTime now,
-                                          std::span<Verdict> verdicts,
-                                          Stats& stats, bool batched) const {
+void BorderRouter::classify_ingress_burst(
+    std::span<const wire::PacketView> burst, core::ExpTime now,
+    std::span<Verdict> verdicts, Stats& stats, bool batched) const {
   if (cfg_.mode == Mode::baseline || !batched) {
     for (std::size_t i = 0; i < burst.size(); ++i) {
-      const wire::Packet& pkt = burst[i];
+      const wire::PacketView& pkt = burst[i];
       Verdict& v = verdicts[i];
       v = Verdict{};
-      if (pkt.dst_aid != as_.aid) continue;  // transit, no crypto
+      if (pkt.dst_aid() != as_.aid) continue;  // transit, no crypto
       v.local = true;
       auto hid = check_incoming(pkt, now);
       if (hid) {
@@ -180,9 +178,9 @@ void BorderRouter::classify_ingress_burst(std::span<const wire::Packet> burst,
     std::size_t nlocal = 0;
     for (std::size_t i = 0; i < m; ++i) {
       verdicts[base + i] = Verdict{};
-      if (burst[base + i].dst_aid != as_.aid) continue;
+      if (burst[base + i].dst_aid() != as_.aid) continue;
       verdicts[base + i].local = true;
-      ids[nlocal].bytes = burst[base + i].dst_ephid;
+      ids[nlocal].bytes = burst[base + i].dst_ephid();
       local_at[nlocal++] = base + i;
     }
     as_.codec.open_batch(ids, nlocal, plain, id_ok);
@@ -205,49 +203,53 @@ void BorderRouter::classify_ingress_burst(std::span<const wire::Packet> burst,
   }
 }
 
-bool BorderRouter::send_external_stamped(const wire::Packet& pkt,
-                                         Stats& stats) {
+bool BorderRouter::send_external_stamped(wire::PacketBuf pkt, Stats& stats) {
   if (!cb_.send_external) return true;  // checks-only driver
-  Result<void> sent = Result<void>::success();
   if (cfg_.stamp_path) {
-    wire::Packet stamped = pkt;
-    stamped.stamp_path(as_.aid);
-    sent = cb_.send_external(stamped);
-  } else {
-    sent = cb_.send_external(pkt);
+    // §VIII-C: splice this AS's AID into (a pooled copy of) the stamp
+    // list. The only in-flight modification a router makes.
+    pkt = wire::append_path_stamp(pkt.view(), as_.aid);
   }
-  if (!sent) {
+  if (auto sent = cb_.send_external(std::move(pkt)); !sent) {
     count_drop(stats, sent.error().code);
     return false;
   }
   return true;
 }
 
-void BorderRouter::apply_outgoing_verdicts(std::span<const wire::Packet> burst,
-                                           std::span<const Verdict> verdicts,
-                                           Stats& stats) {
+bool BorderRouter::forward_view(const wire::PacketView& pkt, Stats& stats) {
+  if (!cb_.send_external) return true;
+  // The caller owns the burst, so the handoff is one pooled copy (recycled
+  // storage — no heap allocation in steady state; see BufferPool).
+  return send_external_stamped(wire::PacketBuf::copy_of(pkt), stats);
+}
+
+void BorderRouter::apply_outgoing_verdicts(
+    std::span<const wire::PacketView> burst, std::span<const Verdict> verdicts,
+    Stats& stats) {
   for (std::size_t i = 0; i < burst.size(); ++i) {
     if (verdicts[i].err != Errc::ok) continue;  // already counted
-    if (send_external_stamped(burst[i], stats)) ++stats.forwarded_out;
+    if (forward_view(burst[i], stats)) ++stats.forwarded_out;
   }
 }
 
-void BorderRouter::apply_ingress_verdicts(std::span<const wire::Packet> burst,
-                                          std::span<const Verdict> verdicts,
-                                          Stats& stats) {
+void BorderRouter::apply_ingress_verdicts(
+    std::span<const wire::PacketView> burst, std::span<const Verdict> verdicts,
+    Stats& stats) {
   for (std::size_t i = 0; i < burst.size(); ++i) {
     const Verdict& v = verdicts[i];
     if (v.err != Errc::ok) continue;
     if (!v.local) {
       // Transit: "simply forward packets to the next AS on the path".
-      if (send_external_stamped(burst[i], stats)) ++stats.transited;
+      if (forward_view(burst[i], stats)) ++stats.transited;
       continue;
     }
     if (!cb_.deliver_internal) {
       ++stats.delivered_in;
       continue;
     }
-    if (auto ok = cb_.deliver_internal(v.hid, burst[i]); ok) {
+    if (auto ok = cb_.deliver_internal(v.hid, wire::PacketBuf::copy_of(burst[i]));
+        ok) {
       ++stats.delivered_in;
     } else {
       count_drop(stats, ok.error().code);
@@ -271,7 +273,19 @@ void BorderRouter::count_drop(Stats& stats, Errc code) {
   }
 }
 
-void BorderRouter::maybe_icmp_error(const wire::Packet& offending,
+BorderRouter::IcmpQuote BorderRouter::make_quote(
+    const wire::PacketView& pkt) const {
+  IcmpQuote q;
+  q.src_aid = pkt.src_aid();
+  q.src_ephid = pkt.src_ephid();
+  q.proto = pkt.proto();
+  // Quote the offending header (48 B) like classic ICMP quotes headers.
+  q.header_len = std::min<std::size_t>(pkt.wire_size(), wire::kApnaHeaderSize);
+  std::memcpy(q.header.data(), pkt.bytes().data(), q.header_len);
+  return q;
+}
+
+void BorderRouter::maybe_icmp_error(const IcmpQuote& offending,
                                     core::IcmpType type, std::uint32_t code) {
   if (!cfg_.send_icmp_errors || ident_.ephid.is_zero()) return;
   if (offending.proto == wire::NextProto::icmp) return;  // no ICMP storms
@@ -281,11 +295,8 @@ void BorderRouter::maybe_icmp_error(const wire::Packet& offending,
   core::IcmpMessage msg;
   msg.type = type;
   msg.code = code;
-  // Quote the offending header (48 B) like classic ICMP quotes headers.
-  const Bytes hdr = offending.serialize();
-  msg.data.assign(hdr.begin(),
-                  hdr.begin() + std::min<std::size_t>(hdr.size(),
-                                                      wire::kApnaHeaderSize));
+  msg.data.assign(offending.header.begin(),
+                  offending.header.begin() + offending.header_len);
 
   wire::Packet icmp;
   icmp.src_aid = ident_.aid;
@@ -294,65 +305,82 @@ void BorderRouter::maybe_icmp_error(const wire::Packet& offending,
   icmp.dst_ephid = offending.src_ephid;
   icmp.proto = wire::NextProto::icmp;
   icmp.payload = msg.serialize();
+  // Control-plane construction: build → seal → stamp in place.
+  wire::PacketBuf buf = icmp.seal();
   core::stamp_packet_mac(crypto::AesCmac(ByteSpan(ident_.mac_key.data(), 16)),
-                         icmp);
+                         buf);
   ++stats_.icmp_sent;
 
   if (icmp.dst_aid == as_.aid) {
     // The offender is local: deliver the feedback internally.
-    on_ingress(icmp);
-  } else {
-    (void)cb_.send_external(icmp);
+    on_ingress(std::move(buf));
+  } else if (cb_.send_external) {
+    (void)cb_.send_external(std::move(buf));
   }
 }
 
 // ---- Single-threaded simulator path -----------------------------------------
 
-void BorderRouter::on_outgoing(const wire::Packet& pkt) {
+void BorderRouter::on_outgoing(wire::PacketBuf pkt) {
   const core::ExpTime now = cb_.now();
-  if (pkt.wire_size() > cfg_.mtu) {
+  const wire::PacketView& v = pkt.view();
+
+  // Drop paths quote straight from the live view — no per-packet copy.
+  if (v.wire_size() > cfg_.mtu) {
     ++stats_.drop_too_big;
-    maybe_icmp_error(pkt, core::IcmpType::packet_too_big,
+    maybe_icmp_error(v, core::IcmpType::packet_too_big,
                      static_cast<std::uint32_t>(cfg_.mtu));
     return;
   }
-  if (auto ok = check_outgoing(pkt, now); !ok) {
+  if (auto ok = check_outgoing(v, now); !ok) {
     count_drop(ok.error().code);
     return;
   }
   // §VIII-D (future-work extension): filter replays at the source AS, where
   // packets are already attributed to a sender.
-  if (cfg_.replay_filter && pkt.has_nonce()) {
+  if (cfg_.replay_filter && v.has_nonce()) {
     core::EphId src;
-    src.bytes = pkt.src_ephid;
-    if (auto fresh = replay_filter_.accept(src, pkt.nonce); !fresh) {
+    src.bytes = v.src_ephid();
+    if (auto fresh = replay_filter_.accept(src, v.nonce()); !fresh) {
       ++stats_.drop_replayed;
       return;
     }
   }
-  if (!send_external_stamped(pkt, stats_)) {
-    maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 0);
+  // The send consumes the buffer, so the post-move failure feedback needs
+  // a snapshot — taken only when ICMP can actually fire.
+  IcmpQuote quote;
+  if (icmp_armed()) quote = make_quote(v);
+  if (!send_external_stamped(std::move(pkt), stats_)) {
+    maybe_icmp_error(quote, core::IcmpType::dest_unreachable, 0);
     return;
   }
   ++stats_.forwarded_out;
 }
 
-void BorderRouter::on_ingress(const wire::Packet& pkt) {
+void BorderRouter::on_ingress(wire::PacketBuf pkt) {
   const core::ExpTime now = cb_.now();
-  if (pkt.dst_aid != as_.aid) {
+  const wire::PacketView& v = pkt.view();
+  if (v.dst_aid() != as_.aid) {
     // Transit: "simply forward packets to the next AS on the path".
-    if (send_external_stamped(pkt, stats_)) ++stats_.transited;
+    if (send_external_stamped(std::move(pkt), stats_)) ++stats_.transited;
     return;
   }
-  auto hid = check_incoming(pkt, now);
+  auto hid = check_incoming(v, now);
   if (!hid) {
     count_drop(hid.error().code);
-    maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 1);
+    maybe_icmp_error(v, core::IcmpType::dest_unreachable, 1);
     return;
   }
-  if (auto ok = cb_.deliver_internal(*hid, pkt); !ok) {
+  if (!cb_.deliver_internal) {
+    ++stats_.delivered_in;
+    return;
+  }
+  // Delivery consumes the buffer; snapshot for the post-move failure arm.
+  IcmpQuote quote;
+  if (icmp_armed()) quote = make_quote(v);
+  if (auto ok = cb_.deliver_internal(*hid, std::move(pkt)); !ok) {
     count_drop(ok.error().code);
-    maybe_icmp_error(pkt, core::IcmpType::dest_unreachable, 2);
+    maybe_icmp_error(quote, core::IcmpType::dest_unreachable, 2);
     return;
   }
   ++stats_.delivered_in;

@@ -11,25 +11,37 @@
 // Transit: forward by AID only, no crypto (design choice 3 — "forwarding
 // devices perform only symmetric cryptographic operations").
 //
+// Zero-copy contract: the router trafficks in wire::PacketView (checks) and
+// wire::PacketBuf (ownership transfer). Every check reads the wire image in
+// place; a forwarded packet is the SAME buffer that arrived — moved through
+// send_external / deliver_internal, never copied, never re-serialized. In
+// steady state the fast path performs zero heap allocations per forwarded
+// packet (pinned by tests/alloc_count_test and bench_e2). The only copies
+// left are the explicit ones: append_path_stamp (when Config::stamp_path is
+// on) splices a pooled buffer, and apply_*_verdicts makes one pooled
+// copy_of per forwarded view because the caller retains burst ownership.
+// PacketView::to_owned() does not appear on the forwarding path at all.
+//
 // Two data paths share the same checks:
 //
-//  * The single-threaded simulator path: on_outgoing()/on_ingress() run the
-//    checks, the forwarding actions AND the control-plane niceties (ICMP
-//    feedback, path stamping) for one packet at a time on the event-loop
-//    thread. check_outgoing()/check_incoming() are its side-effect-free
-//    cores, benchmarked by E2.
+//  * The single-threaded simulator path: on_outgoing()/on_ingress() take
+//    ownership of one packet, run the checks, the forwarding actions AND
+//    the control-plane niceties (ICMP feedback, path stamping) on the
+//    event-loop thread. check_outgoing()/check_incoming() are its
+//    side-effect-free cores, benchmarked by E2.
 //
 //  * The concurrent fast path: classify_*_burst() runs the same checks over
-//    a burst from ANY number of worker threads — all AS state it touches is
-//    lock-striped (core/sharded.h) or immutable, and outcome counters go to
-//    a caller-owned Stats (one per worker, merged on read). Verdicts are
-//    then turned into forwarding actions by apply_*_verdicts() on a single
-//    thread (the callbacks — simulator event loop — are not thread-safe).
-//    With `batched` set, EphID authentication and MAC verification run
-//    through the batched kernels (EphIdCodec::open_batch,
-//    verify_packet_macs); verdicts are identical to the scalar path either
-//    way. The concurrent path does not emit ICMP feedback (a real line-rate
-//    device punts error signalling off the fast path the same way).
+//    a std::span<const wire::PacketView> burst from ANY number of worker
+//    threads — all AS state it touches is lock-striped (core/sharded.h) or
+//    immutable, and outcome counters go to a caller-owned Stats (one per
+//    worker, merged on read). Verdicts are then turned into forwarding
+//    actions by apply_*_verdicts() on a single thread (the callbacks —
+//    simulator event loop — are not thread-safe). With `batched` set, EphID
+//    authentication and MAC verification run through the batched kernels
+//    (EphIdCodec::open_batch, verify_packet_macs); verdicts are identical
+//    to the scalar path either way. The concurrent path does not emit ICMP
+//    feedback (a real line-rate device punts error signalling off the fast
+//    path the same way).
 //
 // router/forwarding_pool.h packages the classify/apply split into an
 // M-worker pool; Mode::baseline implements a plain IPv4-style router (AID
@@ -47,6 +59,7 @@
 #include "core/replay.h"
 #include "util/result.h"
 #include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::router {
 
@@ -63,12 +76,13 @@ class BorderRouter {
   enum class Mode { apna, baseline };
 
   struct Callbacks {
-    /// Transmit towards dst_aid over the inter-AS fabric (next hop is
-    /// resolved by the AS fabric / topology).
-    std::function<Result<void>(const wire::Packet&)> send_external;
-    /// Deliver to a local host by HID (intra-domain forwarding).
-    std::function<Result<void>(core::Hid, const wire::Packet&)>
-        deliver_internal;
+    /// Transmit towards the packet's dst_aid over the inter-AS fabric
+    /// (next hop is resolved by the AS fabric / topology). Consumes the
+    /// buffer — the callee owns it from here (zero-copy handoff).
+    std::function<Result<void>(wire::PacketBuf)> send_external;
+    /// Deliver to a local host by HID (intra-domain forwarding). Consumes
+    /// the buffer.
+    std::function<Result<void>(core::Hid, wire::PacketBuf)> deliver_internal;
     /// Current wall-clock seconds (the simulation clock).
     std::function<core::ExpTime()> now;
   };
@@ -142,16 +156,16 @@ class BorderRouter {
 
   /// Fig 4 bottom. Returns ok when the packet may leave the AS.
   /// Thread-safe: touches only immutable keys and lock-striped tables.
-  Result<void> check_outgoing(const wire::Packet& pkt,
+  Result<void> check_outgoing(const wire::PacketView& pkt,
                               core::ExpTime now) const;
 
   /// Fig 4 top, local-destination branch. Returns the destination HID.
   /// Thread-safe, like check_outgoing.
-  Result<core::Hid> check_incoming(const wire::Packet& pkt,
+  Result<core::Hid> check_incoming(const wire::PacketView& pkt,
                                    core::ExpTime now) const;
 
   /// Baseline (plain-IP-style) pipeline: header sanity only.
-  Result<void> check_baseline(const wire::Packet& pkt) const;
+  Result<void> check_baseline(const wire::PacketView& pkt) const;
 
   // ---- Concurrent fast path (classify on M threads, apply on one) ----------
 
@@ -163,64 +177,96 @@ class BorderRouter {
   };
 
   /// Runs the egress pipeline (MTU + Fig 4 checks + §VIII-D replay filter
-  /// when configured) over a burst. Drop reasons are counted into the
-  /// caller-owned `stats` (passes are counted by apply_outgoing_verdicts or
-  /// by the caller). Safe to call from many threads concurrently; `batched`
-  /// selects the batched AES kernels (identical verdicts either way).
-  void classify_outgoing_burst(std::span<const wire::Packet> burst,
+  /// when configured) over a burst of views. Drop reasons are counted into
+  /// the caller-owned `stats` (passes are counted by
+  /// apply_outgoing_verdicts or by the caller). Safe to call from many
+  /// threads concurrently; `batched` selects the batched AES kernels
+  /// (identical verdicts either way). Allocation-free.
+  void classify_outgoing_burst(std::span<const wire::PacketView> burst,
                                core::ExpTime now, std::span<Verdict> verdicts,
                                Stats& stats, bool batched = true) const;
 
   /// Ingress twin: transit detection + Fig 4 top checks for local packets.
-  void classify_ingress_burst(std::span<const wire::Packet> burst,
+  void classify_ingress_burst(std::span<const wire::PacketView> burst,
                               core::ExpTime now, std::span<Verdict> verdicts,
                               Stats& stats, bool batched = true) const;
 
   /// Executes the forwarding actions for a classified egress burst on the
   /// CALLING thread (the callbacks are single-threaded): send_external for
-  /// every passing packet (path-stamped when configured). Successes count
-  /// into `stats.forwarded_out`, send failures into `stats.drop_no_route`.
-  void apply_outgoing_verdicts(std::span<const wire::Packet> burst,
+  /// every passing packet (path-stamped when configured). The burst views
+  /// stay caller-owned, so each forwarded packet is handed off as one
+  /// pooled copy_of (no heap allocation in steady state; no copy at all
+  /// when no send callback is installed). Successes count into
+  /// `stats.forwarded_out`, send failures into `stats.drop_no_route`.
+  void apply_outgoing_verdicts(std::span<const wire::PacketView> burst,
                                std::span<const Verdict> verdicts,
                                Stats& stats);
 
   /// Ingress twin: deliver_internal for local verdicts, send_external for
   /// transits.
-  void apply_ingress_verdicts(std::span<const wire::Packet> burst,
+  void apply_ingress_verdicts(std::span<const wire::PacketView> burst,
                               std::span<const Verdict> verdicts,
                               Stats& stats);
 
   // ---- Forwarding entry points (single-threaded simulator path) ------------
 
-  /// Packet from a local host headed out of the AS.
-  void on_outgoing(const wire::Packet& pkt);
+  /// Packet from a local host headed out of the AS. Takes ownership: a
+  /// passing packet's buffer is moved, unmodified, to send_external.
+  void on_outgoing(wire::PacketBuf pkt);
 
   /// Packet arriving from a neighbor AS (or looped back for local
-  /// delivery): destination AS check, then deliver or transit.
-  void on_ingress(const wire::Packet& pkt);
+  /// delivery): destination AS check, then deliver or transit — again
+  /// moving the same buffer.
+  void on_ingress(wire::PacketBuf pkt);
 
   const Stats& stats() const { return stats_; }
   core::Aid aid() const { return as_.aid; }
   const Config& config() const { return cfg_; }
 
  private:
+  /// What ICMP feedback needs from an offending packet, snapshotted before
+  /// the buffer's ownership moves (views must not outlive their buffer).
+  struct IcmpQuote {
+    core::Aid src_aid = 0;
+    wire::EphIdBytes src_ephid{};
+    wire::NextProto proto = wire::NextProto::data;
+    std::array<std::uint8_t, wire::kApnaHeaderSize> header{};
+    std::size_t header_len = 0;
+  };
+  IcmpQuote make_quote(const wire::PacketView& pkt) const;
+  /// True when this router can emit ICMP at all — gates the one pre-move
+  /// quote snapshot so the common path never pays it needlessly.
+  bool icmp_armed() const {
+    return cfg_.send_icmp_errors && !ident_.ephid.is_zero();
+  }
+
   static void count_drop(Stats& stats, Errc code);
   void count_drop(Errc code) { count_drop(stats_, code); }
   /// The one egress action both data paths share: optional §VIII-C path
-  /// stamp, send_external, and drop accounting on failure. Returns true
-  /// when the packet went out (the caller counts the success); a missing
-  /// callback counts as sent (checks-only drivers). Keeping this single
-  /// keeps the simulator and concurrent paths' counters in lockstep.
-  bool send_external_stamped(const wire::Packet& pkt, Stats& stats);
-  void maybe_icmp_error(const wire::Packet& offending, core::IcmpType type,
+  /// stamp, send_external, and drop accounting on failure. Consumes the
+  /// buffer. Returns true when the packet went out (the caller counts the
+  /// success); a missing callback counts as sent (checks-only drivers).
+  /// Keeping this single keeps the simulator and concurrent paths'
+  /// counters in lockstep.
+  bool send_external_stamped(wire::PacketBuf pkt, Stats& stats);
+  /// Burst-shape egress: pooled copy_of + send_external_stamped. No copy
+  /// (and unconditional success) when no send callback is installed.
+  bool forward_view(const wire::PacketView& pkt, Stats& stats);
+  void maybe_icmp_error(const IcmpQuote& offending, core::IcmpType type,
                         std::uint32_t code);
+  /// Pre-move convenience: quotes straight from the still-live view.
+  void maybe_icmp_error(const wire::PacketView& offending,
+                        core::IcmpType type, std::uint32_t code) {
+    if (!icmp_armed()) return;
+    maybe_icmp_error(make_quote(offending), type, code);
+  }
   /// Shared tail of both classify paths: replay filter + drop accounting.
-  void finish_outgoing_classify(std::span<const wire::Packet> burst,
+  void finish_outgoing_classify(std::span<const wire::PacketView> burst,
                                 std::span<Verdict> verdicts,
                                 Stats& stats) const;
   /// MTU + Fig 4 checks for one egress packet (the scalar classify kernel;
   /// replay filtering and accounting happen in finish_outgoing_classify).
-  Errc outgoing_checks(const wire::Packet& pkt, core::ExpTime now) const;
+  Errc outgoing_checks(const wire::PacketView& pkt, core::ExpTime now) const;
 
   core::AsState& as_;
   Callbacks cb_;

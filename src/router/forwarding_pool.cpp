@@ -28,7 +28,7 @@ ForwardingPool::~ForwardingPool() {
 
 void ForwardingPool::drain_chunks(std::size_t slot) {
   for (;;) {
-    const wire::Packet* burst;
+    const wire::PacketView* burst;
     BorderRouter::Verdict* verdicts;
     core::ExpTime now;
     bool ingress;
@@ -45,7 +45,7 @@ void ForwardingPool::drain_chunks(std::size_t slot) {
     }
     {
       std::lock_guard slot_lock(slots_[slot].mu);
-      const std::span<const wire::Packet> chunk(burst + begin, end - begin);
+      const std::span<const wire::PacketView> chunk(burst + begin, end - begin);
       const std::span<BorderRouter::Verdict> out(verdicts + begin,
                                                  end - begin);
       if (ingress) {
@@ -75,7 +75,7 @@ void ForwardingPool::worker_main(std::size_t slot) {
   }
 }
 
-void ForwardingPool::process_burst(std::span<const wire::Packet> burst,
+void ForwardingPool::process_burst(std::span<const wire::PacketView> burst,
                                    core::ExpTime now, bool ingress) {
   if (burst.empty()) return;
   verdict_buf_.resize(burst.size());
@@ -116,12 +116,12 @@ void ForwardingPool::process_burst(std::span<const wire::Packet> burst,
   }
 }
 
-void ForwardingPool::process_outgoing(std::span<const wire::Packet> burst,
+void ForwardingPool::process_outgoing(std::span<const wire::PacketView> burst,
                                       core::ExpTime now) {
   process_burst(burst, now, /*ingress=*/false);
 }
 
-void ForwardingPool::process_ingress(std::span<const wire::Packet> burst,
+void ForwardingPool::process_ingress(std::span<const wire::PacketView> burst,
                                      core::ExpTime now) {
   process_burst(burst, now, /*ingress=*/true);
 }

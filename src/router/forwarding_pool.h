@@ -1,5 +1,10 @@
 // ForwardingPool — the border router's M-worker data plane.
 //
+// Bursts are std::span<const wire::PacketView>: the caller owns the
+// buffers; workers only read the wire images in place. Classification is
+// allocation-free; the action phase hands each forwarded packet to the
+// callbacks as one pooled copy (see BorderRouter::apply_*_verdicts).
+//
 // The paper sizes the forwarding experiment on a 16-core commodity server
 // (§V-B3) and reaches line rate because every per-packet operation is
 // symmetric crypto plus two table lookups (design choice 3). This pool is
@@ -61,11 +66,11 @@ class ForwardingPool {
   /// Classifies the egress burst across all processing threads, then runs
   /// the forwarding actions (send_external) on the calling thread in burst
   /// order. Blocks until the burst is fully processed.
-  void process_outgoing(std::span<const wire::Packet> burst,
+  void process_outgoing(std::span<const wire::PacketView> burst,
                         core::ExpTime now);
 
   /// Ingress twin: transit + local delivery.
-  void process_ingress(std::span<const wire::Packet> burst, core::ExpTime now);
+  void process_ingress(std::span<const wire::PacketView> burst, core::ExpTime now);
 
   /// Per-thread stats merged on read (classification drops from every
   /// worker slot + action-phase forward/deliver/transit counters).
@@ -75,7 +80,7 @@ class ForwardingPool {
   std::size_t threads() const { return cfg_.threads; }
 
  private:
-  void process_burst(std::span<const wire::Packet> burst, core::ExpTime now,
+  void process_burst(std::span<const wire::PacketView> burst, core::ExpTime now,
                      bool ingress);
   void worker_main(std::size_t slot);
   /// Claims and classifies chunks until the current burst is exhausted.
@@ -97,7 +102,7 @@ class ForwardingPool {
   mutable std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const wire::Packet* burst_ = nullptr;
+  const wire::PacketView* burst_ = nullptr;
   std::size_t burst_n_ = 0;
   BorderRouter::Verdict* verdicts_ = nullptr;
   core::ExpTime now_ = 0;

@@ -7,8 +7,9 @@ namespace apna::services {
 
 Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
                                           core::ExpTime now) {
-  // Parse the offending packet first — everything hinges on it.
-  auto pkt = wire::Packet::parse(req.offending_packet);
+  // Bind the offending packet's wire image first — everything hinges on
+  // it. Zero-copy: all later field reads go through the view.
+  auto pkt = wire::PacketView::bind(req.offending_packet);
   if (!pkt) {
     ++stats_.rejected_malformed;
     return Result<void>(Errc::malformed, "offending packet unparseable");
@@ -37,13 +38,13 @@ Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
   // to initiate a shutoff request"), or — §VIII-C extension — an on-path
   // AS whose AID the packet's path stamp records.
   core::EphId pkt_dst;
-  pkt_dst.bytes = pkt->dst_ephid;
+  pkt_dst.bytes = pkt->dst_ephid();
   const bool is_recipient =
-      pkt_dst == req.dst_cert.ephid && pkt->dst_aid == req.dst_cert.aid;
+      pkt_dst == req.dst_cert.ephid && pkt->dst_aid() == req.dst_cert.aid;
   bool is_onpath = false;
   if (!is_recipient && req.dst_cert.service() && pkt->has_path_stamp()) {
-    for (const auto aid : pkt->path_stamp) {
-      if (aid == req.dst_cert.aid) {
+    for (std::size_t i = 0; i < pkt->path_stamp_count(); ++i) {
+      if (pkt->path_stamp_at(i) == req.dst_cert.aid) {
         is_onpath = true;
         break;
       }
@@ -58,7 +59,7 @@ Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
 
   // 3. (HID_S, T) = E^-1_kA(EphID_s); T ≥ now; HID_S ∈ host_info.
   core::EphId src_ephid;
-  src_ephid.bytes = pkt->src_ephid;
+  src_ephid.bytes = pkt->src_ephid();
   auto plain = as_.codec.open(src_ephid);
   if (!plain) {
     ++stats_.rejected_not_our_host;
@@ -147,20 +148,22 @@ Result<void> AccountabilityAgent::process_revoke(
 }
 
 core::ShutoffRequest AccountabilityAgent::make_onpath_request(
-    const wire::Packet& observed) const {
+    const wire::PacketView& observed) const {
   core::ShutoffRequest req;
-  req.offending_packet = observed.serialize();
+  req.offending_packet.assign(observed.bytes().begin(),
+                              observed.bytes().end());
   req.sig = ident_.kp.sign(req.offending_packet);
   req.dst_cert = ident_.cert;  // a kCertService certificate
   return req;
 }
 
-Result<wire::Packet> AccountabilityAgent::handle_packet(
-    const wire::Packet& pkt) {
-  if (pkt.proto != wire::NextProto::shutoff)
-    return Result<wire::Packet>(Errc::malformed, "AA expects shutoff packets");
+Result<wire::PacketBuf> AccountabilityAgent::handle_packet(
+    const wire::PacketView& pkt) {
+  if (pkt.proto() != wire::NextProto::shutoff)
+    return Result<wire::PacketBuf>(Errc::malformed,
+                                   "AA expects shutoff packets");
 
-  wire::Reader r(pkt.payload);
+  wire::Reader r(pkt.payload());
   auto kind = r.u8();
 
   core::ShutoffResponse resp_msg;
@@ -195,15 +198,16 @@ Result<wire::Packet> AccountabilityAgent::handle_packet(
   wire::Packet resp;
   resp.src_aid = as_.aid;
   resp.src_ephid = ident_.cert.ephid.bytes;
-  resp.dst_aid = pkt.src_aid;
-  resp.dst_ephid = pkt.src_ephid;
+  resp.dst_aid = pkt.src_aid();
+  resp.dst_ephid = pkt.src_ephid();
   resp.proto = wire::NextProto::shutoff;
   wire::Writer w(4);
   w.u8(static_cast<std::uint8_t>(core::ShutoffKind::response));
   w.raw(resp_msg.serialize());
   resp.payload = w.take();
-  core::stamp_packet_mac(*ident_.cmac, resp);
-  return resp;
+  wire::PacketBuf out = resp.seal();
+  core::stamp_packet_mac(*ident_.cmac, out);
+  return out;
 }
 
 }  // namespace apna::services

@@ -22,7 +22,7 @@
 #include "core/messages.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
-#include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::services {
 
@@ -47,7 +47,7 @@ class AccountabilityAgent {
       : as_(as), directory_(directory), loop_(loop), ident_(std::move(ident)) {}
 
   /// Full packet path: parse request, process, build the signed response.
-  Result<wire::Packet> handle_packet(const wire::Packet& pkt);
+  Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt);
 
   /// The Fig 5 validation pipeline.
   Result<void> process(const core::ShutoffRequest& req, core::ExpTime now);
@@ -61,7 +61,7 @@ class AccountabilityAgent {
   /// is authorized at the remote agent only when the packet carries this
   /// AS's AID in its path stamp.
   core::ShutoffRequest make_onpath_request(
-      const wire::Packet& observed) const;
+      const wire::PacketView& observed) const;
 
   const core::EphIdCertificate& cert() const { return ident_.cert; }
   const ServiceIdentity& identity() const { return ident_; }

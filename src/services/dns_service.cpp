@@ -78,31 +78,33 @@ Result<Bytes> DnsService::handle_op(ByteSpan plaintext) {
   return Result<Bytes>(Errc::malformed, "unexpected DNS op");
 }
 
-wire::Packet DnsService::make_reply(const wire::Packet& req,
-                                    wire::NextProto proto,
-                                    Bytes payload) const {
+wire::PacketBuf DnsService::make_reply(const wire::PacketView& req,
+                                       wire::NextProto proto,
+                                       Bytes payload) const {
   wire::Packet resp;
   resp.src_aid = as_.aid;
   resp.src_ephid = ident_.cert.ephid.bytes;
-  resp.dst_aid = req.src_aid;
-  resp.dst_ephid = req.src_ephid;
+  resp.dst_aid = req.src_aid();
+  resp.dst_ephid = req.src_ephid();
   resp.proto = proto;
   resp.payload = std::move(payload);
-  core::stamp_packet_mac(*ident_.cmac,
-                         resp);
-  return resp;
+  wire::PacketBuf out = resp.seal();
+  core::stamp_packet_mac(*ident_.cmac, out);
+  return out;
 }
 
-Result<wire::Packet> DnsService::handle_packet(const wire::Packet& pkt) {
+Result<wire::PacketBuf> DnsService::handle_packet(
+    const wire::PacketView& pkt) {
   const core::ExpTime now = loop_.now_seconds();
 
-  if (pkt.proto == wire::NextProto::handshake) {
+  if (pkt.proto() == wire::NextProto::handshake) {
     // Handshake payloads carry a one-byte kind prefix (0 = init, 1 = resp).
-    wire::Reader hr(pkt.payload);
+    wire::Reader hr(pkt.payload());
     auto kind = hr.u8();
     if (!kind || *kind != 0) {
       ++stats_.rejected;
-      return Result<wire::Packet>(Errc::malformed, "expected handshake init");
+      return Result<wire::PacketBuf>(Errc::malformed,
+                                     "expected handshake init");
     }
     auto init = core::HandshakeInit::parse(hr.rest());
     if (!init) {
@@ -118,7 +120,7 @@ Result<wire::Packet> DnsService::handle_packet(const wire::Packet& pkt) {
       return hs.error();
     }
     core::EphId client;
-    client.bytes = pkt.src_ephid;
+    client.bytes = pkt.src_ephid();
     sessions_.erase(client);
     sessions_.emplace(client, std::move(hs->session));
     ++stats_.sessions;
@@ -129,15 +131,15 @@ Result<wire::Packet> DnsService::handle_packet(const wire::Packet& pkt) {
     return make_reply(pkt, wire::NextProto::handshake, w.take());
   }
 
-  if (pkt.proto == wire::NextProto::data) {
+  if (pkt.proto() == wire::NextProto::data) {
     core::EphId client;
-    client.bytes = pkt.src_ephid;
+    client.bytes = pkt.src_ephid();
     auto it = sessions_.find(client);
     if (it == sessions_.end()) {
       ++stats_.rejected;
-      return Result<wire::Packet>(Errc::not_found, "no session for client");
+      return Result<wire::PacketBuf>(Errc::not_found, "no session for client");
     }
-    auto pt = it->second.open(pkt.payload);
+    auto pt = it->second.open(pkt.payload());
     if (!pt) {
       ++stats_.rejected;
       return pt.error();
@@ -152,7 +154,7 @@ Result<wire::Packet> DnsService::handle_packet(const wire::Packet& pkt) {
   }
 
   ++stats_.rejected;
-  return Result<wire::Packet>(Errc::malformed, "DNS expects handshake/data");
+  return Result<wire::PacketBuf>(Errc::malformed, "DNS expects handshake/data");
 }
 
 }  // namespace apna::services

@@ -24,7 +24,7 @@
 #include "crypto/rng.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
-#include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::services {
 
@@ -78,9 +78,9 @@ class DnsService {
         ident_(std::move(ident)),
         zone_(zone) {}
 
-  /// Handshake or data packet addressed to the DNS EphID. Returns the reply
-  /// packet (handshake response, or a sealed DnsResponse/status frame).
-  Result<wire::Packet> handle_packet(const wire::Packet& pkt);
+  /// Handshake or data packet addressed to the DNS EphID. Returns the
+  /// sealed reply (handshake response, or a DnsResponse/status frame).
+  Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt);
 
   /// Signs a record under the DNS service key (DNSSEC stand-in).
   core::DnsRecord sign_record(const std::string& name,
@@ -99,8 +99,8 @@ class DnsService {
   const Stats& stats() const { return stats_; }
 
  private:
-  wire::Packet make_reply(const wire::Packet& req, wire::NextProto proto,
-                          Bytes payload) const;
+  wire::PacketBuf make_reply(const wire::PacketView& req,
+                             wire::NextProto proto, Bytes payload) const;
   Result<Bytes> handle_op(ByteSpan plaintext);
 
   core::AsState& as_;

@@ -67,25 +67,27 @@ Result<Bytes> ManagementService::issue_sealed(const core::EphId& ctrl_ephid,
   return sealed;
 }
 
-Result<wire::Packet> ManagementService::handle_packet(const wire::Packet& req) {
-  if (req.proto != wire::NextProto::control)
-    return Result<wire::Packet>(Errc::malformed, "MS expects control packets");
+Result<wire::PacketBuf> ManagementService::handle_packet(
+    const wire::PacketView& req) {
+  if (req.proto() != wire::NextProto::control)
+    return Result<wire::PacketBuf>(Errc::malformed,
+                                   "MS expects control packets");
 
   core::EphId ctrl;
-  ctrl.bytes = req.src_ephid;
-  auto sealed = issue_sealed(ctrl, req.payload, loop_.now_seconds(), rng_);
+  ctrl.bytes = req.src_ephid();
+  auto sealed = issue_sealed(ctrl, req.payload(), loop_.now_seconds(), rng_);
   if (!sealed) return sealed.error();
 
   wire::Packet resp;
   resp.src_aid = as_.aid;
   resp.src_ephid = ident_.cert.ephid.bytes;
-  resp.dst_aid = req.src_aid;
-  resp.dst_ephid = req.src_ephid;
+  resp.dst_aid = req.src_aid();
+  resp.dst_ephid = req.src_ephid();
   resp.proto = wire::NextProto::control;
   resp.payload = sealed.take();
-  core::stamp_packet_mac(*ident_.cmac,
-                         resp);
-  return resp;
+  wire::PacketBuf out = resp.seal();
+  core::stamp_packet_mac(*ident_.cmac, out);
+  return out;
 }
 
 }  // namespace apna::services

@@ -18,7 +18,7 @@
 #include "crypto/rng.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
-#include "wire/apna_header.h"
+#include "wire/packet_buf.h"
 
 namespace apna::services {
 
@@ -59,9 +59,10 @@ class ManagementService {
                     ServiceIdentity ident)
       : ManagementService(as, loop, rng, std::move(ident), LifetimePolicy()) {}
 
-  /// Full packet path: parse, validate, issue, build the response packet
-  /// (src = EphID_ms, dst = the requesting control EphID, MAC stamped).
-  Result<wire::Packet> handle_packet(const wire::Packet& req);
+  /// Full packet path: validate the request in place, issue, build and
+  /// seal the response packet (src = EphID_ms, dst = the requesting
+  /// control EphID, MAC stamped on the wire image).
+  Result<wire::PacketBuf> handle_packet(const wire::PacketView& req);
 
   /// The server side of Fig 3 for one request: everything except transport.
   /// Thread-safe; used concurrently by the E1 multi-worker benchmark.

@@ -1,0 +1,38 @@
+// Global heap-allocation counting hook — the zero-copy contract's probe.
+//
+// Replaces the process-wide operator new/delete with counting versions so
+// a steady-state loop can assert "this forwarded N packets without a
+// single heap allocation". Shared by tests/alloc_count_test.cpp and
+// bench/bench_e2_forwarding.cpp so the CI test and the bench count the
+// exact same allocation set.
+//
+// Include this header in EXACTLY ONE translation unit of a binary: it
+// defines the (deliberately non-inline-replaceable) global allocation
+// functions. Not a library header — never include it from src/.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace apna::util {
+
+inline std::atomic<std::uint64_t> g_heap_allocs{0};
+
+/// Total operator-new calls in this process so far.
+inline std::uint64_t heap_alloc_count() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace apna::util
+
+void* operator new(std::size_t size) {
+  apna::util::g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

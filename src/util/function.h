@@ -1,0 +1,59 @@
+// Move-only type-erased callable.
+//
+// The zero-copy packet path moves wire::PacketBuf (a move-only buffer
+// owner) into scheduled events and handlers; std::function requires
+// copyable callables, so lambdas that capture a PacketBuf cannot be stored
+// in one. UniqueFunction is the minimal replacement: same call semantics,
+// one allocation per wrapped callable, no copy requirement. (C++23's
+// std::move_only_function makes this obsolete; this repo targets C++20.)
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace apna::util {
+
+template <typename Sig>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+ public:
+  UniqueFunction() = default;
+  UniqueFunction(std::nullptr_t) {}  // NOLINT(implicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  UniqueFunction(F&& f)  // NOLINT(implicit)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) noexcept = default;
+  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) {
+    return impl_->call(std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R call(Args&&... args) = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F fn) : f(std::move(fn)) {}
+    R call(Args&&... args) override { return f(std::forward<Args>(args)...); }
+    F f;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace apna::util

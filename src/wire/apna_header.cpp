@@ -11,13 +11,15 @@ Bytes Packet::serialize() const {
   w.raw(mac);
   w.u8(static_cast<std::uint8_t>(proto));
   w.u8(flags);
-  w.u16(static_cast<std::uint16_t>(payload.size()));
+  const std::size_t body = wire_payload_size();
+  w.u16(static_cast<std::uint16_t>(body));
   if (has_nonce()) w.u64(nonce);
   if (has_path_stamp()) {
-    w.u8(static_cast<std::uint8_t>(path_stamp.size()));
-    for (Aid aid : path_stamp) w.u32(aid);
+    const std::size_t stamps = wire_stamp_count();
+    w.u8(static_cast<std::uint8_t>(stamps));
+    for (std::size_t i = 0; i < stamps; ++i) w.u32(path_stamp[i]);
   }
-  w.raw(payload);
+  w.raw(ByteSpan(payload.data(), body));
   return w.take();
 }
 
@@ -36,7 +38,7 @@ std::size_t Packet::write_mac_preamble(
   // The path stamp (and its flag bit) are appended by routers in flight,
   // so the source MAC must not cover them (§VIII-C).
   *p++ = static_cast<std::uint8_t>(flags & ~kFlagHasPathStamp);
-  store_be16(p, static_cast<std::uint16_t>(payload.size()));
+  store_be16(p, static_cast<std::uint16_t>(wire_payload_size()));
   p += 2;
   if (has_nonce()) {
     store_be64(p, nonce);
@@ -50,10 +52,11 @@ Bytes Packet::mac_input() const {
   // packet that the source host vouches for.
   std::uint8_t preamble[kMacPreambleMax];
   const std::size_t n = write_mac_preamble(preamble);
+  const std::size_t body = wire_payload_size();
   Bytes out;
-  out.reserve(n + payload.size());
+  out.reserve(n + body);
   append(out, ByteSpan(preamble, n));
-  append(out, payload);
+  append(out, ByteSpan(payload.data(), body));
   return out;
 }
 
@@ -89,6 +92,8 @@ Result<Packet> Packet::parse(ByteSpan data) {
 
   auto flags = r.u8();
   if (!flags) return flags.error();
+  if ((*flags & ~(kFlagHasNonce | kFlagHasPathStamp)) != 0)
+    return Result<Packet>(Errc::malformed, "unknown flag bits");
   p.flags = *flags;
 
   auto len = r.u16();

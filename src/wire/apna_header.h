@@ -24,6 +24,8 @@
 
 namespace apna::wire {
 
+class PacketBuf;  // wire/packet_buf.h — the owned flat wire image
+
 /// AS identifier (4 B, "e.g., Autonomous System Number" §III-B).
 using Aid = std::uint32_t;
 
@@ -49,7 +51,17 @@ enum HeaderFlags : std::uint8_t {
   kFlagHasPathStamp = 0x02,  // on-path AID record present (§VIII-C)
 };
 
-/// The parsed APNA packet: fixed header + extension + payload.
+/// The owned APNA packet BUILDER: fixed header + extension + payload as
+/// separate fields. Construction-side code (hosts and services assembling
+/// control messages, tests) fills a Packet and calls seal() to produce the
+/// contiguous wire::PacketBuf every transport/forwarding API consumes;
+/// wire::PacketView::to_owned() is the matching (audited) reverse copy.
+/// The data plane never traffics in this type.
+///
+/// Builder contract: payload fits a u16 length and the path stamp fits a
+/// u8 count. serialize()/seal() clamp both so the emitted image is always
+/// self-consistent (parse/bind accept it); staying within the limits is
+/// the caller's job (the 1518 B link MTU keeps real traffic far below).
 ///
 /// The optional path stamp is the §VIII-C extension ("there are proposals
 /// to encode the forwarding paths into the packets ... the list of
@@ -81,15 +93,29 @@ struct Packet {
     flags |= kFlagHasPathStamp;
   }
 
-  /// Serialized wire size.
+  /// Payload byte count as emitted on the wire (clamped to the u16 length
+  /// field; see the builder contract above).
+  std::size_t wire_payload_size() const {
+    return payload.size() > 0xFFFF ? 0xFFFF : payload.size();
+  }
+  /// Path-stamp entry count as emitted on the wire (clamped to u8).
+  std::size_t wire_stamp_count() const {
+    return path_stamp.size() > 0xFF ? 0xFF : path_stamp.size();
+  }
+
+  /// Serialized wire size. Always equals serialize().size().
   std::size_t wire_size() const {
     return kApnaHeaderSize + 4 + (has_nonce() ? 8 : 0) +
-           (has_path_stamp() ? 1 + 4 * path_stamp.size() : 0) +
-           payload.size();
+           (has_path_stamp() ? 1 + 4 * wire_stamp_count() : 0) +
+           wire_payload_size();
   }
 
   /// Full wire encoding (header ‖ ext ‖ payload).
   Bytes serialize() const;
+
+  /// Serializes into a pooled contiguous buffer — the (audited) bridge from
+  /// the builder to the zero-copy types of wire/packet_buf.h.
+  PacketBuf seal() const;
 
   /// Bytes covered by the per-packet source MAC: everything except the MAC
   /// field itself (§IV-D2 — the host MACs the packet it injects).

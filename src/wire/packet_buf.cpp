@@ -1,0 +1,240 @@
+#include "wire/packet_buf.h"
+
+namespace apna::wire {
+
+CopyAudit& copy_audit() {
+  thread_local CopyAudit audit;
+  return audit;
+}
+
+// ---- PacketView -------------------------------------------------------------
+
+Result<PacketView> PacketView::bind(ByteSpan data) {
+  if (data.size() < kMinWireSize)
+    return Result<PacketView>(Errc::malformed, "short packet");
+
+  const std::uint8_t proto = data[kOffProto];
+  if (proto > static_cast<std::uint8_t>(NextProto::shutoff))
+    return Result<PacketView>(Errc::malformed, "unknown next-proto");
+  const std::uint8_t flags = data[kOffFlags];
+  if ((flags & ~kKnownFlagsMask) != 0)
+    return Result<PacketView>(Errc::malformed, "unknown flag bits");
+
+  std::size_t off = kOffExt;
+  if ((flags & kFlagHasNonce) != 0) {
+    if (data.size() < off + 8)
+      return Result<PacketView>(Errc::malformed, "truncated nonce");
+    off += 8;
+  }
+  if ((flags & kFlagHasPathStamp) != 0) {
+    if (data.size() < off + 1)
+      return Result<PacketView>(Errc::malformed, "truncated path stamp");
+    const std::size_t count = data[off];
+    if (data.size() < off + 1 + 4 * count)
+      return Result<PacketView>(Errc::malformed, "truncated path stamp");
+    off += 1 + 4 * count;
+  }
+
+  // The extension's length field must account for every remaining byte:
+  // truncation AND trailing garbage are both malformed, exactly as in
+  // Packet::parse.
+  const std::size_t len = load_be16(data.data() + kOffPayloadLen);
+  if (data.size() != off + len)
+    return Result<PacketView>(Errc::malformed,
+                              "payload length / wire size mismatch");
+
+  PacketView v;
+  v.data_ = data.data();
+  v.size_ = static_cast<std::uint32_t>(data.size());
+  v.payload_off_ = static_cast<std::uint32_t>(off);
+  return v;
+}
+
+std::size_t PacketView::write_mac_preamble(
+    std::uint8_t out[Packet::kMacPreambleMax]) const {
+  // Header sans MAC: bytes [0, 40) verbatim.
+  std::memcpy(out, data_, kOffMac);
+  std::uint8_t* p = out + kOffMac;
+  *p++ = data_[kOffProto];
+  // The path stamp (and its flag bit) are appended by routers in flight,
+  // so the source MAC must not cover them (§VIII-C).
+  *p++ = static_cast<std::uint8_t>(flags() & ~kFlagHasPathStamp);
+  std::memcpy(p, data_ + kOffPayloadLen, 2);
+  p += 2;
+  if (has_nonce()) {
+    std::memcpy(p, data_ + kOffExt, 8);
+    p += 8;
+  }
+  return static_cast<std::size_t>(p - out);
+}
+
+Packet PacketView::to_owned() const {
+  CopyAudit& audit = copy_audit();
+  ++audit.to_owned;
+  audit.to_owned_bytes += size_;
+
+  Packet p;
+  p.src_aid = src_aid();
+  p.src_ephid = src_ephid();
+  p.dst_ephid = dst_ephid();
+  p.dst_aid = dst_aid();
+  std::memcpy(p.mac.data(), data_ + kOffMac, kMacSize);
+  p.proto = proto();
+  p.flags = flags();
+  if (has_nonce()) p.nonce = nonce();
+  if (has_path_stamp()) {
+    const std::size_t n = path_stamp_count();
+    p.path_stamp.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) p.path_stamp.push_back(path_stamp_at(i));
+  }
+  const ByteSpan body = payload();
+  p.payload.assign(body.begin(), body.end());
+  return p;
+}
+
+// ---- BufferPool -------------------------------------------------------------
+
+BufferPool& BufferPool::local() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+Bytes BufferPool::acquire(std::size_t size) {
+  if (free_.empty()) {
+    ++stats_.misses;
+    return Bytes(size);
+  }
+  Bytes buf = std::move(free_.back());
+  free_.pop_back();
+  if (buf.capacity() >= size)
+    ++stats_.hits;
+  else
+    ++stats_.misses;  // resize below reallocates
+  buf.resize(size);
+  return buf;
+}
+
+void BufferPool::release(Bytes&& buf) {
+  if (buf.capacity() == 0 || free_.size() >= kMaxRetained) return;
+  ++stats_.recycled;
+  free_.push_back(std::move(buf));
+}
+
+void BufferPool::trim() {
+  free_.clear();
+  free_.shrink_to_fit();
+}
+
+// ---- PacketBuf --------------------------------------------------------------
+
+PacketBuf::PacketBuf(Bytes buf, std::uint32_t payload_off)
+    : buf_(std::move(buf)) {
+  view_.data_ = buf_.data();
+  view_.size_ = static_cast<std::uint32_t>(buf_.size());
+  view_.payload_off_ = payload_off;
+}
+
+PacketBuf::~PacketBuf() { BufferPool::local().release(std::move(buf_)); }
+
+PacketBuf& PacketBuf::operator=(PacketBuf&& other) noexcept {
+  if (this == &other) return *this;
+  BufferPool::local().release(std::move(buf_));
+  buf_ = std::move(other.buf_);
+  view_ = other.view_;
+  other.view_ = PacketView();
+  return *this;
+}
+
+Result<void> PacketBuf::rebind() {
+  auto v = PacketView::bind(ByteSpan(buf_.data(), buf_.size()));
+  if (!v) return v.error();
+  view_ = *v;
+  return Result<void>::success();
+}
+
+Result<PacketBuf> PacketBuf::adopt(Bytes wire) {
+  auto v = PacketView::bind(wire);
+  if (!v) return v.error();
+  return PacketBuf(std::move(wire), v->payload_off_);
+}
+
+PacketBuf PacketBuf::copy_of(const PacketView& v) {
+  CopyAudit& audit = copy_audit();
+  ++audit.copies;
+  audit.copy_bytes += v.wire_size();
+
+  Bytes buf = BufferPool::local().acquire(v.wire_size());
+  std::memcpy(buf.data(), v.bytes().data(), v.wire_size());
+  return PacketBuf(std::move(buf), v.payload_off_);
+}
+
+// ---- Builder bridge ---------------------------------------------------------
+
+PacketBuf Packet::seal() const {
+  CopyAudit& audit = copy_audit();
+  ++audit.seals;
+
+  const std::size_t total = wire_size();
+  audit.seal_bytes += total;
+  Bytes buf = BufferPool::local().acquire(total);
+
+  std::uint8_t* p = buf.data();
+  store_be32(p + kOffSrcAid, src_aid);
+  std::memcpy(p + kOffSrcEphid, src_ephid.data(), 16);
+  std::memcpy(p + kOffDstEphid, dst_ephid.data(), 16);
+  store_be32(p + kOffDstAid, dst_aid);
+  std::memcpy(p + kOffMac, mac.data(), kMacSize);
+  p[kOffProto] = static_cast<std::uint8_t>(proto);
+  p[kOffFlags] = flags;
+  const std::size_t body = wire_payload_size();
+  store_be16(p + kOffPayloadLen, static_cast<std::uint16_t>(body));
+  std::size_t off = kOffExt;
+  if (has_nonce()) {
+    store_be64(p + off, nonce);
+    off += 8;
+  }
+  if (has_path_stamp()) {
+    const std::size_t stamps = wire_stamp_count();
+    p[off++] = static_cast<std::uint8_t>(stamps);
+    for (std::size_t i = 0; i < stamps; ++i) {
+      store_be32(p + off, path_stamp[i]);
+      off += 4;
+    }
+  }
+  const std::uint32_t payload_off = static_cast<std::uint32_t>(off);
+  if (body != 0) std::memcpy(p + off, payload.data(), body);
+  return PacketBuf(std::move(buf), payload_off);
+}
+
+// ---- In-flight mutation helpers ---------------------------------------------
+
+PacketBuf append_path_stamp(const PacketView& v, Aid aid) {
+  const std::size_t stamp_off = v.stamp_off();
+  const std::size_t old_count = v.path_stamp_count();
+  const bool had_stamp = v.has_path_stamp();
+  if (old_count >= 0xFF) return PacketBuf::copy_of(v);  // stamp list full
+  // Grow by one AID, plus the count byte when the stamp list is new.
+  const std::size_t grow = 4 + (had_stamp ? 0 : 1);
+  const ByteSpan src = v.bytes();
+
+  Bytes buf = BufferPool::local().acquire(src.size() + grow);
+  std::uint8_t* p = buf.data();
+  // Prefix up to (and including, when present) the existing stamp list.
+  const std::size_t prefix =
+      stamp_off + (had_stamp ? 1 + 4 * old_count : 0);
+  std::memcpy(p, src.data(), prefix);
+  std::size_t off = prefix;
+  if (!had_stamp) {
+    p[kOffFlags] = static_cast<std::uint8_t>(v.flags() | kFlagHasPathStamp);
+    p[off++] = 1;
+  } else {
+    p[stamp_off] = static_cast<std::uint8_t>(old_count + 1);
+  }
+  store_be32(p + off, aid);
+  off += 4;
+  // src[prefix..] is exactly the payload, so the new payload starts at off.
+  std::memcpy(p + off, src.data() + prefix, src.size() - prefix);
+  return PacketBuf(std::move(buf), static_cast<std::uint32_t>(off));
+}
+
+}  // namespace apna::wire

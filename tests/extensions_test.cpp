@@ -84,8 +84,9 @@ TEST(OnPathShutoff, TransitAsStampsAppearInDeliveredPackets) {
 
   std::optional<wire::Packet> at_dst;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 300 && p.proto == wire::NextProto::data) at_dst = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 300 && p.proto() == wire::NextProto::data)
+          at_dst = p.to_owned();
       });
   auto sid = a.connect(b.pool().entries().front()->cert, {},
                        [](Result<std::uint64_t>) {});
@@ -107,11 +108,11 @@ TEST(OnPathShutoff, TransitAaCanRevoke) {
 
   std::optional<wire::Packet> observed;
   w.net.network().add_tap(
-      [&](std::uint32_t from, std::uint32_t to, const wire::Packet& p) {
+      [&](std::uint32_t from, std::uint32_t to, const wire::PacketView& p) {
         // The transit AS observes the packet on its egress link (already
         // carrying both stamps).
-        if (from == 200 && to == 300 && p.proto == wire::NextProto::data)
-          observed = p;
+        if (from == 200 && to == 300 && p.proto() == wire::NextProto::data)
+          observed = p.to_owned();
       });
   auto sid = attacker.connect(victim.pool().entries().front()->cert, {},
                               [](Result<std::uint64_t>) {});
@@ -121,7 +122,8 @@ TEST(OnPathShutoff, TransitAaCanRevoke) {
   ASSERT_EQ(observed->path_stamp.size(), 2u);
 
   // The TRANSIT AS's agent files the request with the SOURCE AS's agent.
-  const auto req = w.transit->aa().make_onpath_request(*observed);
+  const wire::PacketBuf observed_buf = observed->seal();
+  const auto req = w.transit->aa().make_onpath_request(observed_buf.view());
   const auto result =
       w.src_as->aa().process(req, w.net.loop().now_seconds());
   EXPECT_TRUE(result.ok()) << errc_name(result.code());
@@ -145,8 +147,9 @@ TEST(OnPathShutoff, OffPathAsRejected) {
 
   std::optional<wire::Packet> observed;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 300 && p.proto == wire::NextProto::data) observed = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 300 && p.proto() == wire::NextProto::data)
+          observed = p.to_owned();
       });
   auto sid = attacker.connect(victim.pool().entries().front()->cert, {},
                               [](Result<std::uint64_t>) {});
@@ -154,7 +157,8 @@ TEST(OnPathShutoff, OffPathAsRejected) {
   w.net.run();
   ASSERT_TRUE(observed.has_value());
 
-  const auto req = off_path.aa().make_onpath_request(*observed);
+  const wire::PacketBuf observed_buf = observed->seal();
+  const auto req = off_path.aa().make_onpath_request(observed_buf.view());
   EXPECT_EQ(w.src_as->aa().process(req, w.net.loop().now_seconds()).code(),
             Errc::unauthorized);
 }
@@ -172,8 +176,9 @@ TEST(OnPathShutoff, HostCannotForgeStampAuthorization) {
 
   std::optional<wire::Packet> observed;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 300 && p.proto == wire::NextProto::data) observed = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 300 && p.proto() == wire::NextProto::data)
+          observed = p.to_owned();
       });
   auto sid = attacker.connect(victim.pool().entries().front()->cert, {},
                               [](Result<std::uint64_t>) {});
@@ -432,9 +437,9 @@ TEST(InNetworkReplay, EgressFiltersReplayedPackets) {
 
   std::optional<wire::Packet> captured;
   net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 300 && p.proto == wire::NextProto::data && !captured)
-          captured = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 300 && p.proto() == wire::NextProto::data && !captured)
+          captured = p.to_owned();
       });
   auto sid = a.connect(b.pool().entries().front()->cert, {},
                        [](Result<std::uint64_t>) {});
@@ -445,7 +450,7 @@ TEST(InNetworkReplay, EgressFiltersReplayedPackets) {
   // An attacker inside AS A replays the captured packet toward the egress
   // BR: the in-network filter kills it BEFORE it leaves the AS.
   const auto transmitted_before = net.network().stats().transmitted;
-  as_a.br().on_outgoing(*captured);
+  as_a.br().on_outgoing(captured->seal());
   net.run();
   EXPECT_EQ(as_a.br().stats().drop_replayed, 1u);
   EXPECT_EQ(net.network().stats().transmitted, transmitted_before);

@@ -62,7 +62,7 @@ TEST(Fabric, MsIgnoresNonControlPackets) {
   pkt.dst_ephid = w.as_a->ms().cert().ephid.bytes;
   pkt.proto = wire::NextProto::data;
   pkt.payload = to_bytes("nonsense");
-  auto resp = w.as_a->ms().handle_packet(pkt);
+  auto resp = w.as_a->ms().handle_packet(pkt.seal().view());
   EXPECT_FALSE(resp.ok());
   EXPECT_EQ(resp.code(), Errc::malformed);
 }
@@ -74,9 +74,10 @@ TEST(Fabric, AaRejectsUnknownShutoffKind) {
   pkt.dst_aid = 100;
   pkt.proto = wire::NextProto::shutoff;
   pkt.payload = {0x77, 0x01, 0x02};  // bogus kind
-  auto resp = w.as_a->aa().handle_packet(pkt);
+  const wire::PacketBuf sealed = pkt.seal();
+  auto resp = w.as_a->aa().handle_packet(sealed.view());
   ASSERT_TRUE(resp.ok());  // the AA answers with a status, not silence
-  wire::Reader r(resp->payload);
+  wire::Reader r(resp->view().payload());
   EXPECT_EQ(r.u8().value(),
             static_cast<std::uint8_t>(core::ShutoffKind::response));
   auto status = core::ShutoffResponse::parse(r.rest());
@@ -123,7 +124,7 @@ TEST(Fabric, CrossAsControlPacketCannotReachForeignMs) {
   pkt.proto = wire::NextProto::control;
   pkt.payload = to_bytes("opaque");
   const auto issued_before = w.as_a->ms().stats().issued.load();
-  auto resp = w.as_a->ms().handle_packet(pkt);
+  auto resp = w.as_a->ms().handle_packet(pkt.seal().view());
   EXPECT_FALSE(resp.ok());
   EXPECT_EQ(w.as_a->ms().stats().issued.load(), issued_before);
 }

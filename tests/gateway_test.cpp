@@ -132,7 +132,7 @@ TEST(NatAp, SpoofingInnerHostDropped) {
   rng.fill(MutByteSpan(forged.mac.data(), 8));
 
   const auto egress_before = w.as_a->br().stats().forwarded_out;
-  ap.inject_inner(forged);
+  ap.inject_inner(forged.seal());
   w.net.run();
   EXPECT_EQ(ap.stats().drop_bad_inner_mac, 1u);
   EXPECT_EQ(ap.stats().inner_out, 0u);
@@ -141,7 +141,7 @@ TEST(NatAp, SpoofingInnerHostDropped) {
   // An EphID never issued through this AP is dropped as unknown.
   wire::Packet alien = forged;
   rng.fill(MutByteSpan(alien.src_ephid.data(), 16));
-  ap.inject_inner(alien);
+  ap.inject_inner(alien.seal());
   w.net.run();
   EXPECT_EQ(ap.stats().drop_unknown_ephid, 1u);
   (void)evil;
@@ -161,23 +161,25 @@ TEST(NatAp, BurstUplinkMatchesScalarVerdicts) {
   ASSERT_TRUE(provision_ephids(server, w.net.loop(), 1).ok());
 
   // Capture the honest host's (inner-MAC'd) uplink frames instead of
-  // delivering them, then re-inject them as one burst.
-  std::vector<wire::Packet> burst;
-  honest.set_uplink([&](const wire::Packet& p) { burst.push_back(p); });
+  // delivering them, then re-inject them as one burst of views.
+  std::vector<wire::PacketBuf> bufs;
+  honest.set_uplink([&](wire::PacketBuf p) { bufs.push_back(std::move(p)); });
   ASSERT_TRUE(honest
                   .connect(server.pool().entries().front()->cert, {},
                            [](Result<std::uint64_t>) {})
                   .ok());
-  ASSERT_FALSE(burst.empty());
-  const std::size_t valid = burst.size();
+  ASSERT_FALSE(bufs.empty());
+  const std::size_t valid = bufs.size();
 
-  wire::Packet forged = burst.front();
+  wire::Packet forged = bufs.front().view().to_owned();
   forged.mac[0] ^= 1;  // breaks the inner MAC
-  wire::Packet alien = burst.front();
+  wire::Packet alien = bufs.front().view().to_owned();
   crypto::ChaChaRng rng(2);
   rng.fill(MutByteSpan(alien.src_ephid.data(), 16));  // never issued here
-  burst.push_back(forged);
-  burst.push_back(alien);
+  bufs.push_back(forged.seal());
+  bufs.push_back(alien.seal());
+  std::vector<wire::PacketView> burst;
+  for (const auto& b : bufs) burst.push_back(b.view());
 
   const auto egress_before = w.as_a->br().stats().forwarded_out;
   ap.inject_inner_burst(burst);

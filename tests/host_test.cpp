@@ -335,10 +335,10 @@ TEST(HostStack, GranularityPoliciesVisibleOnWire) {
 
     std::set<std::string> srcs;
     net.network().add_tap([&](std::uint32_t from, std::uint32_t,
-                              const wire::Packet& p) {
+                              const wire::PacketView& p) {
       if (from != 100) return;
       core::EphId e;
-      e.bytes = p.src_ephid;
+      e.bytes = p.src_ephid();
       srcs.insert(e.hex());
     });
     auto s1 = a.connect(b1.pool().entries().front()->cert, {},
@@ -366,7 +366,8 @@ TEST(HostStack, ShutoffRequiresOwnedDestinationEphId) {
   crypto::ChaChaRng rng(5);
   rng.fill(MutByteSpan(not_for_us.dst_ephid.data(), 16));
   not_for_us.src_aid = 300;
-  auto r = a.request_shutoff(not_for_us, [](Result<void>) {});
+  const wire::PacketBuf sealed = not_for_us.seal();
+  auto r = a.request_shutoff(sealed.view(), [](Result<void>) {});
   EXPECT_EQ(r.code(), Errc::unauthorized);
 }
 
@@ -407,10 +408,10 @@ TEST(HostStack, NoZeroRttWithoutOptIn) {
   // Observe destination EphIDs of client data packets on the wire.
   std::vector<core::EphId> data_dsts;
   w.net.network().add_tap(
-      [&](std::uint32_t from, std::uint32_t, const wire::Packet& p) {
-        if (from == 100 && p.proto == wire::NextProto::data) {
+      [&](std::uint32_t from, std::uint32_t, const wire::PacketView& p) {
+        if (from == 100 && p.proto() == wire::NextProto::data) {
           core::EphId d;
-          d.bytes = p.dst_ephid;
+          d.bytes = p.dst_ephid();
           data_dsts.push_back(d);
         }
       });
@@ -445,13 +446,15 @@ TEST(HostStack, ShutoffWorksForReceiveOnlyVictimEphId) {
   for (const auto& e : victim.pool().entries())
     if (e->receive_only()) ro = &e->cert;
 
-  std::optional<wire::Packet> evidence;
+  std::optional<wire::PacketBuf> evidence;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
         core::EphId d;
-        d.bytes = p.dst_ephid;
-        if (to == 300 && p.proto == wire::NextProto::data && d == ro->ephid)
-          evidence = p;
+        d.bytes = p.dst_ephid();
+        // The tap's view dies with the call — taking evidence off the wire
+        // is an explicit copy.
+        if (to == 300 && p.proto() == wire::NextProto::data && d == ro->ephid)
+          evidence = wire::PacketBuf::copy_of(p);
       });
 
   // 0-RTT flood straight at the receive-only EphID.
@@ -464,14 +467,14 @@ TEST(HostStack, ShutoffWorksForReceiveOnlyVictimEphId) {
   ASSERT_TRUE(evidence.has_value());
 
   std::optional<Result<void>> result;
-  ASSERT_TRUE(victim.request_shutoff(*evidence, [&](Result<void> r) {
+  ASSERT_TRUE(victim.request_shutoff(evidence->view(), [&](Result<void> r) {
     result = std::move(r);
   }).ok());
   w.net.run();
   ASSERT_TRUE(result.has_value());
   EXPECT_TRUE(result->ok());
   core::EphId bot_src;
-  bot_src.bytes = evidence->src_ephid;
+  bot_src.bytes = evidence->view().src_ephid();
   EXPECT_TRUE(w.as_a->state().revoked.is_revoked(bot_src));
 }
 
@@ -491,10 +494,10 @@ TEST(HostStack, UnsolicitedDataRecordedForShutoff) {
   junk.dst_ephid = b.pool().entries().front()->cert.ephid.bytes;
   junk.proto = wire::NextProto::data;
   junk.payload = to_bytes("garbage");
-  b.on_packet(junk);
+  b.on_packet(junk.seal());
   EXPECT_EQ(b.stats().unsolicited, 1u);
   ASSERT_TRUE(b.last_unsolicited().has_value());
-  EXPECT_EQ(to_string(b.last_unsolicited()->payload), "garbage");
+  EXPECT_EQ(to_string(b.last_unsolicited()->view().payload()), "garbage");
 }
 
 }  // namespace

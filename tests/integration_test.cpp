@@ -206,17 +206,18 @@ TEST(Integration, ShutoffEndToEnd) {
   auto eph = attacker.session_ephids(*sid);
   ASSERT_TRUE(eph.has_value());
   // Send one more packet and capture it at the victim via a tap.
-  std::optional<wire::Packet> evidence;
+  std::optional<wire::PacketBuf> evidence;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 300 && p.proto == wire::NextProto::data) evidence = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 300 && p.proto() == wire::NextProto::data)
+          evidence = wire::PacketBuf::copy_of(p);
       });
   ASSERT_TRUE(attacker.send_data(*sid, to_bytes("flood-more")).ok());
   w.net.run();
   ASSERT_TRUE(evidence.has_value());
 
   std::optional<Result<void>> shutoff_result;
-  ASSERT_TRUE(victim.request_shutoff(*evidence, [&](Result<void> r) {
+  ASSERT_TRUE(victim.request_shutoff(evidence->view(), [&](Result<void> r) {
     shutoff_result = std::move(r);
   }).ok());
   w.net.run();
@@ -259,18 +260,19 @@ TEST(Integration, ShutoffDoesNotAffectOtherFlows) {
   EXPECT_FALSE(e1->first == e2->first);
 
   // Victim shuts off flow 1 only.
-  std::optional<wire::Packet> evidence;
+  std::optional<wire::PacketBuf> evidence;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
         core::EphId src_e;
-        src_e.bytes = p.src_ephid;
-        if (to == 300 && src_e == e1->first) evidence = p;
+        src_e.bytes = p.src_ephid();
+        if (to == 300 && src_e == e1->first)
+          evidence = wire::PacketBuf::copy_of(p);
       });
   ASSERT_TRUE(src.send_data(*s1, to_bytes("x")).ok());
   w.net.run();
   ASSERT_TRUE(evidence.has_value());
   bool ok = false;
-  ASSERT_TRUE(dst.request_shutoff(*evidence,
+  ASSERT_TRUE(dst.request_shutoff(evidence->view(),
                                   [&](Result<void> r) { ok = r.ok(); }).ok());
   w.net.run();
   ASSERT_TRUE(ok);
@@ -295,11 +297,11 @@ TEST(Integration, ReplayedDataPacketDiscarded) {
   int frames = 0;
   bob.set_data_handler([&](std::uint64_t, ByteSpan) { ++frames; });
 
-  std::optional<wire::Packet> captured;
+  std::optional<wire::PacketBuf> captured;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t to, const wire::Packet& p) {
-        if (to == 300 && p.proto == wire::NextProto::data && !captured)
-          captured = p;
+      [&](std::uint32_t, std::uint32_t to, const wire::PacketView& p) {
+        if (to == 300 && p.proto() == wire::NextProto::data && !captured)
+          captured = wire::PacketBuf::copy_of(p);
       });
 
   auto sid = alice.connect(bob.pool().entries().front()->cert, {},
@@ -312,7 +314,7 @@ TEST(Integration, ReplayedDataPacketDiscarded) {
 
   // Replay the captured packet into AS B's border router.
   const auto replays_before = bob.stats().replay_drops;
-  w.as_b->br().on_ingress(*captured);
+  w.as_b->br().on_ingress(std::move(*captured));
   w.net.run();
   EXPECT_EQ(frames, 1);  // not delivered twice
   EXPECT_EQ(bob.stats().replay_drops, replays_before + 1);
@@ -332,8 +334,8 @@ TEST(Integration, SenderFlowUnlinkabilityAgainstObserver) {
 
   std::vector<wire::Packet> observed;
   w.net.network().add_tap(
-      [&](std::uint32_t from, std::uint32_t, const wire::Packet& p) {
-        if (from == 100) observed.push_back(p);  // all of AS A's egress
+      [&](std::uint32_t from, std::uint32_t, const wire::PacketView& p) {
+        if (from == 100) observed.push_back(p.to_owned());  // AS A's egress
       });
 
   auto s1 = alice.connect(bob.pool().entries().front()->cert, {},
@@ -369,10 +371,10 @@ TEST(Integration, EveryDeliveredPacketIsAttributable) {
   ASSERT_TRUE(provision_ephids(alice, w.net.loop(), 2).ok());
   ASSERT_TRUE(provision_ephids(bob, w.net.loop(), 1).ok());
 
-  std::vector<wire::Packet> egress;
+  std::vector<wire::PacketBuf> egress;
   w.net.network().add_tap(
-      [&](std::uint32_t from, std::uint32_t, const wire::Packet& p) {
-        if (from == 100) egress.push_back(p);
+      [&](std::uint32_t from, std::uint32_t, const wire::PacketView& p) {
+        if (from == 100) egress.push_back(wire::PacketBuf::copy_of(p));
       });
 
   auto sid = alice.connect(bob.pool().entries().front()->cert, {},
@@ -382,9 +384,10 @@ TEST(Integration, EveryDeliveredPacketIsAttributable) {
   w.net.run();
 
   ASSERT_FALSE(egress.empty());
-  for (const auto& p : egress) {
+  for (const auto& buf : egress) {
+    const wire::PacketView& p = buf.view();
     core::EphId e;
-    e.bytes = p.src_ephid;
+    e.bytes = p.src_ephid();
     auto plain = w.as_a->state().codec.open(e);
     ASSERT_TRUE(plain.ok());
     EXPECT_EQ(plain->hid, alice.hid());
@@ -447,8 +450,8 @@ TEST(Integration, PacketsAreEncryptedOnTheWire) {
   const std::string secret = "EXTREMELY-SECRET-PAYLOAD-0xDEADBEEF";
   std::vector<Bytes> wire_payloads;
   w.net.network().add_tap(
-      [&](std::uint32_t, std::uint32_t, const wire::Packet& p) {
-        wire_payloads.push_back(p.serialize());
+      [&](std::uint32_t, std::uint32_t, const wire::PacketView& p) {
+        wire_payloads.emplace_back(p.bytes().begin(), p.bytes().end());
       });
 
   host::Host::ConnectOptions opts;

@@ -91,12 +91,12 @@ TEST(Topology, CacheInvalidatedByNewLinks) {
   EXPECT_EQ(t.next_hop(1, 3).value(), 3u);
 }
 
-wire::Packet packet_to(std::uint32_t dst_aid) {
+wire::PacketBuf packet_to(std::uint32_t dst_aid) {
   wire::Packet p;
   p.src_aid = 1;
   p.dst_aid = dst_aid;
   p.payload = to_bytes("x");
-  return p;
+  return p.seal();
 }
 
 TEST(InterAsNetwork, DeliversWithLinkLatency) {
@@ -107,8 +107,8 @@ TEST(InterAsNetwork, DeliversWithLinkLatency) {
 
   std::uint32_t got = 0;
   TimeUs at = 0;
-  net.register_border_router(2, [&](const wire::Packet& p) {
-    got = p.dst_aid;
+  net.register_border_router(2, [&](wire::PacketBuf p) {
+    got = p.view().dst_aid();
     at = loop.now();
   });
   EXPECT_TRUE(net.send(1, 2, packet_to(2)).ok());
@@ -124,7 +124,7 @@ TEST(InterAsNetwork, RejectsNonAdjacentSend) {
   topo.add_link(1, 2, 10);
   topo.add_link(2, 3, 10);
   InterAsNetwork net(loop, topo);
-  net.register_border_router(3, [](const wire::Packet&) {});
+  net.register_border_router(3, [](wire::PacketBuf) {});
   EXPECT_EQ(net.send(1, 3, packet_to(3)).code(), Errc::no_route);
 }
 
@@ -134,14 +134,49 @@ TEST(InterAsNetwork, TapsObserveAllTraffic) {
   Topology topo;
   topo.add_link(1, 2, 10);
   InterAsNetwork net(loop, topo);
-  net.register_border_router(2, [](const wire::Packet&) {});
+  net.register_border_router(2, [](wire::PacketBuf) {});
   std::size_t observed = 0;
-  net.add_tap([&](std::uint32_t, std::uint32_t, const wire::Packet&) {
+  net.add_tap([&](std::uint32_t, std::uint32_t, const wire::PacketView&) {
     ++observed;
   });
   for (int i = 0; i < 5; ++i) (void)net.send(1, 2, packet_to(2));
   loop.run();
   EXPECT_EQ(observed, 5u);
+}
+
+TEST(InterAsNetwork, ReregistrationWhilePacketInFlight) {
+  // Regression: send() used to capture a reference to the handler map
+  // entry; a register_border_router() between schedule and delivery
+  // (overwrite, or a rehash from new registrations) invalidated it.
+  // Handlers are now resolved at delivery time.
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 10);
+  InterAsNetwork net(loop, topo);
+  int old_handler = 0, new_handler = 0;
+  net.register_border_router(2, [&](wire::PacketBuf) { ++old_handler; });
+  EXPECT_TRUE(net.send(1, 2, packet_to(2)).ok());
+  // Overwrite the in-flight packet's handler and force a rehash.
+  net.register_border_router(2, [&](wire::PacketBuf) { ++new_handler; });
+  for (std::uint32_t aid = 100; aid < 164; ++aid)
+    net.register_border_router(aid, [](wire::PacketBuf) {});
+  loop.run();
+  EXPECT_EQ(old_handler, 0);
+  EXPECT_EQ(new_handler, 1);
+}
+
+TEST(IntraSwitch, DetachWhilePacketInFlight) {
+  // The same delivery-time-lookup rule on the intra-AS switch: a port
+  // detached during the hop latency silently absorbs the packet instead
+  // of dereferencing a dangling handler.
+  EventLoop loop;
+  IntraSwitch sw(loop, 5);
+  int delivered = 0;
+  sw.attach(9, [&](wire::PacketBuf) { ++delivered; });
+  EXPECT_TRUE(sw.deliver(9, packet_to(1)).ok());
+  sw.detach(9);
+  loop.run();
+  EXPECT_EQ(delivered, 0);
 }
 
 TEST(InterAsNetwork, DropInjection) {
@@ -150,7 +185,7 @@ TEST(InterAsNetwork, DropInjection) {
   topo.add_link(1, 2, 10);
   InterAsNetwork net(loop, topo);
   std::size_t delivered = 0;
-  net.register_border_router(2, [&](const wire::Packet&) { ++delivered; });
+  net.register_border_router(2, [&](wire::PacketBuf) { ++delivered; });
   int countdown = 0;
   FaultModel f;
   f.coin = [&] { return (++countdown % 2) == 0; };  // drop every 2nd
@@ -167,15 +202,47 @@ TEST(InterAsNetwork, TamperInjection) {
   topo.add_link(1, 2, 10);
   InterAsNetwork net(loop, topo);
   Bytes seen;
-  net.register_border_router(2, [&](const wire::Packet& p) {
-    seen = p.payload;
+  net.register_border_router(2, [&](wire::PacketBuf p) {
+    const ByteSpan body = p.view().payload();
+    seen.assign(body.begin(), body.end());
   });
   FaultModel f;
-  f.tamper = [](wire::Packet& p) { p.payload[0] ^= 0xff; };
+  f.tamper = [](wire::PacketBuf& p) {
+    // Bit-flip the first payload byte in the wire image.
+    const std::size_t off = p.view().payload().data() - p.view().bytes().data();
+    p.mutable_bytes()[off] ^= 0xff;
+  };
   net.set_faults(std::move(f));
   (void)net.send(1, 2, packet_to(2));
   loop.run();
   EXPECT_EQ(seen[0], 'x' ^ 0xff);
+}
+
+TEST(InterAsNetwork, StructuralTamperDiesOnTheWire) {
+  // A tamper that flips a FLAG bit changes the wire layout. The fabric
+  // re-binds after tamper: if the image no longer parses, the frame is
+  // dropped like any corrupt frame — the receiver's view can never read
+  // past the buffer (regression for the view-desync hazard).
+  EventLoop loop;
+  Topology topo;
+  topo.add_link(1, 2, 10);
+  InterAsNetwork net(loop, topo);
+  std::size_t delivered = 0;
+  net.register_border_router(2, [&](wire::PacketBuf p) {
+    ++delivered;
+    // Whatever arrives must be self-consistent.
+    EXPECT_EQ(p.view().wire_size(), p.view().bytes().size());
+  });
+  FaultModel f;
+  f.tamper = [](wire::PacketBuf& p) {
+    // Claim a nonce extension that the 1-byte-payload image cannot hold.
+    p.mutable_bytes()[wire::kOffFlags] ^= wire::kFlagHasNonce;
+  };
+  net.set_faults(std::move(f));
+  (void)net.send(1, 2, packet_to(2));
+  loop.run();
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(net.stats().dropped, 1u);
 }
 
 TEST(IntraSwitch, DeliversByHidWithHopLatency) {
@@ -183,7 +250,7 @@ TEST(IntraSwitch, DeliversByHidWithHopLatency) {
   IntraSwitch sw(loop, 77);
   std::uint32_t got = 0;
   TimeUs at = 0;
-  sw.attach(42, [&](const wire::Packet&) {
+  sw.attach(42, [&](wire::PacketBuf) {
     got = 42;
     at = loop.now();
   });
@@ -198,7 +265,7 @@ TEST(IntraSwitch, DeliversByHidWithHopLatency) {
 TEST(IntraSwitch, DetachStopsDelivery) {
   EventLoop loop;
   IntraSwitch sw(loop, 1);
-  sw.attach(7, [](const wire::Packet&) {});
+  sw.attach(7, [](wire::PacketBuf) {});
   EXPECT_TRUE(sw.attached(7));
   sw.detach(7);
   EXPECT_FALSE(sw.attached(7));

@@ -1,4 +1,5 @@
-// Concurrency coverage for the sharded multi-threaded data plane:
+// Concurrency coverage for the sharded multi-threaded data plane, running
+// entirely over the zero-copy wire images (wire::PacketView bursts):
 //  * TSan-targeted stress — M threads hammering check_outgoing /
 //    check_incoming against the lock-striped AS state while a writer
 //    revokes EphIDs/HIDs, churns host_info and purges expired entries;
@@ -47,10 +48,8 @@ struct ConcurrencyFixture {
 
   std::unique_ptr<BorderRouter> make_router(BorderRouter::Config cfg = {}) {
     BorderRouter::Callbacks cb;
-    cb.send_external = [](const wire::Packet&) {
-      return Result<void>::success();
-    };
-    cb.deliver_internal = [](core::Hid, const wire::Packet&) {
+    cb.send_external = [](wire::PacketBuf) { return Result<void>::success(); };
+    cb.deliver_internal = [](core::Hid, wire::PacketBuf) {
       return Result<void>::success();
     };
     cb.now = [this] { return now; };
@@ -82,6 +81,23 @@ struct ConcurrencyFixture {
   }
 };
 
+/// Seals a builder burst into pooled buffers + the view span the fast path
+/// consumes. Views stay valid across bufs growth (vector moves the
+/// PacketBuf, which keeps its heap storage — and thus the view — stable).
+struct SealedBurst {
+  std::vector<wire::PacketBuf> bufs;
+  std::vector<wire::PacketView> views;
+
+  SealedBurst() = default;
+  explicit SealedBurst(const std::vector<wire::Packet>& pkts) {
+    for (const auto& p : pkts) push(p);
+  }
+  void push(const wire::Packet& p) {
+    bufs.push_back(p.seal());
+    views.push_back(bufs.back().view());
+  }
+};
+
 // ---- Sharded state under concurrent readers + writers ------------------------
 
 TEST(ShardedState, ConcurrentChecksWithRevocations) {
@@ -92,14 +108,14 @@ TEST(ShardedState, ConcurrentChecksWithRevocations) {
   // pass on every iteration. Hosts (kStable, kHosts] get their EphIDs
   // revoked / HIDs erased mid-flight: every legal outcome is accepted.
   constexpr core::Hid kStable = kHosts / 2;
-  std::vector<wire::Packet> out_pkts;
-  std::vector<wire::Packet> in_pkts;
+  SealedBurst out_pkts;
+  SealedBurst in_pkts;
   std::vector<core::EphId> ephids;
   for (core::Hid hid = 1; hid <= kHosts; ++hid) {
     const auto eph = f.as.codec.issue(hid, f.now + 900, f.rng);
     ephids.push_back(eph);
-    out_pkts.push_back(f.outgoing_packet(hid, eph));
-    in_pkts.push_back(f.incoming_packet(eph));
+    out_pkts.push(f.outgoing_packet(hid, eph));
+    in_pkts.push(f.incoming_packet(eph));
   }
 
   constexpr int kIters = 4000;
@@ -110,8 +126,8 @@ TEST(ShardedState, ConcurrentChecksWithRevocations) {
     readers.emplace_back([&, r] {
       for (int i = 0; i < kIters && !failed.load(); ++i) {
         const std::size_t idx = (i + static_cast<std::size_t>(r) * 17) % kHosts;
-        const Errc out = br->check_outgoing(out_pkts[idx], f.now).code();
-        const Errc in = br->check_incoming(in_pkts[idx], f.now).code();
+        const Errc out = br->check_outgoing(out_pkts.views[idx], f.now).code();
+        const Errc in = br->check_incoming(in_pkts.views[idx], f.now).code();
         if (idx < kStable) {
           if (out != Errc::ok || in != Errc::ok) failed.store(true);
         } else {
@@ -230,6 +246,50 @@ std::vector<wire::Packet> mixed_egress_burst(ConcurrencyFixture& f,
   return burst;
 }
 
+TEST(ShardedState, ConcurrentClassifyOverSharedViewBurst) {
+  // M threads run classify_outgoing_burst over the SAME PacketView span
+  // (read-only aliases of one set of wire images) while a writer churns
+  // revocations — the TSan leg proves the zero-copy burst shape is as
+  // race-free as the per-packet checks.
+  ConcurrencyFixture f;
+  BorderRouter::Config cfg;
+  cfg.replay_filter = true;
+  auto br = f.make_router(cfg);
+
+  const SealedBurst burst(mixed_egress_burst(f, 1));
+  const std::span<const wire::PacketView> views(burst.views);
+
+  constexpr int kIters = 300;
+  constexpr int kThreads = 3;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<BorderRouter::Verdict> verdicts(views.size());
+      BorderRouter::Stats stats;
+      for (int i = 0; i < kIters && !failed.load(); ++i) {
+        br->classify_outgoing_burst(views, f.now, verdicts, stats,
+                                    /*batched=*/(t % 2) == 0);
+        // The structurally-bad packets must fail under every interleaving.
+        if (verdicts[40].err != Errc::bad_mac) failed.store(true);
+        if (verdicts[41].err != Errc::decrypt_failed) failed.store(true);
+        if (verdicts[42].err != Errc::expired) failed.store(true);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < kIters; ++i) {
+      const core::Hid hid = 20 + static_cast<core::Hid>(i % 8);
+      const auto eph = f.as.codec.issue(hid, f.now + 900, f.rng);
+      f.as.revoked.revoke_ephid(eph, f.now + 900, hid);
+      if (i % 31 == 0) f.as.revoked.purge_expired(f.now - 1);
+    }
+  });
+  for (auto& t : threads) t.join();
+  writer.join();
+  EXPECT_FALSE(failed.load());
+}
+
 TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
   ConcurrencyFixture f;
   BorderRouter::Config cfg;
@@ -237,7 +297,7 @@ TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
   auto pooled_br = f.make_router(cfg);
   auto reference_br = f.make_router(cfg);
 
-  const auto burst = mixed_egress_burst(f, 1);
+  const SealedBurst burst(mixed_egress_burst(f, 1));
 
   ForwardingPool::Config pool_cfg;
   pool_cfg.threads = 4;
@@ -248,11 +308,11 @@ TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
   constexpr int kRounds = 50;
   BorderRouter::Stats ref_stats;
   for (int round = 0; round < kRounds; ++round) {
-    pool.process_outgoing(burst, f.now);
-    std::vector<BorderRouter::Verdict> verdicts(burst.size());
-    reference_br->classify_outgoing_burst(burst, f.now, verdicts, ref_stats,
-                                          /*batched=*/false);
-    reference_br->apply_outgoing_verdicts(burst, verdicts, ref_stats);
+    pool.process_outgoing(burst.views, f.now);
+    std::vector<BorderRouter::Verdict> verdicts(burst.views.size());
+    reference_br->classify_outgoing_burst(burst.views, f.now, verdicts,
+                                          ref_stats, /*batched=*/false);
+    reference_br->apply_outgoing_verdicts(burst.views, verdicts, ref_stats);
   }
 
   const auto merged = pool.stats();
@@ -272,10 +332,10 @@ TEST(ForwardingPool, IngressDeliversAndTransits) {
   ConcurrencyFixture f;
   auto br = f.make_router();
 
-  std::vector<wire::Packet> burst;
+  SealedBurst burst;
   for (core::Hid hid = 1; hid <= 16; ++hid) {
     const auto eph = f.as.codec.issue(hid, f.now + 900, f.rng);
-    burst.push_back(f.incoming_packet(eph));
+    burst.push(f.incoming_packet(eph));
   }
   for (int i = 0; i < 8; ++i) {  // transit packets for a third AS
     wire::Packet pkt;
@@ -283,19 +343,19 @@ TEST(ForwardingPool, IngressDeliversAndTransits) {
     pkt.dst_aid = 64999;
     f.rng.fill(MutByteSpan(pkt.src_ephid.data(), 16));
     f.rng.fill(MutByteSpan(pkt.dst_ephid.data(), 16));
-    burst.push_back(pkt);
+    burst.push(pkt);
   }
   {  // garbage destination EphID
     core::EphId forged;
     f.rng.fill(MutByteSpan(forged.bytes.data(), 16));
-    burst.push_back(f.incoming_packet(forged));
+    burst.push(f.incoming_packet(forged));
   }
 
   ForwardingPool::Config pool_cfg;
   pool_cfg.threads = 4;
   pool_cfg.chunk_packets = 4;
   ForwardingPool pool(*br, pool_cfg);
-  pool.process_ingress(burst, f.now);
+  pool.process_ingress(burst.views, f.now);
 
   const auto stats = pool.stats();
   EXPECT_EQ(stats.delivered_in, 16u);
@@ -346,17 +406,23 @@ TEST(BatchDeterminism, MacVerifyBatchedEqualsScalar) {
     if (hid % 5 == 0) pkt.payload.back() ^= 1;    // tampered payload
     pkts.push_back(std::move(pkt));
   }
+  const SealedBurst sealed(pkts);
 
   std::vector<core::PacketMacJob> jobs;
-  for (std::size_t i = 0; i < pkts.size(); ++i)
-    jobs.push_back(core::PacketMacJob{&pkts[i], &keys[i]});
-  jobs.push_back(core::PacketMacJob{&pkts[0], nullptr});  // missing key
+  for (std::size_t i = 0; i < sealed.views.size(); ++i)
+    jobs.push_back(core::PacketMacJob{&sealed.views[i], &keys[i]});
+  jobs.push_back(core::PacketMacJob{&sealed.views[0], nullptr});  // no key
 
   std::vector<std::uint8_t> verdicts(jobs.size());
   core::verify_packet_macs(jobs, verdicts);
-  for (std::size_t i = 0; i < pkts.size(); ++i)
+  for (std::size_t i = 0; i < sealed.views.size(); ++i) {
+    // Batched (views) == scalar-over-view == scalar-over-builder.
+    EXPECT_EQ(verdicts[i] != 0,
+              core::verify_packet_mac(keys[i], sealed.views[i]))
+        << "packet " << i;
     EXPECT_EQ(verdicts[i] != 0, core::verify_packet_mac(keys[i], pkts[i]))
         << "packet " << i;
+  }
   EXPECT_EQ(verdicts.back(), 0u);
 }
 
@@ -368,10 +434,12 @@ TEST(BatchDeterminism, ClassifyBatchedEqualsScalar) {
   auto batched_br = f.make_router(cfg);
   auto scalar_br = f.make_router(cfg);
 
-  auto burst = mixed_egress_burst(f, 1);
-  burst[0].payload = f.rng.bytes(400);  // oversize after the MTU change
+  auto pkts = mixed_egress_burst(f, 1);
+  pkts[0].payload = f.rng.bytes(400);  // oversize after the MTU change
   core::stamp_packet_mac(
-      crypto::AesCmac(ByteSpan(f.host_keys[0].mac.data(), 16)), burst[0]);
+      crypto::AesCmac(ByteSpan(f.host_keys[0].mac.data(), 16)), pkts[0]);
+  const SealedBurst sealed(pkts);
+  const auto& burst = sealed.views;
 
   std::vector<BorderRouter::Verdict> vb(burst.size());
   std::vector<BorderRouter::Verdict> vs(burst.size());
@@ -386,24 +454,24 @@ TEST(BatchDeterminism, ClassifyBatchedEqualsScalar) {
   EXPECT_GT(sb.total_drops(), 0u);
 
   // Ingress twin.
-  std::vector<wire::Packet> in_burst;
+  SealedBurst in_burst;
   for (core::Hid hid = 1; hid <= 20; ++hid) {
     const auto eph = f.as.codec.issue(
         hid, hid % 4 == 0 ? f.now - 1 : f.now + 900, f.rng);
-    in_burst.push_back(f.incoming_packet(eph));
+    in_burst.push(f.incoming_packet(eph));
   }
   {
     wire::Packet transit;
     transit.src_aid = 64513;
     transit.dst_aid = 64999;
-    in_burst.push_back(transit);
+    in_burst.push(transit);
   }
-  std::vector<BorderRouter::Verdict> ivb(in_burst.size());
-  std::vector<BorderRouter::Verdict> ivs(in_burst.size());
+  std::vector<BorderRouter::Verdict> ivb(in_burst.views.size());
+  std::vector<BorderRouter::Verdict> ivs(in_burst.views.size());
   BorderRouter::Stats isb, iss;
-  batched_br->classify_ingress_burst(in_burst, f.now, ivb, isb, true);
-  scalar_br->classify_ingress_burst(in_burst, f.now, ivs, iss, false);
-  for (std::size_t i = 0; i < in_burst.size(); ++i) {
+  batched_br->classify_ingress_burst(in_burst.views, f.now, ivb, isb, true);
+  scalar_br->classify_ingress_burst(in_burst.views, f.now, ivs, iss, false);
+  for (std::size_t i = 0; i < in_burst.views.size(); ++i) {
     EXPECT_EQ(static_cast<int>(ivb[i].err), static_cast<int>(ivs[i].err))
         << "ingress packet " << i;
     EXPECT_EQ(ivb[i].local, ivs[i].local);

@@ -13,9 +13,9 @@ struct BrFixture {
   core::AsState as{64512, core::AsSecrets::generate(rng)};
   core::ExpTime now = 1'700'000'000;
 
-  // Captured forwarding actions.
-  std::vector<wire::Packet> external;
-  std::vector<std::pair<core::Hid, wire::Packet>> internal;
+  // Captured forwarding actions (owned copies of what the BR moved out).
+  std::vector<wire::PacketBuf> external;
+  std::vector<std::pair<core::Hid, wire::PacketBuf>> internal;
   bool external_fails = false;
 
   std::unique_ptr<BorderRouter> br;
@@ -33,14 +33,14 @@ struct BrFixture {
     as.host_db.upsert(rec);
 
     BorderRouter::Callbacks cb;
-    cb.send_external = [this](const wire::Packet& p) -> Result<void> {
+    cb.send_external = [this](wire::PacketBuf p) -> Result<void> {
       if (external_fails) return Result<void>(Errc::no_route, "injected");
-      external.push_back(p);
+      external.push_back(std::move(p));
       return Result<void>::success();
     };
     cb.deliver_internal = [this](core::Hid hid,
-                                 const wire::Packet& p) -> Result<void> {
-      internal.emplace_back(hid, p);
+                                 wire::PacketBuf p) -> Result<void> {
+      internal.emplace_back(hid, std::move(p));
       return Result<void>::success();
     };
     cb.now = [this] { return now; };
@@ -81,7 +81,7 @@ struct BrFixture {
 TEST(BorderRouterOut, ValidPacketForwarded) {
   BrFixture f;
   const auto src = f.make_ephid(f.host_hid, f.now + 900);
-  f.br->on_outgoing(f.outgoing_packet(src));
+  f.br->on_outgoing(f.outgoing_packet(src).seal());
   EXPECT_EQ(f.br->stats().forwarded_out, 1u);
   EXPECT_EQ(f.external.size(), 1u);
   EXPECT_EQ(f.br->stats().total_drops(), 0u);
@@ -90,7 +90,7 @@ TEST(BorderRouterOut, ValidPacketForwarded) {
 TEST(BorderRouterOut, ExpiredSourceEphIdDropped) {
   BrFixture f;
   const auto src = f.make_ephid(f.host_hid, f.now - 1);
-  f.br->on_outgoing(f.outgoing_packet(src));
+  f.br->on_outgoing(f.outgoing_packet(src).seal());
   EXPECT_EQ(f.br->stats().drop_expired, 1u);
   EXPECT_TRUE(f.external.empty());
 }
@@ -99,7 +99,7 @@ TEST(BorderRouterOut, RevokedEphIdDropped) {
   BrFixture f;
   const auto src = f.make_ephid(f.host_hid, f.now + 900);
   f.as.revoked.revoke_ephid(src, f.now + 900, f.host_hid);
-  f.br->on_outgoing(f.outgoing_packet(src));
+  f.br->on_outgoing(f.outgoing_packet(src).seal());
   EXPECT_EQ(f.br->stats().drop_revoked, 1u);
 }
 
@@ -107,7 +107,7 @@ TEST(BorderRouterOut, RevokedHidDropped) {
   BrFixture f;
   const auto src = f.make_ephid(f.host_hid, f.now + 900);
   f.as.revoked.revoke_hid(f.host_hid);
-  f.br->on_outgoing(f.outgoing_packet(src));
+  f.br->on_outgoing(f.outgoing_packet(src).seal());
   EXPECT_EQ(f.br->stats().drop_revoked, 1u);
 }
 
@@ -115,7 +115,7 @@ TEST(BorderRouterOut, UnknownHidDropped) {
   BrFixture f;
   const auto src = f.make_ephid(999, f.now + 900);  // HID not in host_info
   auto pkt = f.outgoing_packet(src);
-  f.br->on_outgoing(pkt);
+  f.br->on_outgoing(pkt.seal());
   EXPECT_EQ(f.br->stats().drop_unknown_host, 1u);
 }
 
@@ -125,7 +125,7 @@ TEST(BorderRouterOut, BadMacDropped) {
   const auto src = f.make_ephid(f.host_hid, f.now + 900);
   auto pkt = f.outgoing_packet(src);
   pkt.mac[0] ^= 1;
-  f.br->on_outgoing(pkt);
+  f.br->on_outgoing(pkt.seal());
   EXPECT_EQ(f.br->stats().drop_bad_mac, 1u);
 
   // Also: MAC computed with a DIFFERENT host's key.
@@ -135,7 +135,7 @@ TEST(BorderRouterOut, BadMacDropped) {
   auto pkt2 = f.outgoing_packet(src);
   core::stamp_packet_mac(crypto::AesCmac(ByteSpan(other_keys.mac.data(), 16)),
                          pkt2);
-  f.br->on_outgoing(pkt2);
+  f.br->on_outgoing(pkt2.seal());
   EXPECT_EQ(f.br->stats().drop_bad_mac, 2u);
 }
 
@@ -143,7 +143,7 @@ TEST(BorderRouterOut, ForgedEphIdDropped) {
   BrFixture f;
   core::EphId forged;
   f.rng.fill(MutByteSpan(forged.bytes.data(), 16));
-  f.br->on_outgoing(f.outgoing_packet(forged));
+  f.br->on_outgoing(f.outgoing_packet(forged).seal());
   EXPECT_EQ(f.br->stats().drop_bad_ephid, 1u);
 }
 
@@ -152,7 +152,7 @@ TEST(BorderRouterOut, PayloadTamperAfterMacDropped) {
   const auto src = f.make_ephid(f.host_hid, f.now + 900);
   auto pkt = f.outgoing_packet(src);
   pkt.payload[5] ^= 1;  // on-path modification inside the AS
-  f.br->on_outgoing(pkt);
+  f.br->on_outgoing(pkt.seal());
   EXPECT_EQ(f.br->stats().drop_bad_mac, 1u);
 }
 
@@ -161,14 +161,14 @@ TEST(BorderRouterOut, OversizedPacketGetsPacketTooBig) {
   BorderRouter::Config cfg;
   cfg.mtu = 256;
   BorderRouter::Callbacks cb;
-  std::vector<wire::Packet> external;
-  std::vector<std::pair<core::Hid, wire::Packet>> internal;
-  cb.send_external = [&](const wire::Packet& p) -> Result<void> {
-    external.push_back(p);
+  std::vector<wire::PacketBuf> external;
+  std::vector<std::pair<core::Hid, wire::PacketBuf>> internal;
+  cb.send_external = [&](wire::PacketBuf p) -> Result<void> {
+    external.push_back(std::move(p));
     return Result<void>::success();
   };
-  cb.deliver_internal = [&](core::Hid h, const wire::Packet& p) -> Result<void> {
-    internal.emplace_back(h, p);
+  cb.deliver_internal = [&](core::Hid h, wire::PacketBuf p) -> Result<void> {
+    internal.emplace_back(h, std::move(p));
     return Result<void>::success();
   };
   cb.now = [&] { return f.now; };
@@ -188,13 +188,13 @@ TEST(BorderRouterOut, OversizedPacketGetsPacketTooBig) {
   pkt.payload = f.rng.bytes(500);  // exceed MTU 256
   core::stamp_packet_mac(
       crypto::AesCmac(ByteSpan(f.host_keys.mac.data(), 16)), pkt);
-  br.on_outgoing(pkt);
+  br.on_outgoing(pkt.seal());
   EXPECT_EQ(br.stats().drop_too_big, 1u);
   EXPECT_EQ(br.stats().icmp_sent, 1u);
   // Feedback went back into the local AS toward the source host.
   ASSERT_EQ(internal.size(), 1u);
   EXPECT_EQ(internal[0].first, f.host_hid);
-  auto icmp = core::IcmpMessage::parse(internal[0].second.payload);
+  auto icmp = core::IcmpMessage::parse(internal[0].second.view().payload());
   ASSERT_TRUE(icmp.ok());
   EXPECT_EQ(icmp->type, core::IcmpType::packet_too_big);
   EXPECT_EQ(icmp->code, 256u);
@@ -205,7 +205,7 @@ TEST(BorderRouterOut, OversizedPacketGetsPacketTooBig) {
 TEST(BorderRouterIn, ValidPacketDelivered) {
   BrFixture f;
   const auto dst = f.make_ephid(f.host_hid, f.now + 900);
-  f.br->on_ingress(f.incoming_packet(dst));
+  f.br->on_ingress(f.incoming_packet(dst).seal());
   EXPECT_EQ(f.br->stats().delivered_in, 1u);
   ASSERT_EQ(f.internal.size(), 1u);
   EXPECT_EQ(f.internal[0].first, f.host_hid);
@@ -214,7 +214,7 @@ TEST(BorderRouterIn, ValidPacketDelivered) {
 TEST(BorderRouterIn, ExpiredDstDropped) {
   BrFixture f;
   const auto dst = f.make_ephid(f.host_hid, f.now - 10);
-  f.br->on_ingress(f.incoming_packet(dst));
+  f.br->on_ingress(f.incoming_packet(dst).seal());
   EXPECT_EQ(f.br->stats().drop_expired, 1u);
   EXPECT_TRUE(f.internal.empty());
 }
@@ -223,14 +223,14 @@ TEST(BorderRouterIn, RevokedDstDropped) {
   BrFixture f;
   const auto dst = f.make_ephid(f.host_hid, f.now + 900);
   f.as.revoked.revoke_ephid(dst, f.now + 900, f.host_hid);
-  f.br->on_ingress(f.incoming_packet(dst));
+  f.br->on_ingress(f.incoming_packet(dst).seal());
   EXPECT_EQ(f.br->stats().drop_revoked, 1u);
 }
 
 TEST(BorderRouterIn, UnknownDstHidDropped) {
   BrFixture f;
   const auto dst = f.make_ephid(424242, f.now + 900);
-  f.br->on_ingress(f.incoming_packet(dst));
+  f.br->on_ingress(f.incoming_packet(dst).seal());
   EXPECT_EQ(f.br->stats().drop_unknown_host, 1u);
 }
 
@@ -238,7 +238,7 @@ TEST(BorderRouterIn, GarbageDstEphIdDropped) {
   BrFixture f;
   core::EphId forged;
   f.rng.fill(MutByteSpan(forged.bytes.data(), 16));
-  f.br->on_ingress(f.incoming_packet(forged));
+  f.br->on_ingress(f.incoming_packet(forged).seal());
   EXPECT_EQ(f.br->stats().drop_bad_ephid, 1u);
 }
 
@@ -252,10 +252,10 @@ TEST(BorderRouterIn, TransitForwardedWithoutCrypto) {
   f.rng.fill(MutByteSpan(pkt.src_ephid.data(), 16));
   f.rng.fill(MutByteSpan(pkt.dst_ephid.data(), 16));
   pkt.payload = f.rng.bytes(10);
-  f.br->on_ingress(pkt);
+  f.br->on_ingress(pkt.seal());
   EXPECT_EQ(f.br->stats().transited, 1u);
   ASSERT_EQ(f.external.size(), 1u);
-  EXPECT_EQ(f.external[0].dst_aid, 64999u);
+  EXPECT_EQ(f.external[0].view().dst_aid(), 64999u);
 }
 
 TEST(BorderRouterIn, TransitNoRouteCounted) {
@@ -264,7 +264,7 @@ TEST(BorderRouterIn, TransitNoRouteCounted) {
   wire::Packet pkt;
   pkt.src_aid = 64513;
   pkt.dst_aid = 64999;
-  f.br->on_ingress(pkt);
+  f.br->on_ingress(pkt.seal());
   EXPECT_EQ(f.br->stats().drop_no_route, 1u);
 }
 
@@ -275,10 +275,10 @@ TEST(BorderRouterBaseline, ForwardsWithoutChecks) {
   BorderRouter::Config cfg;
   cfg.mode = BorderRouter::Mode::baseline;
   BorderRouter::Callbacks cb;
-  std::vector<std::pair<core::Hid, wire::Packet>> internal;
-  cb.send_external = [](const wire::Packet&) { return Result<void>::success(); };
-  cb.deliver_internal = [&](core::Hid h, const wire::Packet& p) -> Result<void> {
-    internal.emplace_back(h, p);
+  std::vector<std::pair<core::Hid, wire::PacketBuf>> internal;
+  cb.send_external = [](wire::PacketBuf) { return Result<void>::success(); };
+  cb.deliver_internal = [&](core::Hid h, wire::PacketBuf p) -> Result<void> {
+    internal.emplace_back(h, std::move(p));
     return Result<void>::success();
   };
   cb.now = [&] { return f.now; };
@@ -288,7 +288,7 @@ TEST(BorderRouterBaseline, ForwardsWithoutChecks) {
   const auto src = f.make_ephid(f.host_hid, f.now - 1);
   auto pkt = f.outgoing_packet(src);
   pkt.mac[0] ^= 1;
-  br.on_outgoing(pkt);
+  br.on_outgoing(pkt.seal());
   EXPECT_EQ(br.stats().forwarded_out, 1u);
 
   // Ingress delivers by raw bytes.
@@ -296,7 +296,7 @@ TEST(BorderRouterBaseline, ForwardsWithoutChecks) {
   in.src_aid = 64513;
   in.dst_aid = f.as.aid;
   store_be32(in.dst_ephid.data(), 7);
-  br.on_ingress(in);
+  br.on_ingress(in.seal());
   ASSERT_EQ(internal.size(), 1u);
   EXPECT_EQ(internal[0].first, 7u);
 }
@@ -306,13 +306,13 @@ TEST(BorderRouterBaseline, ForwardsWithoutChecks) {
 TEST(BorderRouterChecks, CheckFunctionsAreSideEffectFree) {
   BrFixture f;
   const auto src = f.make_ephid(f.host_hid, f.now + 900);
-  const auto pkt = f.outgoing_packet(src);
+  const auto pkt = f.outgoing_packet(src).seal();
   for (int i = 0; i < 3; ++i)
-    EXPECT_TRUE(f.br->check_outgoing(pkt, f.now).ok());
+    EXPECT_TRUE(f.br->check_outgoing(pkt.view(), f.now).ok());
   const auto dst = f.make_ephid(f.host_hid, f.now + 900);
-  const auto in = f.incoming_packet(dst);
+  const auto in = f.incoming_packet(dst).seal();
   for (int i = 0; i < 3; ++i)
-    EXPECT_EQ(f.br->check_incoming(in, f.now).value(), f.host_hid);
+    EXPECT_EQ(f.br->check_incoming(in.view(), f.now).value(), f.host_hid);
   EXPECT_EQ(f.br->stats().forwarded_out, 0u);
   EXPECT_EQ(f.br->stats().delivered_in, 0u);
 }

@@ -1,0 +1,243 @@
+// Zero-copy wire image tests: PacketView::bind / Packet::seal round-trip
+// properties, parse/bind agreement on malformed inputs, BufferPool
+// recycling, in-place MAC stamping and in-flight path-stamp splicing.
+//
+// The core property: for EVERY byte string w, Packet::parse(w) and
+// PacketView::bind(w) accept exactly the same set of inputs, and for every
+// accepted input the parsed fields agree — so the parse-by-copy control
+// plane and the bind-in-place data plane can never disagree about which
+// packets are Errc::malformed.
+#include <gtest/gtest.h>
+
+#include "core/packet_auth.h"
+#include "crypto/rng.h"
+#include "wire/apna_header.h"
+#include "wire/packet_buf.h"
+
+namespace apna::wire {
+namespace {
+
+/// Randomized but deterministic builder covering every extension shape.
+Packet random_packet(crypto::Rng& rng, std::size_t payload_size,
+                     bool with_nonce, std::size_t stamp_count) {
+  Packet p;
+  p.src_aid = static_cast<Aid>(rng.next_u64());
+  p.dst_aid = static_cast<Aid>(rng.next_u64());
+  rng.fill(MutByteSpan(p.src_ephid.data(), p.src_ephid.size()));
+  rng.fill(MutByteSpan(p.dst_ephid.data(), p.dst_ephid.size()));
+  rng.fill(MutByteSpan(p.mac.data(), p.mac.size()));
+  p.proto = static_cast<NextProto>(rng.next_u64() % 5);
+  if (with_nonce) p.set_nonce(rng.next_u64());
+  for (std::size_t i = 0; i < stamp_count; ++i)
+    p.stamp_path(static_cast<Aid>(rng.next_u64()));
+  p.payload = rng.bytes(payload_size);
+  return p;
+}
+
+void expect_view_matches(const Packet& p, const PacketView& v) {
+  EXPECT_EQ(v.src_aid(), p.src_aid);
+  EXPECT_EQ(v.dst_aid(), p.dst_aid);
+  EXPECT_EQ(v.src_ephid(), p.src_ephid);
+  EXPECT_EQ(v.dst_ephid(), p.dst_ephid);
+  EXPECT_TRUE(ct_equal(v.mac_span(), ByteSpan(p.mac.data(), p.mac.size())));
+  EXPECT_EQ(v.proto(), p.proto);
+  EXPECT_EQ(v.flags(), p.flags);
+  EXPECT_EQ(v.has_nonce(), p.has_nonce());
+  if (p.has_nonce()) {
+    EXPECT_EQ(v.nonce(), p.nonce);
+  }
+  EXPECT_EQ(v.has_path_stamp(), p.has_path_stamp());
+  ASSERT_EQ(v.path_stamp_count(), p.path_stamp.size());
+  for (std::size_t i = 0; i < p.path_stamp.size(); ++i)
+    EXPECT_EQ(v.path_stamp_at(i), p.path_stamp[i]);
+  EXPECT_TRUE(ct_equal(v.payload(), ByteSpan(p.payload.data(),
+                                             p.payload.size())));
+  EXPECT_EQ(v.wire_size(), p.wire_size());
+}
+
+TEST(PacketViewRoundTrip, SealBindFieldForFieldOverRandomShapes) {
+  crypto::ChaChaRng rng(20260726);
+  const std::size_t payload_sizes[] = {0, 1, 2, 7, 64, 255, 256,
+                                       1000, 1466, 4000};
+  for (const std::size_t payload : payload_sizes) {
+    for (const bool nonce : {false, true}) {
+      for (const std::size_t stamps : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{3}, std::size_t{17}}) {
+        const Packet p = random_packet(rng, payload, nonce, stamps);
+        const PacketBuf buf = p.seal();
+        // seal() == serialize(): one wire format, two producers.
+        EXPECT_EQ(Bytes(buf.view().bytes().begin(), buf.view().bytes().end()),
+                  p.serialize());
+        expect_view_matches(p, buf.view());
+        // to_owned() inverts seal().
+        const Packet back = buf.view().to_owned();
+        EXPECT_EQ(back.serialize(), p.serialize());
+        // parse() accepts what bind() accepted and agrees field-for-field.
+        auto parsed = Packet::parse(buf.view().bytes());
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed->serialize(), p.serialize());
+      }
+    }
+  }
+}
+
+TEST(PacketViewRoundTrip, TruncationAtEveryBoundaryIsMalformedForBoth) {
+  crypto::ChaChaRng rng(7);
+  for (const bool nonce : {false, true}) {
+    for (const std::size_t stamps : {std::size_t{0}, std::size_t{2}}) {
+      const Packet p = random_packet(rng, 37, nonce, stamps);
+      const Bytes wire = p.serialize();
+      for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        const ByteSpan prefix(wire.data(), cut);
+        EXPECT_EQ(PacketView::bind(prefix).code(), Errc::malformed)
+            << "bind accepted a " << cut << "-byte prefix";
+        EXPECT_EQ(Packet::parse(prefix).code(), Errc::malformed)
+            << "parse accepted a " << cut << "-byte prefix";
+      }
+      // Trailing garbage is equally malformed for both.
+      Bytes extended = wire;
+      extended.push_back(0xAB);
+      EXPECT_EQ(PacketView::bind(extended).code(), Errc::malformed);
+      EXPECT_EQ(Packet::parse(extended).code(), Errc::malformed);
+    }
+  }
+}
+
+TEST(PacketViewRoundTrip, ParseAndBindAgreeOnMutatedInputs) {
+  // Fuzz-ish agreement check: flip bytes/lengths and require that parse
+  // and bind return the same accept/reject verdict on every mutant.
+  crypto::ChaChaRng rng(99);
+  const Packet p = random_packet(rng, 50, true, 2);
+  const Bytes wire = p.serialize();
+  for (int trial = 0; trial < 2000; ++trial) {
+    Bytes mutant = wire;
+    // 1-3 random single-byte mutations (may hit flags, lengths, counts).
+    const int flips = 1 + static_cast<int>(rng.next_u64() % 3);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.next_u64() % mutant.size();
+      mutant[at] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    // Occasionally resize too.
+    if (trial % 5 == 0)
+      mutant.resize(rng.next_u64() % (mutant.size() + 8));
+
+    const bool bind_ok = PacketView::bind(mutant).ok();
+    const bool parse_ok = Packet::parse(mutant).ok();
+    EXPECT_EQ(bind_ok, parse_ok) << "divergence on trial " << trial;
+  }
+}
+
+TEST(PacketViewRoundTrip, UnknownFlagBitsAndProtosRejected) {
+  crypto::ChaChaRng rng(5);
+  const Packet p = random_packet(rng, 10, false, 0);
+  Bytes wire = p.serialize();
+  for (const std::uint8_t bad_flags : {0x04, 0x80, 0xFC}) {
+    Bytes w = wire;
+    w[kOffFlags] = bad_flags;
+    EXPECT_EQ(PacketView::bind(w).code(), Errc::malformed);
+    EXPECT_EQ(Packet::parse(w).code(), Errc::malformed);
+  }
+  Bytes w = wire;
+  w[kOffProto] = 5;  // one past NextProto::shutoff
+  EXPECT_EQ(PacketView::bind(w).code(), Errc::malformed);
+  EXPECT_EQ(Packet::parse(w).code(), Errc::malformed);
+}
+
+TEST(PacketViewRoundTrip, AdoptValidatesAndKeepsBytes) {
+  crypto::ChaChaRng rng(6);
+  const Packet p = random_packet(rng, 33, true, 1);
+  auto adopted = PacketBuf::adopt(p.serialize());
+  ASSERT_TRUE(adopted.ok());
+  expect_view_matches(p, adopted->view());
+
+  Bytes broken = p.serialize();
+  broken.pop_back();
+  EXPECT_EQ(PacketBuf::adopt(std::move(broken)).code(), Errc::malformed);
+}
+
+// ---- BufferPool recycling ----------------------------------------------------
+
+TEST(BufferPoolTest, SteadyStateRecyclesBuffers) {
+  crypto::ChaChaRng rng(11);
+  const Packet p = random_packet(rng, 200, true, 0);
+  BufferPool& pool = BufferPool::local();
+  // Warm: one buffer enters the free list when the PacketBuf dies.
+  { const PacketBuf warm = p.seal(); }
+  const auto before = pool.stats();
+  for (int i = 0; i < 100; ++i) {
+    const PacketBuf buf = p.seal();
+    EXPECT_EQ(buf.wire_size(), p.wire_size());
+  }
+  const auto after = pool.stats();
+  // Every iteration reuses the buffer released by the previous one.
+  EXPECT_EQ(after.hits, before.hits + 100);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.recycled, before.recycled + 100);
+}
+
+TEST(BufferPoolTest, CopyAuditCountsTheExplicitCopyPoints) {
+  crypto::ChaChaRng rng(12);
+  const Packet p = random_packet(rng, 64, false, 0);
+  const CopyAudit before = copy_audit();
+  const PacketBuf buf = p.seal();
+  const PacketBuf copy = PacketBuf::copy_of(buf.view());
+  const Packet owned = copy.view().to_owned();
+  const CopyAudit after = copy_audit();
+  EXPECT_EQ(after.seals, before.seals + 1);
+  EXPECT_EQ(after.copies, before.copies + 1);
+  EXPECT_EQ(after.to_owned, before.to_owned + 1);
+  EXPECT_EQ(after.copy_bytes - before.copy_bytes, buf.wire_size());
+  EXPECT_EQ(owned.serialize(), p.serialize());
+}
+
+// ---- In-place MAC stamping ---------------------------------------------------
+
+TEST(InPlaceMac, BufferStampEqualsBuilderStamp) {
+  crypto::ChaChaRng rng(13);
+  const crypto::AesCmac key(rng.bytes(16));
+  for (const bool nonce : {false, true}) {
+    Packet p = random_packet(rng, 80, nonce, 0);
+
+    // Builder shape: stamp the struct, then seal.
+    Packet builder = p;
+    core::stamp_packet_mac(key, builder);
+    const PacketBuf a = builder.seal();
+
+    // Data-plane shape: seal first, stamp the wire image in place.
+    PacketBuf b = p.seal();
+    core::stamp_packet_mac(key, b);
+
+    EXPECT_TRUE(ct_equal(a.view().bytes(), b.view().bytes()));
+    EXPECT_TRUE(core::verify_packet_mac(key, b.view()));
+    // Tampering any payload byte in place breaks it.
+    b.mutable_bytes()[b.wire_size() - 1] ^= 1;
+    EXPECT_FALSE(core::verify_packet_mac(key, b.view()));
+  }
+}
+
+// ---- In-flight path stamping -------------------------------------------------
+
+TEST(PathStampSplice, AppendMatchesBuilderStamp) {
+  crypto::ChaChaRng rng(14);
+  const crypto::AesCmac key(rng.bytes(16));
+  for (const bool nonce : {false, true}) {
+    for (const std::size_t initial : {std::size_t{0}, std::size_t{3}}) {
+      Packet p = random_packet(rng, 120, nonce, initial);
+      core::stamp_packet_mac(key, p);
+      const PacketBuf buf = p.seal();
+
+      const PacketBuf spliced = append_path_stamp(buf.view(), 0xAABBCCDD);
+
+      Packet reference = p;
+      reference.stamp_path(0xAABBCCDD);
+      EXPECT_EQ(Bytes(spliced.view().bytes().begin(),
+                      spliced.view().bytes().end()),
+                reference.serialize());
+      // §VIII-C: stamping in flight must not invalidate the source MAC.
+      EXPECT_TRUE(core::verify_packet_mac(key, spliced.view()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apna::wire
