@@ -3,9 +3,10 @@
 #
 #   1. Release with warnings-as-errors for all APNA targets
 #   2. ASan + UBSan (Debug)
-#   3. ThreadSanitizer over the router/core concurrency tests only (the
-#      sharded data plane's stress suite; bounded runtime — TSan over the
-#      full integration matrix would dominate CI time for no extra signal)
+#   3. ThreadSanitizer over the router/core concurrency tests plus the
+#      control-plane pool test (the sharded data plane's stress suite and
+#      the M-worker issuance pool; bounded runtime — TSan over the full
+#      integration matrix would dominate CI time for no extra signal)
 #
 # 1 and 2 must build every library, test, bench and example target and pass
 # the full ctest suite. Run from the repo root: ./ci.sh
@@ -38,15 +39,19 @@ run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 # and Packet::parse over truncations/mutations are exactly the code where
 # an out-of-bounds read would hide.
 ctest --test-dir build-sanitize --output-on-failure -L wire
+# Control-plane service fabric, explicitly under ASan/UBSan: the span codec
+# (MsgWriter/MsgReader truncation properties) and the pooled issuance path
+# are where a control-message bounds bug would hide.
+ctest --test-dir build-sanitize --output-on-failure -L services
 
 echo "=== [tsan] configure"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \
   -DAPNA_WERROR=ON -DAPNA_BUILD_BENCH=OFF -DAPNA_BUILD_EXAMPLES=OFF
 echo "=== [tsan] build (concurrency-labelled tests only)"
 cmake --build build-tsan -j "${jobs}" \
-  --target router_concurrency_test router_test core_test
+  --target router_concurrency_test router_test core_test control_plane_test
 echo "=== [tsan] test"
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-  -R '^(router_concurrency_test|router_test|core_test)$'
+  -R '^(router_concurrency_test|router_test|core_test|control_plane_test)$'
 
 echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

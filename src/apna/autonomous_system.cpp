@@ -68,17 +68,22 @@ AutonomousSystem::AutonomousSystem(Config cfg, net::EventLoop& loop,
   });
   topo_.add_as(cfg_.aid);
 
-  // Attach services to the switch. Each service's reply is routed back
-  // through the fabric like any host's packet.
-  auto attach_service = [this](core::Hid hid, auto* service) {
-    switch_->attach(hid, [this, service](wire::PacketBuf pkt) {
-      auto resp = service->handle_packet(pkt.view());
-      if (resp) route_from_inside(resp.take());
+  // The control-plane fabric: one dispatcher routes every inbound control
+  // packet to the service owning its destination EphID, and each service's
+  // reply is routed back through the AS fabric like any host's packet.
+  dispatcher_ = std::make_unique<services::ServiceDispatcher>(
+      [this](wire::PacketBuf reply) { route_from_inside(std::move(reply)); });
+  dispatcher_->add(*ms_);
+  dispatcher_->add(*aa_);
+  dispatcher_->add(*dns_);
+  for (services::ControlService* svc :
+       {static_cast<services::ControlService*>(ms_.get()),
+        static_cast<services::ControlService*>(aa_.get()),
+        static_cast<services::ControlService*>(dns_.get())}) {
+    switch_->attach(svc->service_hid(), [this](wire::PacketBuf pkt) {
+      dispatcher_->dispatch(std::move(pkt));
     });
-  };
-  attach_service(ms_->identity().hid, ms_.get());
-  attach_service(aa_->identity().hid, aa_.get());
-  attach_service(dns_->identity().hid, dns_.get());
+  }
 
   // Publish the AS's public parameters (RPKI stand-in).
   core::AsPublicInfo info;

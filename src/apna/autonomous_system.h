@@ -20,6 +20,7 @@
 #include "services/dns_service.h"
 #include "services/management_service.h"
 #include "services/registry_service.h"
+#include "services/service_runtime.h"
 #include "services/subscriber_registry.h"
 
 namespace apna {
@@ -87,6 +88,9 @@ class AutonomousSystem {
   services::ManagementService& ms() { return *ms_; }
   services::AccountabilityAgent& aa() { return *aa_; }
   services::DnsService& dns() { return *dns_; }
+  /// The control-plane fabric: routes inbound control packets to the
+  /// service owning the destination EphID (MS, AA, DNS).
+  services::ServiceDispatcher& dispatcher() { return *dispatcher_; }
   router::BorderRouter& br() { return *br_; }
   net::IntraSwitch& intra_switch() { return *switch_; }
   services::SubscriberRegistry& subscribers() { return subs_; }
@@ -112,6 +116,7 @@ class AutonomousSystem {
   std::unique_ptr<services::ManagementService> ms_;
   std::unique_ptr<services::AccountabilityAgent> aa_;
   std::unique_ptr<services::DnsService> dns_;
+  std::unique_ptr<services::ServiceDispatcher> dispatcher_;
   std::unique_ptr<router::BorderRouter> br_;
 
   std::vector<std::unique_ptr<host::Host>> hosts_;

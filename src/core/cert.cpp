@@ -1,5 +1,7 @@
 #include "core/cert.h"
 
+#include "wire/msg_codec.h"
+
 namespace apna::core {
 
 Bytes EphIdCertificate::tbs() const {
@@ -14,13 +16,27 @@ Bytes EphIdCertificate::tbs() const {
   return w.take();
 }
 
+void EphIdCertificate::tbs_into(wire::MsgWriter& w) const {
+  w.raw(ephid.bytes);
+  w.u32(exp_time);
+  w.raw(pub.dh);
+  w.raw(pub.sig);
+  w.u32(aid);
+  w.raw(aa_ephid.bytes);
+  w.u8(flags);
+}
+
 void EphIdCertificate::sign_with(const crypto::Ed25519KeyPair& as_key) {
-  sig = as_key.sign(tbs());
+  wire::MsgWriter w(96);
+  tbs_into(w);
+  sig = as_key.sign(w.span());
 }
 
 Result<void> EphIdCertificate::verify(const crypto::Ed25519PublicKey& as_pub,
                                       ExpTime now) const {
-  if (!crypto::ed25519_verify(as_pub, tbs(), sig))
+  wire::MsgWriter w(96);
+  tbs_into(w);
+  if (!crypto::ed25519_verify(as_pub, w.span(), sig))
     return Result<void>(Errc::bad_signature, "certificate signature invalid");
   if (exp_time < now)
     return Result<void>(Errc::expired, "certificate expired");
@@ -35,6 +51,11 @@ void EphIdCertificate::serialize_into(wire::Writer& w) const {
   w.u32(aid);
   w.raw(aa_ephid.bytes);
   w.u8(flags);
+  w.raw(sig);
+}
+
+void EphIdCertificate::encode_into(wire::MsgWriter& w) const {
+  tbs_into(w);  // wire form = signed fields ‖ signature, single-sourced
   w.raw(sig);
 }
 

@@ -16,6 +16,10 @@
 #include "util/result.h"
 #include "wire/codec.h"
 
+namespace apna::wire {
+class MsgWriter;  // wire/msg_codec.h — pooled span-based encoder
+}
+
 namespace apna::core {
 
 enum CertFlags : std::uint8_t {
@@ -50,6 +54,13 @@ struct EphIdCertificate {
   static Result<EphIdCertificate> parse(ByteSpan data);
   static Result<EphIdCertificate> parse(wire::Reader& r);
   void serialize_into(wire::Writer& w) const;
+
+  /// Pooled-codec twin of serialize_into (byte-identical output; pinned by
+  /// control_plane_test). Hot paths encode through this form only.
+  void encode_into(wire::MsgWriter& w) const;
+  /// tbs() without the heap round trip: appends the to-be-signed bytes to
+  /// a (pooled) scratch writer for sign/verify call sites.
+  void tbs_into(wire::MsgWriter& w) const;
 
   bool operator==(const EphIdCertificate&) const = default;
 };

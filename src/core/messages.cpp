@@ -379,6 +379,319 @@ Result<ShutoffResponse> ShutoffResponse::parse(ByteSpan data) {
   return m;
 }
 
+// ---- Span codec (MsgWriter/MsgReader) ---------------------------------------
+//
+// The hot-path twins of the legacy serialize()/parse() bodies above. Output
+// must stay byte-identical to serialize() — control_plane_test diffs the
+// two on randomized messages.
+
+void BootstrapRequest::encode(wire::MsgWriter& w) const {
+  w.u32(subscriber_id);
+  w.var(credential);
+  w.raw(host_pub);
+}
+
+Result<BootstrapRequest> BootstrapRequest::decode(wire::MsgReader& r) {
+  BootstrapRequest m;
+  auto sid = r.u32();
+  if (!sid) return sid.error();
+  m.subscriber_id = *sid;
+  auto cred = r.var();
+  if (!cred) return cred.error();
+  m.credential.assign(cred->begin(), cred->end());
+  auto pub = r.arr<32>();
+  if (!pub) return pub.error();
+  m.host_pub = *pub;
+  return m;
+}
+
+void BootstrapResponse::encode(wire::MsgWriter& w) const {
+  w.u32(hid);
+  w.raw(ctrl_ephid.bytes);
+  w.u32(ctrl_exp_time);
+  w.raw(id_info_sig);
+  ms_cert.encode_into(w);
+  dns_cert.encode_into(w);
+  w.u32(aid);
+  w.raw(aa_ephid.bytes);
+}
+
+Result<BootstrapResponse> BootstrapResponse::decode(wire::MsgReader& r) {
+  BootstrapResponse m;
+  auto hid = r.u32();
+  if (!hid) return hid.error();
+  m.hid = *hid;
+  auto ctrl = r.arr<16>();
+  if (!ctrl) return ctrl.error();
+  m.ctrl_ephid.bytes = *ctrl;
+  auto exp = r.u32();
+  if (!exp) return exp.error();
+  m.ctrl_exp_time = *exp;
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  m.id_info_sig = *sig;
+  auto ms = EphIdCertificate::parse(r);
+  if (!ms) return ms.error();
+  m.ms_cert = ms.take();
+  auto dns = EphIdCertificate::parse(r);
+  if (!dns) return dns.error();
+  m.dns_cert = dns.take();
+  auto aid = r.u32();
+  if (!aid) return aid.error();
+  m.aid = *aid;
+  auto aa = r.arr<16>();
+  if (!aa) return aa.error();
+  m.aa_ephid.bytes = *aa;
+  return m;
+}
+
+void EphIdRequest::encode(wire::MsgWriter& w) const {
+  w.raw(ephid_pub.dh);
+  w.raw(ephid_pub.sig);
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(lifetime));
+}
+
+Result<EphIdRequest> EphIdRequest::decode(wire::MsgReader& r) {
+  EphIdRequest m;
+  auto dh = r.arr<32>();
+  if (!dh) return dh.error();
+  m.ephid_pub.dh = *dh;
+  auto sig = r.arr<32>();
+  if (!sig) return sig.error();
+  m.ephid_pub.sig = *sig;
+  auto flags = r.u8();
+  if (!flags) return flags.error();
+  m.flags = *flags;
+  auto lt = r.u8();
+  if (!lt) return lt.error();
+  if (*lt > static_cast<std::uint8_t>(EphIdLifetime::long_term))
+    return Result<EphIdRequest>(Errc::malformed, "bad lifetime class");
+  m.lifetime = static_cast<EphIdLifetime>(*lt);
+  return m;
+}
+
+void EphIdResponse::encode(wire::MsgWriter& w) const { cert.encode_into(w); }
+
+Result<EphIdResponse> EphIdResponse::decode(wire::MsgReader& r) {
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  EphIdResponse m;
+  m.cert = cert.take();
+  return m;
+}
+
+void HandshakeInit::encode(wire::MsgWriter& w) const {
+  client_cert.encode_into(w);
+  w.u64(client_nonce);
+  w.u8(static_cast<std::uint8_t>(suite));
+  w.var(early_data);
+}
+
+Result<HandshakeInit> HandshakeInit::decode(wire::MsgReader& r) {
+  HandshakeInit m;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.client_cert = cert.take();
+  auto nonce = r.u64();
+  if (!nonce) return nonce.error();
+  m.client_nonce = *nonce;
+  auto suite = r.u8();
+  if (!suite) return suite.error();
+  if (*suite < 1 || *suite > 3)
+    return Result<HandshakeInit>(Errc::malformed, "unknown AEAD suite");
+  m.suite = static_cast<crypto::AeadSuite>(*suite);
+  auto early = r.var();
+  if (!early) return early.error();
+  m.early_data.assign(early->begin(), early->end());
+  return m;
+}
+
+void HandshakeResponse::encode(wire::MsgWriter& w) const {
+  serving_cert.encode_into(w);
+  w.u64(server_nonce);
+  w.u8(static_cast<std::uint8_t>(suite));
+}
+
+Result<HandshakeResponse> HandshakeResponse::decode(wire::MsgReader& r) {
+  HandshakeResponse m;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.serving_cert = cert.take();
+  auto nonce = r.u64();
+  if (!nonce) return nonce.error();
+  m.server_nonce = *nonce;
+  auto suite = r.u8();
+  if (!suite) return suite.error();
+  if (*suite < 1 || *suite > 3)
+    return Result<HandshakeResponse>(Errc::malformed, "unknown AEAD suite");
+  m.suite = static_cast<crypto::AeadSuite>(*suite);
+  return m;
+}
+
+void DnsQuery::encode(wire::MsgWriter& w) const { w.str(name); }
+
+Result<DnsQuery> DnsQuery::decode(wire::MsgReader& r) {
+  auto name = r.str();
+  if (!name) return name.error();
+  DnsQuery q;
+  q.name = name.take();
+  return q;
+}
+
+void DnsRecord::tbs_into(wire::MsgWriter& w) const {
+  w.str(name);
+  cert.encode_into(w);
+  w.u32(ipv4);
+}
+
+void DnsRecord::encode(wire::MsgWriter& w) const {
+  tbs_into(w);  // wire form = signed fields ‖ signature, single-sourced
+  w.raw(sig);
+}
+
+Result<DnsRecord> DnsRecord::decode(wire::MsgReader& r) {
+  DnsRecord rec;
+  auto name = r.str();
+  if (!name) return name.error();
+  rec.name = name.take();
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  rec.cert = cert.take();
+  auto ip = r.u32();
+  if (!ip) return ip.error();
+  rec.ipv4 = *ip;
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  rec.sig = *sig;
+  return rec;
+}
+
+void DnsResponse::encode(wire::MsgWriter& w) const {
+  w.u8(status);
+  w.u8(record.has_value() ? 1 : 0);
+  if (record) record->encode(w);
+}
+
+Result<DnsResponse> DnsResponse::decode(wire::MsgReader& r) {
+  DnsResponse resp;
+  auto status = r.u8();
+  if (!status) return status.error();
+  resp.status = *status;
+  auto has = r.u8();
+  if (!has) return has.error();
+  if (*has) {
+    auto rec = DnsRecord::decode(r);
+    if (!rec) return rec.error();
+    resp.record = rec.take();
+  }
+  return resp;
+}
+
+void DnsPublish::encode(wire::MsgWriter& w) const {
+  w.str(name);
+  cert.encode_into(w);
+  w.u32(ipv4);
+}
+
+Result<DnsPublish> DnsPublish::decode(wire::MsgReader& r) {
+  DnsPublish p;
+  auto name = r.str();
+  if (!name) return name.error();
+  p.name = name.take();
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  p.cert = cert.take();
+  auto ip = r.u32();
+  if (!ip) return ip.error();
+  p.ipv4 = *ip;
+  return p;
+}
+
+void ShutoffRequest::encode(wire::MsgWriter& w) const {
+  w.var(offending_packet);
+  w.raw(sig);
+  dst_cert.encode_into(w);
+}
+
+Result<ShutoffRequest> ShutoffRequest::decode(wire::MsgReader& r) {
+  ShutoffRequest m;
+  auto pkt = r.var();
+  if (!pkt) return pkt.error();
+  m.offending_packet.assign(pkt->begin(), pkt->end());
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  m.sig = *sig;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.dst_cert = cert.take();
+  return m;
+}
+
+void EphIdRevokeRequest::encode(wire::MsgWriter& w) const {
+  w.raw(ephid.bytes);
+  w.raw(sig);
+  cert.encode_into(w);
+}
+
+Result<EphIdRevokeRequest> EphIdRevokeRequest::decode(wire::MsgReader& r) {
+  EphIdRevokeRequest m;
+  auto eph = r.arr<16>();
+  if (!eph) return eph.error();
+  m.ephid.bytes = *eph;
+  auto sig = r.arr<64>();
+  if (!sig) return sig.error();
+  m.sig = *sig;
+  auto cert = EphIdCertificate::parse(r);
+  if (!cert) return cert.error();
+  m.cert = cert.take();
+  return m;
+}
+
+void ShutoffResponse::encode(wire::MsgWriter& w) const { w.u8(status); }
+
+Result<ShutoffResponse> ShutoffResponse::decode(wire::MsgReader& r) {
+  auto status = r.u8();
+  if (!status) return status.error();
+  ShutoffResponse m;
+  m.status = *status;
+  return m;
+}
+
+void IcmpMessage::encode(wire::MsgWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(code);
+  w.var(data);
+}
+
+Result<IcmpMessage> IcmpMessage::decode(wire::MsgReader& r) {
+  IcmpMessage m;
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (*type > static_cast<std::uint8_t>(IcmpType::packet_too_big))
+    return Result<IcmpMessage>(Errc::malformed, "unknown ICMP type");
+  m.type = static_cast<IcmpType>(*type);
+  auto code = r.u32();
+  if (!code) return code.error();
+  m.code = *code;
+  auto data = r.var();
+  if (!data) return data.error();
+  m.data.assign(data->begin(), data->end());
+  return m;
+}
+
+void seal_control_into(wire::MsgWriter& out, const HostAsKeys& keys,
+                       std::uint64_t nonce_counter, bool from_host,
+                       ByteSpan plaintext) {
+  const auto aead = crypto::Aead::create(crypto::AeadSuite::chacha20_poly1305,
+                                         keys.enc);
+  std::uint8_t nonce[12] = {};
+  nonce[0] = from_host ? 0x01 : 0x02;
+  store_be64(nonce + 4, nonce_counter);
+  out.u64(nonce_counter);
+  out.raw(aead->seal(ByteSpan(nonce, 12), {}, plaintext));
+}
+
 // ---- ICMP ---------------------------------------------------------------------
 
 Bytes IcmpMessage::serialize() const {

@@ -1,6 +1,7 @@
 #include "gateway/nat_ap.h"
 
 #include "core/packet_auth.h"
+#include "wire/msg_codec.h"
 
 namespace apna::gw {
 
@@ -263,16 +264,14 @@ void NatAccessPoint::handle_inner_ms_request(const wire::PacketView& pkt) {
 
         core::EphIdResponse resp;
         resp.cert = cert.take();
-        wire::Packet reply;
-        reply.src_aid = cfg_.private_aid;
-        reply.src_ephid = inner_ms_.cert.ephid.bytes;
-        reply.dst_aid = reply_aid;
-        reply.dst_ephid = reply_ephid;
-        reply.proto = wire::NextProto::control;
-        reply.payload = core::seal_control(inner_keys, inner_ms_nonce_++,
-                                           /*from_host=*/false,
-                                           resp.serialize());
-        wire::PacketBuf out = reply.seal();
+        wire::MsgWriter plain(192);
+        resp.encode(plain);
+        wire::PacketWriter pw(cfg_.private_aid, inner_ms_.cert.ephid.bytes,
+                              reply_aid, reply_ephid,
+                              wire::NextProto::control);
+        core::seal_control_into(pw, inner_keys, inner_ms_nonce_++,
+                                /*from_host=*/false, plain.span());
+        wire::PacketBuf out = pw.finish();
         core::stamp_packet_mac(*inner_ms_.cmac, out);
         deliver_to_inner(inner_hid, std::move(out));
       });

@@ -1,5 +1,6 @@
-// EphID pool with the four usage granularities of §VIII-A.
+// EphID pool + lifecycle management.
 //
+// Usage granularities (§VIII-A):
 //   per_host        — one EphID for everything (cheap, fully linkable,
 //                     shutoff kills every flow).
 //   per_application — one EphID per application label (the AS/host can
@@ -9,10 +10,24 @@
 //                     demultiplexing needs extra machinery [23], which is
 //                     why the pool cycles over a finite set here).
 //
+// Lifetime classes (§VIII-G1): every owned EphID remembers which of the
+// three issuance classes it came from, so the pool can answer per-class
+// questions ("how many short-term EphIDs are still usable?") and the
+// EphIdLifecycleManager can keep each enabled class stocked.
+//
+// The lifecycle manager is the host-side control loop of Fig 3 at scale:
+// a host "needs to acquire and manage EphIDs for every new flow", so it
+// must renew PROACTIVELY — ahead of expiry, with jittered scheduling (so a
+// whole AS's hosts do not stampede the MS at the same instant) and
+// exponential backoff while the MS is failing. Rollover never rebinds a
+// live session: sessions stay pinned to their issuing EphID (they hold the
+// OwnedEphId pointer), while NEW flows prefer the freshest certificate.
+//
 // The pool also records flow→EphID assignments so experiment E7 can compute
 // linkable-flow fractions and shutoff blast radius per policy.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -23,6 +38,9 @@
 
 #include "core/cert.h"
 #include "core/keys.h"
+#include "core/messages.h"
+#include "crypto/rng.h"
+#include "net/sim.h"
 
 namespace apna::host {
 
@@ -43,10 +61,17 @@ inline const char* granularity_name(Granularity g) {
   return "?";
 }
 
+constexpr std::size_t kLifetimeClasses = 3;
+
+inline std::size_t lifetime_index(core::EphIdLifetime lt) {
+  return static_cast<std::size_t>(lt);
+}
+
 /// An EphID this host owns: the certificate plus the private key halves.
 struct OwnedEphId {
   core::EphIdKeyPair kp;
   core::EphIdCertificate cert;
+  core::EphIdLifetime lifetime = core::EphIdLifetime::short_term;
   std::uint64_t flows_assigned = 0;
   bool revoked_locally = false;  // preemptive revocation (§VIII-G2)
 
@@ -56,10 +81,13 @@ struct OwnedEphId {
 class EphIdPool {
  public:
   /// Adds a freshly issued EphID. Returns a stable pointer.
-  const OwnedEphId* add(core::EphIdKeyPair kp, core::EphIdCertificate cert) {
+  const OwnedEphId* add(core::EphIdKeyPair kp, core::EphIdCertificate cert,
+                        core::EphIdLifetime lifetime =
+                            core::EphIdLifetime::short_term) {
     entries_.push_back(std::make_unique<OwnedEphId>());
     entries_.back()->kp = std::move(kp);
     entries_.back()->cert = std::move(cert);
+    entries_.back()->lifetime = lifetime;
     return entries_.back().get();
   }
 
@@ -117,6 +145,27 @@ class EphIdPool {
     return n;
   }
 
+  /// Usable sendable EphIDs of one lifetime class whose certificates are
+  /// still valid at `horizon` (pass `now` for plain validity; pass
+  /// `now + lead` to ask "which survive the renewal lead time?").
+  std::size_t usable_count(core::EphIdLifetime lt, core::ExpTime horizon) const {
+    std::size_t n = 0;
+    for (const auto& e : entries_)
+      if (e->lifetime == lt && usable(*e, horizon)) ++n;
+    return n;
+  }
+
+  /// Earliest expiry among usable EphIDs of `lt`; nullopt when none.
+  std::optional<core::ExpTime> earliest_expiry(core::EphIdLifetime lt,
+                                               core::ExpTime now) const {
+    std::optional<core::ExpTime> best;
+    for (const auto& e : entries_)
+      if (e->lifetime == lt && usable(*e, now) &&
+          (!best || e->cert.exp_time < *best))
+        best = e->cert.exp_time;
+    return best;
+  }
+
   /// Distinct EphIDs actually assigned to flows (experiment E7).
   std::size_t assigned_ephids() const {
     std::unordered_map<const OwnedEphId*, bool> seen;
@@ -158,15 +207,30 @@ class EphIdPool {
       if (usable(*it->second, now)) return it->second;
       sticky_.erase(it);
     }
-    // Prefer an EphID with no flows yet; otherwise reuse the least loaded.
+    // Rollover policy: NEW flows prefer an unused EphID with the freshest
+    // certificate, so renewal naturally drains near-expiry EphIDs without
+    // rebinding the sessions still pinned to them. Otherwise reuse the
+    // least-loaded (freshest on ties).
     OwnedEphId* best = nullptr;
     for (auto& e : entries_) {
       if (!usable(*e, now)) continue;
-      if (e->flows_assigned == 0) {
+      if (!best) {
         best = e.get();
-        break;
+        continue;
       }
-      if (!best || e->flows_assigned < best->flows_assigned) best = e.get();
+      const bool best_unused = best->flows_assigned == 0;
+      const bool e_unused = e->flows_assigned == 0;
+      if (e_unused != best_unused) {
+        if (e_unused) best = e.get();
+        continue;
+      }
+      if (e_unused) {
+        if (e->cert.exp_time > best->cert.exp_time) best = e.get();
+      } else if (e->flows_assigned < best->flows_assigned ||
+                 (e->flows_assigned == best->flows_assigned &&
+                  e->cert.exp_time > best->cert.exp_time)) {
+        best = e.get();
+      }
     }
     if (!best) return nullptr;
     best->flows_assigned++;
@@ -176,6 +240,131 @@ class EphIdPool {
 
   std::deque<std::unique_ptr<OwnedEphId>> entries_;
   std::unordered_map<std::string, OwnedEphId*> sticky_;
+};
+
+// ---- Lifecycle management (§VIII-G1 renewal) --------------------------------
+
+/// Renewal policy for one lifetime class.
+struct RenewalPolicy {
+  /// Keep at least this many usable sendable EphIDs of the class.
+  std::size_t min_ready = 1;
+  /// Treat an EphID as "draining" when it expires within this lead time;
+  /// replacements are requested before the old certificate lapses.
+  core::ExpTime lead_s = 120;
+};
+
+/// Decides WHEN to renew and HOW MANY to request; the host supplies the
+/// transport (request_ephid) and the timers (net::EventLoop). Plain state
+/// machine, event-loop resident — deliberately free of callbacks so it can
+/// be unit-tested without a network.
+class EphIdLifecycleManager {
+ public:
+  struct Config {
+    /// Per-class policies, indexed by core::EphIdLifetime; disabled
+    /// classes are never renewed.
+    std::array<std::optional<RenewalPolicy>, kLifetimeClasses> classes{};
+    /// Base tick cadence.
+    net::TimeUs check_interval_us = 5 * net::kUsPerSecond;
+    /// Uniform jitter added to every tick so a population of hosts spreads
+    /// its renewal load across the interval instead of phase-locking on
+    /// the MS (§V-A: issuance is the control-plane bottleneck).
+    net::TimeUs jitter_us = net::kUsPerSecond;
+    /// Exponential backoff cap while the MS keeps failing: the interval is
+    /// stretched by 2^min(consecutive_failures, backoff_max_exp).
+    std::uint32_t backoff_max_exp = 6;
+    /// A renewal request with no reply after this long is written off as
+    /// failed (a lost control packet, or an MS error that produces no
+    /// response at all, must not pin the in-flight count forever).
+    net::TimeUs request_timeout_us = 30 * net::kUsPerSecond;
+  };
+
+  struct Stats {
+    std::uint64_t ticks = 0;
+    std::uint64_t requested = 0;
+    std::uint64_t renewed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t timed_out = 0;  // subset of failed: no reply at all
+  };
+
+  explicit EphIdLifecycleManager(Config cfg) : cfg_(cfg) {}
+
+  const Config& config() const { return cfg_; }
+
+  /// Replacements each class needs right now: the shortfall between
+  /// min_ready and the EphIDs that will still be valid after the renewal
+  /// lead time, minus requests already in flight. Requests older than
+  /// request_timeout_us are first written off as failed (engaging the
+  /// backoff), so a reply that never comes cannot wedge the planner.
+  std::array<std::size_t, kLifetimeClasses> plan(const EphIdPool& pool,
+                                                 core::ExpTime now,
+                                                 net::TimeUs now_us) {
+    ++stats_.ticks;
+    expire_in_flight(now_us);
+    std::array<std::size_t, kLifetimeClasses> out{};
+    for (std::size_t i = 0; i < kLifetimeClasses; ++i) {
+      if (!cfg_.classes[i]) continue;
+      const RenewalPolicy& p = *cfg_.classes[i];
+      const auto lt = static_cast<core::EphIdLifetime>(i);
+      const std::size_t ready =
+          pool.usable_count(lt, now + p.lead_s) + in_flight_[i].size();
+      if (ready < p.min_ready) out[i] = p.min_ready - ready;
+    }
+    return out;
+  }
+
+  void on_requested(core::EphIdLifetime lt, net::TimeUs now_us) {
+    in_flight_[lifetime_index(lt)].push_back(now_us);
+    ++stats_.requested;
+  }
+  void on_issued(core::EphIdLifetime lt) {
+    settle(lt);
+    ++stats_.renewed;
+    consecutive_failures_ = 0;
+  }
+  void on_failed(core::EphIdLifetime lt) {
+    settle(lt);
+    ++stats_.failed;
+    ++consecutive_failures_;
+  }
+
+  /// Next tick delay: base interval stretched by the failure backoff, plus
+  /// uniform jitter drawn from the (deterministic, per-host) rng.
+  net::TimeUs next_delay(crypto::Rng& rng) {
+    const std::uint32_t exp = std::min(
+        {consecutive_failures_, cfg_.backoff_max_exp, std::uint32_t{32}});
+    const net::TimeUs base = cfg_.check_interval_us << exp;
+    const net::TimeUs jitter =
+        cfg_.jitter_us == 0 ? 0 : rng.next_u64() % cfg_.jitter_us;
+    return base + jitter;
+  }
+
+  std::uint32_t consecutive_failures() const { return consecutive_failures_; }
+  std::size_t in_flight(core::EphIdLifetime lt) const {
+    return in_flight_[lifetime_index(lt)].size();
+  }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void settle(core::EphIdLifetime lt) {
+    auto& v = in_flight_[lifetime_index(lt)];
+    if (!v.empty()) v.erase(v.begin());  // oldest first (FIFO replies)
+  }
+
+  void expire_in_flight(net::TimeUs now_us) {
+    for (auto& v : in_flight_) {
+      while (!v.empty() && v.front() + cfg_.request_timeout_us <= now_us) {
+        v.erase(v.begin());
+        ++stats_.failed;
+        ++stats_.timed_out;
+        ++consecutive_failures_;
+      }
+    }
+  }
+
+  Config cfg_;
+  std::array<std::vector<net::TimeUs>, kLifetimeClasses> in_flight_;
+  std::uint32_t consecutive_failures_ = 0;
+  Stats stats_;
 };
 
 }  // namespace apna::host

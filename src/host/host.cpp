@@ -69,33 +69,30 @@ Result<void> Host::bootstrap(const BootstrapFn& rs) {
 
 // ---- Packet plumbing ------------------------------------------------------------
 
-wire::Packet Host::make_packet(core::Aid dst_aid, const core::EphId& dst_ephid,
-                               const core::EphId& src_ephid,
-                               wire::NextProto proto, Bytes payload) {
-  wire::Packet pkt;
-  pkt.src_aid = aid_;
-  pkt.src_ephid = src_ephid.bytes;
-  pkt.dst_aid = dst_aid;
-  pkt.dst_ephid = dst_ephid.bytes;
-  pkt.proto = proto;
-  pkt.payload = std::move(payload);
+wire::PacketWriter Host::start_packet(core::Aid dst_aid,
+                                      const core::EphId& dst_ephid,
+                                      const core::EphId& src_ephid,
+                                      wire::NextProto proto) {
+  std::optional<std::uint64_t> nonce;
   if (cfg_.add_replay_nonce && proto == wire::NextProto::data)
-    pkt.set_nonce(++packet_seq_);
-  return pkt;
+    nonce = ++packet_seq_;  // §VIII-D header nonce
+  return wire::PacketWriter(aid_, src_ephid.bytes, dst_aid, dst_ephid.bytes,
+                            proto, nonce);
 }
 
-void Host::transmit(wire::Packet pkt, const OwnedEphId* src_owned) {
+void Host::transmit(wire::PacketWriter& pw, const OwnedEphId* src_owned) {
   // §VII-A invariant: receive-only EphIDs are never used as a source.
   if (src_owned != nullptr && src_owned->receive_only()) return;
-  // The host's one serialization: seal into a pooled wire image, then
-  // stamp the kHA MAC in place at its fixed offset.
-  wire::PacketBuf buf = pkt.seal();
+  // The host's one encode: the payload was appended in place behind the
+  // header; finish() binds the image and the kHA MAC is stamped at its
+  // fixed offset.
+  wire::PacketBuf buf = pw.finish();
   core::stamp_packet_mac(*kha_cmac_, buf);
   ++stats_.packets_sent;
   if (send_) send_(std::move(buf));
 }
 
-void Host::transmit_ctrl(wire::Packet pkt) { transmit(std::move(pkt), nullptr); }
+void Host::transmit_ctrl(wire::PacketWriter& pw) { transmit(pw, nullptr); }
 
 // ---- EphID issuance (client of Fig 3) ---------------------------------------------
 
@@ -125,16 +122,19 @@ void Host::request_ephid(core::EphIdLifetime lifetime, std::uint8_t flags,
   req.flags = flags;
   req.lifetime = lifetime;
 
-  Bytes sealed = core::seal_control(kha_, ctrl_nonce_++, /*from_host=*/true,
-                                    req.serialize());
-  wire::Packet pkt = make_packet(aid_, ms_cert_.ephid, ctrl_ephid_,
-                                 wire::NextProto::control, std::move(sealed));
+  wire::MsgWriter plain(72);
+  req.encode(plain);
+  wire::PacketWriter pw = start_packet(aid_, ms_cert_.ephid, ctrl_ephid_,
+                                       wire::NextProto::control);
+  core::seal_control_into(pw, kha_, ctrl_nonce_++, /*from_host=*/true,
+                          plain.span());
   PendingEphId pending;
   pending.expected_pub = kp.pub;
   pending.kp = std::move(kp);
+  pending.lifetime = lifetime;
   pending.cb = std::move(cb);
   pending_ephids_.push_back(std::move(pending));
-  transmit_ctrl(std::move(pkt));
+  transmit_ctrl(pw);
 }
 
 void Host::request_ephid_for(const core::EphIdPublicKeys& pub,
@@ -150,15 +150,18 @@ void Host::request_ephid_for(const core::EphIdPublicKeys& pub,
   req.ephid_pub = pub;
   req.flags = flags;
   req.lifetime = lifetime;
-  Bytes sealed = core::seal_control(kha_, ctrl_nonce_++, /*from_host=*/true,
-                                    req.serialize());
-  wire::Packet pkt = make_packet(aid_, ms_cert_.ephid, ctrl_ephid_,
-                                 wire::NextProto::control, std::move(sealed));
+  wire::MsgWriter plain(72);
+  req.encode(plain);
+  wire::PacketWriter pw = start_packet(aid_, ms_cert_.ephid, ctrl_ephid_,
+                                       wire::NextProto::control);
+  core::seal_control_into(pw, kha_, ctrl_nonce_++, /*from_host=*/true,
+                          plain.span());
   PendingEphId pending;
   pending.expected_pub = pub;
+  pending.lifetime = lifetime;
   pending.cert_cb = std::move(cb);
   pending_ephids_.push_back(std::move(pending));
-  transmit_ctrl(std::move(pkt));
+  transmit_ctrl(pw);
 }
 
 void Host::forward_as_own(wire::PacketBuf pkt) {
@@ -189,7 +192,7 @@ void Host::on_control(const wire::PacketView& pkt) {
     fail(payload.error());
     return;
   }
-  auto resp = core::EphIdResponse::parse(*payload);
+  auto resp = core::decode_msg<core::EphIdResponse>(*payload);
   if (!resp) {
     fail(resp.error());
     return;
@@ -208,7 +211,7 @@ void Host::on_control(const wire::PacketView& pkt) {
   }
   if (pending.kp) {
     const OwnedEphId* owned = pool_.add(std::move(*pending.kp),
-                                        resp.take().cert);
+                                        resp.take().cert, pending.lifetime);
     pending.cb(owned);
   } else {
     pending.cert_cb(resp.take().cert);
@@ -266,14 +269,13 @@ Result<std::uint64_t> Host::connect(const core::EphIdCertificate& peer_cert,
 
   session_index_[session_key_hash(st.my_ephid, st.peer_ephid)] = id;
 
-  wire::Writer w(hs->init.serialize().size() + 1);
-  w.u8(static_cast<std::uint8_t>(HandshakeKind::init));
-  w.raw(hs->init.serialize());
-  wire::Packet pkt = make_packet(peer_cert.aid, peer_cert.ephid,
-                                 st.my_ephid, wire::NextProto::handshake,
-                                 w.take());
+  wire::PacketWriter pw = start_packet(peer_cert.aid, peer_cert.ephid,
+                                       st.my_ephid,
+                                       wire::NextProto::handshake);
+  pw.u8(static_cast<std::uint8_t>(HandshakeKind::init));
+  hs->init.encode(pw);
   sessions_.emplace(id, std::move(st));
-  transmit(std::move(pkt), owned);
+  transmit(pw, owned);
   return id;
 }
 
@@ -285,18 +287,19 @@ Result<void> Host::send_data(std::uint64_t session_id, ByteSpan data) {
 
   if (st.established) {
     core::Session& sess = *st.session;
-    wire::Packet pkt = make_packet(st.peer_aid, st.peer_ephid, st.my_ephid,
-                                   wire::NextProto::data, sess.seal(data));
-    transmit(std::move(pkt), st.my_owned);
+    wire::PacketWriter pw = start_packet(st.peer_aid, st.peer_ephid,
+                                         st.my_ephid, wire::NextProto::data);
+    pw.raw(sess.seal(data));
+    transmit(pw, st.my_owned);
     return Result<void>::success();
   }
   if (st.initiator && st.zero_rtt && st.early_session) {
     // 0-RTT: encrypt against the contacted EphID (§VII-C), accepting the
     // documented early-data caveat.
-    wire::Packet pkt = make_packet(st.peer_aid, st.contacted_cert.ephid,
-                                   st.my_ephid, wire::NextProto::data,
-                                   st.early_session->seal(data));
-    transmit(std::move(pkt), st.my_owned);
+    wire::PacketWriter pw = start_packet(st.peer_aid, st.contacted_cert.ephid,
+                                         st.my_ephid, wire::NextProto::data);
+    pw.raw(st.early_session->seal(data));
+    transmit(pw, st.my_owned);
     return Result<void>::success();
   }
   st.pending.emplace_back(data.begin(), data.end());
@@ -342,12 +345,12 @@ std::optional<std::pair<core::EphId, core::EphId>> Host::session_ephids(
 }
 
 void Host::on_handshake(const wire::PacketView& pkt) {
-  wire::Reader r(pkt.payload());
+  wire::MsgReader r(pkt);
   auto kind = r.u8();
   if (!kind) return;
 
   if (*kind == static_cast<std::uint8_t>(HandshakeKind::init)) {
-    auto init = core::HandshakeInit::parse(r.rest());
+    auto init = core::decode_msg<core::HandshakeInit>(r.rest());
     if (!init) {
       ++stats_.handshakes_rejected;
       return;
@@ -396,15 +399,15 @@ void Host::on_handshake(const wire::PacketView& pkt) {
     ++stats_.handshakes_accepted;
 
     // Respond from the SERVING EphID (never the receive-only one).
-    wire::Writer w(300);
-    w.u8(static_cast<std::uint8_t>(HandshakeKind::response));
-    w.raw(hs->response.serialize());
-    wire::Packet resp = make_packet(pkt.src_aid(), st.peer_ephid, st.my_ephid,
-                                    wire::NextProto::handshake, w.take());
+    wire::PacketWriter pw = start_packet(pkt.src_aid(), st.peer_ephid,
+                                         st.my_ephid,
+                                         wire::NextProto::handshake);
+    pw.u8(static_cast<std::uint8_t>(HandshakeKind::response));
+    hs->response.encode(pw);
 
     const Bytes early = std::move(hs->early_data);
     sessions_.emplace(id, std::move(st));
-    transmit(std::move(resp), serving);
+    transmit(pw, serving);
 
     if (!early.empty()) {
       ++stats_.data_frames_received;
@@ -414,7 +417,7 @@ void Host::on_handshake(const wire::PacketView& pkt) {
   }
 
   if (*kind == static_cast<std::uint8_t>(HandshakeKind::response)) {
-    auto resp = core::HandshakeResponse::parse(r.rest());
+    auto resp = core::decode_msg<core::HandshakeResponse>(r.rest());
     if (!resp) return;
     core::EphId mine;
     mine.bytes = pkt.dst_ephid();
@@ -462,10 +465,11 @@ void Host::on_handshake(const wire::PacketView& pkt) {
     while (!st->pending.empty()) {
       Bytes data = std::move(st->pending.front());
       st->pending.pop_front();
-      wire::Packet pkt_out =
-          make_packet(st->peer_aid, st->peer_ephid, st->my_ephid,
-                      wire::NextProto::data, st->session->seal(data));
-      transmit(std::move(pkt_out), st->my_owned);
+      wire::PacketWriter pw_out = start_packet(st->peer_aid, st->peer_ephid,
+                                               st->my_ephid,
+                                               wire::NextProto::data);
+      pw_out.raw(st->session->seal(data));
+      transmit(pw_out, st->my_owned);
     }
     if (st->is_dns) flush_dns_queue(st->id);
     if (st->on_connected) st->on_connected(st->id);
@@ -541,14 +545,15 @@ Result<void> Host::ping(const core::Endpoint& target, EchoCallback cb) {
   store_be64(msg.data.data() + 8, loop_.now());
 
   pending_pings_.emplace_back(nonce, std::move(cb));
-  wire::Packet pkt = make_packet(target.aid, target.ephid, src,
-                                 wire::NextProto::icmp, msg.serialize());
-  transmit(std::move(pkt), owned);
+  wire::PacketWriter pw = start_packet(target.aid, target.ephid, src,
+                                       wire::NextProto::icmp);
+  msg.encode(pw);
+  transmit(pw, owned);
   return Result<void>::success();
 }
 
 void Host::on_icmp_packet(const wire::PacketView& pkt) {
-  auto msg = core::IcmpMessage::parse(pkt.payload());
+  auto msg = core::decode_msg<core::IcmpMessage>(pkt.payload());
   if (!msg) return;
   ++stats_.icmp_received;
 
@@ -572,9 +577,10 @@ void Host::on_icmp_packet(const wire::PacketView& pkt) {
       reply.type = core::IcmpType::echo_reply;
       reply.code = 0;
       reply.data = msg->data;
-      wire::Packet out = make_packet(pkt.src_aid(), from.ephid, src,
-                                     wire::NextProto::icmp, reply.serialize());
-      transmit(std::move(out), owned);
+      wire::PacketWriter pw = start_packet(pkt.src_aid(), from.ephid, src,
+                                           wire::NextProto::icmp);
+      reply.encode(pw);
+      transmit(pw, owned);
       return;
     }
     case core::IcmpType::echo_reply: {
@@ -637,9 +643,6 @@ Result<void> Host::request_shutoff(const wire::PacketView& offending,
   }
 
   pending_shutoffs_.push_back(std::move(cb));
-  wire::Writer w(req.serialize().size() + 1);
-  w.u8(static_cast<std::uint8_t>(core::ShutoffKind::shutoff_request));
-  w.raw(req.serialize());
   // The request may concern a RECEIVE-ONLY EphID (0-RTT flood): the
   // ownership proof is the signature + certificate above, but the request
   // packet itself must be sourced from a sendable EphID (§VII-A).
@@ -652,9 +655,11 @@ Result<void> Host::request_shutoff(const wire::PacketView& offending,
               return sender ? sender->cert.ephid : ctrl_ephid_;
             }()
           : owned->cert.ephid;
-  wire::Packet pkt = make_packet(aa.aid, aa.ephid, src_ephid,
-                                 wire::NextProto::shutoff, w.take());
-  transmit_ctrl(std::move(pkt));
+  wire::PacketWriter pw = start_packet(aa.aid, aa.ephid, src_ephid,
+                                       wire::NextProto::shutoff);
+  pw.u8(static_cast<std::uint8_t>(core::ShutoffKind::shutoff_request));
+  req.encode(pw);
+  transmit_ctrl(pw);
   return Result<void>::success();
 }
 
@@ -674,24 +679,23 @@ Result<void> Host::revoke_own_ephid(const core::EphId& ephid,
   owned->revoked_locally = true;
 
   pending_shutoffs_.push_back(std::move(cb));
-  wire::Writer w(256);
-  w.u8(static_cast<std::uint8_t>(core::ShutoffKind::revoke_request));
-  w.raw(req.serialize());
   // Voluntary revocation goes to OUR OWN AS's agent, sourced from the
   // control EphID (the revoked EphID must not source new traffic).
-  wire::Packet pkt = make_packet(aid_, aa_ephid_, ctrl_ephid_,
-                                 wire::NextProto::shutoff, w.take());
-  transmit_ctrl(std::move(pkt));
+  wire::PacketWriter pw = start_packet(aid_, aa_ephid_, ctrl_ephid_,
+                                       wire::NextProto::shutoff);
+  pw.u8(static_cast<std::uint8_t>(core::ShutoffKind::revoke_request));
+  req.encode(pw);
+  transmit_ctrl(pw);
   return Result<void>::success();
 }
 
 void Host::on_shutoff_response(const wire::PacketView& pkt) {
   if (pending_shutoffs_.empty()) return;
-  wire::Reader r(pkt.payload());
+  wire::MsgReader r(pkt);
   auto kind = r.u8();
   if (!kind || *kind != static_cast<std::uint8_t>(core::ShutoffKind::response))
     return;
-  auto resp = core::ShutoffResponse::parse(r.rest());
+  auto resp = core::decode_msg<core::ShutoffResponse>(r.rest());
   ShutoffCallback cb = std::move(pending_shutoffs_.front());
   pending_shutoffs_.pop_front();
   if (!resp) {
@@ -713,11 +717,11 @@ void Host::resolve(const std::string& name, ResolveCallback cb) {
 
 void Host::resolve_via(const core::EphIdCertificate& dns_cert,
                        const std::string& name, ResolveCallback cb) {
-  wire::Writer w(name.size() + 4);
+  wire::MsgWriter w(name.size() + 4);
   w.u8(kDnsOpQuery);
   core::DnsQuery q;
   q.name = name;
-  w.raw(q.serialize());
+  q.encode(w);
   DnsPending req;
   req.op = kDnsOpQuery;
   req.body = w.take();
@@ -732,9 +736,9 @@ void Host::publish_name(const std::string& name,
   p.name = name;
   p.cert = cert;
   p.ipv4 = ipv4;
-  wire::Writer w(400);
+  wire::MsgWriter w(400);
   w.u8(kDnsOpPublish);
-  w.raw(p.serialize());
+  p.encode(w);
   DnsPending req;
   req.op = kDnsOpPublish;
   req.body = w.take();
@@ -782,16 +786,16 @@ void Host::flush_dns_queue(std::uint64_t session_id) {
 
   for (auto& req : qit->second) {
     if (req.body.empty()) continue;  // already sent
-    wire::Packet pkt = make_packet(st.peer_aid, st.peer_ephid, st.my_ephid,
-                                   wire::NextProto::data,
-                                   st.session->seal(req.body));
+    wire::PacketWriter pw = start_packet(st.peer_aid, st.peer_ephid,
+                                         st.my_ephid, wire::NextProto::data);
+    pw.raw(st.session->seal(req.body));
     req.body.clear();  // mark in-flight
-    transmit(std::move(pkt), st.my_owned);
+    transmit(pw, st.my_owned);
   }
 }
 
 void Host::handle_dns_frame(SessionState& st, ByteSpan frame) {
-  wire::Reader r(frame);
+  wire::MsgReader r(frame);
   auto op = r.u8();
   if (!op || *op != kDnsOpResponse) return;
 
@@ -801,7 +805,7 @@ void Host::handle_dns_frame(SessionState& st, ByteSpan frame) {
   qit->second.pop_front();
 
   if (req.op == kDnsOpQuery) {
-    auto resp = core::DnsResponse::parse(r.rest());
+    auto resp = core::decode_msg<core::DnsResponse>(r.rest());
     if (!resp || resp->status != 0 || !resp->record) {
       if (req.on_resolve)
         req.on_resolve(Result<core::DnsRecord>(Errc::not_found, "NXDOMAIN"));
@@ -810,7 +814,9 @@ void Host::handle_dns_frame(SessionState& st, ByteSpan frame) {
     // DNSSEC stand-in: verify the record signature with the DNS service's
     // key, and the embedded certificate against its issuing AS.
     core::DnsRecord rec = *resp->record;
-    if (!crypto::ed25519_verify(st.peer_cert.pub.sig, rec.tbs(), rec.sig)) {
+    wire::MsgWriter tbs(256);
+    rec.tbs_into(tbs);
+    if (!crypto::ed25519_verify(st.peer_cert.pub.sig, tbs.span(), rec.sig)) {
       if (req.on_resolve)
         req.on_resolve(
             Result<core::DnsRecord>(Errc::bad_signature, "record sig"));
@@ -834,6 +840,46 @@ void Host::handle_dns_frame(SessionState& st, ByteSpan frame) {
     else
       req.on_publish(Result<void>(Errc::unauthorized, "publish rejected"));
   }
+}
+
+// ---- EphID auto-renewal (§VIII-G1 lifecycle) --------------------------------------
+
+void Host::start_auto_renew(EphIdLifecycleManager::Config cfg) {
+  if (cfg.check_interval_us == 0) cfg.check_interval_us = net::kUsPerSecond;
+  lifecycle_.emplace(cfg);
+  const std::uint64_t gen = ++auto_renew_gen_;
+  // First tick runs immediately-ish (jitter only), so a freshly started
+  // host stocks its classes without waiting a full interval.
+  loop_.schedule_in(lifecycle_->next_delay(rng_) % cfg.check_interval_us,
+                    [this, gen] { auto_renew_tick(gen); });
+}
+
+void Host::stop_auto_renew() {
+  lifecycle_.reset();
+  ++auto_renew_gen_;  // any scheduled tick becomes a no-op
+}
+
+void Host::auto_renew_tick(std::uint64_t gen) {
+  if (!lifecycle_ || gen != auto_renew_gen_) return;
+  const auto deficits = lifecycle_->plan(pool_, loop_.now_seconds(),
+                                         loop_.now());
+  for (std::size_t i = 0; i < kLifetimeClasses; ++i) {
+    const auto lt = static_cast<core::EphIdLifetime>(i);
+    for (std::size_t n = 0; n < deficits[i]; ++n) {
+      lifecycle_->on_requested(lt, loop_.now());
+      request_ephid(lt, 0, [this, gen, lt](Result<const OwnedEphId*> r) {
+        if (!lifecycle_ || gen != auto_renew_gen_) return;
+        if (r)
+          lifecycle_->on_issued(lt);
+        else
+          lifecycle_->on_failed(lt);
+      });
+    }
+  }
+  // Jittered, backoff-aware re-schedule: the loop keeps running until
+  // stop_auto_renew() flips the generation.
+  loop_.schedule_in(lifecycle_->next_delay(rng_),
+                    [this, gen] { auto_renew_tick(gen); });
 }
 
 // ---- Receive dispatch --------------------------------------------------------------

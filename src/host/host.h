@@ -30,6 +30,7 @@
 #include "net/sim.h"
 #include "util/result.h"
 #include "wire/apna_header.h"
+#include "wire/msg_codec.h"
 #include "wire/packet_buf.h"
 
 namespace apna::host {
@@ -131,6 +132,22 @@ class Host {
   /// The NAT-mode AP's uplink uses this.
   void forward_as_own_burst(std::span<wire::PacketBuf> pkts);
 
+  /// Re-requests `lifetime`-class EphIDs proactively ahead of expiry: the
+  /// lifecycle manager (host/ephid_pool.h) keeps every enabled class
+  /// stocked with jittered refresh scheduling and exponential backoff on
+  /// MS failure, driven by net::EventLoop timers. Live sessions stay
+  /// pinned to their issuing EphID across rollover; only NEW flows move to
+  /// the fresh certificates. Off by default (the tick re-schedules itself,
+  /// so an idle loop.run() would never drain with it enabled).
+  void start_auto_renew(EphIdLifecycleManager::Config cfg);
+  /// Stops the renewal loop; the already-scheduled tick becomes a no-op.
+  void stop_auto_renew();
+  bool auto_renew_active() const { return lifecycle_.has_value(); }
+  /// Lifecycle state/stats while auto-renew is active (else nullptr).
+  const EphIdLifecycleManager* lifecycle() const {
+    return lifecycle_ ? &*lifecycle_ : nullptr;
+  }
+
   EphIdPool& pool() { return pool_; }
   const EphIdPool& pool() const { return pool_; }
 
@@ -222,13 +239,17 @@ class Host {
     ConnectCallback on_connected;
   };
 
-  // Packet plumbing. Packets are built with the wire::Packet builder, then
-  // sealed + MAC-stamped in transmit() — the host's one serialization.
-  wire::Packet make_packet(core::Aid dst_aid, const core::EphId& dst_ephid,
-                           const core::EphId& src_ephid,
-                           wire::NextProto proto, Bytes payload);
-  void transmit(wire::Packet pkt, const OwnedEphId* src_owned);
-  void transmit_ctrl(wire::Packet pkt);
+  // Packet plumbing. Packets are built IN PLACE with wire::PacketWriter —
+  // header fields at their fixed offsets, payload appended through the
+  // MsgWriter interface — then MAC-stamped on the wire image in
+  // transmit(). One encode per packet, no intermediate payload buffer.
+  wire::PacketWriter start_packet(core::Aid dst_aid,
+                                  const core::EphId& dst_ephid,
+                                  const core::EphId& src_ephid,
+                                  wire::NextProto proto);
+  void transmit(wire::PacketWriter& pw, const OwnedEphId* src_owned);
+  void transmit_ctrl(wire::PacketWriter& pw);
+  void auto_renew_tick(std::uint64_t gen);
 
   // Receive paths (views into the buffer owned by on_packet).
   void on_control(const wire::PacketView& pkt);
@@ -279,6 +300,7 @@ class Host {
   struct PendingEphId {
     std::optional<core::EphIdKeyPair> kp;  // nullopt for proxied requests
     core::EphIdPublicKeys expected_pub;
+    core::EphIdLifetime lifetime = core::EphIdLifetime::short_term;
     EphIdCallback cb;        // own requests
     CertCallback cert_cb;    // proxied requests
   };
@@ -296,6 +318,9 @@ class Host {
   std::unordered_map<std::uint64_t, std::deque<DnsPending>> dns_queues_;
   std::unordered_map<std::uint64_t, bool> dns_ready_;
   std::unordered_map<std::string, std::uint64_t> dns_sessions_;  // cert → sess
+
+  std::optional<EphIdLifecycleManager> lifecycle_;
+  std::uint64_t auto_renew_gen_ = 0;  // invalidates stale scheduled ticks
 
   DataHandler on_data_;
   IcmpHandler on_icmp_;

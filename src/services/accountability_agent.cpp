@@ -1,9 +1,28 @@
 #include "services/accountability_agent.h"
 
 #include "core/packet_auth.h"
-#include "wire/codec.h"
+#include "wire/msg_codec.h"
 
 namespace apna::services {
+
+AccountabilityAgent::Stats AccountabilityAgent::stats() const {
+  Stats s;
+  const auto ld = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.accepted = ld(counters_.accepted);
+  s.rejected_bad_cert = ld(counters_.rejected_bad_cert);
+  s.rejected_bad_sig = ld(counters_.rejected_bad_sig);
+  s.rejected_unauthorized = ld(counters_.rejected_unauthorized);
+  s.rejected_not_our_host = ld(counters_.rejected_not_our_host);
+  s.rejected_bad_mac = ld(counters_.rejected_bad_mac);
+  s.rejected_malformed = ld(counters_.rejected_malformed);
+  s.hid_escalations = ld(counters_.hid_escalations);
+  s.revocation_instructions = ld(counters_.revocation_instructions);
+  s.onpath_accepted = ld(counters_.onpath_accepted);
+  s.voluntary_revocations = ld(counters_.voluntary_revocations);
+  return s;
+}
 
 Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
                                           core::ExpTime now) {
@@ -11,25 +30,25 @@ Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
   // it. Zero-copy: all later field reads go through the view.
   auto pkt = wire::PacketView::bind(req.offending_packet);
   if (!pkt) {
-    ++stats_.rejected_malformed;
+    ++counters_.rejected_malformed;
     return Result<void>(Errc::malformed, "offending packet unparseable");
   }
 
   // 1. verifyCert(C_EphID_d) against the requester AS's published key.
   const auto requester_as = directory_.lookup(req.dst_cert.aid);
   if (!requester_as) {
-    ++stats_.rejected_bad_cert;
+    ++counters_.rejected_bad_cert;
     return Result<void>(Errc::bad_certificate, "unknown requester AS");
   }
   if (auto ok = req.dst_cert.verify(requester_as->sign_pub, now); !ok) {
-    ++stats_.rejected_bad_cert;
+    ++counters_.rejected_bad_cert;
     return ok;
   }
 
   // 2. verifySig(K+_EphID_d, {pkt}) — requester holds EphID_d's key.
   if (!crypto::ed25519_verify(req.dst_cert.pub.sig, req.offending_packet,
                               req.sig)) {
-    ++stats_.rejected_bad_sig;
+    ++counters_.rejected_bad_sig;
     return Result<void>(Errc::bad_signature, "requester signature invalid");
   }
 
@@ -51,33 +70,33 @@ Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
     }
   }
   if (!is_recipient && !is_onpath) {
-    ++stats_.rejected_unauthorized;
+    ++counters_.rejected_unauthorized;
     return Result<void>(Errc::unauthorized,
                         "requester is neither recipient nor on-path AS");
   }
-  if (is_onpath) ++stats_.onpath_accepted;
+  if (is_onpath) ++counters_.onpath_accepted;
 
   // 3. (HID_S, T) = E^-1_kA(EphID_s); T ≥ now; HID_S ∈ host_info.
   core::EphId src_ephid;
   src_ephid.bytes = pkt->src_ephid();
   auto plain = as_.codec.open(src_ephid);
   if (!plain) {
-    ++stats_.rejected_not_our_host;
+    ++counters_.rejected_not_our_host;
     return Result<void>(Errc::decrypt_failed, "source EphID not ours");
   }
   if (plain->exp_time < now) {
-    ++stats_.rejected_not_our_host;
+    ++counters_.rejected_not_our_host;
     return Result<void>(Errc::expired, "source EphID already expired");
   }
   const auto host = as_.host_db.find(plain->hid);
   if (!host) {
-    ++stats_.rejected_not_our_host;
+    ++counters_.rejected_not_our_host;
     return Result<void>(Errc::unknown_host, "source HID not registered");
   }
 
   // 5. verifyMAC(k_HSAS, pkt) — proof our customer actually sent it.
   if (!core::verify_packet_mac(*host->cmac, *pkt)) {
-    ++stats_.rejected_bad_mac;
+    ++counters_.rejected_bad_mac;
     return Result<void>(Errc::bad_mac, "packet not authenticated by source");
   }
 
@@ -85,7 +104,7 @@ Result<void> AccountabilityAgent::process(const core::ShutoffRequest& req,
   if (auto r = instruct_revocation(src_ephid, plain->exp_time, plain->hid); !r)
     return r;
 
-  ++stats_.accepted;
+  ++counters_.accepted;
   return Result<void>::success();
 }
 
@@ -93,18 +112,18 @@ Result<void> AccountabilityAgent::instruct_revocation(const core::EphId& ephid,
                                                       core::ExpTime exp_time,
                                                       core::Hid hid) {
   // MAC_kAS(revoke EphID_s) — build the instruction as the AA ...
-  wire::Writer w(32);
+  wire::MsgWriter w(32);
   w.str("revoke");
   w.raw(ephid.bytes);
   w.u32(exp_time);
-  const Bytes instruction = w.take();
+  const ByteSpan instruction = w.span();
   const auto mac = as_.infra_mac.mac(instruction);
 
   // ... and verify it as the border routers do (Fig 5 bottom) before it
   // takes effect.
   if (!as_.infra_mac.verify(instruction, ByteSpan(mac.data(), mac.size())))
     return Result<void>(Errc::internal, "infra MAC self-check failed");
-  ++stats_.revocation_instructions;
+  ++counters_.revocation_instructions;
 
   const std::uint32_t host_count = as_.revoked.revoke_ephid(ephid, exp_time, hid);
   (void)host_count;
@@ -113,7 +132,7 @@ Result<void> AccountabilityAgent::instruct_revocation(const core::EphId& ephid,
   if (as_.revoked.over_limit(hid)) {
     as_.revoked.revoke_hid(hid);
     as_.host_db.erase(hid);
-    ++stats_.hid_escalations;
+    ++counters_.hid_escalations;
   }
   return Result<void>::success();
 }
@@ -122,28 +141,28 @@ Result<void> AccountabilityAgent::process_revoke(
     const core::EphIdRevokeRequest& req, core::ExpTime now) {
   // The certificate must be one WE issued, for exactly this EphID.
   if (req.cert.aid != as_.aid || !(req.cert.ephid == req.ephid)) {
-    ++stats_.rejected_bad_cert;
+    ++counters_.rejected_bad_cert;
     return Result<void>(Errc::bad_certificate, "certificate mismatch");
   }
   if (auto ok = req.cert.verify(as_.secrets.sign.pub, now); !ok) {
-    ++stats_.rejected_bad_cert;
+    ++counters_.rejected_bad_cert;
     return ok;
   }
   // Ownership: signed with the EphID's own key.
   if (!crypto::ed25519_verify(req.cert.pub.sig,
                               core::EphIdRevokeRequest::revoke_tbs(req.ephid),
                               req.sig)) {
-    ++stats_.rejected_bad_sig;
+    ++counters_.rejected_bad_sig;
     return Result<void>(Errc::bad_signature, "revoke signature invalid");
   }
   auto plain = as_.codec.open(req.ephid);
   if (!plain) {
-    ++stats_.rejected_not_our_host;
+    ++counters_.rejected_not_our_host;
     return Result<void>(Errc::decrypt_failed, "EphID not ours");
   }
   if (auto r = instruct_revocation(req.ephid, plain->exp_time, plain->hid); !r)
     return r;
-  ++stats_.voluntary_revocations;
+  ++counters_.voluntary_revocations;
   return Result<void>::success();
 }
 
@@ -163,18 +182,18 @@ Result<wire::PacketBuf> AccountabilityAgent::handle_packet(
     return Result<wire::PacketBuf>(Errc::malformed,
                                    "AA expects shutoff packets");
 
-  wire::Reader r(pkt.payload());
+  wire::MsgReader r(pkt);
   auto kind = r.u8();
 
   core::ShutoffResponse resp_msg;
   if (!kind) {
-    ++stats_.rejected_malformed;
+    ++counters_.rejected_malformed;
     resp_msg.status = static_cast<std::uint8_t>(Errc::malformed);
   } else if (*kind ==
              static_cast<std::uint8_t>(core::ShutoffKind::shutoff_request)) {
-    auto req = core::ShutoffRequest::parse(r.rest());
-    if (!req) {
-      ++stats_.rejected_malformed;
+    auto req = core::ShutoffRequest::decode(r);
+    if (!req || !r.done()) {
+      ++counters_.rejected_malformed;
       resp_msg.status = static_cast<std::uint8_t>(Errc::malformed);
     } else {
       resp_msg.status =
@@ -182,30 +201,25 @@ Result<wire::PacketBuf> AccountabilityAgent::handle_packet(
     }
   } else if (*kind ==
              static_cast<std::uint8_t>(core::ShutoffKind::revoke_request)) {
-    auto req = core::EphIdRevokeRequest::parse(r.rest());
-    if (!req) {
-      ++stats_.rejected_malformed;
+    auto req = core::EphIdRevokeRequest::decode(r);
+    if (!req || !r.done()) {
+      ++counters_.rejected_malformed;
       resp_msg.status = static_cast<std::uint8_t>(Errc::malformed);
     } else {
       resp_msg.status = static_cast<std::uint8_t>(
           process_revoke(*req, loop_.now_seconds()).code());
     }
   } else {
-    ++stats_.rejected_malformed;
+    ++counters_.rejected_malformed;
     resp_msg.status = static_cast<std::uint8_t>(Errc::malformed);
   }
 
-  wire::Packet resp;
-  resp.src_aid = as_.aid;
-  resp.src_ephid = ident_.cert.ephid.bytes;
-  resp.dst_aid = pkt.src_aid();
-  resp.dst_ephid = pkt.src_ephid();
-  resp.proto = wire::NextProto::shutoff;
-  wire::Writer w(4);
-  w.u8(static_cast<std::uint8_t>(core::ShutoffKind::response));
-  w.raw(resp_msg.serialize());
-  resp.payload = w.take();
-  wire::PacketBuf out = resp.seal();
+  wire::PacketWriter pw(as_.aid, ident_.cert.ephid.bytes, pkt.src_aid(),
+                        pkt.src_ephid(), wire::NextProto::shutoff,
+                        std::nullopt, 8);
+  pw.u8(static_cast<std::uint8_t>(core::ShutoffKind::response));
+  resp_msg.encode(pw);
+  wire::PacketBuf out = pw.finish();
   core::stamp_packet_mac(*ident_.cmac, out);
   return out;
 }

@@ -13,8 +13,13 @@
 //                                          rogue packet fails here.
 //   6. MAC_kAS(revoke EphID_s) to the border routers, which verify and
 //      insert into revoked_ids.
+//
+// process() is thread-safe (sharded AsState, immutable key material,
+// atomic counters): services::ServicePool fans shutoff-verification bursts
+// across M workers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/as_directory.h"
@@ -22,12 +27,15 @@
 #include "core/messages.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
+#include "services/service_runtime.h"
 #include "wire/packet_buf.h"
 
 namespace apna::services {
 
-class AccountabilityAgent {
+class AccountabilityAgent : public ControlService {
  public:
+  /// Plain copyable counters — what stats() returns (live counters are
+  /// atomics for the M-worker verification pool).
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t rejected_bad_cert = 0;
@@ -46,10 +54,18 @@ class AccountabilityAgent {
                       net::EventLoop& loop, ServiceIdentity ident)
       : as_(as), directory_(directory), loop_(loop), ident_(std::move(ident)) {}
 
-  /// Full packet path: parse request, process, build the signed response.
-  Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt);
+  // ---- ControlService --------------------------------------------------------
+  const core::EphId& service_ephid() const override {
+    return ident_.cert.ephid;
+  }
+  core::Hid service_hid() const override { return ident_.hid; }
+  const char* service_name() const override { return "accountability"; }
 
-  /// The Fig 5 validation pipeline.
+  /// Full packet path: parse the request in place, process, and build the
+  /// signed response directly in pooled storage.
+  Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt) override;
+
+  /// The Fig 5 validation pipeline. Thread-safe.
   Result<void> process(const core::ShutoffRequest& req, core::ExpTime now);
 
   /// §VIII-G2 voluntary revocation: a host retires its own EphID.
@@ -65,7 +81,7 @@ class AccountabilityAgent {
 
   const core::EphIdCertificate& cert() const { return ident_.cert; }
   const ServiceIdentity& identity() const { return ident_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   /// Models "MAC_kAS(revoke EphID_s)" + BR-side verification (Fig 5 tail):
@@ -74,11 +90,25 @@ class AccountabilityAgent {
   Result<void> instruct_revocation(const core::EphId& ephid,
                                    core::ExpTime exp_time, core::Hid hid);
 
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected_bad_cert{0};
+    std::atomic<std::uint64_t> rejected_bad_sig{0};
+    std::atomic<std::uint64_t> rejected_unauthorized{0};
+    std::atomic<std::uint64_t> rejected_not_our_host{0};
+    std::atomic<std::uint64_t> rejected_bad_mac{0};
+    std::atomic<std::uint64_t> rejected_malformed{0};
+    std::atomic<std::uint64_t> hid_escalations{0};
+    std::atomic<std::uint64_t> revocation_instructions{0};
+    std::atomic<std::uint64_t> onpath_accepted{0};
+    std::atomic<std::uint64_t> voluntary_revocations{0};
+  };
+
   core::AsState& as_;
   const core::AsDirectory& directory_;
   net::EventLoop& loop_;
   ServiceIdentity ident_;
-  Stats stats_;
+  Counters counters_;
 };
 
 }  // namespace apna::services

@@ -1,7 +1,7 @@
 #include "services/dns_service.h"
 
 #include "core/packet_auth.h"
-#include "wire/codec.h"
+#include "wire/msg_codec.h"
 
 namespace apna::services {
 
@@ -12,12 +12,14 @@ core::DnsRecord DnsService::sign_record(const std::string& name,
   rec.name = name;
   rec.cert = cert;
   rec.ipv4 = ipv4;
-  rec.sig = ident_.kp.sign(rec.tbs());
+  wire::MsgWriter tbs(256);
+  rec.tbs_into(tbs);
+  rec.sig = ident_.kp.sign(tbs.span());
   return rec;
 }
 
 Result<core::DnsResponse> DnsService::resolve(const core::DnsQuery& q) {
-  ++stats_.queries;
+  ++counters_.queries;
   core::DnsResponse resp;
   if (auto rec = zone_.get(q.name)) {
     resp.status = 0;
@@ -26,9 +28,11 @@ Result<core::DnsResponse> DnsService::resolve(const core::DnsQuery& q) {
     // service that accepted the publication; the serving resolver re-signs
     // so clients verify against the key of the server they actually speak
     // to (the DNSSEC chain stand-in ends at the resolver).
-    resp.record->sig = ident_.kp.sign(resp.record->tbs());
+    wire::MsgWriter tbs(256);
+    resp.record->tbs_into(tbs);
+    resp.record->sig = ident_.kp.sign(tbs.span());
   } else {
-    ++stats_.nxdomain;
+    ++counters_.nxdomain;
     resp.status = 1;
   }
   return resp;
@@ -40,34 +44,34 @@ Result<void> DnsService::publish(const core::DnsPublish& p) {
   if (auto ok = core::validate_peer_cert(p.cert, directory_,
                                          loop_.now_seconds());
       !ok) {
-    ++stats_.rejected;
+    ++counters_.rejected;
     return ok;
   }
   zone_.put(sign_record(p.name, p.cert, p.ipv4));
-  ++stats_.publications;
+  ++counters_.publications;
   return Result<void>::success();
 }
 
 Result<Bytes> DnsService::handle_op(ByteSpan plaintext) {
-  wire::Reader r(plaintext);
+  wire::MsgReader r(plaintext);
   auto op = r.u8();
   if (!op) return op.error();
   switch (static_cast<DnsOp>(*op)) {
     case DnsOp::query: {
-      auto q = core::DnsQuery::parse(r.rest());
+      auto q = core::decode_msg<core::DnsQuery>(r.rest());
       if (!q) return q.error();
       auto resp = resolve(*q);
       if (!resp) return resp.error();
-      wire::Writer w(400);
+      wire::MsgWriter w(400);
       w.u8(static_cast<std::uint8_t>(DnsOp::response));
-      w.raw(resp->serialize());
+      resp->encode(w);
       return w.take();
     }
     case DnsOp::publish: {
-      auto p = core::DnsPublish::parse(r.rest());
+      auto p = core::decode_msg<core::DnsPublish>(r.rest());
       if (!p) return p.error();
       const auto result = publish(*p);
-      wire::Writer w(2);
+      wire::MsgWriter w(2);
       w.u8(static_cast<std::uint8_t>(DnsOp::response));
       w.u8(static_cast<std::uint8_t>(result.code()));
       return w.take();
@@ -80,15 +84,11 @@ Result<Bytes> DnsService::handle_op(ByteSpan plaintext) {
 
 wire::PacketBuf DnsService::make_reply(const wire::PacketView& req,
                                        wire::NextProto proto,
-                                       Bytes payload) const {
-  wire::Packet resp;
-  resp.src_aid = as_.aid;
-  resp.src_ephid = ident_.cert.ephid.bytes;
-  resp.dst_aid = req.src_aid();
-  resp.dst_ephid = req.src_ephid();
-  resp.proto = proto;
-  resp.payload = std::move(payload);
-  wire::PacketBuf out = resp.seal();
+                                       ByteSpan payload) const {
+  wire::PacketWriter pw(as_.aid, ident_.cert.ephid.bytes, req.src_aid(),
+                        req.src_ephid(), proto, std::nullopt, payload.size());
+  pw.raw(payload);
+  wire::PacketBuf out = pw.finish();
   core::stamp_packet_mac(*ident_.cmac, out);
   return out;
 }
@@ -99,36 +99,40 @@ Result<wire::PacketBuf> DnsService::handle_packet(
 
   if (pkt.proto() == wire::NextProto::handshake) {
     // Handshake payloads carry a one-byte kind prefix (0 = init, 1 = resp).
-    wire::Reader hr(pkt.payload());
+    wire::MsgReader hr(pkt);
     auto kind = hr.u8();
     if (!kind || *kind != 0) {
-      ++stats_.rejected;
+      ++counters_.rejected;
       return Result<wire::PacketBuf>(Errc::malformed,
                                      "expected handshake init");
     }
-    auto init = core::HandshakeInit::parse(hr.rest());
-    if (!init) {
-      ++stats_.rejected;
-      return init.error();
+    auto init = core::HandshakeInit::decode(hr);
+    if (!init || !hr.done()) {
+      ++counters_.rejected;
+      return Result<wire::PacketBuf>(Errc::malformed, "bad handshake init");
     }
     // The DNS service serves directly from its service EphID.
     auto hs = core::handshake_respond(*init, directory_, now, ident_.kp,
                                       ident_.cert, ident_.kp, ident_.cert,
                                       rng_.next_u64());
     if (!hs) {
-      ++stats_.rejected;
-      return hs.error();
+      ++counters_.rejected;
+      return Result<wire::PacketBuf>(hs.error());
     }
     core::EphId client;
     client.bytes = pkt.src_ephid();
     sessions_.erase(client);
     sessions_.emplace(client, std::move(hs->session));
-    ++stats_.sessions;
+    ++counters_.sessions;
 
-    wire::Writer w(300);
-    w.u8(1);  // handshake response kind
-    w.raw(hs->response.serialize());
-    return make_reply(pkt, wire::NextProto::handshake, w.take());
+    // The handshake response encodes directly into the reply packet.
+    wire::PacketWriter pw(as_.aid, ident_.cert.ephid.bytes, pkt.src_aid(),
+                          pkt.src_ephid(), wire::NextProto::handshake);
+    pw.u8(1);  // handshake response kind
+    hs->response.encode(pw);
+    wire::PacketBuf out = pw.finish();
+    core::stamp_packet_mac(*ident_.cmac, out);
+    return out;
   }
 
   if (pkt.proto() == wire::NextProto::data) {
@@ -136,24 +140,24 @@ Result<wire::PacketBuf> DnsService::handle_packet(
     client.bytes = pkt.src_ephid();
     auto it = sessions_.find(client);
     if (it == sessions_.end()) {
-      ++stats_.rejected;
+      ++counters_.rejected;
       return Result<wire::PacketBuf>(Errc::not_found, "no session for client");
     }
     auto pt = it->second.open(pkt.payload());
     if (!pt) {
-      ++stats_.rejected;
-      return pt.error();
+      ++counters_.rejected;
+      return Result<wire::PacketBuf>(pt.error());
     }
     auto reply = handle_op(*pt);
     if (!reply) {
-      ++stats_.rejected;
-      return reply.error();
+      ++counters_.rejected;
+      return Result<wire::PacketBuf>(reply.error());
     }
-    return make_reply(pkt, wire::NextProto::data,
-                      it->second.seal(*reply));
+    const Bytes sealed = it->second.seal(*reply);
+    return make_reply(pkt, wire::NextProto::data, sealed);
   }
 
-  ++stats_.rejected;
+  ++counters_.rejected;
   return Result<wire::PacketBuf>(Errc::malformed, "DNS expects handshake/data");
 }
 

@@ -12,6 +12,7 @@
 // "Protecting DNS Queries").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -24,6 +25,7 @@
 #include "crypto/rng.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
+#include "services/service_runtime.h"
 #include "wire/packet_buf.h"
 
 namespace apna::services {
@@ -58,8 +60,9 @@ class DnsZone {
 /// Session-layer operation codes carried in DNS data frames.
 enum class DnsOp : std::uint8_t { query = 0, publish = 1, response = 2 };
 
-class DnsService {
+class DnsService : public ControlService {
  public:
+  /// Plain copyable counters — what stats() returns.
   struct Stats {
     std::uint64_t queries = 0;
     std::uint64_t nxdomain = 0;
@@ -78,9 +81,16 @@ class DnsService {
         ident_(std::move(ident)),
         zone_(zone) {}
 
+  // ---- ControlService --------------------------------------------------------
+  const core::EphId& service_ephid() const override {
+    return ident_.cert.ephid;
+  }
+  core::Hid service_hid() const override { return ident_.hid; }
+  const char* service_name() const override { return "dns"; }
+
   /// Handshake or data packet addressed to the DNS EphID. Returns the
   /// sealed reply (handshake response, or a DnsResponse/status frame).
-  Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt);
+  Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt) override;
 
   /// Signs a record under the DNS service key (DNSSEC stand-in).
   core::DnsRecord sign_record(const std::string& name,
@@ -96,12 +106,28 @@ class DnsService {
   const crypto::Ed25519PublicKey& record_key() const {
     return ident_.kp.pub.sig;
   }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.queries = counters_.queries.load(std::memory_order_relaxed);
+    s.nxdomain = counters_.nxdomain.load(std::memory_order_relaxed);
+    s.publications = counters_.publications.load(std::memory_order_relaxed);
+    s.sessions = counters_.sessions.load(std::memory_order_relaxed);
+    s.rejected = counters_.rejected.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   wire::PacketBuf make_reply(const wire::PacketView& req,
-                             wire::NextProto proto, Bytes payload) const;
+                             wire::NextProto proto, ByteSpan payload) const;
   Result<Bytes> handle_op(ByteSpan plaintext);
+
+  struct Counters {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> nxdomain{0};
+    std::atomic<std::uint64_t> publications{0};
+    std::atomic<std::uint64_t> sessions{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
 
   core::AsState& as_;
   const core::AsDirectory& directory_;
@@ -109,7 +135,7 @@ class DnsService {
   crypto::Rng& rng_;
   ServiceIdentity ident_;
   DnsZone& zone_;
-  Stats stats_;
+  Counters counters_;
   std::uint64_t nonce_ = 1;
   // Live sessions keyed by client EphID.
   std::unordered_map<core::EphId, core::Session, core::EphIdHash> sessions_;

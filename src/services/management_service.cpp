@@ -4,42 +4,43 @@
 
 namespace apna::services {
 
-Result<Bytes> ManagementService::issue_sealed(const core::EphId& ctrl_ephid,
-                                              ByteSpan sealed_request,
-                                              core::ExpTime now,
-                                              crypto::Rng& rng) {
+Result<void> ManagementService::issue_into(const core::EphId& ctrl_ephid,
+                                           ByteSpan sealed_request,
+                                           core::ExpTime now, crypto::Rng& rng,
+                                           std::uint64_t reply_nonce,
+                                           wire::MsgWriter& out) {
   // (HID, T1) = E^-1_kA(EphID_ctrl); abort if T1 < currTime (Fig 3).
   auto plain = as_.codec.open(ctrl_ephid);
   if (!plain) {
-    ++stats_.rejected_bad_payload;
-    return Result<Bytes>(plain.error());
+    ++counters_.rejected_bad_payload;
+    return Result<void>(plain.error());
   }
   if (plain->exp_time < now) {
-    ++stats_.rejected_expired;
-    return Result<Bytes>(Errc::expired, "control EphID expired");
+    ++counters_.rejected_expired;
+    return Result<void>(Errc::expired, "control EphID expired");
   }
   // abort if HID ∉ host_info (also covers revoked HIDs — they are erased).
   if (as_.revoked.is_hid_revoked(plain->hid)) {
-    ++stats_.rejected_revoked;
-    return Result<Bytes>(Errc::revoked, "HID revoked");
+    ++counters_.rejected_revoked;
+    return Result<void>(Errc::revoked, "HID revoked");
   }
   const auto host = as_.host_db.find(plain->hid);
   if (!host) {
-    ++stats_.rejected_unknown_host;
-    return Result<Bytes>(Errc::unknown_host, "HID not registered");
+    ++counters_.rejected_unknown_host;
+    return Result<void>(Errc::unknown_host, "HID not registered");
   }
 
   // K+_EphID = E^-1_kHA(request) — authenticated decryption.
   auto payload = core::open_control(host->keys, /*from_host=*/true,
                                     sealed_request);
   if (!payload) {
-    ++stats_.rejected_bad_payload;
-    return Result<Bytes>(payload.error());
+    ++counters_.rejected_bad_payload;
+    return Result<void>(payload.error());
   }
-  auto request = core::EphIdRequest::parse(*payload);
+  auto request = core::decode_msg<core::EphIdRequest>(*payload);
   if (!request) {
-    ++stats_.rejected_bad_payload;
-    return Result<Bytes>(request.error());
+    ++counters_.rejected_bad_payload;
+    return Result<void>(request.error());
   }
 
   // EphID = E_kA(HID, ExpTime); C_EphID = {...} signed K-_AS.
@@ -56,15 +57,28 @@ Result<Bytes> ManagementService::issue_sealed(const core::EphId& ctrl_ephid,
   cert.sign_with(as_.secrets.sign);
 
   // E_kHA(C_EphID): the reply is encrypted so observers cannot relate the
-  // fresh EphID to the control EphID (§IV-C last paragraph).
+  // fresh EphID to the control EphID (§IV-C last paragraph). The response
+  // encodes into pooled scratch, the sealed bytes go straight to `out`.
+  wire::MsgWriter plaintext(192);
   core::EphIdResponse resp;
   resp.cert = std::move(cert);
-  const std::uint64_t nonce =
-      reply_nonce_.fetch_add(1, std::memory_order_relaxed);
-  Bytes sealed = core::seal_control(host->keys, nonce, /*from_host=*/false,
-                                    resp.serialize());
-  ++stats_.issued;
-  return sealed;
+  resp.encode(plaintext);
+  core::seal_control_into(out, host->keys, reply_nonce, /*from_host=*/false,
+                          plaintext.span());
+  ++counters_.issued;
+  return Result<void>::success();
+}
+
+Result<Bytes> ManagementService::issue_sealed(const core::EphId& ctrl_ephid,
+                                              ByteSpan sealed_request,
+                                              core::ExpTime now,
+                                              crypto::Rng& rng) {
+  const std::uint64_t nonce = reserve_reply_nonces(1);
+  wire::MsgWriter out(320);
+  if (auto r = issue_into(ctrl_ephid, sealed_request, now, rng, nonce, out);
+      !r)
+    return Result<Bytes>(r.error());
+  return out.take();
 }
 
 Result<wire::PacketBuf> ManagementService::handle_packet(
@@ -75,17 +89,14 @@ Result<wire::PacketBuf> ManagementService::handle_packet(
 
   core::EphId ctrl;
   ctrl.bytes = req.src_ephid();
-  auto sealed = issue_sealed(ctrl, req.payload(), loop_.now_seconds(), rng_);
-  if (!sealed) return sealed.error();
-
-  wire::Packet resp;
-  resp.src_aid = as_.aid;
-  resp.src_ephid = ident_.cert.ephid.bytes;
-  resp.dst_aid = req.src_aid();
-  resp.dst_ephid = req.src_ephid();
-  resp.proto = wire::NextProto::control;
-  resp.payload = sealed.take();
-  wire::PacketBuf out = resp.seal();
+  // The sealed response encodes DIRECTLY into the reply packet's payload
+  // region; finish() patches the length and the MAC is stamped in place.
+  wire::PacketWriter pw(as_.aid, ident_.cert.ephid.bytes, req.src_aid(),
+                        req.src_ephid(), wire::NextProto::control);
+  auto issued = issue_into(ctrl, req.payload(), loop_.now_seconds(), rng_,
+                           reserve_reply_nonces(1), pw);
+  if (!issued) return Result<wire::PacketBuf>(issued.error());
+  wire::PacketBuf out = pw.finish();
   core::stamp_packet_mac(*ident_.cmac, out);
   return out;
 }

@@ -6,8 +6,12 @@
 // C_EphID, returned encrypted under kHA so observers cannot link new EphIDs
 // to the requesting control EphID (§IV-C).
 //
-// issue_sealed() is exactly the per-request server work measured in the
-// paper's MS experiment (§V-A3); bench E1 drives it directly.
+// issue_into() is exactly the per-request server work measured in the
+// paper's MS experiment (§V-A3); bench E1 drives it directly — single
+// threaded and fanned across M workers through services::ServicePool. It
+// is thread-safe: the AS state is sharded/immutable, the counters are
+// atomics, and the caller supplies the rng and the reply nonce (so pooled
+// bursts stay deterministic regardless of worker scheduling).
 #pragma once
 
 #include <atomic>
@@ -18,11 +22,13 @@
 #include "crypto/rng.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
+#include "services/service_runtime.h"
+#include "wire/msg_codec.h"
 #include "wire/packet_buf.h"
 
 namespace apna::services {
 
-class ManagementService {
+class ManagementService : public ControlService {
  public:
   /// §VIII-G1: three lifetime categories accommodating flow durations.
   struct LifetimePolicy {
@@ -40,12 +46,15 @@ class ManagementService {
     }
   };
 
+  /// Plain copyable counters — what stats() returns. The live counters are
+  /// atomics (M pool workers issue concurrently); this snapshot is the one
+  /// callers read, so no caller ever loads individual atomics racily.
   struct Stats {
-    std::atomic<std::uint64_t> issued{0};
-    std::atomic<std::uint64_t> rejected_expired{0};
-    std::atomic<std::uint64_t> rejected_unknown_host{0};
-    std::atomic<std::uint64_t> rejected_bad_payload{0};
-    std::atomic<std::uint64_t> rejected_revoked{0};
+    std::uint64_t issued = 0;
+    std::uint64_t rejected_expired = 0;
+    std::uint64_t rejected_unknown_host = 0;
+    std::uint64_t rejected_bad_payload = 0;
+    std::uint64_t rejected_revoked = 0;
   };
 
   ManagementService(core::AsState& as, net::EventLoop& loop, crypto::Rng& rng,
@@ -59,28 +68,74 @@ class ManagementService {
                     ServiceIdentity ident)
       : ManagementService(as, loop, rng, std::move(ident), LifetimePolicy()) {}
 
-  /// Full packet path: validate the request in place, issue, build and
-  /// seal the response packet (src = EphID_ms, dst = the requesting
-  /// control EphID, MAC stamped on the wire image).
-  Result<wire::PacketBuf> handle_packet(const wire::PacketView& req);
+  // ---- ControlService --------------------------------------------------------
+  const core::EphId& service_ephid() const override {
+    return ident_.cert.ephid;
+  }
+  core::Hid service_hid() const override { return ident_.hid; }
+  const char* service_name() const override { return "management"; }
 
-  /// The server side of Fig 3 for one request: everything except transport.
-  /// Thread-safe; used concurrently by the E1 multi-worker benchmark.
+  /// Full packet path: validate the request in place (views only), issue,
+  /// and encode the sealed response DIRECTLY into the reply packet's wire
+  /// image (src = EphID_ms, dst = the requesting control EphID, MAC
+  /// stamped at its fixed offset) — no intermediate payload buffer.
+  Result<wire::PacketBuf> handle_packet(const wire::PacketView& req) override;
+
+  // ---- Issuance (the §V-A3 measured work) -----------------------------------
+
+  /// The server side of Fig 3 for one request, everything except
+  /// transport: appends the E_kHA-sealed EphIdResponse to `out`.
+  /// Thread-safe; the rng and reply nonce come from the caller so pooled
+  /// bursts are deterministic (ServicePool derives both from the request
+  /// index).
+  Result<void> issue_into(const core::EphId& ctrl_ephid,
+                          ByteSpan sealed_request, core::ExpTime now,
+                          crypto::Rng& rng, std::uint64_t reply_nonce,
+                          wire::MsgWriter& out);
+
+  /// Bytes-returning convenience over issue_into (tests, single-thread
+  /// bench path); draws the reply nonce from the internal counter.
   Result<Bytes> issue_sealed(const core::EphId& ctrl_ephid,
                              ByteSpan sealed_request, core::ExpTime now,
                              crypto::Rng& rng);
 
+  /// Reserves a contiguous block of `n` reply nonces (ServicePool bursts:
+  /// request i of a burst uses base+i, independent of worker scheduling).
+  std::uint64_t reserve_reply_nonces(std::uint64_t n) {
+    return reply_nonce_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   const core::EphIdCertificate& cert() const { return ident_.cert; }
   const ServiceIdentity& identity() const { return ident_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.issued = counters_.issued.load(std::memory_order_relaxed);
+    s.rejected_expired =
+        counters_.rejected_expired.load(std::memory_order_relaxed);
+    s.rejected_unknown_host =
+        counters_.rejected_unknown_host.load(std::memory_order_relaxed);
+    s.rejected_bad_payload =
+        counters_.rejected_bad_payload.load(std::memory_order_relaxed);
+    s.rejected_revoked =
+        counters_.rejected_revoked.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
+  struct Counters {
+    std::atomic<std::uint64_t> issued{0};
+    std::atomic<std::uint64_t> rejected_expired{0};
+    std::atomic<std::uint64_t> rejected_unknown_host{0};
+    std::atomic<std::uint64_t> rejected_bad_payload{0};
+    std::atomic<std::uint64_t> rejected_revoked{0};
+  };
+
   core::AsState& as_;
   net::EventLoop& loop_;
   crypto::Rng& rng_;
   ServiceIdentity ident_;
   LifetimePolicy policy_;
-  Stats stats_;
+  Counters counters_;
   std::atomic<std::uint64_t> reply_nonce_{1};
 };
 

@@ -8,7 +8,7 @@ Result<core::BootstrapResponse> RegistryService::bootstrap(
     const core::BootstrapRequest& req) {
   // "RS authenticates Host" — against the subscriber database.
   if (!subs_.authenticate(req.subscriber_id, req.credential)) {
-    ++stats_.rejected_auth;
+    ++counters_.rejected_auth;
     return Result<core::BootstrapResponse>(Errc::unauthorized,
                                            "subscriber authentication failed");
   }
@@ -23,7 +23,7 @@ Result<core::BootstrapResponse> RegistryService::bootstrap(
   if (const core::Hid old = subs_.bind_hid(req.subscriber_id, hid); old != 0) {
     as_.host_db.erase(old);
     as_.revoked.revoke_hid(old);
-    ++stats_.hid_rotations;
+    ++counters_.hid_rotations;
   }
 
   // m1 = E_kA(HID, kHA) to every AS entity — in-process the shared AsState
@@ -34,7 +34,7 @@ Result<core::BootstrapResponse> RegistryService::bootstrap(
   rec.host_pub = req.host_pub;
   rec.subscriber_id = req.subscriber_id;
   as_.host_db.upsert(rec);
-  ++stats_.infra_updates;
+  ++counters_.infra_updates;
 
   // Control EphID with its long lifetime, plus signed id_info.
   core::BootstrapResponse resp;
@@ -47,7 +47,7 @@ Result<core::BootstrapResponse> RegistryService::bootstrap(
   resp.aid = as_.aid;
   resp.aa_ephid = aa_ephid_;
 
-  ++stats_.bootstrapped;
+  ++counters_.bootstrapped;
   return resp;
 }
 

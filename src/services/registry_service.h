@@ -6,6 +6,7 @@
 // (HID, kHA), and returns the MS/DNS service certificates.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "core/as_state.h"
@@ -23,6 +24,8 @@ class RegistryService {
     core::ExpTime ctrl_lifetime_s = 24 * 3600;
   };
 
+  /// Plain copyable counters — what stats() returns (same snapshot
+  /// pattern as every service; the live counters are atomics).
   struct Stats {
     std::uint64_t bootstrapped = 0;
     std::uint64_t rejected_auth = 0;
@@ -54,9 +57,23 @@ class RegistryService {
   /// HID allocation, also used for infrastructure identities.
   core::Hid allocate_hid() { return next_hid_++; }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    Stats s;
+    s.bootstrapped = counters_.bootstrapped.load(std::memory_order_relaxed);
+    s.rejected_auth = counters_.rejected_auth.load(std::memory_order_relaxed);
+    s.hid_rotations = counters_.hid_rotations.load(std::memory_order_relaxed);
+    s.infra_updates = counters_.infra_updates.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
+  struct Counters {
+    std::atomic<std::uint64_t> bootstrapped{0};
+    std::atomic<std::uint64_t> rejected_auth{0};
+    std::atomic<std::uint64_t> hid_rotations{0};
+    std::atomic<std::uint64_t> infra_updates{0};
+  };
+
   core::AsState& as_;
   SubscriberRegistry& subs_;
   net::EventLoop& loop_;
@@ -66,7 +83,7 @@ class RegistryService {
   core::EphIdCertificate ms_cert_;
   core::EphIdCertificate dns_cert_;
   core::EphId aa_ephid_;
-  Stats stats_;
+  Counters counters_;
 };
 
 }  // namespace apna::services

@@ -1,0 +1,210 @@
+// Control-plane service fabric: the common service interface, the per-AS
+// dispatcher, and the M-worker issuance/verification pool.
+//
+// The paper's §V-A measures the Management Service as the control-plane
+// bottleneck and parallelizes it across 4 processes; this header is that
+// parallelization as a first-class runtime, mirroring the data plane's
+// router::ForwardingPool (PR 2) on the control side:
+//
+//  * ControlService   — what an AS-operated broker service IS to the
+//    fabric: an addressable EphID endpoint that turns one inbound control
+//    packet into at most one reply. MS, AA and DNS implement it. (The
+//    Registry Service stays outside: Fig 2 bootstrap runs over the host's
+//    physical attachment BEFORE the host holds any EphID, so it is never
+//    reachable through packet dispatch.)
+//  * ServiceDispatcher — routes inbound control packets to the service
+//    owning the destination EphID and forwards replies through the AS
+//    fabric. One instance per AS, event-loop resident.
+//  * ServicePool      — fans bursts of independent control-plane jobs
+//    (EphID issuance, shutoff verification) across M worker threads.
+//    Job results are deterministic and thread-count independent: each
+//    request gets its own counter-derived rng and reply nonce, so a
+//    4-worker pool emits bit-identical responses to a single-threaded
+//    loop (pinned by control_plane_test). Per-worker Stats slots are
+//    merged on read, exactly like ForwardingPool.
+//
+// Threading model (see ARCHITECTURE.md "Concurrency model"): dispatcher on
+// the event loop only; ServicePool::process_* may not be called from two
+// threads at once (one in-flight burst), but the underlying service state
+// (sharded AsState, immutable key schedules, atomic counters) is safe for
+// the M concurrent workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/messages.h"
+#include "util/result.h"
+#include "wire/packet_buf.h"
+
+namespace apna::services {
+
+class ManagementService;
+class AccountabilityAgent;
+
+/// One AS-operated broker service as the fabric sees it: an EphID-addressed
+/// endpoint turning an inbound control packet into at most one reply.
+class ControlService {
+ public:
+  virtual ~ControlService() = default;
+
+  /// Routing key — packets whose destination EphID equals this belong here.
+  virtual const core::EphId& service_ephid() const = 0;
+  /// The service's infrastructure HID (its intra-AS switch port).
+  virtual core::Hid service_hid() const = 0;
+  virtual const char* service_name() const = 0;
+
+  /// Handles one inbound packet (view into the caller-owned buffer) and
+  /// returns the reply packet, or an error for request packets that
+  /// produce no reply at all (drops).
+  virtual Result<wire::PacketBuf> handle_packet(const wire::PacketView& pkt) = 0;
+};
+
+/// Per-AS control-packet router: destination EphID → ControlService.
+/// Event-loop resident (dispatch is not called concurrently); the counters
+/// are still atomics so stats() can be read from anywhere.
+class ServiceDispatcher {
+ public:
+  using ReplyFn = std::function<void(wire::PacketBuf)>;
+
+  /// Plain copyable counters (returned by stats()).
+  struct Stats {
+    std::uint64_t dispatched = 0;      // packets routed to a service
+    std::uint64_t replies = 0;         // replies forwarded into the fabric
+    std::uint64_t unrouted = 0;        // no service owns the dst EphID
+    std::uint64_t service_errors = 0;  // service produced no reply
+  };
+
+  explicit ServiceDispatcher(ReplyFn reply) : reply_(std::move(reply)) {}
+
+  void add(ControlService& svc) { by_ephid_[svc.service_ephid()] = &svc; }
+
+  ControlService* route(const core::EphId& dst_ephid) const {
+    auto it = by_ephid_.find(dst_ephid);
+    return it == by_ephid_.end() ? nullptr : it->second;
+  }
+
+  /// Full inbound path: route by destination EphID, invoke the service on
+  /// a view of the (owned) buffer, forward the reply. Consumes the packet.
+  void dispatch(wire::PacketBuf pkt);
+
+  Stats stats() const;
+  std::size_t service_count() const { return by_ephid_.size(); }
+
+ private:
+  std::unordered_map<core::EphId, ControlService*, core::EphIdHash> by_ephid_;
+  ReplyFn reply_;
+  struct Counters {
+    std::atomic<std::uint64_t> dispatched{0};
+    std::atomic<std::uint64_t> replies{0};
+    std::atomic<std::uint64_t> unrouted{0};
+    std::atomic<std::uint64_t> service_errors{0};
+  };
+  Counters counters_;
+};
+
+/// M-worker pool for bursts of independent control-plane jobs, modeled on
+/// router::ForwardingPool: Config::threads is the TOTAL parallelism
+/// (threads-1 background workers plus the calling thread, which claims
+/// chunks while it waits; threads == 1 degenerates to a plain loop).
+class ServicePool {
+ public:
+  struct Config {
+    /// Total processing threads (calling thread included). 0 → one per
+    /// hardware thread.
+    std::size_t threads = 0;
+    /// Jobs per claim unit.
+    std::size_t chunk_jobs = 16;
+    /// Base seed for the per-request rngs. Results depend on (seed,
+    /// request index) only — never on worker assignment or thread count.
+    std::uint64_t rng_seed = 0x5eedc0de;
+  };
+
+  /// Plain copyable counters, merged across worker slots on read.
+  struct Stats {
+    std::uint64_t issuance_jobs = 0;
+    std::uint64_t shutoff_jobs = 0;
+    std::uint64_t failed_jobs = 0;
+  };
+
+  /// `aa` may be null when only issuance bursts are processed.
+  ServicePool(ManagementService& ms, AccountabilityAgent* aa, Config cfg);
+  explicit ServicePool(ManagementService& ms)
+      : ServicePool(ms, nullptr, Config()) {}
+  ~ServicePool();
+
+  ServicePool(const ServicePool&) = delete;
+  ServicePool& operator=(const ServicePool&) = delete;
+
+  /// One Fig 3 issuance request: the requesting control EphID plus the
+  /// E_kHA-sealed EphIdRequest. The caller owns the request bytes for the
+  /// duration of the call.
+  struct IssueJob {
+    core::EphId ctrl;
+    ByteSpan sealed_request;
+  };
+
+  /// Issues the whole burst across all processing threads; results[i] is
+  /// the sealed response (or error) for burst[i]. Blocks until done.
+  /// Deterministic: a contiguous block of reply nonces is reserved up
+  /// front and request i uses nonce0+i and ChaChaRng(seed, nonce0+i).
+  void process_issuance(std::span<const IssueJob> burst, core::ExpTime now,
+                        std::span<Result<Bytes>> results);
+
+  /// Shutoff-verification twin (Fig 5 validation pipeline per request).
+  /// Requires an AccountabilityAgent; results[i] is process(burst[i]).
+  void process_shutoffs(std::span<const core::ShutoffRequest> burst,
+                        core::ExpTime now, std::span<Result<void>> results);
+
+  Stats stats() const;
+  std::size_t threads() const { return cfg_.threads; }
+
+ private:
+  enum class JobKind { issuance, shutoff };
+
+  void run_burst(JobKind kind, const void* jobs, std::size_t n, void* results,
+                 core::ExpTime now);
+  void worker_main(std::size_t slot);
+  void drain_chunks(std::size_t slot);
+  void process_chunk(std::size_t slot, std::size_t begin, std::size_t end);
+
+  struct alignas(64) Slot {
+    mutable std::mutex mu;
+    Stats stats;
+  };
+
+  ManagementService& ms_;
+  AccountabilityAgent* aa_;
+  Config cfg_;
+
+  // Burst descriptor, guarded by mu_ (same ordering argument as
+  // ForwardingPool: workers observe next_chunk_ < chunks_total_ under mu_
+  // after the descriptor writes).
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  JobKind kind_ = JobKind::issuance;
+  const void* jobs_ = nullptr;
+  std::size_t jobs_n_ = 0;
+  void* results_ = nullptr;
+  core::ExpTime now_ = 0;
+  std::uint64_t nonce0_ = 0;
+  std::size_t next_chunk_ = 0;
+  std::size_t chunks_done_ = 0;
+  std::size_t chunks_total_ = 0;
+  bool stop_ = false;
+
+  std::unique_ptr<Slot[]> slots_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace apna::services

@@ -69,6 +69,8 @@ struct CopyAudit {
   std::uint64_t copy_bytes = 0;
   std::uint64_t to_owned = 0;       // PacketView::to_owned() deep parses
   std::uint64_t to_owned_bytes = 0;
+  std::uint64_t inplace_builds = 0; // PacketWriter::finish() — encoded in
+                                    // place, no intermediate payload copy
 };
 CopyAudit& copy_audit();  // mutable thread-local instance
 
@@ -227,6 +229,7 @@ class PacketBuf {
 
  private:
   friend struct Packet;
+  friend class PacketWriter;  // wire/msg_codec.h — direct in-place builds
   friend PacketBuf append_path_stamp(const PacketView&, Aid);
 
   /// `buf` must already be a valid wire image; `payload_off` its parsed

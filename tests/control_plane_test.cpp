@@ -1,0 +1,591 @@
+// Control-plane fabric tests:
+//  * MsgWriter/MsgReader ↔ legacy serialize()/parse byte agreement on
+//    randomized messages (the two codecs must never drift),
+//  * per-byte truncation rejection through the strict span decoder,
+//  * PacketWriter ↔ Packet::seal wire-image equivalence,
+//  * ServiceDispatcher routing by destination EphID,
+//  * ServicePool issuance determinism: M workers emit bit-identical
+//    responses to the single-threaded pool, plus pooled shutoff bursts.
+#include <gtest/gtest.h>
+
+#include "core/packet_auth.h"
+#include "crypto/x25519.h"
+#include "host/ephid_pool.h"
+#include "services/accountability_agent.h"
+#include "services/dns_service.h"
+#include "services/management_service.h"
+#include "services/registry_service.h"
+#include "services/service_identity.h"
+#include "services/service_runtime.h"
+#include "services/subscriber_registry.h"
+#include "wire/msg_codec.h"
+
+namespace apna {
+namespace {
+
+// ---- Randomized message corpus ----------------------------------------------
+
+struct Gen {
+  crypto::ChaChaRng rng{20260726};
+
+  template <std::size_t N>
+  std::array<std::uint8_t, N> arr() {
+    std::array<std::uint8_t, N> out;
+    rng.fill(MutByteSpan(out.data(), N));
+    return out;
+  }
+  core::EphId ephid() {
+    core::EphId e;
+    e.bytes = arr<16>();
+    return e;
+  }
+  std::string name(std::size_t max = 24) {
+    const std::size_t n = 1 + rng.next_u64() % max;
+    std::string s;
+    for (std::size_t i = 0; i < n; ++i)
+      s.push_back(static_cast<char>('a' + rng.next_u64() % 26));
+    return s;
+  }
+  core::EphIdCertificate cert() {
+    core::EphIdCertificate c;
+    c.ephid = ephid();
+    c.exp_time = static_cast<core::ExpTime>(rng.next_u64());
+    c.pub.dh = arr<32>();
+    c.pub.sig = arr<32>();
+    c.aid = static_cast<core::Aid>(rng.next_u64());
+    c.aa_ephid = ephid();
+    c.flags = static_cast<std::uint8_t>(rng.next_u64() % 4);
+    c.sig = arr<64>();
+    return c;
+  }
+};
+
+/// One encode-agreement + round-trip + truncation pass for a message.
+template <class M>
+void check_codec(const M& msg) {
+  // 1. Byte agreement: the span codec must emit exactly the legacy bytes.
+  const Bytes legacy = msg.serialize();
+  wire::MsgWriter w(16);
+  msg.encode(w);
+  ASSERT_EQ(legacy.size(), w.size());
+  ASSERT_TRUE(std::equal(legacy.begin(), legacy.end(), w.span().begin()));
+
+  // 2. Round trip: decode(encode(m)) re-encodes to the same bytes.
+  auto back = core::decode_msg<M>(w.span());
+  ASSERT_TRUE(back.ok()) << errc_name(back.code());
+  wire::MsgWriter w2(16);
+  back->encode(w2);
+  ASSERT_EQ(w.size(), w2.size());
+  ASSERT_TRUE(std::equal(w.span().begin(), w.span().end(), w2.span().begin()));
+
+  // 3. Every strict prefix is rejected (truncation at each byte boundary).
+  for (std::size_t cut = 0; cut < legacy.size(); ++cut) {
+    auto t = core::decode_msg<M>(ByteSpan(legacy.data(), cut));
+    EXPECT_FALSE(t.ok()) << "prefix of " << cut << "/" << legacy.size()
+                         << " bytes decoded";
+  }
+}
+
+TEST(MsgCodec, AgreesWithLegacySerializeOnRandomizedMessages) {
+  Gen g;
+  for (int iter = 0; iter < 25; ++iter) {
+    {
+      core::BootstrapRequest m;
+      m.subscriber_id = static_cast<std::uint32_t>(g.rng.next_u64());
+      m.credential = g.rng.bytes(1 + g.rng.next_u64() % 40);
+      m.host_pub = g.arr<32>();
+      check_codec(m);
+    }
+    {
+      core::BootstrapResponse m;
+      m.hid = static_cast<core::Hid>(g.rng.next_u64());
+      m.ctrl_ephid = g.ephid();
+      m.ctrl_exp_time = static_cast<core::ExpTime>(g.rng.next_u64());
+      m.id_info_sig = g.arr<64>();
+      m.ms_cert = g.cert();
+      m.dns_cert = g.cert();
+      m.aid = static_cast<core::Aid>(g.rng.next_u64());
+      m.aa_ephid = g.ephid();
+      check_codec(m);
+    }
+    {
+      core::EphIdRequest m;
+      m.ephid_pub.dh = g.arr<32>();
+      m.ephid_pub.sig = g.arr<32>();
+      m.flags = g.rng.next_u64() % 2 ? core::kRequestReceiveOnly : 0;
+      m.lifetime = static_cast<core::EphIdLifetime>(g.rng.next_u64() % 3);
+      check_codec(m);
+    }
+    {
+      core::EphIdResponse m;
+      m.cert = g.cert();
+      check_codec(m);
+    }
+    {
+      core::HandshakeInit m;
+      m.client_cert = g.cert();
+      m.client_nonce = g.rng.next_u64();
+      m.suite = static_cast<crypto::AeadSuite>(1 + g.rng.next_u64() % 3);
+      if (g.rng.next_u64() % 2) m.early_data = g.rng.bytes(g.rng.next_u64() % 64);
+      check_codec(m);
+    }
+    {
+      core::HandshakeResponse m;
+      m.serving_cert = g.cert();
+      m.server_nonce = g.rng.next_u64();
+      m.suite = static_cast<crypto::AeadSuite>(1 + g.rng.next_u64() % 3);
+      check_codec(m);
+    }
+    {
+      core::DnsQuery m;
+      m.name = g.name();
+      check_codec(m);
+    }
+    {
+      core::DnsResponse m;
+      m.status = g.rng.next_u64() % 2;
+      if (m.status == 0) {
+        core::DnsRecord rec;
+        rec.name = g.name();
+        rec.cert = g.cert();
+        rec.ipv4 = static_cast<std::uint32_t>(g.rng.next_u64());
+        rec.sig = g.arr<64>();
+        m.record = rec;
+      }
+      check_codec(m);
+    }
+    {
+      core::DnsPublish m;
+      m.name = g.name();
+      m.cert = g.cert();
+      m.ipv4 = static_cast<std::uint32_t>(g.rng.next_u64());
+      check_codec(m);
+    }
+    {
+      core::ShutoffRequest m;
+      m.offending_packet = g.rng.bytes(1 + g.rng.next_u64() % 128);
+      m.sig = g.arr<64>();
+      m.dst_cert = g.cert();
+      check_codec(m);
+    }
+    {
+      core::EphIdRevokeRequest m;
+      m.ephid = g.ephid();
+      m.sig = g.arr<64>();
+      m.cert = g.cert();
+      check_codec(m);
+    }
+    {
+      core::ShutoffResponse m;
+      m.status = static_cast<std::uint8_t>(g.rng.next_u64());
+      check_codec(m);
+    }
+    {
+      core::IcmpMessage m;
+      m.type = static_cast<core::IcmpType>(g.rng.next_u64() % 5);
+      m.code = static_cast<std::uint32_t>(g.rng.next_u64());
+      m.data = g.rng.bytes(g.rng.next_u64() % 64);
+      check_codec(m);
+    }
+  }
+}
+
+TEST(MsgCodec, CertEncodeIntoMatchesSerializeInto) {
+  Gen g;
+  for (int i = 0; i < 20; ++i) {
+    const core::EphIdCertificate c = g.cert();
+    const Bytes legacy = c.serialize();
+    wire::MsgWriter w(16);
+    c.encode_into(w);
+    ASSERT_EQ(legacy.size(), w.size());
+    EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), w.span().begin()));
+  }
+}
+
+TEST(MsgCodec, SealControlIntoMatchesSealControl) {
+  Gen g;
+  core::HostAsKeys keys{};
+  g.rng.fill(MutByteSpan(keys.enc.data(), keys.enc.size()));
+  g.rng.fill(MutByteSpan(keys.mac.data(), keys.mac.size()));
+  for (int i = 0; i < 8; ++i) {
+    const Bytes pt = g.rng.bytes(1 + g.rng.next_u64() % 96);
+    const std::uint64_t nonce = g.rng.next_u64();
+    const bool from_host = i % 2 == 0;
+    const Bytes legacy = core::seal_control(keys, nonce, from_host, pt);
+    wire::MsgWriter w(16);
+    core::seal_control_into(w, keys, nonce, from_host, pt);
+    ASSERT_EQ(legacy.size(), w.size());
+    ASSERT_TRUE(std::equal(legacy.begin(), legacy.end(), w.span().begin()));
+    // And it opens.
+    auto opened = core::open_control(keys, from_host, w.span());
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(MsgCodec, PacketWriterMatchesPacketSeal) {
+  Gen g;
+  for (int i = 0; i < 16; ++i) {
+    wire::Packet p;
+    p.src_aid = static_cast<core::Aid>(g.rng.next_u64());
+    p.src_ephid = g.arr<16>();
+    p.dst_ephid = g.arr<16>();
+    p.dst_aid = static_cast<core::Aid>(g.rng.next_u64());
+    p.proto = static_cast<wire::NextProto>(g.rng.next_u64() % 5);
+    const Bytes payload = g.rng.bytes(g.rng.next_u64() % 200);
+    p.payload = payload;
+    std::optional<std::uint64_t> nonce;
+    if (i % 2 == 0) {
+      nonce = g.rng.next_u64();
+      p.set_nonce(*nonce);
+    }
+
+    wire::PacketBuf legacy = p.seal();
+    wire::PacketWriter pw(p.src_aid, p.src_ephid, p.dst_aid, p.dst_ephid,
+                          p.proto, nonce);
+    pw.raw(payload);
+    wire::PacketBuf direct = pw.finish();
+
+    ASSERT_EQ(legacy.wire_size(), direct.wire_size());
+    EXPECT_TRUE(std::equal(legacy.view().bytes().begin(),
+                           legacy.view().bytes().end(),
+                           direct.view().bytes().begin()));
+    EXPECT_EQ(legacy.view().payload().size(), direct.view().payload().size());
+  }
+}
+
+// ---- Service fixture (mirrors services_test's AsFixture) --------------------
+
+struct Fixture {
+  crypto::ChaChaRng rng{7001};
+  net::EventLoop loop;
+  core::AsState as{64512, core::AsSecrets::generate(rng)};
+  core::AsDirectory dir;
+  services::SubscriberRegistry subs;
+  services::RegistryService rs{as, subs, loop, rng};
+  services::ServiceIdentity aa_ident = services::make_service_identity(
+      as, rs.allocate_hid(), loop.now_seconds() + 86400, 0, nullptr, rng);
+  services::ServiceIdentity ms_ident = services::make_service_identity(
+      as, rs.allocate_hid(), loop.now_seconds() + 86400, 0,
+      &aa_ident.cert.ephid, rng);
+  services::ServiceIdentity dns_ident = services::make_service_identity(
+      as, rs.allocate_hid(), loop.now_seconds() + 86400, 0,
+      &aa_ident.cert.ephid, rng);
+  services::ManagementService ms{as, loop, rng, ms_ident};
+  services::AccountabilityAgent aa{as, dir, loop, aa_ident};
+  services::DnsZone zone;
+  services::DnsService dns{as, dir, loop, rng, dns_ident, zone};
+
+  core::Hid hid = 0;
+  core::EphId ctrl;
+  core::HostAsKeys keys;
+
+  Fixture() {
+    core::AsPublicInfo info;
+    info.aid = as.aid;
+    info.sign_pub = as.secrets.sign.pub;
+    info.dh_pub = as.secrets.dh.pub;
+    info.aa_ephid = aa_ident.cert.ephid;
+    dir.register_as(info);
+    subs.add_subscriber(1, to_bytes("pw"));
+
+    auto lt = crypto::X25519KeyPair::generate(rng);
+    core::BootstrapRequest req;
+    req.subscriber_id = 1;
+    req.credential = to_bytes("pw");
+    req.host_pub = lt.pub;
+    auto resp = rs.bootstrap(req);
+    hid = resp->hid;
+    ctrl = resp->ctrl_ephid;
+    keys = core::HostAsKeys::derive(
+        crypto::x25519_shared(lt.priv, as.secrets.dh.pub));
+  }
+
+  /// Pre-seals `n` EphID requests under kHA (client side of Fig 3).
+  std::vector<Bytes> make_requests(std::size_t n, std::uint64_t nonce0) {
+    std::vector<Bytes> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      core::EphIdRequest req;
+      req.ephid_pub = core::EphIdKeyPair::generate(rng).pub;
+      req.flags = 0;
+      req.lifetime =
+          static_cast<core::EphIdLifetime>(i % host::kLifetimeClasses);
+      out.push_back(core::seal_control(keys, nonce0 + i, true,
+                                       req.serialize()));
+    }
+    return out;
+  }
+
+  /// A control packet addressed to `dst` carrying `payload`.
+  wire::PacketBuf make_control_packet(const core::EphId& dst,
+                                      wire::NextProto proto, ByteSpan payload) {
+    wire::PacketWriter pw(as.aid, ctrl.bytes, as.aid, dst.bytes, proto);
+    pw.raw(payload);
+    return pw.finish();
+  }
+};
+
+// ---- Dispatcher routing ------------------------------------------------------
+
+TEST(ServiceDispatcher, RoutesByDestinationEphId) {
+  Fixture f;
+  std::vector<wire::PacketBuf> replies;
+  services::ServiceDispatcher disp(
+      [&](wire::PacketBuf reply) { replies.push_back(std::move(reply)); });
+  disp.add(f.ms);
+  disp.add(f.aa);
+  disp.add(f.dns);
+  EXPECT_EQ(disp.service_count(), 3u);
+
+  EXPECT_EQ(disp.route(f.ms.service_ephid()), &f.ms);
+  EXPECT_EQ(disp.route(f.aa.service_ephid()), &f.aa);
+  EXPECT_EQ(disp.route(f.dns.service_ephid()), &f.dns);
+  EXPECT_EQ(disp.route(f.ctrl), nullptr);
+
+  // A real issuance RPC through the dispatcher: reply comes from the MS
+  // EphID, addressed back to the control EphID, and decrypts to a valid
+  // certificate.
+  const auto reqs = f.make_requests(1, 1);
+  disp.dispatch(f.make_control_packet(f.ms.service_ephid(),
+                                      wire::NextProto::control, reqs[0]));
+  ASSERT_EQ(replies.size(), 1u);
+  const wire::PacketView& v = replies[0].view();
+  EXPECT_EQ(v.src_ephid(), f.ms.service_ephid().bytes);
+  EXPECT_EQ(v.dst_ephid(), f.ctrl.bytes);
+  auto opened = core::open_control(f.keys, false, v.payload());
+  ASSERT_TRUE(opened.ok());
+  auto resp = core::decode_msg<core::EphIdResponse>(*opened);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->cert.verify(f.as.secrets.sign.pub,
+                                f.loop.now_seconds()).ok());
+  EXPECT_EQ(disp.stats().dispatched, 1u);
+  EXPECT_EQ(disp.stats().replies, 1u);
+
+  // Unknown destination EphID: counted, no reply, no crash.
+  core::EphId stranger;
+  f.rng.fill(MutByteSpan(stranger.bytes.data(), 16));
+  disp.dispatch(f.make_control_packet(stranger, wire::NextProto::control,
+                                      reqs[0]));
+  EXPECT_EQ(disp.stats().unrouted, 1u);
+  EXPECT_EQ(replies.size(), 1u);
+
+  // Wrong proto for the routed service: the service rejects, the
+  // dispatcher counts it as a service error and forwards nothing.
+  disp.dispatch(f.make_control_packet(f.ms.service_ephid(),
+                                      wire::NextProto::data, reqs[0]));
+  EXPECT_EQ(disp.stats().service_errors, 1u);
+  EXPECT_EQ(replies.size(), 1u);
+}
+
+// ---- Pooled issuance ---------------------------------------------------------
+
+TEST(ServicePool, PooledIssuanceIsDeterministicVsSingleThreaded) {
+  constexpr std::size_t kN = 96;
+
+  // Two identical worlds (same seeds end to end), different thread counts.
+  auto run = [&](std::size_t threads) {
+    Fixture f;
+    services::ServicePool::Config cfg;
+    cfg.threads = threads;
+    cfg.chunk_jobs = 8;
+    services::ServicePool pool(f.ms, &f.aa, cfg);
+
+    const auto requests = f.make_requests(kN, 1);
+    std::vector<services::ServicePool::IssueJob> jobs(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      jobs[i] = {f.ctrl, requests[i]};
+    std::vector<Result<Bytes>> results(kN, Result<Bytes>(Errc::internal));
+    pool.process_issuance(jobs, f.loop.now_seconds(), results);
+
+    EXPECT_EQ(pool.stats().issuance_jobs, kN);
+    EXPECT_EQ(pool.stats().failed_jobs, 0u);
+    EXPECT_EQ(f.ms.stats().issued, kN);
+
+    std::vector<Bytes> out;
+    out.reserve(kN);
+    for (auto& r : results) {
+      EXPECT_TRUE(r.ok());
+      // Every response decrypts to a certificate bound to our HID.
+      auto opened = core::open_control(f.keys, false, *r);
+      EXPECT_TRUE(opened.ok());
+      auto resp = core::decode_msg<core::EphIdResponse>(*opened);
+      EXPECT_TRUE(resp.ok());
+      auto plain = f.as.codec.open(resp->cert.ephid);
+      EXPECT_TRUE(plain.ok());
+      EXPECT_EQ(plain->hid, f.hid);
+      out.push_back(r.take());
+    }
+    return out;
+  };
+
+  const auto single = run(1);
+  const auto quad = run(4);
+  ASSERT_EQ(single.size(), quad.size());
+  for (std::size_t i = 0; i < single.size(); ++i)
+    EXPECT_EQ(single[i], quad[i]) << "response " << i
+                                  << " differs across thread counts";
+}
+
+TEST(ServicePool, MixedValidAndInvalidRequests) {
+  Fixture f;
+  services::ServicePool::Config cfg;
+  cfg.threads = 4;
+  cfg.chunk_jobs = 4;
+  services::ServicePool pool(f.ms, nullptr, cfg);
+
+  constexpr std::size_t kN = 32;
+  auto requests = f.make_requests(kN, 1);
+  std::vector<services::ServicePool::IssueJob> jobs(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i % 4 == 3) requests[i][requests[i].size() / 2] ^= 1;  // garble
+    jobs[i] = {f.ctrl, requests[i]};
+  }
+  std::vector<Result<Bytes>> results(kN, Result<Bytes>(Errc::internal));
+  pool.process_issuance(jobs, f.loop.now_seconds(), results);
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i % 4 == 3)
+      EXPECT_EQ(results[i].code(), Errc::decrypt_failed) << i;
+    else
+      EXPECT_TRUE(results[i].ok()) << i;
+  }
+  EXPECT_EQ(pool.stats().failed_jobs, kN / 4);
+  EXPECT_EQ(f.ms.stats().issued, kN - kN / 4);
+  EXPECT_EQ(f.ms.stats().rejected_bad_payload, kN / 4);
+}
+
+TEST(ServicePool, PooledShutoffVerification) {
+  Fixture f;
+
+  // A victim in a second AS, with a certificate this AS can verify.
+  crypto::ChaChaRng rng_b{7002};
+  core::AsState as_b{64513, core::AsSecrets::generate(rng_b)};
+  core::AsPublicInfo info_b;
+  info_b.aid = as_b.aid;
+  info_b.sign_pub = as_b.secrets.sign.pub;
+  info_b.dh_pub = as_b.secrets.dh.pub;
+  f.dir.register_as(info_b);
+  core::EphIdKeyPair victim_kp = core::EphIdKeyPair::generate(rng_b);
+  core::EphIdCertificate victim_cert;
+  victim_cert.ephid = as_b.codec.issue(77, f.loop.now_seconds() + 900, rng_b);
+  victim_cert.exp_time = f.loop.now_seconds() + 900;
+  victim_cert.pub = victim_kp.pub;
+  victim_cert.aid = as_b.aid;
+  victim_cert.aa_ephid = as_b.codec.issue(1, f.loop.now_seconds() + 900, rng_b);
+  victim_cert.sign_with(as_b.secrets.sign);
+
+  const auto host_rec = f.as.host_db.find(f.hid);
+  ASSERT_TRUE(host_rec.has_value());
+
+  // One offending packet per attacker EphID (per-flow granularity). Stay
+  // below the §VIII-G2 escalation limit (16 revocations erase the HID).
+  constexpr std::size_t kN = 12;
+  std::vector<core::ShutoffRequest> reqs(kN);
+  std::vector<core::EphId> attacker_ephids(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    attacker_ephids[i] =
+        f.as.codec.issue(f.hid, f.loop.now_seconds() + 900, f.rng);
+    wire::Packet pkt;
+    pkt.src_aid = f.as.aid;
+    pkt.src_ephid = attacker_ephids[i].bytes;
+    pkt.dst_aid = as_b.aid;
+    pkt.dst_ephid = victim_cert.ephid.bytes;
+    pkt.proto = wire::NextProto::data;
+    pkt.payload = to_bytes("flood");
+    core::stamp_packet_mac(*host_rec->cmac, pkt);
+    reqs[i].offending_packet = pkt.serialize();
+    reqs[i].sig = victim_kp.sign(reqs[i].offending_packet);
+    reqs[i].dst_cert = victim_cert;
+  }
+  // Garble one signature: exactly one job must fail.
+  reqs[kN - 1].sig[0] ^= 1;
+
+  services::ServicePool::Config cfg;
+  cfg.threads = 4;
+  cfg.chunk_jobs = 4;
+  services::ServicePool pool(f.ms, &f.aa, cfg);
+  std::vector<Result<void>> results(kN);
+  pool.process_shutoffs(reqs, f.loop.now_seconds(), results);
+
+  for (std::size_t i = 0; i + 1 < kN; ++i) {
+    EXPECT_TRUE(results[i].ok()) << i;
+    EXPECT_TRUE(f.as.revoked.is_revoked(attacker_ephids[i])) << i;
+  }
+  EXPECT_EQ(results[kN - 1].code(), Errc::bad_signature);
+  EXPECT_FALSE(f.as.revoked.is_revoked(attacker_ephids[kN - 1]));
+  EXPECT_EQ(pool.stats().shutoff_jobs, kN);
+  EXPECT_EQ(pool.stats().failed_jobs, 1u);
+  EXPECT_EQ(f.aa.stats().accepted, kN - 1);
+  EXPECT_EQ(f.aa.stats().rejected_bad_sig, 1u);
+}
+
+// ---- Lifecycle-manager planning (host/ephid_pool.h) -------------------------
+
+TEST(EphIdLifecycleManager, PlansDeficitsPerClassAndBacksOff) {
+  host::EphIdPool pool;
+  const core::ExpTime now = 1'700'000'000;
+
+  // One short-term EphID about to expire, one healthy medium-term.
+  auto add = [&](core::EphIdLifetime lt, core::ExpTime exp) {
+    core::EphIdCertificate c;
+    c.exp_time = exp;
+    crypto::ChaChaRng r{exp};
+    r.fill(MutByteSpan(c.ephid.bytes.data(), 16));
+    pool.add(core::EphIdKeyPair{}, std::move(c), lt);
+  };
+  add(core::EphIdLifetime::short_term, now + 60);     // inside the lead
+  add(core::EphIdLifetime::medium_term, now + 7200);  // healthy
+
+  host::EphIdLifecycleManager::Config cfg;
+  cfg.classes[0] = host::RenewalPolicy{.min_ready = 2, .lead_s = 120};
+  cfg.classes[1] = host::RenewalPolicy{.min_ready = 1, .lead_s = 120};
+  // class 2 (long_term) disabled.
+  host::EphIdLifecycleManager mgr(cfg);
+
+  net::TimeUs now_us = 1000;
+  auto plan = mgr.plan(pool, now, now_us);
+  // Short-term: the near-expiry EphID does not count toward readiness.
+  EXPECT_EQ(plan[0], 2u);
+  EXPECT_EQ(plan[1], 0u);
+  EXPECT_EQ(plan[2], 0u);
+
+  // In-flight requests suppress re-planning of the same deficit.
+  mgr.on_requested(core::EphIdLifetime::short_term, now_us);
+  mgr.on_requested(core::EphIdLifetime::short_term, now_us);
+  plan = mgr.plan(pool, now, now_us);
+  EXPECT_EQ(plan[0], 0u);
+
+  // A request whose reply never arrives (lost packet / MS-side error with
+  // no response) times out: the deficit reopens and backoff engages
+  // instead of the planner wedging on a phantom in-flight entry.
+  now_us += cfg.request_timeout_us + 1;
+  plan = mgr.plan(pool, now, now_us);
+  EXPECT_EQ(plan[0], 2u);
+  EXPECT_EQ(mgr.in_flight(core::EphIdLifetime::short_term), 0u);
+  EXPECT_EQ(mgr.stats().timed_out, 2u);
+  EXPECT_EQ(mgr.consecutive_failures(), 2u);
+  mgr.on_requested(core::EphIdLifetime::short_term, now_us);
+  mgr.on_issued(core::EphIdLifetime::short_term);
+  EXPECT_EQ(mgr.consecutive_failures(), 0u);
+
+  // Failure: backoff stretches the next delay exponentially, success
+  // resets it.
+  crypto::ChaChaRng rng{99};
+  const net::TimeUs base = mgr.next_delay(rng);
+  EXPECT_GE(base, cfg.check_interval_us);
+  EXPECT_LT(base, cfg.check_interval_us + cfg.jitter_us);
+  mgr.on_failed(core::EphIdLifetime::short_term);
+  mgr.on_failed(core::EphIdLifetime::short_term);
+  EXPECT_EQ(mgr.consecutive_failures(), 2u);
+  const net::TimeUs backed_off = mgr.next_delay(rng);
+  EXPECT_GE(backed_off, cfg.check_interval_us << 2);
+  mgr.on_requested(core::EphIdLifetime::short_term, now_us);
+  mgr.on_issued(core::EphIdLifetime::short_term);
+  EXPECT_EQ(mgr.consecutive_failures(), 0u);
+  EXPECT_EQ(mgr.stats().renewed, 2u);
+  EXPECT_EQ(mgr.stats().failed, 4u);  // 2 timeouts + 2 explicit failures
+}
+
+}  // namespace
+}  // namespace apna

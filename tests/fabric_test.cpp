@@ -123,10 +123,10 @@ TEST(Fabric, CrossAsControlPacketCannotReachForeignMs) {
   pkt.dst_ephid = w.as_a->ms().cert().ephid.bytes;
   pkt.proto = wire::NextProto::control;
   pkt.payload = to_bytes("opaque");
-  const auto issued_before = w.as_a->ms().stats().issued.load();
+  const auto issued_before = w.as_a->ms().stats().issued;
   auto resp = w.as_a->ms().handle_packet(pkt.seal().view());
   EXPECT_FALSE(resp.ok());
-  EXPECT_EQ(w.as_a->ms().stats().issued.load(), issued_before);
+  EXPECT_EQ(w.as_a->ms().stats().issued, issued_before);
 }
 
 TEST(Fabric, IcmpErrorsAuthenticatedByRouterIdentity) {

@@ -500,5 +500,99 @@ TEST(HostStack, UnsolicitedDataRecordedForShutoff) {
   EXPECT_EQ(to_string(b.last_unsolicited()->view().payload()), "garbage");
 }
 
+
+// ---- EphID lifecycle manager: end-to-end auto-renewal (§VIII-G1) -------------
+
+TEST(EphIdLifecycle, AutoRenewKeepsEveryClassStockedAcrossExpiry) {
+  HostWorld w;
+  host::Host& h = w.as_a->add_host("renewer");
+
+  EphIdLifecycleManager::Config cfg;
+  cfg.classes[lifetime_index(core::EphIdLifetime::short_term)] =
+      RenewalPolicy{.min_ready = 2, .lead_s = 120};
+  cfg.classes[lifetime_index(core::EphIdLifetime::medium_term)] =
+      RenewalPolicy{.min_ready = 1, .lead_s = 300};
+  cfg.check_interval_us = 30 * net::kUsPerSecond;
+  cfg.jitter_us = 5 * net::kUsPerSecond;
+  h.start_auto_renew(cfg);
+  ASSERT_TRUE(h.auto_renew_active());
+
+  // Walk three hours of simulated time — twelve full short-term (15 min)
+  // certificate lifetimes — checking at every minute that each enabled
+  // class holds at least one valid EphID (the renewal acceptance bar) and
+  // that the short class tracks its min_ready target.
+  const net::TimeUs step = 60 * net::kUsPerSecond;
+  const net::TimeUs horizon = 3 * 3600 * net::kUsPerSecond;
+  for (net::TimeUs t = step; t <= horizon; t += step) {
+    w.net.loop().run_until(t);
+    const core::ExpTime now = w.net.loop().now_seconds();
+    EXPECT_GE(h.pool().usable_count(core::EphIdLifetime::short_term, now), 1u)
+        << "t=" << t;
+    EXPECT_GE(h.pool().usable_count(core::EphIdLifetime::medium_term, now), 1u)
+        << "t=" << t;
+  }
+  ASSERT_NE(h.lifecycle(), nullptr);
+  // ~12 short lifetimes consumed: renewal actually cycled, and every
+  // request that was sent came back (no in-flight leak, no failures).
+  EXPECT_GE(h.lifecycle()->stats().renewed, 12u);
+  EXPECT_EQ(h.lifecycle()->stats().failed, 0u);
+  EXPECT_EQ(h.lifecycle()->in_flight(core::EphIdLifetime::short_term), 0u);
+
+  // stop_auto_renew(): the already-scheduled tick becomes a no-op and the
+  // loop drains (no self-rescheduling leak).
+  h.stop_auto_renew();
+  w.net.run();
+  EXPECT_TRUE(w.net.loop().idle());
+}
+
+TEST(EphIdLifecycle, RolloverKeepsLiveSessionsPinnedToIssuingEphId) {
+  HostWorld w;
+  host::Host& a = w.as_a->add_host("a");
+  host::Host& b = w.as_b->add_host("b");
+  ASSERT_TRUE(provision_ephids(a, w.net.loop(), 1).ok());
+  ASSERT_TRUE(provision_ephids(b, w.net.loop(), 1).ok());
+
+  std::size_t got = 0;
+  b.set_data_handler([&](std::uint64_t, ByteSpan) { ++got; });
+  auto sid = a.connect(b.pool().entries().front()->cert, {},
+                       [](Result<std::uint64_t>) {});
+  ASSERT_TRUE(sid.ok());
+  w.net.run();
+  const auto before = a.session_ephids(*sid);
+  ASSERT_TRUE(before.has_value());
+
+  // Renewal adds fresh short-term EphIDs while the session is alive.
+  EphIdLifecycleManager::Config cfg;
+  cfg.classes[lifetime_index(core::EphIdLifetime::short_term)] =
+      RenewalPolicy{.min_ready = 3, .lead_s = 120};
+  cfg.check_interval_us = 10 * net::kUsPerSecond;
+  a.start_auto_renew(cfg);
+  w.net.loop().run_until(w.net.loop().now() + 120 * net::kUsPerSecond);
+  ASSERT_GE(a.pool().usable_count(
+                core::EphIdLifetime::short_term,
+                w.net.loop().now_seconds()), 3u);
+
+  // Pinning: the session still uses its issuing EphID ...
+  const auto after = a.session_ephids(*sid);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(before->first, after->first);
+  EXPECT_EQ(before->second, after->second);
+  // ... and still carries data.
+  ASSERT_TRUE(a.send_data(*sid, to_bytes("still pinned")).ok());
+  w.net.loop().run_until(w.net.loop().now() + net::kUsPerSecond);
+  EXPECT_EQ(got, 1u);
+
+  // A NEW flow rolls over to a fresh (unused, freshest-expiry) EphID.
+  auto sid2 = a.connect(b.pool().entries().front()->cert, {},
+                        [](Result<std::uint64_t>) {});
+  ASSERT_TRUE(sid2.ok());
+  const auto fresh = a.session_ephids(*sid2);
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_FALSE(fresh->first == before->first);
+
+  a.stop_auto_renew();
+  w.net.run();
+}
+
 }  // namespace
 }  // namespace apna::host
