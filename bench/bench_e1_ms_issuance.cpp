@@ -17,7 +17,12 @@
 // with ed25519 and encrypt the reply — through ManagementService::
 // issue_into, single-threaded and fanned across the worker sweep.
 //
-// Usage: bench_e1_ms_issuance [--workers=1,2,4] [--requests=20000]
+// allocs/request is an ASSERTED ceiling, not just a report: issue_into
+// pools its whole reply build (decrypt scratch, response encode, stack
+// AEAD) through the per-thread BufferPool, so a regression that
+// reintroduces per-request heap churn fails the bench.
+//
+// Usage: bench_e1_ms_issuance [--workers=1,2,4] [--requests=20000] [--smoke]
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -100,10 +105,15 @@ struct SweepPoint {
   double speedup = 1.0;
 };
 
+/// The pooled reply build must stay at or below this many heap
+/// allocations per request (was 10.00 before the BufferPool scratch
+/// rework; what remains is the taken result Bytes plus pool-resize slack).
+constexpr double kMaxAllocsPerRequest = 4.0;
+
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: bench_e1_ms_issuance [--workers=1,2,4] "
-               "[--requests=20000]\n");
+               "[--requests=20000] [--smoke]\n");
   std::exit(2);
 }
 
@@ -122,7 +132,9 @@ std::vector<std::size_t> parse_workers(int argc, char** argv,
                                        std::size_t* requests) {
   std::vector<std::size_t> workers{1, 2, 4};
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      continue;  // handled by bench::smoke_mode
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
       workers.clear();
       std::string list(argv[i] + 10);
       for (std::size_t pos = 0; pos < list.size();) {
@@ -149,7 +161,8 @@ int main(int argc, char** argv) {
       "§V-A3 (text table: 500k requests, 13.7 µs/EphID, 72.8k EphIDs/s, "
       "18x the peak AS demand of 3,888 sessions/s)");
 
-  std::size_t kRequests = 20'000;
+  const bool smoke = bench::smoke_mode(argc, argv);
+  std::size_t kRequests = smoke ? 256 : 20'000;
   const std::vector<std::size_t> workers = parse_workers(argc, argv,
                                                          &kRequests);
 
@@ -256,35 +269,47 @@ int main(int argc, char** argv) {
     std::printf("%8zu %16.0f %16.2f %9.2fx\n", pt.workers, pt.rate_per_s,
                 pt.allocs_per_request, pt.speedup);
 
+  // The pooled reply build is an asserted contract (satellite of the
+  // verified-flow-cache PR): issuance may not regress to per-request heap
+  // churn.
+  for (const auto& pt : sweep) {
+    if (pt.allocs_per_request > kMaxAllocsPerRequest) {
+      std::fprintf(stderr,
+                   "FATAL: %zu-worker issuance allocated %.2f times per "
+                   "request (ceiling %.1f)\n",
+                   pt.workers, pt.allocs_per_request, kMaxAllocsPerRequest);
+      return 1;
+    }
+  }
+
   // --- BENCH_e1.json (same role as BENCH_e2.json) ------------------------------
-  if (FILE* json = std::fopen("BENCH_e1.json", "w")) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"experiment\": \"E1 MS issuance (ServicePool)\",\n"
-                 "  \"requests\": %zu,\n"
-                 "  \"hardware_threads\": %u,\n"
-                 "  \"aes_backend\": \"%s\",\n"
-                 "  \"peak_demand_sessions_per_s\": %.0f,\n"
-                 "  \"single_call_us_per_ephid\": %.2f,\n"
-                 "  \"single_call_rate_per_s\": %.0f,\n"
-                 "  \"sweep\": [\n",
-                 kRequests, std::thread::hardware_concurrency(),
-                 s.as.codec.backend(), peak_demand, us_single, rate_single);
-    for (std::size_t i = 0; i < sweep.size(); ++i)
-      std::fprintf(json,
-                   "    {\"workers\": %zu, \"ephids_per_sec\": %.0f, "
-                   "\"allocs_per_request\": %.2f, \"speedup\": %.3f}%s\n",
-                   sweep[i].workers, sweep[i].rate_per_s,
-                   sweep[i].allocs_per_request, sweep[i].speedup,
-                   i + 1 < sweep.size() ? "," : "");
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("  (baseline written to BENCH_e1.json)\n");
+  bench::JsonFile json("BENCH_e1.json");
+  if (json.ok()) {
+    json.field("experiment", "E1 MS issuance (ServicePool)");
+    json.field("requests", std::uint64_t{kRequests});
+    json.field("hardware_threads", std::thread::hardware_concurrency());
+    json.field("aes_backend", s.as.codec.backend());
+    json.field("peak_demand_sessions_per_s", peak_demand, 0);
+    json.field("single_call_us_per_ephid", us_single, 2);
+    json.field("single_call_rate_per_s", rate_single, 0);
+    json.field("allocs_per_request_ceiling", kMaxAllocsPerRequest, 1);
+    json.begin_array("sweep");
+    for (const auto& pt : sweep) {
+      json.begin_object();
+      json.field("workers", std::uint64_t{pt.workers});
+      json.field("ephids_per_sec", pt.rate_per_s, 0);
+      json.field("allocs_per_request", pt.allocs_per_request, 2);
+      json.field("speedup", pt.speedup, 3);
+      json.end_object();
+    }
+    json.end_array();
+    if (json.close()) std::printf("  (baseline written to BENCH_e1.json)\n");
   }
 
   bench::print_footer(
       "issuance rate must exceed peak demand by a large factor (paper: "
       "18.7x); the worker sweep scales on multicore hosts (expect ~1x in a "
-      "1-core container) and allocs/request stays flat across workers");
+      "1-core container) and allocs/request stays flat across workers and "
+      "under the asserted ceiling");
   return 0;
 }

@@ -2,12 +2,12 @@
 // and E11 (baseline overhead comparison).
 // Metric: per-packet pipeline cost (ns/pkt) for the exact Fig 4 egress
 // checks, projected onto the paper's 120 Gbps port model; plus aggregate
-// pkts/s of the concurrent data plane (ForwardingPool --threads sweep,
-// scalar vs batched AES kernels), recorded to BENCH_e2.json together with
-// the zero-copy accounting: heap allocations per forwarded packet
-// (asserted == 0 in steady state) and copied bytes per forwarded packet
-// (wire::copy_audit; the pre-PacketBuf transport copied ≥ 2× the wire
-// image per hop — deep Packet copy into the event plus re-serialize).
+// pkts/s of the concurrent data plane — ForwardingPool over scalar /
+// batched kernels AND the verified-flow cache on a flow-local (Zipf)
+// workload: hit-rate, pps-vs-hit-rate and --threads axes are recorded to
+// BENCH_e2.json together with the zero-copy accounting: heap allocations
+// per forwarded packet (asserted == 0 in steady state) and copied bytes
+// per forwarded packet (wire::copy_audit).
 //
 // Paper setup: a commodity server (2× Xeon E5-2680, 16 cores) with 6
 // dual-port 10 GbE NICs (120 Gbps aggregate), driven by a Spirent traffic
@@ -20,13 +20,14 @@
 // check_incoming, the exact Fig 4 work) in-memory over bound PacketViews,
 // then combine the measured CPU cost with the testbed's port model
 // (12×10GbE, Ethernet 20 B/frame overhead) to produce the two Fig 8
-// panels. The shape claim is "achieved == theoretical max at every size"
-// whenever aggregate CPU capacity exceeds the wire's packet budget. The
-// --threads sweep then measures that aggregation directly: M worker
-// threads over the lock-striped AS state (the paper's 16-core aggregate,
-// in software).
+// panels. The --threads sweep measures aggregation directly (M workers
+// over the lock-striped AS state), and the Zipf sweep measures what the
+// paper's testbed never exercised: flow-dominated traffic, where the
+// verified-flow cache amortizes the EphID verdict across a flow's packets
+// (design choice 3 taken one step further — most packets do ONE symmetric
+// MAC and zero EphID crypto).
 //
-// Usage: bench_e2_forwarding [--threads=1,2,4,8] [--burst=512]
+// Usage: bench_e2_forwarding [--threads=1,2,4,8] [--burst=512] [--smoke]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -155,34 +156,45 @@ struct PoolRun {
   double pps = 0;
   double allocs_per_pkt = 0;      // heap allocations per forwarded packet
   double copy_bytes_per_pkt = 0;  // pooled copy_of bytes per packet
+  double hit_rate = 0;            // verified-flow cache (0 when disabled)
 };
 
-/// Wall-clock pkts/s of a ForwardingPool over repeated bursts, with the
-/// zero-copy accounting taken over the measurement window (after warm-up).
+/// Measurement window (seconds); --smoke shrinks it.
+double g_measure_s = 0.4;
+
+/// Wall-clock pkts/s of a ForwardingPool over a cycling schedule of
+/// bursts, with zero-copy and flow-cache accounting taken over the
+/// measurement window (after warm-up).
 PoolRun pool_run(router::BorderRouter& br,
-                 std::span<const wire::PacketView> burst, core::ExpTime now,
-                 std::size_t threads, bool batched) {
+                 std::span<const std::vector<wire::PacketView>> schedule,
+                 core::ExpTime now, std::size_t threads,
+                 router::ForwardingPool::Kernel kernel,
+                 std::size_t cache_entries) {
   router::ForwardingPool::Config cfg;
   cfg.threads = threads;
   cfg.chunk_packets = 64;
-  cfg.batched = batched;
+  cfg.kernel = kernel;
+  cfg.flow_cache_entries = cache_entries;
   router::ForwardingPool pool(br, cfg);
 
   using Clock = std::chrono::steady_clock;
-  // Warmup (populates the per-thread buffer pools and verdict buffer),
-  // then measure for ~0.4 s.
-  for (int i = 0; i < 4; ++i) pool.process_outgoing(burst, now);
+  // Warmup (populates the per-thread buffer pools, the verdict buffer and
+  // — when enabled — the flow caches), then measure.
+  for (std::size_t i = 0; i < std::max<std::size_t>(4, schedule.size()); ++i)
+    pool.process_outgoing(schedule[i % schedule.size()], now);
 
   const std::uint64_t allocs0 = util::heap_alloc_count();
   const wire::CopyAudit audit0 = wire::copy_audit();
-  std::size_t packets = 0;
+  const core::FlowCache::Stats cache0 = pool.flow_cache_stats();
+  std::size_t packets = 0, iter = 0;
   const auto t0 = Clock::now();
   double elapsed = 0;
   do {
+    const auto& burst = schedule[iter++ % schedule.size()];
     pool.process_outgoing(burst, now);
     packets += burst.size();
     elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
-  } while (elapsed < 0.4);
+  } while (elapsed < g_measure_s);
 
   PoolRun run;
   run.pps = static_cast<double>(packets) / elapsed;
@@ -193,7 +205,22 @@ PoolRun pool_run(router::BorderRouter& br,
   run.copy_bytes_per_pkt =
       static_cast<double>(wire::copy_audit().copy_bytes - audit0.copy_bytes) /
       packets;
+  const core::FlowCache::Stats cache1 = pool.flow_cache_stats();
+  const std::uint64_t lookups =
+      (cache1.hits - cache0.hits) + (cache1.misses - cache0.misses);
+  if (lookups > 0)
+    run.hit_rate = static_cast<double>(cache1.hits - cache0.hits) / lookups;
   return run;
+}
+
+/// Single-burst convenience (the uniform-workload measurements).
+PoolRun pool_run(router::BorderRouter& br,
+                 std::span<const wire::PacketView> burst, core::ExpTime now,
+                 std::size_t threads, router::ForwardingPool::Kernel kernel,
+                 std::size_t cache_entries) {
+  std::vector<std::vector<wire::PacketView>> schedule(1);
+  schedule[0].assign(burst.begin(), burst.end());
+  return pool_run(br, schedule, now, threads, kernel, cache_entries);
 }
 
 }  // namespace
@@ -205,11 +232,15 @@ int main(int argc, char** argv) {
       "Fig 8: throughput matches the 120 Gbps testbed's theoretical max at "
       "all packet sizes");
 
+  const bool smoke = bench::smoke_mode(argc, argv);
+  const std::size_t kIters = smoke ? 400 : 20'000;
+  if (smoke) g_measure_s = 0.02;
+
   Setup s;
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   std::printf("AES backend: %s | modelling %u cores against a 120 Gbps "
-              "(12x10GbE) port model\n\n",
-              s.as.codec.backend(), cores);
+              "(12x10GbE) port model%s\n\n",
+              s.as.codec.backend(), cores, smoke ? " [SMOKE]" : "");
 
   std::printf("%-8s %14s %14s %14s %14s %12s %12s\n", "size(B)",
               "line-rate Mpps", "APNA Mpps", "APNA Gbps", "baseline Mpps",
@@ -233,12 +264,12 @@ int main(int argc, char** argv) {
       packets.push(s.make_packet(frame, static_cast<core::Hid>(1 + (i % 1024))));
 
     const double apna_ns = bench::time_per_op_ns(
-        20'000, [&](std::size_t i) {
+        kIters, [&](std::size_t i) {
           if (!s.br->check_outgoing(packets.views[i % kSet], s.now).ok())
             std::abort();
         });
     const double base_ns = bench::time_per_op_ns(
-        20'000, [&](std::size_t i) {
+        kIters, [&](std::size_t i) {
           if (!s.baseline->check_baseline(packets.views[i % kSet]).ok())
             std::abort();
         });
@@ -285,12 +316,12 @@ int main(int argc, char** argv) {
       packets.push(pkt);
     }
 
-    const double plain_ns = bench::time_per_op_ns(20'000, [&](std::size_t i) {
+    const double plain_ns = bench::time_per_op_ns(kIters, [&](std::size_t i) {
       if (!s.br->check_outgoing(packets.views[i % kSet], s.now).ok())
         std::abort();
     });
     // Path stamping (§VIII-C): check + pooled splice of the AID.
-    const double stamp_ns = bench::time_per_op_ns(20'000, [&](std::size_t i) {
+    const double stamp_ns = bench::time_per_op_ns(kIters, [&](std::size_t i) {
       if (!s.br->check_outgoing(packets.views[i % kSet], s.now).ok())
         std::abort();
       wire::PacketBuf stamped =
@@ -305,7 +336,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < kSet; ++i)
       srcs[i].bytes = packets.views[i].src_ephid();
     std::vector<std::uint64_t> per_src_nonce(kSet, 0);
-    const double replay_ns = bench::time_per_op_ns(20'000, [&](std::size_t i) {
+    const double replay_ns = bench::time_per_op_ns(kIters, [&](std::size_t i) {
       if (!s.br->check_outgoing(packets.views[i % kSet], s.now).ok())
         std::abort();
       (void)wins.accept(srcs[i % kSet], ++per_src_nonce[i % kSet]);
@@ -327,17 +358,19 @@ int main(int argc, char** argv) {
               "this host (fewer/slower cores than the paper's 16-core "
               "server)");
 
-  // ---- Concurrent data plane: scalar vs batched kernels, --threads sweep ----
+  // ---- Concurrent data plane: kernels, flow cache, Zipf + threads sweeps ----
   {
+    using Kernel = router::ForwardingPool::Kernel;
     const std::size_t burst_size = parse_burst(argc, argv);
-    const auto thread_list = parse_thread_list(argc, argv, cores);
+    const auto thread_list = smoke ? std::vector<std::size_t>{1, 2}
+                                   : parse_thread_list(argc, argv, cores);
     constexpr std::size_t kFrame = 512;
     SealedBurst burst;
     for (std::size_t i = 0; i < burst_size; ++i)
       burst.push(s.make_packet(kFrame, static_cast<core::Hid>(1 + (i % 1024))));
 
-    // Verdict equivalence over a mixed burst: the scalar and batched MAC /
-    // EphID paths MUST drop exactly the same packets.
+    // Verdict equivalence over a mixed burst: the scalar, batched and
+    // CACHED pipelines must drop exactly the same packets (cold and warm).
     SealedBurst mixed;
     for (std::size_t i = 0; i < burst_size; ++i) {
       auto pkt = s.make_packet(kFrame, static_cast<core::Hid>(1 + (i % 1024)));
@@ -349,20 +382,31 @@ int main(int argc, char** argv) {
     }
     std::vector<router::BorderRouter::Verdict> vb(mixed.views.size());
     std::vector<router::BorderRouter::Verdict> vs(mixed.views.size());
-    router::BorderRouter::Stats sb, ss;
+    std::vector<router::BorderRouter::Verdict> vc(mixed.views.size());
+    router::BorderRouter::Stats sb, ss, sc;
+    core::FlowCache cache(4096);
     s.br->classify_outgoing_burst(mixed.views, s.now, vb, sb, /*batched=*/true);
     s.br->classify_outgoing_burst(mixed.views, s.now, vs, ss, /*batched=*/false);
     bool verdicts_equal = true;
+    for (int pass = 0; pass < 2; ++pass) {  // cold then warm cache
+      s.br->classify_outgoing_burst(mixed.views, s.now, vc, sc, true, &cache);
+      for (std::size_t i = 0; i < mixed.views.size(); ++i)
+        if (vc[i].err != vb[i].err) verdicts_equal = false;
+    }
     for (std::size_t i = 0; i < mixed.views.size(); ++i)
       if (vb[i].err != vs[i].err) verdicts_equal = false;
     std::printf("\nConcurrent data plane (burst %zu x %zu B, %u hw cores):\n",
                 burst_size, kFrame, cores);
-    std::printf("  scalar/batched verdicts identical: %s\n",
+    std::printf("  scalar/batched/cached verdicts identical: %s\n",
                 verdicts_equal ? "YES" : "NO (BUG)");
+    if (!verdicts_equal) return 1;
 
-    // Single-context kernel comparison, with the zero-copy accounting.
-    const PoolRun scalar = pool_run(*s.br, burst.views, s.now, 1, false);
-    const PoolRun batched = pool_run(*s.br, burst.views, s.now, 1, true);
+    // Single-context kernel comparison on the uniform (cache-hostile up to
+    // 1024 flows) burst, with the zero-copy accounting.
+    const PoolRun scalar =
+        pool_run(*s.br, burst.views, s.now, 1, Kernel::scalar, 0);
+    const PoolRun batched =
+        pool_run(*s.br, burst.views, s.now, 1, Kernel::batched, 0);
     std::printf("  1-thread scalar kernels : %10.0f pkts/s (%.0f ns/pkt)\n",
                 scalar.pps, 1e9 / scalar.pps);
     std::printf("  1-thread batched kernels: %10.0f pkts/s (%.0f ns/pkt, "
@@ -385,56 +429,159 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // Thread sweep with the batched kernels.
-    FILE* json = std::fopen("BENCH_e2.json", "w");
-    if (json) {
-      std::fprintf(json,
-                   "{\n  \"experiment\": \"E2 concurrent forwarding\",\n"
-                   "  \"frame_bytes\": %zu,\n  \"burst_packets\": %zu,\n"
-                   "  \"hardware_threads\": %u,\n"
-                   "  \"aes_backend\": \"%s\",\n"
-                   "  \"scalar_1t_pps\": %.0f,\n"
-                   "  \"batched_1t_pps\": %.0f,\n"
-                   "  \"allocs_per_forwarded_packet\": %.4f,\n"
-                   "  \"copy_bytes_per_packet\": %.1f,\n"
-                   "  \"copy_bytes_per_packet_pre_packetbuf\": %.1f,\n"
-                   "  \"sweep\": [",
-                   kFrame, burst_size, cores, s.as.codec.backend(),
-                   scalar.pps, batched.pps, batched.allocs_per_pkt,
-                   batched.copy_bytes_per_pkt,
-                   // What the old parsed-struct API copied per forwarded
-                   // packet at minimum: one deep Packet copy into the
-                   // scheduled event + one serialize at the next parse
-                   // boundary.
-                   2.0 * kFrame);
+    // ---- Flow-locality (Zipf) workload: the verified-flow cache ------------
+    // kFlows live EphIDs across the 1024 hosts; bursts sample flows from a
+    // Zipf(s) popularity law. The sampled schedule is IDENTICAL for every
+    // configuration (same seed), so pps differences are pipeline, not
+    // workload.
+    const std::size_t kFlows = smoke ? 512 : 4096;
+    const std::size_t kScheduleBursts = smoke ? 4 : 16;
+    SealedBurst flow_pkts;
+    for (std::size_t fidx = 0; fidx < kFlows; ++fidx)
+      flow_pkts.push(
+          s.make_packet(kFrame, static_cast<core::Hid>(1 + (fidx % 1024))));
+
+    struct ZipfPoint {
+      double s = 0;
+      PoolRun cached;
+      PoolRun uncached;
+    };
+    const double zipf_list[] = {0.0, 0.8, 1.1, 1.4};
+    std::vector<ZipfPoint> zipf_sweep;
+    std::vector<std::vector<wire::PacketView>> schedule_s11;
+    for (const double zs : zipf_list) {
+      bench::ZipfSampler zipf(kFlows, zs, 0xe2f705eedULL);
+      std::vector<std::vector<wire::PacketView>> schedule(kScheduleBursts);
+      for (auto& b : schedule) {
+        b.reserve(burst_size);
+        for (std::size_t i = 0; i < burst_size; ++i)
+          b.push_back(flow_pkts.views[zipf.next()]);
+      }
+      ZipfPoint pt;
+      pt.s = zs;
+      pt.cached = pool_run(*s.br, schedule, s.now, 1, Kernel::batched, 4096);
+      pt.uncached = pool_run(*s.br, schedule, s.now, 1, Kernel::batched, 0);
+      zipf_sweep.push_back(pt);
+      if (zs == 1.1) schedule_s11 = std::move(schedule);
     }
-    // Speedups are relative to the 1-thread batched measurement above, so
-    // they stay meaningful even when the sweep list omits 1.
-    const double pps_1t = batched.pps;
-    for (std::size_t t = 0; t < thread_list.size(); ++t) {
-      const std::size_t threads = thread_list[t];
-      const PoolRun run = pool_run(*s.br, burst.views, s.now, threads, true);
-      const double speedup = run.pps / pps_1t;
-      std::printf("  %2zu threads             : %10.0f pkts/s (%.2fx vs 1 "
-                  "thread)\n",
-                  threads, run.pps, speedup);
-      if (json)
-        std::fprintf(json,
-                     "%s\n    {\"threads\": %zu, \"pkts_per_sec\": %.0f, "
-                     "\"speedup\": %.3f}",
-                     t == 0 ? "" : ",", threads, run.pps, speedup);
+
+    // The scalar single-core reference on the SAME flow-local workload —
+    // the acceptance baseline for the cached fused pipeline.
+    const PoolRun scalar_s11 =
+        pool_run(*s.br, schedule_s11, s.now, 1, Kernel::scalar, 0);
+    const ZipfPoint* s11 = nullptr;
+    for (const auto& pt : zipf_sweep)
+      if (pt.s == 1.1) s11 = &pt;
+    const double cached_speedup =
+        s11 ? s11->cached.pps / scalar_s11.pps : 0.0;
+
+    std::printf("\nVerified-flow cache, Zipf flow-locality sweep "
+                "(%zu flows, 1 thread, burst %zu):\n",
+                kFlows, burst_size);
+    std::printf("  %6s %10s %14s %14s %10s\n", "zipf s", "hit rate",
+                "cached pkts/s", "uncached", "gain");
+    for (const auto& pt : zipf_sweep)
+      std::printf("  %6.1f %9.1f%% %14.0f %14.0f %9.2fx\n", pt.s,
+                  100 * pt.cached.hit_rate, pt.cached.pps, pt.uncached.pps,
+                  pt.cached.pps / pt.uncached.pps);
+    std::printf("  cached fused vs scalar single-core at s=1.1: %.0f vs %.0f "
+                "pkts/s = %.2fx (target >= 1.5x)\n",
+                s11 ? s11->cached.pps : 0.0, scalar_s11.pps, cached_speedup);
+    if (s11 && s11->cached.allocs_per_pkt != 0.0) {
+      std::fprintf(stderr, "FATAL: cached pipeline allocated on the heap "
+                           "(%.4f allocs/pkt)\n",
+                   s11->cached.allocs_per_pkt);
+      return 1;
     }
-    if (json) {
-      std::fprintf(json, "\n  ]\n}\n");
-      std::fclose(json);
-      std::printf("  (baseline written to BENCH_e2.json)\n");
+    // The 1.5x floor is ENFORCED, not just printed — on AES-NI hardware in
+    // full runs. The soft backend is exempt (its MAC dominates both paths,
+    // so the ratio sits near 1x by construction), as are --smoke windows
+    // (too short to be stable).
+    if (!smoke && std::strcmp(s.as.codec.backend(), "aesni") == 0 &&
+        cached_speedup < 1.5) {
+      std::fprintf(stderr,
+                   "FATAL: cached fused pipeline is only %.2fx the scalar "
+                   "single-core pps at Zipf s=1.1 (floor 1.5x)\n",
+                   cached_speedup);
+      return 1;
+    }
+
+    // ---- Thread sweeps: uncached batched + cached (s=1.1) ------------------
+    struct ThreadPoint {
+      std::size_t threads = 0;
+      PoolRun uncached;
+      PoolRun cached;
+    };
+    std::vector<ThreadPoint> sweep;
+    std::printf("\nThreads sweep (batched kernels; cached column runs the "
+                "Zipf s=1.1 schedule):\n");
+    std::printf("  %7s %14s %9s %14s %9s %9s\n", "threads", "uncached pps",
+                "speedup", "cached pps", "speedup", "hit rate");
+    for (const std::size_t t : thread_list) {
+      ThreadPoint pt;
+      pt.threads = t;
+      pt.uncached = pool_run(*s.br, burst.views, s.now, t, Kernel::batched, 0);
+      pt.cached =
+          pool_run(*s.br, schedule_s11, s.now, t, Kernel::batched, 4096);
+      sweep.push_back(pt);
+      std::printf("  %7zu %14.0f %8.2fx %14.0f %8.2fx %8.1f%%\n", t,
+                  pt.uncached.pps, pt.uncached.pps / batched.pps,
+                  pt.cached.pps, s11 ? pt.cached.pps / s11->cached.pps : 0.0,
+                  100 * pt.cached.hit_rate);
+    }
+
+    // ---- BENCH_e2.json ------------------------------------------------------
+    bench::JsonFile json("BENCH_e2.json");
+    if (json.ok()) {
+      json.field("experiment", "E2 concurrent forwarding");
+      json.field("frame_bytes", kFrame);
+      json.field("burst_packets", burst_size);
+      json.field("hardware_threads", cores);
+      json.field("aes_backend", s.as.codec.backend());
+      json.field("scalar_1t_pps", scalar.pps, 0);
+      json.field("batched_1t_pps", batched.pps, 0);
+      json.field("allocs_per_forwarded_packet", batched.allocs_per_pkt, 4);
+      json.field("copy_bytes_per_packet", batched.copy_bytes_per_pkt, 1);
+      // What the old parsed-struct API copied per forwarded packet at
+      // minimum: one deep Packet copy into the scheduled event + one
+      // serialize at the next parse boundary.
+      json.field("copy_bytes_per_packet_pre_packetbuf", 2.0 * kFrame, 1);
+      json.field("zipf_flows", kFlows);
+      json.field("flow_cache_entries", std::size_t{4096});
+      json.field("scalar_1t_zipf11_pps", scalar_s11.pps, 0);
+      json.field("cached_1t_zipf11_speedup_vs_scalar", cached_speedup, 3);
+      json.begin_array("zipf_sweep");  // pps-vs-hit-rate axis
+      for (const auto& pt : zipf_sweep) {
+        json.begin_object();
+        json.field("zipf_s", pt.s, 1);
+        json.field("hit_rate", pt.cached.hit_rate, 4);
+        json.field("cached_pps", pt.cached.pps, 0);
+        json.field("uncached_pps", pt.uncached.pps, 0);
+        json.end_object();
+      }
+      json.end_array();
+      json.begin_array("sweep");  // threads axis
+      for (const auto& pt : sweep) {
+        json.begin_object();
+        json.field("threads", pt.threads);
+        json.field("pkts_per_sec", pt.uncached.pps, 0);
+        json.field("speedup", pt.uncached.pps / batched.pps, 3);
+        json.field("cached_zipf11_pps", pt.cached.pps, 0);
+        json.field("cached_hit_rate", pt.cached.hit_rate, 4);
+        json.end_object();
+      }
+      json.end_array();
+      if (json.close())
+        std::printf("  (baseline written to BENCH_e2.json)\n");
     }
   }
 
   bench::print_footer(
       "who wins: APNA == theoretical line rate (no throughput penalty); "
       "monotone Mpps-vs-size decay and Gbps saturation reproduced; "
-      "aggregate pkts/s scales with --threads on the sharded state; "
+      "aggregate pkts/s scales with --threads on the sharded state; the "
+      "verified-flow cache turns flow locality into >= 1.5x single-core "
+      "pps at Zipf s=1.1 with verdicts bit-identical to the uncached path; "
       "0 heap allocations and one bounded handoff copy per forwarded packet");
   return 0;
 }

@@ -1,13 +1,21 @@
 // Shared helpers for the experiment benchmarks (E1..E11).
 //
 // System-level experiments print paper-style tables via these helpers;
-// micro benchmarks additionally register google-benchmark timers.
+// micro benchmarks additionally register google-benchmark timers. The
+// Zipf sampler (flow-locality workloads) and the BENCH_*.json emitter
+// live here so every bench shares one implementation.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
+
+#include "crypto/rng.h"
 
 namespace apna::bench {
 
@@ -38,5 +46,130 @@ inline void print_footer(const std::string& takeaway) {
   std::printf("----------------------------------------------------------------\n");
   std::printf("Shape check: %s\n\n", takeaway.c_str());
 }
+
+/// True when `--smoke` appears in argv: benches shrink every iteration
+/// count / measurement window to "compiles-and-runs" size so the ctest
+/// `bench_smoke` entries keep them from compile- and bit-rotting without
+/// burning CI time. Smoke runs still exercise every code path.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--smoke") return true;
+  return false;
+}
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) ∝ 1/(k+1)^s. Real traffic
+/// is flow-dominated — a small set of elephant flows carries most packets —
+/// and Zipf with s ≈ 1.1 is the standard stand-in (flow-locality workloads
+/// for the E2 verified-flow cache). s == 0 degenerates to uniform.
+/// Deterministic for a given (n, s, seed); inverse-CDF table + binary
+/// search, fine at bench scale.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed)
+      : cdf_(n), rng_(seed) {
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t next() {
+    const double u = rng_.uniform_double();
+    return static_cast<std::size_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  crypto::ChaChaRng rng_;
+};
+
+/// Minimal streaming emitter for the checked-in BENCH_*.json baselines:
+/// one top-level object, scalar fields, arrays of flat objects. Handles
+/// comma placement so the benches stop hand-assembling JSON with fprintf.
+class JsonFile {
+ public:
+  explicit JsonFile(const std::string& path) : f_(std::fopen(path.c_str(), "w")) {
+    if (f_) std::fputs("{", f_);
+  }
+  ~JsonFile() { close(); }
+  JsonFile(const JsonFile&) = delete;
+  JsonFile& operator=(const JsonFile&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+
+  void field(const char* key, const char* v) {
+    pre(key);
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void field(const char* key, const std::string& v) { field(key, v.c_str()); }
+  void field(const char* key, double v, int precision = 2) {
+    pre(key);
+    std::fprintf(f_, "%.*f", precision, v);
+  }
+  void field(const char* key, std::uint64_t v) {
+    pre(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  void field(const char* key, unsigned v) {
+    field(key, static_cast<std::uint64_t>(v));
+  }
+
+  void begin_array(const char* key) {
+    pre(key);
+    if (f_) std::fputs("[", f_);
+    ++depth_;
+    first_ = true;
+  }
+  void end_array() {
+    --depth_;
+    newline_indent();
+    if (f_) std::fputs("]", f_);
+    first_ = false;
+  }
+  void begin_object() {
+    if (!f_) return;
+    if (!first_) std::fputs(",", f_);
+    newline_indent();
+    std::fputs("{", f_);
+    ++depth_;
+    first_ = true;
+  }
+  void end_object() {
+    --depth_;
+    newline_indent();
+    if (f_) std::fputs("}", f_);
+    first_ = false;
+  }
+
+  /// Closes the file (also run by the destructor). Returns true on success.
+  bool close() {
+    if (!f_) return false;
+    std::fputs("\n}\n", f_);
+    const bool ok = std::fclose(f_) == 0;
+    f_ = nullptr;
+    return ok;
+  }
+
+ private:
+  void newline_indent() {
+    if (!f_) return;
+    std::fputc('\n', f_);
+    for (int i = 0; i < 2 * depth_; ++i) std::fputc(' ', f_);
+  }
+  void pre(const char* key) {
+    if (!f_) return;
+    if (!first_) std::fputs(",", f_);
+    newline_indent();
+    std::fprintf(f_, "\"%s\": ", key);
+    first_ = false;
+  }
+
+  std::FILE* f_;
+  bool first_ = true;
+  int depth_ = 1;
+};
 
 }  // namespace apna::bench

@@ -33,6 +33,11 @@ run_config ci       -DCMAKE_BUILD_TYPE=Release -DAPNA_WERROR=ON
 # test must see 0 heap allocations per forwarded packet in steady state
 # (optimized builds are where a copy/allocation regression actually shows).
 ctest --test-dir build-ci --output-on-failure -L alloc
+# Bench smoke, explicitly in the Release leg: tiny-iteration runs of the
+# baseline-emitting benches (E1/E2) so they cannot compile- or bit-rot;
+# their hard assertions (0 allocs/forwarded packet, the E1 allocs/request
+# ceiling, cached-vs-uncached verdict equivalence) run here too.
+ctest --test-dir build-ci --output-on-failure -L bench
 
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 # Wire-image property suites, explicitly under ASan/UBSan: PacketView::bind
@@ -49,9 +54,10 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \
   -DAPNA_WERROR=ON -DAPNA_BUILD_BENCH=OFF -DAPNA_BUILD_EXAMPLES=OFF
 echo "=== [tsan] build (concurrency-labelled tests only)"
 cmake --build build-tsan -j "${jobs}" \
-  --target router_concurrency_test router_test core_test control_plane_test
+  --target router_concurrency_test router_test core_test control_plane_test \
+  flow_cache_test
 echo "=== [tsan] test"
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-  -R '^(router_concurrency_test|router_test|core_test|control_plane_test)$'
+  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test)$'
 
 echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

@@ -32,6 +32,10 @@ struct AsState {
   AsSecrets secrets;
   EphIdCodec codec;          // kA' / kA'' derived from kA (§V-A1)
   crypto::AesCmac infra_mac; // kAS: authenticates AA→BR revocation (Fig 5)
+  /// Verdict generation for the per-worker flow caches: revocations and
+  /// host de-registration bump it; workers stamp cached verdicts with it
+  /// (core/flow_cache.h — "Epoch invalidation" in ARCHITECTURE.md).
+  VerdictEpoch epoch;
   HostDb host_db;            // host_info (lock-striped by HID)
   RevocationList revoked;    // revoked_ids (lock-striped by EphID/HID)
 
@@ -45,8 +49,8 @@ struct AsState {
         secrets(std::move(secrets_)),
         codec(ByteSpan(secrets.ka.data(), secrets.ka.size())),
         infra_mac(ByteSpan(secrets.ka_infra.data(), secrets.ka_infra.size())),
-        host_db(shard_count),
-        revoked(max_revocations_per_host, shard_count) {}
+        host_db(shard_count, &epoch),
+        revoked(max_revocations_per_host, shard_count, &epoch) {}
 
   AsState(const AsState&) = delete;
   AsState& operator=(const AsState&) = delete;

@@ -73,8 +73,9 @@ Result<EphIdPlain> EphIdCodec::open(const EphId& ephid) const {
   return plain;
 }
 
-void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
-                            EphIdPlain* plain, std::uint8_t* ok) const {
+void EphIdCodec::open_batch_gather(const std::uint8_t* const* ephids16,
+                                   std::size_t n, EphIdPlain* plain,
+                                   std::uint8_t* ok) const {
   // Gather/scatter in fixed chunks so the working buffers stay on the stack
   // and encrypt_blocks sees enough independent blocks to pipeline.
   constexpr std::size_t kChunk = 32;
@@ -88,7 +89,7 @@ void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
     // Single-block CBC-MAC == one AES call, so the whole chunk's tags are
     // one gathered encrypt_blocks invocation.
     for (std::size_t i = 0; i < m; ++i) {
-      const std::uint8_t* bytes = ephids[base + i].bytes.data();
+      const std::uint8_t* bytes = ephids16[base + i];
       std::uint8_t* mac_in = in + 16 * i;
       std::memset(mac_in, 0, 16);
       std::memcpy(mac_in, bytes + kCtOffset, 8);
@@ -96,7 +97,7 @@ void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
     }
     mac_.encrypt_blocks(in, out, m);
     for (std::size_t i = 0; i < m; ++i) {
-      const std::uint8_t* bytes = ephids[base + i].bytes.data();
+      const std::uint8_t* bytes = ephids16[base + i];
       ok[base + i] = ct_equal(ByteSpan(out + 16 * i, 4),
                               ByteSpan(bytes + kMacOffset, 4))
                          ? 1
@@ -106,7 +107,7 @@ void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
     // Pass 2 — CTR keystream for the whole chunk (computed branchlessly for
     // failed tags too; their plaintext is simply never exposed).
     for (std::size_t i = 0; i < m; ++i) {
-      const std::uint8_t* bytes = ephids[base + i].bytes.data();
+      const std::uint8_t* bytes = ephids16[base + i];
       std::uint8_t* counter = in + 16 * i;
       std::memset(counter, 0, 16);
       std::memcpy(counter, bytes + kIvOffset, 4);
@@ -115,7 +116,7 @@ void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
     for (std::size_t i = 0; i < m; ++i) {
       plain[base + i] = EphIdPlain{};
       if (!ok[base + i]) continue;
-      const std::uint8_t* ct = ephids[base + i].bytes.data() + kCtOffset;
+      const std::uint8_t* ct = ephids16[base + i] + kCtOffset;
       const std::uint8_t* ks = out + 16 * i;
       std::uint8_t pt[8];
       for (int b = 0; b < 8; ++b)
@@ -123,6 +124,18 @@ void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
       plain[base + i].hid = load_be32(pt);
       plain[base + i].exp_time = load_be32(pt + 4);
     }
+  }
+}
+
+void EphIdCodec::open_batch(const EphId* ephids, std::size_t n,
+                            EphIdPlain* plain, std::uint8_t* ok) const {
+  constexpr std::size_t kChunk = 64;
+  const std::uint8_t* ptrs[kChunk];
+  for (std::size_t base = 0; base < n; base += kChunk) {
+    const std::size_t m = std::min(kChunk, n - base);
+    for (std::size_t i = 0; i < m; ++i)
+      ptrs[i] = ephids[base + i].bytes.data();
+    open_batch_gather(ptrs, m, plain + base, ok + base);
   }
 }
 

@@ -35,8 +35,14 @@ struct HostRecord {
 
 class HostDb {
  public:
-  explicit HostDb(std::size_t shard_count = kDefaultShardCount)
-      : map_(shard_count) {}
+  /// `epoch` (optional) is bumped on every mutation that can invalidate a
+  /// previously verified flow-cache verdict: replacing an existing record
+  /// (the pre-scheduled kHA may change) and erasing one. A brand-new HID
+  /// never bumps — negative verdicts are never cached, so an insert cannot
+  /// make a cached verdict wrong.
+  explicit HostDb(std::size_t shard_count = kDefaultShardCount,
+                  VerdictEpoch* epoch = nullptr)
+      : map_(shard_count), epoch_(epoch) {}
 
   /// Inserts or replaces the record for record.hid, pre-scheduling its
   /// packet-MAC key.
@@ -44,7 +50,9 @@ class HostDb {
     if (!record.cmac)
       record.cmac = std::make_shared<const crypto::AesCmac>(
           ByteSpan(record.keys.mac.data(), record.keys.mac.size()));
-    map_.insert_or_assign(record.hid, std::move(record));
+    const Hid hid = record.hid;
+    const bool inserted = map_.insert_or_assign(hid, std::move(record));
+    if (!inserted && epoch_) epoch_->bump();
   }
 
   /// Fig 4: "if HID ∉ host_info drop packet". Copy-out under the shard lock.
@@ -52,14 +60,19 @@ class HostDb {
 
   bool contains(Hid hid) const { return map_.contains(hid); }
 
+  void prefetch(Hid hid) const { map_.prefetch(hid); }
+
   /// Removes a host entirely (HID revocation, §VIII-G2 / §VI-A identity
   /// minting: "if a host requests a new HID, the previous HID ... revoked").
-  void erase(Hid hid) { map_.erase(hid); }
+  void erase(Hid hid) {
+    if (map_.erase(hid) && epoch_) epoch_->bump();
+  }
 
   std::size_t size() const { return map_.size(); }
 
  private:
   ShardedMap<Hid, HostRecord> map_;
+  VerdictEpoch* epoch_;
 };
 
 }  // namespace apna::core

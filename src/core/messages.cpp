@@ -1,5 +1,7 @@
 #include "core/messages.h"
 
+#include "crypto/chacha20.h"
+
 namespace apna::core {
 
 using wire::Reader;
@@ -683,13 +685,39 @@ Result<IcmpMessage> IcmpMessage::decode(wire::MsgReader& r) {
 void seal_control_into(wire::MsgWriter& out, const HostAsKeys& keys,
                        std::uint64_t nonce_counter, bool from_host,
                        ByteSpan plaintext) {
-  const auto aead = crypto::Aead::create(crypto::AeadSuite::chacha20_poly1305,
-                                         keys.enc);
+  // Stack-constructed AEAD (no Aead::create unique_ptr) sealing straight
+  // into the writer's pooled tail: zero heap traffic per call.
+  const crypto::ChaCha20Poly1305 aead(
+      ByteSpan(keys.enc.data(), keys.enc.size()));
   std::uint8_t nonce[12] = {};
   nonce[0] = from_host ? 0x01 : 0x02;
   store_be64(nonce + 4, nonce_counter);
   out.u64(nonce_counter);
-  out.raw(aead->seal(ByteSpan(nonce, 12), {}, plaintext));
+  MutByteSpan dst = out.append_uninitialized(
+      plaintext.size() + crypto::ChaCha20Poly1305::kTagSize);
+  aead.seal_into(ByteSpan(nonce, 12), {}, plaintext, dst);
+}
+
+Result<ByteSpan> open_control_into(wire::MsgWriter& scratch,
+                                   const HostAsKeys& keys, bool from_host,
+                                   ByteSpan sealed) {
+  Reader r(sealed);
+  auto counter = r.u64();
+  if (!counter) return Result<ByteSpan>(counter.error());
+  const ByteSpan ct_tag = r.rest();
+  if (ct_tag.size() < crypto::ChaCha20Poly1305::kTagSize)
+    return Result<ByteSpan>(Errc::decrypt_failed, "control payload short");
+  const crypto::ChaCha20Poly1305 aead(
+      ByteSpan(keys.enc.data(), keys.enc.size()));
+  std::uint8_t nonce[12] = {};
+  nonce[0] = from_host ? 0x01 : 0x02;
+  store_be64(nonce + 4, *counter);
+  scratch.clear();
+  MutByteSpan pt = scratch.append_uninitialized(
+      ct_tag.size() - crypto::ChaCha20Poly1305::kTagSize);
+  if (!aead.open_into(ByteSpan(nonce, 12), {}, ct_tag, pt))
+    return Result<ByteSpan>(Errc::decrypt_failed, "control payload rejected");
+  return ByteSpan(pt.data(), pt.size());
 }
 
 // ---- ICMP ---------------------------------------------------------------------

@@ -23,27 +23,39 @@ namespace apna::core {
 class RevocationList {
  public:
   /// Max preemptive revocations per host before HID escalation (§VIII-G2).
+  /// `epoch` (optional) is bumped AFTER each revocation becomes visible in
+  /// the striped tables, instantly invalidating every per-worker
+  /// flow-cache verdict issued before it (core/flow_cache.h). purge_expired
+  /// never bumps: un-revoking an already expired EphID cannot change a
+  /// verdict (both paths drop it as expired).
   explicit RevocationList(std::uint32_t max_revocations_per_host = 16,
-                          std::size_t shard_count = kDefaultShardCount)
+                          std::size_t shard_count = kDefaultShardCount,
+                          VerdictEpoch* epoch = nullptr)
       : max_per_host_(max_revocations_per_host),
         ephids_(shard_count),
-        hosts_(shard_count) {}
+        hosts_(shard_count),
+        epoch_(epoch) {}
 
   /// Marks an EphID revoked. Returns the host's updated revocation count.
   std::uint32_t revoke_ephid(const EphId& ephid, ExpTime exp_time, Hid hid) {
     ephids_.insert_or_assign(ephid, exp_time);
-    return hosts_.update(
+    const std::uint32_t count = hosts_.update(
         hid, [] { return HostRevState{}; },
         [](HostRevState& h) { return ++h.revocations; });
+    if (epoch_) epoch_->bump();
+    return count;
   }
 
   bool is_revoked(const EphId& ephid) const { return ephids_.contains(ephid); }
+
+  void prefetch(const EphId& ephid) const { ephids_.prefetch(ephid); }
 
   /// HID escalation (§VIII-G2): all of the host's EphIDs become invalid.
   void revoke_hid(Hid hid) {
     hosts_.update(
         hid, [] { return HostRevState{}; },
         [](HostRevState& h) { h.hid_revoked = true; });
+    if (epoch_) epoch_->bump();
   }
 
   bool is_hid_revoked(Hid hid) const {
@@ -76,6 +88,7 @@ class RevocationList {
   std::uint32_t max_per_host_;
   ShardedMap<EphId, ExpTime, EphIdHash> ephids_;
   ShardedMap<Hid, HostRevState> hosts_;
+  VerdictEpoch* epoch_;
 };
 
 }  // namespace apna::core

@@ -18,6 +18,7 @@
 //    functors must be short and must not call back into the same map.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -26,6 +27,27 @@
 #include <unordered_map>
 
 namespace apna::core {
+
+/// Monotone per-AS generation counter — the invalidation channel between
+/// the striped tables and the per-worker verified-flow caches
+/// (core/flow_cache.h). Every mutation that can turn a cached EphID pass
+/// into a drop (revocation, host de-registration or key replacement) bumps
+/// the generation; cache entries record the generation they were verified
+/// under, so one atomic increment invalidates every stale verdict in every
+/// worker without touching the workers. Starts at 1: generation 0 is the
+/// flow caches' "empty slot" marker.
+class VerdictEpoch {
+ public:
+  std::uint64_t current() const { return gen_.load(std::memory_order_acquire); }
+
+  /// Called AFTER the table mutation is visible (the tables are internally
+  /// locked, so a worker that misses on the new generation re-reads them
+  /// and observes the mutation).
+  void bump() { gen_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint64_t> gen_{1};
+};
 
 /// Default stripe count for per-AS forwarding state. 16 stripes keep
 /// worst-case contention below ~1/16 of lookups for up to ~16 workers while
@@ -62,10 +84,22 @@ class ShardedMap {
     return s.map.contains(key);
   }
 
-  void insert_or_assign(const Key& key, Value value) {
+  /// Best-effort prefetch of the stripe `key` hashes to (mutex word + map
+  /// header share the stripe's cache lines). The burst pipelines issue this
+  /// a few packets ahead of the actual lookup.
+  void prefetch(const Key& key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&shard(key));
+#endif
+  }
+
+  /// Returns true when the key was newly inserted, false when an existing
+  /// entry was replaced (callers use the distinction to decide whether the
+  /// mutation can invalidate previously cached verdicts).
+  bool insert_or_assign(const Key& key, Value value) {
     Shard& s = shard(key);
     std::unique_lock lock(s.mu);
-    s.map.insert_or_assign(key, std::move(value));
+    return s.map.insert_or_assign(key, std::move(value)).second;
   }
 
   bool erase(const Key& key) {

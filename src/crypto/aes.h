@@ -39,7 +39,8 @@ class Aes128 {
   void encrypt_block(const std::uint8_t in[kBlockSize],
                      std::uint8_t out[kBlockSize]) const;
 
-  /// Encrypts `n` contiguous blocks (AES-NI backend pipelines these).
+  /// Encrypts `n` contiguous blocks (the AES-NI backend keeps 8 blocks in
+  /// flight to hide aesenc latency).
   void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
                       std::size_t n) const;
 
@@ -54,6 +55,12 @@ class Aes128 {
 
   /// "aesni" or "soft" — reported by benchmarks (E9) for reproducibility.
   const char* backend() const { return use_ni_ ? "aesni" : "soft"; }
+
+  /// Raw expanded key schedule / backend flag — consumed by the multi-lane
+  /// CBC-MAC driver (modes.cpp aes_cmac_many), which interleaves chains
+  /// under DIFFERENT keys and therefore reads schedules directly. Internal.
+  const std::uint8_t* round_key_bytes() const { return round_keys_.data(); }
+  bool uses_aesni() const { return use_ni_; }
 
  private:
   alignas(16) std::array<std::uint8_t, (kRounds + 1) * kBlockSize> round_keys_;
@@ -72,6 +79,17 @@ void aesni_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
                           std::uint8_t* out, std::size_t nblocks);
 void aesni_cbcmac_absorb(const std::uint8_t rk[176], std::uint8_t x[16],
                          const std::uint8_t* data, std::size_t nblocks);
+/// Interleaves EIGHT independent CBC-MAC chains (each with its own key
+/// schedule): for every lane l, absorbs `nblocks` 16-byte blocks starting
+/// at data[l] into x[l]. A single CBC chain is latency-bound (each aesenc
+/// waits on the previous); eight chains keep the AES unit saturated, which
+/// is what makes the batched per-packet MAC stage of the router's fused
+/// pipeline pay off. Callers pad unused lanes with duplicates of a live
+/// lane (the wasted work rides in the latency shadow).
+void aesni_cbcmac_absorb_8(const std::uint8_t* const rk[8],
+                           std::uint8_t* const x[8],
+                           const std::uint8_t* const data[8],
+                           std::size_t nblocks);
 }  // namespace detail
 
 }  // namespace apna::crypto

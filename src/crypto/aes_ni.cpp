@@ -56,13 +56,61 @@ void aesni_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
   __m128i k[11];
   for (int i = 0; i <= 10; ++i) k[i] = _mm_loadu_si128(keys + i);
 
-  // Process 4 blocks at a time to hide aesenc latency.
+  // 8 independent blocks in flight hide the full aesenc latency chain on
+  // modern cores (latency ~4 cycles, throughput 1-2/cycle: 4 blocks leave
+  // bubbles, 8 saturate the unit); a 4-wide tail mops up what remains.
   std::size_t i = 0;
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+  for (; i + 8 <= nblocks; i += 8) {
+    __m128i b0 = _mm_loadu_si128(src + i + 0);
+    __m128i b1 = _mm_loadu_si128(src + i + 1);
+    __m128i b2 = _mm_loadu_si128(src + i + 2);
+    __m128i b3 = _mm_loadu_si128(src + i + 3);
+    __m128i b4 = _mm_loadu_si128(src + i + 4);
+    __m128i b5 = _mm_loadu_si128(src + i + 5);
+    __m128i b6 = _mm_loadu_si128(src + i + 6);
+    __m128i b7 = _mm_loadu_si128(src + i + 7);
+    b0 = _mm_xor_si128(b0, k[0]);
+    b1 = _mm_xor_si128(b1, k[0]);
+    b2 = _mm_xor_si128(b2, k[0]);
+    b3 = _mm_xor_si128(b3, k[0]);
+    b4 = _mm_xor_si128(b4, k[0]);
+    b5 = _mm_xor_si128(b5, k[0]);
+    b6 = _mm_xor_si128(b6, k[0]);
+    b7 = _mm_xor_si128(b7, k[0]);
+    for (int r = 1; r < 10; ++r) {
+      b0 = _mm_aesenc_si128(b0, k[r]);
+      b1 = _mm_aesenc_si128(b1, k[r]);
+      b2 = _mm_aesenc_si128(b2, k[r]);
+      b3 = _mm_aesenc_si128(b3, k[r]);
+      b4 = _mm_aesenc_si128(b4, k[r]);
+      b5 = _mm_aesenc_si128(b5, k[r]);
+      b6 = _mm_aesenc_si128(b6, k[r]);
+      b7 = _mm_aesenc_si128(b7, k[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, k[10]);
+    b1 = _mm_aesenclast_si128(b1, k[10]);
+    b2 = _mm_aesenclast_si128(b2, k[10]);
+    b3 = _mm_aesenclast_si128(b3, k[10]);
+    b4 = _mm_aesenclast_si128(b4, k[10]);
+    b5 = _mm_aesenclast_si128(b5, k[10]);
+    b6 = _mm_aesenclast_si128(b6, k[10]);
+    b7 = _mm_aesenclast_si128(b7, k[10]);
+    _mm_storeu_si128(dst + i + 0, b0);
+    _mm_storeu_si128(dst + i + 1, b1);
+    _mm_storeu_si128(dst + i + 2, b2);
+    _mm_storeu_si128(dst + i + 3, b3);
+    _mm_storeu_si128(dst + i + 4, b4);
+    _mm_storeu_si128(dst + i + 5, b5);
+    _mm_storeu_si128(dst + i + 6, b6);
+    _mm_storeu_si128(dst + i + 7, b7);
+  }
   for (; i + 4 <= nblocks; i += 4) {
-    __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 0);
-    __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 1);
-    __m128i b2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 2);
-    __m128i b3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i + 3);
+    __m128i b0 = _mm_loadu_si128(src + i + 0);
+    __m128i b1 = _mm_loadu_si128(src + i + 1);
+    __m128i b2 = _mm_loadu_si128(src + i + 2);
+    __m128i b3 = _mm_loadu_si128(src + i + 3);
     b0 = _mm_xor_si128(b0, k[0]);
     b1 = _mm_xor_si128(b1, k[0]);
     b2 = _mm_xor_si128(b2, k[0]);
@@ -77,10 +125,10 @@ void aesni_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
     b1 = _mm_aesenclast_si128(b1, k[10]);
     b2 = _mm_aesenclast_si128(b2, k[10]);
     b3 = _mm_aesenclast_si128(b3, k[10]);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 0, b0);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 1, b1);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 2, b2);
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(out) + i + 3, b3);
+    _mm_storeu_si128(dst + i + 0, b0);
+    _mm_storeu_si128(dst + i + 1, b1);
+    _mm_storeu_si128(dst + i + 2, b2);
+    _mm_storeu_si128(dst + i + 3, b3);
   }
   for (; i < nblocks; ++i) {
     __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in) + i);
@@ -108,6 +156,38 @@ void aesni_cbcmac_absorb(const std::uint8_t rk[176], std::uint8_t x[16],
   _mm_storeu_si128(reinterpret_cast<__m128i*>(x), state);
 }
 
+void aesni_cbcmac_absorb_8(const std::uint8_t* const rk[8],
+                           std::uint8_t* const x[8],
+                           const std::uint8_t* const data[8],
+                           std::size_t nblocks) {
+  // Eight states live in xmm registers for the whole run; round keys are
+  // re-loaded per use (L1-resident — the loads hide entirely inside the
+  // serial aesenc latency of each chain).
+  __m128i s[8];
+  const __m128i* k[8];
+  const std::uint8_t* d[8];
+  for (int l = 0; l < 8; ++l) {
+    s[l] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[l]));
+    k[l] = reinterpret_cast<const __m128i*>(rk[l]);
+    d[l] = data[l];
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (int l = 0; l < 8; ++l) {
+      const __m128i blk = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(d[l] + 16 * b));
+      s[l] = _mm_xor_si128(_mm_xor_si128(s[l], blk),
+                           _mm_loadu_si128(k[l] + 0));
+    }
+    for (int r = 1; r < 10; ++r)
+      for (int l = 0; l < 8; ++l)
+        s[l] = _mm_aesenc_si128(s[l], _mm_loadu_si128(k[l] + r));
+    for (int l = 0; l < 8; ++l)
+      s[l] = _mm_aesenclast_si128(s[l], _mm_loadu_si128(k[l] + 10));
+  }
+  for (int l = 0; l < 8; ++l)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x[l]), s[l]);
+}
+
 #else  // !APNA_HAVE_AESNI_BUILD
 
 void aesni_expand_key128(const std::uint8_t key[16], std::uint8_t rk[176]) {
@@ -125,6 +205,14 @@ void aesni_cbcmac_absorb(const std::uint8_t rk[176], std::uint8_t x[16],
     for (int i = 0; i < 16; ++i) x[i] ^= data[16 * b + i];
     soft_encrypt_block(rk, x, x);
   }
+}
+
+void aesni_cbcmac_absorb_8(const std::uint8_t* const rk[8],
+                           std::uint8_t* const x[8],
+                           const std::uint8_t* const data[8],
+                           std::size_t nblocks) {
+  for (int l = 0; l < 8; ++l)
+    aesni_cbcmac_absorb(rk[l], x[l], data[l], nblocks);
 }
 
 #endif

@@ -57,26 +57,30 @@ void chacha20_xcrypt(const std::uint8_t key[32], std::uint32_t counter,
   }
 }
 
-std::array<std::uint8_t, 16> poly1305(const std::uint8_t key[32],
-                                      ByteSpan msg) {
-  // r with RFC 8439 clamping; arithmetic in 5 x 26-bit limbs mod 2^130-5.
-  std::uint32_t r0 = load_le32(key + 0) & 0x3ffffff;
-  std::uint32_t r1 = (load_le32(key + 3) >> 2) & 0x3ffff03;
-  std::uint32_t r2 = (load_le32(key + 6) >> 4) & 0x3ffc0ff;
-  std::uint32_t r3 = (load_le32(key + 9) >> 6) & 0x3f03fff;
-  std::uint32_t r4 = (load_le32(key + 12) >> 8) & 0x00fffff;
+namespace {
 
-  const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
-
+/// Incremental Poly1305 accumulator (5 x 26-bit limbs mod 2^130-5), the
+/// shared core of the one-shot poly1305() and the streaming AEAD tag (which
+/// authenticates aad ‖ pad ‖ ct ‖ pad ‖ lens WITHOUT materializing that
+/// concatenation — the allocation-free seal_into/open_into path).
+struct Poly1305Core {
+  std::uint32_t r0, r1, r2, r3, r4;
+  std::uint32_t s1, s2, s3, s4;
   std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
 
-  std::size_t off = 0;
-  while (off < msg.size()) {
-    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
-    std::uint8_t block[17] = {};
-    std::memcpy(block, msg.data() + off, n);
-    block[n] = 1;  // the 2^(8*n) bit
+  explicit Poly1305Core(const std::uint8_t key[32]) {
+    // r with RFC 8439 clamping.
+    r0 = load_le32(key + 0) & 0x3ffffff;
+    r1 = (load_le32(key + 3) >> 2) & 0x3ffff03;
+    r2 = (load_le32(key + 6) >> 4) & 0x3ffc0ff;
+    r3 = (load_le32(key + 9) >> 6) & 0x3f03fff;
+    r4 = (load_le32(key + 12) >> 8) & 0x00fffff;
+    s1 = r1 * 5; s2 = r2 * 5; s3 = r3 * 5; s4 = r4 * 5;
+  }
 
+  /// Absorbs one 17-byte padded block (block[n] = 1 marks the 2^(8n) bit;
+  /// bytes beyond it are zero).
+  void absorb(const std::uint8_t block[17]) {
     h0 += load_le32(block + 0) & 0x3ffffff;
     h1 += (load_le32(block + 3) >> 2) & 0x3ffffff;
     h2 += (load_le32(block + 6) >> 4) & 0x3ffffff;
@@ -109,85 +113,146 @@ std::array<std::uint8_t, 16> poly1305(const std::uint8_t key[32],
     const std::uint64_t e1 = d1 + c; c = e1 >> 26; h1 = e1 & 0x3ffffff;
     const std::uint64_t e2 = d2 + c; c = e2 >> 26; h2 = e2 & 0x3ffffff;
     const std::uint64_t e3 = d3 + c; c = e3 >> 26; h3 = e3 & 0x3ffffff;
-    const std::uint64_t e4 = d4 + c; c = e4 >> 26; h4 = static_cast<std::uint32_t>(e4 & 0x3ffffff);
+    const std::uint64_t e4 = d4 + c; c = e4 >> 26;
+    h4 = static_cast<std::uint32_t>(e4 & 0x3ffffff);
     h0 += static_cast<std::uint32_t>(c * 5);
     h1 += h0 >> 26; h0 &= 0x3ffffff;
-
-    off += n;
   }
 
-  // Full carry and reduction mod 2^130-5.
-  std::uint32_t c;
-  c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
-  c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
-  c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
-  c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
-  c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
+  /// Absorbs one FULL 16-byte block (the 2^128 marker implied) — the AEAD
+  /// mac data is always 16-aligned.
+  void absorb_full(const std::uint8_t block16[16]) {
+    std::uint8_t block[17];
+    std::memcpy(block, block16, 16);
+    block[16] = 1;
+    absorb(block);
+  }
 
-  // Compute h + -p and select.
-  std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
-  std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
-  std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
-  std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
-  std::uint32_t g4 = h4 + c - (1u << 26);
+  std::array<std::uint8_t, 16> finish(const std::uint8_t key[32]) {
+    // Full carry and reduction mod 2^130-5.
+    std::uint32_t c;
+    c = h1 >> 26; h1 &= 0x3ffffff; h2 += c;
+    c = h2 >> 26; h2 &= 0x3ffffff; h3 += c;
+    c = h3 >> 26; h3 &= 0x3ffffff; h4 += c;
+    c = h4 >> 26; h4 &= 0x3ffffff; h0 += c * 5;
+    c = h0 >> 26; h0 &= 0x3ffffff; h1 += c;
 
-  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
-  h0 = (h0 & ~mask) | (g0 & mask);
-  h1 = (h1 & ~mask) | (g1 & mask);
-  h2 = (h2 & ~mask) | (g2 & mask);
-  h3 = (h3 & ~mask) | (g3 & mask);
-  h4 = (h4 & ~mask) | (g4 & mask);
+    // Compute h + -p and select.
+    std::uint32_t g0 = h0 + 5; c = g0 >> 26; g0 &= 0x3ffffff;
+    std::uint32_t g1 = h1 + c; c = g1 >> 26; g1 &= 0x3ffffff;
+    std::uint32_t g2 = h2 + c; c = g2 >> 26; g2 &= 0x3ffffff;
+    std::uint32_t g3 = h3 + c; c = g3 >> 26; g3 &= 0x3ffffff;
+    std::uint32_t g4 = h4 + c - (1u << 26);
 
-  // h = h % 2^128, then add s = key[16..32].
-  std::uint64_t f0 = (std::uint64_t)(h0 | (h1 << 26)) + load_le32(key + 16);
-  std::uint64_t f1 = (std::uint64_t)((h1 >> 6) | (h2 << 20)) + load_le32(key + 20);
-  std::uint64_t f2 = (std::uint64_t)((h2 >> 12) | (h3 << 14)) + load_le32(key + 24);
-  std::uint64_t f3 = (std::uint64_t)((h3 >> 18) | (h4 << 8)) + load_le32(key + 28);
-  f1 += f0 >> 32;
-  f2 += f1 >> 32;
-  f3 += f2 >> 32;
+    const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+    h0 = (h0 & ~mask) | (g0 & mask);
+    h1 = (h1 & ~mask) | (g1 & mask);
+    h2 = (h2 & ~mask) | (g2 & mask);
+    h3 = (h3 & ~mask) | (g3 & mask);
+    h4 = (h4 & ~mask) | (g4 & mask);
 
-  std::array<std::uint8_t, 16> tag;
-  store_le32(tag.data() + 0, static_cast<std::uint32_t>(f0));
-  store_le32(tag.data() + 4, static_cast<std::uint32_t>(f1));
-  store_le32(tag.data() + 8, static_cast<std::uint32_t>(f2));
-  store_le32(tag.data() + 12, static_cast<std::uint32_t>(f3));
-  return tag;
+    // h = h % 2^128, then add s = key[16..32].
+    std::uint64_t f0 = (std::uint64_t)(h0 | (h1 << 26)) + load_le32(key + 16);
+    std::uint64_t f1 =
+        (std::uint64_t)((h1 >> 6) | (h2 << 20)) + load_le32(key + 20);
+    std::uint64_t f2 =
+        (std::uint64_t)((h2 >> 12) | (h3 << 14)) + load_le32(key + 24);
+    std::uint64_t f3 =
+        (std::uint64_t)((h3 >> 18) | (h4 << 8)) + load_le32(key + 28);
+    f1 += f0 >> 32;
+    f2 += f1 >> 32;
+    f3 += f2 >> 32;
+
+    std::array<std::uint8_t, 16> tag;
+    store_le32(tag.data() + 0, static_cast<std::uint32_t>(f0));
+    store_le32(tag.data() + 4, static_cast<std::uint32_t>(f1));
+    store_le32(tag.data() + 8, static_cast<std::uint32_t>(f2));
+    store_le32(tag.data() + 12, static_cast<std::uint32_t>(f3));
+    return tag;
+  }
+};
+
+/// Streams a span into the core at 16-byte granularity with zero padding
+/// to the next block boundary (the RFC 8439 AEAD layout) — no
+/// concatenation buffer.
+void aead_absorb_padded(Poly1305Core& core, ByteSpan data) {
+  std::size_t off = 0;
+  for (; off + 16 <= data.size(); off += 16) core.absorb_full(data.data() + off);
+  if (off < data.size()) {
+    std::uint8_t block[16] = {};
+    std::memcpy(block, data.data() + off, data.size() - off);
+    core.absorb_full(block);
+  }
+}
+
+/// The RFC 8439 §2.8 tag over aad ‖ pad ‖ ct ‖ pad ‖ len(aad) ‖ len(ct).
+std::array<std::uint8_t, 16> aead_tag(const std::uint8_t otk[32], ByteSpan aad,
+                                      ByteSpan ct) {
+  Poly1305Core core(otk);
+  aead_absorb_padded(core, aad);
+  aead_absorb_padded(core, ct);
+  std::uint8_t lens[16];
+  store_le64(lens, aad.size());
+  store_le64(lens + 8, ct.size());
+  core.absorb_full(lens);
+  return core.finish(otk);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 16> poly1305(const std::uint8_t key[32],
+                                      ByteSpan msg) {
+  Poly1305Core core(key);
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
+    std::uint8_t block[17] = {};
+    std::memcpy(block, msg.data() + off, n);
+    block[n] = 1;  // the 2^(8*n) bit
+    core.absorb(block);
+    off += n;
+  }
+  return core.finish(key);
 }
 
 ChaCha20Poly1305::ChaCha20Poly1305(ByteSpan key32) {
   std::memcpy(key_.data(), key32.data(), 32);
 }
 
-namespace {
-// Poly1305 input for the AEAD: aad ‖ pad ‖ ct ‖ pad ‖ len(aad) ‖ len(ct).
-Bytes aead_mac_data(ByteSpan aad, ByteSpan ct) {
-  Bytes m;
-  m.reserve(aad.size() + ct.size() + 32);
-  append(m, aad);
-  m.resize((m.size() + 15) / 16 * 16, 0);
-  append(m, ct);
-  m.resize((m.size() + 15) / 16 * 16, 0);
-  std::uint8_t lens[16];
-  store_le64(lens, aad.size());
-  store_le64(lens + 8, ct.size());
-  append(m, ByteSpan(lens, 16));
-  return m;
-}
-}  // namespace
-
-Bytes ChaCha20Poly1305::seal(ByteSpan nonce, ByteSpan aad,
-                             ByteSpan plaintext) const {
+void ChaCha20Poly1305::seal_into(ByteSpan nonce, ByteSpan aad,
+                                 ByteSpan plaintext, MutByteSpan out) const {
   std::uint8_t otk[64];
   chacha20_block(key_.data(), 0, nonce.data(), otk);
 
-  Bytes out(plaintext.size() + kTagSize);
   chacha20_xcrypt(key_.data(), 1, nonce.data(), plaintext,
                   MutByteSpan(out.data(), plaintext.size()));
-  const Bytes mac_data =
-      aead_mac_data(aad, ByteSpan(out.data(), plaintext.size()));
-  const auto tag = poly1305(otk, mac_data);
+  const auto tag =
+      aead_tag(otk, aad, ByteSpan(out.data(), plaintext.size()));
   std::memcpy(out.data() + plaintext.size(), tag.data(), kTagSize);
+}
+
+bool ChaCha20Poly1305::open_into(ByteSpan nonce, ByteSpan aad,
+                                 ByteSpan ciphertext_and_tag,
+                                 MutByteSpan plaintext_out) const {
+  if (nonce.size() != kNonceSize) return false;
+  if (ciphertext_and_tag.size() < kTagSize) return false;
+  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
+  ByteSpan ct = ciphertext_and_tag.subspan(0, ct_len);
+  ByteSpan tag = ciphertext_and_tag.subspan(ct_len);
+
+  std::uint8_t otk[64];
+  chacha20_block(key_.data(), 0, nonce.data(), otk);
+  const auto expect = aead_tag(otk, aad, ct);
+  if (!ct_equal(expect, tag)) return false;
+
+  chacha20_xcrypt(key_.data(), 1, nonce.data(), ct, plaintext_out);
+  return true;
+}
+
+Bytes ChaCha20Poly1305::seal(ByteSpan nonce, ByteSpan aad,
+                             ByteSpan plaintext) const {
+  Bytes out(plaintext.size() + kTagSize);
+  seal_into(nonce, aad, plaintext, out);
   return out;
 }
 
@@ -195,17 +260,8 @@ std::optional<Bytes> ChaCha20Poly1305::open(ByteSpan nonce, ByteSpan aad,
                                             ByteSpan ciphertext_and_tag) const {
   if (nonce.size() != kNonceSize) return std::nullopt;
   if (ciphertext_and_tag.size() < kTagSize) return std::nullopt;
-  const std::size_t ct_len = ciphertext_and_tag.size() - kTagSize;
-  ByteSpan ct = ciphertext_and_tag.subspan(0, ct_len);
-  ByteSpan tag = ciphertext_and_tag.subspan(ct_len);
-
-  std::uint8_t otk[64];
-  chacha20_block(key_.data(), 0, nonce.data(), otk);
-  const auto expect = poly1305(otk, aead_mac_data(aad, ct));
-  if (!ct_equal(expect, tag)) return std::nullopt;
-
-  Bytes pt(ct_len);
-  chacha20_xcrypt(key_.data(), 1, nonce.data(), ct, pt);
+  Bytes pt(ciphertext_and_tag.size() - kTagSize);
+  if (!open_into(nonce, aad, ciphertext_and_tag, pt)) return std::nullopt;
   return pt;
 }
 

@@ -45,6 +45,19 @@ class ChaCha20Poly1305 {
   std::optional<Bytes> open(ByteSpan nonce, ByteSpan aad,
                             ByteSpan ciphertext_and_tag) const;
 
+  /// Allocation-free form: writes ciphertext ‖ tag into `out`, which must
+  /// be exactly plaintext.size() + kTagSize bytes (callers reserve the
+  /// space in pooled storage — the control-plane hot paths). Byte output
+  /// is identical to seal().
+  void seal_into(ByteSpan nonce, ByteSpan aad, ByteSpan plaintext,
+                 MutByteSpan out) const;
+
+  /// Allocation-free open: verifies and decrypts into `plaintext_out`
+  /// (exactly ciphertext_and_tag.size() - kTagSize bytes). Returns false —
+  /// writing nothing — on any authentication failure.
+  bool open_into(ByteSpan nonce, ByteSpan aad, ByteSpan ciphertext_and_tag,
+                 MutByteSpan plaintext_out) const;
+
  private:
   std::array<std::uint8_t, 32> key_;
 };

@@ -166,4 +166,156 @@ bool AesCmac::verify(ByteSpan data, ByteSpan tag) const {
   return ct_equal(ByteSpan(full.data(), tag.size()), tag);
 }
 
+// ---- Multi-lane CMAC --------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kCmacLanes = 8;
+
+/// Per-lane extent walk over one CMAC input a ‖ b, decomposed into at most
+/// four contiguous block runs: [a's full blocks][one staged straddle
+/// block][b's full blocks][one staged final block]. The RFC 4493 subkey
+/// treatment is folded into the staged final block, so absorbing the
+/// extents in order with the raw CBC kernel IS the full CMAC.
+struct CmacLaneWalk {
+  std::array<std::uint8_t, 16> x{};
+  const std::uint8_t* rk = nullptr;
+  const std::uint8_t* ext_ptr[4] = {};
+  std::size_t ext_blocks[4] = {};
+  int ext = 0;
+  std::size_t off = 0;
+  std::uint8_t straddle[16];
+  std::uint8_t final_blk[16];
+
+  void init(const CmacJob& job, const std::uint8_t* rk_in,
+            const std::array<std::uint8_t, 16>& k1,
+            const std::array<std::uint8_t, 16>& k2) {
+    rk = rk_in;
+    const ByteSpan a = job.a;
+    const ByteSpan b = job.b;
+    const std::size_t total = a.size() + b.size();
+    const std::size_t full = total == 0 ? 0 : (total - 1) / 16;
+
+    // a's own full blocks (capped so the final block is never consumed
+    // early).
+    const std::size_t a_full = std::min(a.size() / 16, full);
+    ext_ptr[0] = a.data();
+    ext_blocks[0] = a_full;
+    std::size_t consumed = 16 * a_full;
+
+    if (consumed < 16 * full && consumed < a.size()) {
+      // One straddle block mixing a's tail with b's head.
+      const std::size_t a_rem = a.size() - consumed;
+      std::memcpy(straddle, a.data() + consumed, a_rem);
+      std::memcpy(straddle + a_rem, b.data(), 16 - a_rem);
+      ext_ptr[1] = straddle;
+      ext_blocks[1] = 1;
+      consumed += 16;
+    }
+    if (consumed < 16 * full) {
+      // b's remaining full blocks, read in place.
+      ext_ptr[2] = b.data() + (consumed - a.size());
+      ext_blocks[2] = full - consumed / 16;
+    }
+    // Final block: complete blocks XOR K1, padded blocks XOR K2.
+    const std::size_t fin = total - 16 * full;  // 0 (empty input) or 1..16
+    std::uint8_t raw[16] = {};
+    for (std::size_t i = 0; i < fin; ++i) {
+      const std::size_t pos = 16 * full + i;
+      raw[i] = pos < a.size() ? a[pos] : b[pos - a.size()];
+    }
+    const bool complete = total > 0 && fin == 16;
+    if (!complete) raw[fin] = 0x80;
+    const std::array<std::uint8_t, 16>& sub = complete ? k1 : k2;
+    for (int i = 0; i < 16; ++i)
+      final_blk[i] = static_cast<std::uint8_t>(raw[i] ^ sub[i]);
+    ext_ptr[3] = final_blk;
+    ext_blocks[3] = 1;
+  }
+
+  void skip_empty() {
+    while (ext < 4 && off == ext_blocks[ext]) {
+      ++ext;
+      off = 0;
+    }
+  }
+  bool done() {
+    skip_empty();
+    return ext == 4;
+  }
+  std::size_t run() const { return ext_blocks[ext] - off; }
+  const std::uint8_t* ptr() const { return ext_ptr[ext] + 16 * off; }
+};
+
+}  // namespace
+
+void aes_cmac_many(std::span<const CmacJob> jobs,
+                   std::array<std::uint8_t, 16>* tags) {
+  std::size_t base = 0;
+  while (base < jobs.size()) {
+    const std::size_t n = std::min(kCmacLanes, jobs.size() - base);
+    bool lanes_ok = n >= 2;
+    for (std::size_t j = 0; j < n && lanes_ok; ++j)
+      lanes_ok = jobs[base + j].key->aes_.uses_aesni();
+    if (!lanes_ok) {
+      // Soft backend (or a single job): the scalar reference path.
+      for (std::size_t j = 0; j < n; ++j)
+        tags[base + j] =
+            jobs[base + j].key->mac2(jobs[base + j].a, jobs[base + j].b);
+      base += n;
+      continue;
+    }
+
+    CmacLaneWalk walk[kCmacLanes];
+    for (std::size_t j = 0; j < n; ++j) {
+      const AesCmac& key = *jobs[base + j].key;
+      walk[j].init(jobs[base + j], key.aes_.round_key_bytes(), key.k1_,
+                   key.k2_);
+    }
+
+    // Lockstep scheduler: every pass absorbs the largest run all still-
+    // active lanes can sustain contiguously; finished (and padding) lanes
+    // duplicate an active lane, their wasted work riding in the latency
+    // shadow of the real chains.
+    for (;;) {
+      bool active[kCmacLanes] = {};
+      std::size_t run = 0, pad_src = kCmacLanes;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (walk[j].done()) continue;
+        active[j] = true;
+        const std::size_t r = walk[j].run();
+        if (pad_src == kCmacLanes) {
+          pad_src = j;
+          run = r;
+        } else {
+          run = std::min(run, r);
+        }
+      }
+      if (pad_src == kCmacLanes) break;  // all lanes finished
+
+      const std::uint8_t* rk[kCmacLanes];
+      std::uint8_t* xs[kCmacLanes];
+      const std::uint8_t* dp[kCmacLanes];
+      std::uint8_t dummy_x[16];
+      std::memcpy(dummy_x, walk[pad_src].x.data(), 16);
+      for (std::size_t l = 0; l < kCmacLanes; ++l) {
+        if (l < n && active[l]) {
+          rk[l] = walk[l].rk;
+          xs[l] = walk[l].x.data();
+          dp[l] = walk[l].ptr();
+        } else {
+          rk[l] = walk[pad_src].rk;
+          xs[l] = dummy_x;
+          dp[l] = walk[pad_src].ptr();
+        }
+      }
+      detail::aesni_cbcmac_absorb_8(rk, xs, dp, run);
+      for (std::size_t j = 0; j < n; ++j)
+        if (active[j]) walk[j].off += run;
+    }
+    for (std::size_t j = 0; j < n; ++j) tags[base + j] = walk[j].x;
+    base += n;
+  }
+}
+
 }  // namespace apna::crypto

@@ -64,10 +64,48 @@ Result<void> BorderRouter::check_baseline(const wire::PacketView& pkt) const {
 
 // ---- Concurrent fast path ---------------------------------------------------
 
+namespace {
+/// Portable prefetch shim for the pipeline look-aheads.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+/// How many packets ahead the fused pipeline warms lines (cache buckets,
+/// EphID bytes, stripe heads, MAC offsets).
+constexpr std::size_t kPrefetchAhead = 4;
+}  // namespace
+
 Errc BorderRouter::outgoing_checks(const wire::PacketView& pkt,
-                                   core::ExpTime now) const {
+                                   core::ExpTime now, core::FlowCache* cache,
+                                   std::uint64_t gen) const {
   if (pkt.wire_size() > cfg_.mtu) return Errc::too_big;
-  return check_outgoing(pkt, now).code();
+  if (cfg_.mode == Mode::baseline || cache == nullptr)
+    return check_outgoing(pkt, now).code();
+
+  core::EphId src;
+  src.bytes = pkt.src_ephid();
+  if (const core::FlowCache::Entry* e = cache->find(src, gen)) {
+    // Memoized EphID verdict: only the clock edge and the per-packet MAC
+    // (never cached, §IV-D2) remain.
+    if (e->exp_time < now) return Errc::expired;
+    return core::verify_packet_mac(*e->cmac, pkt) ? Errc::ok : Errc::bad_mac;
+  }
+  // Miss: the uncached Fig 4 sequence, with the ingredients kept for
+  // insertion. Check ORDER is identical to check_outgoing.
+  auto plain = as_.codec.open(src);
+  if (!plain) return Errc::decrypt_failed;
+  if (plain->exp_time < now) return Errc::expired;
+  if (as_.revoked.is_revoked(src) || as_.revoked.is_hid_revoked(plain->hid))
+    return Errc::revoked;
+  const auto host = as_.host_db.find(plain->hid);
+  if (!host) return Errc::unknown_host;
+  // The EphID-level verdict is cacheable whatever this packet's MAC says:
+  // the MAC is per-packet and re-verified on every hit.
+  cache->insert(src, plain->hid, plain->exp_time, gen, host->cmac);
+  return core::verify_packet_mac(*host->cmac, pkt) ? Errc::ok : Errc::bad_mac;
 }
 
 void BorderRouter::finish_outgoing_classify(
@@ -86,20 +124,34 @@ void BorderRouter::finish_outgoing_classify(
 
 void BorderRouter::classify_outgoing_burst(
     std::span<const wire::PacketView> burst, core::ExpTime now,
-    std::span<Verdict> verdicts, Stats& stats, bool batched) const {
+    std::span<Verdict> verdicts, Stats& stats, bool batched,
+    core::FlowCache* cache) const {
+  // One generation per burst: entries verified mid-burst are stamped with
+  // the generation observed HERE, so a revocation racing the burst leaves
+  // them conservatively stale (same visibility contract as the striped
+  // tables — in-flight packets may see either side of a concurrent
+  // revocation; every packet of the NEXT burst sees it).
+  const std::uint64_t gen = cache ? as_.epoch.current() : 0;
+
   if (cfg_.mode == Mode::baseline || !batched) {
     for (std::size_t i = 0; i < burst.size(); ++i)
-      verdicts[i] = Verdict{outgoing_checks(burst[i], now), false, 0};
+      verdicts[i] = Verdict{outgoing_checks(burst[i], now, cache, gen), false,
+                            0};
     finish_outgoing_classify(burst, verdicts, stats);
     return;
   }
 
-  // Batched pipeline: chunk the burst so the gather buffers stay on the
-  // stack, run the two AES-heavy stages (EphID open, MAC verify) through
-  // the batched kernels, and keep the check ORDER identical to
+  // Fused batch pipeline, one pass per chunk: probe the flow cache, gather
+  // the misses, run ONE widened AES sweep over the misses only, striped
+  // checks for the misses, then a single batched packet-CMAC stage that
+  // covers hits and verified misses together (hits skip EphID crypto and
+  // the table stripes but never the per-packet MAC). Chunking keeps every
+  // gather buffer on the stack; check ORDER stays identical to
   // check_outgoing so both paths produce the same error codes.
   constexpr std::size_t kChunk = 32;
-  core::EphId ids[kChunk];
+  const core::FlowCache::Entry* hits[kChunk];
+  const std::uint8_t* miss_eph[kChunk];  // gather list into the wire images
+  std::size_t miss_at[kChunk];
   core::EphIdPlain plain[kChunk];
   std::uint8_t id_ok[kChunk];
   // HostRecord copies keep the pre-scheduled cmac shared_ptr alive while
@@ -108,45 +160,166 @@ void BorderRouter::classify_outgoing_burst(
   core::PacketMacJob jobs[kChunk];
   std::size_t job_at[kChunk];
   std::uint8_t mac_ok[kChunk];
+  std::size_t fresh[kChunk];  // miss indices whose EphID fully verified
 
   for (std::size_t base = 0; base < burst.size(); base += kChunk) {
     const std::size_t m = std::min(kChunk, burst.size() - base);
-    for (std::size_t i = 0; i < m; ++i)
-      ids[i].bytes = burst[base + i].src_ephid();
-    as_.codec.open_batch(ids, m, plain, id_ok);
 
-    std::size_t njobs = 0;
+    // Stage 1 — probe. Warm the next packets' EphID bytes and cache
+    // buckets a few slots ahead of use.
+    std::size_t nmiss = 0;
     for (std::size_t i = 0; i < m; ++i) {
+      if (i + kPrefetchAhead < m) {
+        const wire::PacketView& ahead = burst[base + i + kPrefetchAhead];
+        prefetch_ro(ahead.bytes().data() + wire::kOffSrcEphid);
+      }
       const wire::PacketView& pkt = burst[base + i];
       Verdict& v = verdicts[base + i];
       v = Verdict{};
+      hits[i] = nullptr;
       if (pkt.wire_size() > cfg_.mtu) {
         v.err = Errc::too_big;
-      } else if (!id_ok[i]) {
+        continue;
+      }
+      if (cache) {
+        core::EphId src;
+        src.bytes = pkt.src_ephid();
+        if (const core::FlowCache::Entry* e = cache->find(src, gen)) {
+          if (e->exp_time < now) {
+            v.err = Errc::expired;
+          } else {
+            hits[i] = e;  // MAC still pending (stage 4)
+          }
+          continue;
+        }
+      }
+      miss_eph[nmiss] = pkt.bytes().data() + wire::kOffSrcEphid;
+      miss_at[nmiss++] = i;
+    }
+
+    // Stage 2 — one widened AES sweep over the misses only, gathered
+    // straight from the wire images.
+    as_.codec.open_batch_gather(miss_eph, nmiss, plain, id_ok);
+
+    // Stage 3 — striped lookups for the misses, stripe heads prefetched
+    // ahead of use.
+    std::size_t nfresh = 0;
+    for (std::size_t j = 0; j < nmiss; ++j) {
+      if (j + kPrefetchAhead < nmiss) {
+        core::EphId ahead;
+        ahead.bytes = burst[base + miss_at[j + kPrefetchAhead]].src_ephid();
+        as_.revoked.prefetch(ahead);
+        if (id_ok[j + kPrefetchAhead])
+          as_.host_db.prefetch(plain[j + kPrefetchAhead].hid);
+      }
+      const std::size_t i = miss_at[j];
+      Verdict& v = verdicts[base + i];
+      recs[j].reset();
+      core::EphId src;
+      src.bytes = burst[base + i].src_ephid();
+      if (!id_ok[j]) {
         v.err = Errc::decrypt_failed;
-      } else if (plain[i].exp_time < now) {
+      } else if (plain[j].exp_time < now) {
         v.err = Errc::expired;
-      } else if (as_.revoked.is_revoked(ids[i]) ||
-                 as_.revoked.is_hid_revoked(plain[i].hid)) {
+      } else if (as_.revoked.is_revoked(src) ||
+                 as_.revoked.is_hid_revoked(plain[j].hid)) {
         v.err = Errc::revoked;
-      } else if (!(recs[i] = as_.host_db.find(plain[i].hid))) {
+      } else if (!(recs[j] = as_.host_db.find(plain[j].hid))) {
         v.err = Errc::unknown_host;
       } else {
-        jobs[njobs] = core::PacketMacJob{&pkt, recs[i]->cmac.get()};
-        job_at[njobs++] = base + i;
+        fresh[nfresh++] = j;
       }
+    }
+
+    // Stage 4 — one batched packet-CMAC stage for everything still alive:
+    // cache hits borrow the entry's key schedule, fresh misses the copied
+    // HostRecord's. MAC offsets are prefetched while the job list builds.
+    std::size_t njobs = 0;
+    for (std::size_t j = 0; j < nfresh; ++j) {
+      const std::size_t i = miss_at[fresh[j]];
+      const wire::PacketView& pkt = burst[base + i];
+      prefetch_ro(pkt.bytes().data() + wire::kOffMac);
+      jobs[njobs] = core::PacketMacJob{&pkt, recs[fresh[j]]->cmac.get()};
+      job_at[njobs++] = base + i;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (hits[i] == nullptr) continue;
+      const wire::PacketView& pkt = burst[base + i];
+      prefetch_ro(pkt.bytes().data() + wire::kOffMac);
+      jobs[njobs] = core::PacketMacJob{&pkt, hits[i]->cmac.get()};
+      job_at[njobs++] = base + i;
     }
     core::verify_packet_macs(std::span<const core::PacketMacJob>(jobs, njobs),
                              std::span<std::uint8_t>(mac_ok, njobs));
     for (std::size_t j = 0; j < njobs; ++j)
       if (!mac_ok[j]) verdicts[job_at[j]].err = Errc::bad_mac;
+
+    // Stage 5 — insert the fresh EphID verdicts AFTER the MAC batch ran,
+    // so an insertion's eviction can never free a key schedule a pending
+    // job still borrows. Inserted whatever the packet's own MAC said: the
+    // EphID-level verdict is independent of the per-packet MAC.
+    if (cache) {
+      for (std::size_t j = 0; j < nfresh; ++j) {
+        const std::size_t mj = fresh[j];
+        core::EphId src;
+        src.bytes = burst[base + miss_at[mj]].src_ephid();
+        cache->insert(src, plain[mj].hid, plain[mj].exp_time, gen,
+                      recs[mj]->cmac);
+      }
+    }
   }
   finish_outgoing_classify(burst, verdicts, stats);
 }
 
+void BorderRouter::ingress_checks(const wire::PacketView& pkt,
+                                  core::ExpTime now, core::FlowCache* cache,
+                                  std::uint64_t gen, Verdict& v) const {
+  core::EphId dst;
+  dst.bytes = pkt.dst_ephid();
+  if (cache) {
+    if (const core::FlowCache::Entry* e = cache->find(dst, gen)) {
+      // Ingress hits skip ALL crypto — there is no per-packet MAC check at
+      // the destination AS (Fig 4 top).
+      if (e->exp_time < now) {
+        v.err = Errc::expired;
+      } else {
+        v.hid = e->hid;
+      }
+      return;
+    }
+  }
+  auto plain = as_.codec.open(dst);
+  if (!plain) {
+    v.err = Errc::decrypt_failed;
+    return;
+  }
+  if (plain->exp_time < now) {
+    v.err = Errc::expired;
+    return;
+  }
+  if (as_.revoked.is_revoked(dst) || as_.revoked.is_hid_revoked(plain->hid)) {
+    v.err = Errc::revoked;
+    return;
+  }
+  // find (not contains): the copied record's cmac makes the entry usable
+  // for EGRESS hits of the same EphID too — one cache serves both
+  // directions.
+  const auto host = as_.host_db.find(plain->hid);
+  if (!host) {
+    v.err = Errc::unknown_host;
+    return;
+  }
+  v.hid = plain->hid;
+  if (cache)
+    cache->insert(dst, plain->hid, plain->exp_time, gen, host->cmac);
+}
+
 void BorderRouter::classify_ingress_burst(
     std::span<const wire::PacketView> burst, core::ExpTime now,
-    std::span<Verdict> verdicts, Stats& stats, bool batched) const {
+    std::span<Verdict> verdicts, Stats& stats, bool batched,
+    core::FlowCache* cache) const {
+  const std::uint64_t gen = cache ? as_.epoch.current() : 0;
+
   if (cfg_.mode == Mode::baseline || !batched) {
     for (std::size_t i = 0; i < burst.size(); ++i) {
       const wire::PacketView& pkt = burst[i];
@@ -154,49 +327,99 @@ void BorderRouter::classify_ingress_burst(
       v = Verdict{};
       if (pkt.dst_aid() != as_.aid) continue;  // transit, no crypto
       v.local = true;
-      auto hid = check_incoming(pkt, now);
-      if (hid) {
-        v.hid = *hid;
+      if (cfg_.mode == Mode::baseline || cache == nullptr) {
+        auto hid = check_incoming(pkt, now);
+        if (hid) {
+          v.hid = *hid;
+        } else {
+          v.err = hid.error().code;
+        }
       } else {
-        v.err = hid.error().code;
-        count_drop(stats, v.err);
+        ingress_checks(pkt, now, cache, gen, v);
       }
+      if (v.err != Errc::ok) count_drop(stats, v.err);
     }
     return;
   }
 
+  // Fused ingress pipeline: transit packets skip crypto entirely (design
+  // choice 3); locally-destined packets probe the flow cache, and only the
+  // misses reach the widened AES sweep and the striped tables.
   constexpr std::size_t kChunk = 32;
-  core::EphId ids[kChunk];
+  const std::uint8_t* miss_eph[kChunk];
   core::EphIdPlain plain[kChunk];
   std::uint8_t id_ok[kChunk];
-  std::size_t local_at[kChunk];
+  std::size_t miss_at[kChunk];
 
   for (std::size_t base = 0; base < burst.size(); base += kChunk) {
     const std::size_t m = std::min(kChunk, burst.size() - base);
-    // Transit packets skip crypto entirely (design choice 3); gather only
-    // the locally-destined EphIDs for the batched open.
-    std::size_t nlocal = 0;
+
+    // Stage 1 — transit split + cache probe.
+    std::size_t nmiss = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      verdicts[base + i] = Verdict{};
-      if (burst[base + i].dst_aid() != as_.aid) continue;
-      verdicts[base + i].local = true;
-      ids[nlocal].bytes = burst[base + i].dst_ephid();
-      local_at[nlocal++] = base + i;
+      if (i + kPrefetchAhead < m) {
+        const wire::PacketView& ahead = burst[base + i + kPrefetchAhead];
+        prefetch_ro(ahead.bytes().data() + wire::kOffDstEphid);
+      }
+      const wire::PacketView& pkt = burst[base + i];
+      Verdict& v = verdicts[base + i];
+      v = Verdict{};
+      if (pkt.dst_aid() != as_.aid) continue;
+      v.local = true;
+      if (cache) {
+        core::EphId dst;
+        dst.bytes = pkt.dst_ephid();
+        if (const core::FlowCache::Entry* e = cache->find(dst, gen)) {
+          if (e->exp_time < now) {
+            v.err = Errc::expired;
+            count_drop(stats, v.err);
+          } else {
+            v.hid = e->hid;
+          }
+          continue;
+        }
+      }
+      miss_eph[nmiss] = pkt.bytes().data() + wire::kOffDstEphid;
+      miss_at[nmiss++] = i;
     }
-    as_.codec.open_batch(ids, nlocal, plain, id_ok);
-    for (std::size_t j = 0; j < nlocal; ++j) {
-      Verdict& v = verdicts[local_at[j]];
+
+    // Stage 2 — widened AES sweep over the misses only.
+    as_.codec.open_batch_gather(miss_eph, nmiss, plain, id_ok);
+
+    // Stage 3 — striped checks + insertion (no MAC stage at ingress, so
+    // fresh verdicts can be inserted as they verify).
+    for (std::size_t j = 0; j < nmiss; ++j) {
+      if (j + kPrefetchAhead < nmiss) {
+        core::EphId ahead;
+        ahead.bytes = burst[base + miss_at[j + kPrefetchAhead]].dst_ephid();
+        as_.revoked.prefetch(ahead);
+        if (id_ok[j + kPrefetchAhead])
+          as_.host_db.prefetch(plain[j + kPrefetchAhead].hid);
+      }
+      Verdict& v = verdicts[base + miss_at[j]];
+      core::EphId dst;
+      dst.bytes = burst[base + miss_at[j]].dst_ephid();
       if (!id_ok[j]) {
         v.err = Errc::decrypt_failed;
       } else if (plain[j].exp_time < now) {
         v.err = Errc::expired;
-      } else if (as_.revoked.is_revoked(ids[j]) ||
+      } else if (as_.revoked.is_revoked(dst) ||
                  as_.revoked.is_hid_revoked(plain[j].hid)) {
         v.err = Errc::revoked;
-      } else if (!as_.host_db.contains(plain[j].hid)) {
-        v.err = Errc::unknown_host;
-      } else {
+      } else if (cache == nullptr) {
+        // Uncached: a membership check suffices — no record copy.
+        if (as_.host_db.contains(plain[j].hid)) {
+          v.hid = plain[j].hid;
+        } else {
+          v.err = Errc::unknown_host;
+        }
+      } else if (const auto host = as_.host_db.find(plain[j].hid)) {
+        // find (not contains): the copied record's cmac makes the fresh
+        // entry usable for EGRESS hits of the same EphID too.
         v.hid = plain[j].hid;
+        cache->insert(dst, plain[j].hid, plain[j].exp_time, gen, host->cmac);
+      } else {
+        v.err = Errc::unknown_host;
       }
       if (v.err != Errc::ok) count_drop(stats, v.err);
     }

@@ -54,6 +54,7 @@
 #include <span>
 
 #include "core/as_state.h"
+#include "core/flow_cache.h"
 #include "core/messages.h"
 #include "core/packet_auth.h"
 #include "core/replay.h"
@@ -180,16 +181,33 @@ class BorderRouter {
   /// when configured) over a burst of views. Drop reasons are counted into
   /// the caller-owned `stats` (passes are counted by
   /// apply_outgoing_verdicts or by the caller). Safe to call from many
-  /// threads concurrently; `batched` selects the batched AES kernels
+  /// threads concurrently; `batched` selects the fused batch pipeline
   /// (identical verdicts either way). Allocation-free.
+  ///
+  /// `cache` (optional, caller-owned, NOT thread-safe — one per worker
+  /// thread) memoizes verified EphID verdicts: a generation-valid hit
+  /// skips the EphID decrypt+auth and both striped lookups, but NEVER the
+  /// per-packet MAC (§IV-D2). With `batched` the burst runs as one fused
+  /// pass per chunk: probe cache → gather misses → one widened AES sweep
+  /// over misses only → striped checks for misses → batched packet-CMAC
+  /// for hits and verified misses together → insert fresh verdicts (after
+  /// the MAC batch, so an eviction can never invalidate a borrowed key
+  /// schedule mid-chunk). Verdicts are bit-identical with and without the
+  /// cache, including bursts that straddle a revocation: every revocation
+  /// bumps AsState::epoch, so stale entries miss and re-verify against the
+  /// striped tables (pinned by flow_cache_test / router_concurrency_test).
   void classify_outgoing_burst(std::span<const wire::PacketView> burst,
                                core::ExpTime now, std::span<Verdict> verdicts,
-                               Stats& stats, bool batched = true) const;
+                               Stats& stats, bool batched = true,
+                               core::FlowCache* cache = nullptr) const;
 
   /// Ingress twin: transit detection + Fig 4 top checks for local packets.
+  /// Cache hits skip all crypto (ingress has no per-packet MAC check — the
+  /// MAC is verified at the source AS).
   void classify_ingress_burst(std::span<const wire::PacketView> burst,
                               core::ExpTime now, std::span<Verdict> verdicts,
-                              Stats& stats, bool batched = true) const;
+                              Stats& stats, bool batched = true,
+                              core::FlowCache* cache = nullptr) const;
 
   /// Executes the forwarding actions for a classified egress burst on the
   /// CALLING thread (the callbacks are single-threaded): send_external for
@@ -266,7 +284,15 @@ class BorderRouter {
                                 Stats& stats) const;
   /// MTU + Fig 4 checks for one egress packet (the scalar classify kernel;
   /// replay filtering and accounting happen in finish_outgoing_classify).
-  Errc outgoing_checks(const wire::PacketView& pkt, core::ExpTime now) const;
+  /// With a cache, hits skip straight to the per-packet MAC and verified
+  /// misses are inserted under `gen`.
+  Errc outgoing_checks(const wire::PacketView& pkt, core::ExpTime now,
+                       core::FlowCache* cache, std::uint64_t gen) const;
+  /// Scalar ingress kernel for one locally-destined packet (cache-aware
+  /// twin of check_incoming; fills v.hid on success).
+  void ingress_checks(const wire::PacketView& pkt, core::ExpTime now,
+                      core::FlowCache* cache, std::uint64_t gen,
+                      Verdict& v) const;
 
   core::AsState& as_;
   Callbacks cb_;

@@ -12,6 +12,10 @@ ForwardingPool::ForwardingPool(BorderRouter& br, Config cfg)
   }
   if (cfg_.chunk_packets == 0) cfg_.chunk_packets = 64;
   slots_ = std::make_unique<Slot[]>(cfg_.threads);
+  if (cfg_.flow_cache_entries > 0)
+    for (std::size_t i = 0; i < cfg_.threads; ++i)
+      slots_[i].cache =
+          std::make_unique<core::FlowCache>(cfg_.flow_cache_entries);
   workers_.reserve(cfg_.threads - 1);
   for (std::size_t i = 1; i < cfg_.threads; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -31,7 +35,7 @@ void ForwardingPool::drain_chunks(std::size_t slot) {
     const wire::PacketView* burst;
     BorderRouter::Verdict* verdicts;
     core::ExpTime now;
-    bool ingress;
+    bool ingress, batched;
     std::size_t begin, end;
     {
       std::lock_guard lock(mu_);
@@ -42,18 +46,20 @@ void ForwardingPool::drain_chunks(std::size_t slot) {
       verdicts = verdicts_;
       now = now_;
       ingress = ingress_;
+      batched = batched_;
     }
     {
       std::lock_guard slot_lock(slots_[slot].mu);
       const std::span<const wire::PacketView> chunk(burst + begin, end - begin);
       const std::span<BorderRouter::Verdict> out(verdicts + begin,
                                                  end - begin);
+      core::FlowCache* cache = slots_[slot].cache.get();
       if (ingress) {
         br_.classify_ingress_burst(chunk, now, out, slots_[slot].stats,
-                                   cfg_.batched);
+                                   batched, cache);
       } else {
         br_.classify_outgoing_burst(chunk, now, out, slots_[slot].stats,
-                                    cfg_.batched);
+                                    batched, cache);
       }
     }
     {
@@ -86,6 +92,7 @@ void ForwardingPool::process_burst(std::span<const wire::PacketView> burst,
     verdicts_ = verdict_buf_.data();
     now_ = now;
     ingress_ = ingress;
+    batched_ = batched_for(burst.size());
     next_chunk_ = 0;
     chunks_done_ = 0;
     chunks_total_ =
@@ -135,6 +142,15 @@ BorderRouter::Stats ForwardingPool::stats() const {
   for (std::size_t i = 0; i < cfg_.threads; ++i) {
     std::lock_guard slot_lock(slots_[i].mu);
     merged += slots_[i].stats;
+  }
+  return merged;
+}
+
+core::FlowCache::Stats ForwardingPool::flow_cache_stats() const {
+  core::FlowCache::Stats merged;
+  for (std::size_t i = 0; i < cfg_.threads; ++i) {
+    std::lock_guard slot_lock(slots_[i].mu);
+    if (slots_[i].cache) merged += slots_[i].cache->stats();
   }
   return merged;
 }

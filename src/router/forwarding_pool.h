@@ -43,6 +43,20 @@ namespace apna::router {
 
 class ForwardingPool {
  public:
+  /// Which classify kernel runs inside the workers. The verdicts are
+  /// identical for every choice; only the per-packet cost differs.
+  enum class Kernel {
+    /// Pick per burst: the batched kernels win when there is real
+    /// parallelism and enough packets to fill the gather buffers, but on
+    /// one thread with small bursts the gather/scatter overhead loses to
+    /// the scalar loop (BENCH_e2: batched 0.95-0.98x scalar at 1 thread
+    /// pre-fusion) — so auto selects scalar for threads == 1 or bursts
+    /// below batch_min_burst.
+    auto_select,
+    scalar,
+    batched,
+  };
+
   struct Config {
     /// Total processing threads (calling thread included). 0 → one per
     /// hardware thread.
@@ -51,9 +65,17 @@ class ForwardingPool {
     /// balance a 512-packet burst over many workers, big enough that the
     /// batched AES kernels see full gather buffers.
     std::size_t chunk_packets = 64;
-    /// Run the batched AES kernels (EphID open, MAC verify) inside
-    /// classification; false = scalar per-packet checks (same verdicts).
-    bool batched = true;
+    /// Kernel selection (see Kernel). Explicit Kernel::batched is how a
+    /// single-threaded driver opts into the fused cached pipeline.
+    Kernel kernel = Kernel::auto_select;
+    /// Auto threshold: bursts smaller than this run scalar under
+    /// Kernel::auto_select (covered by router_test.KernelAutoSelection).
+    std::size_t batch_min_burst = 128;
+    /// Per-worker verified-flow cache capacity (entries); 0 disables the
+    /// caches. Each processing context owns its own core::FlowCache — no
+    /// locks, no cross-thread sharing; revocations invalidate via
+    /// AsState::epoch.
+    std::size_t flow_cache_entries = 4096;
   };
 
   explicit ForwardingPool(BorderRouter& br) : ForwardingPool(br, Config()) {}
@@ -76,8 +98,23 @@ class ForwardingPool {
   /// worker slot + action-phase forward/deliver/transit counters).
   BorderRouter::Stats stats() const;
 
+  /// Per-worker flow-cache counters merged on read (hit rate of the
+  /// verified-flow caches across all processing contexts).
+  core::FlowCache::Stats flow_cache_stats() const;
+
   /// Total processing threads (callers + workers).
   std::size_t threads() const { return cfg_.threads; }
+
+  /// The auto_select decision for a burst of `burst_packets` under this
+  /// pool's configuration (public so the threshold is unit-testable).
+  bool batched_for(std::size_t burst_packets) const {
+    switch (cfg_.kernel) {
+      case Kernel::scalar: return false;
+      case Kernel::batched: return true;
+      case Kernel::auto_select: break;
+    }
+    return cfg_.threads > 1 && burst_packets >= cfg_.batch_min_burst;
+  }
 
  private:
   void process_burst(std::span<const wire::PacketView> burst, core::ExpTime now,
@@ -91,6 +128,10 @@ class ForwardingPool {
   struct alignas(64) Slot {
     mutable std::mutex mu;
     BorderRouter::Stats stats;
+    /// This processing context's verified-flow cache (null when disabled).
+    /// Only ever touched by the slot's owner under the slot lock — the
+    /// cache itself is single-owner by design.
+    std::unique_ptr<core::FlowCache> cache;
   };
 
   BorderRouter& br_;
@@ -107,6 +148,7 @@ class ForwardingPool {
   BorderRouter::Verdict* verdicts_ = nullptr;
   core::ExpTime now_ = 0;
   bool ingress_ = false;
+  bool batched_ = true;  // this burst's kernel choice (batched_for)
   std::size_t next_chunk_ = 0;
   std::size_t chunks_done_ = 0;
   std::size_t chunks_total_ = 0;

@@ -81,6 +81,16 @@ class MsgWriter {
     u16(static_cast<std::uint16_t>(data.size()));
     raw(data);
   }
+
+  /// Reserves `n` writable bytes at the tail and advances past them; the
+  /// caller fills the returned span IN PLACE (AEAD seal output, decrypt
+  /// scratch). Valid until the next append.
+  MutByteSpan append_uninitialized(std::size_t n) {
+    ensure(n);
+    MutByteSpan out(buf_.data() + len_, n);
+    len_ += n;
+    return out;
+  }
   void str(std::string_view s) {
     u16(static_cast<std::uint16_t>(s.size()));
     raw(ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));

@@ -290,6 +290,109 @@ TEST(ShardedState, ConcurrentClassifyOverSharedViewBurst) {
   EXPECT_FALSE(failed.load());
 }
 
+TEST(FlowCacheConcurrency, PerThreadCachesWithConcurrentRevocations) {
+  // M classify threads, each with its OWN core::FlowCache (the
+  // ForwardingPool arrangement), race a writer that revokes EphIDs/HIDs
+  // and churns host_info. TSan-visible state: the striped tables and the
+  // AsState epoch (atomic); the caches themselves are never shared.
+  // Verdict legality is asserted per iteration, and once the writer is
+  // done every warm cache must agree with the uncached reference exactly
+  // (epoch invalidation has flushed all stale verdicts).
+  ConcurrencyFixture f;
+  auto br = f.make_router();
+
+  constexpr core::Hid kStable = 8;     // never touched
+  constexpr core::Hid kRevoked = 16;   // (kStable, kRevoked]: EphIDs revoked
+  constexpr core::Hid kChurned = 20;   // (kRevoked, kChurned]: host churn
+  SealedBurst burst;
+  std::vector<core::EphId> ephids;
+  for (core::Hid hid = 1; hid <= kChurned; ++hid) {
+    const auto eph = f.as.codec.issue(hid, f.now + 900, f.rng);
+    ephids.push_back(eph);
+    burst.push(f.outgoing_packet(hid, eph));
+  }
+  {  // canaries: structurally bad whatever the writer does
+    auto bad_mac = f.outgoing_packet(2, ephids[1]);
+    bad_mac.mac[0] ^= 1;
+    burst.push(bad_mac);
+    core::EphId forged;
+    f.rng.fill(MutByteSpan(forged.bytes.data(), 16));
+    burst.push(f.outgoing_packet(3, forged));
+  }
+  const std::size_t kBadMacAt = kChurned;
+  const std::size_t kForgedAt = kChurned + 1;
+
+  constexpr int kIters = 400;
+  constexpr int kThreads = 3;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  std::vector<std::unique_ptr<core::FlowCache>> caches;
+  for (int t = 0; t < kThreads; ++t)
+    caches.push_back(std::make_unique<core::FlowCache>(256));
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      std::vector<BorderRouter::Verdict> verdicts(burst.views.size());
+      BorderRouter::Stats stats;
+      for (int i = 0; i < kIters && !failed.load(); ++i) {
+        br->classify_outgoing_burst(burst.views, f.now, verdicts, stats,
+                                    /*batched=*/(t % 2) == 0,
+                                    caches[t].get());
+        for (core::Hid hid = 1; hid <= kStable; ++hid)
+          if (verdicts[hid - 1].err != Errc::ok) failed.store(true);
+        for (core::Hid hid = kStable + 1; hid <= kRevoked; ++hid) {
+          const Errc e = verdicts[hid - 1].err;
+          if (e != Errc::ok && e != Errc::revoked) failed.store(true);
+        }
+        for (core::Hid hid = kRevoked + 1; hid <= kChurned; ++hid) {
+          const Errc e = verdicts[hid - 1].err;
+          if (e != Errc::ok && e != Errc::unknown_host) failed.store(true);
+        }
+        if (verdicts[kBadMacAt].err != Errc::bad_mac) failed.store(true);
+        if (verdicts[kForgedAt].err != Errc::decrypt_failed)
+          failed.store(true);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < kIters / 2; ++i) {
+      const core::Hid rev =
+          kStable + 1 + static_cast<core::Hid>(i % (kRevoked - kStable));
+      f.as.revoked.revoke_ephid(ephids[rev - 1], f.now + 900, rev);
+      const core::Hid churn =
+          kRevoked + 1 + static_cast<core::Hid>(i % (kChurned - kRevoked));
+      f.as.host_db.erase(churn);
+      core::HostRecord rec;
+      rec.hid = churn;
+      rec.keys = f.host_keys[churn - 1];
+      f.as.host_db.upsert(rec);
+      if (i % 13 == 0) f.as.revoked.purge_expired(f.now - 1);
+    }
+  });
+  for (auto& t : readers) t.join();
+  writer.join();
+  EXPECT_FALSE(failed.load());
+
+  // Quiescent equivalence: every warm per-thread cache now produces the
+  // uncached verdicts bit-for-bit (all revocations visible).
+  std::vector<BorderRouter::Verdict> ref(burst.views.size());
+  BorderRouter::Stats ref_stats;
+  br->classify_outgoing_burst(burst.views, f.now, ref, ref_stats,
+                              /*batched=*/true, nullptr);
+  for (core::Hid hid = kStable + 1; hid <= kRevoked; ++hid)
+    EXPECT_EQ(static_cast<int>(ref[hid - 1].err),
+              static_cast<int>(Errc::revoked));
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<BorderRouter::Verdict> got(burst.views.size());
+    BorderRouter::Stats stats;
+    br->classify_outgoing_burst(burst.views, f.now, got, stats,
+                                /*batched=*/(t % 2) == 0, caches[t].get());
+    for (std::size_t i = 0; i < burst.views.size(); ++i)
+      EXPECT_EQ(static_cast<int>(got[i].err), static_cast<int>(ref[i].err))
+          << "cache " << t << " packet " << i;
+    EXPECT_GT(caches[t]->stats().hits, 0u);
+  }
+}
+
 TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
   ConcurrencyFixture f;
   BorderRouter::Config cfg;
@@ -302,7 +405,7 @@ TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
   ForwardingPool::Config pool_cfg;
   pool_cfg.threads = 4;
   pool_cfg.chunk_packets = 8;  // force multi-chunk distribution
-  pool_cfg.batched = true;
+  pool_cfg.kernel = ForwardingPool::Kernel::batched;
   ForwardingPool pool(*pooled_br, pool_cfg);
 
   constexpr int kRounds = 50;
