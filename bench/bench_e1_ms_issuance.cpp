@@ -268,6 +268,10 @@ int main(int argc, char** argv) {
   for (const auto& pt : sweep)
     std::printf("%8zu %16.0f %16.2f %9.2fx\n", pt.workers, pt.rate_per_s,
                 pt.allocs_per_request, pt.speedup);
+  if (bench::single_core())
+    std::printf("  WARNING: single hardware thread — the speedup column "
+                "measures the scheduler, not the pool; no scaling is "
+                "expected or asserted on this host\n");
 
   // The pooled reply build is an asserted contract (satellite of the
   // verified-flow-cache PR): issuance may not regress to per-request heap
@@ -287,7 +291,7 @@ int main(int argc, char** argv) {
   if (json.ok()) {
     json.field("experiment", "E1 MS issuance (ServicePool)");
     json.field("requests", std::uint64_t{kRequests});
-    json.field("hardware_threads", std::thread::hardware_concurrency());
+    json.machine_shape();
     json.field("aes_backend", s.as.codec.backend());
     json.field("peak_demand_sessions_per_s", peak_demand, 0);
     json.field("single_call_us_per_ephid", us_single, 2);

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crypto/rng.h"
@@ -20,6 +21,20 @@
 namespace apna::bench {
 
 using Clock = std::chrono::steady_clock;
+
+/// Hardware threads the host actually exposes (1 when unknown). The
+/// checked-in BENCH_*.json baselines record this next to every thread /
+/// worker sweep: a flat "speedup" column measured on a 1-core container is
+/// a fact about the machine, not the code, and must be readable as such.
+inline unsigned hardware_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// True when thread sweeps cannot show real parallelism. Benches must
+/// SKIP their speedup assertions (with a printed warning) instead of
+/// failing — or, worse, silently passing a meaningless >= 1.0x check.
+inline bool single_core() { return hardware_concurrency() <= 1; }
 
 /// Times `fn(i)` over `iters` calls; returns nanoseconds per call.
 inline double time_per_op_ns(std::size_t iters,
@@ -115,6 +130,18 @@ class JsonFile {
   }
   void field(const char* key, unsigned v) {
     field(key, static_cast<std::uint64_t>(v));
+  }
+  void field(const char* key, bool v) {
+    pre(key);
+    std::fputs(v ? "true" : "false", f_);
+  }
+
+  /// The machine-shape block every BENCH_*.json carries: readers of a
+  /// checked-in baseline need to know whether its sweeps had real cores
+  /// behind them (see single_core()).
+  void machine_shape() {
+    field("hardware_concurrency", bench::hardware_concurrency());
+    field("single_core", bench::single_core());
   }
 
   void begin_array(const char* key) {

@@ -35,9 +35,15 @@ run_config ci       -DCMAKE_BUILD_TYPE=Release -DAPNA_WERROR=ON
 ctest --test-dir build-ci --output-on-failure -L alloc
 # Bench smoke, explicitly in the Release leg: tiny-iteration runs of the
 # baseline-emitting benches (E1/E2) so they cannot compile- or bit-rot;
-# their hard assertions (0 allocs/forwarded packet, the E1 allocs/request
-# ceiling, cached-vs-uncached verdict equivalence) run here too.
+# their hard assertions (0 allocs/forwarded packet — including the loopback
+# UDP leg — the E1 allocs/request ceiling, cached-vs-uncached verdict
+# equivalence) run here too.
 ctest --test-dir build-ci --output-on-failure -L bench
+# Real-socket leg, explicitly in the Release leg: the transport conformance
+# suite (both backends) plus the two-process loopback demo ride the `net`
+# label; both skip cleanly where the environment forbids sockets. Bounded —
+# loopback traffic only, smoke-sized windows.
+ctest --test-dir build-ci --output-on-failure -L net
 
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 # Wire-image property suites, explicitly under ASan/UBSan: PacketView::bind
@@ -48,6 +54,10 @@ ctest --test-dir build-sanitize --output-on-failure -L wire
 # (MsgWriter/MsgReader truncation properties) and the pooled issuance path
 # are where a control-message bounds bug would hide.
 ctest --test-dir build-sanitize --output-on-failure -L services
+# Real-socket RX under ASan/UBSan: recvfrom into pooled storage, the
+# MSG_TRUNC oversize arm, and bind() over adversarial datagrams are exactly
+# where a syscall-boundary bounds bug would hide.
+ctest --test-dir build-sanitize --output-on-failure -L net
 
 echo "=== [tsan] configure"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \

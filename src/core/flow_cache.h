@@ -62,6 +62,13 @@ class FlowCache {
     std::uint64_t stale_gen = 0;   // of misses: entry existed, epoch moved on
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;   // insertion displaced a live entry
+    /// EphIDs currently cached by MORE than one worker (each extra copy
+    /// counts one). A single cache always reports 0 — the field is filled
+    /// by router::ForwardingPool::flow_cache_stats() on the merged view,
+    /// where duplicates measure steering quality: chunk-claiming dispatch
+    /// duplicates hot flows across workers, flow-hash steering
+    /// (core/flow_steer.h) drives this to zero.
+    std::uint64_t cross_worker_duplicates = 0;
 
     double hit_rate() const {
       const std::uint64_t total = hits + misses;
@@ -74,6 +81,7 @@ class FlowCache {
       stale_gen += o.stale_gen;
       insertions += o.insertions;
       evictions += o.evictions;
+      cross_worker_duplicates += o.cross_worker_duplicates;
       return *this;
     }
   };
@@ -166,6 +174,14 @@ class FlowCache {
       tags_[i] = 0;
       entries_[i] = Entry{};
     }
+  }
+
+  /// Visits every occupied entry (any generation). Stat readers and tests;
+  /// not a fast path.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (std::size_t i = 0; i < buckets_ * kWays; ++i)
+      if (entries_[i].gen != 0) fn(entries_[i]);
   }
 
   std::size_t capacity() const { return buckets_ * kWays; }

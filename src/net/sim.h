@@ -34,8 +34,18 @@ class EventLoop {
     return kEpochSeconds + static_cast<core::ExpTime>(now_ / kUsPerSecond);
   }
 
+  /// Schedules `fn` at absolute time `t`. A deadline already in the past
+  /// is CLAMPED to now(): the event runs on the current tick, AFTER any
+  /// events already queued for that tick (the seq_ FIFO tiebreak), and the
+  /// clamp is counted in clamped_deadlines() — a caller computing
+  /// deadlines from stale state can observe the drift instead of silently
+  /// losing its ordering assumptions.
   void schedule_at(TimeUs t, EventFn fn) {
-    queue_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+    if (t < now_) {
+      ++clamped_;
+      t = now_;
+    }
+    queue_.push(Event{t, seq_++, std::move(fn)});
   }
 
   void schedule_in(TimeUs delay, EventFn fn) {
@@ -68,6 +78,8 @@ class EventLoop {
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
+  /// schedule_at() calls whose past deadline was clamped to now().
+  std::uint64_t clamped_deadlines() const { return clamped_; }
 
  private:
   struct Event {
@@ -91,6 +103,7 @@ class EventLoop {
 
   TimeUs now_ = 0;
   std::uint64_t seq_ = 0;
+  std::uint64_t clamped_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

@@ -1,0 +1,261 @@
+// Transport abstraction — how packets enter and leave a process.
+//
+// Everything above this layer (border router, forwarding pool, services)
+// traffics in wire::PacketBuf and never cares whether the wire is the
+// discrete-event simulator or a real kernel socket. A Transport endpoint
+// owns that boundary:
+//
+//  * SimTransport  — endpoints connected over a net::EventLoop. Delivery is
+//    a scheduled event that owns the moved PacketBuf, exactly like
+//    network.h's fabric; deterministic, single-threaded, zero syscalls.
+//  * UdpTransport  — a real nonblocking UDP socket + epoll (transport.cpp).
+//    One APNA packet per datagram. RX acquires storage from the per-thread
+//    wire::BufferPool, so the zero-copy discipline survives the syscall
+//    boundary: in steady state a received datagram costs one recvfrom into
+//    recycled storage and zero heap allocations; TX sends straight from the
+//    wire image and recycles the buffer on return.
+//
+// Both backends funnel inbound bytes through the SAME validation tail
+// (Transport::deliver): every datagram is re-validated by PacketView::bind
+// before the handler ever sees it — truncated or tampered images are
+// counted (rx_rejected) and their storage is returned to the pool, so a
+// garbage flood cannot make the RX path allocate. A PacketBuf handed to the
+// rx handler is therefore always bound and owned: the handler may move it
+// down the forwarding path with no further checks. The conformance suite
+// (tests/transport_test.cpp) runs the same assertions against both
+// backends so the sim and UDP paths cannot drift.
+//
+// Threading: a Transport endpoint is single-threaded by contract — send(),
+// poll() and the rx handler all run on the owning thread (the run-to-
+// completion RX loop of a border-router process, or the event loop in the
+// sim). Cross-thread handoff happens ABOVE the transport, in
+// router::ForwardingPool's steered rings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/sim.h"
+#include "util/result.h"
+#include "wire/packet_buf.h"
+
+namespace apna::net {
+
+/// Index into an endpoint's peer table (dense, starts at 0). UDP endpoints
+/// learn new peers on first RX (bounded by Config::max_peers).
+using PeerId = std::uint32_t;
+
+/// RX from a source the peer table could not hold (see max_peers).
+constexpr PeerId kUnknownPeer = 0xffffffffu;
+
+/// Receives ownership of one validated inbound packet.
+using TransportRxHandler = std::function<void(PeerId from, wire::PacketBuf)>;
+
+struct TransportStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t tx_errors = 0;    // send failures (e.g. full socket buffer)
+  std::uint64_t rx_packets = 0;   // validated and delivered to the handler
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_rejected = 0;  // PacketView::bind refused the datagram
+  std::uint64_t rx_truncated = 0; // datagram exceeded the RX buffer
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual const char* backend() const = 0;
+
+  /// Installs the inbound-packet handler (one; replacing is allowed).
+  void set_rx(TransportRxHandler h) { rx_ = std::move(h); }
+
+  /// Transmits one packet to `to`. Consumes the buffer (its storage is
+  /// recycled on the owning thread once the bytes are on the wire).
+  virtual Result<void> send(PeerId to, wire::PacketBuf pkt) = 0;
+
+  /// Transmits raw bytes as one datagram WITHOUT validation — the
+  /// wire-level adversary hook (conformance tests inject truncated and
+  /// tampered images with it). The receiver's bind() is the defense.
+  virtual Result<void> send_raw(PeerId to, ByteSpan bytes) = 0;
+
+  /// Drains ready inbound datagrams into the rx handler. `timeout_ms` 0
+  /// polls without blocking; > 0 blocks until traffic or timeout. Returns
+  /// packets delivered to THIS endpoint's handler during the call.
+  virtual std::size_t poll(int timeout_ms = 0) = 0;
+
+  const TransportStats& stats() const { return stats_; }
+
+ protected:
+  Transport() = default;
+
+  /// Shared RX validation tail: every inbound datagram — simulated or from
+  /// a socket — becomes a PacketBuf here or dies here. Rejected storage
+  /// goes back to the pool so adversarial floods stay allocation-free.
+  /// Returns true when the packet reached the handler.
+  bool deliver(PeerId from, Bytes datagram) {
+    if (!wire::PacketView::bind(datagram)) {
+      ++stats_.rx_rejected;
+      wire::BufferPool::local().release(std::move(datagram));
+      return false;
+    }
+    auto pkt = wire::PacketBuf::adopt(std::move(datagram));
+    ++stats_.rx_packets;
+    stats_.rx_bytes += pkt->wire_size();
+    if (rx_) rx_(from, std::move(*pkt));
+    return true;
+  }
+
+  TransportRxHandler rx_;
+  TransportStats stats_;
+};
+
+/// Simulator backend: endpoints exchange packets over a shared EventLoop
+/// with a fixed one-way latency. send() moves the buffer into the delivery
+/// event (no copy, no re-validation — it was bound at construction);
+/// send_raw() copies the raw bytes into pooled storage and re-validates at
+/// the receiver, byte-for-byte the UDP discipline.
+class SimTransport : public Transport {
+ public:
+  explicit SimTransport(EventLoop& loop, TimeUs latency = 0,
+                        std::size_t rx_buf_bytes = kDefaultRxBufBytes)
+      : loop_(loop), latency_(latency), rx_buf_bytes_(rx_buf_bytes) {}
+
+  /// Largest datagram an endpoint accepts; parity with UdpTransport's RX
+  /// buffer so oversize behavior cannot drift between backends.
+  static constexpr std::size_t kDefaultRxBufBytes = 2048;
+
+  const char* backend() const override { return "sim"; }
+
+  /// Adds `other` to this endpoint's peer table. One direction; peers call
+  /// it on each other for a duplex link. `other` must outlive this.
+  PeerId add_peer(SimTransport& other) {
+    peers_.push_back(&other);
+    return static_cast<PeerId>(peers_.size() - 1);
+  }
+
+  Result<void> send(PeerId to, wire::PacketBuf pkt) override {
+    if (to >= peers_.size())
+      return Result<void>(Errc::no_route, "unknown peer");
+    ++stats_.tx_packets;
+    stats_.tx_bytes += pkt.wire_size();
+    SimTransport* peer = peers_[to];
+    const PeerId from = peer->peer_of(this);
+    loop_.schedule_in(latency_, [peer, from, pkt = std::move(pkt)]() mutable {
+      // Already bound (PacketBuf invariant) — deliver without re-copy.
+      ++peer->stats_.rx_packets;
+      peer->stats_.rx_bytes += pkt.wire_size();
+      ++peer->delivered_;
+      if (peer->rx_) peer->rx_(from, std::move(pkt));
+    });
+    return Result<void>::success();
+  }
+
+  Result<void> send_raw(PeerId to, ByteSpan bytes) override {
+    if (to >= peers_.size())
+      return Result<void>(Errc::no_route, "unknown peer");
+    ++stats_.tx_packets;
+    stats_.tx_bytes += bytes.size();
+    Bytes raw = wire::BufferPool::local().acquire(bytes.size());
+    std::memcpy(raw.data(), bytes.data(), bytes.size());
+    SimTransport* peer = peers_[to];
+    const PeerId from = peer->peer_of(this);
+    loop_.schedule_in(latency_, [peer, from, raw = std::move(raw)]() mutable {
+      if (raw.size() > peer->rx_buf_bytes_) {
+        ++peer->stats_.rx_truncated;
+        wire::BufferPool::local().release(std::move(raw));
+        return;
+      }
+      if (peer->deliver(from, std::move(raw))) ++peer->delivered_;
+    });
+    return Result<void>::success();
+  }
+
+  /// Runs the shared loop dry (both endpoints' deliveries fire); returns
+  /// packets that landed in THIS endpoint's handler. `timeout_ms` is
+  /// ignored — simulated time is free.
+  std::size_t poll(int timeout_ms = 0) override {
+    (void)timeout_ms;
+    const std::uint64_t before = delivered_;
+    loop_.run();
+    return static_cast<std::size_t>(delivered_ - before);
+  }
+
+ private:
+  /// The peer id `other` should present as RX source on this endpoint (its
+  /// slot in OUR table; kUnknownPeer when we never added it back).
+  PeerId peer_of(const SimTransport* other) const {
+    for (std::size_t i = 0; i < peers_.size(); ++i)
+      if (peers_[i] == other) return static_cast<PeerId>(i);
+    return kUnknownPeer;
+  }
+
+  EventLoop& loop_;
+  TimeUs latency_;
+  std::size_t rx_buf_bytes_;
+  std::vector<SimTransport*> peers_;
+  std::uint64_t delivered_ = 0;  // handler invocations (poll() delta)
+};
+
+/// Real-socket backend: nonblocking UDP + epoll (Linux). One APNA packet
+/// per datagram; peers are added explicitly (add_peer) or learned from RX
+/// source addresses up to Config::max_peers.
+class UdpTransport : public Transport {
+ public:
+  struct Config {
+    std::string bind_host = "127.0.0.1";
+    std::uint16_t bind_port = 0;      // 0 → ephemeral (see local_port())
+    std::size_t rx_buf_bytes = 2048;  // max accepted datagram
+    std::size_t rx_batch = 64;        // datagrams drained per epoll wake
+    std::size_t max_peers = 64;       // learned-peer table bound
+    int so_rcvbuf = 1 << 20;          // SO_RCVBUF hint (0 → kernel default)
+  };
+
+  /// Opens and binds the socket. Fails with Errc::internal when the
+  /// environment forbids sockets (sandboxed CI) — callers degrade to the
+  /// sim backend or skip.
+  static Result<std::unique_ptr<UdpTransport>> open(const Config& cfg);
+
+  ~UdpTransport() override;
+
+  const char* backend() const override { return "udp"; }
+
+  /// The bound port (after ephemeral resolution) — what a second process
+  /// connects to.
+  std::uint16_t local_port() const { return local_port_; }
+
+  Result<PeerId> add_peer(const std::string& host, std::uint16_t port);
+
+  Result<void> send(PeerId to, wire::PacketBuf pkt) override;
+  Result<void> send_raw(PeerId to, ByteSpan bytes) override;
+  std::size_t poll(int timeout_ms = 0) override;
+
+ private:
+  // Out of line: PeerAddr is incomplete here, so anything that could
+  // destroy the peer table (ctor EH cleanup included) lives in the .cpp.
+  UdpTransport(const Config& cfg, int fd, int epoll_fd,
+               std::uint16_t local_port);
+
+  Result<void> send_bytes(PeerId to, ByteSpan bytes);
+  /// Drains ready datagrams (up to rx_batch) from the socket. Returns
+  /// packets delivered to the handler.
+  std::size_t drain();
+
+  struct PeerAddr;  // sockaddr_in, hidden from the header
+  /// The peer table slot for `addr`, learning it when new (bounded).
+  PeerId peer_for(const PeerAddr& addr);
+
+  Config cfg_;
+  int fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::vector<std::unique_ptr<PeerAddr>> peers_;
+};
+
+}  // namespace apna::net

@@ -1,6 +1,9 @@
 #include "router/forwarding_pool.h"
 
 #include <algorithm>
+#include <unordered_map>
+
+#include "core/flow_steer.h"
 
 namespace apna::router {
 
@@ -69,15 +72,61 @@ void ForwardingPool::drain_chunks(std::size_t slot) {
   }
 }
 
+void ForwardingPool::run_ring(std::size_t slot) {
+  Slot& s = slots_[slot];
+  const wire::PacketView* burst;
+  BorderRouter::Verdict* verdicts;
+  core::ExpTime now;
+  bool ingress, batched;
+  {
+    std::lock_guard lock(mu_);
+    burst = burst_;
+    verdicts = verdicts_;
+    now = now_;
+    ingress = ingress_;
+    batched = batched_;
+  }
+  if (s.ring.empty()) return;
+  std::lock_guard slot_lock(s.mu);
+  // Gather the steered views so the (contiguous-span) classify kernels and
+  // this slot's cache see one run-to-completion pass over the whole ring.
+  s.gather.clear();
+  for (const std::uint32_t idx : s.ring) s.gather.push_back(burst[idx]);
+  s.scratch.resize(s.ring.size());
+  core::FlowCache* cache = s.cache.get();
+  if (ingress) {
+    br_.classify_ingress_burst(s.gather, now, s.scratch, s.stats, batched,
+                               cache);
+  } else {
+    br_.classify_outgoing_burst(s.gather, now, s.scratch, s.stats, batched,
+                                cache);
+  }
+  // Scatter back to burst order. Rings partition the burst, so no two
+  // slots ever write the same verdict index.
+  for (std::size_t j = 0; j < s.ring.size(); ++j)
+    verdicts[s.ring[j]] = s.scratch[j];
+}
+
 void ForwardingPool::worker_main(std::size_t slot) {
   for (;;) {
+    bool steered;
     {
       std::unique_lock lock(mu_);
-      cv_work_.wait(lock,
-                    [this] { return stop_ || next_chunk_ < chunks_total_; });
+      cv_work_.wait(lock, [this, slot] {
+        return stop_ || next_chunk_ < chunks_total_ ||
+               (steered_ && slots_[slot].done_seq != burst_seq_);
+      });
       if (stop_) return;
+      steered = steered_ && slots_[slot].done_seq != burst_seq_;
     }
-    drain_chunks(slot);
+    if (steered) {
+      run_ring(slot);
+      std::lock_guard lock(mu_);
+      slots_[slot].done_seq = burst_seq_;
+      if (--workers_pending_ == 0) cv_done_.notify_all();
+    } else {
+      drain_chunks(slot);
+    }
   }
 }
 
@@ -85,6 +134,22 @@ void ForwardingPool::process_burst(std::span<const wire::PacketView> burst,
                                    core::ExpTime now, bool ingress) {
   if (burst.empty()) return;
   verdict_buf_.resize(burst.size());
+  // A 1-thread pool runs the plain chunk loop regardless of policy — there
+  // is only one cache, so steering has nothing to separate.
+  const bool steered =
+      cfg_.steering == Steering::flow_hash && cfg_.threads > 1;
+  if (steered) {
+    // Scatter the burst into per-worker RX rings by flow hash BEFORE
+    // publishing the burst: the workers are quiescent between bursts, and
+    // the mu_ release below orders these writes ahead of any ring read.
+    for (std::size_t i = 0; i < cfg_.threads; ++i) slots_[i].ring.clear();
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      const ByteSpan key =
+          ingress ? burst[i].dst_ephid_span() : burst[i].src_ephid_span();
+      slots_[core::steer_worker(key, cfg_.threads)].ring.push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
   {
     std::lock_guard lock(mu_);
     burst_ = burst.data();
@@ -93,17 +158,29 @@ void ForwardingPool::process_burst(std::span<const wire::PacketView> burst,
     now_ = now;
     ingress_ = ingress;
     batched_ = batched_for(burst.size());
+    steered_ = steered;
     next_chunk_ = 0;
     chunks_done_ = 0;
-    chunks_total_ =
-        (burst.size() + cfg_.chunk_packets - 1) / cfg_.chunk_packets;
+    if (steered) {
+      chunks_total_ = 0;  // keep the chunk-claim predicate false
+      ++burst_seq_;
+      workers_pending_ = cfg_.threads - 1;
+    } else {
+      chunks_total_ =
+          (burst.size() + cfg_.chunk_packets - 1) / cfg_.chunk_packets;
+    }
   }
   cv_work_.notify_all();
 
-  // The calling thread is processing context 0: claim chunks like any
-  // worker instead of blocking, so threads == 1 needs no handoff at all.
-  drain_chunks(0);
-  {
+  // The calling thread is processing context 0: run its own ring / claim
+  // chunks like any worker instead of blocking, so threads == 1 needs no
+  // handoff at all.
+  if (steered) {
+    run_ring(0);
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [this] { return workers_pending_ == 0; });
+  } else {
+    drain_chunks(0);
     std::unique_lock lock(mu_);
     cv_done_.wait(lock, [this] { return chunks_done_ == chunks_total_; });
   }
@@ -148,10 +225,20 @@ BorderRouter::Stats ForwardingPool::stats() const {
 
 core::FlowCache::Stats ForwardingPool::flow_cache_stats() const {
   core::FlowCache::Stats merged;
+  // EphID → number of worker caches currently holding it. Each cache holds
+  // an EphID at most once (same-key inserts refresh in place), so a count
+  // above one means the flow's verdict was re-derived on another worker —
+  // exactly what flow-hash steering exists to prevent.
+  std::unordered_map<core::EphId, std::uint32_t, core::EphIdHash> owners;
   for (std::size_t i = 0; i < cfg_.threads; ++i) {
     std::lock_guard slot_lock(slots_[i].mu);
-    if (slots_[i].cache) merged += slots_[i].cache->stats();
+    if (!slots_[i].cache) continue;
+    merged += slots_[i].cache->stats();
+    slots_[i].cache->for_each_entry(
+        [&owners](const core::FlowCache::Entry& e) { ++owners[e.ephid]; });
   }
+  for (const auto& [ephid, workers] : owners)
+    if (workers > 1) merged.cross_worker_duplicates += workers - 1;
   return merged;
 }
 

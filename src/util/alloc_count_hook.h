@@ -11,6 +11,15 @@
 // functions. Not a library header — never include it from src/.
 #pragma once
 
+// This TU replaces BOTH global new (malloc-backed) and delete (free), so
+// every new/delete pairing stays matched by construction — but GCC's -O2
+// inliner, seeing the malloc through the replaced new, flags inlined
+// deletes elsewhere in the TU as -Wmismatched-new-delete (same GCC 12
+// false-positive family as the demotions in ApnaCompileOptions.cmake).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 #include <atomic>
 #include <cstdlib>
 #include <new>

@@ -43,6 +43,28 @@ TEST(EventLoop, RunUntilStopsEarly) {
   EXPECT_EQ(fired, 2);
 }
 
+TEST(EventLoop, PastDeadlineClampsToCurrentTickAfterQueuedEvents) {
+  // Regression: schedule_at() with a deadline already in the past must run
+  // the event on the CURRENT tick — after everything already queued for
+  // that tick (seq_ FIFO tiebreak), never before — and count the clamp in
+  // clamped_deadlines() instead of silently rewriting the deadline.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(10, [&] {
+    order.push_back(1);
+    loop.schedule_at(3, [&] { order.push_back(3); });  // past → clamped
+    loop.schedule_at(loop.now(), [&] { order.push_back(4); });  // exact now
+  });
+  loop.schedule_in(10, [&] { order.push_back(2); });  // pre-queued same tick
+  EXPECT_EQ(loop.clamped_deadlines(), 0u);
+  loop.run();
+  // The pre-queued same-tick event (2) holds an earlier seq_ than the
+  // clamped one (3), so the clamp cannot jump the FIFO.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(loop.now(), 10u);           // the clamp never rewinds the clock
+  EXPECT_EQ(loop.clamped_deadlines(), 1u);  // only t=3 was in the past
+}
+
 TEST(EventLoop, NowSecondsTracksEpoch) {
   EventLoop loop;
   EXPECT_EQ(loop.now_seconds(), kEpochSeconds);

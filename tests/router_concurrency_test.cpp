@@ -404,6 +404,7 @@ TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
 
   ForwardingPool::Config pool_cfg;
   pool_cfg.threads = 4;
+  pool_cfg.steering = ForwardingPool::Steering::chunk;  // legacy dispatch
   pool_cfg.chunk_packets = 8;  // force multi-chunk distribution
   pool_cfg.kernel = ForwardingPool::Kernel::batched;
   ForwardingPool pool(*pooled_br, pool_cfg);
@@ -429,6 +430,88 @@ TEST(ForwardingPool, MergedStatsMatchSingleThreadedReference) {
   // The duplicated-nonce packet is accepted once and replayed once per
   // round after the first window sighting.
   EXPECT_GT(merged.drop_replayed, 0u);
+}
+
+/// An egress burst of `reps` repetitions of `flows.size()` valid flows,
+/// interleaved so every chunk_packets-sized window mixes distinct flows —
+/// the shape where chunk-claiming scatters one flow across workers.
+SealedBurst repeated_flow_burst(ConcurrencyFixture& f,
+                                const std::vector<core::EphId>& flows,
+                                int reps) {
+  SealedBurst burst;
+  for (int r = 0; r < reps; ++r)
+    for (std::size_t i = 0; i < flows.size(); ++i)
+      burst.push(f.outgoing_packet(static_cast<core::Hid>(i + 1), flows[i]));
+  return burst;
+}
+
+TEST(ForwardingPool, FlowHashSteeringMatchesReferenceWithDisjointCaches) {
+  ConcurrencyFixture f;
+  auto pooled_br = f.make_router();
+  auto reference_br = f.make_router();
+
+  std::vector<core::EphId> flows;
+  for (core::Hid hid = 1; hid <= 16; ++hid)
+    flows.push_back(f.as.codec.issue(hid, f.now + 900, f.rng));
+  const SealedBurst burst = repeated_flow_burst(f, flows, 16);
+
+  ForwardingPool::Config pool_cfg;
+  pool_cfg.threads = 4;
+  pool_cfg.steering = ForwardingPool::Steering::flow_hash;  // the default
+  ForwardingPool pool(*pooled_br, pool_cfg);
+
+  BorderRouter::Stats ref_stats;
+  for (int round = 0; round < 10; ++round) {
+    pool.process_outgoing(burst.views, f.now);
+    std::vector<BorderRouter::Verdict> verdicts(burst.views.size());
+    reference_br->classify_outgoing_burst(burst.views, f.now, verdicts,
+                                          ref_stats, /*batched=*/false);
+    reference_br->apply_outgoing_verdicts(burst.views, verdicts, ref_stats);
+  }
+  const auto merged = pool.stats();
+  EXPECT_EQ(merged.forwarded_out, ref_stats.forwarded_out);
+  EXPECT_EQ(merged.total_drops(), ref_stats.total_drops());
+
+  // The steering invariant: one flow → one worker, so no EphID is ever
+  // cached by two processing contexts. This holds DETERMINISTICALLY —
+  // steer_worker is a pure hash — unlike chunk claiming below.
+  const auto cache = pool.flow_cache_stats();
+  EXPECT_GT(cache.hits, 0u);
+  EXPECT_EQ(cache.cross_worker_duplicates, 0u);
+}
+
+TEST(ForwardingPool, ChunkClaimingDuplicatesHotFlowsAcrossWorkers) {
+  // The bug flow-hash steering fixes: dynamic chunk claiming hands one
+  // flow's packets to whichever workers grab its chunks, so the flow's
+  // verdict is re-verified and cached once per claiming worker. WHICH
+  // worker claims a chunk is scheduling-dependent, so this test loops
+  // until the duplication is observed and skips (rather than flakes) if
+  // the scheduler never lets a second worker claim — e.g. a single-core
+  // host where the calling thread drains every chunk itself.
+  ConcurrencyFixture f;
+  auto br = f.make_router();
+
+  std::vector<core::EphId> flows;
+  for (core::Hid hid = 1; hid <= 16; ++hid)
+    flows.push_back(f.as.codec.issue(hid, f.now + 900, f.rng));
+  const SealedBurst burst = repeated_flow_burst(f, flows, 16);
+
+  ForwardingPool::Config pool_cfg;
+  pool_cfg.threads = 4;
+  pool_cfg.steering = ForwardingPool::Steering::chunk;
+  pool_cfg.chunk_packets = 8;  // 32 chunks per burst, every flow in many
+  ForwardingPool pool(*br, pool_cfg);
+
+  std::uint64_t duplicates = 0;
+  for (int round = 0; round < 300 && duplicates == 0; ++round) {
+    pool.process_outgoing(burst.views, f.now);
+    duplicates = pool.flow_cache_stats().cross_worker_duplicates;
+  }
+  if (duplicates == 0)
+    GTEST_SKIP() << "scheduler never interleaved workers on this host "
+                    "(duplication needs two workers claiming chunks of one "
+                    "flow); the flow_hash twin asserts the zero side";
+  EXPECT_GT(duplicates, 0u);
 }
 
 TEST(ForwardingPool, IngressDeliversAndTransits) {

@@ -1,0 +1,260 @@
+// Transport conformance suite — the SAME assertions run against both
+// backends (net/transport.h) so the simulator and the real UDP socket can
+// never drift:
+//  * validated delivery: a sent PacketBuf arrives bound, owned and
+//    byte-identical, with tx/rx stats accounted;
+//  * move-only ownership: the rx handler keeps the PacketBuf alive past
+//    later deliveries — the transport never aliases or reuses it;
+//  * in-order burst delivery (EventLoop FIFO / loopback UDP);
+//  * the wire-level adversary: truncated and flag-tampered datagrams die
+//    in PacketView::bind (rx_rejected), oversize datagrams die at the RX
+//    buffer (rx_truncated), and none of them reach the handler;
+//  * steady-state RX recycles pooled buffers (the zero-copy discipline
+//    survives the syscall boundary).
+//
+// The UDP half skips — never fails — when the environment forbids sockets
+// (UdpTransport::open returns Errc::internal in sandboxed CI).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "wire/packet_buf.h"
+
+namespace apna::net {
+namespace {
+
+wire::Packet make_packet(std::uint32_t tag) {
+  wire::Packet p;
+  p.src_aid = 64512;
+  p.dst_aid = 64513;
+  p.src_ephid.fill(static_cast<std::uint8_t>(tag * 7 + 1));
+  p.dst_ephid.fill(static_cast<std::uint8_t>(tag * 11 + 2));
+  p.proto = wire::NextProto::data;
+  p.payload.assign(48, static_cast<std::uint8_t>(tag));
+  return p;
+}
+
+/// One connected endpoint pair of the backend under test. The loop member
+/// is only populated for the sim backend (UDP needs no shared fabric).
+struct Endpoints {
+  std::unique_ptr<EventLoop> loop;
+  std::unique_ptr<Transport> a;
+  std::unique_ptr<Transport> b;
+  PeerId a_to_b = 0;  // peer id of b in a's table
+  PeerId b_to_a = 0;  // peer id of a in b's table
+};
+
+std::unique_ptr<Endpoints> make_endpoints(const std::string& backend) {
+  auto ep = std::make_unique<Endpoints>();
+  if (backend == "sim") {
+    ep->loop = std::make_unique<EventLoop>();
+    auto a = std::make_unique<SimTransport>(*ep->loop);
+    auto b = std::make_unique<SimTransport>(*ep->loop);
+    ep->a_to_b = a->add_peer(*b);
+    ep->b_to_a = b->add_peer(*a);
+    ep->a = std::move(a);
+    ep->b = std::move(b);
+    return ep;
+  }
+  UdpTransport::Config cfg;
+  auto a = UdpTransport::open(cfg);
+  auto b = UdpTransport::open(cfg);
+  if (!a.ok() || !b.ok()) return nullptr;  // sandboxed environment
+  auto a_to_b = (*a)->add_peer("127.0.0.1", (*b)->local_port());
+  auto b_to_a = (*b)->add_peer("127.0.0.1", (*a)->local_port());
+  if (!a_to_b.ok() || !b_to_a.ok()) return nullptr;
+  ep->a_to_b = *a_to_b;
+  ep->b_to_a = *b_to_a;
+  ep->a = std::move(*a);
+  ep->b = std::move(*b);
+  return ep;
+}
+
+/// Polls `t` until `want` packets landed in its handler or `budget_ms`
+/// expires. The sim backend delivers everything on the first poll; the UDP
+/// backend may need several epoll wakes.
+std::size_t pump(Transport& t, std::size_t want, int budget_ms = 2000) {
+  std::size_t got = t.poll(0);
+  for (int waited = 0; got < want && waited < budget_ms; waited += 10)
+    got += t.poll(10);
+  return got;
+}
+
+class TransportConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    ep_ = make_endpoints(GetParam());
+    if (!ep_)
+      GTEST_SKIP() << "UDP sockets unavailable in this environment";
+    EXPECT_STREQ(ep_->a->backend(), GetParam());
+  }
+
+  std::unique_ptr<Endpoints> ep_;
+};
+
+TEST_P(TransportConformance, DeliversValidatedOwnedPackets) {
+  std::vector<wire::PacketBuf> got;
+  std::vector<PeerId> from;
+  ep_->b->set_rx([&](PeerId f, wire::PacketBuf p) {
+    from.push_back(f);
+    got.push_back(std::move(p));  // take ownership — move-only handoff
+  });
+
+  const wire::Packet original = make_packet(1);
+  const wire::PacketBuf image = original.seal();
+  ASSERT_TRUE(ep_->a->send(ep_->a_to_b, original.seal()).ok());
+  ASSERT_EQ(pump(*ep_->b, 1), 1u);
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(from[0], ep_->b_to_a);
+  // Byte-identical wire image: the transport moved or copied the frame,
+  // never re-encoded it.
+  const ByteSpan sent = image.view().bytes();
+  const ByteSpan rcvd = got[0].view().bytes();
+  ASSERT_EQ(rcvd.size(), sent.size());
+  EXPECT_EQ(std::memcmp(rcvd.data(), sent.data(), sent.size()), 0);
+
+  EXPECT_EQ(ep_->a->stats().tx_packets, 1u);
+  EXPECT_EQ(ep_->a->stats().tx_bytes, sent.size());
+  EXPECT_EQ(ep_->b->stats().rx_packets, 1u);
+  EXPECT_EQ(ep_->b->stats().rx_rejected, 0u);
+}
+
+TEST_P(TransportConformance, HandlerKeepsOwnershipAcrossLaterDeliveries) {
+  std::vector<wire::PacketBuf> kept;
+  ep_->b->set_rx([&](PeerId, wire::PacketBuf p) {
+    kept.push_back(std::move(p));
+  });
+
+  constexpr std::size_t kN = 8;
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(ep_->a->send(ep_->a_to_b,
+                             make_packet(static_cast<std::uint32_t>(i))
+                                 .seal()).ok());
+  ASSERT_EQ(pump(*ep_->b, kN), kN);
+
+  // Every kept buffer must still carry ITS packet's bytes — later
+  // deliveries (and their pooled buffers) never alias an owned PacketBuf.
+  ASSERT_EQ(kept.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const ByteSpan payload = kept[i].view().payload();
+    ASSERT_EQ(payload.size(), 48u);
+    EXPECT_EQ(payload[0], static_cast<std::uint8_t>(i)) << "packet " << i;
+  }
+}
+
+TEST_P(TransportConformance, DeliversBurstInOrder) {
+  // The sim loop is FIFO by construction; loopback UDP between two local
+  // sockets is FIFO in practice. Either way the conformance contract is
+  // the same: a single-sender burst arrives in send order.
+  std::vector<std::uint8_t> order;
+  ep_->b->set_rx([&](PeerId, wire::PacketBuf p) {
+    order.push_back(p.view().payload()[0]);
+  });
+  constexpr std::size_t kN = 32;
+  for (std::size_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(ep_->a->send(ep_->a_to_b,
+                             make_packet(static_cast<std::uint32_t>(i))
+                                 .seal()).ok());
+  ASSERT_EQ(pump(*ep_->b, kN), kN);
+  ASSERT_EQ(order.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i)
+    EXPECT_EQ(order[i], static_cast<std::uint8_t>(i)) << "position " << i;
+}
+
+TEST_P(TransportConformance, TruncatedDatagramDiesInBind) {
+  std::size_t handled = 0;
+  ep_->b->set_rx([&](PeerId, wire::PacketBuf) { ++handled; });
+
+  const wire::PacketBuf image = make_packet(3).seal();
+  const ByteSpan bytes = image.view().bytes();
+  // Cut mid-payload: the length fields no longer match the frame.
+  ASSERT_TRUE(ep_->a->send_raw(ep_->a_to_b,
+                               ByteSpan(bytes.data(), bytes.size() - 5))
+                  .ok());
+  // A runt far below the minimum header.
+  ASSERT_TRUE(ep_->a->send_raw(ep_->a_to_b, ByteSpan(bytes.data(), 3)).ok());
+
+  pump(*ep_->b, 1, 200);  // nothing should arrive; bounded wait
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(ep_->b->stats().rx_packets, 0u);
+  EXPECT_EQ(ep_->b->stats().rx_rejected, 2u);
+}
+
+TEST_P(TransportConformance, TamperedFlagsDieInBind) {
+  std::size_t handled = 0;
+  ep_->b->set_rx([&](PeerId, wire::PacketBuf) { ++handled; });
+
+  const wire::PacketBuf image = make_packet(4).seal();
+  const ByteSpan bytes = image.view().bytes();
+  Bytes tampered(bytes.begin(), bytes.end());
+  tampered[wire::kOffFlags] |= 0x80;  // outside kKnownFlagsMask
+  ASSERT_TRUE(ep_->a->send_raw(ep_->a_to_b,
+                               ByteSpan(tampered.data(), tampered.size()))
+                  .ok());
+
+  pump(*ep_->b, 1, 200);
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(ep_->b->stats().rx_rejected, 1u);
+
+  // The same image untampered passes — the rejection above was the flag
+  // bit, not the harness.
+  ASSERT_TRUE(ep_->a->send_raw(ep_->a_to_b, bytes).ok());
+  EXPECT_EQ(pump(*ep_->b, 1), 1u);
+  EXPECT_EQ(handled, 1u);
+}
+
+TEST_P(TransportConformance, OversizeDatagramCountedAsTruncated) {
+  std::size_t handled = 0;
+  ep_->b->set_rx([&](PeerId, wire::PacketBuf) { ++handled; });
+
+  // Larger than the 2048-byte RX buffer both backends default to.
+  Bytes oversize(3000, 0xab);
+  ASSERT_TRUE(ep_->a->send_raw(ep_->a_to_b,
+                               ByteSpan(oversize.data(), oversize.size()))
+                  .ok());
+  pump(*ep_->b, 1, 200);
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(ep_->b->stats().rx_truncated, 1u);
+  EXPECT_EQ(ep_->b->stats().rx_rejected, 0u);  // died before bind()
+}
+
+TEST_P(TransportConformance, UnknownPeerIsNoRoute) {
+  EXPECT_EQ(ep_->a->send(999, make_packet(5).seal()).code(), Errc::no_route);
+  EXPECT_EQ(ep_->a->stats().tx_packets, 0u);
+}
+
+TEST_P(TransportConformance, SteadyStateRxRecyclesPooledBuffers) {
+  // Warm-up: the first packets may miss the pool; afterwards every RX
+  // acquire must be served from recycled storage (the handler drops the
+  // PacketBuf, returning its buffer to this thread's pool).
+  ep_->b->set_rx([](PeerId, wire::PacketBuf) {});  // drop → recycle
+  constexpr std::size_t kWarm = 16, kMeasured = 64;
+  for (std::size_t i = 0; i < kWarm; ++i)
+    ASSERT_TRUE(ep_->a->send(ep_->a_to_b, make_packet(0).seal()).ok());
+  ASSERT_EQ(pump(*ep_->b, kWarm), kWarm);
+
+  const std::uint64_t hits0 = wire::BufferPool::local().stats().hits;
+  for (std::size_t i = 0; i < kMeasured; ++i) {
+    ASSERT_TRUE(ep_->a->send(ep_->a_to_b, make_packet(1).seal()).ok());
+    ASSERT_EQ(pump(*ep_->b, 1), 1u);  // lock-step: one in flight at a time
+  }
+  const std::uint64_t hits = wire::BufferPool::local().stats().hits - hits0;
+  // Each round acquires at least twice (TX seal + RX buffer on UDP; TX
+  // seal on sim) — all from the warm pool.
+  EXPECT_GE(hits, kMeasured);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values("sim", "udp"),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace apna::net
