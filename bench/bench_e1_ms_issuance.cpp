@@ -292,6 +292,7 @@ int main(int argc, char** argv) {
     json.field("experiment", "E1 MS issuance (ServicePool)");
     json.field("requests", std::uint64_t{kRequests});
     json.machine_shape();
+    json.provenance(404);  // Setup's ChaChaRng seed
     json.field("aes_backend", s.as.codec.backend());
     json.field("peak_demand_sessions_per_s", peak_demand, 0);
     json.field("single_call_us_per_ephid", us_single, 2);

@@ -719,6 +719,7 @@ int main(int argc, char** argv) {
       json.field("frame_bytes", kFrame);
       json.field("burst_packets", burst_size);
       json.machine_shape();
+      json.provenance(808);  // Setup's ChaChaRng seed
       json.field("aes_backend", s.as.codec.backend());
       json.field("scalar_1t_pps", scalar.pps, 0);
       json.field("batched_1t_pps", batched.pps, 0);

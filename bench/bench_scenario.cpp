@@ -1,0 +1,271 @@
+// Scenario driver — runs the deterministic Internet-scale scripts
+// (src/scenario) and emits SCENARIO_*.json artifacts.
+//
+// Three canned scenarios:
+//   internet_scale  ≥ 10⁶ hosts in ONE AS: provisioning, diurnal churn, a
+//                   flash crowd, steady traffic. Asserts the compact HostDb
+//                   holds the population at ≤ 200 B/host amortized.
+//   attack_storms   the adversary reel: bogus-EphID flood, Fig-5 shutoff
+//                   storm, mass-revocation waves, replay/tamper injection,
+//                   with recovery traffic after each storm.
+//   multi_as        the population spread over 100s of ASes with inter-AS
+//                   traffic (source egress → transit → destination ingress).
+//
+// Determinism contract: every counter in the JSON is an exact function of
+// (scenario, seed) — wall-clock figures (pps, shutoff latency) go to stdout
+// only. --verify-determinism runs the scenario twice and fails unless the
+// two JSON artifacts are byte-identical.
+//
+// Usage:
+//   bench_scenario [--scenario=internet_scale|attack_storms|multi_as]
+//                  [--smoke] [--seed=N] [--hosts=N] [--json=PATH]
+//                  [--verify-determinism]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/scenario.h"
+
+using namespace apna;
+
+namespace {
+
+struct Options {
+  std::string scenario = "internet_scale";
+  bool smoke = false;
+  bool verify_determinism = false;
+  std::uint64_t seed = 1;
+  std::uint64_t hosts = 0;  // 0 → scenario default
+  std::string json_path;    // empty → SCENARIO_<name>.json
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+    };
+    if (a == "--smoke") o.smoke = true;
+    else if (a == "--verify-determinism") o.verify_determinism = true;
+    else if (const char* v = val("--scenario=")) o.scenario = v;
+    else if (const char* v = val("--seed=")) o.seed = std::strtoull(v, nullptr, 10);
+    else if (const char* v = val("--hosts=")) o.hosts = std::strtoull(v, nullptr, 10);
+    else if (const char* v = val("--json=")) o.json_path = v;
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+void fatal(const char* msg) {
+  std::fprintf(stderr, "FATAL: %s\n", msg);
+  std::exit(1);
+}
+
+/// Writes one phase's DETERMINISTIC fields (the wall_* fields stay out by
+/// contract — see scenario.h).
+void emit_phase(bench::JsonFile& json, const scenario::PhaseReport& r) {
+  json.begin_object();
+  json.field("name", r.name);
+  json.field("kind", r.kind);
+  json.field("packets", r.packets);
+  json.field("joins", r.joins);
+  json.field("leaves", r.leaves);
+  json.field("shutoff_requests", r.shutoff_requests);
+  json.field("revocations_applied", r.revocations_applied);
+  json.field("forwarded_out", r.router.forwarded_out);
+  json.field("total_drops", r.router.total_drops());
+  json.field("drop_bad_ephid", r.router.drop_bad_ephid);
+  json.field("drop_revoked", r.router.drop_revoked);
+  json.field("drop_bad_mac", r.router.drop_bad_mac);
+  json.field("drop_replayed", r.router.drop_replayed);
+  json.field("cache_hits", r.cache.hits);
+  json.field("cache_misses", r.cache.misses);
+  json.field("cache_stale_gen", r.cache.stale_gen);
+  json.field("cache_insertions", r.cache.insertions);
+  json.field("cache_hit_rate", r.cache.hit_rate(), 4);
+  json.field("rx_rejected", r.rx_rejected);
+  json.field("rx_delivered", r.rx_delivered);
+  json.field("aa_accepted", r.aa_accepted);
+  json.field("aa_rejected", r.aa_rejected);
+  json.field("aa_hid_escalations", r.aa_hid_escalations);
+  json.field("epoch", r.epoch);
+  json.field("live_hosts", r.live_hosts);
+  json.field("revoked_entries", r.revoked_entries);
+  json.field("host_db_bytes", r.host_db_bytes);
+  json.field("host_db_bytes_per_host", r.host_db_bytes_per_host, 2);
+  json.field("revocation_bytes", r.revocation_bytes);
+  json.end_object();
+}
+
+void print_phase_table(const std::vector<scenario::PhaseReport>& reports) {
+  std::printf("%-26s %10s %10s %9s %9s %8s %10s %8s\n", "phase", "packets",
+              "fwd", "drops", "hit_rate", "epoch", "live", "B/host");
+  for (const auto& r : reports) {
+    std::printf("%-26s %10llu %10llu %9llu %8.1f%% %8llu %10llu %8.1f",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.packets),
+                static_cast<unsigned long long>(r.router.forwarded_out),
+                static_cast<unsigned long long>(r.router.total_drops()),
+                100.0 * r.cache.hit_rate(),
+                static_cast<unsigned long long>(r.epoch),
+                static_cast<unsigned long long>(r.live_hosts),
+                r.host_db_bytes_per_host);
+    if (r.wall_pps > 0) std::printf("  %8.2f Mpps", r.wall_pps / 1e6);
+    if (r.wall_shutoff_p99_us > 0)
+      std::printf("  shutoff p50/p99 %.0f/%.0f us", r.wall_shutoff_p50_us,
+                  r.wall_shutoff_p99_us);
+    std::printf("  (%.2fs)\n", r.wall_seconds);
+  }
+}
+
+/// The hard acceptance gate: at 10⁶+ registered hosts the compact HostDb
+/// must amortize to ≤ 200 bytes per host, schedule cache and index included.
+void check_memory_budget(const std::vector<scenario::PhaseReport>& reports) {
+  for (const auto& r : reports) {
+    if (r.live_hosts >= 1'000'000 && r.host_db_bytes_per_host > 200.0) {
+      std::fprintf(stderr,
+                   "FATAL: phase %s holds %llu hosts at %.1f B/host "
+                   "(budget: 200)\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.live_hosts),
+                   r.host_db_bytes_per_host);
+      std::exit(1);
+    }
+  }
+}
+
+void run_engine_scenario(const Options& o, const std::string& json_path) {
+  scenario::Engine::Config cfg;
+  cfg.seed = o.seed;
+  std::vector<scenario::Phase> script;
+  std::uint64_t hosts = 0;
+  if (o.scenario == "internet_scale") {
+    hosts = o.hosts ? o.hosts : 1'000'000;
+    script = scenario::internet_scale_script(hosts, o.smoke ? 8 : 64);
+  } else {
+    hosts = o.hosts ? o.hosts : (o.smoke ? 20'000 : 200'000);
+    script = scenario::attack_storms_script(hosts, o.smoke);
+  }
+
+  scenario::Engine engine(cfg);
+  const auto reports = engine.run_script(script);
+  print_phase_table(reports);
+  if (o.scenario == "internet_scale") check_memory_budget(reports);
+
+  bench::JsonFile json(json_path);
+  if (!json.ok()) fatal("cannot open JSON output");
+  json.field("experiment", ("scenario_" + o.scenario).c_str());
+  json.machine_shape();
+  json.provenance(o.seed);
+  json.field("scenario", o.scenario);
+  json.field("smoke", o.smoke);
+  json.field("hosts_param", hosts);
+  json.begin_array("phases");
+  for (const auto& r : reports) emit_phase(json, r);
+  json.end_array();
+  json.field("final_live_hosts", reports.back().live_hosts);
+  json.field("final_bytes_per_host", reports.back().host_db_bytes_per_host, 2);
+  json.field("final_epoch", reports.back().epoch);
+  if (!json.close()) fatal("JSON close failed");
+}
+
+void run_multi_as_scenario(const Options& o, const std::string& json_path) {
+  scenario::MultiAsConfig cfg;
+  cfg.seed = o.seed;
+  cfg.as_count = o.smoke ? 100 : 200;
+  cfg.hosts_per_as = o.hosts ? o.hosts : (o.smoke ? 1'000 : 5'000);
+  cfg.bursts = o.smoke ? 16 : 128;
+  const auto rep = scenario::run_multi_as(cfg);
+
+  std::printf("%zu ASes x %llu hosts: %llu hosts total, %.1f B/host mean "
+              "(%.1f max)\n",
+              rep.as_count,
+              static_cast<unsigned long long>(cfg.hosts_per_as),
+              static_cast<unsigned long long>(rep.total_hosts),
+              rep.mean_bytes_per_host, rep.max_bytes_per_host);
+  std::printf("traffic: %llu egress passes, %llu transits, %llu deliveries, "
+              "%llu drops; %llu churned (%.2fs)\n",
+              static_cast<unsigned long long>(rep.forwarded_out),
+              static_cast<unsigned long long>(rep.transited),
+              static_cast<unsigned long long>(rep.delivered_in),
+              static_cast<unsigned long long>(rep.total_drops),
+              static_cast<unsigned long long>(rep.churned), rep.wall_seconds);
+  if (rep.delivered_in == 0) fatal("multi-AS traffic delivered nothing");
+
+  bench::JsonFile json(json_path);
+  if (!json.ok()) fatal("cannot open JSON output");
+  json.field("experiment", "scenario_multi_as");
+  json.machine_shape();
+  json.provenance(o.seed);
+  json.field("scenario", o.scenario);
+  json.field("smoke", o.smoke);
+  json.field("as_count", static_cast<std::uint64_t>(rep.as_count));
+  json.field("total_hosts", rep.total_hosts);
+  json.field("total_host_db_bytes", rep.total_host_db_bytes);
+  json.field("mean_bytes_per_host", rep.mean_bytes_per_host, 2);
+  json.field("max_bytes_per_host", rep.max_bytes_per_host, 2);
+  json.field("forwarded_out", rep.forwarded_out);
+  json.field("transited", rep.transited);
+  json.field("delivered_in", rep.delivered_in);
+  json.field("total_drops", rep.total_drops);
+  json.field("churned", rep.churned);
+  if (!json.close()) fatal("JSON close failed");
+}
+
+void run_once(const Options& o, const std::string& json_path) {
+  if (o.scenario == "multi_as") run_multi_as_scenario(o, json_path);
+  else run_engine_scenario(o, json_path);
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) fatal("cannot reopen JSON artifact");
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+  if (o.scenario != "internet_scale" && o.scenario != "attack_storms" &&
+      o.scenario != "multi_as")
+    fatal("unknown --scenario (internet_scale | attack_storms | multi_as)");
+  const std::string json_path =
+      o.json_path.empty() ? "SCENARIO_" + o.scenario + ".json" : o.json_path;
+
+  bench::print_header("Scenario engine — " + o.scenario,
+                      "§VIII scale + §VI attack-resistance properties");
+  run_once(o, json_path);
+
+  if (o.verify_determinism) {
+    // Byte-identical re-run: a fresh Engine from the same seed must emit
+    // the same artifact. Catches any nondeterminism that leaks into the
+    // counters (iteration order, wall-clock contamination, uninitialized
+    // reads).
+    const std::string second = json_path + ".rerun";
+    Options o2 = o;
+    o2.json_path = second;
+    run_once(o2, second);
+    const bool same = slurp(json_path) == slurp(second);
+    std::remove(second.c_str());
+    if (!same) fatal("determinism violation: re-run JSON differs");
+    std::printf("determinism verified: re-run artifact is byte-identical\n");
+  }
+
+  bench::print_footer(
+      "scenario completed; deterministic counters written to " + json_path);
+  return 0;
+}

@@ -36,6 +36,18 @@ inline unsigned hardware_concurrency() {
 /// failing — or, worse, silently passing a meaningless >= 1.0x check.
 inline bool single_core() { return hardware_concurrency() <= 1; }
 
+/// Git commit the binary was built from. Stamped at configure time
+/// (bench/CMakeLists.txt); "unknown" outside a git checkout. Baselines
+/// carry it so a checked-in JSON can always be traced to the code that
+/// produced it.
+inline const char* git_sha() {
+#ifdef APNA_GIT_SHA
+  return APNA_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
 /// Times `fn(i)` over `iters` calls; returns nanoseconds per call.
 inline double time_per_op_ns(std::size_t iters,
                              const std::function<void(std::size_t)>& fn) {
@@ -142,6 +154,15 @@ class JsonFile {
   void machine_shape() {
     field("hardware_concurrency", bench::hardware_concurrency());
     field("single_core", bench::single_core());
+  }
+
+  /// The provenance block every baseline carries: the commit the binary
+  /// was built from plus the RNG seed that drove the workload. Together
+  /// with the determinism contract (same seed ⇒ same workload) this makes
+  /// each emitted JSON a reproducible artifact, not a one-off.
+  void provenance(std::uint64_t rng_seed) {
+    field("git_sha", bench::git_sha());
+    field("rng_seed", rng_seed);
   }
 
   void begin_array(const char* key) {

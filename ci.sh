@@ -3,9 +3,10 @@
 #
 #   1. Release with warnings-as-errors for all APNA targets
 #   2. ASan + UBSan (Debug)
-#   3. ThreadSanitizer over the router/core concurrency tests plus the
-#      control-plane pool test (the sharded data plane's stress suite and
-#      the M-worker issuance pool; bounded runtime — TSan over the full
+#   3. ThreadSanitizer over the router/core concurrency tests, the
+#      control-plane pool test and the bounded scenario storms (the sharded
+#      data plane's stress suite, the M-worker issuance pool and the
+#      attack-script interleavings; bounded runtime — TSan over the full
 #      integration matrix would dominate CI time for no extra signal)
 #
 # 1 and 2 must build every library, test, bench and example target and pass
@@ -44,6 +45,12 @@ ctest --test-dir build-ci --output-on-failure -L bench
 # label; both skip cleanly where the environment forbids sockets. Bounded —
 # loopback traffic only, smoke-sized windows.
 ctest --test-dir build-ci --output-on-failure -L net
+# Scenario leg, explicitly in Release: the Internet-scale scripts in --smoke
+# trim (10⁶-host memory gate, attack storms, multi-AS sweep — each re-runs
+# itself to verify byte-identical JSON) plus the scenario property tests.
+# Release only: the 10⁶-host provisioning loop is what the gate measures,
+# and sanitizer legs would spend minutes proving nothing new about it.
+ctest --test-dir build-ci --output-on-failure -L scenario
 
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 # Wire-image property suites, explicitly under ASan/UBSan: PacketView::bind
@@ -63,11 +70,16 @@ echo "=== [tsan] configure"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \
   -DAPNA_WERROR=ON -DAPNA_BUILD_BENCH=OFF -DAPNA_BUILD_EXAMPLES=OFF
 echo "=== [tsan] build (concurrency-labelled tests only)"
+# scenario_test rides the TSan leg too: its bounded storm scripts (bogus-
+# EphID flood, shutoff storm, revocation waves) drive the multi-worker
+# ForwardingPool, per-worker FlowCaches and the striped revocation tables
+# under racing epoch bumps — the attack-time interleavings the fixed-size
+# concurrency tests don't reach.
 cmake --build build-tsan -j "${jobs}" \
   --target router_concurrency_test router_test core_test control_plane_test \
-  flow_cache_test
+  flow_cache_test scenario_test
 echo "=== [tsan] test"
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test)$'
+  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test|scenario_test)$'
 
 echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

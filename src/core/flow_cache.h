@@ -84,6 +84,18 @@ class FlowCache {
       cross_worker_duplicates += o.cross_worker_duplicates;
       return *this;
     }
+
+    /// Subtracts an earlier snapshot of the same monotone counters (per-
+    /// phase deltas in the scenario engine).
+    Stats& operator-=(const Stats& o) {
+      hits -= o.hits;
+      misses -= o.misses;
+      stale_gen -= o.stale_gen;
+      insertions -= o.insertions;
+      evictions -= o.evictions;
+      cross_worker_duplicates -= o.cross_worker_duplicates;
+      return *this;
+    }
   };
 
   /// `capacity` is rounded up to a power of two, minimum one bucket.

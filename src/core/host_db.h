@@ -3,16 +3,45 @@
 // Populated by the Registry Service at bootstrap and consulted by every
 // infrastructure entity: the MS (request authentication), border routers
 // (per-packet MAC verification) and the accountability agent (shutoff
-// validation). Implemented as the paper implements it: "a hashtable using
-// HID as the key" (§V-A2) — here lock-striped into kDefaultShardCount
-// stripes (core/sharded.h) so M router workers doing the Fig 4 "HID ∈
-// host_info" lookup never serialize on a global lock while the RS keeps
-// enrolling hosts.
+// validation). The paper implements it as "a hashtable using HID as the
+// key" (§V-A2); an Internet-scale AS holds MILLIONS of registered hosts
+// (§VIII sizes the load against a national-ISP peak), so the layout here is
+// built for footprint first:
+//
+//  * Records are COMPACT — a fixed 88-byte POD (CompactHostRecord: HID,
+//    subscriber, kHA enc+mac halves, K+_H) stored in per-stripe slab arenas
+//    (kSlabRecords records per allocation, erased slots recycled through a
+//    free list). No per-record heap node, no per-record allocator overhead.
+//  * The HID index is open addressing (linear probing over 8-byte
+//    {hid, slot} entries, tombstone deletion, rehash at 3/4 load) — ~11-21
+//    bytes per host instead of an unordered_map node per host.
+//  * The pre-scheduled per-host packet-MAC key (the AES-128 key schedule a
+//    border router needs once per flow, 224+ bytes) is NOT stored per host.
+//    A bounded set-associative schedule cache holds the schedules of the
+//    ACTIVE hosts; find() schedules lazily on first use. A cached schedule
+//    is validated by comparing the record's current kHA-mac bytes — a key
+//    replacement or HID reuse can therefore never serve a stale schedule,
+//    with no invalidation hook and no race window.
+//
+// Net: ~105 B/host amortized at 10⁶ hosts (memory_stats() reports the real
+// figure; the scenario engine asserts ≤ 200 B/host), versus ~500 B/host for
+// the previous node-per-record ShardedMap<Hid, HostRecord> storage.
+//
+// Concurrency contract (unchanged from the ShardedMap era — see
+// ARCHITECTURE.md "Concurrency model"): every member is safe from any
+// thread; the table is lock-striped by HID hash so M router workers doing
+// the Fig 4 "HID ∈ host_info" lookup never serialize on a global lock while
+// the RS keeps enrolling hosts; find() returns a copy.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <vector>
 
 #include "core/ids.h"
 #include "core/keys.h"
@@ -27,51 +56,404 @@ struct HostRecord {
   crypto::X25519PublicKey host_pub{}; // K+_H learned at authentication
   std::uint32_t subscriber_id = 0;    // the authenticated customer identity
   /// Pre-scheduled CMAC under keys.mac — the border routers verify one MAC
-  /// per packet (Fig 4), so the key schedule is amortized here. Immutable
-  /// and shared_ptr-held: a router worker's copy of the record keeps the
-  /// schedule alive even if the RS replaces the entry mid-verification.
+  /// per packet (Fig 4), so the key schedule is amortized. Served from the
+  /// HostDb's bounded schedule cache (scheduled lazily on first find());
+  /// immutable and shared_ptr-held, so a router worker's copy of the record
+  /// keeps the schedule alive even if the RS replaces the entry — or the
+  /// cache evicts it — mid-verification.
   std::shared_ptr<const crypto::AesCmac> cmac;
 };
 
 class HostDb {
  public:
+  /// Bounded total capacity of the lazy kHA-CMAC schedule cache (entries,
+  /// split evenly across stripes). Sized for the ACTIVE host set — an idle
+  /// registered host costs no schedule. 8192 schedules ≈ 2.3 MB, noise
+  /// against 10⁶ compact records.
+  static constexpr std::size_t kDefaultScheduleCacheEntries = 8192;
+
+  /// What the database actually has allocated, by component. All figures
+  /// are reserved bytes (slabs, table capacity), not live-entry sums — the
+  /// honest denominator for a capacity-planning answer.
+  struct MemoryStats {
+    std::size_t hosts = 0;           // live records
+    std::size_t record_bytes = 0;    // slab arenas (all reserved slots)
+    std::size_t index_bytes = 0;     // open-addressing tables
+    std::size_t schedule_bytes = 0;  // schedule cache slots + live schedules
+    std::size_t fixed_bytes = 0;     // stripe headers and free lists
+
+    std::size_t total() const {
+      return record_bytes + index_bytes + schedule_bytes + fixed_bytes;
+    }
+    double bytes_per_host() const {
+      return hosts == 0 ? 0.0
+                        : static_cast<double>(total()) /
+                              static_cast<double>(hosts);
+    }
+  };
+
   /// `epoch` (optional) is bumped on every mutation that can invalidate a
   /// previously verified flow-cache verdict: replacing an existing record
   /// (the pre-scheduled kHA may change) and erasing one. A brand-new HID
   /// never bumps — negative verdicts are never cached, so an insert cannot
   /// make a cached verdict wrong.
   explicit HostDb(std::size_t shard_count = kDefaultShardCount,
-                  VerdictEpoch* epoch = nullptr)
-      : map_(shard_count), epoch_(epoch) {}
-
-  /// Inserts or replaces the record for record.hid, pre-scheduling its
-  /// packet-MAC key.
-  void upsert(HostRecord record) {
-    if (!record.cmac)
-      record.cmac = std::make_shared<const crypto::AesCmac>(
-          ByteSpan(record.keys.mac.data(), record.keys.mac.size()));
-    const Hid hid = record.hid;
-    const bool inserted = map_.insert_or_assign(hid, std::move(record));
-    if (!inserted && epoch_) epoch_->bump();
+                  VerdictEpoch* epoch = nullptr,
+                  std::size_t schedule_cache_entries =
+                      kDefaultScheduleCacheEntries)
+      : count_(round_up_pow2(shard_count == 0 ? 1 : shard_count)),
+        mask_(count_ - 1),
+        stripes_(std::make_unique<Stripe[]>(count_)),
+        epoch_(epoch) {
+    const std::size_t per_stripe =
+        round_up_pow2(schedule_cache_entries / count_ < kSchedWays
+                          ? kSchedWays
+                          : schedule_cache_entries / count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+      stripes_[i].sched.resize(per_stripe);
+      stripes_[i].sched_rr.resize(per_stripe / kSchedWays, 0);
+    }
   }
 
-  /// Fig 4: "if HID ∉ host_info drop packet". Copy-out under the shard lock.
-  std::optional<HostRecord> find(Hid hid) const { return map_.find(hid); }
+  /// Inserts or replaces the record for record.hid. A caller-supplied
+  /// pre-scheduled cmac seeds the schedule cache (infrastructure identities
+  /// pay the schedule once, up front); customer enrollment leaves it null
+  /// and the schedule is built lazily on the first find().
+  void upsert(HostRecord record) {
+    Stripe& s = stripe(record.hid);
+    bool replaced;
+    {
+      std::unique_lock lock(s.mu);
+      replaced = s.put(record);
+    }
+    if (record.cmac) {
+      std::lock_guard sched_lock(s.sched_mu);
+      s.sched_put(record.hid, record.keys.mac, std::move(record.cmac));
+    }
+    if (replaced && epoch_) epoch_->bump();
+  }
 
-  bool contains(Hid hid) const { return map_.contains(hid); }
+  /// Fig 4: "if HID ∉ host_info drop packet". Copies the compact record out
+  /// under the stripe's shared lock, then attaches the (possibly lazily
+  /// scheduled) packet-MAC key from the schedule cache.
+  std::optional<HostRecord> find(Hid hid) const {
+    const Stripe& s = stripe(hid);
+    CompactHostRecord rec;
+    {
+      std::shared_lock lock(s.mu);
+      const CompactHostRecord* p = s.get(hid);
+      if (!p) return std::nullopt;
+      rec = *p;
+    }
+    HostRecord out;
+    out.hid = rec.hid;
+    out.subscriber_id = rec.subscriber_id;
+    out.keys.enc = rec.enc;
+    out.keys.mac = rec.mac;
+    out.host_pub = rec.host_pub;
+    out.cmac = s.schedule_for(rec);
+    return out;
+  }
 
-  void prefetch(Hid hid) const { map_.prefetch(hid); }
+  bool contains(Hid hid) const {
+    const Stripe& s = stripe(hid);
+    std::shared_lock lock(s.mu);
+    return s.get(hid) != nullptr;
+  }
+
+  /// Best-effort prefetch of the index line `hid` probes first. The burst
+  /// pipelines issue this a few packets ahead of the actual lookup.
+  void prefetch(Hid hid) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const Stripe& s = stripe(hid);
+    if (!s.index.empty())
+      __builtin_prefetch(&s.index[index_bits(hid) & (s.index.size() - 1)]);
+#endif
+  }
 
   /// Removes a host entirely (HID revocation, §VIII-G2 / §VI-A identity
   /// minting: "if a host requests a new HID, the previous HID ... revoked").
   void erase(Hid hid) {
-    if (map_.erase(hid) && epoch_) epoch_->bump();
+    Stripe& s = stripe(hid);
+    bool erased;
+    {
+      std::unique_lock lock(s.mu);
+      erased = s.remove(hid);
+    }
+    if (erased && epoch_) epoch_->bump();
   }
 
-  std::size_t size() const { return map_.size(); }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::shared_lock lock(stripes_[i].mu);
+      n += stripes_[i].live;
+    }
+    return n;
+  }
+
+  /// Reserved-byte accounting, per component. Deterministic for a given
+  /// operation sequence (slab and table growth depend only on the
+  /// insert/erase history), so scenario JSONs can carry it verbatim.
+  MemoryStats memory_stats() const {
+    MemoryStats m;
+    m.fixed_bytes = sizeof(HostDb) + count_ * sizeof(Stripe);
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Stripe& s = stripes_[i];
+      std::shared_lock lock(s.mu);
+      m.hosts += s.live;
+      m.record_bytes += s.slabs.size() * kSlabRecords * sizeof(CompactHostRecord);
+      m.index_bytes += s.index.capacity() * sizeof(IndexEntry);
+      m.fixed_bytes += s.free_slots.capacity() * sizeof(std::uint32_t);
+      std::lock_guard sched_lock(s.sched_mu);
+      m.schedule_bytes += s.sched.capacity() * sizeof(SchedSlot) +
+                          s.sched_rr.capacity();
+      for (const SchedSlot& slot : s.sched)
+        if (slot.cmac)
+          m.schedule_bytes += sizeof(crypto::AesCmac) + kSharedPtrCtrlBytes;
+    }
+    return m;
+  }
+
+  std::size_t memory_bytes() const { return memory_stats().total(); }
+
+  std::size_t shard_count() const { return count_; }
 
  private:
-  ShardedMap<Hid, HostRecord> map_;
+  /// The arena-resident per-host state: everything the paper's host_info
+  /// row needs, nothing per-host that can be derived or cached. 88 bytes.
+  struct CompactHostRecord {
+    Hid hid = 0;
+    std::uint32_t subscriber_id = 0;
+    std::array<std::uint8_t, 32> enc{};       // kHA AEAD half
+    std::array<std::uint8_t, 16> mac{};       // kHA CMAC half
+    crypto::X25519PublicKey host_pub{};       // K+_H
+  };
+  static_assert(sizeof(CompactHostRecord) == 88,
+                "compact host record layout drifted");
+
+  struct IndexEntry {
+    Hid hid = 0;
+    std::uint32_t slot = kEmpty;  // arena slot, or kEmpty / kTombstone
+  };
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+  static constexpr std::size_t kSlabRecords = 1024;  // 88 KiB per slab
+  /// make_shared control block (vtable-less refcount pair) — accounted with
+  /// each live schedule so memory_stats() is an overestimate, never flattery.
+  static constexpr std::size_t kSharedPtrCtrlBytes = 32;
+
+  /// One lazily-scheduled kHA CMAC. Validity is by VALUE: serve only when
+  /// the stored mac bytes equal the record's current mac bytes, so stale
+  /// entries (key replacement, HID reuse, racing writers) self-invalidate.
+  struct SchedSlot {
+    Hid hid = 0;
+    std::array<std::uint8_t, 16> mac{};
+    std::shared_ptr<const crypto::AesCmac> cmac;  // null = empty
+  };
+  /// Set associativity of the schedule cache: two hot HIDs sharing a set
+  /// must coexist, or the uncached classify path re-schedules per packet
+  /// (the zero-alloc steady-state invariant of tests/alloc_count_test).
+  static constexpr std::size_t kSchedWays = 4;
+
+  /// HIDs are small dense integers (the RS allocates sequentially); the
+  /// index needs their hashes spread across probe space. SplitMix64
+  /// finalizer. The three consumers take DISJOINT bit ranges — stripe
+  /// selection bits [0,16), index homes bits [16,40), schedule sets bits
+  /// [40,64) — because within one stripe the stripe bits are constant by
+  /// construction: reusing them would fold every record onto 1/count_ of
+  /// the probe space (the same bit-disjointness rule FlowCache and
+  /// core/flow_steer.h follow).
+  static std::uint64_t mix(Hid hid) {
+    std::uint64_t x = hid;
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  static std::uint64_t index_bits(Hid hid) { return mix(hid) >> 16; }
+  static std::uint64_t sched_bits(Hid hid) { return mix(hid) >> 40; }
+
+  struct alignas(64) Stripe {
+    mutable std::shared_mutex mu;
+    std::vector<IndexEntry> index;  // power-of-two, linear probing
+    std::vector<std::unique_ptr<CompactHostRecord[]>> slabs;
+    std::vector<std::uint32_t> free_slots;
+    std::size_t live = 0;      // occupied index entries (not tombstones)
+    std::size_t occupied = 0;  // live + tombstones (load-factor input)
+
+    mutable std::mutex sched_mu;
+    mutable std::vector<SchedSlot> sched;  // kSchedWays-associative sets
+    mutable std::vector<std::uint8_t> sched_rr;  // per-set victim cursor
+
+    CompactHostRecord& record(std::uint32_t slot) {
+      return slabs[slot / kSlabRecords][slot % kSlabRecords];
+    }
+    const CompactHostRecord& record(std::uint32_t slot) const {
+      return slabs[slot / kSlabRecords][slot % kSlabRecords];
+    }
+
+    /// Lookup under the stripe lock. Returns the arena record or null.
+    const CompactHostRecord* get(Hid hid) const {
+      if (index.empty()) return nullptr;
+      const std::size_t cap_mask = index.size() - 1;
+      std::size_t i = index_bits(hid) & cap_mask;
+      while (true) {
+        const IndexEntry& e = index[i];
+        if (e.slot == kEmpty) return nullptr;
+        if (e.slot != kTombstone && e.hid == hid) return &record(e.slot);
+        i = (i + 1) & cap_mask;
+      }
+    }
+
+    /// Insert-or-replace under the stripe's exclusive lock. Returns true
+    /// when an existing record was replaced.
+    bool put(const HostRecord& in) {
+      // Grow at 3/4 load (tombstones included) — linear probing stays short.
+      if (index.empty() || occupied + 1 > index.size() / 4 * 3) grow();
+      const std::size_t cap_mask = index.size() - 1;
+      std::size_t i = index_bits(in.hid) & cap_mask;
+      std::size_t first_tomb = kEmpty;
+      while (true) {
+        IndexEntry& e = index[i];
+        if (e.slot == kEmpty) break;
+        if (e.slot == kTombstone) {
+          if (first_tomb == kEmpty) first_tomb = i;
+        } else if (e.hid == in.hid) {
+          fill(record(e.slot), in);
+          return true;
+        }
+        i = (i + 1) & cap_mask;
+      }
+      if (first_tomb != kEmpty) {
+        i = first_tomb;  // reuse the tombstone; occupied count unchanged
+      } else {
+        ++occupied;
+      }
+      IndexEntry& e = index[i];
+      e.hid = in.hid;
+      e.slot = alloc_slot();
+      fill(record(e.slot), in);
+      ++live;
+      return false;
+    }
+
+    /// Tombstone deletion under the exclusive lock. Returns true if erased.
+    bool remove(Hid hid) {
+      if (index.empty()) return false;
+      const std::size_t cap_mask = index.size() - 1;
+      std::size_t i = index_bits(hid) & cap_mask;
+      while (true) {
+        IndexEntry& e = index[i];
+        if (e.slot == kEmpty) return false;
+        if (e.slot != kTombstone && e.hid == hid) {
+          free_slots.push_back(e.slot);
+          e.slot = kTombstone;
+          --live;
+          return true;
+        }
+        i = (i + 1) & cap_mask;
+      }
+    }
+
+    /// The schedule-cache hit/fill path; takes sched_mu itself. Validity is
+    /// the mac-byte compare — see SchedSlot.
+    std::shared_ptr<const crypto::AesCmac> schedule_for(
+        const CompactHostRecord& rec) const {
+      {
+        std::lock_guard lock(sched_mu);
+        const std::size_t base = sched_base(rec.hid);
+        for (std::size_t w = 0; w < kSchedWays; ++w) {
+          const SchedSlot& slot = sched[base + w];
+          if (slot.cmac && slot.hid == rec.hid && slot.mac == rec.mac)
+            return slot.cmac;
+        }
+      }
+      // Schedule outside the lock (the expansion is the expensive part);
+      // last writer wins on a racing double fill — both results are valid.
+      auto fresh = std::make_shared<const crypto::AesCmac>(
+          ByteSpan(rec.mac.data(), rec.mac.size()));
+      std::lock_guard lock(sched_mu);
+      sched_put(rec.hid, rec.mac, fresh);
+      return fresh;
+    }
+
+    /// Installs a schedule (caller holds sched_mu). Victim order: same HID
+    /// > empty way > round-robin within the set.
+    void sched_put(Hid hid, const std::array<std::uint8_t, 16>& mac,
+                   std::shared_ptr<const crypto::AesCmac> cmac) const {
+      const std::size_t base = sched_base(hid);
+      std::size_t victim = kSchedWays;
+      for (std::size_t w = 0; w < kSchedWays; ++w) {
+        SchedSlot& slot = sched[base + w];
+        if (slot.cmac && slot.hid == hid) {
+          victim = w;
+          break;
+        }
+        if (!slot.cmac && victim == kSchedWays) victim = w;
+      }
+      if (victim == kSchedWays) {
+        std::uint8_t& rr = sched_rr[base / kSchedWays];
+        victim = rr;
+        rr = static_cast<std::uint8_t>((rr + 1) % kSchedWays);
+      }
+      SchedSlot& slot = sched[base + victim];
+      slot.hid = hid;
+      slot.mac = mac;
+      slot.cmac = std::move(cmac);
+    }
+
+    std::size_t sched_base(Hid hid) const {
+      return (sched_bits(hid) & (sched.size() / kSchedWays - 1)) * kSchedWays;
+    }
+
+   private:
+    static void fill(CompactHostRecord& dst, const HostRecord& in) {
+      dst.hid = in.hid;
+      dst.subscriber_id = in.subscriber_id;
+      dst.enc = in.keys.enc;
+      dst.mac = in.keys.mac;
+      dst.host_pub = in.host_pub;
+    }
+
+    std::uint32_t alloc_slot() {
+      if (!free_slots.empty()) {
+        const std::uint32_t s = free_slots.back();
+        free_slots.pop_back();
+        return s;
+      }
+      // Every slot ever allocated is either in use (one per live record) or
+      // in free_slots — and free_slots is empty here, so the first
+      // never-used slot is exactly `live` (this record is not counted yet).
+      const std::uint32_t used = static_cast<std::uint32_t>(live);
+      if (used >= slabs.size() * kSlabRecords)
+        slabs.push_back(std::make_unique<CompactHostRecord[]>(kSlabRecords));
+      return used;
+    }
+
+    /// Doubles the index (min 64 entries), dropping tombstones.
+    void grow() {
+      const std::size_t new_cap = index.empty() ? 64 : index.size() * 2;
+      std::vector<IndexEntry> old = std::move(index);
+      index.assign(new_cap, IndexEntry{});
+      occupied = 0;
+      const std::size_t cap_mask = new_cap - 1;
+      for (const IndexEntry& e : old) {
+        if (e.slot == kEmpty || e.slot == kTombstone) continue;
+        std::size_t i = index_bits(e.hid) & cap_mask;
+        while (index[i].slot != kEmpty) i = (i + 1) & cap_mask;
+        index[i] = e;
+        ++occupied;
+      }
+    }
+  };
+
+  Stripe& stripe(Hid hid) { return stripes_[mix(hid) & mask_]; }
+  const Stripe& stripe(Hid hid) const { return stripes_[mix(hid) & mask_]; }
+
+  std::size_t count_;
+  std::size_t mask_;
+  std::unique_ptr<Stripe[]> stripes_;
   VerdictEpoch* epoch_;
 };
 

@@ -79,6 +79,15 @@ class RevocationList {
 
   std::size_t size() const { return ephids_.size(); }
 
+  /// Approximate resident footprint of both striped tables (EphID → exp
+  /// and per-host escalation state), from ShardedMap::stripe_stats — real
+  /// per-stripe occupancy, not an estimate over assumed load factors. The
+  /// §VIII-G2 sizing question ("can revoked_EphIDs grow unboundedly?") gets
+  /// a measured answer in the mass-revocation scenarios.
+  std::size_t memory_bytes() const {
+    return ephids_.approx_memory_bytes() + hosts_.approx_memory_bytes();
+  }
+
  private:
   struct HostRevState {
     std::uint32_t revocations = 0;  // §VIII-G2 escalation counter

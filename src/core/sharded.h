@@ -25,6 +25,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace apna::core {
 
@@ -152,6 +153,50 @@ class ShardedMap {
   }
 
   std::size_t shard_count() const { return count_; }
+
+  /// Per-stripe occupancy and approximate footprint — the raw input for
+  /// memory accounting (HostDb::memory_stats, RevocationList::memory_bytes)
+  /// and for stripe-balance diagnostics in the scenario engine. `bytes` is
+  /// an estimate: unordered_map's node and bucket overheads are not
+  /// observable portably, so each entry is costed at its pair size plus
+  /// kNodeOverheadBytes and each bucket at one pointer. An estimate with a
+  /// stated model beats a guess with none.
+  struct StripeStats {
+    std::size_t entries = 0;
+    std::size_t buckets = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Modeled per-node overhead: the forward pointer of the bucket chain
+  /// plus one allocator header per node (libstdc++ node = ptr + hash cache;
+  /// 24 covers the common ABIs without flattering any of them).
+  static constexpr std::size_t kNodeOverheadBytes = 24;
+
+  StripeStats stripe_stats(std::size_t i) const {
+    const Shard& s = shards_[i];
+    std::shared_lock lock(s.mu);
+    StripeStats st;
+    st.entries = s.map.size();
+    st.buckets = s.map.bucket_count();
+    st.bytes = sizeof(Shard) +
+               st.entries * (sizeof(std::pair<const Key, Value>) +
+                             kNodeOverheadBytes) +
+               st.buckets * sizeof(void*);
+    return st;
+  }
+
+  std::vector<StripeStats> stripe_stats() const {
+    std::vector<StripeStats> all(count_);
+    for (std::size_t i = 0; i < count_; ++i) all[i] = stripe_stats(i);
+    return all;
+  }
+
+  /// Approximate total footprint across all stripes (sum of stripe bytes).
+  std::size_t approx_memory_bytes() const {
+    std::size_t total = sizeof(ShardedMap);
+    for (std::size_t i = 0; i < count_; ++i) total += stripe_stats(i).bytes;
+    return total;
+  }
 
  private:
   /// Cache-line aligned so two stripes never false-share.

@@ -22,6 +22,8 @@ namespace apna::net {
 
 struct UdpTransport::PeerAddr {
   sockaddr_in sin{};
+  bool pinned = false;         // explicitly added — never evicted
+  std::uint64_t last_seen = 0; // rx_seq_ stamp for learned-peer LRU
 
   bool operator==(const PeerAddr& o) const {
     return sin.sin_addr.s_addr == o.sin.sin_addr.s_addr &&
@@ -91,10 +93,22 @@ Result<PeerId> UdpTransport::add_peer(const std::string& host,
   addr->sin.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr->sin.sin_addr) != 1)
     return Result<PeerId>(Errc::malformed, "bad peer host");
-  for (std::size_t i = 0; i < peers_.size(); ++i)
-    if (*peers_[i] == *addr) return static_cast<PeerId>(i);
-  if (peers_.size() >= cfg_.max_peers)
-    return Result<PeerId>(Errc::exhausted, "peer table full");
+  addr->pinned = true;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (*peers_[i] == *addr) {
+      peers_[i]->pinned = true;  // re-adding a learned peer pins it
+      return static_cast<PeerId>(i);
+    }
+  }
+  if (peers_.size() >= cfg_.max_peers) {
+    // Explicit peers outrank learned ones: displace the LRU learned slot.
+    const PeerId victim = lru_learned_slot();
+    if (victim == kUnknownPeer)
+      return Result<PeerId>(Errc::exhausted, "peer table full");
+    ++stats_.peers_evicted;
+    peers_[victim] = std::move(addr);
+    return victim;
+  }
   peers_.push_back(std::move(addr));
   return static_cast<PeerId>(peers_.size() - 1);
 }
@@ -127,11 +141,42 @@ Result<void> UdpTransport::send_raw(PeerId to, ByteSpan bytes) {
   return send_bytes(to, bytes);
 }
 
+PeerId UdpTransport::lru_learned_slot() const {
+  PeerId victim = kUnknownPeer;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i]->pinned) continue;
+    if (peers_[i]->last_seen <= oldest) {
+      oldest = peers_[i]->last_seen;
+      victim = static_cast<PeerId>(i);
+    }
+  }
+  return victim;
+}
+
 PeerId UdpTransport::peer_for(const PeerAddr& addr) {
-  for (std::size_t i = 0; i < peers_.size(); ++i)
-    if (*peers_[i] == addr) return static_cast<PeerId>(i);
-  if (peers_.size() >= cfg_.max_peers) return kUnknownPeer;
-  peers_.push_back(std::make_unique<PeerAddr>(addr));
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (*peers_[i] == addr) {
+      peers_[i]->last_seen = ++rx_seq_;
+      return static_cast<PeerId>(i);
+    }
+  }
+  if (peers_.size() >= cfg_.max_peers) {
+    // Table full: an address-spoofing flood must not grow memory, so a new
+    // source RECYCLES the least-recently-seen learned slot instead of
+    // appending. Pinned (explicitly added) peers are never displaced; when
+    // every slot is pinned the source delivers as kUnknownPeer.
+    const PeerId victim = lru_learned_slot();
+    if (victim == kUnknownPeer) return kUnknownPeer;
+    ++stats_.peers_evicted;
+    auto replacement = std::make_unique<PeerAddr>(addr);
+    replacement->last_seen = ++rx_seq_;
+    peers_[victim] = std::move(replacement);
+    return victim;
+  }
+  auto learned = std::make_unique<PeerAddr>(addr);
+  learned->last_seen = ++rx_seq_;
+  peers_.push_back(std::move(learned));
   return static_cast<PeerId>(peers_.size() - 1);
 }
 

@@ -62,6 +62,9 @@ struct TransportStats {
   std::uint64_t rx_bytes = 0;
   std::uint64_t rx_rejected = 0;  // PacketView::bind refused the datagram
   std::uint64_t rx_truncated = 0; // datagram exceeded the RX buffer
+  /// Learned peers displaced LRU to admit a new RX source (UDP backend;
+  /// explicitly added peers are pinned and never evicted).
+  std::uint64_t peers_evicted = 0;
 };
 
 class Transport {
@@ -205,7 +208,12 @@ class SimTransport : public Transport {
 
 /// Real-socket backend: nonblocking UDP + epoll (Linux). One APNA packet
 /// per datagram; peers are added explicitly (add_peer) or learned from RX
-/// source addresses up to Config::max_peers.
+/// source addresses. The peer table is bounded by Config::max_peers: when a
+/// new source arrives at a full table, the least-recently-seen LEARNED peer
+/// is evicted (its PeerId is reused — an address-spoofing flood can churn
+/// the learned slots but cannot grow the table or displace pinned peers).
+/// Explicitly added peers are pinned and never evicted; if every slot is
+/// pinned, unknown sources deliver as kUnknownPeer.
 class UdpTransport : public Transport {
  public:
   struct Config {
@@ -232,6 +240,10 @@ class UdpTransport : public Transport {
 
   Result<PeerId> add_peer(const std::string& host, std::uint16_t port);
 
+  /// Current peer-table occupancy (pinned + learned). Never exceeds
+  /// Config::max_peers.
+  std::size_t peer_count() const { return peers_.size(); }
+
   Result<void> send(PeerId to, wire::PacketBuf pkt) override;
   Result<void> send_raw(PeerId to, ByteSpan bytes) override;
   std::size_t poll(int timeout_ms = 0) override;
@@ -247,15 +259,20 @@ class UdpTransport : public Transport {
   /// packets delivered to the handler.
   std::size_t drain();
 
-  struct PeerAddr;  // sockaddr_in, hidden from the header
-  /// The peer table slot for `addr`, learning it when new (bounded).
+  struct PeerAddr;  // sockaddr_in + pinned/last_seen, hidden from the header
+  /// The peer table slot for `addr`: refreshes recency on a match, learns
+  /// a new source into a free slot, or evicts the LRU learned peer when
+  /// the table is full (kUnknownPeer only when every slot is pinned).
   PeerId peer_for(const PeerAddr& addr);
+  /// The least-recently-seen unpinned slot, kUnknownPeer when all pinned.
+  PeerId lru_learned_slot() const;
 
   Config cfg_;
   int fd_ = -1;
   int epoll_fd_ = -1;
   std::uint16_t local_port_ = 0;
   std::vector<std::unique_ptr<PeerAddr>> peers_;
+  std::uint64_t rx_seq_ = 0;  // recency clock for learned-peer LRU
 };
 
 }  // namespace apna::net

@@ -1,0 +1,303 @@
+// Scenario engine — deterministic, seed-driven Internet-scale scripts over
+// the in-process APNA world (ROADMAP item: "Internet-scale scenario
+// engine").
+//
+// The paper's accountability story only matters at scale: an AS keeps
+// per-host state for MILLIONS of registered hosts (§VIII sizes the load
+// against a national ISP's peak) while absorbing bogus-EphID floods and
+// Fig-5 shutoff storms. The integration examples top out at a couple dozen
+// clients, so the scale-sensitive invariants — never-cache-negatives under
+// floods, epoch-invalidation cost under mass revocation, HostDb footprint —
+// were asserted nowhere. This layer runs them.
+//
+// A scenario is a SCRIPT: an ordered vector of Phase specs (the DSL). The
+// Engine owns one AS's full infrastructure — AsState (compact HostDb +
+// revocation tables), BorderRouter + ForwardingPool (flow-hash steered
+// workers with per-worker FlowCaches), RegistryService, AccountabilityAgent,
+// and a SimTransport pair for wire-level injection — and executes phases in
+// order, returning one PhaseReport per phase.
+//
+// Phase kinds and what they model:
+//   register_hosts   population bootstrap (a provisioning wave)
+//   churn            diurnal join/leave: new hosts enroll, old ones
+//                    de-register (each leave bumps VerdictEpoch), with
+//                    legitimate traffic interleaved
+//   flash_crowd      churn with a join spike and a traffic surge
+//   traffic          steady Zipf-distributed legitimate load
+//   flood            bogus-EphID DDoS through Transport::send_raw: garbage
+//                    frames die at PacketView::bind (rx_rejected), well-
+//                    formed forged-EphID packets reach classify and drop at
+//                    authenticated decryption — and must NEVER enter any
+//                    worker's FlowCache
+//   shutoff_storm    Fig-5 requests hammering the AccountabilityAgent,
+//                    driving revocations and §VIII-G2 HID escalations
+//   revocation_wave  mass revocation hammering VerdictEpoch, interleaved
+//                    with classify bursts to expose the hit collapse
+//   replay_tamper    duplicate + tampered copies of legitimate packets
+//                    against a replay-filter router (§VIII-D)
+//
+// Determinism contract (asserted by the driver's --verify-determinism and
+// the `scenario` ctest entries): every workload decision flows from
+// Config::seed through ChaChaRng; the virtual clock advances by fixed
+// steps; phase counters (drops, hits, epoch, memory bytes) are therefore
+// exact functions of (script, seed) — same seed ⇒ byte-identical scenario
+// JSON. Wall-clock figures (pps, shutoff latency percentiles) are
+// inherently machine-dependent and go to stdout only, never into the
+// deterministic JSON.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/as_directory.h"
+#include "core/as_state.h"
+#include "core/flow_cache.h"
+#include "net/sim.h"
+#include "net/transport.h"
+#include "router/border_router.h"
+#include "router/forwarding_pool.h"
+#include "services/accountability_agent.h"
+#include "services/registry_service.h"
+#include "services/subscriber_registry.h"
+#include "wire/packet_buf.h"
+
+namespace apna::scenario {
+
+/// One step of a scenario script (the DSL statement). Use the factories —
+/// the raw fields are kind-specific magnitudes.
+struct Phase {
+  enum class Kind {
+    register_hosts,
+    churn,
+    flash_crowd,
+    traffic,
+    flood,
+    shutoff_storm,
+    revocation_wave,
+    replay_tamper,
+  };
+
+  Kind kind = Kind::traffic;
+  std::string name;
+  std::uint64_t joins = 0;        // register_hosts / churn / flash_crowd
+  std::uint64_t leaves = 0;       // churn / flash_crowd
+  std::uint64_t bursts = 0;       // traffic-driving phases
+  std::uint64_t burst_packets = 256;
+  std::uint64_t requests = 0;     // shutoff_storm
+  std::uint64_t revocations = 0;  // revocation_wave
+  std::uint64_t waves = 1;        // revocation_wave: revocations split over
+                                  // this many epoch-bumping waves
+  double bogus_fraction = 0.8;    // flood: forged-EphID share of each burst
+  double garbage_fraction = 0.1;  // flood: unparseable-frame share
+  double zipf_s = 1.1;            // flow locality of legitimate traffic
+
+  static Phase register_hosts(std::string name, std::uint64_t n);
+  static Phase churn(std::string name, std::uint64_t joins,
+                     std::uint64_t leaves, std::uint64_t bursts,
+                     std::uint64_t burst_packets = 256);
+  static Phase flash_crowd(std::string name, std::uint64_t joins,
+                           std::uint64_t bursts,
+                           std::uint64_t burst_packets = 512);
+  static Phase traffic(std::string name, std::uint64_t bursts,
+                       std::uint64_t burst_packets = 256,
+                       double zipf_s = 1.1);
+  static Phase flood(std::string name, std::uint64_t bursts,
+                     std::uint64_t burst_packets = 256,
+                     double bogus_fraction = 0.8,
+                     double garbage_fraction = 0.1);
+  static Phase shutoff_storm(std::string name, std::uint64_t requests);
+  static Phase revocation_wave(std::string name, std::uint64_t revocations,
+                               std::uint64_t waves, std::uint64_t bursts,
+                               std::uint64_t burst_packets = 256);
+  static Phase replay_tamper(std::string name, std::uint64_t bursts,
+                             std::uint64_t burst_packets = 256);
+
+  const char* kind_name() const;
+};
+
+/// Everything one phase did and left behind. All fields except the
+/// `wall_*` ones are deterministic functions of (script, seed).
+struct PhaseReport {
+  std::string name;
+  const char* kind = "";
+
+  // Workload shape.
+  std::uint64_t packets = 0;        // classified through the pool
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t shutoff_requests = 0;
+  std::uint64_t revocations_applied = 0;
+
+  // Router outcome deltas (this phase only).
+  router::BorderRouter::Stats router;
+  // Merged per-worker flow-cache deltas (this phase only).
+  core::FlowCache::Stats cache;
+  // Transport deltas (flood phases inject through SimTransport::send_raw).
+  std::uint64_t rx_rejected = 0;    // frames PacketView::bind refused
+  std::uint64_t rx_delivered = 0;   // frames that reached classification
+
+  // AA deltas (shutoff storms).
+  std::uint64_t aa_accepted = 0;
+  std::uint64_t aa_rejected = 0;
+  std::uint64_t aa_hid_escalations = 0;
+
+  // World state AFTER the phase.
+  std::uint64_t epoch = 0;          // VerdictEpoch generation
+  std::uint64_t live_hosts = 0;
+  std::uint64_t revoked_entries = 0;
+  std::uint64_t host_db_bytes = 0;  // HostDb::memory_stats().total()
+  double host_db_bytes_per_host = 0.0;
+  std::uint64_t revocation_bytes = 0;
+
+  // Wall-clock (NON-deterministic — stdout only, never in scenario JSON).
+  double wall_seconds = 0.0;
+  double wall_pps = 0.0;            // packets / wall_seconds (0 if no pkts)
+  double wall_shutoff_p50_us = 0.0;
+  double wall_shutoff_p99_us = 0.0;
+};
+
+/// The world a script runs against. One Engine = one source AS with its
+/// full infrastructure plus a remote AS (victim certificates for Fig-5
+/// requests come from somewhere) and a wire-level attacker endpoint.
+class Engine {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    core::Aid aid = 64512;
+    core::Aid remote_aid = 64513;
+    /// ForwardingPool processing threads (flow-hash steered). Counter
+    /// determinism holds for any value: rings are steered by EphID hash
+    /// and each worker runs its ring in order.
+    std::size_t threads = 2;
+    std::size_t flow_cache_entries = 4096;
+    std::size_t shard_count = core::kDefaultShardCount;
+    /// Sealed legitimate-flow working set per phase (distinct EphIDs).
+    std::size_t active_flows = 256;
+    /// §VIII-G2 escalation threshold (shutoff storms trip it on purpose).
+    std::uint32_t max_revocations_per_host = 16;
+  };
+
+  explicit Engine(const Config& cfg);
+
+  /// Executes one phase, returning its report.
+  PhaseReport run_phase(const Phase& phase);
+
+  /// Executes a whole script in order.
+  std::vector<PhaseReport> run_script(const std::vector<Phase>& script);
+
+  // World access (tests poke at the internals).
+  core::AsState& as() { return *as_; }
+  router::ForwardingPool& pool() { return *pool_; }
+  services::AccountabilityAgent& aa() { return *aa_; }
+  core::ExpTime now() const { return now_; }
+  std::uint64_t live_hosts() const { return as_->host_db.size(); }
+
+  /// The deterministic per-host kHA keys of scenario host `hid` (the engine
+  /// stores no per-host key material — at 10⁶ hosts a parallel key vector
+  /// would dwarf the database being measured).
+  core::HostAsKeys host_keys(core::Hid hid) const;
+
+ private:
+  struct SealedFlow;  // one reusable sealed legitimate packet
+  class ZipfPicker;   // inverse-CDF Zipf over the working set
+
+  void do_register(std::uint64_t n, PhaseReport& r);
+  void do_leave(std::uint64_t n, PhaseReport& r);
+  void do_traffic(const Phase& p, PhaseReport& r);
+  void do_flood(const Phase& p, PhaseReport& r);
+  void do_shutoff_storm(const Phase& p, PhaseReport& r);
+  void do_revocation_wave(const Phase& p, PhaseReport& r);
+  void do_replay_tamper(const Phase& p, PhaseReport& r);
+
+  /// Rebuilds the sealed legitimate working set over the CURRENT live host
+  /// range (churn moves it).
+  std::vector<SealedFlow> build_working_set(std::size_t flows);
+  core::ShutoffRequest make_storm_request(core::Hid attacker,
+                                          std::uint32_t serial);
+  void snapshot_world(PhaseReport& r) const;
+
+  Config cfg_;
+  crypto::ChaChaRng rng_;
+  net::EventLoop loop_;
+  std::unique_ptr<core::AsState> as_;
+  std::unique_ptr<core::AsState> remote_;
+  core::AsDirectory dir_;
+  services::SubscriberRegistry subs_;
+  std::unique_ptr<services::RegistryService> rs_;
+  std::unique_ptr<services::AccountabilityAgent> aa_;
+  std::unique_ptr<router::BorderRouter> br_;
+  std::unique_ptr<router::ForwardingPool> pool_;
+  // Wire-level injection: attacker endpoint -> router RX endpoint.
+  std::unique_ptr<net::SimTransport> attacker_tx_;
+  std::unique_ptr<net::SimTransport> router_rx_;
+  net::PeerId to_router_ = 0;
+  std::vector<wire::PacketBuf> rx_staging_;  // what the rx handler caught
+
+  core::ExpTime now_;
+  /// Live scenario hosts are the contiguous HID range [first_hid_,
+  /// next_hid_): joins extend the top, diurnal leaves retire the bottom
+  /// (oldest first). Infrastructure HIDs live below kFirstScenarioHid.
+  static constexpr core::Hid kFirstScenarioHid = 65536;
+  core::Hid first_hid_ = kFirstScenarioHid;
+  core::Hid next_hid_ = kFirstScenarioHid;
+
+  // Victim identity at the remote AS (Fig-5 requester).
+  core::EphIdKeyPair victim_kp_;
+  core::EphIdCertificate victim_cert_;
+
+  // Deltas are computed against these running snapshots.
+  /// replay_tamper classifies through a dedicated replay-filter router, not
+  /// the pool; its stats accumulate here and merge into that phase's delta.
+  router::BorderRouter::Stats replay_extra_;
+  router::BorderRouter::Stats last_router_;
+  core::FlowCache::Stats last_cache_;
+  services::AccountabilityAgent::Stats last_aa_;
+  net::TransportStats last_rx_;
+};
+
+// ---- Canned scripts (what the driver and ctest run) --------------------------
+
+/// ≥ 10⁶ hosts in one AS: provisioning waves, diurnal churn, a flash
+/// crowd, steady traffic — the memory-footprint and churn story.
+std::vector<Phase> internet_scale_script(std::uint64_t hosts,
+                                         std::uint64_t traffic_bursts);
+
+/// The adversary reel: bogus-EphID flood, Fig-5 shutoff storm,
+/// mass-revocation waves, replay/tamper injection — with recovery traffic
+/// after each attack so hit-rate collapse AND recovery are both recorded.
+std::vector<Phase> attack_storms_script(std::uint64_t hosts, bool smoke);
+
+/// Population spread across many ASes, each with its own AsState +
+/// BorderRouter; inter-AS traffic classified at source egress, transit and
+/// destination ingress. Answers the "100s of ASes" half of the tentpole
+/// without paying a full Engine per AS.
+struct MultiAsConfig {
+  std::uint64_t seed = 1;
+  std::size_t as_count = 100;
+  std::uint64_t hosts_per_as = 1000;
+  std::uint64_t bursts = 8;
+  std::uint64_t burst_packets = 128;
+  /// Fraction of each AS's population churned (left + rejoined) mid-run.
+  double churn_fraction = 0.1;
+  std::size_t shard_count = 4;  // small ASes: fewer stripes, less overhead
+};
+
+struct MultiAsReport {
+  std::size_t as_count = 0;
+  std::uint64_t total_hosts = 0;
+  std::uint64_t total_host_db_bytes = 0;
+  double mean_bytes_per_host = 0.0;
+  double max_bytes_per_host = 0.0;
+  std::uint64_t forwarded_out = 0;   // source-AS egress passes
+  std::uint64_t transited = 0;       // mid-path AS transit forwards
+  std::uint64_t delivered_in = 0;    // destination-AS local deliveries
+  std::uint64_t total_drops = 0;
+  std::uint64_t churned = 0;         // hosts de- and re-registered
+  double wall_seconds = 0.0;         // stdout only
+};
+
+MultiAsReport run_multi_as(const MultiAsConfig& cfg);
+
+}  // namespace apna::scenario

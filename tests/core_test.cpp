@@ -768,5 +768,35 @@ TEST(Keys, HostAsKeysDeterministicAndSplit) {
   EXPECT_NE(hex_encode(ByteSpan(k1.enc.data(), 16)), hex_encode(k1.mac));
 }
 
+// ---- ShardedMap stripe accounting (scenario-engine memory reports) -----------
+
+TEST(ShardedMap, StripeStatsSumToSizeAndGrowWithEntries) {
+  ShardedMap<Hid, ExpTime> map(4);
+  const std::size_t empty_bytes = map.approx_memory_bytes();
+  EXPECT_GT(empty_bytes, 0u);  // stripe headers are real memory
+
+  constexpr std::size_t kN = 1000;
+  for (Hid hid = 1; hid <= kN; ++hid)
+    map.insert_or_assign(hid, static_cast<ExpTime>(hid));
+
+  const auto per_stripe = map.stripe_stats();
+  ASSERT_EQ(per_stripe.size(), map.shard_count());
+  std::size_t entries = 0, bytes = 0;
+  for (const auto& s : per_stripe) {
+    // Sequential HIDs spread across every stripe — no stripe is starved.
+    EXPECT_GT(s.entries, 0u);
+    EXPECT_GE(s.buckets, s.entries / 2);  // load factor stayed sane
+    entries += s.entries;
+    bytes += s.bytes;
+  }
+  EXPECT_EQ(entries, map.size());
+  EXPECT_EQ(entries, kN);
+  // The aggregate equals the per-stripe sum (plus the container header) and
+  // the per-entry model actually charges for the inserted entries.
+  EXPECT_EQ(map.approx_memory_bytes(), bytes + sizeof(map));
+  EXPECT_GE(map.approx_memory_bytes(),
+            empty_bytes + kN * sizeof(std::pair<const Hid, ExpTime>));
+}
+
 }  // namespace
 }  // namespace apna::core

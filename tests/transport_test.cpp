@@ -16,6 +16,11 @@
 // (UdpTransport::open returns Errc::internal in sandboxed CI).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -255,6 +260,79 @@ INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
                          [](const testing::TestParamInfo<const char*>& info) {
                            return std::string(info.param);
                          });
+
+// ---- UDP peer-table bound under an address-spoofing flood --------------------
+//
+// 10⁴ distinct source addresses (each ephemeral-port socket is a distinct
+// UDP source — the loopback equivalent of a spoofed-source flood) hit one
+// receiver whose learned-peer table holds 32 slots. The table must stay
+// bounded: new sources recycle the LRU learned slot, the explicitly added
+// (pinned) peer is never displaced, and no source falls back to
+// kUnknownPeer while unpinned slots exist.
+TEST(UdpPeerTable, SpoofedSourceFloodStaysBoundedAndEvictsLru) {
+  UdpTransport::Config cfg;
+  cfg.max_peers = 32;
+  auto opened = UdpTransport::open(cfg);
+  if (!opened.ok()) GTEST_SKIP() << "UDP sockets unavailable";
+  std::unique_ptr<UdpTransport> rx = std::move(*opened);
+
+  // Pin one peer on a port the flood's ephemeral sources can never use.
+  auto pinned = rx->add_peer("127.0.0.1", 9);
+  ASSERT_TRUE(pinned.ok());
+
+  std::uint64_t handled = 0;
+  bool saw_unknown = false, saw_pinned_id = false;
+  rx->set_rx([&](PeerId from, wire::PacketBuf) {
+    ++handled;
+    if (from == kUnknownPeer) saw_unknown = true;
+    if (from == *pinned) saw_pinned_id = true;
+  });
+
+  const wire::PacketBuf image = make_packet(6).seal();
+  const ByteSpan bytes = image.view().bytes();
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(rx->local_port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &dst.sin_addr), 1);
+
+  constexpr std::size_t kSources = 10'000;
+  for (std::size_t i = 0; i < kSources; ++i) {
+    // One throwaway socket per source: the kernel assigns a fresh ephemeral
+    // port on sendto, so every iteration presents a distinct peer address.
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    ASSERT_GE(fd, 0);
+    (void)::sendto(fd, bytes.data(), bytes.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&dst), sizeof(dst));
+    ::close(fd);
+    if (i % 64 == 63) {
+      (void)rx->poll(0);  // drain as we go so the rcvbuf never overruns
+      ASSERT_LE(rx->peer_count(), cfg.max_peers) << "after source " << i;
+    }
+  }
+  while (rx->poll(10) > 0) {
+  }
+
+  // The flood is lossy on principle (UDP), but the properties are not: the
+  // table never grew past the bound, every displaced slot was counted, and
+  // sources beyond the 31 learned slots evicted LRU rather than falling
+  // back to kUnknownPeer or touching the pinned slot.
+  EXPECT_GT(handled, 1'000u);
+  EXPECT_LE(rx->peer_count(), cfg.max_peers);
+  EXPECT_FALSE(saw_unknown);
+  EXPECT_FALSE(saw_pinned_id);
+  // Each source sent one datagram, so nearly every received packet after
+  // the 31 learned slots filled displaced one learned peer. Not exactly
+  // every: the kernel recycles ephemeral ports of closed sockets, and a
+  // reused port can match a still-resident slot (a refresh, not an
+  // eviction) — hence the slack.
+  EXPECT_GE(rx->stats().peers_evicted + 100,
+            rx->stats().rx_packets - (cfg.max_peers - 1));
+  // The pinned peer survived the whole storm: re-adding it resolves to the
+  // same slot instead of learning a new one.
+  auto again = rx->add_peer("127.0.0.1", 9);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *pinned);
+}
 
 }  // namespace
 }  // namespace apna::net
