@@ -17,9 +17,8 @@
 // two JSON artifacts are byte-identical.
 //
 // Usage:
-//   bench_scenario [--scenario=internet_scale|attack_storms|multi_as]
-//                  [--smoke] [--seed=N] [--hosts=N] [--json=PATH]
-//                  [--verify-determinism]
+//   bench_scenario [--scenario=NAME] [--smoke] [--seed=N] [--hosts=N]
+//                  [--json=PATH] [--verify-determinism] [--list] [--help]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +31,56 @@
 using namespace apna;
 
 namespace {
+
+struct ScenarioInfo {
+  const char* name;
+  const char* what;
+};
+
+constexpr ScenarioInfo kScenarios[] = {
+    {"internet_scale",
+     "1M+ hosts in one AS: provisioning, churn, flash crowd, traffic"},
+    {"attack_storms",
+     "bogus-EphID flood, Fig-5 shutoff storm, revocation waves, replay"},
+    {"multi_as", "population spread over 100s of ASes with inter-AS traffic"},
+    {"dns_storm",
+     "NXDOMAIN lookup flood against the DNS resolver (negative-cache bounds)"},
+};
+
+bool known_scenario(const std::string& name) {
+  for (const auto& s : kScenarios)
+    if (name == s.name) return true;
+  return false;
+}
+
+void print_scenarios(std::FILE* out) {
+  for (const auto& s : kScenarios)
+    std::fprintf(out, "  %-16s %s\n", s.name, s.what);
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: bench_scenario [--scenario=NAME] [--smoke] [--seed=N]\n"
+               "                      [--hosts=N] [--json=PATH]\n"
+               "                      [--verify-determinism] [--list]\n"
+               "\n"
+               "  --scenario=NAME       which canned script to run "
+               "(default: internet_scale)\n"
+               "  --smoke               tiny iteration counts (CI smoke "
+               "runs)\n"
+               "  --seed=N              RNG seed; counters are a function of "
+               "(scenario, seed)\n"
+               "  --hosts=N             population override (names for "
+               "dns_storm)\n"
+               "  --json=PATH           artifact path (default "
+               "SCENARIO_<name>.json)\n"
+               "  --verify-determinism  run twice, fail unless artifacts are "
+               "byte-identical\n"
+               "  --list                list the canned scenarios and exit\n"
+               "\n"
+               "scenarios:\n");
+  print_scenarios(out);
+}
 
 struct Options {
   std::string scenario = "internet_scale";
@@ -50,16 +99,29 @@ Options parse_args(int argc, char** argv) {
       const std::size_t n = std::strlen(prefix);
       return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
     };
-    if (a == "--smoke") o.smoke = true;
+    if (a == "--help" || a == "-h") {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (a == "--list") {
+      print_scenarios(stdout);
+      std::exit(0);
+    } else if (a == "--smoke") o.smoke = true;
     else if (a == "--verify-determinism") o.verify_determinism = true;
     else if (const char* v = val("--scenario=")) o.scenario = v;
     else if (const char* v = val("--seed=")) o.seed = std::strtoull(v, nullptr, 10);
     else if (const char* v = val("--hosts=")) o.hosts = std::strtoull(v, nullptr, 10);
     else if (const char* v = val("--json=")) o.json_path = v;
     else {
-      std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+      std::fprintf(stderr, "unknown argument: %s\n\n", a.c_str());
+      print_usage(stderr);
       std::exit(2);
     }
+  }
+  if (!known_scenario(o.scenario)) {
+    std::fprintf(stderr, "unknown scenario: %s\n\nscenarios:\n",
+                 o.scenario.c_str());
+    print_scenarios(stderr);
+    std::exit(2);
   }
   return o;
 }
@@ -102,7 +164,42 @@ void emit_phase(bench::JsonFile& json, const scenario::PhaseReport& r) {
   json.field("host_db_bytes", r.host_db_bytes);
   json.field("host_db_bytes_per_host", r.host_db_bytes_per_host, 2);
   json.field("revocation_bytes", r.revocation_bytes);
+  if (std::strcmp(r.kind, "dns_storm") == 0) {
+    json.field("dns_lookups", r.dns_lookups);
+    json.field("dns_cache_hits", r.dns_cache_hits);
+    json.field("dns_negative_hits", r.dns_negative_hits);
+    json.field("dns_zone_hits", r.dns_zone_hits);
+    json.field("dns_nxdomain", r.dns_nxdomain);
+    json.field("dns_negative_entries", r.dns_negative_entries);
+    json.field("dns_negative_capacity", r.dns_negative_capacity);
+    json.field("dns_recovery_hit_rate", r.dns_recovery_hit_rate, 4);
+  }
   json.end_object();
+}
+
+/// The dns_storm acceptance gate: NXDOMAIN floods must stay inside the
+/// negative cache's bounded slice, and the positive hit rate must recover
+/// after the storm.
+void check_dns_bounds(const std::vector<scenario::PhaseReport>& reports) {
+  for (const auto& r : reports) {
+    if (std::strcmp(r.kind, "dns_storm") != 0) continue;
+    if (r.dns_negative_entries > r.dns_negative_capacity) {
+      std::fprintf(stderr,
+                   "FATAL: phase %s holds %llu negative entries "
+                   "(cap: %llu)\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.dns_negative_entries),
+                   static_cast<unsigned long long>(r.dns_negative_capacity));
+      std::exit(1);
+    }
+    if (r.dns_recovery_hit_rate < 0.5) {
+      std::fprintf(stderr,
+                   "FATAL: phase %s positive hit rate did not recover "
+                   "(%.4f after the storm)\n",
+                   r.name.c_str(), r.dns_recovery_hit_rate);
+      std::exit(1);
+    }
+  }
 }
 
 void print_phase_table(const std::vector<scenario::PhaseReport>& reports) {
@@ -150,6 +247,9 @@ void run_engine_scenario(const Options& o, const std::string& json_path) {
   if (o.scenario == "internet_scale") {
     hosts = o.hosts ? o.hosts : 1'000'000;
     script = scenario::internet_scale_script(hosts, o.smoke ? 8 : 64);
+  } else if (o.scenario == "dns_storm") {
+    hosts = o.hosts ? o.hosts : (o.smoke ? 20'000 : 200'000);
+    script = scenario::dns_storm_script(hosts, o.smoke);
   } else {
     hosts = o.hosts ? o.hosts : (o.smoke ? 20'000 : 200'000);
     script = scenario::attack_storms_script(hosts, o.smoke);
@@ -159,6 +259,7 @@ void run_engine_scenario(const Options& o, const std::string& json_path) {
   const auto reports = engine.run_script(script);
   print_phase_table(reports);
   if (o.scenario == "internet_scale") check_memory_budget(reports);
+  if (o.scenario == "dns_storm") check_dns_bounds(reports);
 
   bench::JsonFile json(json_path);
   if (!json.ok()) fatal("cannot open JSON output");
@@ -239,10 +340,7 @@ std::string slurp(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Options o = parse_args(argc, argv);
-  if (o.scenario != "internet_scale" && o.scenario != "attack_storms" &&
-      o.scenario != "multi_as")
-    fatal("unknown --scenario (internet_scale | attack_storms | multi_as)");
+  const Options o = parse_args(argc, argv);  // rejects unknown scenarios
   const std::string json_path =
       o.json_path.empty() ? "SCENARIO_" + o.scenario + ".json" : o.json_path;
 

@@ -46,11 +46,17 @@ ctest --test-dir build-ci --output-on-failure -L bench
 # loopback traffic only, smoke-sized windows.
 ctest --test-dir build-ci --output-on-failure -L net
 # Scenario leg, explicitly in Release: the Internet-scale scripts in --smoke
-# trim (10⁶-host memory gate, attack storms, multi-AS sweep — each re-runs
-# itself to verify byte-identical JSON) plus the scenario property tests.
-# Release only: the 10⁶-host provisioning loop is what the gate measures,
-# and sanitizer legs would spend minutes proving nothing new about it.
+# trim (10⁶-host memory gate, attack storms, multi-AS sweep, DNS NXDOMAIN
+# storm — each re-runs itself to verify byte-identical JSON) plus the
+# scenario property tests. Release only: the 10⁶-host provisioning loop is
+# what the gate measures, and sanitizer legs would spend minutes proving
+# nothing new about it.
 ctest --test-dir build-ci --output-on-failure -L scenario
+# DNS resolver leg, explicitly in Release: the wire codec, sharded
+# TTL/negative cache, domain-policy trie and upstream timeout/backoff suites
+# (bench_smoke_e7 — the 50k-name bytes/name + negative-bound gates — rides
+# the bench label above).
+ctest --test-dir build-ci --output-on-failure -L dns
 
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 # Wire-image property suites, explicitly under ASan/UBSan: PacketView::bind
@@ -65,6 +71,10 @@ ctest --test-dir build-sanitize --output-on-failure -L services
 # MSG_TRUNC oversize arm, and bind() over adversarial datagrams are exactly
 # where a syscall-boundary bounds bug would hide.
 ctest --test-dir build-sanitize --output-on-failure -L net
+# DNS resolver under ASan/UBSan: the name codec's per-byte truncation
+# properties, the arena-backed cache (size-class slabs, backward-shift
+# deletion) and the trie edge splits are where a bounds bug would hide.
+ctest --test-dir build-sanitize --output-on-failure -L dns
 
 echo "=== [tsan] configure"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \
@@ -75,11 +85,14 @@ echo "=== [tsan] build (concurrency-labelled tests only)"
 # ForwardingPool, per-worker FlowCaches and the striped revocation tables
 # under racing epoch bumps — the attack-time interleavings the fixed-size
 # concurrency tests don't reach.
+# dns_concurrency_test rides the TSan leg too: resolver lookups racing zone
+# put/erase and domain-policy churn, plus the M-worker ResolverPool — the
+# lock-striped cache's epoch-stamping discipline under real interleavings.
 cmake --build build-tsan -j "${jobs}" \
   --target router_concurrency_test router_test core_test control_plane_test \
-  flow_cache_test scenario_test
+  flow_cache_test scenario_test dns_concurrency_test
 echo "=== [tsan] test"
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test|scenario_test)$'
+  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test|scenario_test|dns_concurrency_test)$'
 
 echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

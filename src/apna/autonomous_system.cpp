@@ -41,8 +41,13 @@ AutonomousSystem::AutonomousSystem(Config cfg, net::EventLoop& loop,
       *state_, loop_, rng_, std::move(ms_ident), cfg_.lifetimes);
   aa_ = std::make_unique<services::AccountabilityAgent>(
       *state_, directory_, loop_, std::move(aa_ident));
-  dns_ = std::make_unique<services::DnsService>(
-      *state_, directory_, loop_, rng_, std::move(dns_ident), zone);
+  resolver_ = std::make_unique<dns::Resolver>(zone, loop_, cfg_.dns);
+  resolver_->set_accountability(aa_.get());
+  // The AA consumes the resolver's trie-backed policy through its hook, so
+  // per-domain shutoff rules ride the Fig-5 revocation path.
+  aa_->set_domain_policy(&resolver_->policy());
+  dns_ = std::make_unique<dns::DnsService>(
+      *state_, directory_, loop_, rng_, std::move(dns_ident), *resolver_);
 
   router::BorderRouter::Callbacks br_cb;
   br_cb.send_external = [this](wire::PacketBuf pkt) -> Result<void> {

@@ -15,9 +15,11 @@
 #include "net/network.h"
 #include "net/sim.h"
 #include "net/topology.h"
+#include "dns/dns_service.h"
+#include "dns/resolver.h"
 #include "router/border_router.h"
 #include "services/accountability_agent.h"
-#include "services/dns_service.h"
+#include "services/dns_zone.h"
 #include "services/management_service.h"
 #include "services/registry_service.h"
 #include "services/service_runtime.h"
@@ -35,6 +37,7 @@ class AutonomousSystem {
     services::ManagementService::LifetimePolicy lifetimes{};
     router::BorderRouter::Config br{};
     services::RegistryService::Config rs{};
+    dns::Resolver::Config dns{};
   };
 
   AutonomousSystem(Config cfg, net::EventLoop& loop, net::Topology& topo,
@@ -87,7 +90,10 @@ class AutonomousSystem {
   services::RegistryService& rs() { return *rs_; }
   services::ManagementService& ms() { return *ms_; }
   services::AccountabilityAgent& aa() { return *aa_; }
-  services::DnsService& dns() { return *dns_; }
+  dns::DnsService& dns() { return *dns_; }
+  /// This AS's resolver: shared-zone lookups through the per-AS cache and
+  /// domain policy (wired into the AA's DomainPolicy hook).
+  dns::Resolver& resolver() { return *resolver_; }
   /// The control-plane fabric: routes inbound control packets to the
   /// service owning the destination EphID (MS, AA, DNS).
   services::ServiceDispatcher& dispatcher() { return *dispatcher_; }
@@ -115,7 +121,8 @@ class AutonomousSystem {
   std::unique_ptr<services::RegistryService> rs_;
   std::unique_ptr<services::ManagementService> ms_;
   std::unique_ptr<services::AccountabilityAgent> aa_;
-  std::unique_ptr<services::DnsService> dns_;
+  std::unique_ptr<dns::Resolver> resolver_;
+  std::unique_ptr<dns::DnsService> dns_;
   std::unique_ptr<services::ServiceDispatcher> dispatcher_;
   std::unique_ptr<router::BorderRouter> br_;
 

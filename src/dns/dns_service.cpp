@@ -1,9 +1,10 @@
-#include "services/dns_service.h"
+#include "dns/dns_service.h"
 
 #include "core/packet_auth.h"
+#include "dns/dns_wire.h"
 #include "wire/msg_codec.h"
 
-namespace apna::services {
+namespace apna::dns {
 
 core::DnsRecord DnsService::sign_record(const std::string& name,
                                         const core::EphIdCertificate& cert,
@@ -21,19 +22,35 @@ core::DnsRecord DnsService::sign_record(const std::string& name,
 Result<core::DnsResponse> DnsService::resolve(const core::DnsQuery& q) {
   ++counters_.queries;
   core::DnsResponse resp;
-  if (auto rec = zone_.get(q.name)) {
-    resp.status = 0;
-    resp.record = *rec;
-    // Validating-resolver model: the zone entry was signed by the DNS
-    // service that accepted the publication; the serving resolver re-signs
-    // so clients verify against the key of the server they actually speak
-    // to (the DNSSEC chain stand-in ends at the resolver).
-    wire::MsgWriter tbs(256);
-    resp.record->tbs_into(tbs);
-    resp.record->sig = ident_.kp.sign(tbs.span());
-  } else {
-    ++counters_.nxdomain;
-    resp.status = 1;
+  const Resolver::Answer a = resolver_.resolve(q.name, loop_.now_seconds());
+  switch (a.status) {
+    case Resolver::Status::ok: {
+      resp.status = 0;
+      resp.record = a.record;
+      // Validating-resolver model: the zone entry was signed by the DNS
+      // service that accepted the publication; the serving resolver
+      // re-signs so clients verify against the key of the server they
+      // actually speak to (the DNSSEC chain stand-in ends at the
+      // resolver). Ed25519 is deterministic, so a cached answer re-signs
+      // byte-identically to an uncached one.
+      wire::MsgWriter tbs(256);
+      resp.record->tbs_into(tbs);
+      resp.record->sig = ident_.kp.sign(tbs.span());
+      break;
+    }
+    case Resolver::Status::nxdomain:
+      ++counters_.nxdomain;
+      resp.status = 1;
+      break;
+    case Resolver::Status::blocked:
+      ++counters_.blocked;
+      resp.status = 2;
+      break;
+    case Resolver::Status::servfail:
+    case Resolver::Status::invalid:
+      ++counters_.rejected;
+      resp.status = 3;
+      break;
   }
   return resp;
 }
@@ -41,13 +58,22 @@ Result<core::DnsResponse> DnsService::resolve(const core::DnsQuery& q) {
 Result<void> DnsService::publish(const core::DnsPublish& p) {
   // The published certificate must be valid and issued by a known AS; the
   // DNS then re-signs the record (the DNSSEC chain).
-  if (auto ok = core::validate_peer_cert(p.cert, directory_,
-                                         loop_.now_seconds());
-      !ok) {
+  const core::ExpTime now = loop_.now_seconds();
+  if (auto ok = core::validate_peer_cert(p.cert, directory_, now); !ok) {
     ++counters_.rejected;
     return ok;
   }
-  zone_.put(sign_record(p.name, p.cert, p.ipv4));
+  // Records land in the zone in canonical form so lookups and policy see
+  // one spelling per name.
+  const std::string canon = canonical_name(p.name);
+  if (auto ok = resolver_.admit_publish(canon, p.cert.ephid, now); !ok) {
+    if (ok.code() == Errc::unauthorized)
+      ++counters_.blocked;
+    else
+      ++counters_.rejected;
+    return ok;
+  }
+  resolver_.zone().put(sign_record(canon, p.cert, p.ipv4));
   ++counters_.publications;
   return Result<void>::success();
 }
@@ -161,4 +187,4 @@ Result<wire::PacketBuf> DnsService::handle_packet(
   return Result<wire::PacketBuf>(Errc::malformed, "DNS expects handshake/data");
 }
 
-}  // namespace apna::services
+}  // namespace apna::dns

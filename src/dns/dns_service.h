@@ -1,21 +1,19 @@
-// DNS service (§VII-A).
+// DNS service (§VII-A) — the session-facing front of the resolver.
 //
-// Stores signed records binding names to (receive-only) EphID certificates.
-// Queries and publications run over ordinary APNA encrypted sessions — "DNS
-// queries are encrypted just like any other data communication" — so only
-// the DNS server and the querying host see names. Record signatures by the
-// DNS service's EphID key stand in for DNSSEC.
+// Queries and publications run over ordinary APNA encrypted sessions —
+// "DNS queries are encrypted just like any other data communication" — so
+// only the DNS server and the querying host see names. Record signatures
+// by the DNS service's EphID key stand in for DNSSEC.
 //
-// The zone store is shared: several ASes' DNS services can serve one global
-// zone, modelling public DNS. A host may therefore query a *trusted* DNS in
-// a different AS to keep its queries away from its own AS (§VII-A
-// "Protecting DNS Queries").
+// Rewritten (ROADMAP item 2) on top of the dns subsystem: every lookup
+// goes through dns::Resolver (domain policy → sharded TTL/negative cache →
+// shared zone), publications are admitted through the AccountabilityAgent's
+// DomainPolicy hook before they are signed into the zone, and the session
+// frame ops keep the original one-byte codes (host/host.cpp mirrors them).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -23,63 +21,38 @@
 #include "core/handshake.h"
 #include "core/messages.h"
 #include "crypto/rng.h"
+#include "dns/resolver.h"
 #include "net/sim.h"
 #include "services/service_identity.h"
 #include "services/service_runtime.h"
 #include "wire/packet_buf.h"
 
-namespace apna::services {
-
-/// Shared name → record store (the global zone data).
-class DnsZone {
- public:
-  void put(const core::DnsRecord& rec) {
-    std::lock_guard lock(mu_);
-    records_[rec.name] = rec;
-  }
-  std::optional<core::DnsRecord> get(const std::string& name) const {
-    std::lock_guard lock(mu_);
-    auto it = records_.find(name);
-    if (it == records_.end()) return std::nullopt;
-    return it->second;
-  }
-  bool erase(const std::string& name) {
-    std::lock_guard lock(mu_);
-    return records_.erase(name) > 0;
-  }
-  std::size_t size() const {
-    std::lock_guard lock(mu_);
-    return records_.size();
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, core::DnsRecord> records_;
-};
+namespace apna::dns {
 
 /// Session-layer operation codes carried in DNS data frames.
 enum class DnsOp : std::uint8_t { query = 0, publish = 1, response = 2 };
 
-class DnsService : public ControlService {
+class DnsService : public services::ControlService {
  public:
   /// Plain copyable counters — what stats() returns.
   struct Stats {
     std::uint64_t queries = 0;
     std::uint64_t nxdomain = 0;
+    std::uint64_t blocked = 0;  // domain-policy refusals (query or publish)
     std::uint64_t publications = 0;
     std::uint64_t sessions = 0;
     std::uint64_t rejected = 0;
   };
 
   DnsService(core::AsState& as, const core::AsDirectory& directory,
-             net::EventLoop& loop, crypto::Rng& rng, ServiceIdentity ident,
-             DnsZone& zone)
+             net::EventLoop& loop, crypto::Rng& rng,
+             services::ServiceIdentity ident, Resolver& resolver)
       : as_(as),
         directory_(directory),
         loop_(loop),
         rng_(rng),
         ident_(std::move(ident)),
-        zone_(zone) {}
+        resolver_(resolver) {}
 
   // ---- ControlService --------------------------------------------------------
   const core::EphId& service_ephid() const override {
@@ -97,12 +70,14 @@ class DnsService : public ControlService {
                               const core::EphIdCertificate& cert,
                               std::uint32_t ipv4) const;
 
-  /// Local-resolver conveniences (in-AS callers and tests).
+  /// Local-resolver conveniences (in-AS callers and tests). Response
+  /// status: 0 ok, 1 NXDOMAIN, 2 refused (domain policy), 3 servfail.
   Result<core::DnsResponse> resolve(const core::DnsQuery& q);
   Result<void> publish(const core::DnsPublish& p);
 
+  Resolver& resolver() { return resolver_; }
   const core::EphIdCertificate& cert() const { return ident_.cert; }
-  const ServiceIdentity& identity() const { return ident_; }
+  const services::ServiceIdentity& identity() const { return ident_; }
   const crypto::Ed25519PublicKey& record_key() const {
     return ident_.kp.pub.sig;
   }
@@ -110,6 +85,7 @@ class DnsService : public ControlService {
     Stats s;
     s.queries = counters_.queries.load(std::memory_order_relaxed);
     s.nxdomain = counters_.nxdomain.load(std::memory_order_relaxed);
+    s.blocked = counters_.blocked.load(std::memory_order_relaxed);
     s.publications = counters_.publications.load(std::memory_order_relaxed);
     s.sessions = counters_.sessions.load(std::memory_order_relaxed);
     s.rejected = counters_.rejected.load(std::memory_order_relaxed);
@@ -124,6 +100,7 @@ class DnsService : public ControlService {
   struct Counters {
     std::atomic<std::uint64_t> queries{0};
     std::atomic<std::uint64_t> nxdomain{0};
+    std::atomic<std::uint64_t> blocked{0};
     std::atomic<std::uint64_t> publications{0};
     std::atomic<std::uint64_t> sessions{0};
     std::atomic<std::uint64_t> rejected{0};
@@ -133,12 +110,12 @@ class DnsService : public ControlService {
   const core::AsDirectory& directory_;
   net::EventLoop& loop_;
   crypto::Rng& rng_;
-  ServiceIdentity ident_;
-  DnsZone& zone_;
+  services::ServiceIdentity ident_;
+  Resolver& resolver_;
   Counters counters_;
   std::uint64_t nonce_ = 1;
   // Live sessions keyed by client EphID.
   std::unordered_map<core::EphId, core::Session, core::EphIdHash> sessions_;
 };
 
-}  // namespace apna::services
+}  // namespace apna::dns

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 #include "core/packet_auth.h"
@@ -113,6 +114,19 @@ Phase Phase::replay_tamper(std::string name, std::uint64_t bursts,
   return p;
 }
 
+Phase Phase::dns_storm(std::string name, std::uint64_t names,
+                       std::uint64_t junk_lookups, std::uint64_t bursts,
+                       std::uint64_t burst_packets) {
+  Phase p;
+  p.kind = Kind::dns_storm;
+  p.name = std::move(name);
+  p.joins = names;
+  p.requests = junk_lookups;
+  p.bursts = bursts;
+  p.burst_packets = burst_packets;
+  return p;
+}
+
 const char* Phase::kind_name() const {
   switch (kind) {
     case Kind::register_hosts: return "register_hosts";
@@ -123,6 +137,7 @@ const char* Phase::kind_name() const {
     case Kind::shutoff_storm: return "shutoff_storm";
     case Kind::revocation_wave: return "revocation_wave";
     case Kind::replay_tamper: return "replay_tamper";
+    case Kind::dns_storm: return "dns_storm";
   }
   return "?";
 }
@@ -476,6 +491,77 @@ void Engine::do_replay_tamper(const Phase& p, PhaseReport& r) {
   }
 }
 
+void Engine::ensure_dns() {
+  if (dns_resolver_) return;
+  dns_zone_ = std::make_unique<services::DnsZone>(cfg_.shard_count);
+  dns::Resolver::Config rc;
+  // Deliberately much smaller than the published working set can grow: the
+  // storm has to contend for slots or the bounds being proven are vacuous.
+  rc.cache.capacity = 1 << 14;
+  dns_resolver_ = std::make_unique<dns::Resolver>(*dns_zone_, loop_, rc);
+}
+
+namespace {
+std::string scenario_dns_name(std::uint64_t i) {
+  return "h" + std::to_string(i) + ".svc.apna.example";
+}
+}  // namespace
+
+void Engine::do_dns_storm(const Phase& p, PhaseReport& r) {
+  ensure_dns();
+  // Top up the positive working set (records carry an unsigned cert — the
+  // resolver path under test does not verify publication signatures).
+  for (std::uint64_t i = dns_names_; i < p.joins; ++i) {
+    core::DnsRecord rec;
+    rec.name = scenario_dns_name(i);
+    rec.ipv4 = static_cast<std::uint32_t>(i + 1);
+    rec.cert.aid = cfg_.aid;
+    rec.cert.exp_time = now_ + 86400;
+    dns_zone_->put(rec);
+  }
+  dns_names_ = std::max(dns_names_, p.joins);
+
+  const auto before = dns_resolver_->stats();
+  ZipfPicker zipf(static_cast<std::size_t>(dns_names_), p.zipf_s,
+                  rng_.next_u64());
+  auto positive_pass = [&] {
+    for (std::uint64_t b = 0; b < p.bursts; ++b) {
+      for (std::uint64_t k = 0; k < p.burst_packets; ++k)
+        dns_resolver_->resolve(scenario_dns_name(zipf.next()), now_);
+      ++now_;
+    }
+  };
+  positive_pass();  // warm the cache with the legitimate distribution
+
+  // The storm: random junk names, every one an NXDOMAIN. These MUST land in
+  // the negative cache's bounded slice — never evict positives past it.
+  for (std::uint64_t i = 0; i < p.requests; ++i) {
+    char junk[20];
+    std::snprintf(junk, sizeof junk, "x%016llx",
+                  static_cast<unsigned long long>(rng_.next_u64()));
+    dns_resolver_->resolve(std::string(junk) + ".flood.example", now_);
+  }
+
+  // Recovery: the same positive distribution again — its hit rate is the
+  // "cache survived the storm" signal.
+  const auto mid = dns_resolver_->stats();
+  positive_pass();
+  const auto after = dns_resolver_->stats();
+
+  r.packets += after.lookups - before.lookups;
+  r.dns_lookups = after.lookups - before.lookups;
+  r.dns_cache_hits = after.cache_hits - before.cache_hits;
+  r.dns_negative_hits = after.negative_hits - before.negative_hits;
+  r.dns_zone_hits = after.zone_hits - before.zone_hits;
+  r.dns_nxdomain = after.nxdomain - before.nxdomain;
+  r.dns_negative_entries = dns_resolver_->cache().negative_size();
+  r.dns_negative_capacity = dns_resolver_->cache().negative_capacity();
+  const std::uint64_t rec_lookups = after.lookups - mid.lookups;
+  const std::uint64_t rec_hits = after.cache_hits - mid.cache_hits;
+  r.dns_recovery_hit_rate =
+      rec_lookups ? static_cast<double>(rec_hits) / rec_lookups : 0.0;
+}
+
 void Engine::snapshot_world(PhaseReport& r) const {
   r.epoch = as_->epoch.current();
   r.live_hosts = as_->host_db.size();
@@ -515,6 +601,9 @@ PhaseReport Engine::run_phase(const Phase& p) {
       break;
     case Phase::Kind::replay_tamper:
       do_replay_tamper(p, r);
+      break;
+    case Phase::Kind::dns_storm:
+      do_dns_storm(p, r);
       break;
   }
   r.wall_seconds = seconds_since(t0);
@@ -588,6 +677,21 @@ std::vector<Phase> attack_storms_script(std::uint64_t hosts, bool smoke) {
                              256),
       Phase::traffic("recovery_after_revocation", b, 256),
       Phase::replay_tamper("replay_tamper", b, 256),
+  };
+}
+
+std::vector<Phase> dns_storm_script(std::uint64_t names, bool smoke) {
+  const std::uint64_t b = smoke ? 8 : 64;
+  const std::uint64_t junk = smoke ? 50'000 : 2'000'000;
+  return {
+      // Baseline: publish + warm with no storm (recovery rate here is the
+      // healthy reference).
+      Phase::dns_storm("dns_baseline", names, 0, b, 512),
+      // The storm proper: junk NXDOMAIN flood between the two positive
+      // passes.
+      Phase::dns_storm("dns_nxdomain_storm", names, junk, b, 512),
+      // Post-storm steady state: bounds held, hit rate back to baseline.
+      Phase::dns_storm("dns_recovery", names, 0, b, 512),
   };
 }
 

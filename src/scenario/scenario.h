@@ -35,6 +35,10 @@
 //                    with classify bursts to expose the hit collapse
 //   replay_tamper    duplicate + tampered copies of legitimate packets
 //                    against a replay-filter router (§VIII-D)
+//   dns_storm        random-name lookup flood against the DNS resolver
+//                    (src/dns): NXDOMAIN storms must stay inside the
+//                    negative cache's bounded slice and the positive hit
+//                    rate must recover after the storm (§VII-A at scale)
 //
 // Determinism contract (asserted by the driver's --verify-determinism and
 // the `scenario` ctest entries): every workload decision flows from
@@ -54,6 +58,7 @@
 #include "core/as_directory.h"
 #include "core/as_state.h"
 #include "core/flow_cache.h"
+#include "dns/resolver.h"
 #include "net/sim.h"
 #include "net/transport.h"
 #include "router/border_router.h"
@@ -77,6 +82,7 @@ struct Phase {
     shutoff_storm,
     revocation_wave,
     replay_tamper,
+    dns_storm,
   };
 
   Kind kind = Kind::traffic;
@@ -85,7 +91,7 @@ struct Phase {
   std::uint64_t leaves = 0;       // churn / flash_crowd
   std::uint64_t bursts = 0;       // traffic-driving phases
   std::uint64_t burst_packets = 256;
-  std::uint64_t requests = 0;     // shutoff_storm
+  std::uint64_t requests = 0;     // shutoff_storm / dns_storm (junk lookups)
   std::uint64_t revocations = 0;  // revocation_wave
   std::uint64_t waves = 1;        // revocation_wave: revocations split over
                                   // this many epoch-bumping waves
@@ -113,6 +119,13 @@ struct Phase {
                                std::uint64_t burst_packets = 256);
   static Phase replay_tamper(std::string name, std::uint64_t bursts,
                              std::uint64_t burst_packets = 256);
+  /// `names` positive records published to the zone (topped up, never
+  /// shrunk), `junk_lookups` random NXDOMAIN lookups between two identical
+  /// Zipf positive passes of bursts × burst_packets lookups each (warm /
+  /// recovery).
+  static Phase dns_storm(std::string name, std::uint64_t names,
+                         std::uint64_t junk_lookups, std::uint64_t bursts,
+                         std::uint64_t burst_packets = 256);
 
   const char* kind_name() const;
 };
@@ -142,6 +155,18 @@ struct PhaseReport {
   std::uint64_t aa_accepted = 0;
   std::uint64_t aa_rejected = 0;
   std::uint64_t aa_hid_escalations = 0;
+
+  // DNS resolver deltas (dns_storm phases only; zero elsewhere and omitted
+  // from the scenario JSON for other phase kinds).
+  std::uint64_t dns_lookups = 0;
+  std::uint64_t dns_cache_hits = 0;
+  std::uint64_t dns_negative_hits = 0;
+  std::uint64_t dns_zone_hits = 0;
+  std::uint64_t dns_nxdomain = 0;
+  std::uint64_t dns_negative_entries = 0;   // gauge AFTER the phase
+  std::uint64_t dns_negative_capacity = 0;  // gauge: the cache's hard cap
+  /// Positive-pass hit rate after the storm — the recovery signal.
+  double dns_recovery_hit_rate = 0.0;
 
   // World state AFTER the phase.
   std::uint64_t epoch = 0;          // VerdictEpoch generation
@@ -199,6 +224,9 @@ class Engine {
   /// would dwarf the database being measured).
   core::HostAsKeys host_keys(core::Hid hid) const;
 
+  /// The dns_storm infrastructure (null until the first dns_storm phase).
+  dns::Resolver* resolver() { return dns_resolver_.get(); }
+
  private:
   struct SealedFlow;  // one reusable sealed legitimate packet
   class ZipfPicker;   // inverse-CDF Zipf over the working set
@@ -210,6 +238,10 @@ class Engine {
   void do_shutoff_storm(const Phase& p, PhaseReport& r);
   void do_revocation_wave(const Phase& p, PhaseReport& r);
   void do_replay_tamper(const Phase& p, PhaseReport& r);
+  void do_dns_storm(const Phase& p, PhaseReport& r);
+  /// Lazily builds the DNS zone + resolver — only dns_storm scripts pay for
+  /// them.
+  void ensure_dns();
 
   /// Rebuilds the sealed legitimate working set over the CURRENT live host
   /// range (churn moves it).
@@ -255,6 +287,11 @@ class Engine {
   core::FlowCache::Stats last_cache_;
   services::AccountabilityAgent::Stats last_aa_;
   net::TransportStats last_rx_;
+
+  // dns_storm world (lazy — see ensure_dns).
+  std::unique_ptr<services::DnsZone> dns_zone_;
+  std::unique_ptr<dns::Resolver> dns_resolver_;
+  std::uint64_t dns_names_ = 0;  // positive records published so far
 };
 
 // ---- Canned scripts (what the driver and ctest run) --------------------------
@@ -268,6 +305,12 @@ std::vector<Phase> internet_scale_script(std::uint64_t hosts,
 /// mass-revocation waves, replay/tamper injection — with recovery traffic
 /// after each attack so hit-rate collapse AND recovery are both recorded.
 std::vector<Phase> attack_storms_script(std::uint64_t hosts, bool smoke);
+
+/// The §VII-A resolver under fire: publish `names` records, warm the
+/// cache, flood it with random NXDOMAIN lookups, and measure the recovery
+/// — negative entries must stay inside the cache's bounded slice and the
+/// positive hit rate must come back.
+std::vector<Phase> dns_storm_script(std::uint64_t names, bool smoke);
 
 /// Population spread across many ASes, each with its own AsState +
 /// BorderRouter; inter-AS traffic classified at source egress, transit and

@@ -21,6 +21,7 @@ AccountabilityAgent::Stats AccountabilityAgent::stats() const {
   s.revocation_instructions = ld(counters_.revocation_instructions);
   s.onpath_accepted = ld(counters_.onpath_accepted);
   s.voluntary_revocations = ld(counters_.voluntary_revocations);
+  s.domain_blocks = ld(counters_.domain_blocks);
   return s;
 }
 
@@ -164,6 +165,24 @@ Result<void> AccountabilityAgent::process_revoke(
     return r;
   ++counters_.voluntary_revocations;
   return Result<void>::success();
+}
+
+Result<void> AccountabilityAgent::enforce_domain_policy(
+    std::string_view name, const core::EphId& ephid, core::ExpTime now) {
+  const DomainPolicy* policy = policy_;
+  if (policy == nullptr) return Result<void>::success();
+  std::string matched;
+  if (!policy->blocked(name, &matched)) return Result<void>::success();
+  ++counters_.domain_blocks;
+  // Revoke through the same MAC_kAS tail as a granted shutoff request —
+  // but only for EphIDs WE issued; a record published under a foreign
+  // AS's EphID is blocked at the resolver, not revoked here.
+  if (auto plain = as_.codec.open(ephid);
+      plain && plain->exp_time >= now) {
+    if (auto r = instruct_revocation(ephid, plain->exp_time, plain->hid); !r)
+      return r;
+  }
+  return Result<void>(Errc::unauthorized, "domain blocked by policy");
 }
 
 core::ShutoffRequest AccountabilityAgent::make_onpath_request(

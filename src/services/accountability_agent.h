@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string_view>
 
 #include "core/as_directory.h"
 #include "core/as_state.h"
@@ -31,6 +32,18 @@
 #include "wire/packet_buf.h"
 
 namespace apna::services {
+
+/// Per-domain accountability policy hook (§VIII-G at domain granularity):
+/// the DNS layer implements this over a longest-parent-suffix trie
+/// (dns/domain_trie.h), so a rule at "evil.com" covers every subdomain.
+/// Implementations must be safe for concurrent blocked() calls.
+class DomainPolicy {
+ public:
+  virtual ~DomainPolicy() = default;
+  /// True when `name` or any parent domain carries a block rule. When
+  /// matched and `matched` is non-null, receives the rule's domain.
+  virtual bool blocked(std::string_view name, std::string* matched) const = 0;
+};
 
 class AccountabilityAgent : public ControlService {
  public:
@@ -48,6 +61,7 @@ class AccountabilityAgent : public ControlService {
     std::uint64_t revocation_instructions = 0;  // MAC_kAS messages to BRs
     std::uint64_t onpath_accepted = 0;        // §VIII-C extension
     std::uint64_t voluntary_revocations = 0;  // §VIII-G2 host-initiated
+    std::uint64_t domain_blocks = 0;          // DomainPolicy hits enforced
   };
 
   AccountabilityAgent(core::AsState& as, const core::AsDirectory& directory,
@@ -79,6 +93,22 @@ class AccountabilityAgent : public ControlService {
   core::ShutoffRequest make_onpath_request(
       const wire::PacketView& observed) const;
 
+  /// Installs the per-domain policy (not owned; wire before concurrent
+  /// use). Null disables domain enforcement.
+  void set_domain_policy(const DomainPolicy* policy) { policy_ = policy; }
+  const DomainPolicy* domain_policy() const { return policy_; }
+
+  /// Domain-granular shutoff riding the Fig-5 tail: when the configured
+  /// policy blocks `name`, the EphID published under it is revoked through
+  /// the same MAC_kAS instruction path as a shutoff request (including the
+  /// §VIII-G2 escalation), and Errc::unauthorized is returned so the
+  /// caller rejects the publication/record. Foreign EphIDs (not decodable
+  /// under our kA) are still blocked, just with nothing to revoke locally.
+  /// Success means the name is not blocked. Thread-safe.
+  Result<void> enforce_domain_policy(std::string_view name,
+                                     const core::EphId& ephid,
+                                     core::ExpTime now);
+
   const core::EphIdCertificate& cert() const { return ident_.cert; }
   const ServiceIdentity& identity() const { return ident_; }
   Stats stats() const;
@@ -102,12 +132,14 @@ class AccountabilityAgent : public ControlService {
     std::atomic<std::uint64_t> revocation_instructions{0};
     std::atomic<std::uint64_t> onpath_accepted{0};
     std::atomic<std::uint64_t> voluntary_revocations{0};
+    std::atomic<std::uint64_t> domain_blocks{0};
   };
 
   core::AsState& as_;
   const core::AsDirectory& directory_;
   net::EventLoop& loop_;
   ServiceIdentity ident_;
+  const DomainPolicy* policy_ = nullptr;  // wired once at AS assembly
   Counters counters_;
 };
 

@@ -1,0 +1,190 @@
+// Shared DNS zone store (§VII-A zone data).
+//
+// The authoritative name → signed-record table behind the DNS resolvers.
+// The store is shared on purpose: several ASes' DNS services can serve one
+// global zone, modelling public DNS, so a host may query a *trusted* DNS in
+// a different AS to keep its queries away from its own AS (§VII-A
+// "Protecting DNS Queries").
+//
+// Lock-striped like the rest of the per-AS tables (core/sharded.h): stripes
+// keyed by a seeded name hash, atomic hit/miss/insert/erase counters
+// exposed as a copyable Stats snapshot, and a borrow path (with_record)
+// that runs a short functor under the stripe lock instead of copying the
+// whole record out.
+//
+// Invalidation contract: the zone owns a core::VerdictEpoch and bumps it
+// AFTER every mutation — including plain inserts. Unlike the forwarding
+// epoch (where a new host cannot turn a cached pass into a drop), DNS
+// caches hold NEGATIVE answers, so an insert can invalidate a cached
+// NXDOMAIN; every put/erase therefore bumps. Downstream caches stamp
+// entries with the generation they were filled under (dns/dns_cache.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/messages.h"
+#include "core/sharded.h"
+
+namespace apna::services {
+
+class DnsZone {
+ public:
+  /// Plain copyable counters — what stats() returns.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t erases = 0;
+  };
+
+  explicit DnsZone(std::size_t shard_count = core::kDefaultShardCount)
+      : count_(core::round_up_pow2(shard_count == 0 ? 1 : shard_count)),
+        mask_(count_ - 1),
+        shards_(std::make_unique<Shard[]>(count_)) {}
+
+  void put(const core::DnsRecord& rec) {
+    {
+      Shard& s = shard(rec.name);
+      std::lock_guard lock(s.mu);
+      s.map[rec.name] = rec;
+    }
+    counters_.inserts.fetch_add(1, std::memory_order_relaxed);
+    epoch_.bump();  // after the mutation is visible (core/sharded.h contract)
+  }
+
+  /// Copy-out lookup (cold paths and tests). Counts hit/miss.
+  std::optional<core::DnsRecord> get(const std::string& name) const {
+    const Shard& s = shard(name);
+    std::lock_guard lock(s.mu);
+    auto it = s.map.find(name);
+    if (it == s.map.end()) {
+      counters_.misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  /// Borrow path for the hot lookup: runs `fn(const core::DnsRecord&)`
+  /// under the stripe lock — no key or record copy (heterogeneous lookup),
+  /// so misses and callers that only need a few fields never touch the
+  /// heap. `fn` must be short and must not call back into the zone.
+  /// Returns false on miss. Counts hit/miss.
+  template <class Fn>
+  bool with_record(std::string_view name, Fn&& fn) const {
+    const Shard& s = shard(name);
+    std::lock_guard lock(s.mu);
+    auto it = s.map.find(name);
+    if (it == s.map.end()) {
+      counters_.misses.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    fn(it->second);
+    return true;
+  }
+
+  bool erase(const std::string& name) {
+    bool erased;
+    {
+      Shard& s = shard(name);
+      std::lock_guard lock(s.mu);
+      erased = s.map.erase(name) > 0;
+    }
+    if (erased) {
+      counters_.erases.fetch_add(1, std::memory_order_relaxed);
+      epoch_.bump();
+    }
+    return erased;
+  }
+
+  /// Visits every record under the stripe locks, one stripe at a time
+  /// (policy sweeps, audits). Same functor rules as with_record.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Shard& s = shards_[i];
+      std::lock_guard lock(s.mu);
+      for (const auto& [name, rec] : s.map) fn(rec);
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) {
+      std::lock_guard lock(shards_[i].mu);
+      n += shards_[i].map.size();
+    }
+    return n;
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.hits = counters_.hits.load(std::memory_order_relaxed);
+    s.misses = counters_.misses.load(std::memory_order_relaxed);
+    s.inserts = counters_.inserts.load(std::memory_order_relaxed);
+    s.erases = counters_.erases.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Generation counter bumped after every put/erase — the invalidation
+  /// channel for resolver caches (positive AND negative entries).
+  const core::VerdictEpoch& epoch() const { return epoch_; }
+
+ private:
+  struct NameHashFn {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const { return name_hash(s); }
+  };
+  struct NameEqFn {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, core::DnsRecord, NameHashFn, NameEqFn> map;
+  };
+
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> erases{0};
+  };
+
+  static std::size_t name_hash(std::string_view name) {
+    // FNV-1a with a final mix; stripe selection uses the TOP bits so the
+    // resolver cache (which stripes and probes on the LOW bits of its own
+    // hash) never correlates with zone striping.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  Shard& shard(std::string_view name) const {
+    return shards_[(name_hash(name) >> 56) & mask_];
+  }
+
+  std::size_t count_;
+  std::size_t mask_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable Counters counters_;  // const lookups still count hits/misses
+  core::VerdictEpoch epoch_;
+};
+
+}  // namespace apna::services

@@ -12,7 +12,7 @@
 #include "crypto/x25519.h"
 #include "host/ephid_pool.h"
 #include "services/accountability_agent.h"
-#include "services/dns_service.h"
+#include "dns/dns_service.h"
 #include "services/management_service.h"
 #include "services/registry_service.h"
 #include "services/service_identity.h"
@@ -274,7 +274,8 @@ struct Fixture {
   services::ManagementService ms{as, loop, rng, ms_ident};
   services::AccountabilityAgent aa{as, dir, loop, aa_ident};
   services::DnsZone zone;
-  services::DnsService dns{as, dir, loop, rng, dns_ident, zone};
+  dns::Resolver resolver{zone, loop, dns::Resolver::Config{}};
+  dns::DnsService dns{as, dir, loop, rng, dns_ident, resolver};
 
   core::Hid hid = 0;
   core::EphId ctrl;

@@ -1,0 +1,761 @@
+// DNS subsystem tests (§VII-A): wire codec (boundary names, frame pinning,
+// per-byte truncation), domain trie (exact/parent/sibling/override), the
+// sharded TTL/negative cache (epoch invalidation, LRU, negative bounds),
+// the resolver (cached ≡ uncached across zone updates, upstream
+// timeout/backoff), the zone store and the DnsService front (migrated from
+// services_test when the resolver subsystem landed).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dns/dns_cache.h"
+#include "dns/dns_service.h"
+#include "dns/dns_wire.h"
+#include "dns/domain_trie.h"
+#include "dns/resolver.h"
+#include "services/accountability_agent.h"
+#include "services/dns_zone.h"
+#include "services/service_identity.h"
+
+namespace apna::dns {
+namespace {
+
+// ---- name codec --------------------------------------------------------------
+
+TEST(DnsWire, CanonicalAndValidation) {
+  EXPECT_EQ(canonical_name("Shop.Example"), "shop.example");
+  EXPECT_TRUE(validate_name("shop.example").ok());
+  EXPECT_TRUE(validate_name("a-b_c.d9").ok());
+  EXPECT_FALSE(validate_name("").ok());
+  EXPECT_FALSE(validate_name("Shop.example").ok());  // reject, don't fold
+  EXPECT_FALSE(validate_name(".example").ok());
+  EXPECT_FALSE(validate_name("example.").ok());
+  EXPECT_FALSE(validate_name("a..b").ok());
+  EXPECT_FALSE(validate_name("sp ace.example").ok());
+  EXPECT_FALSE(validate_name("uni\xc3\xa9.example").ok());
+}
+
+TEST(DnsWire, LabelBoundary) {
+  const std::string max_label(kMaxLabelLen, 'a');  // 63 bytes: ok
+  EXPECT_TRUE(validate_name(max_label).ok());
+  EXPECT_TRUE(validate_name(max_label + ".example").ok());
+  const std::string over_label(kMaxLabelLen + 1, 'a');  // 64: rejected
+  EXPECT_FALSE(validate_name(over_label).ok());
+  EXPECT_FALSE(validate_name(over_label + ".example").ok());
+}
+
+TEST(DnsWire, NameLengthBoundary) {
+  // Dotted size 253 → encoded 255 (the max): three 63-byte labels plus one
+  // 61-byte label.
+  const std::string l63(63, 'x');
+  const std::string max_name =
+      l63 + "." + l63 + "." + l63 + "." + std::string(61, 'x');
+  ASSERT_EQ(max_name.size(), 253u);
+  ASSERT_EQ(encoded_name_size(max_name), kMaxNameLen);
+  EXPECT_TRUE(validate_name(max_name).ok());
+
+  const std::string over_name =
+      l63 + "." + l63 + "." + l63 + "." + std::string(62, 'x');
+  ASSERT_EQ(encoded_name_size(over_name), kMaxNameLen + 1);
+  EXPECT_FALSE(validate_name(over_name).ok());
+}
+
+TEST(DnsWire, NameRoundtripAndRejects) {
+  wire::MsgWriter w(64);
+  ASSERT_TRUE(encode_name(w, "shop.example").ok());
+  wire::MsgReader r(w.span());
+  auto back = decode_name(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "shop.example");
+  EXPECT_TRUE(r.done());
+
+  // Encoder refuses non-canonical input outright.
+  wire::MsgWriter w2(64);
+  EXPECT_FALSE(encode_name(w2, "Shop.example").ok());
+
+  // Decoder refuses non-canonical bytes on the wire (uppercase label).
+  Bytes evil = {4, 'S', 'h', 'o', 'p', 0};
+  wire::MsgReader r2(ByteSpan(evil.data(), evil.size()));
+  EXPECT_FALSE(decode_name(r2).ok());
+
+  // Oversize label length byte.
+  Bytes bad_len = {64};
+  bad_len.resize(66, 'a');
+  bad_len.push_back(0);
+  wire::MsgReader r3(ByteSpan(bad_len.data(), bad_len.size()));
+  EXPECT_FALSE(decode_name(r3).ok());
+}
+
+// ---- frames ------------------------------------------------------------------
+
+core::DnsRecord make_record(const std::string& name, std::uint32_t ipv4) {
+  core::DnsRecord rec;
+  rec.name = name;
+  rec.ipv4 = ipv4;
+  rec.cert.aid = 64512;
+  rec.cert.exp_time = 1'700'000'900;
+  return rec;
+}
+
+TEST(DnsWire, QueryFramePinnedAndRoundtrips) {
+  QueryFrame q;
+  q.id = 0xbeef;
+  q.name = "shop.example";
+
+  auto ref = q.serialize();
+  ASSERT_TRUE(ref.ok());
+  wire::MsgWriter w(64);
+  ASSERT_TRUE(q.encode(w).ok());
+  // Hot-path codec is byte-identical to the reference codec.
+  ASSERT_EQ(w.span().size(), ref->size());
+  EXPECT_TRUE(std::equal(ref->begin(), ref->end(), w.span().begin()));
+
+  auto back = QueryFrame::parse(ByteSpan(ref->data(), ref->size()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, q.id);
+  EXPECT_EQ(back->name, q.name);
+}
+
+TEST(DnsWire, ResponseFramePinnedAndRoundtrips) {
+  ResponseFrame resp;
+  resp.id = 7;
+  resp.rcode = Rcode::ok;
+  resp.ttl = 300;
+  resp.name = "shop.example";
+  resp.record = make_record("shop.example", 0x0a00002a);
+
+  auto ref = resp.serialize();
+  ASSERT_TRUE(ref.ok());
+  wire::MsgWriter w(600);
+  ASSERT_TRUE(resp.encode(w).ok());
+  ASSERT_EQ(w.span().size(), ref->size());
+  EXPECT_TRUE(std::equal(ref->begin(), ref->end(), w.span().begin()));
+
+  auto back = ResponseFrame::parse(ByteSpan(ref->data(), ref->size()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->id, resp.id);
+  EXPECT_EQ(back->rcode, Rcode::ok);
+  EXPECT_EQ(back->ttl, 300u);
+  ASSERT_TRUE(back->record.has_value());
+  EXPECT_EQ(back->record->name, "shop.example");
+  EXPECT_EQ(back->record->ipv4, 0x0a00002au);
+}
+
+TEST(DnsWire, RecordPresentIffOk) {
+  ResponseFrame nx;
+  nx.id = 8;
+  nx.rcode = Rcode::nxdomain;
+  nx.ttl = 30;
+  nx.name = "missing.example";
+  auto bytes = nx.serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto back = ResponseFrame::parse(ByteSpan(bytes->data(), bytes->size()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->record.has_value());
+
+  // rcode==ok without a record must not serialize.
+  ResponseFrame broken;
+  broken.rcode = Rcode::ok;
+  broken.name = "x.example";
+  EXPECT_FALSE(broken.serialize().ok());
+  // ... and nxdomain WITH a record must not either.
+  nx.record = make_record("missing.example", 1);
+  EXPECT_FALSE(nx.serialize().ok());
+}
+
+TEST(DnsWire, PerByteTruncationRejected) {
+  QueryFrame q;
+  q.id = 321;
+  q.name = "a.bb.ccc.dddd.example";
+  auto qb = q.serialize();
+  ASSERT_TRUE(qb.ok());
+  for (std::size_t len = 0; len < qb->size(); ++len)
+    EXPECT_FALSE(QueryFrame::parse(ByteSpan(qb->data(), len)).ok())
+        << "query prefix " << len;
+  Bytes extended = *qb;
+  extended.push_back(0);  // trailing byte: whole-buffer strictness
+  EXPECT_FALSE(
+      QueryFrame::parse(ByteSpan(extended.data(), extended.size())).ok());
+
+  ResponseFrame resp;
+  resp.id = 99;
+  resp.rcode = Rcode::ok;
+  resp.ttl = 60;
+  resp.name = "shop.example";
+  resp.record = make_record("shop.example", 42);
+  auto rb = resp.serialize();
+  ASSERT_TRUE(rb.ok());
+  for (std::size_t len = 0; len < rb->size(); ++len)
+    EXPECT_FALSE(ResponseFrame::parse(ByteSpan(rb->data(), len)).ok())
+        << "response prefix " << len;
+  Bytes rext = *rb;
+  rext.push_back(7);
+  EXPECT_FALSE(ResponseFrame::parse(ByteSpan(rext.data(), rext.size())).ok());
+}
+
+// ---- domain trie -------------------------------------------------------------
+
+TEST(DomainTrie, ExactParentSibling) {
+  DomainTrie<int> trie;
+  trie.insert("evil.com", 1);
+  trie.insert("good.example", 2);
+
+  std::string matched;
+  // Exact match.
+  ASSERT_NE(trie.match("evil.com", &matched), nullptr);
+  EXPECT_EQ(matched, "evil.com");
+  // Parent-suffix match: a rule at evil.com covers every subdomain.
+  ASSERT_NE(trie.match("a.b.evil.com", &matched), nullptr);
+  EXPECT_EQ(*trie.match("a.b.evil.com", nullptr), 1);
+  EXPECT_EQ(matched, "evil.com");
+  // Sibling must NOT match: label-boundary, not string-suffix, semantics.
+  EXPECT_EQ(trie.match("notevil.com", nullptr), nullptr);
+  EXPECT_EQ(trie.match("com", nullptr), nullptr);
+  EXPECT_EQ(trie.match("evil.com.example", nullptr), nullptr);
+  EXPECT_NE(trie.match("good.example", nullptr), nullptr);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(DomainTrie, LongestMatchWinsAndSplit) {
+  DomainTrie<int> trie;
+  trie.insert("evil.com", 1);
+  trie.insert("ok.evil.com", 2);  // splits the compressed edge
+  EXPECT_EQ(*trie.match("x.evil.com", nullptr), 1);
+  EXPECT_EQ(*trie.match("ok.evil.com", nullptr), 2);
+  EXPECT_EQ(*trie.match("deep.ok.evil.com", nullptr), 2);
+
+  // Sibling insert under the split point.
+  trie.insert("bad.evil.com", 3);
+  EXPECT_EQ(*trie.match("bad.evil.com", nullptr), 3);
+  EXPECT_EQ(*trie.match("ok.evil.com", nullptr), 2);
+
+  EXPECT_TRUE(trie.erase("ok.evil.com"));
+  EXPECT_EQ(*trie.match("ok.evil.com", nullptr), 1);  // parent rule again
+  EXPECT_FALSE(trie.erase("never-inserted.com"));
+  EXPECT_GT(trie.memory_bytes(), 0u);
+}
+
+// ---- cache -------------------------------------------------------------------
+
+DnsCache::Config small_cache(std::size_t capacity) {
+  DnsCache::Config cfg;
+  cfg.capacity = capacity;
+  cfg.shard_count = 1;  // deterministic occupancy in tests
+  return cfg;
+}
+
+TEST(DnsCache, HitExpiryAndEpochInvalidation) {
+  core::VerdictEpoch epoch;
+  DnsCache cache(small_cache(64), epoch);
+  const auto rec = make_record("shop.example", 42);
+
+  cache.insert("shop.example", rec, /*expires_at=*/1000, epoch.current());
+  core::DnsRecord out;
+  EXPECT_EQ(cache.lookup("shop.example", 500, &out), DnsCache::Outcome::hit);
+  EXPECT_EQ(out.name, "shop.example");
+  EXPECT_EQ(out.ipv4, 42u);
+
+  // TTL expiry is checked on read and the entry erased.
+  EXPECT_EQ(cache.lookup("shop.example", 1000, &out), DnsCache::Outcome::miss);
+  EXPECT_EQ(cache.stats().expired, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // A zone-epoch bump kills entries stamped under the old generation.
+  cache.insert("shop.example", rec, 1000, epoch.current());
+  epoch.bump();
+  EXPECT_EQ(cache.lookup("shop.example", 500, &out), DnsCache::Outcome::miss);
+  EXPECT_EQ(cache.stats().stale_epoch, 1u);
+}
+
+TEST(DnsCache, InsertStampedBeforeBumpIsStillborn) {
+  // The epoch the CALLER observed before its zone read is what gets
+  // stamped; if the zone mutates in between, the entry must die.
+  core::VerdictEpoch epoch;
+  DnsCache cache(small_cache(64), epoch);
+  const std::uint64_t gen = epoch.current();
+  epoch.bump();  // zone mutated between the caller's read and the insert
+  cache.insert("race.example", make_record("race.example", 1), 1000, gen);
+  core::DnsRecord out;
+  EXPECT_EQ(cache.lookup("race.example", 1, &out), DnsCache::Outcome::miss);
+}
+
+TEST(DnsCache, LruEvictionOrder) {
+  core::VerdictEpoch epoch;
+  DnsCache cache(small_cache(4), epoch);  // one stripe, 4 slots
+  for (int i = 0; i < 4; ++i)
+    cache.insert("n" + std::to_string(i) + ".example", make_record("x", i),
+                 1000, epoch.current());
+  // Touch n0 so n1 becomes LRU.
+  core::DnsRecord out;
+  EXPECT_EQ(cache.lookup("n0.example", 1, &out), DnsCache::Outcome::hit);
+  cache.insert("n4.example", make_record("x", 4), 1000, epoch.current());
+  EXPECT_EQ(cache.lookup("n1.example", 1, &out), DnsCache::Outcome::miss);
+  EXPECT_EQ(cache.lookup("n0.example", 1, &out), DnsCache::Outcome::hit);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(DnsCache, NegativeTtlBound) {
+  core::VerdictEpoch epoch;
+  auto cfg = small_cache(64);
+  cfg.max_negative_ttl = 5;
+  DnsCache cache(cfg, epoch);
+  // Ask for a huge TTL; the clamp wins.
+  cache.insert_negative("gone.example", /*now=*/100, /*ttl=*/100000,
+                        epoch.current());
+  EXPECT_EQ(cache.lookup("gone.example", 104, nullptr),
+            DnsCache::Outcome::negative);
+  EXPECT_EQ(cache.lookup("gone.example", 105, nullptr),
+            DnsCache::Outcome::miss);  // expired at now + 5
+}
+
+TEST(DnsCache, NegativeOccupancyBoundAndNoPositiveEviction) {
+  core::VerdictEpoch epoch;
+  auto cfg = small_cache(64);
+  cfg.negative_percent = 25;  // 16 of 64 slots
+  DnsCache cache(cfg, epoch);
+
+  // A storm of random NXDOMAINs stays inside its slice.
+  for (int i = 0; i < 200; ++i)
+    cache.insert_negative("junk" + std::to_string(i) + ".example", 1, 30,
+                          epoch.current());
+  EXPECT_LE(cache.negative_size(), cache.negative_capacity());
+  EXPECT_EQ(cache.negative_capacity(), 16u);
+
+  // Fill the whole stripe with positives (displacing the negatives is
+  // allowed — positives always win slots)...
+  for (int i = 0; i < 64; ++i)
+    cache.insert("site" + std::to_string(i) + ".example", make_record("x", i),
+                 1000, epoch.current());
+  EXPECT_EQ(cache.size(), 64u);
+  // ... then a negative insert against a full-of-positives stripe must NOT
+  // evict a positive: it is simply not cached.
+  const auto before = cache.stats();
+  cache.insert_negative("flood.example", 1, 30, epoch.current());
+  EXPECT_EQ(cache.stats().negative_uncached, before.negative_uncached + 1);
+  EXPECT_EQ(cache.stats().evictions, before.evictions);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(
+        cache.lookup("site" + std::to_string(i) + ".example", 1, nullptr),
+        DnsCache::Outcome::hit)
+        << i;
+}
+
+TEST(DnsCache, MemoryStatsSanity) {
+  core::VerdictEpoch epoch;
+  DnsCache cache(small_cache(1024), epoch);
+  for (int i = 0; i < 512; ++i)
+    cache.insert("host" + std::to_string(i) + ".zone.example",
+                 make_record("x", i), 1000, epoch.current());
+  const auto m = cache.memory_stats();
+  EXPECT_EQ(m.entries, 512u);
+  EXPECT_GT(m.name_bytes, 0u);
+  EXPECT_GT(m.record_bytes, 0u);
+  EXPECT_GT(m.total(), 0u);
+  EXPECT_GT(m.bytes_per_name(), 0.0);
+}
+
+// ---- zone --------------------------------------------------------------------
+
+TEST(DnsZone, StatsAndBorrowPath) {
+  services::DnsZone zone;
+  const std::uint64_t gen0 = zone.epoch().current();
+  zone.put(make_record("shop.example", 42));
+  EXPECT_GT(zone.epoch().current(), gen0);  // inserts bump too (negatives!)
+
+  std::uint32_t seen = 0;
+  EXPECT_TRUE(zone.with_record(
+      "shop.example", [&](const core::DnsRecord& r) { seen = r.ipv4; }));
+  EXPECT_EQ(seen, 42u);
+  EXPECT_FALSE(
+      zone.with_record("missing.example", [&](const core::DnsRecord&) {}));
+
+  ASSERT_TRUE(zone.get("shop.example").has_value());
+  const std::uint64_t gen1 = zone.epoch().current();
+  EXPECT_TRUE(zone.erase("shop.example"));
+  EXPECT_GT(zone.epoch().current(), gen1);
+  EXPECT_FALSE(zone.erase("shop.example"));  // no bump, no count
+
+  const auto s = zone.stats();
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.erases, 1u);
+  EXPECT_EQ(s.hits, 2u);    // borrow hit + get hit
+  EXPECT_EQ(s.misses, 1u);  // borrow miss
+}
+
+// ---- resolver ----------------------------------------------------------------
+
+struct ResolverFixture {
+  services::DnsZone zone;
+  net::EventLoop loop;
+  Resolver::Config cfg;
+  ResolverFixture() {
+    cfg.cache.capacity = 256;
+    cfg.cache.shard_count = 1;
+  }
+};
+
+TEST(Resolver, CachedEqualsUncachedAcrossZoneUpdates) {
+  ResolverFixture f;
+  Resolver resolver(f.zone, f.loop, f.cfg);
+  f.zone.put(make_record("shop.example", 1));
+  const core::ExpTime now = f.loop.now_seconds();
+
+  const auto cold = resolver.resolve("shop.example", now);
+  ASSERT_EQ(cold.status, Resolver::Status::ok);
+  EXPECT_EQ(cold.source, Resolver::Source::zone);
+  const auto warm = resolver.resolve("shop.example", now);
+  ASSERT_EQ(warm.status, Resolver::Status::ok);
+  EXPECT_EQ(warm.source, Resolver::Source::cache);
+  // Cached answer is identical to the zone answer.
+  EXPECT_EQ(warm.record.name, cold.record.name);
+  EXPECT_EQ(warm.record.ipv4, cold.record.ipv4);
+  EXPECT_EQ(warm.record.cert, cold.record.cert);
+
+  // Zone UPDATE: the epoch bump invalidates the cached answer, so the next
+  // lookup serves the new truth — cached ≡ uncached across updates.
+  f.zone.put(make_record("shop.example", 2));
+  const auto fresh = resolver.resolve("shop.example", now);
+  ASSERT_EQ(fresh.status, Resolver::Status::ok);
+  EXPECT_EQ(fresh.source, Resolver::Source::zone);
+  EXPECT_EQ(fresh.record.ipv4, 2u);
+  EXPECT_GE(resolver.stats().cache_hits, 1u);
+
+  // Zone ERASE: cached positive dies with the epoch, answer flips to
+  // NXDOMAIN immediately.
+  resolver.resolve("shop.example", now);  // warm the cache again
+  f.zone.erase("shop.example");
+  EXPECT_EQ(resolver.resolve("shop.example", now).status,
+            Resolver::Status::nxdomain);
+}
+
+TEST(Resolver, NegativeCachingIsTtlBoundedAndInsertInvalidates) {
+  ResolverFixture f;
+  f.cfg.negative_ttl = 1000;         // resolver asks big...
+  f.cfg.cache.max_negative_ttl = 5;  // ...cache clamps hard
+  Resolver resolver(f.zone, f.loop, f.cfg);
+  const core::ExpTime now = f.loop.now_seconds();
+
+  EXPECT_EQ(resolver.resolve("new.example", now).status,
+            Resolver::Status::nxdomain);
+  // Second lookup hits the negative cache.
+  const auto neg = resolver.resolve("new.example", now);
+  EXPECT_EQ(neg.status, Resolver::Status::nxdomain);
+  EXPECT_EQ(neg.source, Resolver::Source::negative_cache);
+
+  // The TTL bound holds regardless of the configured negative_ttl.
+  EXPECT_EQ(resolver.resolve("new.example", now + 5).source,
+            Resolver::Source::zone);
+
+  // A zone INSERT invalidates cached negatives (the put bumps the epoch):
+  // no stale NXDOMAIN after publication.
+  resolver.resolve("new.example", now);  // re-warm negative
+  f.zone.put(make_record("new.example", 7));
+  const auto a = resolver.resolve("new.example", now);
+  EXPECT_EQ(a.status, Resolver::Status::ok);
+  EXPECT_EQ(a.record.ipv4, 7u);
+}
+
+TEST(Resolver, PolicyBlocksSubdomainsNeverWarmsCache) {
+  ResolverFixture f;
+  Resolver resolver(f.zone, f.loop, f.cfg);
+  f.zone.put(make_record("a.b.evil.example", 1));
+  resolver.policy().block("evil.example");
+  const core::ExpTime now = f.loop.now_seconds();
+
+  const auto blocked = resolver.resolve("a.b.evil.example", now);
+  EXPECT_EQ(blocked.status, Resolver::Status::blocked);
+  EXPECT_EQ(blocked.source, Resolver::Source::policy);
+  EXPECT_EQ(resolver.cache().size(), 0u);
+
+  // Siblings unaffected; monitor rules observe but do not block.
+  f.zone.put(make_record("notevil.example", 2));
+  EXPECT_EQ(resolver.resolve("notevil.example", now).status,
+            Resolver::Status::ok);
+  resolver.policy().monitor("watched.example");
+  f.zone.put(make_record("x.watched.example", 3));
+  EXPECT_EQ(resolver.resolve("x.watched.example", now).status,
+            Resolver::Status::ok);
+  EXPECT_EQ(resolver.stats().monitored, 1u);
+  EXPECT_EQ(resolver.stats().policy_blocked, 1u);
+}
+
+TEST(Resolver, InvalidNamesRejectedAndCanonicalized) {
+  ResolverFixture f;
+  Resolver resolver(f.zone, f.loop, f.cfg);
+  const core::ExpTime now = f.loop.now_seconds();
+  EXPECT_EQ(resolver.resolve("bad..name", now).status,
+            Resolver::Status::invalid);
+  EXPECT_EQ(resolver.resolve("", now).status, Resolver::Status::invalid);
+  // Mixed case folds at the resolver edge.
+  f.zone.put(make_record("shop.example", 9));
+  EXPECT_EQ(resolver.resolve("SHOP.Example", now).status,
+            Resolver::Status::ok);
+}
+
+// Upstream forwarding: a client resolver (empty zone) forwarding to an
+// authoritative server resolver over a lossy "wire".
+struct ForwardingFixture {
+  net::EventLoop loop;
+  services::DnsZone client_zone;
+  services::DnsZone server_zone;
+  Resolver::Config cfg;
+  Resolver client{client_zone, loop, cfg};
+  Resolver server{server_zone, loop, cfg};
+  std::size_t dropped = 0;
+  bool drop_all = false;
+
+  ForwardingFixture() {
+    server_zone.put(make_record("far.example", 77));
+    client.set_upstream([this](Bytes frame) {
+      if (drop_all) {
+        ++dropped;
+        return;
+      }
+      Bytes resp = server.answer_query(ByteSpan(frame.data(), frame.size()));
+      if (!resp.empty())
+        client.on_upstream_frame(ByteSpan(resp.data(), resp.size()));
+    });
+  }
+};
+
+TEST(Resolver, ForwardsUpstreamAndCachesAnswer) {
+  ForwardingFixture f;
+  std::vector<Resolver::Answer> got;
+  f.client.resolve_async("far.example",
+                         [&](const Resolver::Answer& a) { got.push_back(a); });
+  f.loop.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Resolver::Status::ok);
+  EXPECT_EQ(got[0].source, Resolver::Source::upstream);
+  EXPECT_EQ(got[0].record.ipv4, 77u);
+  EXPECT_EQ(f.client.stats().forwarded, 1u);
+
+  // The answer was cached: the next lookup is local.
+  got.clear();
+  f.client.resolve_async("far.example",
+                         [&](const Resolver::Answer& a) { got.push_back(a); });
+  ASSERT_EQ(got.size(), 1u);  // answered inline
+  EXPECT_EQ(got[0].source, Resolver::Source::cache);
+
+  // Upstream NXDOMAIN lands in the negative cache.
+  got.clear();
+  f.client.resolve_async("nothere.example",
+                         [&](const Resolver::Answer& a) { got.push_back(a); });
+  f.loop.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Resolver::Status::nxdomain);
+  EXPECT_EQ(f.client.cache().negative_size(), 1u);
+}
+
+TEST(Resolver, UpstreamTimeoutBacksOffThenServfail) {
+  ForwardingFixture f;
+  f.drop_all = true;
+  std::vector<Resolver::Answer> got;
+  const net::TimeUs t0 = f.loop.now();
+  f.client.resolve_async("far.example",
+                         [&](const Resolver::Answer& a) { got.push_back(a); });
+  f.loop.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Resolver::Status::servfail);
+  // 3 attempts total: initial + 2 retransmits, each sent on the wire.
+  EXPECT_EQ(f.dropped, 3u);
+  EXPECT_EQ(f.client.stats().retransmits, 2u);
+  EXPECT_EQ(f.client.stats().upstream_timeouts, 1u);
+  // Exponential backoff: 250ms + 500ms + 1000ms before giving up.
+  EXPECT_EQ(f.loop.now() - t0, 250'000u + 500'000u + 1'000'000u);
+  // servfail is NEVER cached: a later attempt goes back on the wire.
+  f.drop_all = false;
+  got.clear();
+  f.client.resolve_async("far.example",
+                         [&](const Resolver::Answer& a) { got.push_back(a); });
+  f.loop.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Resolver::Status::ok);
+}
+
+TEST(Resolver, MismatchedUpstreamAnswerNeverFillsCache) {
+  ForwardingFixture f;
+  // Capture the outgoing query so we can forge answers against its id.
+  std::optional<QueryFrame> seen;
+  f.client.set_upstream([&](Bytes frame) {
+    auto q = QueryFrame::parse(ByteSpan(frame.data(), frame.size()));
+    if (q && !seen) seen = *q;
+  });
+  std::vector<Resolver::Answer> got;
+  f.client.resolve_async("far.example",
+                         [&](const Resolver::Answer& a) { got.push_back(a); });
+  ASSERT_TRUE(seen.has_value());
+
+  // Right id, WRONG question name — the off-path forgery shape.
+  ResponseFrame forged;
+  forged.id = seen->id;
+  forged.rcode = Rcode::ok;
+  forged.ttl = 300;
+  forged.name = "attacker.example";
+  forged.record = make_record("attacker.example", 666);
+  auto fb = forged.serialize();
+  ASSERT_TRUE(fb.ok());
+  f.client.on_upstream_frame(ByteSpan(fb->data(), fb->size()));
+  EXPECT_TRUE(got.empty());  // pending query unaffected
+  EXPECT_EQ(f.client.stats().upstream_mismatched, 1u);
+  EXPECT_EQ(f.client.cache().size(), 0u);
+  f.loop.run();  // drain the timeout chain
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Resolver::Status::servfail);
+}
+
+// ---- service + accountability integration ------------------------------------
+
+struct DnsServiceFixture {
+  crypto::ChaChaRng rng{2026};
+  net::EventLoop loop;
+  core::AsState as{64512, core::AsSecrets::generate(rng)};
+  core::AsDirectory dir;
+  services::ServiceIdentity aa_ident = services::make_service_identity(
+      as, 2, loop.now_seconds() + 86400, 0, nullptr, rng);
+  services::ServiceIdentity dns_ident = services::make_service_identity(
+      as, 3, loop.now_seconds() + 86400, 0, &aa_ident.cert.ephid, rng);
+  services::AccountabilityAgent aa{as, dir, loop, aa_ident};
+  services::DnsZone zone;
+  Resolver resolver{zone, loop, [] {
+                      Resolver::Config cfg;
+                      cfg.cache.capacity = 256;
+                      return cfg;
+                    }()};
+  DnsService dns{as, dir, loop, rng, dns_ident, resolver};
+
+  // A customer host EphID published under records (OUR AS — revocable).
+  core::EphIdKeyPair host_kp = core::EphIdKeyPair::generate(rng);
+  core::EphIdCertificate host_cert;
+
+  DnsServiceFixture() {
+    core::AsPublicInfo info;
+    info.aid = as.aid;
+    info.sign_pub = as.secrets.sign.pub;
+    info.dh_pub = as.secrets.dh.pub;
+    info.aa_ephid = aa_ident.cert.ephid;
+    dir.register_as(info);
+
+    resolver.set_accountability(&aa);
+    aa.set_domain_policy(&resolver.policy());
+
+    host_cert.ephid = as.codec.issue(4242, loop.now_seconds() + 900, rng);
+    host_cert.exp_time = loop.now_seconds() + 900;
+    host_cert.pub = host_kp.pub;
+    host_cert.aid = as.aid;
+    host_cert.aa_ephid = aa_ident.cert.ephid;
+    host_cert.sign_with(as.secrets.sign);
+  }
+
+  core::DnsPublish make_publish(const std::string& name, std::uint32_t ipv4) {
+    core::DnsPublish p;
+    p.name = name;
+    p.cert = host_cert;
+    p.ipv4 = ipv4;
+    return p;
+  }
+};
+
+TEST(DnsService, PublishResolveRoundtrip) {
+  DnsServiceFixture f;
+  ASSERT_TRUE(f.dns.publish(f.make_publish("shop.example", 0x0a00002a)).ok());
+  EXPECT_EQ(f.zone.size(), 1u);
+
+  core::DnsQuery q;
+  q.name = "shop.example";
+  auto resp = f.dns.resolve(q);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 0);
+  ASSERT_TRUE(resp->record.has_value());
+  EXPECT_EQ(resp->record->cert, f.host_cert);
+  EXPECT_EQ(resp->record->ipv4, 0x0a00002au);
+  // Record carries a valid DNSSEC-style signature.
+  EXPECT_TRUE(crypto::ed25519_verify(f.dns.record_key(), resp->record->tbs(),
+                                     resp->record->sig));
+
+  // Cached answer (second resolve) is identical — ed25519 re-signing is
+  // deterministic, so cached ≡ uncached at the service level too.
+  auto again = f.dns.resolve(q);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->record->sig, resp->record->sig);
+  EXPECT_GE(f.resolver.stats().cache_hits, 1u);
+}
+
+TEST(DnsService, NxDomain) {
+  DnsServiceFixture f;
+  core::DnsQuery q;
+  q.name = "missing.example";
+  auto resp = f.dns.resolve(q);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 1);
+  EXPECT_FALSE(resp->record.has_value());
+  EXPECT_EQ(f.dns.stats().nxdomain, 1u);
+}
+
+TEST(DnsService, PublishRejectsInvalidCert) {
+  DnsServiceFixture f;
+  core::DnsPublish pub;
+  pub.name = "bogus.example";
+  pub.cert.aid = 4243;  // unknown AS, unsigned cert
+  EXPECT_FALSE(f.dns.publish(pub).ok());
+  EXPECT_EQ(f.zone.size(), 0u);
+}
+
+TEST(DnsService, SharedZoneAcrossServices) {
+  // Two DNS services over one zone: publication through one is visible via
+  // the other (the "public DNS" model). Each has its own resolver cache.
+  DnsServiceFixture f;
+  services::ServiceIdentity other_ident = services::make_service_identity(
+      f.as, 9, f.loop.now_seconds() + 86400, 0, &f.aa_ident.cert.ephid,
+      f.rng);
+  Resolver other_resolver(f.zone, f.loop, Resolver::Config{});
+  DnsService other(f.as, f.dir, f.loop, f.rng, other_ident, other_resolver);
+
+  ASSERT_TRUE(f.dns.publish(f.make_publish("mirror.example", 1)).ok());
+  core::DnsQuery q;
+  q.name = "mirror.example";
+  auto resp = other.resolve(q);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 0);
+}
+
+TEST(DnsService, DomainPolicyBlocksThroughShutoffPath) {
+  DnsServiceFixture f;
+  // Publish first, then block the parent domain: the sweep must revoke the
+  // publishing EphID through the AA's Fig-5 tail and erase the record.
+  ASSERT_TRUE(f.dns.publish(f.make_publish("a.b.evil.example", 5)).ok());
+  ASSERT_TRUE(f.dns.publish(f.make_publish("fine.example", 6)).ok());
+
+  const std::size_t swept =
+      f.resolver.block_domain("evil.example", f.loop.now_seconds());
+  EXPECT_EQ(swept, 1u);
+  // The EphID under the blocked name is revoked via the real revocation
+  // path (MAC_kAS instruction → revoked_ids), and the record is gone.
+  EXPECT_TRUE(f.as.revoked.is_revoked(f.host_cert.ephid));
+  EXPECT_EQ(f.aa.stats().domain_blocks, 1u);
+  EXPECT_GE(f.aa.stats().revocation_instructions, 1u);
+  EXPECT_FALSE(f.zone.get("a.b.evil.example").has_value());
+  ASSERT_TRUE(f.zone.get("fine.example").has_value());
+
+  // Queries for ANY subdomain of the blocked parent refuse (status 2).
+  core::DnsQuery q;
+  q.name = "c.evil.example";
+  auto resp = f.dns.resolve(q);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 2);
+  EXPECT_EQ(f.dns.stats().blocked, 1u);
+  // Siblings still resolve.
+  q.name = "fine.example";
+  EXPECT_EQ(f.dns.resolve(q)->status, 0);
+
+  // New publications under the blocked parent are refused AND revoked.
+  auto r = f.dns.publish(f.make_publish("new.evil.example", 7));
+  EXPECT_EQ(r.code(), Errc::unauthorized);
+  EXPECT_EQ(f.zone.get("new.evil.example").has_value(), false);
+  EXPECT_EQ(f.aa.stats().domain_blocks, 2u);
+  EXPECT_EQ(f.resolver.stats().publish_blocked, 1u);
+}
+
+}  // namespace
+}  // namespace apna::dns

@@ -350,5 +350,47 @@ TEST(ScenarioMultiAs, PopulationSpreadsAndTrafficFlows) {
   EXPECT_EQ(rep.total_host_db_bytes, rep2.total_host_db_bytes);
 }
 
+// ---- DNS storm ---------------------------------------------------------------
+
+TEST(ScenarioDnsStorm, NegativeBoundsHoldAndHitRateRecovers) {
+  Engine engine(small_config());
+  constexpr std::uint64_t kNames = 5'000;
+  constexpr std::uint64_t kJunk = 50'000;
+
+  const PhaseReport baseline =
+      engine.run_phase(Phase::dns_storm("baseline", kNames, 0, 8, 512));
+  const PhaseReport storm =
+      engine.run_phase(Phase::dns_storm("storm", kNames, kJunk, 8, 512));
+  const PhaseReport recovery =
+      engine.run_phase(Phase::dns_storm("recovery", kNames, 0, 8, 512));
+
+  // Per-phase counter deltas, like the other storms: the storm phase's
+  // lookup count is exactly its two positive passes plus the junk flood.
+  EXPECT_EQ(storm.dns_lookups, 2u * 8u * 512u + kJunk);
+  EXPECT_EQ(storm.packets, storm.dns_lookups);
+  // Every junk lookup was answered negatively — authoritatively or from
+  // the negative cache, never from a positive entry.
+  EXPECT_EQ(storm.dns_nxdomain + storm.dns_negative_hits, kJunk);
+
+  // The negative-cache bound: a 50k-name NXDOMAIN flood stays inside the
+  // cache's bounded negative slice.
+  EXPECT_GT(storm.dns_negative_capacity, 0u);
+  EXPECT_LE(storm.dns_negative_entries, storm.dns_negative_capacity);
+
+  // The positive hit rate recovers after the storm: the post-storm pass
+  // inside the storm phase AND the whole recovery phase match baseline.
+  ASSERT_GT(baseline.dns_recovery_hit_rate, 0.5);
+  EXPECT_GE(storm.dns_recovery_hit_rate,
+            baseline.dns_recovery_hit_rate - 0.05);
+  EXPECT_GE(recovery.dns_recovery_hit_rate,
+            baseline.dns_recovery_hit_rate - 0.05);
+
+  // Non-DNS phases report zero DNS activity.
+  const PhaseReport prov =
+      engine.run_phase(Phase::register_hosts("prov", 100));
+  EXPECT_EQ(prov.dns_lookups, 0u);
+  EXPECT_EQ(prov.dns_negative_entries, 0u);
+}
+
 }  // namespace
 }  // namespace apna::scenario

@@ -1,12 +1,12 @@
-// Service tests: Registry Service (Fig 2), Management Service (Fig 3),
-// Accountability Agent (Fig 5) and the DNS service (§VII-A), at the unit
-// level (no simulated network; the integration tests cover wiring).
+// Service tests: Registry Service (Fig 2), Management Service (Fig 3) and
+// the Accountability Agent (Fig 5), at the unit level (no simulated
+// network; the integration tests cover wiring; the DNS service lives in
+// dns_test.cpp since the resolver rewrite).
 #include <gtest/gtest.h>
 
 #include "core/packet_auth.h"
 #include "crypto/x25519.h"
 #include "services/accountability_agent.h"
-#include "services/dns_service.h"
 #include "services/management_service.h"
 #include "services/registry_service.h"
 #include "services/service_identity.h"
@@ -33,8 +33,6 @@ struct AsFixture {
       &aa_ident.cert.ephid, rng);
   ManagementService ms{as, loop, rng, ms_ident};
   AccountabilityAgent aa{as, dir, loop, aa_ident};
-  DnsZone zone;
-  DnsService dns{as, dir, loop, rng, dns_ident, zone};
 
   AsFixture() {
     rs.set_service_info(ms_ident.cert, dns_ident.cert, aa_ident.cert.ephid);
@@ -444,71 +442,6 @@ TEST(AccountabilityAgent, EscalatesAfterTooManyShutoffs) {
   EXPECT_EQ(f.aa.stats().hid_escalations, 1u);
   EXPECT_TRUE(f.as.revoked.is_hid_revoked(f.attacker.hid));
   EXPECT_FALSE(f.as.host_db.contains(f.attacker.hid));
-}
-
-// ---- DNS service (§VII-A) --------------------------------------------------------------
-
-TEST(DnsService, PublishResolveRoundtrip) {
-  ShutoffFixture f;  // reuses the two-AS setup for a foreign cert
-  core::DnsPublish pub;
-  pub.name = "shop.example";
-  pub.cert = f.victim_cert;
-  pub.ipv4 = 0x0a00002a;
-  ASSERT_TRUE(f.dns.publish(pub).ok());
-  EXPECT_EQ(f.zone.size(), 1u);
-
-  core::DnsQuery q;
-  q.name = "shop.example";
-  auto resp = f.dns.resolve(q);
-  ASSERT_TRUE(resp.ok());
-  EXPECT_EQ(resp->status, 0);
-  ASSERT_TRUE(resp->record.has_value());
-  EXPECT_EQ(resp->record->cert, f.victim_cert);
-  EXPECT_EQ(resp->record->ipv4, 0x0a00002au);
-  // Record carries a valid DNSSEC-style signature.
-  EXPECT_TRUE(crypto::ed25519_verify(f.dns.record_key(),
-                                     resp->record->tbs(),
-                                     resp->record->sig));
-}
-
-TEST(DnsService, NxDomain) {
-  AsFixture f;
-  core::DnsQuery q;
-  q.name = "missing.example";
-  auto resp = f.dns.resolve(q);
-  ASSERT_TRUE(resp.ok());
-  EXPECT_EQ(resp->status, 1);
-  EXPECT_FALSE(resp->record.has_value());
-  EXPECT_EQ(f.dns.stats().nxdomain, 1u);
-}
-
-TEST(DnsService, PublishRejectsInvalidCert) {
-  AsFixture f;
-  core::DnsPublish pub;
-  pub.name = "bogus.example";
-  pub.cert.aid = 4242;  // unknown AS, unsigned cert
-  EXPECT_FALSE(f.dns.publish(pub).ok());
-  EXPECT_EQ(f.zone.size(), 0u);
-}
-
-TEST(DnsService, SharedZoneAcrossServices) {
-  // Two DNS services over one zone: publication through one is visible via
-  // the other (the "public DNS" model).
-  ShutoffFixture f;
-  ServiceIdentity other_ident = make_service_identity(
-      f.as, f.rs.allocate_hid(), f.loop.now_seconds() + 86400, 0,
-      &f.aa_ident.cert.ephid, f.rng);
-  DnsService other(f.as, f.dir, f.loop, f.rng, other_ident, f.zone);
-
-  core::DnsPublish pub;
-  pub.name = "mirror.example";
-  pub.cert = f.victim_cert;
-  ASSERT_TRUE(f.dns.publish(pub).ok());
-  core::DnsQuery q;
-  q.name = "mirror.example";
-  auto resp = other.resolve(q);
-  ASSERT_TRUE(resp.ok());
-  EXPECT_EQ(resp->status, 0);
 }
 
 }  // namespace
