@@ -86,11 +86,13 @@ struct Setup {
     std::vector<Bytes> out;
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
+      auto kp = core::EphIdKeyPair::generate(rng);
       core::EphIdRequest req;
-      req.ephid_pub = core::EphIdKeyPair::generate(rng).pub;
+      req.ephid_pub = kp.pub;
       req.flags = 0;
       req.lifetime = core::EphIdLifetime::short_term;
-      wire::MsgWriter plain(72);
+      req.pop_sig = kp.sign(req.pop_tbs());
+      wire::MsgWriter plain(160);
       req.encode(plain);
       out.push_back(core::seal_control(keys, nonce0 + i, true, plain.span()));
     }

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/aes.h"
 #include "crypto/rng.h"
 
 namespace apna::bench {
@@ -150,10 +151,15 @@ class JsonFile {
 
   /// The machine-shape block every BENCH_*.json carries: readers of a
   /// checked-in baseline need to know whether its sweeps had real cores
-  /// behind them (see single_core()).
+  /// behind them (see single_core()), and which crypto tier (soft / aesni /
+  /// avx2 / vaes_avx512, after the APNA_CRYPTO_BACKEND cap) produced the
+  /// numbers — crypto-bound baselines from different tiers are not
+  /// comparable.
   void machine_shape() {
     field("hardware_concurrency", bench::hardware_concurrency());
     field("single_core", bench::single_core());
+    field("crypto_backend",
+          crypto::Aes128::backend_name(crypto::Aes128::best_backend()));
   }
 
   /// The provenance block every baseline carries: the commit the binary

@@ -4,10 +4,12 @@
 #   1. Release with warnings-as-errors for all APNA targets
 #   2. ASan + UBSan (Debug)
 #   3. ThreadSanitizer over the router/core concurrency tests, the
-#      control-plane pool test and the bounded scenario storms (the sharded
-#      data plane's stress suite, the M-worker issuance pool and the
-#      attack-script interleavings; bounded runtime — TSan over the full
-#      integration matrix would dominate CI time for no extra signal)
+#      control-plane pool test, the crypto-labelled suites (per-slot DRBG
+#      independence, concurrent batch verification) and the bounded
+#      scenario storms (the sharded data plane's stress suite, the M-worker
+#      issuance pool and the attack-script interleavings; bounded runtime —
+#      TSan over the full integration matrix would dominate CI time for no
+#      extra signal)
 #
 # 1 and 2 must build every library, test, bench and example target and pass
 # the full ctest suite. Run from the repo root: ./ci.sh
@@ -35,10 +37,10 @@ run_config ci       -DCMAKE_BUILD_TYPE=Release -DAPNA_WERROR=ON
 # (optimized builds are where a copy/allocation regression actually shows).
 ctest --test-dir build-ci --output-on-failure -L alloc
 # Bench smoke, explicitly in the Release leg: tiny-iteration runs of the
-# baseline-emitting benches (E1/E2) so they cannot compile- or bit-rot;
-# their hard assertions (0 allocs/forwarded packet — including the loopback
-# UDP leg — the E1 allocs/request ceiling, cached-vs-uncached verdict
-# equivalence) run here too.
+# baseline-emitting benches (E1/E2/E7/E9) so they cannot compile- or
+# bit-rot; their hard assertions (0 allocs/forwarded packet — including the
+# loopback UDP leg — the E1 allocs/request ceiling, cached-vs-uncached and
+# cross-tier crypto equivalence) run here too.
 ctest --test-dir build-ci --output-on-failure -L bench
 # Real-socket leg, explicitly in the Release leg: the transport conformance
 # suite (both backends) plus the two-process loopback demo ride the `net`
@@ -57,6 +59,13 @@ ctest --test-dir build-ci --output-on-failure -L scenario
 # (bench_smoke_e7 — the 50k-name bytes/name + negative-bound gates — rides
 # the bench label above).
 ctest --test-dir build-ci --output-on-failure -L dns
+# Forced-soft crypto leg, explicitly in Release: re-run the KAT suite with
+# the backend capped to the portable C implementation. The wide SIMD tiers
+# are equivalence-tested against soft in-process; this run is the converse
+# guard — the soft fallback itself must stay correct on a host (or cap)
+# without AES-NI/AVX2/VAES, where it IS the production path.
+APNA_CRYPTO_BACKEND=soft ctest --test-dir build-ci --output-on-failure \
+  -R '^crypto_kat_test$'
 
 run_config sanitize -DCMAKE_BUILD_TYPE=Debug -DAPNA_SANITIZE=ON -DAPNA_WERROR=ON
 # Wire-image property suites, explicitly under ASan/UBSan: PacketView::bind
@@ -88,11 +97,17 @@ echo "=== [tsan] build (concurrency-labelled tests only)"
 # dns_concurrency_test rides the TSan leg too: resolver lookups racing zone
 # put/erase and domain-policy churn, plus the M-worker ResolverPool — the
 # lock-striped cache's epoch-stamping discipline under real interleavings.
+# The crypto label rides the TSan leg too: per-slot HMAC-DRBG independence
+# and concurrent ed25519_verify_batch (crypto_concurrency_test) are exactly
+# where a shared-scratch race would hide, and the KAT/property suites are
+# cheap enough to keep as ballast.
 cmake --build build-tsan -j "${jobs}" \
   --target router_concurrency_test router_test core_test control_plane_test \
-  flow_cache_test scenario_test dns_concurrency_test
+  flow_cache_test scenario_test dns_concurrency_test \
+  crypto_kat_test crypto_property_test crypto_concurrency_test
 echo "=== [tsan] test"
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
   -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test|scenario_test|dns_concurrency_test)$'
+ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L crypto
 
 echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

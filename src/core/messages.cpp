@@ -1,5 +1,7 @@
 #include "core/messages.h"
 
+#include <cstring>
+
 #include "crypto/chacha20.h"
 
 namespace apna::core {
@@ -87,12 +89,27 @@ Result<BootstrapResponse> BootstrapResponse::parse(ByteSpan data) {
 
 // ---- EphIdRequest / Response ------------------------------------------------
 
+std::array<std::uint8_t, 16 + 64 + 2> EphIdRequest::pop_tbs() const {
+  // "APNA-ephid-pop" padded to a 16-byte domain separator.
+  static constexpr std::uint8_t kDomain[16] = {'A', 'P', 'N', 'A', '-', 'e',
+                                               'p', 'h', 'i', 'd', '-', 'p',
+                                               'o', 'p', 0,   0};
+  std::array<std::uint8_t, 16 + 64 + 2> tbs;
+  std::memcpy(tbs.data(), kDomain, 16);
+  std::memcpy(tbs.data() + 16, ephid_pub.dh.data(), 32);
+  std::memcpy(tbs.data() + 48, ephid_pub.sig.data(), 32);
+  tbs[80] = flags;
+  tbs[81] = static_cast<std::uint8_t>(lifetime);
+  return tbs;
+}
+
 Bytes EphIdRequest::serialize() const {
-  Writer w(72);
+  Writer w(136);
   w.raw(ephid_pub.dh);
   w.raw(ephid_pub.sig);
   w.u8(flags);
   w.u8(static_cast<std::uint8_t>(lifetime));
+  w.raw(pop_sig);
   return w.take();
 }
 
@@ -113,6 +130,9 @@ Result<EphIdRequest> EphIdRequest::parse(ByteSpan data) {
   if (*lt > static_cast<std::uint8_t>(EphIdLifetime::long_term))
     return Result<EphIdRequest>(Errc::malformed, "bad lifetime class");
   m.lifetime = static_cast<EphIdLifetime>(*lt);
+  auto pop = r.arr<64>();
+  if (!pop) return pop.error();
+  m.pop_sig = *pop;
   return m;
 }
 
@@ -452,6 +472,7 @@ void EphIdRequest::encode(wire::MsgWriter& w) const {
   w.raw(ephid_pub.sig);
   w.u8(flags);
   w.u8(static_cast<std::uint8_t>(lifetime));
+  w.raw(pop_sig);
 }
 
 Result<EphIdRequest> EphIdRequest::decode(wire::MsgReader& r) {
@@ -470,6 +491,9 @@ Result<EphIdRequest> EphIdRequest::decode(wire::MsgReader& r) {
   if (*lt > static_cast<std::uint8_t>(EphIdLifetime::long_term))
     return Result<EphIdRequest>(Errc::malformed, "bad lifetime class");
   m.lifetime = static_cast<EphIdLifetime>(*lt);
+  auto pop = r.arr<64>();
+  if (!pop) return pop.error();
+  m.pop_sig = *pop;
   return m;
 }
 

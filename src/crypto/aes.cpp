@@ -1,14 +1,82 @@
 #include "crypto/aes.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 
 namespace apna::crypto {
 
+namespace detail {
+
+/// APNA_CRYPTO_BACKEND cap, parsed once. auto_detect means "no cap".
+Aes128::Backend env_backend_cap() {
+  using Backend = Aes128::Backend;
+  static const Backend cap = [] {
+    const char* v = std::getenv("APNA_CRYPTO_BACKEND");
+    if (v == nullptr) return Backend::auto_detect;
+    if (std::strcmp(v, "soft") == 0) return Backend::soft;
+    if (std::strcmp(v, "aesni") == 0) return Backend::aesni;
+    if (std::strcmp(v, "avx2") == 0) return Backend::avx2;
+    if (std::strcmp(v, "vaes_avx512") == 0) return Backend::vaes_avx512;
+    return Backend::auto_detect;  // unknown value: ignore the cap
+  }();
+  return cap;
+}
+
+}  // namespace detail
+
+namespace {
+
+using Backend = Aes128::Backend;
+
+/// Widest tier the CPU can run, ignoring the environment.
+Backend widest_supported() {
+  if (detail::vaes_avx512_supported()) return Backend::vaes_avx512;
+  if (detail::avx2_aes_supported()) return Backend::avx2;
+  if (detail::aesni_supported()) return Backend::aesni;
+  return Backend::soft;
+}
+
+/// Downgrades `want` to what the CPU supports (never upgrades).
+Backend clamp_to_cpu(Backend want) {
+  const Backend widest = widest_supported();
+  return static_cast<std::uint8_t>(want) <= static_cast<std::uint8_t>(widest)
+             ? want
+             : widest;
+}
+
+}  // namespace
+
+Backend Aes128::best_backend() {
+  const Backend cap = detail::env_backend_cap();
+  const Backend widest = widest_supported();
+  if (cap == Backend::auto_detect) return widest;
+  return clamp_to_cpu(cap);
+}
+
+Backend Aes128::resolve_backend(Backend requested) {
+  if (requested == Backend::auto_detect) return best_backend();
+  if (requested == Backend::soft) return Backend::soft;
+  return clamp_to_cpu(requested);
+}
+
+const char* Aes128::backend_name(Backend b) {
+  switch (b) {
+    case Backend::soft: return "soft";
+    case Backend::aesni: return "aesni";
+    case Backend::avx2: return "avx2";
+    case Backend::vaes_avx512: return "vaes_avx512";
+    case Backend::auto_detect: break;
+  }
+  return "auto";
+}
+
+const char* Aes128::backend() const { return backend_name(tier_); }
+
 Aes128::Aes128(ByteSpan key, Backend backend)
-    : use_ni_(backend == Backend::auto_detect && detail::aesni_supported()) {
+    : tier_(resolve_backend(backend)) {
   assert(key.size() == kKeySize && "Aes128 requires a 16-byte key");
-  if (use_ni_) {
+  if (tier_ != Backend::soft) {
     detail::aesni_expand_key128(key.data(), round_keys_.data());
   } else {
     detail::soft_expand_key128(key.data(), round_keys_.data());
@@ -17,7 +85,7 @@ Aes128::Aes128(ByteSpan key, Backend backend)
 
 void Aes128::encrypt_block(const std::uint8_t in[kBlockSize],
                            std::uint8_t out[kBlockSize]) const {
-  if (use_ni_) {
+  if (tier_ != Backend::soft) {
     detail::aesni_encrypt_blocks(round_keys_.data(), in, out, 1);
   } else {
     detail::soft_encrypt_block(round_keys_.data(), in, out);
@@ -26,9 +94,18 @@ void Aes128::encrypt_block(const std::uint8_t in[kBlockSize],
 
 void Aes128::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
                             std::size_t n) const {
-  if (use_ni_) {
-    detail::aesni_encrypt_blocks(round_keys_.data(), in, out, n);
-    return;
+  switch (tier_) {
+    case Backend::vaes_avx512:
+      detail::vaes_encrypt_blocks(round_keys_.data(), in, out, n);
+      return;
+    case Backend::avx2:
+      detail::avx2_encrypt_blocks(round_keys_.data(), in, out, n);
+      return;
+    case Backend::aesni:
+      detail::aesni_encrypt_blocks(round_keys_.data(), in, out, n);
+      return;
+    default:
+      break;
   }
   for (std::size_t i = 0; i < n; ++i) {
     detail::soft_encrypt_block(round_keys_.data(), in + 16 * i, out + 16 * i);
@@ -38,7 +115,7 @@ void Aes128::encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
 void Aes128::cbc_mac_absorb(std::uint8_t x[kBlockSize],
                             const std::uint8_t* data,
                             std::size_t nblocks) const {
-  if (use_ni_) {
+  if (tier_ != Backend::soft) {
     detail::aesni_cbcmac_absorb(round_keys_.data(), x, data, nblocks);
     return;
   }

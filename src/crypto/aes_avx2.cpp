@@ -1,0 +1,113 @@
+// AVX2 tier: VEX-encoded AES-NI kernels, 16 independent blocks/chains in
+// flight. This translation unit is compiled with -maes -mavx2; callers gate
+// on avx2_aes_supported() at runtime.
+//
+// There is no 256-bit aesenc without VAES — the win of this tier over the
+// aesni one is depth, not width: 16-wide interleave (vs 8) rides deeper
+// out-of-order windows, and the three-operand VEX forms remove the
+// register-copy mov traffic the legacy encodings force around spills.
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define APNA_HAVE_AVX2_AES_BUILD 1
+#endif
+
+namespace apna::crypto::detail {
+
+bool avx2_aes_supported() {
+#if defined(APNA_HAVE_AVX2_AES_BUILD)
+  return __builtin_cpu_supports("aes") != 0 &&
+         __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(APNA_HAVE_AVX2_AES_BUILD)
+
+void avx2_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t nblocks) {
+  const __m128i* keys = reinterpret_cast<const __m128i*>(rk);
+  __m128i k[11];
+  for (int i = 0; i <= 10; ++i) k[i] = _mm_loadu_si128(keys + i);
+
+  const __m128i* src = reinterpret_cast<const __m128i*>(in);
+  __m128i* dst = reinterpret_cast<__m128i*>(out);
+  std::size_t i = 0;
+  for (; i + 16 <= nblocks; i += 16) {
+    __m128i b[16];
+#pragma GCC unroll 16
+    for (int l = 0; l < 16; ++l)
+      b[l] = _mm_xor_si128(_mm_loadu_si128(src + i + l), k[0]);
+    for (int r = 1; r < 10; ++r) {
+#pragma GCC unroll 16
+      for (int l = 0; l < 16; ++l) b[l] = _mm_aesenc_si128(b[l], k[r]);
+    }
+#pragma GCC unroll 16
+    for (int l = 0; l < 16; ++l) {
+      b[l] = _mm_aesenclast_si128(b[l], k[10]);
+      _mm_storeu_si128(dst + i + l, b[l]);
+    }
+  }
+  // Remainder: the 8/4/1-wide aesni tails.
+  if (i < nblocks) aesni_encrypt_blocks(rk, in + 16 * i, out + 16 * i,
+                                        nblocks - i);
+}
+
+void avx2_cbcmac_absorb_16(const std::uint8_t* const rk[16],
+                           std::uint8_t* const x[16],
+                           const std::uint8_t* const data[16],
+                           std::size_t nblocks) {
+  // Sixteen chain states; the register file holds them all (x86-64 has 16
+  // xmm registers), so round keys are re-loaded per use — L1-resident, the
+  // loads hide inside each chain's serial aesenc latency.
+  __m128i s[16];
+  const __m128i* k[16];
+#pragma GCC unroll 16
+  for (int l = 0; l < 16; ++l) {
+    s[l] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[l]));
+    k[l] = reinterpret_cast<const __m128i*>(rk[l]);
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+#pragma GCC unroll 16
+    for (int l = 0; l < 16; ++l) {
+      const __m128i blk = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(data[l] + 16 * b));
+      s[l] = _mm_xor_si128(_mm_xor_si128(s[l], blk),
+                           _mm_loadu_si128(k[l] + 0));
+    }
+    for (int r = 1; r < 10; ++r) {
+#pragma GCC unroll 16
+      for (int l = 0; l < 16; ++l)
+        s[l] = _mm_aesenc_si128(s[l], _mm_loadu_si128(k[l] + r));
+    }
+#pragma GCC unroll 16
+    for (int l = 0; l < 16; ++l)
+      s[l] = _mm_aesenclast_si128(s[l], _mm_loadu_si128(k[l] + 10));
+  }
+#pragma GCC unroll 16
+  for (int l = 0; l < 16; ++l)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x[l]), s[l]);
+}
+
+#else  // !APNA_HAVE_AVX2_AES_BUILD
+
+void avx2_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t nblocks) {
+  aesni_encrypt_blocks(rk, in, out, nblocks);
+}
+
+void avx2_cbcmac_absorb_16(const std::uint8_t* const rk[16],
+                           std::uint8_t* const x[16],
+                           const std::uint8_t* const data[16],
+                           std::size_t nblocks) {
+  for (int l = 0; l < 16; ++l) aesni_cbcmac_absorb(rk[l], x[l], data[l],
+                                                   nblocks);
+}
+
+#endif
+
+}  // namespace apna::crypto::detail

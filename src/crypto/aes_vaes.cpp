@@ -1,0 +1,169 @@
+// VAES/AVX-512 tier: 512-bit AES kernels, 16 blocks per sweep as 4 zmm
+// registers × 4 lanes each. Compiled with -mvaes -mavx512f -mavx512bw when
+// the toolchain supports them (cmake probes; otherwise the stub below keeps
+// the tier reporting unsupported). Callers gate on vaes_avx512_supported().
+//
+// vaesenc applies a DISTINCT round key to every 128-bit lane of the key
+// operand — that is what makes the 16-chain CBC-MAC work under sixteen
+// different key schedules: the schedules are transposed once into
+// lane-packed zmm form at kernel entry, then every round is 4 instructions
+// for all 16 chains.
+#include <cstdint>
+
+#include "crypto/aes.h"
+
+#if defined(APNA_HAVE_VAES_TOOLCHAIN) && \
+    (defined(__x86_64__) || defined(__i386__))
+#include <immintrin.h>
+#define APNA_HAVE_VAES_BUILD 1
+#endif
+
+namespace apna::crypto::detail {
+
+bool vaes_avx512_supported() {
+#if defined(APNA_HAVE_VAES_BUILD)
+  return __builtin_cpu_supports("vaes") != 0 &&
+         __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(APNA_HAVE_VAES_BUILD)
+
+void vaes_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t nblocks) {
+  // One key for all lanes: broadcast each round key across the zmm.
+  __m512i k[11];
+  for (int r = 0; r <= 10; ++r)
+    k[r] = _mm512_broadcast_i32x4(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk) + r));
+
+  std::size_t i = 0;
+  for (; i + 16 <= nblocks; i += 16) {
+    __m512i b0 = _mm512_loadu_si512(in + 16 * i + 0);
+    __m512i b1 = _mm512_loadu_si512(in + 16 * i + 64);
+    __m512i b2 = _mm512_loadu_si512(in + 16 * i + 128);
+    __m512i b3 = _mm512_loadu_si512(in + 16 * i + 192);
+    b0 = _mm512_xor_si512(b0, k[0]);
+    b1 = _mm512_xor_si512(b1, k[0]);
+    b2 = _mm512_xor_si512(b2, k[0]);
+    b3 = _mm512_xor_si512(b3, k[0]);
+    for (int r = 1; r < 10; ++r) {
+      b0 = _mm512_aesenc_epi128(b0, k[r]);
+      b1 = _mm512_aesenc_epi128(b1, k[r]);
+      b2 = _mm512_aesenc_epi128(b2, k[r]);
+      b3 = _mm512_aesenc_epi128(b3, k[r]);
+    }
+    b0 = _mm512_aesenclast_epi128(b0, k[10]);
+    b1 = _mm512_aesenclast_epi128(b1, k[10]);
+    b2 = _mm512_aesenclast_epi128(b2, k[10]);
+    b3 = _mm512_aesenclast_epi128(b3, k[10]);
+    _mm512_storeu_si512(out + 16 * i + 0, b0);
+    _mm512_storeu_si512(out + 16 * i + 64, b1);
+    _mm512_storeu_si512(out + 16 * i + 128, b2);
+    _mm512_storeu_si512(out + 16 * i + 192, b3);
+  }
+  // Remainder: the 8/4/1-wide aesni tails.
+  if (i < nblocks) aesni_encrypt_blocks(rk, in + 16 * i, out + 16 * i,
+                                        nblocks - i);
+}
+
+void vaes_cbcmac_absorb_16(const std::uint8_t* const rk[16],
+                           std::uint8_t* const x[16],
+                           const std::uint8_t* const data[16],
+                           std::size_t nblocks) {
+  // Transpose the 16 key schedules into lane-packed form: kp[r][g] carries
+  // round r's keys for lanes 4g..4g+3. 11 rounds × 4 groups, built once —
+  // the cost amortizes over the chain length.
+  __m512i kp[11][4];
+  for (int r = 0; r <= 10; ++r) {
+    for (int g = 0; g < 4; ++g) {
+      __m512i v = _mm512_castsi128_si512(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(rk[4 * g + 0]) + r));
+      v = _mm512_inserti32x4(
+          v,
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[4 * g + 1]) + r),
+          1);
+      v = _mm512_inserti32x4(
+          v,
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[4 * g + 2]) + r),
+          2);
+      kp[r][g] = _mm512_inserti32x4(
+          v,
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk[4 * g + 3]) + r),
+          3);
+    }
+  }
+
+  __m512i s[4];
+  for (int g = 0; g < 4; ++g) {
+    __m512i v = _mm512_castsi128_si512(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[4 * g + 0])));
+    v = _mm512_inserti32x4(
+        v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[4 * g + 1])), 1);
+    v = _mm512_inserti32x4(
+        v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[4 * g + 2])), 2);
+    s[g] = _mm512_inserti32x4(
+        v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(x[4 * g + 3])), 3);
+  }
+
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    for (int g = 0; g < 4; ++g) {
+      __m512i blk = _mm512_castsi128_si512(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(data[4 * g + 0] + 16 * b)));
+      blk = _mm512_inserti32x4(
+          blk,
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(data[4 * g + 1] + 16 * b)),
+          1);
+      blk = _mm512_inserti32x4(
+          blk,
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(data[4 * g + 2] + 16 * b)),
+          2);
+      blk = _mm512_inserti32x4(
+          blk,
+          _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(data[4 * g + 3] + 16 * b)),
+          3);
+      s[g] = _mm512_xor_si512(_mm512_xor_si512(s[g], blk), kp[0][g]);
+    }
+    for (int r = 1; r < 10; ++r)
+      for (int g = 0; g < 4; ++g)
+        s[g] = _mm512_aesenc_epi128(s[g], kp[r][g]);
+    for (int g = 0; g < 4; ++g)
+      s[g] = _mm512_aesenclast_epi128(s[g], kp[10][g]);
+  }
+
+  for (int g = 0; g < 4; ++g) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x[4 * g + 0]),
+                     _mm512_extracti32x4_epi32(s[g], 0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x[4 * g + 1]),
+                     _mm512_extracti32x4_epi32(s[g], 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x[4 * g + 2]),
+                     _mm512_extracti32x4_epi32(s[g], 2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(x[4 * g + 3]),
+                     _mm512_extracti32x4_epi32(s[g], 3));
+  }
+}
+
+#else  // !APNA_HAVE_VAES_BUILD
+
+void vaes_encrypt_blocks(const std::uint8_t rk[176], const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t nblocks) {
+  aesni_encrypt_blocks(rk, in, out, nblocks);
+}
+
+void vaes_cbcmac_absorb_16(const std::uint8_t* const rk[16],
+                           std::uint8_t* const x[16],
+                           const std::uint8_t* const data[16],
+                           std::size_t nblocks) {
+  for (int l = 0; l < 16; ++l) aesni_cbcmac_absorb(rk[l], x[l], data[l],
+                                                   nblocks);
+}
+
+#endif
+
+}  // namespace apna::crypto::detail

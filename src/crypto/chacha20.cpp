@@ -2,6 +2,13 @@
 
 #include <cstring>
 
+#include "crypto/aes.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#define APNA_HAVE_CHACHA_SSE2_BUILD 1
+#endif
+
 namespace apna::crypto {
 
 namespace {
@@ -43,14 +50,138 @@ void chacha20_block(const std::uint8_t key[32], std::uint32_t counter,
   for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, w[i] + s[i]);
 }
 
+namespace detail {
+
+#if defined(APNA_HAVE_CHACHA_SSE2_BUILD)
+
+namespace {
+
+inline __m128i rotl_sse2(__m128i x, int n) {
+  return _mm_or_si128(_mm_slli_epi32(x, n), _mm_srli_epi32(x, 32 - n));
+}
+
+inline void qround_sse2(__m128i& a, __m128i& b, __m128i& c, __m128i& d) {
+  a = _mm_add_epi32(a, b); d = rotl_sse2(_mm_xor_si128(d, a), 16);
+  c = _mm_add_epi32(c, d); b = rotl_sse2(_mm_xor_si128(b, c), 12);
+  a = _mm_add_epi32(a, b); d = rotl_sse2(_mm_xor_si128(d, a), 8);
+  c = _mm_add_epi32(c, d); b = rotl_sse2(_mm_xor_si128(b, c), 7);
+}
+
+/// Transposes rows r[0..3] (4 × 32-bit lanes each) in place.
+inline void transpose4x4_sse2(__m128i r[4]) {
+  const __m128i t0 = _mm_unpacklo_epi32(r[0], r[1]);
+  const __m128i t1 = _mm_unpackhi_epi32(r[0], r[1]);
+  const __m128i t2 = _mm_unpacklo_epi32(r[2], r[3]);
+  const __m128i t3 = _mm_unpackhi_epi32(r[2], r[3]);
+  r[0] = _mm_unpacklo_epi64(t0, t2);
+  r[1] = _mm_unpackhi_epi64(t0, t2);
+  r[2] = _mm_unpacklo_epi64(t1, t3);
+  r[3] = _mm_unpackhi_epi64(t1, t3);
+}
+
+}  // namespace
+
+void chacha20_blocks4_sse2(const std::uint8_t key[32], std::uint32_t counter,
+                           const std::uint8_t nonce[12],
+                           std::uint8_t out[256]) {
+  std::uint32_t init[16];
+  init[0] = 0x61707865; init[1] = 0x3320646e;
+  init[2] = 0x79622d32; init[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) init[4 + i] = load_le32(key + 4 * i);
+  init[12] = counter;
+  for (int i = 0; i < 3; ++i) init[13 + i] = load_le32(nonce + 4 * i);
+
+  __m128i s[16];
+  for (int i = 0; i < 16; ++i)
+    s[i] = _mm_set1_epi32(static_cast<int>(init[i]));
+  s[12] = _mm_add_epi32(s[12], _mm_setr_epi32(0, 1, 2, 3));
+  const __m128i c12 = s[12];
+
+  __m128i w[16];
+  for (int i = 0; i < 16; ++i) w[i] = s[i];
+  for (int round = 0; round < 10; ++round) {
+    qround_sse2(w[0], w[4], w[8], w[12]);
+    qround_sse2(w[1], w[5], w[9], w[13]);
+    qround_sse2(w[2], w[6], w[10], w[14]);
+    qround_sse2(w[3], w[7], w[11], w[15]);
+    qround_sse2(w[0], w[5], w[10], w[15]);
+    qround_sse2(w[1], w[6], w[11], w[12]);
+    qround_sse2(w[2], w[7], w[8], w[13]);
+    qround_sse2(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i)
+    w[i] = _mm_add_epi32(w[i], i == 12 ? c12 : s[i]);
+
+  // Four 4x4 transposes; block j is row j of each word-quad in order.
+  transpose4x4_sse2(w);
+  transpose4x4_sse2(w + 4);
+  transpose4x4_sse2(w + 8);
+  transpose4x4_sse2(w + 12);
+  for (int j = 0; j < 4; ++j)
+    for (int g = 0; g < 4; ++g)
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(out + 64 * j + 16 * g), w[4 * g + j]);
+}
+
+#else  // !APNA_HAVE_CHACHA_SSE2_BUILD
+
+void chacha20_blocks4_sse2(const std::uint8_t key[32], std::uint32_t counter,
+                           const std::uint8_t nonce[12],
+                           std::uint8_t out[256]) {
+  for (int j = 0; j < 4; ++j)
+    chacha20_block(key, counter + static_cast<std::uint32_t>(j), nonce,
+                   out + 64 * j);
+}
+
+#endif
+
+}  // namespace detail
+
+namespace {
+
+/// ChaCha20 lane width, picked once: 8 (AVX2), 4 (SSE2) or 1 (scalar).
+/// Honors the APNA_CRYPTO_BACKEND cap — `soft` forces scalar, `aesni` caps
+/// at SSE2 (the paper-baseline x86 level), avx2/vaes allow the 8-way path.
+std::size_t chacha_lanes() {
+  using Backend = Aes128::Backend;
+  static const std::size_t lanes = [] {
+    const Backend cap = detail::env_backend_cap();
+    if (cap == Backend::soft) return std::size_t{1};
+#if defined(APNA_HAVE_CHACHA_SSE2_BUILD)
+    const bool avx2_ok =
+        (cap == Backend::auto_detect || cap >= Backend::avx2) &&
+        detail::chacha20_avx2_supported();
+    return avx2_ok ? std::size_t{8} : std::size_t{4};
+#else
+    return std::size_t{1};
+#endif
+  }();
+  return lanes;
+}
+
+}  // namespace
+
 void chacha20_xcrypt(const std::uint8_t key[32], std::uint32_t counter,
                      const std::uint8_t nonce[12], ByteSpan in,
                      MutByteSpan out) {
-  std::uint8_t ks[64];
+  const std::size_t lanes = chacha_lanes();
+  std::uint8_t ks[8 * 64];
   std::size_t off = 0;
   while (off < in.size()) {
-    chacha20_block(key, counter++, nonce, ks);
-    const std::size_t n = std::min<std::size_t>(64, in.size() - off);
+    const std::size_t need = (in.size() - off + 63) / 64;
+    std::size_t gen;
+    if (lanes == 8 && need >= 8) {
+      detail::chacha20_blocks8_avx2(key, counter, nonce, ks);
+      gen = 8;
+    } else if (lanes >= 4 && need >= 4) {
+      detail::chacha20_blocks4_sse2(key, counter, nonce, ks);
+      gen = 4;
+    } else {
+      chacha20_block(key, counter, nonce, ks);
+      gen = 1;
+    }
+    counter += static_cast<std::uint32_t>(gen);
+    const std::size_t n = std::min(in.size() - off, gen * 64);
     for (std::size_t i = 0; i < n; ++i)
       out[off + i] = static_cast<std::uint8_t>(in[off + i] ^ ks[i]);
     off += n;

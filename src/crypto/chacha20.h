@@ -21,9 +21,31 @@ void chacha20_block(const std::uint8_t key[32], std::uint32_t counter,
                     const std::uint8_t nonce[12], std::uint8_t out[64]);
 
 /// XORs `in` with the ChaCha20 keystream starting at block `counter`.
+/// Internally generates keystream multiple blocks at a time (8-way AVX2 /
+/// 4-way SSE2, vertical vectorization: one register lane per block), picked
+/// at first use by cpuid and capped by APNA_CRYPTO_BACKEND — `soft` forces
+/// the scalar block loop, `aesni` caps at SSE2. Output is bit-identical to
+/// the scalar chacha20_block sequence on every tier (pinned by
+/// crypto_property_test).
 void chacha20_xcrypt(const std::uint8_t key[32], std::uint32_t counter,
                      const std::uint8_t nonce[12], ByteSpan in,
                      MutByteSpan out);
+
+namespace detail {
+/// Writes 4 consecutive keystream blocks (counter .. counter+3) into
+/// out[0..256). SSE2 on x86 (baseline, no special compile flags); the
+/// scalar loop elsewhere.
+void chacha20_blocks4_sse2(const std::uint8_t key[32], std::uint32_t counter,
+                           const std::uint8_t nonce[12],
+                           std::uint8_t out[256]);
+/// True when the CPU can run the 8-way AVX2 kernel.
+bool chacha20_avx2_supported();
+/// Writes 8 consecutive keystream blocks into out[0..512). Callers gate on
+/// chacha20_avx2_supported(); the fallback is two 4-way sweeps.
+void chacha20_blocks8_avx2(const std::uint8_t key[32], std::uint32_t counter,
+                           const std::uint8_t nonce[12],
+                           std::uint8_t out[512]);
+}  // namespace detail
 
 /// Poly1305 one-time authenticator over `msg` with the 32-byte one-time key.
 std::array<std::uint8_t, 16> poly1305(const std::uint8_t key[32], ByteSpan msg);

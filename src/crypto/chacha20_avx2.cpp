@@ -1,0 +1,153 @@
+// 8-way ChaCha20 keystream kernel, AVX2 vertical vectorization: every state
+// word lives in one ymm register with one 32-bit lane per block, so the
+// twenty rounds run on all eight blocks at once and only the final
+// transpose touches lane boundaries. Compiled with -mavx2; callers gate on
+// chacha20_avx2_supported().
+#include <cstdint>
+#include <cstring>
+
+#include "crypto/chacha20.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define APNA_HAVE_CHACHA_AVX2_BUILD 1
+#endif
+
+namespace apna::crypto::detail {
+
+bool chacha20_avx2_supported() {
+#if defined(APNA_HAVE_CHACHA_AVX2_BUILD)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+#if defined(APNA_HAVE_CHACHA_AVX2_BUILD)
+
+namespace {
+
+inline __m256i rotl7(__m256i x) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, 7), _mm256_srli_epi32(x, 25));
+}
+inline __m256i rotl12(__m256i x) {
+  return _mm256_or_si256(_mm256_slli_epi32(x, 12), _mm256_srli_epi32(x, 20));
+}
+// 16- and 8-bit rotations are byte permutations: one vpshufb beats two
+// shifts plus an or.
+inline __m256i rotl16(__m256i x) {
+  const __m256i m = _mm256_set_epi8(13, 12, 15, 14, 9, 8, 11, 10,  //
+                                    5, 4, 7, 6, 1, 0, 3, 2,        //
+                                    13, 12, 15, 14, 9, 8, 11, 10,  //
+                                    5, 4, 7, 6, 1, 0, 3, 2);
+  return _mm256_shuffle_epi8(x, m);
+}
+inline __m256i rotl8(__m256i x) {
+  const __m256i m = _mm256_set_epi8(14, 13, 12, 15, 10, 9, 8, 11,  //
+                                    6, 5, 4, 7, 2, 1, 0, 3,        //
+                                    14, 13, 12, 15, 10, 9, 8, 11,  //
+                                    6, 5, 4, 7, 2, 1, 0, 3);
+  return _mm256_shuffle_epi8(x, m);
+}
+
+inline void qround(__m256i& a, __m256i& b, __m256i& c, __m256i& d) {
+  a = _mm256_add_epi32(a, b); d = rotl16(_mm256_xor_si256(d, a));
+  c = _mm256_add_epi32(c, d); b = rotl12(_mm256_xor_si256(b, c));
+  a = _mm256_add_epi32(a, b); d = rotl8(_mm256_xor_si256(d, a));
+  c = _mm256_add_epi32(c, d); b = rotl7(_mm256_xor_si256(b, c));
+}
+
+/// Transposes rows r[0..7] (8 × 32-bit lanes each) in place: output row j
+/// holds the former lane j of every input row.
+inline void transpose8x8(__m256i r[8]) {
+  __m256i t[8], u[8];
+  t[0] = _mm256_unpacklo_epi32(r[0], r[1]);
+  t[1] = _mm256_unpackhi_epi32(r[0], r[1]);
+  t[2] = _mm256_unpacklo_epi32(r[2], r[3]);
+  t[3] = _mm256_unpackhi_epi32(r[2], r[3]);
+  t[4] = _mm256_unpacklo_epi32(r[4], r[5]);
+  t[5] = _mm256_unpackhi_epi32(r[4], r[5]);
+  t[6] = _mm256_unpacklo_epi32(r[6], r[7]);
+  t[7] = _mm256_unpackhi_epi32(r[6], r[7]);
+  u[0] = _mm256_unpacklo_epi64(t[0], t[2]);
+  u[1] = _mm256_unpackhi_epi64(t[0], t[2]);
+  u[2] = _mm256_unpacklo_epi64(t[1], t[3]);
+  u[3] = _mm256_unpackhi_epi64(t[1], t[3]);
+  u[4] = _mm256_unpacklo_epi64(t[4], t[6]);
+  u[5] = _mm256_unpackhi_epi64(t[4], t[6]);
+  u[6] = _mm256_unpacklo_epi64(t[5], t[7]);
+  u[7] = _mm256_unpackhi_epi64(t[5], t[7]);
+  r[0] = _mm256_permute2x128_si256(u[0], u[4], 0x20);
+  r[1] = _mm256_permute2x128_si256(u[1], u[5], 0x20);
+  r[2] = _mm256_permute2x128_si256(u[2], u[6], 0x20);
+  r[3] = _mm256_permute2x128_si256(u[3], u[7], 0x20);
+  r[4] = _mm256_permute2x128_si256(u[0], u[4], 0x31);
+  r[5] = _mm256_permute2x128_si256(u[1], u[5], 0x31);
+  r[6] = _mm256_permute2x128_si256(u[2], u[6], 0x31);
+  r[7] = _mm256_permute2x128_si256(u[3], u[7], 0x31);
+}
+
+inline std::uint32_t le32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // x86 is little-endian
+}
+
+}  // namespace
+
+void chacha20_blocks8_avx2(const std::uint8_t key[32], std::uint32_t counter,
+                           const std::uint8_t nonce[12],
+                           std::uint8_t out[512]) {
+  std::uint32_t init[16];
+  init[0] = 0x61707865; init[1] = 0x3320646e;
+  init[2] = 0x79622d32; init[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) init[4 + i] = le32(key + 4 * i);
+  init[12] = counter;
+  for (int i = 0; i < 3; ++i) init[13 + i] = le32(nonce + 4 * i);
+
+  __m256i s[16];
+  for (int i = 0; i < 16; ++i) s[i] = _mm256_set1_epi32(
+      static_cast<int>(init[i]));
+  // Per-lane counters counter+0 .. counter+7 (wrap mod 2^32, matching the
+  // scalar sequence).
+  s[12] = _mm256_add_epi32(s[12], _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+  const __m256i c12 = s[12];
+
+  __m256i w[16];
+  for (int i = 0; i < 16; ++i) w[i] = s[i];
+  for (int round = 0; round < 10; ++round) {
+    qround(w[0], w[4], w[8], w[12]);
+    qround(w[1], w[5], w[9], w[13]);
+    qround(w[2], w[6], w[10], w[14]);
+    qround(w[3], w[7], w[11], w[15]);
+    qround(w[0], w[5], w[10], w[15]);
+    qround(w[1], w[6], w[11], w[12]);
+    qround(w[2], w[7], w[8], w[13]);
+    qround(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i)
+    w[i] = _mm256_add_epi32(w[i], i == 12 ? c12 : s[i]);
+
+  // Two 8x8 transposes (words 0-7 and 8-15); block j is then row j of the
+  // first group followed by row j of the second.
+  transpose8x8(w);
+  transpose8x8(w + 8);
+  for (int j = 0; j < 8; ++j) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 64 * j), w[j]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 64 * j + 32),
+                        w[8 + j]);
+  }
+}
+
+#else  // !APNA_HAVE_CHACHA_AVX2_BUILD
+
+void chacha20_blocks8_avx2(const std::uint8_t key[32], std::uint32_t counter,
+                           const std::uint8_t nonce[12],
+                           std::uint8_t out[512]) {
+  chacha20_blocks4_sse2(key, counter, nonce, out);
+  chacha20_blocks4_sse2(key, counter + 4, nonce, out + 256);
+}
+
+#endif
+
+}  // namespace apna::crypto::detail

@@ -8,6 +8,7 @@
 #include "crypto/ed25519.h"
 
 #include <cstring>
+#include <vector>
 
 #include "crypto/fe25519.h"
 #include "crypto/sha2.h"
@@ -378,6 +379,150 @@ bool ed25519_verify(const Ed25519PublicKey& pub, ByteSpan msg,
   std::uint8_t r_enc[32];
   ge_tobytes(r_enc, r_check);
   return ct_equal(ByteSpan(r_enc, 32), ByteSpan(sig.data(), 32));
+}
+
+// ---- Batch verification -----------------------------------------------------
+
+namespace {
+
+/// One screened, batch-ready signature: decoded points and derived scalars.
+struct BatchEntry {
+  std::size_t index;            // position in the caller's item array
+  Ge neg_a;                     // −A_i
+  Ge neg_r;                     // −R_i
+  std::uint8_t s[32];           // S_i
+  std::uint8_t k[32];           // SHA512(R ‖ A ‖ msg) mod L
+};
+
+std::uint8_t nibble_at(const std::uint8_t s[32], int pos) {
+  const std::uint8_t byte = s[pos / 2];
+  return (pos % 2 == 1) ? static_cast<std::uint8_t>(byte >> 4)
+                        : static_cast<std::uint8_t>(byte & 0xf);
+}
+
+bool ge_is_identity(const Ge& p) {
+  return fe_iszero(p.x) && fe_equal(p.y, p.z);
+}
+
+/// Evaluates the random-linear-combination equation over entries[lo, hi):
+/// (Σ z_i S_i)·B + Σ (z_i k_i)·(−A_i) + Σ z_i·(−R_i) == identity, with
+/// fresh z_i drawn per call. A shared-doubling Straus multi-scalar walk:
+/// every point gets a 1..15 multiples table, then one pass over the 64
+/// nibble positions does 4 doublings per position for the WHOLE sum.
+bool rlc_check(const std::vector<BatchEntry>& entries, std::size_t lo,
+               std::size_t hi, Rng& rng) {
+  const std::size_t n = hi - lo;
+  const std::size_t m = 2 * n + 1;  // −A_i, −R_i pairs plus B
+
+  std::vector<std::array<Ge, 15>> tables(m);
+  std::vector<std::array<std::uint8_t, 32>> scalars(m);
+
+  std::uint8_t sb_coeff[32] = {};  // Σ z_i S_i mod L
+  const std::uint8_t zero32[32] = {};
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const BatchEntry& e = entries[lo + j];
+    // z_i: 128-bit, forced ≡ 1 (mod 8) — nonzero by construction, and the
+    // low three bits carry each signature's torsion component through the
+    // sum unscaled.
+    std::uint8_t z[32] = {};
+    rng.fill(MutByteSpan(z, 16));
+    z[0] = static_cast<std::uint8_t>((z[0] & ~std::uint8_t{7}) | 1);
+
+    sc_muladd(sb_coeff, z, e.s, sb_coeff);              // += z_i S_i
+    sc_muladd(scalars[2 * j].data(), z, e.k, zero32);   // z_i k_i
+    std::memcpy(scalars[2 * j + 1].data(), z, 32);      // z_i
+
+    auto build = [](std::array<Ge, 15>& t, const Ge& p) {
+      t[0] = p;
+      for (int i = 1; i < 15; ++i) t[i] = ge_add(t[i - 1], p);
+    };
+    build(tables[2 * j], e.neg_a);
+    build(tables[2 * j + 1], e.neg_r);
+  }
+  scalars[m - 1] = std::to_array(sb_coeff);
+  tables[m - 1][0] = base_point();
+  for (int i = 1; i < 15; ++i)
+    tables[m - 1][i] = ge_add(tables[m - 1][i - 1], base_point());
+
+  Ge acc = ge_identity();
+  bool started = false;
+  for (int pos = 63; pos >= 0; --pos) {
+    if (started)
+      acc = ge_double(ge_double(ge_double(ge_double(acc))));
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint8_t nib = nibble_at(scalars[j].data(), pos);
+      if (nib == 0) continue;
+      acc = started ? ge_add(acc, tables[j][nib - 1]) : tables[j][nib - 1];
+      started = true;
+    }
+  }
+  return !started || ge_is_identity(acc);
+}
+
+/// Verifies entries[lo, hi): RLC first, bisecting on failure down to scalar
+/// ed25519_verify leaves so the result is bit-identical to the scalar path.
+void batch_bisect(const std::vector<BatchEntry>& entries, std::size_t lo,
+                  std::size_t hi, std::span<const Ed25519BatchItem> items,
+                  bool* out, Rng& rng) {
+  if (hi == lo) return;
+  if (hi - lo == 1) {
+    const Ed25519BatchItem& it = items[entries[lo].index];
+    out[entries[lo].index] = ed25519_verify(*it.pub, it.msg, *it.sig);
+    return;
+  }
+  if (rlc_check(entries, lo, hi, rng)) {
+    for (std::size_t j = lo; j < hi; ++j) out[entries[j].index] = true;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  batch_bisect(entries, lo, mid, items, out, rng);
+  batch_bisect(entries, mid, hi, items, out, rng);
+}
+
+}  // namespace
+
+bool ed25519_verify_batch(std::span<const Ed25519BatchItem> items, bool* out,
+                          Rng& rng) {
+  std::vector<BatchEntry> entries;
+  entries.reserve(items.size());
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Ed25519BatchItem& it = items[i];
+    out[i] = false;
+    // Screens mirror the scalar rejects exactly. encode() only ever emits
+    // canonical valid-curve encodings, so bytes that fail to decode — or
+    // that decode but do not re-encode to themselves — can never equal
+    // encode(S·B − k·A): scalar verification rejects them too.
+    if (!sc_is_canonical(it.sig->data() + 32)) continue;
+    Ge a;
+    if (!ge_frombytes(a, it.pub->data())) continue;
+    Ge r;
+    if (!ge_frombytes(r, it.sig->data())) continue;
+    std::uint8_t r_reenc[32];
+    ge_tobytes(r_reenc, r);
+    if (std::memcmp(r_reenc, it.sig->data(), 32) != 0) continue;
+
+    BatchEntry e;
+    e.index = i;
+    e.neg_a = ge_neg(a);
+    e.neg_r = ge_neg(r);
+    std::memcpy(e.s, it.sig->data() + 32, 32);
+
+    Sha512 hk;
+    hk.update(ByteSpan(it.sig->data(), 32));
+    hk.update(ByteSpan(it.pub->data(), 32));
+    hk.update(it.msg);
+    const auto k_wide = hk.finish();
+    sc_reduce(e.k, ByteSpan(k_wide.data(), k_wide.size()));
+    entries.push_back(e);
+  }
+
+  batch_bisect(entries, 0, entries.size(), items, out, rng);
+
+  bool all = true;
+  for (std::size_t i = 0; i < items.size(); ++i) all = all && out[i];
+  return all;
 }
 
 Ed25519KeyPair Ed25519KeyPair::generate(Rng& rng) {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "crypto/rng.h"
 #include "util/bytes.h"
@@ -28,6 +29,38 @@ Ed25519Signature ed25519_sign(const Ed25519Seed& seed,
 /// Verifies a signature. Rejects malformed points and non-canonical S.
 bool ed25519_verify(const Ed25519PublicKey& pub, ByteSpan msg,
                     const Ed25519Signature& sig);
+
+/// One signature of a batch-verification sweep.
+struct Ed25519BatchItem {
+  const Ed25519PublicKey* pub = nullptr;
+  ByteSpan msg;
+  const Ed25519Signature* sig = nullptr;
+};
+
+/// Batch verification: out[i] = ed25519_verify(*items[i].pub, items[i].msg,
+/// *items[i].sig) for every item, with the expensive part amortized.
+/// Returns true iff every signature verified.
+///
+/// How: after per-item screening that mirrors the scalar rejects exactly
+/// (non-canonical S; undecodable A; R whose bytes cannot be an encode()
+/// output), the survivors are checked with one random-linear-combination
+/// equation  (Σ z_i S_i)·B − Σ (z_i k_i)·A_i − Σ z_i·R_i == identity,
+/// evaluated by a shared-doubling multi-scalar multiplication: 252 point
+/// doublings TOTAL instead of 252 per signature — per-signature cost decays
+/// toward the window additions alone as the batch grows. The z_i are
+/// 128-bit coefficients from `rng`, forced ≡ 1 (mod 8) so a single
+/// small-order (torsion) discrepancy is caught deterministically, not just
+/// with probability 7/8; like every cofactorless batch equation in the
+/// literature, co-crafted torsion offsets that cancel across signatures
+/// remain accepted only with the RLC's negligible probability for the
+/// prime-order component.
+///
+/// On ANY batch-equation failure the sweep bisects recursively down to
+/// scalar ed25519_verify leaves, so the accept/reject set is bit-identical
+/// to calling ed25519_verify per item (property-tested over randomized
+/// corrupted batches in crypto_property_test).
+bool ed25519_verify_batch(std::span<const Ed25519BatchItem> items, bool* out,
+                          Rng& rng);
 
 /// AS / host long-term signing identity.
 struct Ed25519KeyPair {

@@ -68,7 +68,8 @@ std::array<std::uint8_t, 16> aes_cbc_mac(const Aes128& aes, ByteSpan data) {
   return x;
 }
 
-AesCmac::AesCmac(ByteSpan key16) : aes_(key16) {
+AesCmac::AesCmac(ByteSpan key16, Aes128::Backend backend)
+    : aes_(key16, backend) {
   std::array<std::uint8_t, 16> l{};
   aes_.encrypt_block(l.data(), l.data());
   k1_ = l;
@@ -76,6 +77,8 @@ AesCmac::AesCmac(ByteSpan key16) : aes_(key16) {
   k2_ = k1_;
   gf128_double(k2_);
 }
+
+const char* AesCmac::backend() const { return aes_.backend(); }
 
 std::array<std::uint8_t, 16> AesCmac::mac(ByteSpan data) const {
   return mac2(data, {});
@@ -170,7 +173,7 @@ bool AesCmac::verify(ByteSpan data, ByteSpan tag) const {
 
 namespace {
 
-constexpr std::size_t kCmacLanes = 8;
+constexpr std::size_t kCmacLanesMax = 16;
 
 /// Per-lane extent walk over one CMAC input a ‖ b, decomposed into at most
 /// four contiguous block runs: [a's full blocks][one staged straddle
@@ -251,22 +254,33 @@ struct CmacLaneWalk {
 
 void aes_cmac_many(std::span<const CmacJob> jobs,
                    std::array<std::uint8_t, 16>* tags) {
+  using Backend = Aes128::Backend;
   std::size_t base = 0;
   while (base < jobs.size()) {
-    const std::size_t n = std::min(kCmacLanes, jobs.size() - base);
-    bool lanes_ok = n >= 2;
-    for (std::size_t j = 0; j < n && lanes_ok; ++j)
-      lanes_ok = jobs[base + j].key->aes_.uses_aesni();
-    if (!lanes_ok) {
-      // Soft backend (or a single job): the scalar reference path.
-      for (std::size_t j = 0; j < n; ++j)
-        tags[base + j] =
-            jobs[base + j].key->mac2(jobs[base + j].a, jobs[base + j].b);
-      base += n;
+    // Scan the next run of hardware-backed keys (stopping at any soft-tier
+    // key) and track the narrowest tier: the whole group must use a kernel
+    // every lane's key supports.
+    std::size_t hw = 0;
+    Backend group = Backend::vaes_avx512;
+    while (hw < kCmacLanesMax && base + hw < jobs.size()) {
+      const Backend t = jobs[base + hw].key->aes_.tier();
+      if (t == Backend::soft) break;
+      group = std::min(group, t);
+      ++hw;
+    }
+    if (hw < 2) {
+      // Soft-tier key or a lone hardware job: the scalar reference path.
+      tags[base] = jobs[base].key->mac2(jobs[base].a, jobs[base].b);
+      ++base;
       continue;
     }
+    // 16 lanes when a wide kernel exists and there are enough jobs to beat
+    // two 8-wide sweeps; otherwise the aesni 8-chain kernel.
+    const std::size_t width =
+        (group >= Backend::avx2 && hw > 8) ? std::size_t{16} : std::size_t{8};
+    const std::size_t n = std::min(hw, width);
 
-    CmacLaneWalk walk[kCmacLanes];
+    CmacLaneWalk walk[kCmacLanesMax];
     for (std::size_t j = 0; j < n; ++j) {
       const AesCmac& key = *jobs[base + j].key;
       walk[j].init(jobs[base + j], key.aes_.round_key_bytes(), key.k1_,
@@ -278,27 +292,27 @@ void aes_cmac_many(std::span<const CmacJob> jobs,
     // duplicate an active lane, their wasted work riding in the latency
     // shadow of the real chains.
     for (;;) {
-      bool active[kCmacLanes] = {};
-      std::size_t run = 0, pad_src = kCmacLanes;
+      bool active[kCmacLanesMax] = {};
+      std::size_t run = 0, pad_src = width;
       for (std::size_t j = 0; j < n; ++j) {
         if (walk[j].done()) continue;
         active[j] = true;
         const std::size_t r = walk[j].run();
-        if (pad_src == kCmacLanes) {
+        if (pad_src == width) {
           pad_src = j;
           run = r;
         } else {
           run = std::min(run, r);
         }
       }
-      if (pad_src == kCmacLanes) break;  // all lanes finished
+      if (pad_src == width) break;  // all lanes finished
 
-      const std::uint8_t* rk[kCmacLanes];
-      std::uint8_t* xs[kCmacLanes];
-      const std::uint8_t* dp[kCmacLanes];
+      const std::uint8_t* rk[kCmacLanesMax];
+      std::uint8_t* xs[kCmacLanesMax];
+      const std::uint8_t* dp[kCmacLanesMax];
       std::uint8_t dummy_x[16];
       std::memcpy(dummy_x, walk[pad_src].x.data(), 16);
-      for (std::size_t l = 0; l < kCmacLanes; ++l) {
+      for (std::size_t l = 0; l < width; ++l) {
         if (l < n && active[l]) {
           rk[l] = walk[l].rk;
           xs[l] = walk[l].x.data();
@@ -309,7 +323,14 @@ void aes_cmac_many(std::span<const CmacJob> jobs,
           dp[l] = walk[pad_src].ptr();
         }
       }
-      detail::aesni_cbcmac_absorb_8(rk, xs, dp, run);
+      if (width == 16) {
+        if (group == Backend::vaes_avx512)
+          detail::vaes_cbcmac_absorb_16(rk, xs, dp, run);
+        else
+          detail::avx2_cbcmac_absorb_16(rk, xs, dp, run);
+      } else {
+        detail::aesni_cbcmac_absorb_8(rk, xs, dp, run);
+      }
       for (std::size_t j = 0; j < n; ++j)
         if (active[j]) walk[j].off += run;
     }

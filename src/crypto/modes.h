@@ -38,7 +38,13 @@ std::array<std::uint8_t, 16> aes_cbc_mac(const Aes128& aes, ByteSpan data);
 /// Immutable after construction; safe for concurrent mac() calls.
 class AesCmac {
  public:
-  explicit AesCmac(ByteSpan key16);
+  /// `backend` forces the underlying AES tier (testing / benchmarking);
+  /// the default auto-detects exactly as Aes128 does.
+  explicit AesCmac(ByteSpan key16,
+                   Aes128::Backend backend = Aes128::Backend::auto_detect);
+
+  /// Resolved AES tier name of this key ("soft" ... "vaes_avx512").
+  const char* backend() const;
 
   /// Full 16-byte tag over `data`.
   std::array<std::uint8_t, 16> mac(ByteSpan data) const;
@@ -68,12 +74,15 @@ struct CmacJob {
 };
 
 /// Computes tags[i] == jobs[i].key->mac2(jobs[i].a, jobs[i].b) for every
-/// job — but interleaves up to 8 independent CBC chains through the AES
-/// unit (crypto::detail::aesni_cbcmac_absorb_8). A lone CBC chain is
-/// latency-bound; eight keep the unit saturated, so a burst of per-packet
-/// MACs (Fig 4's one-MAC-per-packet) costs a fraction of the serial sweep.
-/// Tags are bit-identical to the scalar mac2 (pinned by
-/// crypto_property_test); the soft backend falls back to the scalar loop.
+/// job — but interleaves independent CBC chains through the AES unit. The
+/// lane width follows the narrowest tier in each group of consecutive
+/// hardware-backed keys: 16 chains on avx2 / vaes_avx512
+/// (detail::{avx2,vaes}_cbcmac_absorb_16), 8 on plain aesni
+/// (detail::aesni_cbcmac_absorb_8). A lone CBC chain is latency-bound;
+/// many keep the unit saturated, so a burst of per-packet MACs (Fig 4's
+/// one-MAC-per-packet) costs a fraction of the serial sweep. Tags are
+/// bit-identical to the scalar mac2 on every tier (pinned by
+/// crypto_property_test); soft-tier keys take the scalar loop.
 void aes_cmac_many(std::span<const CmacJob> jobs,
                    std::array<std::uint8_t, 16>* tags);
 

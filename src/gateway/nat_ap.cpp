@@ -253,7 +253,7 @@ void NatAccessPoint::handle_inner_ms_request(const wire::PacketView& pkt) {
   const core::Aid reply_aid = pkt.src_aid();
   const wire::EphIdBytes reply_ephid = pkt.src_ephid();
   ap_host_->request_ephid_for(
-      request->ephid_pub, request->lifetime, request->flags,
+      request->ephid_pub, request->pop_sig, request->lifetime, request->flags,
       [this, inner_hid, reply_aid, reply_ephid,
        inner_keys = inner_rec->keys](Result<core::EphIdCertificate> cert) {
         if (!cert.ok()) return;

@@ -121,8 +121,10 @@ void Host::request_ephid(core::EphIdLifetime lifetime, std::uint8_t flags,
   req.ephid_pub = kp.pub;
   req.flags = flags;
   req.lifetime = lifetime;
+  // Proof of possession: the MS only certifies keys whose holder can sign.
+  req.pop_sig = kp.sign(req.pop_tbs());
 
-  wire::MsgWriter plain(72);
+  wire::MsgWriter plain(160);
   req.encode(plain);
   wire::PacketWriter pw = start_packet(aid_, ms_cert_.ephid, ctrl_ephid_,
                                        wire::NextProto::control);
@@ -138,6 +140,7 @@ void Host::request_ephid(core::EphIdLifetime lifetime, std::uint8_t flags,
 }
 
 void Host::request_ephid_for(const core::EphIdPublicKeys& pub,
+                             const crypto::Ed25519Signature& pop_sig,
                              core::EphIdLifetime lifetime, std::uint8_t flags,
                              CertCallback cb) {
   if (auto ok = check_can_request(bootstrapped_, ctrl_exp_,
@@ -150,7 +153,11 @@ void Host::request_ephid_for(const core::EphIdPublicKeys& pub,
   req.ephid_pub = pub;
   req.flags = flags;
   req.lifetime = lifetime;
-  wire::MsgWriter plain(72);
+  // The inner host's own PoP signature rides along unchanged: pop_tbs()
+  // deliberately binds only the key material, so the proxy hop (different
+  // control EphID, different AS) does not invalidate it.
+  req.pop_sig = pop_sig;
+  wire::MsgWriter plain(160);
   req.encode(plain);
   wire::PacketWriter pw = start_packet(aid_, ms_cert_.ephid, ctrl_ephid_,
                                        wire::NextProto::control);

@@ -114,9 +114,11 @@ class Host {
   /// supplied by SOMEONE ELSE (an inner host behind an AP). The certificate
   /// is returned without entering this host's pool — the private keys live
   /// with the inner host ("the AP uses an ephemeral public key that is
-  /// supplied by its host").
+  /// supplied by its host"), so the proof-of-possession signature must also
+  /// come from the inner host and is forwarded verbatim.
   using CertCallback = std::function<void(Result<core::EphIdCertificate>)>;
   void request_ephid_for(const core::EphIdPublicKeys& pub,
+                         const crypto::Ed25519Signature& pop_sig,
                          core::EphIdLifetime lifetime, std::uint8_t flags,
                          CertCallback cb);
 

@@ -1,14 +1,14 @@
 #include "services/management_service.h"
 
 #include "core/packet_auth.h"
+#include "crypto/ed25519.h"
 
 namespace apna::services {
 
-Result<void> ManagementService::issue_into(const core::EphId& ctrl_ephid,
-                                           ByteSpan sealed_request,
-                                           core::ExpTime now, crypto::Rng& rng,
-                                           std::uint64_t reply_nonce,
-                                           wire::MsgWriter& out) {
+Result<void> ManagementService::begin_issue(const core::EphId& ctrl_ephid,
+                                            ByteSpan sealed_request,
+                                            core::ExpTime now,
+                                            PreparedIssue& prep) {
   // (HID, T1) = E^-1_kA(EphID_ctrl); abort if T1 < currTime (Fig 3).
   auto plain = as_.codec.open(ctrl_ephid);
   if (!plain) {
@@ -24,15 +24,14 @@ Result<void> ManagementService::issue_into(const core::EphId& ctrl_ephid,
     ++counters_.rejected_revoked;
     return Result<void>(Errc::revoked, "HID revoked");
   }
-  const auto host = as_.host_db.find(plain->hid);
+  auto host = as_.host_db.find(plain->hid);
   if (!host) {
     ++counters_.rejected_unknown_host;
     return Result<void>(Errc::unknown_host, "HID not registered");
   }
 
   // K+_EphID = E^-1_kHA(request) — authenticated decryption into pooled
-  // scratch (the reply-build scratch below reuses the same writer, so one
-  // BufferPool buffer serves the whole request).
+  // scratch; the decoded request is copied out, so the scratch dies here.
   wire::MsgWriter scratch(256);
   auto payload = core::open_control_into(scratch, host->keys,
                                          /*from_host=*/true, sealed_request);
@@ -46,33 +45,65 @@ Result<void> ManagementService::issue_into(const core::EphId& ctrl_ephid,
     return Result<void>(request.error());
   }
 
+  prep.hid = plain->hid;
+  prep.host = std::move(*host);
+  prep.request = *request;
+  prep.pop_tbs = prep.request.pop_tbs();
+  return Result<void>::success();
+}
+
+Result<void> ManagementService::finish_issue(const PreparedIssue& prep,
+                                             bool pop_ok, core::ExpTime now,
+                                             crypto::Rng& rng,
+                                             std::uint64_t reply_nonce,
+                                             wire::MsgWriter& out) {
+  // Never certify a public key the requester cannot use: the PoP signature
+  // proves possession of the new EphID's Ed25519 secret.
+  if (!pop_ok) {
+    ++counters_.rejected_bad_pop;
+    return Result<void>(Errc::bad_signature, "EphID proof-of-possession");
+  }
+  const core::EphIdRequest& request = prep.request;
+
   // EphID = E_kA(HID, ExpTime); C_EphID = {...} signed K-_AS.
-  const core::ExpTime exp = now + policy_.seconds_for(request->lifetime);
+  const core::ExpTime exp = now + policy_.seconds_for(request.lifetime);
   core::EphIdCertificate cert;
-  cert.ephid = as_.codec.issue(plain->hid, exp, rng);
+  cert.ephid = as_.codec.issue(prep.hid, exp, rng);
   cert.exp_time = exp;
-  cert.pub = request->ephid_pub;
+  cert.pub = request.ephid_pub;
   cert.aid = as_.aid;
   cert.aa_ephid = ident_.cert.aa_ephid;
-  cert.flags = (request->flags & core::kRequestReceiveOnly)
+  cert.flags = (request.flags & core::kRequestReceiveOnly)
                    ? core::kCertReceiveOnly
                    : 0;
   cert.sign_with(as_.secrets.sign);
 
   // E_kHA(C_EphID): the reply is encrypted so observers cannot relate the
   // fresh EphID to the control EphID (§IV-C last paragraph). The response
-  // encodes into the SAME pooled scratch (the decoded request was copied
-  // out above), and the stack-AEAD seal encrypts straight into `out` —
-  // the whole reply build touches one recycled buffer and the heap not at
-  // all (asserted <= 4 allocs/request by bench_e1).
-  scratch.clear();
+  // encodes into pooled scratch, and the stack-AEAD seal encrypts straight
+  // into `out` — the whole reply build touches one recycled buffer and the
+  // heap not at all (asserted <= 4 allocs/request by bench_e1).
+  wire::MsgWriter scratch(256);
   core::EphIdResponse resp;
   resp.cert = std::move(cert);
   resp.encode(scratch);
-  core::seal_control_into(out, host->keys, reply_nonce, /*from_host=*/false,
-                          scratch.span());
+  core::seal_control_into(out, prep.host.keys, reply_nonce,
+                          /*from_host=*/false, scratch.span());
   ++counters_.issued;
   return Result<void>::success();
+}
+
+Result<void> ManagementService::issue_into(const core::EphId& ctrl_ephid,
+                                           ByteSpan sealed_request,
+                                           core::ExpTime now, crypto::Rng& rng,
+                                           std::uint64_t reply_nonce,
+                                           wire::MsgWriter& out) {
+  PreparedIssue prep;
+  if (auto begun = begin_issue(ctrl_ephid, sealed_request, now, prep); !begun)
+    return begun;
+  const bool pop_ok = crypto::ed25519_verify(
+      prep.request.ephid_pub.sig, prep.pop_tbs, prep.request.pop_sig);
+  return finish_issue(prep, pop_ok, now, rng, reply_nonce, out);
 }
 
 Result<Bytes> ManagementService::issue_sealed(const core::EphId& ctrl_ephid,

@@ -55,6 +55,7 @@ class ManagementService : public ControlService {
     std::uint64_t rejected_unknown_host = 0;
     std::uint64_t rejected_bad_payload = 0;
     std::uint64_t rejected_revoked = 0;
+    std::uint64_t rejected_bad_pop = 0;  // proof-of-possession sig invalid
   };
 
   ManagementService(core::AsState& as, net::EventLoop& loop, crypto::Rng& rng,
@@ -87,11 +88,38 @@ class ManagementService : public ControlService {
   /// transport: appends the E_kHA-sealed EphIdResponse to `out`.
   /// Thread-safe; the rng and reply nonce come from the caller so pooled
   /// bursts are deterministic (ServicePool derives both from the request
-  /// index).
+  /// index). Verifies the request's proof-of-possession signature with the
+  /// scalar ed25519_verify; ServicePool uses the begin/finish split below
+  /// to amortize that check across a chunk with ed25519_verify_batch.
   Result<void> issue_into(const core::EphId& ctrl_ephid,
                           ByteSpan sealed_request, core::ExpTime now,
                           crypto::Rng& rng, std::uint64_t reply_nonce,
                           wire::MsgWriter& out);
+
+  /// A validated, decrypted, decoded issuance request whose
+  /// proof-of-possession signature has NOT yet been checked — the split
+  /// point that lets ServicePool verify a whole chunk's PoP signatures in
+  /// one ed25519_verify_batch sweep before finishing each request.
+  struct PreparedIssue {
+    core::Hid hid = 0;
+    core::HostRecord host;
+    core::EphIdRequest request;
+    std::array<std::uint8_t, 16 + 64 + 2> pop_tbs{};
+  };
+
+  /// Fig 3 steps up to (not including) the PoP check: control-EphID open /
+  /// expiry / revocation / host lookup / kHA open / request decode.
+  Result<void> begin_issue(const core::EphId& ctrl_ephid,
+                           ByteSpan sealed_request, core::ExpTime now,
+                           PreparedIssue& prep);
+
+  /// Fig 3 steps after the PoP check. `pop_ok` is the verdict for
+  /// prep.request.pop_sig over prep.pop_tbs (scalar or batch verified —
+  /// the two are bit-identical); false is counted and rejected here so
+  /// both paths share the bookkeeping.
+  Result<void> finish_issue(const PreparedIssue& prep, bool pop_ok,
+                            core::ExpTime now, crypto::Rng& rng,
+                            std::uint64_t reply_nonce, wire::MsgWriter& out);
 
   /// Bytes-returning convenience over issue_into (tests, single-thread
   /// bench path); draws the reply nonce from the internal counter.
@@ -118,6 +146,8 @@ class ManagementService : public ControlService {
         counters_.rejected_bad_payload.load(std::memory_order_relaxed);
     s.rejected_revoked =
         counters_.rejected_revoked.load(std::memory_order_relaxed);
+    s.rejected_bad_pop =
+        counters_.rejected_bad_pop.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -128,6 +158,7 @@ class ManagementService : public ControlService {
     std::atomic<std::uint64_t> rejected_unknown_host{0};
     std::atomic<std::uint64_t> rejected_bad_payload{0};
     std::atomic<std::uint64_t> rejected_revoked{0};
+    std::atomic<std::uint64_t> rejected_bad_pop{0};
   };
 
   core::AsState& as_;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <vector>
 
+#include "crypto/drbg.h"
+#include "crypto/ed25519.h"
 #include "crypto/rng.h"
 #include "services/accountability_agent.h"
 #include "services/management_service.h"
@@ -50,6 +53,8 @@ ServicePool::ServicePool(ManagementService& ms, AccountabilityAgent* aa,
   }
   if (cfg_.chunk_jobs == 0) cfg_.chunk_jobs = 16;
   slots_ = std::make_unique<Slot[]>(cfg_.threads);
+  for (std::size_t i = 0; i < cfg_.threads; ++i)
+    slots_[i].drbg = std::make_unique<crypto::HmacDrbg>(cfg_.rng_seed, i);
   workers_.reserve(cfg_.threads - 1);
   for (std::size_t i = 1; i < cfg_.threads; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -70,21 +75,62 @@ void ServicePool::process_chunk(std::size_t slot, std::size_t begin,
   if (kind_ == JobKind::issuance) {
     const auto* jobs = static_cast<const IssueJob*>(jobs_);
     auto* results = static_cast<Result<Bytes>*>(results_);
-    for (std::size_t j = begin; j < end; ++j) {
-      // Per-REQUEST rng and reply nonce, both derived from the request's
-      // burst index: results are bit-identical no matter which worker (or
-      // how many workers) ran the request.
-      crypto::ChaChaRng rng(cfg_.rng_seed ^
-                            (0x9e3779b97f4a7c15ULL * (nonce0_ + j)));
-      wire::MsgWriter out(320);
-      auto issued = ms_.issue_into(jobs[j].ctrl, jobs[j].sealed_request, now_,
-                                   rng, nonce0_ + j, out);
+    const std::size_t m = end - begin;
+
+    // Stage 1 — validate/decrypt/decode every request of the chunk.
+    std::vector<ManagementService::PreparedIssue> preps(m);
+    std::vector<Result<void>> begun;
+    begun.reserve(m);
+    for (std::size_t j = 0; j < m; ++j)
+      begun.push_back(ms_.begin_issue(jobs[begin + j].ctrl,
+                                      jobs[begin + j].sealed_request, now_,
+                                      preps[j]));
+
+    // Stage 2 — one ed25519_verify_batch sweep over the chunk's
+    // proof-of-possession signatures (bit-identical to per-request scalar
+    // verification; see ed25519.h). The z coefficients come from this
+    // SLOT's private DRBG — they never influence the verdicts, so
+    // determinism per (seed, burst index) is preserved.
+    std::vector<crypto::Ed25519BatchItem> items;
+    std::vector<std::size_t> item_index;
+    items.reserve(m);
+    item_index.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!begun[j]) continue;
+      items.push_back({&preps[j].request.ephid_pub.sig,
+                       ByteSpan(preps[j].pop_tbs.data(),
+                                preps[j].pop_tbs.size()),
+                       &preps[j].request.pop_sig});
+      item_index.push_back(j);
+    }
+    std::vector<char> pop_ok(m, 0);
+    if (!items.empty()) {
+      auto verdicts = std::make_unique<bool[]>(items.size());
+      (void)crypto::ed25519_verify_batch({items.data(), items.size()},
+                                         verdicts.get(), *slots_[slot].drbg);
+      for (std::size_t v = 0; v < items.size(); ++v)
+        pop_ok[item_index[v]] = verdicts[v] ? 1 : 0;
+    }
+
+    // Stage 3 — finish each request with its own (seed, index)-derived
+    // DRBG and reply nonce: results are bit-identical no matter which
+    // worker (or how many workers) ran the request.
+    for (std::size_t j = 0; j < m; ++j) {
       ++slots_[slot].stats.issuance_jobs;
+      if (!begun[j]) {
+        ++slots_[slot].stats.failed_jobs;
+        results[begin + j] = Result<Bytes>(begun[j].error());
+        continue;
+      }
+      crypto::HmacDrbg rng(cfg_.rng_seed, nonce0_ + begin + j);
+      wire::MsgWriter out(320);
+      auto issued = ms_.finish_issue(preps[j], pop_ok[j] != 0, now_, rng,
+                                     nonce0_ + begin + j, out);
       if (issued) {
-        results[j] = out.take();
+        results[begin + j] = out.take();
       } else {
         ++slots_[slot].stats.failed_jobs;
-        results[j] = Result<Bytes>(issued.error());
+        results[begin + j] = Result<Bytes>(issued.error());
       }
     }
   } else {

@@ -43,6 +43,7 @@
 
 #include "core/ids.h"
 #include "core/messages.h"
+#include "crypto/rng.h"
 #include "util/result.h"
 #include "wire/packet_buf.h"
 
@@ -122,10 +123,15 @@ class ServicePool {
     /// Total processing threads (calling thread included). 0 → one per
     /// hardware thread.
     std::size_t threads = 0;
-    /// Jobs per claim unit.
+    /// Jobs per claim unit. Also the batch width of the per-chunk
+    /// ed25519_verify_batch PoP sweep — the default 16 amortizes the
+    /// shared point doublings across the whole chunk.
     std::size_t chunk_jobs = 16;
     /// Base seed for the per-request rngs. Results depend on (seed,
     /// request index) only — never on worker assignment or thread count.
+    /// Each request gets HmacDrbg(rng_seed, nonce0 + index); each worker
+    /// SLOT additionally owns HmacDrbg(rng_seed, slot) for randomness that
+    /// never surfaces in outputs (batch-verification coefficients).
     std::uint64_t rng_seed = 0x5eedc0de;
   };
 
@@ -156,7 +162,7 @@ class ServicePool {
   /// Issues the whole burst across all processing threads; results[i] is
   /// the sealed response (or error) for burst[i]. Blocks until done.
   /// Deterministic: a contiguous block of reply nonces is reserved up
-  /// front and request i uses nonce0+i and ChaChaRng(seed, nonce0+i).
+  /// front and request i uses nonce0+i and HmacDrbg(seed, nonce0+i).
   void process_issuance(std::span<const IssueJob> burst, core::ExpTime now,
                         std::span<Result<Bytes>> results);
 
@@ -180,6 +186,13 @@ class ServicePool {
   struct alignas(64) Slot {
     mutable std::mutex mu;
     Stats stats;
+    /// Worker-private DRBG (crypto::HmacDrbg, seeded per slot) for
+    /// randomness that must never contend across threads and never shows
+    /// up in deterministic outputs: the z coefficients of the chunk PoP
+    /// batch verification. Owned exclusively by this slot's worker while a
+    /// burst runs (crypto_concurrency_test stresses the no-sharing
+    /// invariant under TSan).
+    std::unique_ptr<crypto::Rng> drbg;
   };
 
   ManagementService& ms_;

@@ -114,6 +114,7 @@ TEST(MsgCodec, AgreesWithLegacySerializeOnRandomizedMessages) {
       m.ephid_pub.sig = g.arr<32>();
       m.flags = g.rng.next_u64() % 2 ? core::kRequestReceiveOnly : 0;
       m.lifetime = static_cast<core::EphIdLifetime>(g.rng.next_u64() % 3);
+      m.pop_sig = g.arr<64>();
       check_codec(m);
     }
     {
@@ -307,11 +308,13 @@ struct Fixture {
     std::vector<Bytes> out;
     out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
+      auto kp = core::EphIdKeyPair::generate(rng);
       core::EphIdRequest req;
-      req.ephid_pub = core::EphIdKeyPair::generate(rng).pub;
+      req.ephid_pub = kp.pub;
       req.flags = 0;
       req.lifetime =
           static_cast<core::EphIdLifetime>(i % host::kLifetimeClasses);
+      req.pop_sig = kp.sign(req.pop_tbs());
       out.push_back(core::seal_control(keys, nonce0 + i, true,
                                        req.serialize()));
     }
@@ -454,6 +457,78 @@ TEST(ServicePool, MixedValidAndInvalidRequests) {
   EXPECT_EQ(pool.stats().failed_jobs, kN / 4);
   EXPECT_EQ(f.ms.stats().issued, kN - kN / 4);
   EXPECT_EQ(f.ms.stats().rejected_bad_payload, kN / 4);
+}
+
+TEST(ServicePool, PooledIssuanceIsChunkSizeInvariant) {
+  // chunk_jobs is also the ed25519_verify_batch PoP width; sweeping it must
+  // not change a single output byte (the batch-vs-scalar equivalence
+  // contract, observed end to end through the pool).
+  constexpr std::size_t kN = 48;
+  auto run = [&](std::size_t chunk) {
+    Fixture f;
+    services::ServicePool::Config cfg;
+    cfg.threads = 2;
+    cfg.chunk_jobs = chunk;
+    services::ServicePool pool(f.ms, nullptr, cfg);
+    const auto requests = f.make_requests(kN, 1);
+    std::vector<services::ServicePool::IssueJob> jobs(kN);
+    for (std::size_t i = 0; i < kN; ++i) jobs[i] = {f.ctrl, requests[i]};
+    std::vector<Result<Bytes>> results(kN, Result<Bytes>(Errc::internal));
+    pool.process_issuance(jobs, f.loop.now_seconds(), results);
+    std::vector<Bytes> out;
+    for (auto& r : results) {
+      EXPECT_TRUE(r.ok());
+      out.push_back(r.take());
+    }
+    return out;
+  };
+  const auto chunk1 = run(1);   // every batch degenerates to one signature
+  const auto chunk16 = run(16);
+  const auto chunk64 = run(64);  // one batch spans the whole burst
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(chunk1[i], chunk16[i]) << i;
+    EXPECT_EQ(chunk16[i], chunk64[i]) << i;
+  }
+}
+
+TEST(ServicePool, BadPopInChunkRejectsOnlyThatRequest) {
+  // One forged proof-of-possession inside an otherwise-valid chunk: the
+  // batch RLC check fails, bisection isolates the forgery, and every other
+  // request in the same chunk still issues — outcomes identical to scalar
+  // verification.
+  Fixture f;
+  services::ServicePool::Config cfg;
+  cfg.threads = 2;
+  cfg.chunk_jobs = 16;
+  services::ServicePool pool(f.ms, nullptr, cfg);
+
+  constexpr std::size_t kN = 16;
+  std::vector<Bytes> requests;
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto kp = core::EphIdKeyPair::generate(f.rng);
+    core::EphIdRequest req;
+    req.ephid_pub = kp.pub;
+    req.flags = 0;
+    req.lifetime = core::EphIdLifetime::short_term;
+    req.pop_sig = kp.sign(req.pop_tbs());
+    if (i == 9) req.pop_sig[11] ^= 0x08;  // forge exactly one
+    requests.push_back(
+        core::seal_control(f.keys, 1 + i, true, req.serialize()));
+  }
+  std::vector<services::ServicePool::IssueJob> jobs(kN);
+  for (std::size_t i = 0; i < kN; ++i) jobs[i] = {f.ctrl, requests[i]};
+  std::vector<Result<Bytes>> results(kN, Result<Bytes>(Errc::internal));
+  pool.process_issuance(jobs, f.loop.now_seconds(), results);
+
+  for (std::size_t i = 0; i < kN; ++i) {
+    if (i == 9)
+      EXPECT_EQ(results[i].code(), Errc::bad_signature) << i;
+    else
+      EXPECT_TRUE(results[i].ok()) << i;
+  }
+  EXPECT_EQ(f.ms.stats().issued, kN - 1);
+  EXPECT_EQ(f.ms.stats().rejected_bad_pop, 1u);
+  EXPECT_EQ(pool.stats().failed_jobs, 1u);
 }
 
 TEST(ServicePool, PooledShutoffVerification) {

@@ -15,6 +15,7 @@
 #include "core/replay.h"
 #include "core/revocation.h"
 #include "core/session.h"
+#include "crypto/ed25519.h"
 #include "util/hex.h"
 
 namespace apna::core {
@@ -651,15 +652,21 @@ TEST(ControlSeal, WrongKeyRejected) {
 
 TEST(Messages, EphIdRequestRoundtrip) {
   crypto::ChaChaRng rng(13);
+  auto kp = EphIdKeyPair::generate(rng);
   EphIdRequest req;
-  req.ephid_pub = EphIdKeyPair::generate(rng).pub;
+  req.ephid_pub = kp.pub;
   req.flags = kRequestReceiveOnly;
   req.lifetime = EphIdLifetime::medium_term;
+  req.pop_sig = kp.sign(req.pop_tbs());
   auto parsed = EphIdRequest::parse(req.serialize());
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->ephid_pub, req.ephid_pub);
   EXPECT_EQ(parsed->flags, req.flags);
   EXPECT_EQ(parsed->lifetime, req.lifetime);
+  EXPECT_EQ(parsed->pop_sig, req.pop_sig);
+  // The proof-of-possession covers the key material and survives parsing.
+  EXPECT_TRUE(crypto::ed25519_verify(parsed->ephid_pub.sig, parsed->pop_tbs(),
+                                     parsed->pop_sig));
 }
 
 TEST(Messages, BootstrapRequestRoundtrip) {

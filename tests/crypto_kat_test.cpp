@@ -20,6 +20,7 @@
 
 #include "crypto/aes.h"
 #include "crypto/chacha20.h"
+#include "crypto/drbg.h"
 #include "crypto/ed25519.h"
 #include "crypto/gcm.h"
 #include "crypto/hmac.h"
@@ -248,8 +249,24 @@ TEST(Aes128Kat, BackendsAgreeOnBulkBlocks) {
   soft.encrypt_blocks(in.data(), a.data(), in.size() / 16);
   autod.encrypt_blocks(in.data(), b.data(), in.size() / 16);
   EXPECT_EQ(a, b);
-  if (apna::crypto::Aes128::has_aesni()) {
-    EXPECT_STREQ(autod.backend(), "aesni");
+  // auto_detect resolves to the widest CPU-supported tier (after the
+  // APNA_CRYPTO_BACKEND cap); every compiled tier must agree with soft.
+  using Backend = apna::crypto::Aes128::Backend;
+  EXPECT_STREQ(autod.backend(),
+               apna::crypto::Aes128::backend_name(
+                   apna::crypto::Aes128::best_backend()));
+  // best_backend() folds in both cpuid and the APNA_CRYPTO_BACKEND cap, so
+  // this also holds under a forced-soft run (where best IS soft).
+  EXPECT_EQ(autod.tier(), apna::crypto::Aes128::best_backend());
+  if (apna::crypto::Aes128::best_backend() != Backend::soft) {
+    EXPECT_NE(autod.tier(), Backend::soft);
+  }
+  for (Backend tier : {Backend::aesni, Backend::avx2, Backend::vaes_avx512}) {
+    apna::crypto::Aes128 forced(key, tier);
+    if (forced.tier() != tier) continue;  // CPU lacks it: downgraded, skip
+    Bytes c(in.size());
+    forced.encrypt_blocks(in.data(), c.data(), in.size() / 16);
+    EXPECT_EQ(a, c) << "tier " << forced.backend();
   }
 }
 
@@ -382,6 +399,118 @@ TEST(Ed25519Kat, Rfc8032_71) {
     bad_msg.push_back(0x00);
     EXPECT_FALSE(apna::crypto::ed25519_verify(pub, bad_msg, sig));
     ++i;
+  }
+}
+
+// ------------------------------------------------------- HMAC-DRBG (SP 800-90A) --
+
+// NIST CAVP HMAC_DRBG SHA-256 vector (no reseed, no personalization, count
+// 0): instantiate, generate 1024 bits twice, compare the SECOND output.
+TEST(HmacDrbgKat, NistCavpSha256NoReseed) {
+  const Bytes entropy = must_hex(
+      "ca851911349384bffe89de1cbdc46e6831e44d34a4fb935ee285dd14b71a7488");
+  const Bytes nonce = must_hex("659ba96c601dc69fc902940805ec0ca8");
+  apna::crypto::HmacDrbg drbg(entropy, nonce, {});
+  std::array<std::uint8_t, 128> out{};
+  ASSERT_TRUE(drbg.generate(out));
+  ASSERT_TRUE(drbg.generate(out));
+  EXPECT_EQ(
+      hex_encode(out),
+      "e528e9abf2dece54d47c7e75e5fe302149f817ea9fb4bee6f4199697d04d5b89"
+      "d54fbb978a15b5c443c9ec21036d2460b6f73ebad0dc2aba6e624abf07745bc1"
+      "07694bb7547bb0995f70de25d6b29e2d3011bb19d27676c07162c8b5ccde0668"
+      "961df86803482cb37ed6d5c0bb8d50cf1f50d476aa0458bdaba806f48be9dcb8");
+}
+
+// fips140-shaped known answers (drbg_nopr_hmac_sha256 shapes), pinned from
+// an independent SP 800-90A reference implementation: instantiate with
+// entropy+nonce+personalization, then (1) plain generate x2, (2) reseed
+// with additional input before generating, (3) additional input on both
+// generate calls. The vector is always the SECOND generate output.
+TEST(HmacDrbgKat, Fips140InstantiateGenerateShapes) {
+  const Bytes entropy = must_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = must_hex("202122232425262728292a2b2c2d2e2f");
+  const Bytes pers = to_bytes("apna-fips140-kat");
+  std::array<std::uint8_t, 64> out{};
+
+  {
+    apna::crypto::HmacDrbg drbg(entropy, nonce, pers);
+    ASSERT_TRUE(drbg.generate(out));
+    ASSERT_TRUE(drbg.generate(out));
+    EXPECT_EQ(
+        hex_encode(out),
+        "4591c5022d4917ff082f3f4f55324aa397b4708bfb72fb72fff6282f3a6dd62d"
+        "25bf81c9dc646f3bf495e317f2a14096faa71df6bdd73cb5ba221a925f7959ac");
+  }
+  {
+    apna::crypto::HmacDrbg drbg(entropy, nonce, pers);
+    drbg.reseed(must_hex("404142434445464748494a4b4c4d4e4f"
+                         "505152535455565758595a5b5c5d5e5f"),
+                to_bytes("additional-input"));
+    ASSERT_TRUE(drbg.generate(out));
+    ASSERT_TRUE(drbg.generate(out));
+    EXPECT_EQ(
+        hex_encode(out),
+        "7cd6601df690817ef69d5c841e48a7e15ca7e95e5e469b9967b0a0e7832269ca"
+        "1a49f8ffd02296c3a8f018b3e3339d71d8f6a25ea99598c96134b54401dbf0ac");
+  }
+  {
+    apna::crypto::HmacDrbg drbg(entropy, nonce, pers);
+    ASSERT_TRUE(drbg.generate(out, to_bytes("add-1")));
+    ASSERT_TRUE(drbg.generate(out, to_bytes("add-2")));
+    EXPECT_EQ(
+        hex_encode(out),
+        "6821bdb9c4ab20708942ef43a834b5290c6de6682eaea6f2b5fa8259ab34fd24"
+        "ea93f567478315c52e934d9b6fa49a6484c1b7091c3e9882dcc2ceb3a54d2715");
+  }
+}
+
+// The (seed, stream) pool ctor is LE64(seed) ‖ LE64(stream) entropy with
+// personalization "apna-pool" — pinned so ServicePool per-request outputs
+// can never silently change seed derivation.
+TEST(HmacDrbgKat, PoolCtorPinnedAndStreamSeparated) {
+  apna::crypto::HmacDrbg drbg(0x5eedc0de, 7);
+  std::array<std::uint8_t, 32> out{};
+  ASSERT_TRUE(drbg.generate(out));
+  EXPECT_EQ(
+      hex_encode(out),
+      "95018ca0497d9b18932e4d38e50c86f28f2608974c8db394c830c31ec1e5ee70");
+
+  // Same (seed, stream) → identical; different stream → disjoint output.
+  apna::crypto::HmacDrbg again(0x5eedc0de, 7);
+  apna::crypto::HmacDrbg other(0x5eedc0de, 8);
+  std::array<std::uint8_t, 32> b{}, c{};
+  ASSERT_TRUE(again.generate(b));
+  ASSERT_TRUE(other.generate(c));
+  EXPECT_EQ(hex_encode(b), hex_encode(out));
+  EXPECT_NE(hex_encode(c), hex_encode(out));
+}
+
+TEST(HmacDrbgKat, ReseedIntervalEnforcedAndFillStirs) {
+  const Bytes entropy = must_hex("00112233445566778899aabbccddeeff");
+  apna::crypto::HmacDrbg drbg(entropy, {}, {}, /*reseed_interval=*/3);
+  std::array<std::uint8_t, 16> out{};
+  EXPECT_EQ(drbg.reseed_counter(), 1u);
+  ASSERT_TRUE(drbg.generate(out));
+  ASSERT_TRUE(drbg.generate(out));
+  ASSERT_TRUE(drbg.generate(out));
+  // Interval exhausted: generate refuses until a reseed.
+  EXPECT_TRUE(drbg.needs_reseed());
+  EXPECT_FALSE(drbg.generate(out));
+  drbg.reseed(entropy);
+  EXPECT_EQ(drbg.reseed_counter(), 1u);
+  ASSERT_TRUE(drbg.generate(out));
+
+  // fill() must never fail (Rng contract): past the interval it performs a
+  // deterministic entropy-free state-stir. Two same-seeded instances stay
+  // in lockstep through the stir.
+  apna::crypto::HmacDrbg a(entropy, {}, {}, 2), b2(entropy, {}, {}, 2);
+  std::array<std::uint8_t, 16> av{}, bv{};
+  for (int i = 0; i < 6; ++i) {
+    a.fill(av);
+    b2.fill(bv);
+    EXPECT_EQ(hex_encode(av), hex_encode(bv)) << "draw " << i;
   }
 }
 

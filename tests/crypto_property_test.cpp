@@ -2,6 +2,8 @@
 // checks complementing the KATs in crypto_test.cpp.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "crypto/aead.h"
 #include "crypto/aes.h"
 #include "crypto/chacha20.h"
@@ -395,6 +397,231 @@ TEST(GcmProperty, CiphertextPrefixMatchesCtrAtCounter2) {
   const Bytes expect_ct = aes_ctr(aes, ctr, pt);
   EXPECT_EQ(hex_encode(ByteSpan(sealed.data(), pt.size())),
             hex_encode(expect_ct));
+}
+
+// ---- Backend-tier equivalence -----------------------------------------------------
+// Every compiled AES tier (soft / aesni / avx2 / vaes_avx512) must produce
+// bit-identical output through every public entry point; forcing a tier the
+// CPU lacks silently downgrades, so the loop below self-skips without ever
+// crashing on narrower hosts.
+
+std::vector<Aes128::Backend> compiled_tiers() {
+  std::vector<Aes128::Backend> tiers = {Aes128::Backend::soft};
+  for (const Aes128::Backend b :
+       {Aes128::Backend::aesni, Aes128::Backend::avx2,
+        Aes128::Backend::vaes_avx512}) {
+    if (Aes128::resolve_backend(b) == b) tiers.push_back(b);
+  }
+  return tiers;
+}
+
+TEST(BackendTiers, ForcedSoftCmacMatchesHardware) {
+  // The explicit non-AESNI fallback check: a CMAC computed entirely on the
+  // portable bitsliced path equals the hardware tiers for every extent
+  // shape the lane kernels handle (empty / partial / multi-block).
+  ChaChaRng rng(4242);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                std::size_t{16}, std::size_t{47},
+                                std::size_t{256}, std::size_t{1000}}) {
+    const Bytes key = rng.bytes(16);
+    const Bytes a = rng.bytes(len);
+    const Bytes b = rng.bytes((len * 3 + 5) % 97);
+    const AesCmac soft(key, Aes128::Backend::soft);
+    const AesCmac hw(key);
+    EXPECT_STREQ(soft.backend(), "soft");
+    EXPECT_EQ(hex_encode(soft.mac(a)), hex_encode(hw.mac(a))) << len;
+    EXPECT_EQ(hex_encode(soft.mac2(a, b)), hex_encode(hw.mac2(a, b))) << len;
+  }
+}
+
+TEST(BackendTiers, EncryptBlocksAgreesOnEveryCompiledTier) {
+  ChaChaRng rng(515);
+  const Bytes key = rng.bytes(16);
+  // 37 blocks: exercises the 16-wide main loop, an 8-wide step, and a
+  // scalar tail on every tier.
+  const Bytes pt = rng.bytes(37 * 16);
+  Bytes want(pt.size());
+  Aes128 soft(key, Aes128::Backend::soft);
+  soft.encrypt_blocks(pt.data(), want.data(), 37);
+  for (const Aes128::Backend tier : compiled_tiers()) {
+    Aes128 aes(key, tier);
+    ASSERT_EQ(aes.tier(), tier);
+    Bytes got(pt.size());
+    aes.encrypt_blocks(pt.data(), got.data(), 37);
+    EXPECT_EQ(hex_encode(got), hex_encode(want)) << aes.backend();
+  }
+}
+
+TEST(BackendTiers, CmacManyMixedTierGroupsMatchScalar) {
+  // aes_cmac_many groups consecutive hardware keys by their MINIMUM tier
+  // and widens to 16 lanes when the group supports it; soft keys fall out
+  // as scalar jobs. Mixing all compiled tiers in one batch must still give
+  // scalar-identical tags for every job.
+  ChaChaRng rng(616);
+  const auto tiers = compiled_tiers();
+  constexpr std::size_t kJobs = 41;  // 16-wide + 8-wide + ragged tail
+  std::vector<AesCmac> keys;
+  std::vector<Bytes> as, bs;
+  keys.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    keys.emplace_back(rng.bytes(16), tiers[i % tiers.size()]);
+    as.push_back(rng.bytes((i * 29) % 301));
+    bs.push_back(rng.bytes((i * 13 + 7) % 129));
+  }
+  std::vector<CmacJob> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i)
+    jobs.push_back(CmacJob{&keys[i], as[i], bs[i]});
+  std::vector<std::array<std::uint8_t, 16>> tags(kJobs);
+  aes_cmac_many(jobs, tags.data());
+  for (std::size_t i = 0; i < kJobs; ++i)
+    EXPECT_EQ(hex_encode(tags[i]), hex_encode(keys[i].mac2(as[i], bs[i])))
+        << "job " << i << " tier " << keys[i].backend();
+}
+
+TEST(BackendTiers, ChaChaWideKernelsMatchScalarBlocks) {
+  // The 4-way SSE2 and 8-way AVX2 kernels must reproduce the scalar block
+  // sequence exactly, including the 32-bit counter wrap.
+  ChaChaRng rng(717);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  for (const std::uint32_t counter : {0u, 1u, 0xfffffffdu}) {
+    std::uint8_t want[512];
+    for (int b = 0; b < 8; ++b)
+      chacha20_block(key.data(), counter + static_cast<std::uint32_t>(b),
+                     nonce.data(), want + 64 * b);
+    std::uint8_t got4[256];
+    detail::chacha20_blocks4_sse2(key.data(), counter, nonce.data(), got4);
+    EXPECT_EQ(hex_encode(ByteSpan(got4, 256)),
+              hex_encode(ByteSpan(want, 256)))
+        << "sse2 counter=" << counter;
+    if (detail::chacha20_avx2_supported()) {
+      std::uint8_t got8[512];
+      detail::chacha20_blocks8_avx2(key.data(), counter, nonce.data(), got8);
+      EXPECT_EQ(hex_encode(ByteSpan(got8, 512)),
+                hex_encode(ByteSpan(want, 512)))
+          << "avx2 counter=" << counter;
+    }
+  }
+}
+
+TEST(BackendTiers, ChaChaXcryptMatchesScalarReferenceAcrossLengths) {
+  // chacha20_xcrypt internally mixes 8/4/1-block strides; every length
+  // around the stride boundaries must equal the scalar XOR reference.
+  ChaChaRng rng(818);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{63}, std::size_t{64},
+        std::size_t{65}, std::size_t{255}, std::size_t{256}, std::size_t{257},
+        std::size_t{511}, std::size_t{512}, std::size_t{513},
+        std::size_t{1337}}) {
+    const Bytes pt = rng.bytes(len);
+    Bytes want(len);
+    std::uint8_t block[64];
+    for (std::size_t off = 0; off < len; off += 64) {
+      chacha20_block(key.data(), 1 + static_cast<std::uint32_t>(off / 64),
+                     nonce.data(), block);
+      for (std::size_t i = off; i < std::min(len, off + 64); ++i)
+        want[i] = static_cast<std::uint8_t>(pt[i] ^ block[i - off]);
+    }
+    Bytes got(len);
+    chacha20_xcrypt(key.data(), 1, nonce.data(), pt, got);
+    EXPECT_EQ(hex_encode(got), hex_encode(want)) << "len=" << len;
+  }
+}
+
+// ---- Ed25519 batch verification ---------------------------------------------------
+// The accept/reject SETS must be bit-identical to per-signature
+// ed25519_verify under randomized corruption (the bisection fallback
+// contract consumed by ServicePool's PoP sweep).
+
+struct BatchFixture {
+  std::vector<std::array<std::uint8_t, 32>> seeds, pubs;
+  std::vector<Bytes> msgs;
+  std::vector<Ed25519Signature> sigs;
+
+  explicit BatchFixture(std::size_t n, ChaChaRng& rng) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::array<std::uint8_t, 32> seed{};
+      rng.fill(seed);
+      const auto pub = ed25519_public_key(seed);
+      Bytes msg = rng.bytes(rng.next_u64() % 96);
+      sigs.push_back(ed25519_sign(seed, pub, msg));
+      seeds.push_back(seed);
+      pubs.push_back(pub);
+      msgs.push_back(std::move(msg));
+    }
+  }
+
+  std::vector<Ed25519BatchItem> items() const {
+    std::vector<Ed25519BatchItem> out;
+    for (std::size_t i = 0; i < sigs.size(); ++i)
+      out.push_back({&pubs[i], msgs[i], &sigs[i]});
+    return out;
+  }
+
+  void check_matches_scalar(ChaChaRng& zrng) const {
+    const auto batch_items = items();
+    const auto out = std::make_unique<bool[]>(batch_items.size());
+    const bool all = ed25519_verify_batch(
+        {batch_items.data(), batch_items.size()}, out.get(), zrng);
+    bool expect_all = true;
+    for (std::size_t i = 0; i < batch_items.size(); ++i) {
+      const bool scalar = ed25519_verify(pubs[i], msgs[i], sigs[i]);
+      EXPECT_EQ(out[i], scalar) << "item " << i;
+      expect_all = expect_all && scalar;
+    }
+    EXPECT_EQ(all, expect_all);
+  }
+};
+
+TEST(Ed25519Batch, AllValidBatchesAccept) {
+  ChaChaRng rng(2024), zrng(5150);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{16}, std::size_t{33}}) {
+    BatchFixture f(n, rng);
+    f.check_matches_scalar(zrng);
+  }
+}
+
+TEST(Ed25519Batch, RandomizedCorruptionsMatchScalarExactly) {
+  ChaChaRng rng(31337), zrng(999);
+  for (int round = 0; round < 12; ++round) {
+    const std::size_t n = 1 + rng.next_u64() % 24;
+    BatchFixture f(n, rng);
+    // Corrupt a random subset in randomized ways; bisection must isolate
+    // exactly the scalar-rejected items.
+    const std::size_t bad = rng.next_u64() % (n + 1);
+    for (std::size_t k = 0; k < bad; ++k) {
+      const std::size_t i = rng.next_u64() % n;
+      switch (rng.next_u64() % 5) {
+        case 0: f.sigs[i][rng.next_u64() % 32] ^= 1 << (rng.next_u64() % 8);
+          break;  // corrupt R half
+        case 1: f.sigs[i][32 + rng.next_u64() % 31] ^= 1; break;  // S half
+        case 2:
+          if (!f.msgs[i].empty())
+            f.msgs[i][rng.next_u64() % f.msgs[i].size()] ^= 0x40;
+          else
+            f.msgs[i].push_back(0x5a);
+          break;
+        case 3: f.pubs[i][rng.next_u64() % 32] ^= 0x04; break;
+        case 4: f.sigs[i][63] |= 0xe0; break;  // non-canonical S
+      }
+    }
+    f.check_matches_scalar(zrng);
+  }
+}
+
+TEST(Ed25519Batch, SwappedSignaturesBothRejected) {
+  ChaChaRng rng(606), zrng(707);
+  BatchFixture f(8, rng);
+  std::swap(f.sigs[2], f.sigs[5]);
+  f.check_matches_scalar(zrng);
+}
+
+TEST(Ed25519Batch, EmptyBatchAccepts) {
+  ChaChaRng zrng(1);
+  EXPECT_TRUE(ed25519_verify_batch({}, nullptr, zrng));
 }
 
 }  // namespace

@@ -143,6 +143,7 @@ Bytes make_request(AsFixture::ManualHost& h, crypto::Rng& rng,
   req.ephid_pub = kp.pub;
   req.flags = flags;
   req.lifetime = lt;
+  req.pop_sig = kp.sign(req.pop_tbs());
   return core::seal_control(h.keys, nonce, true, req.serialize());
 }
 
@@ -204,6 +205,50 @@ TEST(ManagementService, ReceiveOnlyFlagPropagates) {
   auto opened = core::open_control(h->keys, false, *resp);
   auto parsed = core::EphIdResponse::parse(*opened);
   EXPECT_TRUE(parsed->cert.receive_only());
+}
+
+TEST(ManagementService, BadProofOfPossessionRejected) {
+  // A request whose PoP signature does not verify under the key being
+  // certified must be refused: the MS would otherwise certify a public key
+  // its sender cannot use (or one copied from someone else's request).
+  AsFixture f;
+  auto h = f.bootstrap(1, "password-1");
+  ASSERT_TRUE(h.ok());
+  auto kp = core::EphIdKeyPair::generate(f.rng);
+  core::EphIdRequest req;
+  req.ephid_pub = kp.pub;
+  req.flags = 0;
+  req.lifetime = core::EphIdLifetime::short_term;
+  req.pop_sig = kp.sign(req.pop_tbs());
+  req.pop_sig[3] ^= 0x10;  // corrupt the otherwise-valid signature
+  const Bytes sealed =
+      core::seal_control(h->keys, 1, true, req.serialize());
+  EXPECT_EQ(
+      f.ms.issue_sealed(h->ctrl, sealed, f.loop.now_seconds(), f.rng).code(),
+      Errc::bad_signature);
+  EXPECT_EQ(f.ms.stats().rejected_bad_pop, 1u);
+  EXPECT_EQ(f.ms.stats().issued, 0u);
+}
+
+TEST(ManagementService, PopSignatureOverWrongKeyRejected) {
+  // Signing with a DIFFERENT key than the one being certified (a stolen
+  // public key with the thief's own signature) must also fail.
+  AsFixture f;
+  auto h = f.bootstrap(1, "password-1");
+  ASSERT_TRUE(h.ok());
+  auto victim = core::EphIdKeyPair::generate(f.rng);
+  auto thief = core::EphIdKeyPair::generate(f.rng);
+  core::EphIdRequest req;
+  req.ephid_pub = victim.pub;  // certifying the victim's key...
+  req.flags = 0;
+  req.lifetime = core::EphIdLifetime::short_term;
+  req.pop_sig = thief.sign(req.pop_tbs());  // ...with the thief's signature
+  const Bytes sealed =
+      core::seal_control(h->keys, 1, true, req.serialize());
+  EXPECT_EQ(
+      f.ms.issue_sealed(h->ctrl, sealed, f.loop.now_seconds(), f.rng).code(),
+      Errc::bad_signature);
+  EXPECT_EQ(f.ms.stats().rejected_bad_pop, 1u);
 }
 
 TEST(ManagementService, ExpiredControlEphIdRejected) {
