@@ -45,6 +45,8 @@ constexpr ScenarioInfo kScenarios[] = {
     {"multi_as", "population spread over 100s of ASes with inter-AS traffic"},
     {"dns_storm",
      "NXDOMAIN lookup flood against the DNS resolver (negative-cache bounds)"},
+    {"kill_recover",
+     "crash-safety: snapshot+journal, drop the world, recover bit-identical"},
 };
 
 bool known_scenario(const std::string& name) {
@@ -174,6 +176,19 @@ void emit_phase(bench::JsonFile& json, const scenario::PhaseReport& r) {
     json.field("dns_negative_capacity", r.dns_negative_capacity);
     json.field("dns_recovery_hit_rate", r.dns_recovery_hit_rate, 4);
   }
+  if (std::strcmp(r.kind, "kill_recover") == 0) {
+    json.field("persist_records_appended", r.persist_records_appended);
+    json.field("persist_snapshots_written", r.persist_snapshots_written);
+    json.field("persist_snapshot_generation", r.persist_snapshot_generation);
+    json.field("journal_records_replayed", r.journal_records_replayed);
+    json.field("journal_bytes_discarded", r.journal_bytes_discarded);
+    json.field("recovered_hosts", r.recovered_hosts);
+    json.field("recovered_revocations", r.recovered_revocations);
+    json.field("recovered_dns_records", r.recovered_dns_records);
+    json.field("recovered_domain_blocks", r.recovered_domain_blocks);
+    json.field("verdict_probes", r.verdict_probes);
+    json.field("verdict_mismatches", r.verdict_mismatches);
+  }
   json.end_object();
 }
 
@@ -197,6 +212,29 @@ void check_dns_bounds(const std::vector<scenario::PhaseReport>& reports) {
                    "FATAL: phase %s positive hit rate did not recover "
                    "(%.4f after the storm)\n",
                    r.name.c_str(), r.dns_recovery_hit_rate);
+      std::exit(1);
+    }
+  }
+}
+
+/// The kill_recover acceptance gate: the recovered world must answer every
+/// probed verdict bit-identically, and the phase must actually have probed
+/// something (a zero-probe "pass" is vacuous).
+void check_recovery(const std::vector<scenario::PhaseReport>& reports) {
+  for (const auto& r : reports) {
+    if (std::strcmp(r.kind, "kill_recover") != 0) continue;
+    if (r.verdict_probes == 0) {
+      std::fprintf(stderr, "FATAL: phase %s probed nothing across the kill\n",
+                   r.name.c_str());
+      std::exit(1);
+    }
+    if (r.verdict_mismatches != 0) {
+      std::fprintf(stderr,
+                   "FATAL: phase %s: %llu of %llu verdicts changed across "
+                   "the kill/recover\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.verdict_mismatches),
+                   static_cast<unsigned long long>(r.verdict_probes));
       std::exit(1);
     }
   }
@@ -250,6 +288,11 @@ void run_engine_scenario(const Options& o, const std::string& json_path) {
   } else if (o.scenario == "dns_storm") {
     hosts = o.hosts ? o.hosts : (o.smoke ? 20'000 : 200'000);
     script = scenario::dns_storm_script(hosts, o.smoke);
+  } else if (o.scenario == "kill_recover") {
+    // Acceptance floor: the full run provisions 10⁵+ hosts before the kill.
+    hosts = o.hosts ? o.hosts : (o.smoke ? 20'000 : 100'000);
+    cfg.persist = true;
+    script = scenario::kill_recover_script(hosts, o.smoke);
   } else {
     hosts = o.hosts ? o.hosts : (o.smoke ? 20'000 : 200'000);
     script = scenario::attack_storms_script(hosts, o.smoke);
@@ -260,6 +303,7 @@ void run_engine_scenario(const Options& o, const std::string& json_path) {
   print_phase_table(reports);
   if (o.scenario == "internet_scale") check_memory_budget(reports);
   if (o.scenario == "dns_storm") check_dns_bounds(reports);
+  if (o.scenario == "kill_recover") check_recovery(reports);
 
   bench::JsonFile json(json_path);
   if (!json.ok()) fatal("cannot open JSON output");

@@ -117,9 +117,17 @@ class ZipfSampler {
 /// Minimal streaming emitter for the checked-in BENCH_*.json baselines:
 /// one top-level object, scalar fields, arrays of flat objects. Handles
 /// comma placement so the benches stop hand-assembling JSON with fprintf.
+///
+/// Writes stream to `<path>.tmp`; close() flushes and renames over the
+/// final path, so a bench killed mid-emit never leaves a torn baseline
+/// where the checked-in JSON used to be (same atomicity contract as the
+/// persist layer's snapshots).
 class JsonFile {
  public:
-  explicit JsonFile(const std::string& path) : f_(std::fopen(path.c_str(), "w")) {
+  explicit JsonFile(const std::string& path)
+      : path_(path),
+        tmp_(path + ".tmp"),
+        f_(std::fopen(tmp_.c_str(), "w")) {
     if (f_) std::fputs("{", f_);
   }
   ~JsonFile() { close(); }
@@ -198,12 +206,18 @@ class JsonFile {
     first_ = false;
   }
 
-  /// Closes the file (also run by the destructor). Returns true on success.
+  /// Closes the file (also run by the destructor): flushes the temp file
+  /// and renames it over the final path. Returns true only when the
+  /// baseline landed completely — on any failure the temp file is removed
+  /// and whatever was at the final path before is left untouched.
   bool close() {
     if (!f_) return false;
     std::fputs("\n}\n", f_);
-    const bool ok = std::fclose(f_) == 0;
+    bool ok = std::fflush(f_) == 0;
+    ok = (std::fclose(f_) == 0) && ok;
     f_ = nullptr;
+    if (ok) ok = std::rename(tmp_.c_str(), path_.c_str()) == 0;
+    if (!ok) std::remove(tmp_.c_str());
     return ok;
   }
 
@@ -221,6 +235,8 @@ class JsonFile {
     first_ = false;
   }
 
+  std::string path_;
+  std::string tmp_;
   std::FILE* f_;
   bool first_ = true;
   int depth_ = 1;

@@ -5,11 +5,11 @@
 #   2. ASan + UBSan (Debug)
 #   3. ThreadSanitizer over the router/core concurrency tests, the
 #      control-plane pool test, the crypto-labelled suites (per-slot DRBG
-#      independence, concurrent batch verification) and the bounded
-#      scenario storms (the sharded data plane's stress suite, the M-worker
-#      issuance pool and the attack-script interleavings; bounded runtime —
-#      TSan over the full integration matrix would dominate CI time for no
-#      extra signal)
+#      independence, concurrent batch verification), the persistence
+#      coordinator's multi-threaded sink, and the bounded scenario storms
+#      (the sharded data plane's stress suite, the M-worker issuance pool
+#      and the attack-script interleavings; bounded runtime — TSan over the
+#      full integration matrix would dominate CI time for no extra signal)
 #
 # 1 and 2 must build every library, test, bench and example target and pass
 # the full ctest suite. Run from the repo root: ./ci.sh
@@ -59,6 +59,12 @@ ctest --test-dir build-ci --output-on-failure -L scenario
 # (bench_smoke_e7 — the 50k-name bytes/name + negative-bound gates — rides
 # the bench label above).
 ctest --test-dir build-ci --output-on-failure -L dns
+# Durability leg, explicitly in Release: journal framing under every
+# truncation point and bit flip, snapshot self-checksums, fault-injected
+# short-write/fsync failures and full AsState snapshot+journal recovery
+# (the kill_recover scenario's bit-identical verdict gate rides the
+# scenario label above).
+ctest --test-dir build-ci --output-on-failure -L persist
 # Forced-soft crypto leg, explicitly in Release: re-run the KAT suite with
 # the backend capped to the portable C implementation. The wide SIMD tiers
 # are equivalence-tested against soft in-process; this run is the converse
@@ -84,6 +90,11 @@ ctest --test-dir build-sanitize --output-on-failure -L net
 # properties, the arena-backed cache (size-class slabs, backward-shift
 # deletion) and the trie edge splits are where a bounds bug would hide.
 ctest --test-dir build-sanitize --output-on-failure -L dns
+# Durability layer under ASan/UBSan: replay_journal walks attacker-shaped
+# bytes (every truncation point, every bit flip) and the snapshot reader
+# parses self-described lengths — exactly where an out-of-bounds read or a
+# torn-frame over-read would hide.
+ctest --test-dir build-sanitize --output-on-failure -L persist
 
 echo "=== [tsan] configure"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DAPNA_TSAN=ON \
@@ -101,13 +112,17 @@ echo "=== [tsan] build (concurrency-labelled tests only)"
 # and concurrent ed25519_verify_batch (crypto_concurrency_test) are exactly
 # where a shared-scratch race would hide, and the KAT/property suites are
 # cheap enough to keep as ballast.
+# persist_test rides the TSan leg too: service threads (AA revocations, RS
+# enrollment) funnel journal records through one PersistCoordinator sink
+# while the main thread rotates snapshots — the group-commit buffer's
+# locking discipline under real interleavings.
 cmake --build build-tsan -j "${jobs}" \
   --target router_concurrency_test router_test core_test control_plane_test \
-  flow_cache_test scenario_test dns_concurrency_test \
-  crypto_kat_test crypto_property_test crypto_concurrency_test
+  flow_cache_test scenario_test dns_concurrency_test persist_test \
+  crypto_test crypto_kat_test crypto_property_test crypto_concurrency_test
 echo "=== [tsan] test"
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" \
-  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test|scenario_test|dns_concurrency_test)$'
+  -R '^(router_concurrency_test|router_test|core_test|control_plane_test|flow_cache_test|scenario_test|dns_concurrency_test|persist_test)$'
 ctest --test-dir build-tsan --output-on-failure -j "${jobs}" -L crypto
 
 echo "=== CI green: Release(-Werror), ASan/UBSan and TSan legs all passed"

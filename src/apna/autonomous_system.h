@@ -17,6 +17,7 @@
 #include "net/topology.h"
 #include "dns/dns_service.h"
 #include "dns/resolver.h"
+#include "persist/sink.h"
 #include "router/border_router.h"
 #include "services/accountability_agent.h"
 #include "services/dns_zone.h"
@@ -79,6 +80,14 @@ class AutonomousSystem {
 
   /// Registers a packet handler for an already-bootstrapped HID.
   void attach_port(core::Hid hid, net::PacketHandler handler);
+
+  /// Wires the durability hook through every control-plane mutation site
+  /// this AS owns (RS bootstrap, MS issuance, AA revocation, zone
+  /// put/erase, resolver domain blocks). nullptr detaches — the default,
+  /// so the hot paths keep their allocation gates. The shared DnsZone is
+  /// included: in multi-AS deployments attach persistence to ONE AS (the
+  /// zone's operator) or records duplicate.
+  void set_persist_sink(persist::Sink* sink);
 
   /// Routes a packet originating inside this AS (host or service uplink).
   /// Consumes the buffer — it moves through the BR unchanged.

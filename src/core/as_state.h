@@ -17,6 +17,8 @@
 // See ARCHITECTURE.md, "Concurrency model".
 #pragma once
 
+#include <string>
+
 #include "core/ephid.h"
 #include "core/host_db.h"
 #include "core/ids.h"
@@ -25,7 +27,13 @@
 #include "core/sharded.h"
 #include "crypto/modes.h"
 
+namespace apna::persist {
+class Vfs;
+}
+
 namespace apna::core {
+
+struct AsStateRecovery;  // core/as_persist.h
 
 struct AsState {
   Aid aid;
@@ -54,6 +62,19 @@ struct AsState {
 
   AsState(const AsState&) = delete;
   AsState& operator=(const AsState&) = delete;
+
+  /// Crash recovery (see core/as_persist.h and ARCHITECTURE.md
+  /// "Durability"): loads the newest valid snapshot under `dir`, falls
+  /// back a generation when a snapshot is corrupt, replays the journal
+  /// suffix up to the last valid frame (torn tails truncate, never
+  /// crash), then advances the verdict epoch ONCE so every worker
+  /// FlowCache invalidates. Returns the rebuilt state plus the
+  /// recovered metadata the layers above core must re-install (DNS zone
+  /// records, domain blocks, issued-EphID metadata).
+  static Result<AsStateRecovery> recover(
+      persist::Vfs& vfs, const std::string& dir,
+      std::uint32_t max_revocations_per_host = 16,
+      std::size_t shard_count = kDefaultShardCount);
 };
 
 }  // namespace apna::core

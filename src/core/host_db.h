@@ -192,6 +192,46 @@ class HostDb {
     return n;
   }
 
+  /// Visits every live record as `fn(const HostRecord&)` under each
+  /// stripe's shared lock (writers on other stripes proceed meanwhile).
+  /// Snapshot iteration for the durability layer: the visited record
+  /// carries the arena fields only — `cmac` is left null, exactly like a
+  /// record persisted and re-loaded (schedules are derived state). `fn`
+  /// must not call back into the same HostDb.
+  template <class Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Stripe& s = stripes_[i];
+      std::shared_lock lock(s.mu);
+      for (const IndexEntry& e : s.index) {
+        if (e.slot == kEmpty || e.slot == kTombstone) continue;
+        const CompactHostRecord& rec = s.record(e.slot);
+        HostRecord out;
+        out.hid = rec.hid;
+        out.subscriber_id = rec.subscriber_id;
+        out.keys.enc = rec.enc;
+        out.keys.mac = rec.mac;
+        out.host_pub = rec.host_pub;
+        fn(out);
+      }
+    }
+  }
+
+  /// Recovery-only upsert/erase that never bump the verdict epoch:
+  /// AsState::recover installs the restored image through these, then
+  /// advances the epoch ONCE (the one-bump contract — see
+  /// ARCHITECTURE.md "Durability").
+  void restore(HostRecord record) {
+    Stripe& s = stripe(record.hid);
+    std::unique_lock lock(s.mu);
+    s.put(record);
+  }
+  void restore_erase(Hid hid) {
+    Stripe& s = stripe(hid);
+    std::unique_lock lock(s.mu);
+    s.remove(hid);
+  }
+
   /// Reserved-byte accounting, per component. Deterministic for a given
   /// operation sequence (slab and table growth depend only on the
   /// insert/erase history), so scenario JSONs can carry it verbatim.

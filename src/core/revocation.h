@@ -79,6 +79,34 @@ class RevocationList {
 
   std::size_t size() const { return ephids_.size(); }
 
+  /// Snapshot iteration for the durability layer (shared-locked per
+  /// stripe, see ShardedMap::for_each).
+  template <class Fn>
+  void for_each_ephid(Fn fn) const {
+    ephids_.for_each([&](const EphId& e, ExpTime exp) { fn(e, exp); });
+  }
+  template <class Fn>
+  void for_each_host(Fn fn) const {
+    hosts_.for_each([&](Hid hid, const HostRevState& h) {
+      fn(hid, h.revocations, h.hid_revoked);
+    });
+  }
+
+  /// Recovery-only restore paths. They install state without bumping the
+  /// verdict epoch and without re-running the escalation side effects —
+  /// AsState::recover replays the image, then advances the epoch once.
+  void restore_ephid(const EphId& ephid, ExpTime exp_time) {
+    ephids_.insert_or_assign(ephid, exp_time);
+  }
+  void restore_host(Hid hid, std::uint32_t revocations, bool hid_revoked) {
+    hosts_.update(
+        hid, [] { return HostRevState{}; },
+        [&](HostRevState& h) {
+          h.revocations = revocations;
+          h.hid_revoked = hid_revoked;
+        });
+  }
+
   /// Approximate resident footprint of both striped tables (EphID → exp
   /// and per-host escalation state), from ShardedMap::stripe_stats — real
   /// per-stripe occupancy, not an estimate over assumed load factors. The

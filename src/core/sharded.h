@@ -46,6 +46,19 @@ class VerdictEpoch {
   /// and observes the mutation).
   void bump() { gen_.fetch_add(1, std::memory_order_release); }
 
+  /// Recovery-only: raises the generation to at least `gen` (monotone —
+  /// never moves backwards). AsState::recover uses this to implement the
+  /// one-bump contract: restored state is installed through non-bumping
+  /// paths, then the epoch advances once past the snapshot's value so
+  /// every worker FlowCache invalidates exactly once.
+  void advance_to(std::uint64_t gen) {
+    std::uint64_t cur = gen_.load(std::memory_order_relaxed);
+    while (cur < gen &&
+           !gen_.compare_exchange_weak(cur, gen, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<std::uint64_t> gen_{1};
 };
@@ -139,6 +152,19 @@ class ShardedMap {
       }
     }
     return erased;
+  }
+
+  /// Visits every entry as `fn(key, value)` under each shard's shared
+  /// lock, one stripe at a time (writers on other stripes proceed
+  /// meanwhile). Snapshot iteration for the durability layer; `fn` must
+  /// not call back into the same map.
+  template <class Fn>
+  void for_each(Fn fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      const Shard& s = shards_[i];
+      std::shared_lock lock(s.mu);
+      for (const auto& [k, v] : s.map) fn(k, v);
+    }
   }
 
   /// Total entry count (sums shard sizes; a racing writer may make the

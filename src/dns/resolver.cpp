@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/as_persist.h"
 #include "crypto/drbg.h"
 
 namespace apna::dns {
@@ -261,6 +262,7 @@ Result<void> Resolver::admit_publish(std::string_view name,
 std::size_t Resolver::block_domain(std::string_view domain,
                                    core::ExpTime now) {
   policy_.block(domain);
+  core::emit_domain_block(persist_, domain);
   // Sweep existing publications under the new rule: collect under the
   // stripe locks, then enforce + erase outside them (enforcement touches
   // the AA and the zone again).

@@ -48,6 +48,7 @@
 #include "dns/dns_wire.h"
 #include "dns/domain_trie.h"
 #include "net/sim.h"
+#include "persist/sink.h"
 #include "services/accountability_agent.h"
 #include "services/dns_zone.h"
 #include "util/bytes.h"
@@ -209,6 +210,11 @@ class Resolver {
   void set_accountability(services::AccountabilityAgent* aa) { aa_ = aa; }
   services::AccountabilityAgent* accountability() const { return aa_; }
 
+  /// Attaches the durability hook: block_domain rules are journaled (the
+  /// zone erases and revocations the sweep causes emit their own records
+  /// at their own mutation sites). nullptr = no-op.
+  void set_persist_sink(persist::Sink* sink) { persist_ = sink; }
+
   DomainPolicy& policy() { return policy_; }
   const DomainPolicy& policy() const { return policy_; }
   services::DnsZone& zone() { return zone_; }
@@ -243,6 +249,7 @@ class Resolver {
   DnsCache cache_;
   DomainPolicy policy_;
   services::AccountabilityAgent* aa_ = nullptr;
+  persist::Sink* persist_ = nullptr;
   UpstreamSend upstream_;
 
   // Pending upstream queries (event-loop thread only).

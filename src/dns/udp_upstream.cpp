@@ -1,0 +1,75 @@
+#include "dns/udp_upstream.h"
+
+#include <utility>
+
+#include "wire/msg_codec.h"
+
+namespace apna::dns {
+namespace {
+
+/// Infrastructure-to-infrastructure control traffic carries no host
+/// EphIDs; the all-zero EphID is never issued (E_kA output of a real
+/// (HID, T) pair), so it cannot collide with host traffic.
+const wire::EphIdBytes kInfraEphid{};
+
+wire::PacketBuf wrap_frame(wire::Aid src_aid, wire::Aid dst_aid,
+                           const wire::EphIdBytes& dst_ephid, ByteSpan frame) {
+  wire::PacketWriter pw(src_aid, kInfraEphid, dst_aid, dst_ephid,
+                        wire::NextProto::control, std::nullopt, frame.size());
+  pw.raw(frame);
+  return pw.finish();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Client
+
+void UdpUpstream::attach(Resolver& resolver) {
+  resolver_ = &resolver;
+  resolver.set_upstream([this](Bytes frame) { send_frame(std::move(frame)); });
+  transport_.set_rx([this](net::PeerId, wire::PacketBuf pkt) {
+    if (pkt.view().proto() != wire::NextProto::control) {
+      ++stats_.frames_rejected;
+      return;
+    }
+    ++stats_.responses_delivered;
+    resolver_->on_upstream_frame(pkt.view().payload());
+  });
+}
+
+void UdpUpstream::send_frame(Bytes frame) {
+  auto sent = transport_.send(
+      server_, wrap_frame(local_aid_, server_aid_, kInfraEphid,
+                          ByteSpan(frame.data(), frame.size())));
+  if (sent)
+    ++stats_.queries_sent;
+  else
+    ++stats_.send_errors;  // resolver's retransmit timer covers the loss
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+void UdpUpstreamServer::attach(Resolver& resolver) {
+  resolver_ = &resolver;
+  transport_.set_rx([this](net::PeerId from, wire::PacketBuf pkt) {
+    const wire::PacketView& v = pkt.view();
+    if (v.proto() != wire::NextProto::control) {
+      ++stats_.frames_rejected;
+      return;
+    }
+    Bytes resp = resolver_->answer_query(v.payload());
+    if (resp.empty()) {  // unparseable query — drop, exactly like real DNS
+      ++stats_.frames_rejected;
+      return;
+    }
+    ++stats_.queries_answered;
+    auto sent = transport_.send(
+        from, wrap_frame(local_aid_, v.src_aid(), v.src_ephid(),
+                         ByteSpan(resp.data(), resp.size())));
+    if (!sent) ++stats_.send_errors;
+  });
+}
+
+}  // namespace apna::dns

@@ -1,0 +1,93 @@
+// Real-socket upstream for the resolver (§VII-A forwarding mode).
+//
+// The resolver's upstream seam is a pair of byte-frame callbacks
+// (UpstreamSend out, on_upstream_frame back in). This file points that
+// seam at a net::Transport endpoint — normally a net::UdpTransport, so
+// the QueryFrame/ResponseFrame exchange crosses a real kernel socket —
+// without the resolver learning anything about datagrams.
+//
+// Framing: a DNS frame rides as the payload of an ordinary APNA control
+// packet (wire::PacketWriter; zero EphIDs — the exchange is between
+// infrastructure resolvers, not hosts). That keeps Transport::deliver's
+// validation tail in force: a junk datagram dies in PacketView::bind and
+// is counted by the transport, never parsed as DNS.
+//
+// Threading: both classes are event-loop-resident like the resolver's
+// async surface — construct, attach and poll them from one thread.
+#pragma once
+
+#include <cstdint>
+
+#include "dns/resolver.h"
+#include "net/transport.h"
+#include "util/bytes.h"
+
+namespace apna::dns {
+
+/// Client half: makes a Resolver forward zone misses to an upstream
+/// resolver across `transport`. attach() installs both directions
+/// (resolver.set_upstream and the transport's rx handler).
+class UdpUpstream {
+ public:
+  struct Stats {
+    std::uint64_t queries_sent = 0;
+    std::uint64_t send_errors = 0;
+    std::uint64_t responses_delivered = 0;
+    std::uint64_t frames_rejected = 0;  // non-control packets dropped
+  };
+
+  UdpUpstream(net::Transport& transport, net::PeerId server,
+              wire::Aid local_aid, wire::Aid server_aid)
+      : transport_(transport),
+        server_(server),
+        local_aid_(local_aid),
+        server_aid_(server_aid) {}
+
+  void attach(Resolver& resolver);
+
+  /// Drains inbound datagrams into resolver.on_upstream_frame. Returns
+  /// packets the transport delivered during the call.
+  std::size_t poll(int timeout_ms = 0) { return transport_.poll(timeout_ms); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void send_frame(Bytes frame);
+
+  net::Transport& transport_;
+  net::PeerId server_;
+  wire::Aid local_aid_;
+  wire::Aid server_aid_;
+  Resolver* resolver_ = nullptr;
+  Stats stats_;
+};
+
+/// Server half: answers QueryFrames arriving on `transport` out of a
+/// Resolver (authoritative path — Resolver::answer_query), replying to
+/// whichever peer asked.
+class UdpUpstreamServer {
+ public:
+  struct Stats {
+    std::uint64_t queries_answered = 0;
+    std::uint64_t frames_rejected = 0;  // unparseable queries, dropped
+    std::uint64_t send_errors = 0;
+  };
+
+  UdpUpstreamServer(net::Transport& transport, wire::Aid local_aid)
+      : transport_(transport), local_aid_(local_aid) {}
+
+  void attach(Resolver& resolver);
+
+  /// Serves ready queries. Returns packets delivered during the call.
+  std::size_t poll(int timeout_ms = 0) { return transport_.poll(timeout_ms); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  net::Transport& transport_;
+  wire::Aid local_aid_;
+  Resolver* resolver_ = nullptr;
+  Stats stats_;
+};
+
+}  // namespace apna::dns

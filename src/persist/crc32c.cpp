@@ -1,0 +1,31 @@
+#include "persist/crc32c.h"
+
+#include <array>
+
+namespace apna::persist {
+namespace {
+
+// Reflected Castagnoli polynomial (iSCSI / RFC 3720).
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t b : data) crc = kTable[(crc ^ b) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace apna::persist

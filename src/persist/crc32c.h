@@ -1,0 +1,17 @@
+// CRC32C (Castagnoli) — the frame checksum for the durability layer.
+// Software table implementation: the journal/snapshot paths are not hot
+// (group-committed control-plane mutations, not per-packet work), so a
+// portable byte-at-a-time table is plenty and avoids an SSE4.2 gate.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::persist {
+
+/// CRC32C over `data`. `seed` is a previously returned crc, allowing
+/// incremental computation: crc32c(b, crc32c(a)) == crc32c(a ‖ b).
+std::uint32_t crc32c(ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace apna::persist

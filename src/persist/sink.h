@@ -1,0 +1,24 @@
+// The narrow hook control-plane services emit durability records
+// through. Mutation sites (ManagementService, AccountabilityAgent,
+// RegistryService, DnsZone, Resolver) hold a nullable `Sink*` that
+// defaults to nullptr — the hot path pays one branch and keeps its
+// allocation gates when persistence is not attached.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace apna::persist {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Emits one typed record. Returns false when the record was dropped
+  /// (degraded, non-durable mode) — callers carry on regardless; the
+  /// drop is counted by the sink, never surfaced as a service error.
+  virtual bool append(std::uint8_t type, ByteSpan payload) = 0;
+};
+
+}  // namespace apna::persist

@@ -1,0 +1,111 @@
+#include "persist/snapshot.h"
+
+#include <array>
+#include <cstring>
+
+#include "persist/crc32c.h"
+#include "wire/codec.h"
+
+namespace apna::persist {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'A', 'P', 'N', 'A',
+                                                'S', 'N', 'P', '1'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kMaxHeaderLen = 4096;
+
+void put_le32(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Result<void> write_snapshot_file(Vfs& vfs, const std::string& path,
+                                 const SnapshotInfo& info, ByteSpan payload) {
+  wire::Writer header;
+  header.raw(ByteSpan(kMagic.data(), kMagic.size()));
+  header.u16(kVersion);
+  header.u64(info.generation);
+  header.u64(info.seed);
+  header.str(info.git_sha);
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc32c(payload));
+
+  Bytes file;
+  file.reserve(8 + header.bytes().size() + payload.size());
+  put_le32(file, static_cast<std::uint32_t>(header.bytes().size()));
+  put_le32(file, crc32c(header.bytes()));
+  file.insert(file.end(), header.bytes().begin(), header.bytes().end());
+  file.insert(file.end(), payload.begin(), payload.end());
+
+  const std::string tmp = path + ".tmp";
+  auto f = vfs.open_append(tmp, /*truncate=*/true);
+  if (!f) return Result<void>(f.error());
+  if (auto r = (*f)->append(ByteSpan(file.data(), file.size())); !r) {
+    (void)vfs.remove(tmp);
+    return r;
+  }
+  if (auto r = (*f)->sync(); !r) {
+    (void)vfs.remove(tmp);
+    return r;
+  }
+  f->reset();  // close before publishing
+  return vfs.rename(tmp, path);
+}
+
+Result<LoadedSnapshot> read_snapshot_file(Vfs& vfs, const std::string& path) {
+  auto data = vfs.read_all(path);
+  if (!data)
+    return Result<LoadedSnapshot>(Errc::not_found, "snapshot missing");
+  const Bytes& raw = *data;
+  if (raw.size() < 8)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot too short");
+  const std::uint32_t header_len = get_le32(raw.data());
+  const std::uint32_t header_crc = get_le32(raw.data() + 4);
+  if (header_len == 0 || header_len > kMaxHeaderLen ||
+      raw.size() - 8 < header_len)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot header length");
+  const ByteSpan header(raw.data() + 8, header_len);
+  if (crc32c(header) != header_crc)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot header crc");
+
+  wire::Reader r(header);
+  auto magic = r.arr<8>();
+  if (!magic || std::memcmp(magic->data(), kMagic.data(), 8) != 0)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot magic");
+  auto version = r.u16();
+  if (!version || *version != kVersion)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot version");
+  LoadedSnapshot out;
+  auto gen = r.u64();
+  auto seed = r.u64();
+  auto sha = r.str();
+  auto payload_len = r.u32();
+  auto payload_crc = r.u32();
+  if (!gen || !seed || !sha || !payload_len || !payload_crc)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot header fields");
+  out.info.generation = *gen;
+  out.info.seed = *seed;
+  out.info.git_sha = *sha;
+
+  const std::size_t payload_off = 8 + header_len;
+  const ByteSpan payload(raw.data() + payload_off, raw.size() - payload_off);
+  if (payload.size() != *payload_len)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot payload length");
+  if (crc32c(payload) != *payload_crc)
+    return Result<LoadedSnapshot>(Errc::malformed, "snapshot payload crc");
+  out.payload.assign(payload.begin(), payload.end());
+  return Result<LoadedSnapshot>(std::move(out));
+}
+
+}  // namespace apna::persist

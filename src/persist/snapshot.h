@@ -1,0 +1,43 @@
+// Snapshot container: a self-checksummed file published atomically via
+// temp-file + rename. The container is payload-agnostic — the core
+// layer serializes a full AsState image into it; this layer owns the
+// framing, provenance header and corruption detection.
+//
+// File layout:
+//
+//   [u32 header_len][u32 header_crc32c][header][payload]
+//   header := "APNASNP1" u16 version u64 generation u64 seed
+//             str git_sha u32 payload_len u32 payload_crc32c
+//
+// A loader that finds *any* violation (short file, bad magic/version,
+// header or payload CRC mismatch, length mismatch) reports a clean
+// error so recovery can fall back to the previous generation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "persist/vfs.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace apna::persist {
+
+struct SnapshotInfo {
+  std::uint64_t generation = 0;
+  std::uint64_t seed = 0;       // run provenance (scenario/bench seed)
+  std::string git_sha;          // build provenance
+};
+
+/// Writes `path + ".tmp"`, fsyncs, then renames over `path`.
+Result<void> write_snapshot_file(Vfs& vfs, const std::string& path,
+                                 const SnapshotInfo& info, ByteSpan payload);
+
+struct LoadedSnapshot {
+  SnapshotInfo info;
+  Bytes payload;
+};
+
+Result<LoadedSnapshot> read_snapshot_file(Vfs& vfs, const std::string& path);
+
+}  // namespace apna::persist

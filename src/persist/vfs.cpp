@@ -1,0 +1,297 @@
+#include "persist/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace apna::persist {
+
+// ---------------------------------------------------------------------------
+// SystemVfs
+
+namespace {
+
+class PosixFile final : public VfsFile {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<void> append(ByteSpan data) override {
+    const std::uint8_t* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Result<void>(Errc::internal, "vfs write failed");
+      }
+      p += static_cast<std::size_t>(n);
+      left -= static_cast<std::size_t>(n);
+    }
+    return Result<void>::success();
+  }
+
+  Result<void> sync() override {
+    if (::fsync(fd_) != 0)
+      return Result<void>(Errc::internal, "vfs fsync failed");
+    return Result<void>::success();
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<VfsFile>> SystemVfs::open_append(
+    const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0)
+    return Result<std::unique_ptr<VfsFile>>(Errc::internal,
+                                            "vfs open for append failed");
+  return Result<std::unique_ptr<VfsFile>>(std::make_unique<PosixFile>(fd));
+}
+
+Result<Bytes> SystemVfs::read_all(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Result<Bytes>(Errc::not_found, "vfs open for read failed");
+  Bytes out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Result<Bytes>(Errc::internal, "vfs read failed");
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return Result<Bytes>(std::move(out));
+}
+
+bool SystemVfs::exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<void> SystemVfs::rename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0)
+    return Result<void>(Errc::internal, "vfs rename failed");
+  return Result<void>::success();
+}
+
+Result<void> SystemVfs::remove(const std::string& path) {
+  if (std::remove(path.c_str()) != 0)
+    return Result<void>(Errc::internal, "vfs remove failed");
+  return Result<void>::success();
+}
+
+std::vector<std::string> SystemVfs::list(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<void> SystemVfs::mkdirs(const std::string& dir) {
+  std::string prefix;
+  std::size_t pos = 0;
+  while (pos <= dir.size()) {
+    const std::size_t slash = dir.find('/', pos);
+    prefix = (slash == std::string::npos) ? dir : dir.substr(0, slash);
+    pos = (slash == std::string::npos) ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return Result<void>(Errc::internal, "vfs mkdir failed");
+  }
+  return Result<void>::success();
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs
+
+class MemVfs::MemFile final : public VfsFile {
+ public:
+  explicit MemFile(std::shared_ptr<Entry> e) : entry_(std::move(e)) {}
+
+  Result<void> append(ByteSpan data) override {
+    std::lock_guard lk(entry_->mu);
+    entry_->data.insert(entry_->data.end(), data.begin(), data.end());
+    return Result<void>::success();
+  }
+  Result<void> sync() override { return Result<void>::success(); }
+
+ private:
+  std::shared_ptr<Entry> entry_;
+};
+
+Result<std::unique_ptr<VfsFile>> MemVfs::open_append(const std::string& path,
+                                                     bool truncate) {
+  std::lock_guard lk(mu_);
+  auto& slot = files_[path];
+  if (!slot) slot = std::make_shared<Entry>();
+  if (truncate) {
+    std::lock_guard elk(slot->mu);
+    slot->data.clear();
+  }
+  return Result<std::unique_ptr<VfsFile>>(std::make_unique<MemFile>(slot));
+}
+
+Result<Bytes> MemVfs::read_all(const std::string& path) {
+  std::shared_ptr<Entry> e;
+  {
+    std::lock_guard lk(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end())
+      return Result<Bytes>(Errc::not_found, "no such mem file");
+    e = it->second;
+  }
+  std::lock_guard elk(e->mu);
+  return Result<Bytes>(Bytes(e->data));
+}
+
+bool MemVfs::exists(const std::string& path) {
+  std::lock_guard lk(mu_);
+  return files_.count(path) != 0;
+}
+
+Result<void> MemVfs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard lk(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end())
+    return Result<void>(Errc::not_found, "mem rename: no such file");
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Result<void>::success();
+}
+
+Result<void> MemVfs::remove(const std::string& path) {
+  std::lock_guard lk(mu_);
+  if (files_.erase(path) == 0)
+    return Result<void>(Errc::not_found, "mem remove: no such file");
+  return Result<void>::success();
+}
+
+std::vector<std::string> MemVfs::list(const std::string& dir) {
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  std::lock_guard lk(mu_);
+  for (const auto& [path, entry] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix))
+      continue;
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // map iteration order is already sorted
+}
+
+Result<void> MemVfs::mkdirs(const std::string&) {
+  return Result<void>::success();
+}
+
+Result<void> MemVfs::corrupt(const std::string& path, std::size_t offset,
+                             std::uint8_t xor_mask) {
+  std::lock_guard lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || offset >= it->second->data.size())
+    return Result<void>(Errc::not_found, "mem corrupt: bad path/offset");
+  std::lock_guard elk(it->second->mu);
+  it->second->data[offset] ^= xor_mask;
+  return Result<void>::success();
+}
+
+Result<void> MemVfs::truncate(const std::string& path, std::size_t len) {
+  std::lock_guard lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end())
+    return Result<void>(Errc::not_found, "mem truncate: no such file");
+  std::lock_guard elk(it->second->mu);
+  if (len < it->second->data.size()) it->second->data.resize(len);
+  return Result<void>::success();
+}
+
+std::size_t MemVfs::file_size(const std::string& path) {
+  std::lock_guard lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return 0;
+  std::lock_guard elk(it->second->mu);
+  return it->second->data.size();
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+
+class FaultVfs::FaultFile final : public VfsFile {
+ public:
+  FaultFile(FaultVfs& owner, std::unique_ptr<VfsFile> inner)
+      : owner_(owner), inner_(std::move(inner)) {}
+
+  Result<void> append(ByteSpan data) override {
+    std::lock_guard lk(owner_.mu_);
+    auto& f = owner_.faults_;
+    auto& c = owner_.counters_;
+    if (f.append_byte_budget < 0) {
+      c.bytes_passed += data.size();
+      return inner_->append(data);
+    }
+    const auto budget = static_cast<std::uint64_t>(f.append_byte_budget);
+    if (data.size() <= budget) {
+      f.append_byte_budget -= static_cast<std::int64_t>(data.size());
+      c.bytes_passed += data.size();
+      return inner_->append(data);
+    }
+    // Short write: the prefix that fits lands on the inner file, the
+    // rest is lost — the caller sees a failure with a torn tail behind.
+    if (budget > 0) {
+      (void)inner_->append(data.first(budget));
+      c.bytes_passed += budget;
+    }
+    f.append_byte_budget = 0;
+    ++c.appends_failed;
+    return Result<void>(Errc::internal, "injected short write");
+  }
+
+  Result<void> sync() override {
+    std::lock_guard lk(owner_.mu_);
+    auto& f = owner_.faults_;
+    if (f.fail_all_syncs || f.fail_next_syncs > 0) {
+      if (f.fail_next_syncs > 0) --f.fail_next_syncs;
+      ++owner_.counters_.syncs_failed;
+      return Result<void>(Errc::internal, "injected fsync failure");
+    }
+    return inner_->sync();
+  }
+
+ private:
+  FaultVfs& owner_;
+  std::unique_ptr<VfsFile> inner_;
+};
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::open_append(const std::string& path,
+                                                       bool truncate) {
+  auto inner = inner_.open_append(path, truncate);
+  if (!inner) return inner;
+  return Result<std::unique_ptr<VfsFile>>(
+      std::make_unique<FaultFile>(*this, inner.take()));
+}
+
+}  // namespace apna::persist

@@ -1,0 +1,161 @@
+// Virtual filesystem seam for the durability layer.
+//
+// Everything the journal and snapshot code touches on disk goes through
+// this interface, for two reasons:
+//   * the scenario engine needs a deterministic in-memory backend
+//     (`MemVfs`) so kill-and-recover runs stay byte-identical under
+//     `--verify-determinism`, and
+//   * robustness testing needs an injectable fault backend (`FaultVfs`)
+//     that produces short writes, fsync failures and torn tails on
+//     demand — recovery must degrade gracefully under all of them.
+//
+// `SystemVfs` is the real POSIX backend used by anything that wants the
+// state to survive an actual process death.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace apna::persist {
+
+/// An append-only file handle. Writers never seek: the journal only ever
+/// appends, and snapshots are written whole-file then renamed into place.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+  /// Appends `data`. A failed append may have written a prefix (short
+  /// write) — that is exactly the torn-tail case recovery must survive.
+  virtual Result<void> append(ByteSpan data) = 0;
+  /// Durability barrier (fsync). May fail; callers must treat a failure
+  /// as "recent appends may not survive a crash", not as data loss.
+  virtual Result<void> sync() = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Opens `path` for appending, creating it if needed. With `truncate`
+  /// any existing content is discarded first.
+  virtual Result<std::unique_ptr<VfsFile>> open_append(
+      const std::string& path, bool truncate) = 0;
+  virtual Result<Bytes> read_all(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  /// Atomic within a directory on POSIX — the publish step of the
+  /// temp-file + rename discipline.
+  virtual Result<void> rename(const std::string& from,
+                              const std::string& to) = 0;
+  virtual Result<void> remove(const std::string& path) = 0;
+  /// File names (not full paths) directly inside `dir`; empty if the
+  /// directory does not exist.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+  virtual Result<void> mkdirs(const std::string& dir) = 0;
+};
+
+/// Real POSIX filesystem.
+class SystemVfs final : public Vfs {
+ public:
+  Result<std::unique_ptr<VfsFile>> open_append(const std::string& path,
+                                               bool truncate) override;
+  Result<Bytes> read_all(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> remove(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  Result<void> mkdirs(const std::string& dir) override;
+};
+
+/// Deterministic in-memory filesystem. Used by the scenario engine (so
+/// `kill_recover` JSON is an exact function of script + seed) and by
+/// tests, which can also mutate stored bytes directly to model bit rot
+/// and truncation.
+class MemVfs final : public Vfs {
+ public:
+  Result<std::unique_ptr<VfsFile>> open_append(const std::string& path,
+                                               bool truncate) override;
+  Result<Bytes> read_all(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  Result<void> rename(const std::string& from, const std::string& to) override;
+  Result<void> remove(const std::string& path) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  Result<void> mkdirs(const std::string& dir) override;
+
+  /// Test hooks: flip bits / cut a tail on a stored file.
+  Result<void> corrupt(const std::string& path, std::size_t offset,
+                       std::uint8_t xor_mask);
+  Result<void> truncate(const std::string& path, std::size_t len);
+  std::size_t file_size(const std::string& path);
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    Bytes data;
+  };
+  class MemFile;
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> files_;
+};
+
+/// Fault-injecting decorator. Wraps any Vfs and makes its append/sync
+/// paths fail on command; a byte budget produces genuine short writes
+/// (a prefix lands, the rest does not) so torn journal tails are
+/// exercised exactly as a crashed kernel would leave them.
+class FaultVfs final : public Vfs {
+ public:
+  struct Faults {
+    /// < 0: unlimited. Otherwise appends succeed until this many bytes
+    /// have been written through the shim, then the append that crosses
+    /// the boundary writes only the part that fits and fails.
+    std::int64_t append_byte_budget = -1;
+    /// Fail this many upcoming sync() calls (decrements per failure).
+    int fail_next_syncs = 0;
+    bool fail_all_syncs = false;
+  };
+  struct Counters {
+    std::uint64_t appends_failed = 0;
+    std::uint64_t syncs_failed = 0;
+    std::uint64_t bytes_passed = 0;
+  };
+
+  explicit FaultVfs(Vfs& inner) : inner_(inner) {}
+
+  Faults& faults() { return faults_; }
+  const Counters& counters() const { return counters_; }
+
+  Result<std::unique_ptr<VfsFile>> open_append(const std::string& path,
+                                               bool truncate) override;
+  Result<Bytes> read_all(const std::string& path) override {
+    return inner_.read_all(path);
+  }
+  bool exists(const std::string& path) override { return inner_.exists(path); }
+  Result<void> rename(const std::string& from, const std::string& to) override {
+    return inner_.rename(from, to);
+  }
+  Result<void> remove(const std::string& path) override {
+    return inner_.remove(path);
+  }
+  std::vector<std::string> list(const std::string& dir) override {
+    return inner_.list(dir);
+  }
+  Result<void> mkdirs(const std::string& dir) override {
+    return inner_.mkdirs(dir);
+  }
+
+ private:
+  class FaultFile;
+
+  Vfs& inner_;
+  std::mutex mu_;
+  Faults faults_;
+  Counters counters_;
+};
+
+}  // namespace apna::persist

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/as_persist.h"
 #include "core/packet_auth.h"
 #include "services/service_identity.h"
 
@@ -127,6 +128,19 @@ Phase Phase::dns_storm(std::string name, std::uint64_t names,
   return p;
 }
 
+Phase Phase::kill_recover(std::string name, std::uint64_t revocations,
+                          std::uint64_t domain_blocks, std::uint64_t dns_names,
+                          std::uint64_t probes) {
+  Phase p;
+  p.kind = Kind::kill_recover;
+  p.name = std::move(name);
+  p.revocations = revocations;
+  p.requests = domain_blocks;
+  p.joins = dns_names;
+  p.bursts = probes;
+  return p;
+}
+
 const char* Phase::kind_name() const {
   switch (kind) {
     case Kind::register_hosts: return "register_hosts";
@@ -138,6 +152,7 @@ const char* Phase::kind_name() const {
     case Kind::revocation_wave: return "revocation_wave";
     case Kind::replay_tamper: return "replay_tamper";
     case Kind::dns_storm: return "dns_storm";
+    case Kind::kill_recover: return "kill_recover";
   }
   return "?";
 }
@@ -234,6 +249,32 @@ Engine::Engine(const Config& cfg) : cfg_(cfg), rng_(cfg.seed) {
   victim_cert_.aid = remote_->aid;
   victim_cert_.aa_ephid = victim_cert_.ephid;
   victim_cert_.sign_with(remote_->secrets.sign);
+
+  if (cfg_.persist) {
+    // In-memory "disk": deterministic, and it survives the kill_recover
+    // phase's destruction of the world above it.
+    vfs_ = std::make_unique<persist::MemVfs>();
+    attach_persistence();
+  }
+}
+
+void Engine::attach_persistence(std::vector<core::IssuedEphIdMeta> issued,
+                                std::vector<std::string> blocked,
+                                std::vector<core::DnsRecord> dns) {
+  services::PersistCoordinator::Config pc;
+  pc.seed = cfg_.seed;
+  pc.git_sha = "scenario-engine";  // fixed provenance — JSON stays seed-pure
+  persist_coord_ = std::make_unique<services::PersistCoordinator>(
+      *vfs_, "as-" + std::to_string(cfg_.aid), *as_, pc);
+  persist_coord_->seed(std::move(issued), std::move(blocked), std::move(dns));
+  // MemVfs cannot fail; a failed start on a real Vfs would leave the
+  // engine running non-durably, which is the degraded contract anyway.
+  (void)persist_coord_->start();
+  persist_sink_ = persist_coord_.get();
+  rs_->set_persist_sink(persist_sink_);
+  aa_->set_persist_sink(persist_sink_);
+  if (dns_zone_) dns_zone_->set_persist_sink(persist_sink_);
+  if (dns_resolver_) dns_resolver_->set_persist_sink(persist_sink_);
 }
 
 core::HostAsKeys Engine::host_keys(core::Hid hid) const {
@@ -257,14 +298,18 @@ void Engine::do_register(std::uint64_t n, PhaseReport& r) {
     rec.keys = host_keys(hid);
     rec.subscriber_id = 1;
     as_->host_db.upsert(rec);
+    core::emit_host_upsert(persist_sink_, rec);
   }
   r.joins += n;
 }
 
 void Engine::do_leave(std::uint64_t n, PhaseReport& r) {
   // Diurnal model: the oldest registrations leave first.
-  for (std::uint64_t i = 0; i < n && first_hid_ < next_hid_; ++i)
-    as_->host_db.erase(first_hid_++);
+  for (std::uint64_t i = 0; i < n && first_hid_ < next_hid_; ++i) {
+    as_->host_db.erase(first_hid_);
+    core::emit_host_erase(persist_sink_, first_hid_);
+    ++first_hid_;
+  }
   r.leaves += n;
 }
 
@@ -419,6 +464,7 @@ void Engine::do_revocation_wave(const Phase& p, PhaseReport& r) {
         ephid = as_->codec.issue(hid, now_ + 7200, rng_);
       }
       as_->revoked.revoke_ephid(ephid, now_ + 7200, hid);
+      core::emit_revoke_ephid(persist_sink_, ephid, now_ + 7200, hid);
       ++applied;
     }
     // The wave bumped VerdictEpoch `per_wave` times: every cached verdict
@@ -499,6 +545,10 @@ void Engine::ensure_dns() {
   // storm has to contend for slots or the bounds being proven are vacuous.
   rc.cache.capacity = 1 << 14;
   dns_resolver_ = std::make_unique<dns::Resolver>(*dns_zone_, loop_, rc);
+  if (persist_sink_ != nullptr) {
+    dns_zone_->set_persist_sink(persist_sink_);
+    dns_resolver_->set_persist_sink(persist_sink_);
+  }
 }
 
 namespace {
@@ -562,6 +612,237 @@ void Engine::do_dns_storm(const Phase& p, PhaseReport& r) {
       rec_lookups ? static_cast<double>(rec_hits) / rec_lookups : 0.0;
 }
 
+void Engine::do_kill_recover(const Phase& p, PhaseReport& r) {
+  if (!persist_coord_) return;  // requires Config::persist
+  const std::uint64_t live = next_hid_ - first_hid_;
+
+  // --- Pre-kill mutations, straddling a snapshot --------------------------
+  // A revocation wave lands in the CURRENT generation's journal...
+  std::vector<std::pair<core::EphId, core::Hid>> revoked;
+  revoked.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(p.revocations, 1024)));
+  for (std::uint64_t i = 0; i < p.revocations && live > 0; ++i) {
+    const core::Hid hid =
+        first_hid_ + static_cast<core::Hid>(rng_.next_u64() % live);
+    const core::EphId ephid = as_->codec.issue(hid, now_ + 7200, rng_);
+    as_->revoked.revoke_ephid(ephid, now_ + 7200, hid);
+    core::emit_revoke_ephid(persist_sink_, ephid, now_ + 7200, hid);
+    if (revoked.size() < 1024) revoked.emplace_back(ephid, hid);
+    ++r.revocations_applied;
+  }
+
+  // ... then the snapshot rotates the journal, so everything below lives
+  // only in the journal SUFFIX — recovery has to get both paths right.
+  (void)persist_coord_->write_snapshot();
+
+  ensure_dns();
+  for (std::uint64_t i = dns_names_; i < p.joins; ++i) {
+    core::DnsRecord rec;
+    rec.name = scenario_dns_name(i);
+    rec.ipv4 = static_cast<std::uint32_t>(i + 1);
+    rec.cert.aid = cfg_.aid;
+    rec.cert.exp_time = now_ + 86400;
+    dns_zone_->put(rec);  // journaled through the zone's sink
+  }
+  dns_names_ = std::max(dns_names_, p.joins);
+
+  // Fig-5 domain blocks over the freshly published head: each installs a
+  // policy rule (journaled) and sweeps the record out of the zone (the
+  // erase is journaled too).
+  for (std::uint64_t i = 0; i < p.requests && i < dns_names_; ++i)
+    dns_resolver_->block_domain(scenario_dns_name(i), now_);
+
+  (void)persist_coord_->commit();  // the durability line the kill tests
+
+  // --- Probe the pre-kill world -------------------------------------------
+  const std::uint64_t probes = std::max<std::uint64_t>(1, p.bursts);
+
+  // Forwarding probes: sealed packets from sampled live hosts, every 4th
+  // one from a just-revoked EphID so both forward and drop verdicts cross
+  // the kill. Built once; the same wire images classify on both sides.
+  std::vector<wire::PacketBuf> fwd_bufs;
+  const std::size_t fwd_n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(probes, 256));
+  for (std::size_t i = 0; i < fwd_n && live > 0; ++i) {
+    core::Hid hid;
+    core::EphId ephid;
+    if (i % 4 == 3 && !revoked.empty()) {
+      const auto& [re, rh] = revoked[i % revoked.size()];
+      ephid = re;
+      hid = rh;
+    } else {
+      hid = first_hid_ + static_cast<core::Hid>((live * i) / fwd_n);
+      ephid = as_->codec.issue(hid, now_ + 7200, rng_);
+    }
+    wire::Packet pkt;
+    pkt.src_aid = cfg_.aid;
+    pkt.dst_aid = cfg_.remote_aid;
+    pkt.src_ephid = ephid.bytes;
+    rng_.fill(MutByteSpan(pkt.dst_ephid.data(), 16));
+    pkt.proto = wire::NextProto::data;
+    pkt.payload = rng_.bytes(48);
+    core::stamp_packet_mac(
+        crypto::AesCmac(ByteSpan(host_keys(hid).mac.data(), 16)), pkt);
+    fwd_bufs.push_back(pkt.seal());
+  }
+
+  // One deterministic answer blob per probe; pre and post must be equal
+  // element-wise. Probes: host records (presence + kHA keys), revocation
+  // verdicts, DNS zone bytes + policy verdicts, forwarding Errc stream.
+  const auto build_probes = [&] {
+    std::vector<Bytes> out;
+    for (std::uint64_t i = 0; i < probes && live > 0; ++i) {
+      const core::Hid hid =
+          first_hid_ + static_cast<core::Hid>((live * i) / probes);
+      Bytes b;
+      if (auto h = as_->host_db.find(hid)) {
+        b.push_back(1);
+        b.insert(b.end(), h->keys.enc.begin(), h->keys.enc.end());
+        b.insert(b.end(), h->keys.mac.begin(), h->keys.mac.end());
+      } else {
+        b.push_back(0);  // §VIII-G2 escalation may have erased it
+      }
+      b.push_back(as_->revoked.is_hid_revoked(hid) ? 1 : 0);
+      out.push_back(std::move(b));
+    }
+    for (const auto& [ephid, hid] : revoked) {
+      (void)hid;
+      out.push_back(Bytes{as_->revoked.is_revoked(ephid)
+                              ? std::uint8_t{1}
+                              : std::uint8_t{0}});
+    }
+    const std::uint64_t dn = std::min<std::uint64_t>(dns_names_, probes);
+    for (std::uint64_t i = 0; i < dn; ++i) {
+      const std::string name = scenario_dns_name(i);
+      Bytes b;
+      b.push_back(dns_resolver_->policy().blocked(name, nullptr) ? 1 : 0);
+      if (auto rec = dns_zone_->get(name)) {
+        b.push_back(1);
+        const Bytes rb = rec->serialize();
+        b.insert(b.end(), rb.begin(), rb.end());
+      } else {
+        b.push_back(0);  // swept by a block, or never published
+      }
+      out.push_back(std::move(b));
+    }
+    {
+      // Classify through a fresh checks-only router each time so the
+      // verdicts come straight from AsState, never a warmed cache.
+      router::BorderRouter::Callbacks cb;
+      cb.send_external = [](wire::PacketBuf) { return Result<void>::success(); };
+      cb.deliver_internal = [](core::Hid, wire::PacketBuf) {
+        return Result<void>::success();
+      };
+      cb.now = [this] { return now_; };
+      router::BorderRouter::Config rc;
+      rc.send_icmp_errors = false;
+      router::BorderRouter probe_br(*as_, std::move(cb), rc);
+      std::vector<wire::PacketView> views;
+      views.reserve(fwd_bufs.size());
+      for (const wire::PacketBuf& buf : fwd_bufs) views.push_back(buf.view());
+      std::vector<router::BorderRouter::Verdict> verdicts(views.size());
+      router::BorderRouter::Stats scratch;
+      probe_br.classify_outgoing_burst(views, now_, verdicts, scratch, true,
+                                       nullptr);
+      Bytes fp;
+      fp.reserve(verdicts.size());
+      for (const auto& v : verdicts)
+        fp.push_back(static_cast<std::uint8_t>(v.err));
+      out.push_back(std::move(fp));
+    }
+    return out;
+  };
+  const std::vector<Bytes> pre = build_probes();
+
+  const auto pre_stats = persist_coord_->stats();
+  r.persist_records_appended = pre_stats.journal.appended;
+  r.persist_snapshots_written = pre_stats.snapshots_written;
+
+  // --- Kill: drop every in-memory structure above the Vfs -----------------
+  persist_coord_.reset();
+  persist_sink_ = nullptr;
+  pool_.reset();
+  br_.reset();
+  aa_.reset();
+  rs_.reset();
+  dns_resolver_.reset();
+  dns_zone_.reset();
+  as_.reset();
+
+  // --- Recover ------------------------------------------------------------
+  auto recovered = core::AsState::recover(*vfs_, "as-" + std::to_string(cfg_.aid),
+                                          cfg_.max_revocations_per_host,
+                                          cfg_.shard_count);
+  core::AsStateRecovery rv;
+  if (recovered) {
+    rv = recovered.take();
+    as_ = std::move(rv.as);
+  } else {
+    // Must not happen — rebuild an empty world so the engine stays usable
+    // and let the mismatch count flag the failure loudly.
+    as_ = std::make_unique<core::AsState>(cfg_.aid,
+                                          core::AsSecrets::generate(rng_),
+                                          cfg_.max_revocations_per_host,
+                                          cfg_.shard_count);
+  }
+  r.persist_snapshot_generation = rv.snapshot_generation;
+  r.journal_records_replayed = rv.journal_records_replayed;
+  r.journal_bytes_discarded = rv.journal_bytes_discarded;
+  r.recovered_hosts = as_->host_db.size();
+  r.recovered_revocations = as_->revoked.size();
+  r.recovered_dns_records = rv.dns_records.size();
+  r.recovered_domain_blocks = rv.blocked_domains.size();
+
+  // Rebuild the infrastructure over the recovered state — the same
+  // sequence as construction, so the rebuilt world is deterministic.
+  rs_ = std::make_unique<services::RegistryService>(*as_, subs_, loop_, rng_);
+  auto aa_ident = services::make_service_identity(
+      *as_, rs_->allocate_hid(), loop_.now_seconds() + 30 * 86400, 0, nullptr,
+      rng_);
+  aa_ = std::make_unique<services::AccountabilityAgent>(*as_, dir_, loop_,
+                                                        std::move(aa_ident));
+  router::BorderRouter::Callbacks cb;
+  cb.send_external = [](wire::PacketBuf) { return Result<void>::success(); };
+  cb.deliver_internal = [](core::Hid, wire::PacketBuf) {
+    return Result<void>::success();
+  };
+  cb.now = [this] { return now_; };
+  br_ = std::make_unique<router::BorderRouter>(*as_, std::move(cb));
+  router::ForwardingPool::Config fpc;
+  fpc.threads = cfg_.threads;
+  fpc.flow_cache_entries = cfg_.flow_cache_entries;
+  pool_ = std::make_unique<router::ForwardingPool>(*br_, fpc);
+
+  // Reinstall the recovered above-core state into a fresh DNS world (no
+  // sink yet — these are restorations, not new mutations to journal).
+  ensure_dns();
+  for (const core::DnsRecord& rec : rv.dns_records) dns_zone_->put(rec);
+  for (const std::string& d : rv.blocked_domains)
+    dns_resolver_->policy().block(d);
+
+  // New coordinator over the recovered world: seeds carry what the
+  // pre-crash AS vouched for, and start() publishes the post-recovery
+  // snapshot generation.
+  attach_persistence(std::move(rv.issued), std::move(rv.blocked_domains),
+                     std::move(rv.dns_records));
+  r.persist_snapshots_written += persist_coord_->stats().snapshots_written;
+
+  // The rebuilt pool/AA counters start from zero — rebase the per-phase
+  // delta baselines or the next phase's deltas underflow.
+  last_router_ = {};
+  last_cache_ = {};
+  last_aa_ = {};
+
+  // --- Re-probe and compare ----------------------------------------------
+  const std::vector<Bytes> post = build_probes();
+  r.verdict_probes = pre.size();
+  const std::size_t n = std::min(pre.size(), post.size());
+  for (std::size_t i = 0; i < n; ++i)
+    if (pre[i] != post[i]) ++r.verdict_mismatches;
+  r.verdict_mismatches += pre.size() > post.size() ? pre.size() - post.size()
+                                                   : post.size() - pre.size();
+}
+
 void Engine::snapshot_world(PhaseReport& r) const {
   r.epoch = as_->epoch.current();
   r.live_hosts = as_->host_db.size();
@@ -605,7 +886,13 @@ PhaseReport Engine::run_phase(const Phase& p) {
     case Phase::Kind::dns_storm:
       do_dns_storm(p, r);
       break;
+    case Phase::Kind::kill_recover:
+      do_kill_recover(p, r);
+      break;
   }
+  // Phase boundary = durability boundary: everything the phase journaled
+  // is committed before its report exists.
+  if (persist_coord_) (void)persist_coord_->commit();
   r.wall_seconds = seconds_since(t0);
   if (r.packets > 0 && r.wall_seconds > 0)
     r.wall_pps = static_cast<double>(r.packets) / r.wall_seconds;
@@ -692,6 +979,25 @@ std::vector<Phase> dns_storm_script(std::uint64_t names, bool smoke) {
       Phase::dns_storm("dns_nxdomain_storm", names, junk, b, 512),
       // Post-storm steady state: bounds held, hit rate back to baseline.
       Phase::dns_storm("dns_recovery", names, 0, b, 512),
+  };
+}
+
+std::vector<Phase> kill_recover_script(std::uint64_t hosts, bool smoke) {
+  const std::uint64_t b = smoke ? 8 : 32;
+  return {
+      Phase::register_hosts("provision", hosts),
+      Phase::traffic("warm_traffic", b, 256),
+      // Fig-5 storm first: §VIII-G2 escalations erase HostDb entries, so
+      // recovery has to reproduce absences as well as records.
+      Phase::shutoff_storm("fig5_storm", smoke ? 80 : 800),
+      Phase::kill_recover("kill_recover",
+                          /*revocations=*/smoke ? 5'000 : 50'000,
+                          /*domain_blocks=*/smoke ? 50 : 500,
+                          /*dns_names=*/smoke ? 2'000 : 20'000,
+                          /*probes=*/smoke ? 512 : 4'096),
+      // The recovered world must still forward: same traffic shape as the
+      // warm phase, classified by the rebuilt pool over recovered state.
+      Phase::traffic("post_recovery_traffic", b, 256),
   };
 }
 

@@ -39,6 +39,13 @@
 //                    (src/dns): NXDOMAIN storms must stay inside the
 //                    negative cache's bounded slice and the positive hit
 //                    rate must recover after the storm (§VII-A at scale)
+//   kill_recover     crash-safety: journal a revocation wave, snapshot,
+//                    journal DNS publications + Fig-5 domain blocks on
+//                    top, probe the world's verdicts, DROP every
+//                    in-memory structure, recover from the persisted
+//                    image (core/as_persist.h) and re-probe — recovered
+//                    verdicts must be bit-identical (requires
+//                    Config::persist)
 //
 // Determinism contract (asserted by the driver's --verify-determinism and
 // the `scenario` ctest entries): every workload decision flows from
@@ -61,7 +68,10 @@
 #include "dns/resolver.h"
 #include "net/sim.h"
 #include "net/transport.h"
+#include "persist/sink.h"
+#include "persist/vfs.h"
 #include "router/border_router.h"
+#include "services/persist_coordinator.h"
 #include "router/forwarding_pool.h"
 #include "services/accountability_agent.h"
 #include "services/registry_service.h"
@@ -83,6 +93,7 @@ struct Phase {
     revocation_wave,
     replay_tamper,
     dns_storm,
+    kill_recover,
   };
 
   Kind kind = Kind::traffic;
@@ -126,6 +137,13 @@ struct Phase {
   static Phase dns_storm(std::string name, std::uint64_t names,
                          std::uint64_t junk_lookups, std::uint64_t bursts,
                          std::uint64_t burst_packets = 256);
+  /// Crash-safety phase: `revocations` journaled before the snapshot,
+  /// `dns_names` published and `domain_blocks` Fig-5 rules journaled
+  /// after it, ~`probes` verdict probes per category compared across the
+  /// kill. No-op unless the engine was built with Config::persist.
+  static Phase kill_recover(std::string name, std::uint64_t revocations,
+                            std::uint64_t domain_blocks,
+                            std::uint64_t dns_names, std::uint64_t probes);
 
   const char* kind_name() const;
 };
@@ -168,6 +186,23 @@ struct PhaseReport {
   /// Positive-pass hit rate after the storm — the recovery signal.
   double dns_recovery_hit_rate = 0.0;
 
+  // Persistence / recovery (kill_recover phases only; zero elsewhere and
+  // omitted from the scenario JSON for other phase kinds).
+  std::uint64_t persist_records_appended = 0;  // journaled before the kill
+  std::uint64_t persist_snapshots_written = 0;
+  std::uint64_t persist_snapshot_generation = 0;  // the one recovery loaded
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t journal_bytes_discarded = 0;  // torn-tail bytes dropped
+  std::uint64_t recovered_hosts = 0;
+  std::uint64_t recovered_revocations = 0;
+  std::uint64_t recovered_dns_records = 0;
+  std::uint64_t recovered_domain_blocks = 0;
+  /// Verdict probes compared across the kill (host records, revocation
+  /// checks, forwarding classifications, DNS zone + policy answers).
+  std::uint64_t verdict_probes = 0;
+  /// Probes whose post-recovery answer differed. MUST be 0.
+  std::uint64_t verdict_mismatches = 0;
+
   // World state AFTER the phase.
   std::uint64_t epoch = 0;          // VerdictEpoch generation
   std::uint64_t live_hosts = 0;
@@ -202,6 +237,11 @@ class Engine {
     std::size_t active_flows = 256;
     /// §VIII-G2 escalation threshold (shutoff storms trip it on purpose).
     std::uint32_t max_revocations_per_host = 16;
+    /// Attach the durability pipeline (MemVfs-backed snapshot + journal —
+    /// in-memory so scenario JSON stays an exact function of script +
+    /// seed). Required for kill_recover phases; off by default so other
+    /// scripts' counters are untouched.
+    bool persist = false;
   };
 
   explicit Engine(const Config& cfg);
@@ -227,6 +267,9 @@ class Engine {
   /// The dns_storm infrastructure (null until the first dns_storm phase).
   dns::Resolver* resolver() { return dns_resolver_.get(); }
 
+  /// The durability pipeline (null unless Config::persist).
+  services::PersistCoordinator* persist() { return persist_coord_.get(); }
+
  private:
   struct SealedFlow;  // one reusable sealed legitimate packet
   class ZipfPicker;   // inverse-CDF Zipf over the working set
@@ -239,9 +282,16 @@ class Engine {
   void do_revocation_wave(const Phase& p, PhaseReport& r);
   void do_replay_tamper(const Phase& p, PhaseReport& r);
   void do_dns_storm(const Phase& p, PhaseReport& r);
+  void do_kill_recover(const Phase& p, PhaseReport& r);
   /// Lazily builds the DNS zone + resolver — only dns_storm scripts pay for
   /// them.
   void ensure_dns();
+  /// (Re)builds the PersistCoordinator over the current AsState, seeds
+  /// its aggregates, writes the initial snapshot generation and wires
+  /// every mutation site's sink.
+  void attach_persistence(std::vector<core::IssuedEphIdMeta> issued = {},
+                          std::vector<std::string> blocked = {},
+                          std::vector<core::DnsRecord> dns = {});
 
   /// Rebuilds the sealed legitimate working set over the CURRENT live host
   /// range (churn moves it).
@@ -292,6 +342,12 @@ class Engine {
   std::unique_ptr<services::DnsZone> dns_zone_;
   std::unique_ptr<dns::Resolver> dns_resolver_;
   std::uint64_t dns_names_ = 0;  // positive records published so far
+
+  // Durability pipeline (Config::persist). The MemVfs outlives the
+  // coordinator across a kill_recover phase — it IS the surviving disk.
+  std::unique_ptr<persist::MemVfs> vfs_;
+  std::unique_ptr<services::PersistCoordinator> persist_coord_;
+  persist::Sink* persist_sink_ = nullptr;
 };
 
 // ---- Canned scripts (what the driver and ctest run) --------------------------
@@ -311,6 +367,12 @@ std::vector<Phase> attack_storms_script(std::uint64_t hosts, bool smoke);
 /// — negative entries must stay inside the cache's bounded slice and the
 /// positive hit rate must come back.
 std::vector<Phase> dns_storm_script(std::uint64_t names, bool smoke);
+
+/// Crash-and-recover: provision `hosts`, drive traffic and a Fig-5
+/// storm, then a kill_recover phase (journal + snapshot + journal
+/// suffix, drop the world, reload) followed by post-recovery traffic.
+/// Requires Engine::Config::persist.
+std::vector<Phase> kill_recover_script(std::uint64_t hosts, bool smoke);
 
 /// Population spread across many ASes, each with its own AsState +
 /// BorderRouter; inter-AS traffic classified at source egress, transit and

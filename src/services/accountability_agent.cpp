@@ -1,5 +1,6 @@
 #include "services/accountability_agent.h"
 
+#include "core/as_persist.h"
 #include "core/packet_auth.h"
 #include "wire/msg_codec.h"
 
@@ -128,11 +129,14 @@ Result<void> AccountabilityAgent::instruct_revocation(const core::EphId& ephid,
 
   const std::uint32_t host_count = as_.revoked.revoke_ephid(ephid, exp_time, hid);
   (void)host_count;
+  core::emit_revoke_ephid(persist_, ephid, exp_time, hid);
 
   // §VIII-G2 escalation: too many revocations ⇒ revoke the HID itself.
   if (as_.revoked.over_limit(hid)) {
     as_.revoked.revoke_hid(hid);
     as_.host_db.erase(hid);
+    core::emit_revoke_hid(persist_, hid);
+    core::emit_host_erase(persist_, hid);
     ++counters_.hid_escalations;
   }
   return Result<void>::success();

@@ -27,6 +27,7 @@
 #include "core/as_state.h"
 #include "core/messages.h"
 #include "net/sim.h"
+#include "persist/sink.h"
 #include "services/service_identity.h"
 #include "services/service_runtime.h"
 #include "wire/packet_buf.h"
@@ -98,6 +99,11 @@ class AccountabilityAgent : public ControlService {
   void set_domain_policy(const DomainPolicy* policy) { policy_ = policy; }
   const DomainPolicy* domain_policy() const { return policy_; }
 
+  /// Attaches the durability hook: revocations and §VIII-G2 escalations
+  /// this agent applies are journaled through `sink`. nullptr (default)
+  /// keeps the shutoff path persistence-free.
+  void set_persist_sink(persist::Sink* sink) { persist_ = sink; }
+
   /// Domain-granular shutoff riding the Fig-5 tail: when the configured
   /// policy blocks `name`, the EphID published under it is revoked through
   /// the same MAC_kAS instruction path as a shutoff request (including the
@@ -140,6 +146,7 @@ class AccountabilityAgent : public ControlService {
   net::EventLoop& loop_;
   ServiceIdentity ident_;
   const DomainPolicy* policy_ = nullptr;  // wired once at AS assembly
+  persist::Sink* persist_ = nullptr;      // wired once at AS assembly
   Counters counters_;
 };
 

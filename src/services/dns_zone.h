@@ -28,8 +28,10 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/as_persist.h"
 #include "core/messages.h"
 #include "core/sharded.h"
+#include "persist/sink.h"
 
 namespace apna::services {
 
@@ -54,6 +56,7 @@ class DnsZone {
       std::lock_guard lock(s.mu);
       s.map[rec.name] = rec;
     }
+    core::emit_dns_put(persist_, rec);
     counters_.inserts.fetch_add(1, std::memory_order_relaxed);
     epoch_.bump();  // after the mutation is visible (core/sharded.h contract)
   }
@@ -98,11 +101,16 @@ class DnsZone {
       erased = s.map.erase(name) > 0;
     }
     if (erased) {
+      core::emit_dns_erase(persist_, name);
       counters_.erases.fetch_add(1, std::memory_order_relaxed);
       epoch_.bump();
     }
     return erased;
   }
+
+  /// Attaches the durability hook: zone mutations are journaled through
+  /// `sink` (nullptr — the default — costs one branch per mutation).
+  void set_persist_sink(persist::Sink* sink) { persist_ = sink; }
 
   /// Visits every record under the stripe locks, one stripe at a time
   /// (policy sweeps, audits). Same functor rules as with_record.
@@ -183,6 +191,7 @@ class DnsZone {
   std::size_t count_;
   std::size_t mask_;
   std::unique_ptr<Shard[]> shards_;
+  persist::Sink* persist_ = nullptr;
   mutable Counters counters_;  // const lookups still count hits/misses
   core::VerdictEpoch epoch_;
 };

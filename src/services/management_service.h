@@ -21,6 +21,7 @@
 #include "core/messages.h"
 #include "crypto/rng.h"
 #include "net/sim.h"
+#include "persist/sink.h"
 #include "services/service_identity.h"
 #include "services/service_runtime.h"
 #include "wire/msg_codec.h"
@@ -133,6 +134,12 @@ class ManagementService : public ControlService {
     return reply_nonce_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Attaches the durability hook: issuance metadata (EphID, expiry, HID)
+  /// is journaled through `sink` so a recovered AS still knows what it
+  /// vouched for. nullptr (default) keeps the issue path at its E1
+  /// allocation gate (the emit is one predicted branch).
+  void set_persist_sink(persist::Sink* sink) { persist_ = sink; }
+
   const core::EphIdCertificate& cert() const { return ident_.cert; }
   const ServiceIdentity& identity() const { return ident_; }
   Stats stats() const {
@@ -166,6 +173,7 @@ class ManagementService : public ControlService {
   crypto::Rng& rng_;
   ServiceIdentity ident_;
   LifetimePolicy policy_;
+  persist::Sink* persist_ = nullptr;
   Counters counters_;
   std::atomic<std::uint64_t> reply_nonce_{1};
 };

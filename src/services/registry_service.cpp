@@ -1,5 +1,6 @@
 #include "services/registry_service.h"
 
+#include "core/as_persist.h"
 #include "crypto/x25519.h"
 
 namespace apna::services {
@@ -23,6 +24,8 @@ Result<core::BootstrapResponse> RegistryService::bootstrap(
   if (const core::Hid old = subs_.bind_hid(req.subscriber_id, hid); old != 0) {
     as_.host_db.erase(old);
     as_.revoked.revoke_hid(old);
+    core::emit_host_erase(persist_, old);
+    core::emit_revoke_hid(persist_, old);
     ++counters_.hid_rotations;
   }
 
@@ -34,6 +37,7 @@ Result<core::BootstrapResponse> RegistryService::bootstrap(
   rec.host_pub = req.host_pub;
   rec.subscriber_id = req.subscriber_id;
   as_.host_db.upsert(rec);
+  core::emit_host_upsert(persist_, rec);
   ++counters_.infra_updates;
 
   // Control EphID with its long lifetime, plus signed id_info.

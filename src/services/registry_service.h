@@ -13,6 +13,7 @@
 #include "core/messages.h"
 #include "crypto/rng.h"
 #include "net/sim.h"
+#include "persist/sink.h"
 #include "services/subscriber_registry.h"
 
 namespace apna::services {
@@ -50,6 +51,11 @@ class RegistryService {
     aa_ephid_ = aa_ephid;
   }
 
+  /// Attaches the durability hook: every host_info mutation this service
+  /// makes (enrollment, HID rotation) is journaled through `sink`.
+  /// nullptr (the default) keeps bootstrap free of persistence work.
+  void set_persist_sink(persist::Sink* sink) { persist_ = sink; }
+
   /// Fig 2 end to end. Runs over the host's physical attachment (layer 2),
   /// before the host holds any EphID.
   Result<core::BootstrapResponse> bootstrap(const core::BootstrapRequest& req);
@@ -80,6 +86,7 @@ class RegistryService {
   crypto::Rng& rng_;
   Config cfg_;
   core::Hid next_hid_ = 1;
+  persist::Sink* persist_ = nullptr;
   core::EphIdCertificate ms_cert_;
   core::EphIdCertificate dns_cert_;
   core::EphId aa_ephid_;

@@ -14,6 +14,7 @@
 #include "dns/dns_wire.h"
 #include "dns/domain_trie.h"
 #include "dns/resolver.h"
+#include "dns/udp_upstream.h"
 #include "services/accountability_agent.h"
 #include "services/dns_zone.h"
 #include "services/service_identity.h"
@@ -755,6 +756,68 @@ TEST(DnsService, DomainPolicyBlocksThroughShutoffPath) {
   EXPECT_EQ(f.zone.get("new.evil.example").has_value(), false);
   EXPECT_EQ(f.aa.stats().domain_blocks, 2u);
   EXPECT_EQ(f.resolver.stats().publish_blocked, 1u);
+}
+
+// ---- real-socket upstream (§VII-A forwarding over net::UdpTransport) ---------
+
+// Same forwarding contract as ForwardingFixture, but the QueryFrame /
+// ResponseFrame exchange crosses two real kernel UDP sockets on loopback,
+// wrapped in APNA control packets by UdpUpstream / UdpUpstreamServer.
+//
+// NOTE: the resolver's retransmit timers live on the VIRTUAL-time event
+// loop — loop.run() would fast-forward straight to servfail before any
+// real datagram arrives. Pump the transports directly instead.
+TEST(UdpUpstream, LoopbackRoundTrip) {
+  net::UdpTransport::Config tc;
+  auto client_t = net::UdpTransport::open(tc);
+  auto server_t = net::UdpTransport::open(tc);
+  if (!client_t.ok() || !server_t.ok())
+    GTEST_SKIP() << "no loopback UDP sockets in this sandbox";
+
+  auto server_peer =
+      (*client_t)->add_peer("127.0.0.1", (*server_t)->local_port());
+  auto client_peer =
+      (*server_t)->add_peer("127.0.0.1", (*client_t)->local_port());
+  ASSERT_TRUE(server_peer.ok());
+  ASSERT_TRUE(client_peer.ok());
+
+  net::EventLoop loop;
+  Resolver::Config cfg;
+  services::DnsZone client_zone;
+  services::DnsZone server_zone;
+  Resolver client(client_zone, loop, cfg);
+  Resolver server(server_zone, loop, cfg);
+  server_zone.put(make_record("far.example", 77));
+
+  UdpUpstreamServer srv(**server_t, /*local_aid=*/2);
+  srv.attach(server);
+  UdpUpstream up(**client_t, *server_peer, /*local_aid=*/1, /*server_aid=*/2);
+  up.attach(client);
+
+  std::vector<Resolver::Answer> got;
+  client.resolve_async("far.example",
+                       [&](const Resolver::Answer& a) { got.push_back(a); });
+  for (int i = 0; i < 200 && got.empty(); ++i) {
+    srv.poll(10);
+    up.poll(10);
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].status, Resolver::Status::ok);
+  EXPECT_EQ(got[0].source, Resolver::Source::upstream);
+  EXPECT_EQ(got[0].record.ipv4, 77u);
+  EXPECT_EQ(up.stats().queries_sent, 1u);
+  EXPECT_EQ(up.stats().responses_delivered, 1u);
+  EXPECT_EQ(up.stats().send_errors, 0u);
+  EXPECT_EQ(srv.stats().queries_answered, 1u);
+
+  // The answer landed in the client cache: the repeat never touches the
+  // socket pair again.
+  got.clear();
+  client.resolve_async("far.example",
+                       [&](const Resolver::Answer& a) { got.push_back(a); });
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].source, Resolver::Source::cache);
+  EXPECT_EQ(up.stats().queries_sent, 1u);
 }
 
 }  // namespace
